@@ -1,0 +1,104 @@
+"""Ablation (section 5.1): the cost of a global async progress thread.
+
+Paper: MPICH's MPIR_CVAR_ASYNC_PROGRESS thread contends with the main
+thread, inflating the latency of ordinary MPI calls and stealing a core
+from computation; MVAPICH's remedy sleeps the thread when progress is
+not needed.  Two measurements:
+
+1. blocking small-message ping-pong latency — the busy thread contends
+   with the communicating main thread (during continuous traffic the
+   adaptive thread never idles, so it costs about the same there);
+2. pure compute throughput while MPI is idle — the busy thread burns
+   the core, the adaptive thread sleeps and gives it back.
+"""
+
+import time
+
+import numpy as np
+
+import repro
+from repro.exts.progress_thread import ProgressThread
+from repro.runtime import run_world
+from repro.util.stats import LatencyRecorder
+
+
+def _make_thread(proc, mode: str):
+    if mode == "busy":
+        return ProgressThread(proc, mode="busy").start()
+    if mode == "adaptive":
+        return ProgressThread(
+            proc, mode="adaptive", idle_threshold=16, idle_sleep=1e-3
+        ).start()
+    return None
+
+
+def _pingpong(mode: str, iters: int = 200) -> float:
+    """Median per-iteration ping-pong time (seconds) under `mode`."""
+    rec = LatencyRecorder()
+    cfg = repro.RuntimeConfig(use_shmem=False)
+
+    def main(proc):
+        comm = proc.comm_world
+        pt = _make_thread(proc, mode)
+        try:
+            buf = np.zeros(4, dtype="u1")
+            comm.barrier()
+            for i in range(iters):
+                t0 = time.perf_counter()
+                if comm.rank == 0:
+                    comm.send(buf, 4, repro.BYTE, 1, 0)
+                    comm.recv(buf, 4, repro.BYTE, 1, 0)
+                else:
+                    comm.recv(buf, 4, repro.BYTE, 0, 0)
+                    comm.send(buf, 4, repro.BYTE, 0, 0)
+                if comm.rank == 0 and i >= 10:
+                    rec.add(time.perf_counter() - t0)
+        finally:
+            if pt is not None:
+                pt.stop()
+
+    run_world(2, main, config=cfg, timeout=300)
+    return rec.median
+
+
+def _idle_burn(mode: str, seconds: float = 0.3) -> int:
+    """Progress passes the thread burns while MPI sits completely idle —
+    the 'occupies an entire CPU core' resource cost of section 5.1."""
+    proc = repro.init()
+    pt = _make_thread(proc, mode)
+    assert pt is not None
+    try:
+        time.sleep(seconds)
+        return pt.stat_passes
+    finally:
+        pt.stop()
+        proc.finalize()
+
+
+def test_ablation_progress_thread_contention(benchmark):
+    results = benchmark.pedantic(
+        lambda: {m: _pingpong(m) for m in ("none", "busy")},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n== Ablation — ping-pong latency under a global progress thread ==")
+    print("paper expectation: the busy progress thread contends with MPI "
+          "calls from the main thread, inflating their latency")
+    for mode, median in results.items():
+        print(f"  {mode:>9}: {median * 1e6:9.2f} us / iteration")
+    assert results["busy"] > 1.15 * results["none"], results
+
+
+def test_ablation_adaptive_thread_stops_burning_the_core(benchmark):
+    results = benchmark.pedantic(
+        lambda: {m: _idle_burn(m) for m in ("busy", "adaptive")},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n== Ablation — progress passes burned while MPI is idle (0.3 s) ==")
+    print("paper expectation: the busy thread spins the core continuously; "
+          "the MVAPICH-style thread backs off to sleep when idle")
+    for mode, passes in results.items():
+        print(f"  {mode:>9}: {passes:>9} passes")
+    # The sleeping thread does orders of magnitude less useless polling.
+    assert results["adaptive"] < 0.35 * results["busy"], results

@@ -1,0 +1,112 @@
+"""Ablation: RMA's dependence on target-side progress.
+
+The paper's progress problem is sharpest for one-sided communication: a
+passive-target get is served *inside the target's progress*, so its
+latency is exactly the target's progress latency.  Measured here: the
+origin's get latency while the target (a) busy-computes with a progress
+thread, (b) intersperses frequent ``MPIX_Stream_progress`` calls,
+(c) computes in long slices with sparse progress — the Fig. 5 remedy
+spectrum, replayed for RMA.
+"""
+
+import time
+
+import numpy as np
+
+import repro
+from repro.exts.progress_thread import ProgressThread
+from repro.rma import win_create
+from repro.runtime import run_world
+from repro.util.stats import LatencyRecorder
+
+
+def _get_latency(target_mode: str, gets: int = 25) -> float:
+    """Median origin-side passive get latency under a target strategy.
+
+    The GIL switch interval is tightened for the measurement so the
+    target's own progress cadence — not CPython's 5 ms default slice —
+    is what the origin observes (same substitution as the Fig. 9/11
+    benches).
+    """
+    import sys
+
+    old = sys.getswitchinterval()
+    sys.setswitchinterval(20e-6)
+    try:
+        return _get_latency_inner(target_mode, gets)
+    finally:
+        sys.setswitchinterval(old)
+
+
+def _get_latency_inner(target_mode: str, gets: int) -> float:
+    rec = LatencyRecorder()
+    cfg = repro.RuntimeConfig(use_shmem=False)
+
+    def main(proc):
+        comm = proc.comm_world
+        # exposed[0] doubles as the stop flag (origin puts 1 when done);
+        # the data reads target exposed[1:].
+        exposed = np.zeros(64, dtype="u1")
+        if comm.rank == 0:
+            exposed[1:] = np.arange(1, 64)
+        win = win_create(comm, exposed if comm.rank == 0 else None)
+
+        if comm.rank == 0:
+            pt = ProgressThread(proc).start() if target_mode == "thread" else None
+            try:
+                while exposed[0] != 1:
+                    if target_mode == "intersperse":
+                        end = time.perf_counter() + 100e-6
+                        while time.perf_counter() < end:
+                            pass
+                        proc.stream_progress()
+                    elif target_mode == "sparse":
+                        end = time.perf_counter() + 5e-3
+                        while time.perf_counter() < end:
+                            pass
+                        proc.stream_progress()
+                    else:  # thread: pure compute, progress thread serves
+                        time.sleep(1e-4)
+            finally:
+                if pt is not None:
+                    pt.stop()
+            comm.barrier()
+            win.free()
+            return None
+
+        out = np.zeros(64, dtype="u1")
+        for _ in range(gets):
+            t0 = time.perf_counter()
+            win.get(out, 64, target=0)
+            rec.add(time.perf_counter() - t0)
+        assert out[5] == 5
+        win.put(np.array([1], dtype="u1"), 1, target=0, offset=0)
+        win.flush(0)
+        comm.barrier()
+        win.free()
+        return rec.median
+
+    results = run_world(2, main, config=cfg, timeout=300)
+    return results[1]
+
+
+def test_ablation_rma_target_progress(benchmark):
+    results = benchmark.pedantic(
+        lambda: {
+            "thread": _get_latency("thread"),
+            "intersperse": _get_latency("intersperse"),
+            "sparse": _get_latency("sparse"),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print("\n== Ablation — passive-target RMA get latency vs target "
+          "progress strategy ==")
+    print("paper expectation: the origin's one-sided latency IS the "
+          "target's progress latency — frequent progress (thread or "
+          "dense test calls) keeps it low, sparse progress inflates it")
+    for mode, median in results.items():
+        print(f"  {mode:>12}: {median * 1e3:8.3f} ms / get")
+    # Sparse target progress (5 ms slices) dominates the get latency.
+    assert results["sparse"] > 3 * results["intersperse"], results
+    assert results["sparse"] > 3 * results["thread"], results

@@ -1,0 +1,56 @@
+"""Figure 10: latency vs pending tasks with a task-class queue.
+
+Paper: when in-order tasks are managed by ONE class_poll hook that only
+checks the queue head (Listing 1.4), average latency stays constant in
+the number of pending tasks — the flat counterpart to Fig. 7.
+"""
+
+from repro.bench import (
+    measure_pending_tasks_latency,
+    measure_task_class_latency,
+    print_figure,
+)
+
+COUNTS = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512]
+
+
+def test_fig10_task_class_latency_flat(benchmark):
+    series = benchmark.pedantic(
+        lambda: measure_task_class_latency(COUNTS, repeats=4),
+        rounds=1,
+        iterations=1,
+    )
+    print_figure(
+        "Figure 10 — latency vs pending tasks (single class_poll hook)",
+        [series],
+        expectation="constant within measurement noise",
+    )
+    lat = dict(zip(series.xs(), series.medians_us()))
+    # Flat: the 512-task point stays within a small factor of the
+    # 1-task point (Fig. 7 grows by orders of magnitude here).
+    assert lat[512] < 10 * max(lat[1], 1.0), lat
+
+
+def test_fig10_vs_fig7_contrast(benchmark):
+    """The headline claim is the CONTRAST: class-queue latency growth is
+    tiny compared to the independent-task growth of Fig. 7."""
+
+    def run():
+        independent = measure_pending_tasks_latency([1, 256], repeats=3)
+        task_class = measure_task_class_latency([1, 256], repeats=3)
+        return independent, task_class
+
+    independent, task_class = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_figure(
+        "Figure 10 vs Figure 7 — growth factor from 1 to 256 pending tasks",
+        [independent, task_class],
+        expectation="independent tasks grow far faster than the task class",
+    )
+    ind = dict(zip(independent.xs(), independent.medians_us()))
+    cls = dict(zip(task_class.xs(), task_class.medians_us()))
+    growth_independent = ind[256] / ind[1]
+    growth_class = cls[256] / cls[1]
+    assert growth_independent > 3 * growth_class, (
+        growth_independent,
+        growth_class,
+    )

@@ -1,0 +1,68 @@
+"""Figure 11: latency vs progress threads, one MPIX stream per thread.
+
+Paper: with per-thread streams there is no shared lock, and latency
+does not increase significantly with the thread count.
+
+Substitution note: wall-clock latency under the GIL still grows with
+thread count (interpreter time-slicing — each thread only gets 1/N of
+one core), which the paper's truly-parallel pthreads do not suffer.
+The claim that survives the substitution, asserted here, is the
+*isolation mechanism*: progress on a private stream never blocks on
+another stream's lock, while progress on a shared stream blocks for the
+full critical section of whoever holds it.
+"""
+
+from repro.bench import (
+    measure_lock_isolation,
+    measure_stream_scaling_latency,
+    print_figure,
+)
+
+THREADS = [1, 2, 4, 8]
+HOLD_S = 2e-3
+
+
+def test_fig11_per_thread_streams_latency(benchmark):
+    latency, lock_wait = benchmark.pedantic(
+        lambda: measure_stream_scaling_latency(
+            THREADS, tasks_per_thread=10, repeats=4
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print_figure(
+        "Figure 11 — latency vs progress threads (one stream per thread)",
+        [latency],
+        expectation="paper: flat (truly parallel threads); here the growth "
+        "is GIL time-slicing, not lock contention — see the lock waits",
+    )
+    print_figure(
+        "Figure 11 (mechanism) — mean lock wait per progress call",
+        [lock_wait],
+        expectation="private locks stay uncontended at any thread count",
+    )
+    lw = dict(zip(lock_wait.xs(), lock_wait.medians_us()))
+    # Private locks never develop contention: sub-poll-cost waits at 8
+    # threads, no blow-up relative to 1 thread.
+    assert lw[8] < 20 * max(lw[1], 0.05), lw
+    assert lw[8] < 10.0, lw  # absolute: well under one poll delay
+
+
+def test_fig11_vs_fig9_lock_isolation(benchmark):
+    """The decisive contrast: a progress call on a stream whose lock a
+    peer holds blocks for the remaining critical section (Fig. 9); the
+    same call on a private stream returns immediately (Fig. 11)."""
+    results = benchmark.pedantic(
+        lambda: measure_lock_isolation(hold_seconds=HOLD_S, repeats=8),
+        rounds=1,
+        iterations=1,
+    )
+    same = results["same_stream"].median
+    other = results["other_stream"].median
+    print("\n== Figure 9 vs 11 mechanism — blocking on a held stream lock ==")
+    print("paper expectation: shared stream blocks; private stream does not")
+    print(f"  same stream : {same * 1e6:10.1f} us (lock held {HOLD_S * 1e6:.0f} us)")
+    print(f"  other stream: {other * 1e6:10.1f} us")
+    # Same-stream progress eats most of the hold; private streams don't.
+    assert same > 0.5 * HOLD_S, (same, HOLD_S)
+    assert other < 0.2 * same, (other, same)

@@ -1,0 +1,30 @@
+"""Figure 12: overhead of generating completion events via explicit
+``MPIX_Request_is_complete`` queries (Listing 1.6).
+
+Paper: the query is one atomic read, so scanning the registered request
+array inside a progress hook stays within measurement noise below ~256
+pending requests, growing only at large counts.
+"""
+
+from repro.bench import measure_request_query_overhead, print_figure
+
+COUNTS = [1, 16, 64, 256, 1024, 4096]
+
+
+def test_fig12_query_loop_overhead(benchmark):
+    series = benchmark.pedantic(
+        lambda: measure_request_query_overhead(COUNTS, num_tasks=10, repeats=4),
+        rounds=1,
+        iterations=1,
+    )
+    print_figure(
+        "Figure 12 — progress latency vs pending requests scanned by a "
+        "query hook",
+        [series],
+        expectation="flat below ~256 requests, rising at thousands",
+    )
+    lat = dict(zip(series.xs(), series.medians_us()))
+    # Small regime is near-free relative to the large end...
+    assert lat[4096] > 2 * lat[16], lat
+    # ...and 256 requests stay far from the 4096-request cost.
+    assert lat[256] < 0.6 * lat[4096], lat

@@ -1,0 +1,38 @@
+"""Figure 1 (anatomy): wait blocks and modelled cost per message mode.
+
+The paper's Fig. 1 is a diagram; this bench *measures* it: for sizes
+spanning every protocol, record the selected mode, the sender/receiver
+wait-block counts, and the exact one-way completion time under the
+virtual clock's cost model.
+"""
+
+from repro.bench import measure_message_modes
+from repro.bench.reporting import print_rows
+
+SIZES = [0, 16, 64, 256, 4096, 8192, 65536, 262144, 1 << 20]
+
+
+def test_fig1_wait_block_anatomy(benchmark):
+    rows = benchmark.pedantic(
+        lambda: measure_message_modes(SIZES), rounds=1, iterations=1
+    )
+    print_rows(
+        "Figure 1 — message-mode anatomy (measured)",
+        rows,
+        expectation="buffered: 0 send waits; eager: 1; rendezvous: 2; "
+        "pipeline: >2; latency grows with size and handshakes",
+    )
+    by_mode = {}
+    for row in rows:
+        by_mode.setdefault(row["mode"], []).append(row)
+    assert all(r["send_wait_blocks"] == 0 for r in by_mode["buffered"])
+    assert all(r["send_wait_blocks"] == 1 for r in by_mode["eager"])
+    assert all(r["send_wait_blocks"] == 2 for r in by_mode["rendezvous"])
+    assert all(r["send_wait_blocks"] > 2 for r in by_mode["pipeline"])
+    # Handshake cost: rendezvous one-way latency exceeds eager's.
+    assert min(r["one_way_us"] for r in by_mode["rendezvous"]) > max(
+        r["one_way_us"] for r in by_mode["eager"]
+    )
+    # Cost model is monotone in size within a mode.
+    eager = [r["one_way_us"] for r in by_mode["eager"]]
+    assert eager == sorted(eager)

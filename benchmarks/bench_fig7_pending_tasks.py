@@ -1,0 +1,29 @@
+"""Figure 7: progress latency vs number of pending independent tasks.
+
+Paper: latency rises with the number of pending async tasks, because a
+collated progress pass must invoke every pending task's poll_fn; below
+~32 tasks the overhead stays small.
+"""
+
+from repro.bench import measure_pending_tasks_latency, print_figure
+
+COUNTS = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512]
+
+
+def test_fig7_latency_rises_with_pending_tasks(benchmark):
+    series = benchmark.pedantic(
+        lambda: measure_pending_tasks_latency(COUNTS, repeats=4),
+        rounds=1,
+        iterations=1,
+    )
+    print_figure(
+        "Figure 7 — progress latency vs pending independent async tasks",
+        [series],
+        expectation="latency grows with task count; small below ~32 tasks",
+    )
+    lat = dict(zip(series.xs(), series.medians_us()))
+    # Rising shape: the large-count end costs clearly more than one task.
+    assert lat[512] > 3 * lat[1], lat
+    assert lat[512] > lat[32], lat
+    # The small-count regime stays cheap relative to the big end.
+    assert lat[32] < 0.25 * lat[512], lat

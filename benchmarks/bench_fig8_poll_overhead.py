@@ -1,0 +1,31 @@
+"""Figure 8: impact of poll-function overhead on event response latency.
+
+Paper: with 10 concurrent pending tasks and a busy-poll delay injected
+into each poll_fn, response latency grows with the delay — collated
+progress is only as responsive as its slowest hook.
+"""
+
+from repro.bench import measure_poll_overhead_latency, print_figure
+
+DELAYS_US = [0, 1, 2, 5, 10, 20, 50]
+
+
+def test_fig8_latency_grows_with_poll_delay(benchmark):
+    series = benchmark.pedantic(
+        lambda: measure_poll_overhead_latency(DELAYS_US, num_tasks=10, repeats=4),
+        rounds=1,
+        iterations=1,
+    )
+    print_figure(
+        "Figure 8 — event response latency vs injected poll_fn delay "
+        "(10 pending tasks)",
+        [series],
+        expectation="latency grows roughly linearly with the injected delay",
+    )
+    lat = dict(zip(series.xs(), series.medians_us()))
+    # A 50 us hook delay must visibly inflate response latency: with 10
+    # tasks polled per pass, the floor grows by several hook delays.
+    assert lat[50] > lat[0] + 50, lat
+    assert lat[20] > lat[0], lat
+    # Monotone-ish growth across the decade.
+    assert lat[50] > lat[5], lat

@@ -1,0 +1,70 @@
+"""OSU-style point-to-point microbenchmarks on the virtual cost model.
+
+Not a paper figure, but the substrate sanity check every MPI suite
+ships: one-way latency and effective bandwidth vs message size, per
+transport.  Run on the virtual clock so the numbers are the exact cost
+model — protocol overheads (handshakes, chunking, cell copies) are the
+only variables.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.runtime.world import World
+from repro.util.clock import VirtualClock
+
+SIZES = [1, 64, 1024, 8192, 65536, 262144, 1 << 20]
+
+
+def _one_way_time(nbytes: int, *, on_node: bool) -> float:
+    cfg = repro.RuntimeConfig(ranks_per_node=2 if on_node else 1)
+    world = World(2, clock=VirtualClock(), config=cfg)
+    p0, p1 = world.proc(0), world.proc(1)
+    data = np.zeros(max(nbytes, 1), dtype="u1")
+    out = np.zeros(max(nbytes, 1), dtype="u1")
+    t0 = world.clock.now()
+    rreq = p1.comm_world.irecv(out, nbytes, repro.BYTE, 0, 0)
+    sreq = p0.comm_world.isend(data, nbytes, repro.BYTE, 1, 0)
+    while not (sreq.is_complete() and rreq.is_complete()):
+        made = p0.stream_progress() | p1.stream_progress()
+        if not made:
+            assert world.clock.idle_advance(), "deadlock"
+    return world.clock.now() - t0
+
+
+def test_p2p_latency_bandwidth_profile(benchmark):
+    def run():
+        rows = []
+        for n in SIZES:
+            net = _one_way_time(n, on_node=False)
+            shm = _one_way_time(n, on_node=True)
+            rows.append(
+                {
+                    "nbytes": n,
+                    "netmod_us": net * 1e6,
+                    "shmem_us": shm * 1e6,
+                    "netmod_MBps": (n / net) / 1e6 if n else 0.0,
+                    "shmem_MBps": (n / shm) / 1e6 if n else 0.0,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n== p2p microbench — one-way time and bandwidth by transport ==")
+    print(f"{'bytes':>9} {'netmod(us)':>11} {'shmem(us)':>10} "
+          f"{'net MB/s':>9} {'shm MB/s':>9}")
+    for r in rows:
+        print(
+            f"{r['nbytes']:>9} {r['netmod_us']:>11.2f} {r['shmem_us']:>10.2f} "
+            f"{r['netmod_MBps']:>9.0f} {r['shmem_MBps']:>9.0f}"
+        )
+    # Latency is monotone non-decreasing in size, per transport.
+    for key in ("netmod_us", "shmem_us"):
+        vals = [r[key] for r in rows]
+        assert vals == sorted(vals), key
+    # On-node shmem beats the NIC at small sizes (lower alpha)...
+    assert rows[0]["shmem_us"] < rows[0]["netmod_us"], rows[0]
+    # ...and bandwidth saturates as size grows (monotone through the
+    # eager range; handshakes make the very largest sizes plateau).
+    assert rows[3]["netmod_MBps"] > rows[1]["netmod_MBps"], rows

@@ -1,0 +1,24 @@
+"""Benchmark-suite configuration.
+
+Each module regenerates one figure (or ablation) of the paper.  The
+sweep itself runs once inside ``benchmark.pedantic`` so pytest-benchmark
+records its wall time, the figure's rows/series are printed in the
+paper's layout, and the paper's qualitative *shape* is asserted.
+
+Shape assertions are deliberately loose: this substrate is a simulated
+fabric under CPython (often a single core), so absolute numbers differ
+from the paper's workstation by construction; who-wins and
+flat-vs-rising must still hold.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _show_output(capsys):
+    """Let figure tables through to the terminal even under capture."""
+    yield
+    out = capsys.readouterr().out
+    if out:
+        with capsys.disabled():
+            print(out)

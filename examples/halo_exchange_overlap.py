@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Halo exchange with communication/computation overlap.
+
+The motivating workload of the paper's introduction: an iterative 1-D
+stencil whose ranks exchange halo cells every step.  Three progress
+strategies are compared:
+
+* ``blocking``   — plain send/recv before computing (no overlap);
+* ``nonblocking``— isend/irecv, compute the interior, then wait
+  (overlap only if the implementation progresses — Fig. 4);
+* ``thread``     — nonblocking plus a per-rank progress thread
+  providing strong progress (Fig. 5b).
+
+Run:  python examples/halo_exchange_overlap.py
+"""
+
+import time
+
+import numpy as np
+
+import repro
+from repro.exts.progress_thread import ProgressThread
+from repro.runtime import run_world
+
+RANKS = 4
+CELLS = 512          # interior cells per rank
+STEPS = 15
+HALO_BYTES = 40_000  # rendezvous-sized halos make progress matter
+
+CFG = repro.RuntimeConfig(use_shmem=False, nic_alpha=5e-4, nic_wire_delay=5e-4)
+
+
+def stencil_step(u: np.ndarray) -> np.ndarray:
+    """One Jacobi smoothing step on the interior."""
+    out = u.copy()
+    out[1:-1] = 0.25 * u[:-2] + 0.5 * u[1:-1] + 0.25 * u[2:]
+    return out
+
+
+def run_strategy(strategy: str) -> tuple[float, float]:
+    """Returns (total wall seconds, checksum) for one strategy."""
+
+    def rank_main(proc):
+        comm = proc.comm_world
+        r, p = comm.rank, comm.size
+        left, right = (r - 1) % p, (r + 1) % p
+        u = np.linspace(r, r + 1, CELLS)
+        halo = np.zeros(HALO_BYTES, dtype="u1")  # big payload rides along
+        halo_in_l = np.zeros(HALO_BYTES, dtype="u1")
+        halo_in_r = np.zeros(HALO_BYTES, dtype="u1")
+        edge_l = np.zeros(1)
+        edge_r = np.zeros(1)
+
+        pt = ProgressThread(proc).start() if strategy == "thread" else None
+        t0 = time.perf_counter()
+        try:
+            for step in range(STEPS):
+                if strategy == "blocking":
+                    if r % 2 == 0:
+                        comm.send(halo, HALO_BYTES, repro.BYTE, right, 1)
+                        comm.recv(halo_in_l, HALO_BYTES, repro.BYTE, left, 1)
+                        comm.send(halo, HALO_BYTES, repro.BYTE, left, 2)
+                        comm.recv(halo_in_r, HALO_BYTES, repro.BYTE, right, 2)
+                    else:
+                        comm.recv(halo_in_l, HALO_BYTES, repro.BYTE, left, 1)
+                        comm.send(halo, HALO_BYTES, repro.BYTE, right, 1)
+                        comm.recv(halo_in_r, HALO_BYTES, repro.BYTE, right, 2)
+                        comm.send(halo, HALO_BYTES, repro.BYTE, left, 2)
+                    u = stencil_step(u)
+                else:
+                    reqs = [
+                        comm.irecv(halo_in_l, HALO_BYTES, repro.BYTE, left, 1),
+                        comm.irecv(halo_in_r, HALO_BYTES, repro.BYTE, right, 2),
+                        comm.isend(halo, HALO_BYTES, repro.BYTE, right, 1),
+                        comm.isend(halo, HALO_BYTES, repro.BYTE, left, 2),
+                    ]
+                    u = stencil_step(u)  # interior overlaps the exchange
+                    proc.waitall(reqs)
+            comm.barrier()
+            return float(u.sum())
+        finally:
+            if pt is not None:
+                pt.stop()
+
+    t0 = time.perf_counter()
+    sums = run_world(RANKS, rank_main, config=CFG, timeout=300)
+    return time.perf_counter() - t0, sum(sums)
+
+
+def main() -> None:
+    print(f"{RANKS}-rank 1-D stencil, {STEPS} steps, "
+          f"{HALO_BYTES} B halos (rendezvous)\n")
+    checksums = set()
+    for strategy in ("blocking", "nonblocking", "thread"):
+        total, checksum = run_strategy(strategy)
+        checksums.add(round(checksum, 6))
+        print(f"  {strategy:>11}: {total * 1e3:8.1f} ms total")
+    assert len(checksums) == 1, "all strategies must compute the same answer"
+    print("\nidentical checksums; the progress thread overlaps the "
+          "rendezvous halos with the stencil computation.")
+
+
+if __name__ == "__main__":
+    main()

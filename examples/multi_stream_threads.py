@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Concurrent progress streams — the paper's Listing 1.5.
+
+Each worker thread creates its own MPIX stream, registers its dummy
+tasks on it with ``MPIX_Async_start(..., stream)``, and drives only its
+own stream with ``MPIX_Stream_progress(stream)``.  No thread ever
+touches another thread's lock — the design that keeps Fig. 11 flat
+where Fig. 9 (everyone on STREAM_NULL) degrades.
+
+Run:  python examples/multi_stream_threads.py
+"""
+
+import random
+import threading
+
+import repro
+
+NUM_TASKS = 10
+NUM_THREADS = 6
+INTERVAL = 0.001
+
+
+def main() -> None:
+    proc = repro.init()
+    streams = [proc.stream_create() for _ in range(NUM_THREADS)]
+    per_thread_latency = [0.0] * NUM_THREADS
+
+    def thread_fn(thread_id: int) -> None:
+        stream = streams[thread_id]
+        rng = random.Random(thread_id)
+        counter = [NUM_TASKS]
+        latencies = []
+
+        def dummy_poll(thing: repro.AsyncThing) -> int:
+            state = thing.get_state()
+            now = proc.wtime()
+            if now >= state["complete_at"]:
+                latencies.append(now - state["complete_at"])
+                counter[0] -= 1
+                return repro.ASYNC_DONE
+            return repro.ASYNC_NOPROGRESS
+
+        def add_async() -> None:
+            proc.async_start(
+                dummy_poll,
+                {"complete_at": proc.wtime() + INTERVAL + rng.random() * 1e-5},
+                stream,
+            )
+
+        for _ in range(NUM_TASKS):
+            add_async()
+        while counter[0] > 0:
+            proc.stream_progress(stream)
+        per_thread_latency[thread_id] = sum(latencies) / len(latencies) * 1e6
+
+    threads = [
+        threading.Thread(target=thread_fn, args=(i,)) for i in range(NUM_THREADS)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    for i, lat in enumerate(per_thread_latency):
+        stream = streams[i]
+        print(
+            f"thread {i}: mean latency {lat:8.2f} us | "
+            f"progress calls {stream.stat_progress_calls:>7} | "
+            f"lock wait total {stream.stat_lock_wait_s * 1e6:8.1f} us"
+        )
+    print("\nper-stream lock wait stays ~0: streams isolate the threads.")
+
+    for stream in streams:
+        proc.stream_free(stream)
+    proc.finalize()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Progress observability — taking the magic out of MPI progress.
+
+"Managing MPI progress can feel almost magical when it works, but
+extremely frustrating when it fails" (paper §2.5).  This example stages
+a classic failure — tasks registered on a stream nobody polls — and
+uses ``repro.progress_snapshot`` to diagnose it, then fixes it.
+
+Run:  python examples/progress_introspection.py
+"""
+
+import repro
+
+
+def main() -> None:
+    proc = repro.init()
+    worker_stream = proc.stream_create()
+    done = {"n": 0}
+
+    def poll(thing):
+        state = thing.get_state()
+        if proc.wtime() >= state:
+            done["n"] += 1
+            return repro.ASYNC_DONE
+        return repro.ASYNC_NOPROGRESS
+
+    # Register work on the WORKER stream...
+    for _ in range(5):
+        proc.async_start(poll, proc.wtime() + 1e-4, worker_stream)
+
+    # ...but poll the DEFAULT stream. Nothing happens. Why?
+    for _ in range(50):
+        proc.stream_progress(repro.STREAM_NULL)
+    print("after 50 passes on STREAM_NULL:", done["n"], "tasks done\n")
+
+    snap = repro.progress_snapshot(proc)
+    print(snap.format_report())
+    stuck = [s for s in snap.streams if s.pending_async_tasks + s.inbox_tasks > 0]
+    print(f"\ndiagnosis: {stuck[0].pending_async_tasks + stuck[0].inbox_tasks} "
+          f"tasks wait on stream#{stuck[0].stream_id} "
+          f"(progress_calls={stuck[0].progress_calls}) — nobody polls it.")
+
+    # The fix: drive the right stream.
+    while done["n"] < 5:
+        proc.stream_progress(worker_stream)
+    print("\nafter polling the worker stream:", done["n"], "tasks done")
+
+    proc.stream_free(worker_stream)
+    proc.finalize()
+
+
+if __name__ == "__main__":
+    main()

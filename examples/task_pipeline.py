@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Task-based programming over MPI progress — the paper's section 1 and
+5.4 motivation, made concrete.
+
+A two-rank pipeline: rank 0 streams chunks of a vector to rank 1, which
+builds a little task graph — "process each chunk when its receive
+lands, then combine" — on a :class:`repro.exts.futures.ProgressExecutor`.
+The executor's dependency tracking is ONE MPIX async hook inside MPI
+progress; tasks synchronize on receives with the side-effect-free
+``MPIX_Request_is_complete`` (no test/wait storm, no second progress
+engine).
+
+Run:  python examples/task_pipeline.py
+"""
+
+import numpy as np
+
+import repro
+from repro.exts.futures import ProgressExecutor
+from repro.runtime import run_world
+
+CHUNKS = 8
+CHUNK_LEN = 1024
+
+
+def main() -> None:
+    def rank_main(proc):
+        comm = proc.comm_world
+        if comm.rank == 0:
+            rng = np.random.default_rng(7)
+            full = rng.integers(0, 100, CHUNKS * CHUNK_LEN).astype("i8")
+            for c in range(CHUNKS):
+                comm.send(
+                    full[c * CHUNK_LEN : (c + 1) * CHUNK_LEN],
+                    CHUNK_LEN,
+                    repro.INT64,
+                    1,
+                    tag=c,
+                )
+            comm.barrier()
+            return int(full.sum())
+
+        # rank 1: task graph over the incoming chunks
+        ex = ProgressExecutor(proc)
+        bufs = [np.zeros(CHUNK_LEN, dtype="i8") for _ in range(CHUNKS)]
+        recv_futures = [
+            ex.wrap(comm.irecv(bufs[c], CHUNK_LEN, repro.INT64, 0, c), f"recv{c}")
+            for c in range(CHUNKS)
+        ]
+        # stage 1: per-chunk partial sums, each runnable the moment its
+        # chunk lands (no ordering between chunks)
+        partials = [
+            ex.submit(lambda c=c: int(bufs[c].sum()), deps=[recv_futures[c]])
+            for c in range(CHUNKS)
+        ]
+        # stage 2: combine
+        total = ex.submit(
+            lambda: sum(p.value() for p in partials), deps=partials, label="combine"
+        )
+        answer = ex.result(total)
+        comm.barrier()
+        print(f"rank 1 executed {ex.stat_executed} tasks "
+              f"({CHUNKS} partial sums + 1 combine)")
+        return answer
+
+    sent_sum, received_sum = run_world(2, rank_main, timeout=120)
+    print(f"sum streamed by rank 0 : {sent_sum}")
+    print(f"sum computed by rank 1 : {received_sum}")
+    assert sent_sum == received_sum
+    print("\nthe task graph ran entirely off MPI progress: the executor's")
+    print("dependency tracker is one MPIX async hook, and tasks gate on")
+    print("receives via MPIX_Request_is_complete.")
+
+
+if __name__ == "__main__":
+    main()

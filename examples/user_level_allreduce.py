@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""User-level allreduce — the paper's Listing 1.8 and Figure 13.
+
+Implements allreduce entirely in user space as an MPIX async state
+machine (recursive doubling, synchronizing on its point-to-point
+requests with ``MPIX_Request_is_complete``) and races it against the
+native schedule-based ``Iallreduce`` over the same simulated fabric.
+
+Run:  python examples/user_level_allreduce.py
+"""
+
+import time
+
+import numpy as np
+
+import repro
+from repro.core.comm import IN_PLACE
+from repro.runtime import run_world
+from repro.usercoll import my_allreduce, user_allreduce
+
+PROCS = 8
+ITERS = 20
+
+
+def main() -> None:
+    def rank_main(proc):
+        comm = proc.comm_world
+
+        # --- correctness: the faithful Listing 1.8 entry point --------
+        buf = np.array([comm.rank + 1], dtype="i4")
+        my_allreduce(comm, IN_PLACE, buf, 1, repro.INT, repro.SUM)
+        assert buf[0] == PROCS * (PROCS + 1) // 2
+
+        # --- latency comparison (Fig. 13) ------------------------------
+        native_t = user_t = 0.0
+        for _ in range(ITERS):
+            out = np.zeros(1, dtype="i4")
+            comm.barrier()
+            t0 = time.perf_counter()
+            proc.wait(
+                comm.iallreduce(np.array([comm.rank], dtype="i4"), out, 1, repro.INT)
+            )
+            native_t += time.perf_counter() - t0
+
+            inplace = np.array([comm.rank], dtype="i4")
+            comm.barrier()
+            t0 = time.perf_counter()
+            proc.wait(user_allreduce(comm, inplace, 1, repro.INT, repro.SUM))
+            user_t += time.perf_counter() - t0
+            assert out[0] == inplace[0] == PROCS * (PROCS - 1) // 2
+        return native_t / ITERS * 1e6, user_t / ITERS * 1e6
+
+    results = run_world(PROCS, rank_main, timeout=300)
+    native_us, user_us = results[0]
+    print(f"{PROCS}-rank single-int allreduce (mean over {ITERS} iterations):")
+    print(f"  native Iallreduce    : {native_us:9.1f} us")
+    print(f"  user-level allreduce : {user_us:9.1f} us")
+    print("\nthe user-level version runs the same recursive-doubling pattern")
+    print("from a progress hook — extension of MPI from user space, at")
+    print("native-class latency (the paper's Fig. 13 claim).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,227 @@
+"""repro — a reproduction of "MPI Progress For All" (Zhou et al., 2024).
+
+A pure-Python MPI runtime whose progress engine is *explicit* and
+*interoperable*: applications drive progress per MPIX stream, register
+their own async tasks inside MPI progress, and query request completion
+without side effects — the paper's extension APIs, over a from-scratch
+messaging substrate (simulated NIC fabric, shmem transport, datatype
+engine, schedule-based collectives).
+
+Quickstart (single process, the paper's Listing 1.2/1.3 shape)::
+
+    import repro
+
+    proc = repro.init()
+    counter = [10]
+
+    def poll(thing):
+        state = thing.get_state()
+        if proc.wtime() >= state["finish"]:
+            counter[0] -= 1
+            return repro.ASYNC_DONE
+        return repro.ASYNC_NOPROGRESS
+
+    for _ in range(10):
+        proc.async_start(poll, {"finish": proc.wtime() + 0.001})
+    while counter[0] > 0:
+        proc.stream_progress(repro.STREAM_NULL)
+    proc.finalize()
+
+Multi-rank (thread-per-rank over the simulated fabric)::
+
+    import numpy as np
+    import repro
+
+    def main(proc):
+        comm = proc.comm_world
+        buf = np.array([comm.rank], dtype="i4")
+        out = np.zeros(1, dtype="i4")
+        comm.allreduce(buf, out, 1, repro.INT)
+        return int(out[0])
+
+    assert repro.run_world(4, main) == [6, 6, 6, 6]
+"""
+
+from repro.config import DEFAULT_CONFIG, RuntimeConfig
+from repro.core.async_ext import (
+    ASYNC_DONE,
+    ASYNC_NOPROGRESS,
+    ASYNC_PENDING,
+    AsyncThing,
+    async_get_state,
+)
+from repro.core.comm import IN_PLACE, Comm
+from repro.core.greq import GeneralizedRequest, grequest_complete, grequest_start
+from repro.core.introspect import ProgressSnapshot, snapshot as progress_snapshot
+from repro.core.persist import PersistentRequest
+from repro.core.mpi import (
+    THREAD_FUNNELED,
+    THREAD_MULTIPLE,
+    THREAD_SERIALIZED,
+    THREAD_SINGLE,
+    Proc,
+)
+from repro.core.progress import ProgressState
+from repro.core.request import Request, Status, request_is_complete
+from repro.core.stream import STREAM_NULL, MpixStream
+from repro.datatype import (
+    BAND,
+    BOR,
+    BXOR,
+    BYTE,
+    CHAR,
+    DOUBLE,
+    FLOAT,
+    INT,
+    INT8,
+    INT16,
+    INT32,
+    INT64,
+    LAND,
+    LONG,
+    LOR,
+    MAX,
+    MIN,
+    PROD,
+    SHORT,
+    SUM,
+    UINT32,
+    UINT64,
+    Datatype,
+    Op,
+    contiguous,
+    hvector,
+    indexed,
+    indexed_block,
+    struct_type,
+    subarray,
+    user_op,
+    vector,
+)
+from repro.errors import (
+    AlreadyFinalizedError,
+    InvalidArgumentError,
+    MpiError,
+    NotInitializedError,
+    PendingOperationsError,
+    ProgressReentryError,
+    TruncationError,
+)
+from repro.p2p.matching import ANY_SOURCE, ANY_TAG
+from repro.io import File, StorageDevice
+from repro.rma import Win, win_create
+from repro.topo import PROC_NULL, CartComm, cart_create, dims_create
+from repro.runtime import World, run_world
+from repro.util.clock import MonotonicClock, VirtualClock
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # lifecycle
+    "init",
+    "Proc",
+    "World",
+    "run_world",
+    "RuntimeConfig",
+    "DEFAULT_CONFIG",
+    # streams & progress (the paper's APIs)
+    "MpixStream",
+    "STREAM_NULL",
+    "ProgressState",
+    "AsyncThing",
+    "async_get_state",
+    "ASYNC_DONE",
+    "ASYNC_PENDING",
+    "ASYNC_NOPROGRESS",
+    "request_is_complete",
+    # requests
+    "Request",
+    "Status",
+    "GeneralizedRequest",
+    "grequest_start",
+    "grequest_complete",
+    "PersistentRequest",
+    # introspection
+    "ProgressSnapshot",
+    "progress_snapshot",
+    # one-sided
+    "Win",
+    "win_create",
+    # mini MPI-IO
+    "File",
+    "StorageDevice",
+    # topologies
+    "PROC_NULL",
+    "CartComm",
+    "cart_create",
+    "dims_create",
+    # communication
+    "Comm",
+    "IN_PLACE",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    # datatypes & ops
+    "Datatype",
+    "contiguous",
+    "vector",
+    "hvector",
+    "indexed",
+    "indexed_block",
+    "subarray",
+    "struct_type",
+    "BYTE",
+    "CHAR",
+    "SHORT",
+    "INT",
+    "LONG",
+    "FLOAT",
+    "DOUBLE",
+    "INT8",
+    "INT16",
+    "INT32",
+    "INT64",
+    "UINT32",
+    "UINT64",
+    "Op",
+    "SUM",
+    "PROD",
+    "MIN",
+    "MAX",
+    "LAND",
+    "LOR",
+    "BAND",
+    "BOR",
+    "BXOR",
+    "user_op",
+    # clocks
+    "MonotonicClock",
+    "VirtualClock",
+    # errors
+    "MpiError",
+    "InvalidArgumentError",
+    "TruncationError",
+    "ProgressReentryError",
+    "PendingOperationsError",
+    "NotInitializedError",
+    "AlreadyFinalizedError",
+    "THREAD_SINGLE",
+    "THREAD_FUNNELED",
+    "THREAD_SERIALIZED",
+    "THREAD_MULTIPLE",
+    "__version__",
+]
+
+
+def init(
+    *,
+    config: RuntimeConfig | None = None,
+    clock=None,
+    trace: bool = False,
+) -> Proc:
+    """Create a standalone single-rank process context.
+
+    This is the entry point for the paper's single-process examples and
+    microbenchmarks (Figures 7–12).  Multi-rank programs use
+    :func:`run_world` (or construct a :class:`World` directly).
+    """
+    return World(1, config=config, clock=clock, trace=trace).proc(0)

@@ -1,0 +1,38 @@
+"""Benchmark harness: workload generators, series runners, reporting.
+
+Each figure of the paper's evaluation has a ``measure_*`` entry point
+here, consumed by the pytest-benchmark modules in ``benchmarks/``.
+All latency numbers are *progress latency* — the elapsed time between a
+task's completion instant and the moment a progress pass observes it —
+matching the paper's metric (section 4).
+"""
+
+from repro.bench.harness import (
+    measure_allreduce_latency,
+    measure_lock_isolation,
+    measure_message_modes,
+    measure_overlap_remedies,
+    measure_pending_tasks_latency,
+    measure_poll_overhead_latency,
+    measure_request_query_overhead,
+    measure_stream_scaling_latency,
+    measure_task_class_latency,
+    measure_thread_contention_latency,
+)
+from repro.bench.reporting import print_figure
+from repro.bench.workloads import DummyTaskBatch
+
+__all__ = [
+    "DummyTaskBatch",
+    "measure_pending_tasks_latency",
+    "measure_poll_overhead_latency",
+    "measure_thread_contention_latency",
+    "measure_task_class_latency",
+    "measure_stream_scaling_latency",
+    "measure_lock_isolation",
+    "measure_request_query_overhead",
+    "measure_allreduce_latency",
+    "measure_message_modes",
+    "measure_overlap_remedies",
+    "print_figure",
+]

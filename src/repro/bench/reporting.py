@@ -1,0 +1,53 @@
+"""Benchmark reporting: figure-style text output.
+
+``print_figure`` renders the same rows/series a figure in the paper
+plots, plus the paper's qualitative expectation, so a bench run reads
+as a side-by-side reproduction record.
+"""
+
+from __future__ import annotations
+
+from repro.util.stats import Series, format_series_table
+
+__all__ = ["print_figure", "print_rows"]
+
+
+def print_figure(
+    title: str,
+    series: list[Series],
+    *,
+    expectation: str = "",
+    use_median: bool = True,
+) -> str:
+    """Render and print one figure's data; returns the rendered text."""
+    lines = [f"== {title} =="]
+    if expectation:
+        lines.append(f"paper expectation: {expectation}")
+    lines.append(format_series_table(series, use_median=use_median))
+    text = "\n".join(lines)
+    print("\n" + text)
+    return text
+
+
+def print_rows(title: str, rows: list[dict], *, expectation: str = "") -> str:
+    """Render a list of homogeneous dict rows as an aligned table."""
+    lines = [f"== {title} =="]
+    if expectation:
+        lines.append(f"paper expectation: {expectation}")
+    if rows:
+        keys = list(rows[0].keys())
+        table = [keys] + [
+            [
+                f"{row[k]:.3f}" if isinstance(row[k], float) else str(row[k])
+                for k in keys
+            ]
+            for row in rows
+        ]
+        widths = [max(len(r[c]) for r in table) for c in range(len(keys))]
+        for i, row in enumerate(table):
+            lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+            if i == 0:
+                lines.append("  ".join("-" * w for w in widths))
+    text = "\n".join(lines)
+    print("\n" + text)
+    return text

@@ -1,0 +1,99 @@
+"""Workload generators for the progress-latency benchmarks.
+
+The central workload is the paper's *dummy task* (Listing 1.2): an
+async task that "completes" once the clock passes a predetermined
+finish time, standing in for offloaded work.  The latency between that
+finish time and the poll that observes it is the progress latency.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from repro.core.async_ext import ASYNC_DONE, ASYNC_NOPROGRESS
+from repro.core.mpi import Proc
+from repro.core.stream import STREAM_NULL, MpixStream, StreamNullType
+from repro.util.clock import busy_wait_until
+from repro.util.stats import LatencyRecorder
+
+__all__ = ["DummyTaskBatch"]
+
+
+class DummyTaskBatch:
+    """A batch of dummy timer tasks whose completion latency is recorded.
+
+    Parameters
+    ----------
+    proc:
+        Owning process context.
+    num_tasks:
+        Tasks to register.
+    base_delay / window:
+        Finish times are drawn uniformly from
+        ``now + base_delay + U[0, window)`` so tasks mature at distinct
+        instants (the paper staggers tasks the same way — see the
+        ``rand()`` term in Listing 1.5).
+    poll_delay:
+        Busy-wait injected into every poll of a still-pending task,
+        modelling expensive poll functions (Fig. 8).
+    stream:
+        Stream the tasks attach to.
+    seed:
+        RNG seed for reproducible staggering.
+    """
+
+    def __init__(
+        self,
+        proc: Proc,
+        num_tasks: int,
+        *,
+        base_delay: float = 200e-6,
+        window: float = 200e-6,
+        poll_delay: float = 0.0,
+        stream: MpixStream | StreamNullType = STREAM_NULL,
+        seed: int = 0,
+        recorder: LatencyRecorder | None = None,
+    ) -> None:
+        self.proc = proc
+        self.stream = stream
+        self.poll_delay = poll_delay
+        self.recorder = recorder if recorder is not None else LatencyRecorder()
+        self.remaining = num_tasks
+        rng = random.Random(seed)
+        now = proc.wtime()
+        self._finish_times = [
+            now + base_delay + rng.random() * window for _ in range(num_tasks)
+        ]
+
+    # ------------------------------------------------------------------
+    def start(self) -> "DummyTaskBatch":
+        """Register every task (Listing 1.3's add_async loop)."""
+        for finish in self._finish_times:
+            self.proc.async_start(self._make_poll(finish), None, self.stream)
+        return self
+
+    def _make_poll(self, finish: float) -> Callable:
+        def dummy_poll(thing) -> int:
+            now = self.proc.wtime()
+            if now >= finish:
+                self.recorder.add(now - finish)
+                self.remaining -= 1
+                return ASYNC_DONE
+            if self.poll_delay > 0.0:
+                busy_wait_until(self.proc.clock, now + self.poll_delay)
+            return ASYNC_NOPROGRESS
+
+        return dummy_poll
+
+    # ------------------------------------------------------------------
+    def drive(self) -> LatencyRecorder:
+        """Spin stream progress until every task completed
+        (Listing 1.3's wait loop); returns the latency recorder."""
+        while self.remaining > 0:
+            self.proc.stream_progress(self.stream)
+        return self.recorder
+
+    @property
+    def done(self) -> bool:
+        return self.remaining <= 0

@@ -1,0 +1,12 @@
+"""Native collectives, implemented as progressed schedules.
+
+A collective algorithm is "a collection of communication patterns tied
+together by a progression schedule" (paper, section 1).  Here each
+algorithm builds a :class:`~repro.coll.sched.Sched` — a DAG of
+send/recv/local-work vertices — which the collective-schedule progress
+subsystem (`Collective_sched_progress` in Listing 1.1) advances.
+"""
+
+from repro.coll.sched import CollSchedEngine, Sched
+
+__all__ = ["Sched", "CollSchedEngine"]

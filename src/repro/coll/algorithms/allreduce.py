@@ -1,0 +1,90 @@
+"""Recursive-doubling allreduce (Ruefenacht et al. [9], MPICH default
+for short messages) — the algorithm the paper's user-level example
+(Listing 1.8) reimplements, so the native and user-level versions in
+the Fig. 13 benchmark run the *same* pattern.
+
+Supports any communicator size via the standard remainder folding:
+with ``rem = size - pof2`` extra ranks, ranks ``< 2*rem`` pair up
+(even ranks fold into their odd neighbor and sit out the doubling),
+then results are unfolded at the end.
+"""
+
+from __future__ import annotations
+
+from repro.coll.algorithms.util import largest_pof2_below, reduce_fn
+from repro.coll.sched import Sched
+from repro.datatype.ops import Op
+from repro.datatype.types import Datatype
+
+__all__ = ["build_allreduce_recursive_doubling"]
+
+
+def build_allreduce_recursive_doubling(
+    sched: Sched,
+    rank: int,
+    size: int,
+    recvbuf,
+    tmpbuf,
+    count: int,
+    datatype: Datatype,
+    op: Op,
+) -> None:
+    """Populate ``sched`` with the recursive-doubling pattern.
+
+    ``recvbuf`` must already hold this rank's contribution (the comm
+    layer copies ``sendbuf`` in, honoring MPI_IN_PLACE).  ``tmpbuf`` is
+    a scratch buffer of at least ``count * datatype.size`` bytes.
+    """
+    if size == 1:
+        return
+
+    pof2 = largest_pof2_below(size)
+    rem = size - pof2
+    last: int | None = None
+
+    # ---- fold the remainder ranks -----------------------------------
+    if rank < 2 * rem:
+        if rank % 2 == 0:
+            # Fold out: contribute to rank+1, then idle until unfold.
+            send = sched.add_send(rank + 1, recvbuf, count, datatype)
+            sched.add_recv(rank + 1, recvbuf, count, datatype, deps=[send])
+            return
+        # Odd rank absorbs the even neighbor (lower rank => in_first).
+        recv = sched.add_recv(rank - 1, tmpbuf, count, datatype)
+        last = sched.add_local(
+            reduce_fn(op, tmpbuf, recvbuf, count, datatype, in_first=True),
+            deps=[recv],
+            label="fold-reduce",
+        )
+        newrank = rank // 2
+    elif rank < 2 * rem:  # pragma: no cover - unreachable guard
+        raise AssertionError
+    else:
+        newrank = rank - rem
+
+    # ---- recursive doubling among the pof2 survivors ----------------
+    mask = 1
+    while mask < pof2:
+        peer_new = newrank ^ mask
+        peer = peer_new * 2 + 1 if peer_new < rem else peer_new + rem
+        deps = [last] if last is not None else []
+        send = sched.add_send(peer, recvbuf, count, datatype, deps=deps)
+        recv = sched.add_recv(peer, tmpbuf, count, datatype, deps=deps)
+        last = sched.add_local(
+            reduce_fn(
+                op, tmpbuf, recvbuf, count, datatype, in_first=(peer < rank)
+            ),
+            deps=[send, recv],
+            label=f"rd-reduce-{mask}",
+        )
+        mask <<= 1
+
+    # ---- unfold: odd survivors push the result back ------------------
+    if rank < 2 * rem:
+        sched.add_send(
+            rank - 1,
+            recvbuf,
+            count,
+            datatype,
+            deps=[last] if last is not None else [],
+        )

@@ -1,0 +1,55 @@
+"""Pairwise-exchange alltoall."""
+
+from __future__ import annotations
+
+from repro.coll.algorithms.util import block_view, copy_fn, largest_pof2_below
+from repro.coll.sched import Sched
+from repro.datatype.types import BYTE, Datatype, as_readonly_view
+
+__all__ = ["build_alltoall_pairwise"]
+
+
+def build_alltoall_pairwise(
+    sched: Sched,
+    rank: int,
+    size: int,
+    sendbuf,
+    recvbuf,
+    count: int,
+    datatype: Datatype,
+) -> None:
+    """Pairwise exchange: ``size - 1`` steps; at step k exchange with
+    ``rank XOR k`` (power-of-two sizes) or send to ``rank + k`` while
+    receiving from ``rank - k`` (general sizes).  Every step touches
+    disjoint buffers, so all steps are posted concurrently.
+
+    ``sendbuf``/``recvbuf`` each hold ``size`` blocks of ``count``
+    elements; the local block is copied directly.
+    """
+    block_bytes = count * datatype.size
+    # Local block: plain copy.
+    src_view = as_readonly_view(sendbuf)
+    local = bytes(src_view[rank * block_bytes : (rank + 1) * block_bytes])
+    sched.add_local(
+        copy_fn(local, block_view(recvbuf, rank, block_bytes), block_bytes),
+        label="self-copy",
+    )
+    if size == 1:
+        return
+    is_pof2 = largest_pof2_below(size) == size
+    for step in range(1, size):
+        if is_pof2:
+            send_to = recv_from = rank ^ step
+        else:
+            send_to = (rank + step) % size
+            recv_from = (rank - step + size) % size
+        send_block = bytes(
+            src_view[send_to * block_bytes : (send_to + 1) * block_bytes]
+        )
+        sched.add_send(send_to, send_block, block_bytes, BYTE)
+        sched.add_recv(
+            recv_from,
+            block_view(recvbuf, recv_from, block_bytes),
+            block_bytes,
+            BYTE,
+        )

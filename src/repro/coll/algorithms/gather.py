@@ -1,0 +1,75 @@
+"""Linear gather and scatter.
+
+Linear (direct root <-> peer) algorithms: every non-root exchanges
+directly with the root.  MPICH also ships linear variants; tree-based
+versions are an acknowledged optimization, not a semantic difference,
+and our benchmarks only lean on gather/scatter as substrates.
+"""
+
+from __future__ import annotations
+
+from repro.coll.algorithms.util import block_view, copy_fn
+from repro.coll.sched import Sched
+from repro.datatype.types import BYTE, Datatype, as_readonly_view
+
+__all__ = ["build_gather_linear", "build_scatter_linear"]
+
+
+def build_gather_linear(
+    sched: Sched,
+    rank: int,
+    size: int,
+    root: int,
+    sendbuf,
+    recvbuf,
+    count: int,
+    datatype: Datatype,
+) -> None:
+    """Gather ``count`` elements from each rank into root's ``recvbuf``
+    (``size`` blocks, rank-indexed)."""
+    block_bytes = count * datatype.size
+    if rank == root:
+        sched.add_local(
+            copy_fn(sendbuf, block_view(recvbuf, root, block_bytes), block_bytes),
+            label="self-copy",
+        )
+        for peer in range(size):
+            if peer == root:
+                continue
+            sched.add_recv(
+                peer, block_view(recvbuf, peer, block_bytes), block_bytes, BYTE
+            )
+    else:
+        sched.add_send(root, sendbuf, count, datatype)
+
+
+def build_scatter_linear(
+    sched: Sched,
+    rank: int,
+    size: int,
+    root: int,
+    sendbuf,
+    recvbuf,
+    count: int,
+    datatype: Datatype,
+) -> None:
+    """Scatter root's ``sendbuf`` (``size`` rank-indexed blocks) so each
+    rank receives ``count`` elements into ``recvbuf``."""
+    block_bytes = count * datatype.size
+    if rank == root:
+        src_view = as_readonly_view(sendbuf)
+        sched.add_local(
+            copy_fn(
+                bytes(src_view[root * block_bytes : (root + 1) * block_bytes]),
+                recvbuf,
+                block_bytes,
+            ),
+            label="self-copy",
+        )
+        for peer in range(size):
+            if peer == root:
+                continue
+            block = bytes(src_view[peer * block_bytes : (peer + 1) * block_bytes])
+            sched.add_send(peer, block, block_bytes, BYTE)
+    else:
+        sched.add_recv(root, recvbuf, count, datatype)

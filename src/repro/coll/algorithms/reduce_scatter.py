@@ -1,0 +1,60 @@
+"""Reduce-scatter (block-regular): pairwise exchange.
+
+Each rank ends up owning the reduction of block ``rank`` across all
+ranks.  The pairwise algorithm runs ``size - 1`` steps: at step k the
+rank sends block ``(rank + k) % size`` of its *own* contribution to
+rank ``(rank + k) % size`` and receives that peer's contribution to its
+own block, folding it into the accumulator.
+
+Requires a commutative operation (the fold order is arrival order);
+the communicator layer falls back to reduce+scatter for non-commutative
+operations.
+"""
+
+from __future__ import annotations
+
+from repro.coll.algorithms.util import reduce_fn
+from repro.coll.sched import Sched
+from repro.datatype.ops import Op
+from repro.datatype.types import BYTE, Datatype, as_readonly_view
+
+__all__ = ["build_reduce_scatter_pairwise"]
+
+
+def build_reduce_scatter_pairwise(
+    sched: Sched,
+    rank: int,
+    size: int,
+    sendbuf,
+    accbuf,
+    tmpbufs: list[bytearray],
+    count: int,
+    datatype: Datatype,
+    op: Op,
+) -> None:
+    """Populate ``sched``; ``accbuf`` must already hold this rank's own
+    block (``sendbuf[rank*count : (rank+1)*count]``).
+
+    ``tmpbufs`` provides ``size - 1`` scratch blocks (one per incoming
+    contribution, so all steps can fly concurrently).
+    """
+    if not op.commutative:
+        raise ValueError("pairwise reduce-scatter requires a commutative op")
+    if size == 1:
+        return
+    block_bytes = count * datatype.size
+    src_view = as_readonly_view(sendbuf)
+    last_reduce: int | None = None
+    for step in range(1, size):
+        to = (rank + step) % size
+        frm = (rank - step + size) % size
+        block = bytes(src_view[to * block_bytes : (to + 1) * block_bytes])
+        sched.add_send(to, block, block_bytes, BYTE)
+        tmp = tmpbufs[step - 1]
+        recv = sched.add_recv(frm, tmp, block_bytes, BYTE)
+        deps = [recv] if last_reduce is None else [recv, last_reduce]
+        last_reduce = sched.add_local(
+            reduce_fn(op, tmp, accbuf, count, datatype, in_first=True),
+            deps=deps,
+            label=f"rs-reduce-{step}",
+        )

@@ -1,0 +1,86 @@
+"""Inclusive and exclusive prefix reductions (MPI_Scan / MPI_Exscan).
+
+Chain algorithm: rank r receives the prefix over ranks ``0..r-1`` from
+rank ``r-1``, folds in (scan) or stores (exscan) and forwards its own
+inclusive prefix to rank ``r+1``.  O(p) latency but exactly
+rank-ordered, so it is correct for non-commutative operations too.
+"""
+
+from __future__ import annotations
+
+from repro.coll.algorithms.util import copy_fn, reduce_fn
+from repro.coll.sched import Sched
+from repro.datatype.ops import Op
+from repro.datatype.types import Datatype
+
+__all__ = ["build_scan_chain", "build_exscan_chain"]
+
+
+def build_scan_chain(
+    sched: Sched,
+    rank: int,
+    size: int,
+    recvbuf,
+    tmpbuf,
+    count: int,
+    datatype: Datatype,
+    op: Op,
+) -> None:
+    """Inclusive scan: ``recvbuf`` starts as the local contribution and
+    ends as ``b_0 (op) ... (op) b_rank``."""
+    if size == 1:
+        return
+    deps: list[int] = []
+    if rank > 0:
+        recv = sched.add_recv(rank - 1, tmpbuf, count, datatype)
+        # prefix(0..r-1) comes from the lower ranks => it is the first
+        # operand: recvbuf = tmp (op) recvbuf.
+        fold = sched.add_local(
+            reduce_fn(op, tmpbuf, recvbuf, count, datatype, in_first=True),
+            deps=[recv],
+            label="scan-fold",
+        )
+        deps = [fold]
+    if rank < size - 1:
+        sched.add_send(rank + 1, recvbuf, count, datatype, deps=deps)
+
+
+def build_exscan_chain(
+    sched: Sched,
+    rank: int,
+    size: int,
+    recvbuf,
+    own_contrib: bytes,
+    tmpbuf,
+    count: int,
+    datatype: Datatype,
+    op: Op,
+) -> None:
+    """Exclusive scan: rank r's ``recvbuf`` ends as
+    ``b_0 (op) ... (op) b_{r-1}`` (undefined on rank 0, left untouched).
+
+    ``own_contrib`` is a snapshot of this rank's input (the forwarded
+    inclusive prefix needs it even though recvbuf holds the exclusive
+    result).
+    """
+    if size == 1:
+        return
+    nbytes = count * datatype.size
+    if rank == 0:
+        # Forward just the local contribution.
+        sched.add_send(1, own_contrib, count, datatype)
+        return
+    recv = sched.add_recv(rank - 1, tmpbuf, count, datatype)
+    # The exclusive result IS the incoming prefix.
+    store = sched.add_local(
+        copy_fn(tmpbuf, recvbuf, nbytes), deps=[recv], label="exscan-store"
+    )
+    if rank < size - 1:
+        # Forward the inclusive prefix: prefix (op) own.
+        inclusive = bytearray(own_contrib)
+        fold = sched.add_local(
+            reduce_fn(op, tmpbuf, inclusive, count, datatype, in_first=True),
+            deps=[recv],
+            label="exscan-fold",
+        )
+        sched.add_send(rank + 1, inclusive, count, datatype, deps=[fold, store])

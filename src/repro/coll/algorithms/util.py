@@ -1,0 +1,67 @@
+"""Shared helpers for collective algorithm builders."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.datatype.ops import Op
+from repro.datatype.types import Datatype, as_readonly_view, as_writable_view
+
+__all__ = ["block_view", "copy_fn", "reduce_fn", "largest_pof2_below"]
+
+
+def block_view(buf, index: int, block_bytes: int) -> memoryview:
+    """Writable view of block ``index`` of a contiguous buffer."""
+    view = as_writable_view(buf)
+    return view[index * block_bytes : (index + 1) * block_bytes]
+
+
+def copy_fn(src, dst, nbytes: int) -> Callable[[], None]:
+    """Deferred ``dst[:n] = src[:n]`` for a local vertex."""
+
+    def run() -> None:
+        if nbytes:
+            as_writable_view(dst)[:nbytes] = as_readonly_view(src)[:nbytes]
+
+    return run
+
+
+def reduce_fn(
+    op: Op,
+    inbuf,
+    inoutbuf,
+    count: int,
+    datatype: Datatype,
+    *,
+    in_first: bool = True,
+) -> Callable[[], None]:
+    """Deferred rank-ordered local reduction for a local vertex.
+
+    ``in_first=True`` computes ``inout = in (op) inout`` (the incoming
+    data is the earlier-ranked operand).  ``in_first=False`` computes
+    ``inout = inout (op) in`` by staging through a temporary, which is
+    what non-commutative operations need when the incoming data comes
+    from a higher rank.
+    """
+    if op.commutative or in_first:
+
+        def run() -> None:
+            op.apply(inbuf, inoutbuf, count, datatype)
+
+    else:
+
+        def run() -> None:
+            tmp = bytearray(as_readonly_view(inbuf)[: count * datatype.size])
+            # tmp := inout (op) in, then inout := tmp
+            op.apply(inoutbuf, tmp, count, datatype)
+            as_writable_view(inoutbuf)[: count * datatype.size] = tmp
+
+    return run
+
+
+def largest_pof2_below(n: int) -> int:
+    """Largest power of two <= n (n >= 1)."""
+    p = 1
+    while p * 2 <= n:
+        p *= 2
+    return p

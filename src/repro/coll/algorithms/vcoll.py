@@ -1,0 +1,185 @@
+"""Vector (v-) collectives: per-rank counts and displacements.
+
+* ``allgatherv`` — ring with varying block sizes (also the backbone of
+  the van-de-Geijn long-message broadcast);
+* ``gatherv`` / ``scatterv`` — linear root exchanges;
+* ``alltoallv`` — pairwise exchange.
+
+Counts and displacements are in elements of ``datatype``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.coll.algorithms.util import copy_fn
+from repro.coll.sched import Sched
+from repro.datatype.types import BYTE, Datatype, as_readonly_view, as_writable_view
+
+__all__ = [
+    "build_allgatherv_ring",
+    "build_gatherv_linear",
+    "build_scatterv_linear",
+    "build_alltoallv_pairwise",
+]
+
+
+def _view(buf, datatype: Datatype, disp: int, count: int) -> memoryview:
+    esize = datatype.size
+    return as_writable_view(buf)[disp * esize : (disp + count) * esize]
+
+
+def build_allgatherv_ring(
+    sched: Sched,
+    rank: int,
+    size: int,
+    recvbuf,
+    counts: Sequence[int],
+    displs: Sequence[int],
+    datatype: Datatype,
+    *,
+    initial_deps: Sequence[int] = (),
+) -> None:
+    """Ring allgather over variable-size blocks.
+
+    Block ``rank`` of ``recvbuf`` must already hold the local
+    contribution (possibly only after the vertices in ``initial_deps``
+    complete — the van-de-Geijn bcast passes its scatter receive here).
+    """
+    if size == 1:
+        return
+    esize = datatype.size
+    right = (rank + 1) % size
+    left = (rank - 1 + size) % size
+    prev: list[int] = list(initial_deps)
+    for step in range(size - 1):
+        send_block = (rank - step + size) % size
+        recv_block = (rank - step - 1 + size) % size
+        send = sched.add_send(
+            right,
+            _view(recvbuf, datatype, displs[send_block], counts[send_block]),
+            counts[send_block] * esize,
+            BYTE,
+            deps=prev,
+        )
+        recv = sched.add_recv(
+            left,
+            _view(recvbuf, datatype, displs[recv_block], counts[recv_block]),
+            counts[recv_block] * esize,
+            BYTE,
+            deps=prev,
+        )
+        prev = [recv]
+
+
+def build_gatherv_linear(
+    sched: Sched,
+    rank: int,
+    size: int,
+    root: int,
+    sendbuf,
+    sendcount: int,
+    recvbuf,
+    counts: Sequence[int],
+    displs: Sequence[int],
+    datatype: Datatype,
+) -> None:
+    """Gather ``sendcount`` elements from each rank into root's
+    rank-indexed (counts/displs) blocks."""
+    esize = datatype.size
+    if rank != root:
+        sched.add_send(root, sendbuf, sendcount, datatype)
+        return
+    sched.add_local(
+        copy_fn(
+            sendbuf,
+            _view(recvbuf, datatype, displs[root], counts[root]),
+            counts[root] * esize,
+        ),
+        label="self-copy",
+    )
+    for peer in range(size):
+        if peer == root:
+            continue
+        sched.add_recv(
+            peer,
+            _view(recvbuf, datatype, displs[peer], counts[peer]),
+            counts[peer] * esize,
+            BYTE,
+        )
+
+
+def build_scatterv_linear(
+    sched: Sched,
+    rank: int,
+    size: int,
+    root: int,
+    sendbuf,
+    counts: Sequence[int],
+    displs: Sequence[int],
+    recvbuf,
+    recvcount: int,
+    datatype: Datatype,
+) -> None:
+    """Scatter root's blocks (counts/displs) to each rank's ``recvbuf``."""
+    esize = datatype.size
+    if rank != root:
+        sched.add_recv(root, recvbuf, recvcount, datatype)
+        return
+    src = as_readonly_view(sendbuf)
+    sched.add_local(
+        copy_fn(
+            bytes(src[displs[root] * esize : (displs[root] + counts[root]) * esize]),
+            recvbuf,
+            counts[root] * esize,
+        ),
+        label="self-copy",
+    )
+    for peer in range(size):
+        if peer == root:
+            continue
+        block = bytes(
+            src[displs[peer] * esize : (displs[peer] + counts[peer]) * esize]
+        )
+        sched.add_send(peer, block, counts[peer] * esize, BYTE)
+
+
+def build_alltoallv_pairwise(
+    sched: Sched,
+    rank: int,
+    size: int,
+    sendbuf,
+    sendcounts: Sequence[int],
+    sdispls: Sequence[int],
+    recvbuf,
+    recvcounts: Sequence[int],
+    rdispls: Sequence[int],
+    datatype: Datatype,
+) -> None:
+    """Pairwise variable alltoall; every step touches disjoint buffers
+    so all steps are posted concurrently."""
+    esize = datatype.size
+    src = as_readonly_view(sendbuf)
+
+    def send_block(peer: int) -> bytes:
+        lo = sdispls[peer] * esize
+        return bytes(src[lo : lo + sendcounts[peer] * esize])
+
+    sched.add_local(
+        copy_fn(
+            send_block(rank),
+            _view(recvbuf, datatype, rdispls[rank], recvcounts[rank]),
+            recvcounts[rank] * esize,
+        ),
+        label="self-copy",
+    )
+    for step in range(1, size):
+        to = (rank + step) % size
+        frm = (rank - step + size) % size
+        sched.add_send(to, send_block(to), sendcounts[to] * esize, BYTE)
+        sched.add_recv(
+            frm,
+            _view(recvbuf, datatype, rdispls[frm], recvcounts[frm]),
+            recvcounts[frm] * esize,
+            BYTE,
+        )

@@ -1,0 +1,304 @@
+"""Collective schedules: DAGs of communication/computation vertices.
+
+A :class:`Sched` is built once per collective call (by the algorithm
+modules in :mod:`repro.coll.algorithms`), then advanced by the
+collective-schedule progress subsystem.  Vertices issue their work when
+every dependency is done:
+
+* ``send`` / ``recv`` vertices post p2p operations and are done when
+  the underlying request completes — checked with the side-effect-free
+  ``Request.is_complete`` (the schedule never recursively invokes
+  progress, honoring the section 3.4 rule);
+* ``local`` vertices run a Python callable (copy, reduce_local, ...)
+  and are done immediately.
+
+The schedule's own :class:`~repro.core.request.Request` completes when
+the last vertex does.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.core.request import Request
+from repro.datatype.types import Datatype
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.p2p.protocol import P2PEngine
+
+__all__ = ["Sched", "CollSchedEngine"]
+
+_WAITING = 0
+_ISSUED = 1
+_DONE = 2
+
+
+class _Vertex:
+    __slots__ = ("index", "kind", "spec", "state", "deps", "succs", "req")
+
+    def __init__(self, index: int, kind: str, spec: dict[str, Any]) -> None:
+        self.index = index
+        self.kind = kind  # 'send' | 'recv' | 'local'
+        self.spec = spec
+        self.state = _WAITING
+        self.deps: set[int] = set()
+        self.succs: list[int] = []
+        self.req: Request | None = None
+
+
+class Sched:
+    """One in-flight collective schedule.
+
+    Parameters
+    ----------
+    p2p:
+        The owning rank's p2p engine (vertices post through it).
+    vci:
+        VCI/stream the collective runs on.
+    context_id:
+        The communicator's *collective* context id (distinct from its
+        point-to-point context so user traffic can never match).
+    tag:
+        Per-collective sequence tag; identical on all ranks because MPI
+        requires collectives to be called in the same order everywhere.
+    rank_map:
+        Comm-rank -> world-rank translation (algorithms speak comm
+        ranks; the p2p engine speaks world ranks).  Identity when None.
+    vci_map:
+        Comm-rank -> destination VCI (stream communicators exchange
+        these at creation).  All zeros when None.
+    """
+
+    _ids = itertools.count(1)
+
+    def __init__(
+        self,
+        p2p: "P2PEngine",
+        vci: int,
+        context_id: int,
+        tag: int,
+        rank_map: list[int] | None = None,
+        vci_map: list[int] | None = None,
+    ) -> None:
+        self.sched_id = next(Sched._ids)
+        self.p2p = p2p
+        self.vci = vci
+        self.context_id = context_id
+        self.tag = tag
+        self.rank_map = rank_map
+        self.vci_map = vci_map
+        self.vertices: list[_Vertex] = []
+        self.request = Request("coll")
+        self._remaining = 0
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Build phase.
+    # ------------------------------------------------------------------
+    def _add(self, kind: str, spec: dict[str, Any], deps) -> int:
+        v = _Vertex(len(self.vertices), kind, spec)
+        for d in deps or ():
+            v.deps.add(d)
+            self.vertices[d].succs.append(v.index)
+        self.vertices.append(v)
+        self._remaining += 1
+        return v.index
+
+    def add_send(
+        self,
+        peer: int,
+        buf,
+        count: int,
+        datatype: Datatype,
+        *,
+        deps=(),
+    ) -> int:
+        """Add a send-to-``peer`` vertex; returns its id for dependencies."""
+        return self._add(
+            "send",
+            {"peer": peer, "buf": buf, "count": count, "datatype": datatype},
+            deps,
+        )
+
+    def add_recv(
+        self,
+        peer: int,
+        buf,
+        count: int,
+        datatype: Datatype,
+        *,
+        deps=(),
+    ) -> int:
+        """Add a receive-from-``peer`` vertex."""
+        return self._add(
+            "recv",
+            {"peer": peer, "buf": buf, "count": count, "datatype": datatype},
+            deps,
+        )
+
+    def add_local(self, fn: Callable[[], None], *, deps=(), label: str = "local") -> int:
+        """Add a local-work vertex (copy, reduce_local, ...)."""
+        return self._add("local", {"fn": fn, "label": label}, deps)
+
+    def add_barrier_on(self, deps) -> int:
+        """A no-op vertex gating on all of ``deps`` (fan-in point)."""
+        return self.add_local(lambda: None, deps=deps, label="barrier")
+
+    # ------------------------------------------------------------------
+    # Execution phase.
+    # ------------------------------------------------------------------
+    def start(self) -> Request:
+        """Issue all dependency-free vertices; returns the sched request."""
+        self._started = True
+        if not self.vertices:
+            self.request.complete()
+            return self.request
+        for v in self.vertices:
+            # A vertex may already have been issued (or even completed)
+            # by the instant-completion cascade of an earlier vertex in
+            # this same loop — only issue the still-waiting ones.
+            if not v.deps and v.state == _WAITING:
+                self._issue(v)
+        self._harvest()
+        return self.request
+
+    def _issue(self, v: _Vertex) -> None:
+        assert v.state == _WAITING, f"vertex {v.index} issued twice"
+        spec = v.spec
+        if v.kind == "send":
+            peer = spec["peer"]
+            world_peer = self.rank_map[peer] if self.rank_map else peer
+            dst_vci = self.vci_map[peer] if self.vci_map else self.vci
+            v.req = self.p2p.isend(
+                self.vci,
+                world_peer,
+                dst_vci,
+                spec["buf"],
+                spec["count"],
+                spec["datatype"],
+                self.tag,
+                self.context_id,
+            )
+        elif v.kind == "recv":
+            peer = spec["peer"]
+            world_peer = self.rank_map[peer] if self.rank_map else peer
+            v.req = self.p2p.irecv(
+                self.vci,
+                spec["buf"],
+                spec["count"],
+                spec["datatype"],
+                world_peer,
+                self.tag,
+                self.context_id,
+            )
+        else:  # local
+            spec["fn"]()
+            self._mark_done(v)
+            return
+        v.state = _ISSUED
+        if v.req.is_complete():
+            self._mark_done(v)
+
+    def _mark_done(self, v: _Vertex) -> None:
+        if v.state == _DONE:
+            return
+        v.state = _DONE
+        self._remaining -= 1
+        for si in v.succs:
+            succ = self.vertices[si]
+            succ.deps.discard(v.index)
+            if not succ.deps and succ.state == _WAITING:
+                self._issue(succ)
+
+    def _harvest(self) -> bool:
+        """Poll issued vertices; returns True if any became done."""
+        made = False
+        # Scan repeatedly so a chain of instantly-complete vertices
+        # retires in a single pass.
+        progressed = True
+        while progressed:
+            progressed = False
+            for v in self.vertices:
+                if v.state == _ISSUED and v.req is not None and v.req.is_complete():
+                    self._mark_done(v)
+                    made = True
+                    progressed = True
+        if self._remaining == 0 and not self.request.is_complete():
+            self.request.complete()
+        return made
+
+    def progress(self) -> bool:
+        """One collated-progress step; True if the schedule advanced."""
+        if self.request.is_complete():
+            return False
+        return self._harvest()
+
+    @property
+    def done(self) -> bool:
+        return self.request.is_complete()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Sched(#{self.sched_id}, {len(self.vertices)} vertices, "
+            f"{self._remaining} remaining)"
+        )
+
+
+class CollSchedEngine:
+    """Progress subsystem owning active collective schedules, per VCI.
+
+    The idle fast path is one dict-size/int check, keeping the empty
+    poll near-free per section 2.6.
+    """
+
+    def __init__(self) -> None:
+        import threading
+
+        # Per-VCI schedule lists.  Each list is only mutated under its
+        # stream's lock; the dict itself is guarded for concurrent
+        # first-use from different streams.
+        self._active: dict[int, list[Sched]] = {}
+        self._dict_lock = threading.Lock()
+
+    def _list_for(self, vci: int) -> list[Sched]:
+        lst = self._active.get(vci)
+        if lst is None:
+            with self._dict_lock:
+                lst = self._active.setdefault(vci, [])
+        return lst
+
+    def submit(self, sched: Sched) -> Request:
+        """Start a schedule and track it until completion.
+
+        Caller must hold the owning stream's lock (the comm layer does).
+        """
+        req = sched.start()
+        if not sched.done:
+            self._list_for(sched.vci).append(sched)
+        return req
+
+    @property
+    def active_count(self) -> int:
+        return sum(len(lst) for lst in self._active.values())
+
+    def has_work(self, vci: int) -> bool:
+        return bool(self._active.get(vci))
+
+    def progress(self, vci: int) -> bool:
+        """Advance every schedule on ``vci``; True if any advanced.
+
+        Caller must hold the owning stream's lock.
+        """
+        scheds = self._active.get(vci)
+        if not scheds:
+            return False
+        made = False
+        still: list[Sched] = []
+        for sched in scheds:
+            if sched.progress():
+                made = True
+            if not sched.done:
+                still.append(sched)
+        self._active[vci] = still
+        return made

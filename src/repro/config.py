@@ -1,0 +1,188 @@
+"""Tunable runtime configuration.
+
+Every knob an MPICH user would reach for through a CVAR lives here as a
+plain dataclass field so tests and benchmarks can sweep them.  The cost
+model constants (``nic_alpha``/``nic_beta`` and friends) parameterize the
+simulated offload substrate described in DESIGN.md section 5: an
+operation on *n* bytes posted at time *t* completes at ``t + alpha +
+n * beta``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+__all__ = ["RuntimeConfig", "DEFAULT_CONFIG"]
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Immutable bundle of runtime tunables.
+
+    Use :meth:`updated` to derive a modified copy; instances are shared
+    between subsystems and must never be mutated in place.
+    """
+
+    # ------------------------------------------------------------------
+    # Point-to-point protocol thresholds (bytes).
+    # ------------------------------------------------------------------
+    #: Messages at or below this size are copied into an internal bounce
+    #: buffer and injected immediately ("lightweight send", Fig. 1a):
+    #: the send completes with zero wait blocks.
+    buffered_threshold: int = 64
+
+    #: Messages at or below this size (and above ``buffered_threshold``)
+    #: use eager mode (Fig. 1b): the NIC transmits straight from the user
+    #: buffer and the send carries one wait block.
+    eager_threshold: int = 8192
+
+    #: Messages above ``eager_threshold`` and at or below this size use
+    #: the rendezvous protocol (Fig. 1c): RTS/CTS handshake then data,
+    #: i.e. two wait blocks.  Larger messages switch to pipeline mode.
+    rendezvous_threshold: int = 262144
+
+    #: Chunk size for pipeline mode; each chunk is an independent NIC
+    #: operation, so a pipelined transfer has >= 2 wait blocks.
+    pipeline_chunk_size: int = 65536
+
+    #: Maximum chunks in flight for a single pipelined transfer.
+    pipeline_max_inflight: int = 4
+
+    # ------------------------------------------------------------------
+    # Simulated NIC (netmod) cost model.
+    # ------------------------------------------------------------------
+    #: Per-operation latency in seconds (the "alpha" of alpha + n*beta).
+    nic_alpha: float = 2.0e-6
+
+    #: Per-byte transfer cost in seconds (inverse bandwidth).
+    nic_beta: float = 1.0e-10
+
+    #: One-way wire delay before a packet becomes visible at the target.
+    nic_wire_delay: float = 1.0e-6
+
+    # ------------------------------------------------------------------
+    # Shared-memory (on-node) transport.
+    # ------------------------------------------------------------------
+    #: Payload capacity of one shmem cell (bytes).
+    shmem_cell_size: int = 16384
+
+    #: Number of cells per direction per rank pair.
+    shmem_num_cells: int = 4
+
+    #: Per-cell copy cost model (seconds + seconds/byte).
+    shmem_alpha: float = 2.0e-7
+    shmem_beta: float = 2.0e-11
+
+    #: Message sizes at or below this go through shmem eagerly in a
+    #: single cell; larger ones stream through multiple cells.
+    shmem_eager_threshold: int = 16384
+
+    # ------------------------------------------------------------------
+    # Simulated offload (GPU-like) copy engine.
+    # ------------------------------------------------------------------
+    offload_alpha: float = 5.0e-6
+    offload_beta: float = 5.0e-11
+
+    # ------------------------------------------------------------------
+    # Datatype engine.
+    # ------------------------------------------------------------------
+    #: Non-contiguous pack/unpack work is split into chunks of this many
+    #: bytes; each chunk is one unit of asynchronous progress.
+    datatype_chunk_size: int = 32768
+
+    # ------------------------------------------------------------------
+    # Collective algorithm selection.
+    # ------------------------------------------------------------------
+    #: Allreduce algorithm: 'auto' picks recursive doubling for short
+    #: messages / non-commutative ops and Rabenseifner
+    #: (reduce-scatter + allgather) for long commutative reductions.
+    allreduce_algorithm: str = "auto"
+
+    #: Message size (bytes) above which 'auto' allreduce switches to
+    #: Rabenseifner.
+    allreduce_long_threshold: int = 16384
+
+    #: Broadcast algorithm: 'auto' picks binomial for short messages and
+    #: van de Geijn (scatter + ring allgather) for long ones.
+    bcast_algorithm: str = "auto"
+
+    #: Message size (bytes) above which 'auto' bcast switches to
+    #: scatter-allgather.
+    bcast_long_threshold: int = 16384
+
+    # ------------------------------------------------------------------
+    # Progress engine.
+    # ------------------------------------------------------------------
+    #: Whether netmod progress is skipped when an earlier subsystem
+    #: already made progress (the Listing 1.1 short-circuit).  Exposed
+    #: so the collation ablation bench can toggle it.
+    progress_short_circuit: bool = True
+
+    #: Subsystem polling order.  The paper's order puts netmod last
+    #: because its empty poll is not free.
+    progress_order: tuple[str, ...] = (
+        "datatype",
+        "collective",
+        "shmem",
+        "netmod",
+    )
+
+    #: When True, ranks on the same node use the shmem transport for
+    #: point-to-point traffic; when False everything goes via netmod.
+    use_shmem: bool = True
+
+    # ------------------------------------------------------------------
+    # World / topology.
+    # ------------------------------------------------------------------
+    #: Number of ranks per simulated node (controls which pairs are
+    #: "on-node" for the shmem transport).
+    ranks_per_node: int = 1
+
+    #: Upper bound for user tags; mirrors MPI_TAG_UB.
+    tag_ub: int = (1 << 30) - 1
+
+    def updated(self, **changes: Any) -> "RuntimeConfig":
+        """Return a copy with ``changes`` applied."""
+        return replace(self, **changes)
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` if the configuration is inconsistent."""
+        if not (0 <= self.buffered_threshold <= self.eager_threshold):
+            raise ValueError("buffered_threshold must be <= eager_threshold")
+        if self.eager_threshold > self.rendezvous_threshold:
+            raise ValueError("eager_threshold must be <= rendezvous_threshold")
+        if self.pipeline_chunk_size <= 0:
+            raise ValueError("pipeline_chunk_size must be positive")
+        if self.pipeline_max_inflight <= 0:
+            raise ValueError("pipeline_max_inflight must be positive")
+        if min(self.nic_alpha, self.nic_beta, self.nic_wire_delay) < 0:
+            raise ValueError("NIC cost model constants must be >= 0")
+        if self.shmem_cell_size <= 0 or self.shmem_num_cells <= 0:
+            raise ValueError("shmem cell geometry must be positive")
+        if self.datatype_chunk_size <= 0:
+            raise ValueError("datatype_chunk_size must be positive")
+        if self.ranks_per_node <= 0:
+            raise ValueError("ranks_per_node must be positive")
+        if self.allreduce_algorithm not in (
+            "auto",
+            "recursive_doubling",
+            "rabenseifner",
+        ):
+            raise ValueError(
+                f"unknown allreduce_algorithm {self.allreduce_algorithm!r}"
+            )
+        if self.bcast_algorithm not in ("auto", "binomial", "scatter_allgather"):
+            raise ValueError(f"unknown bcast_algorithm {self.bcast_algorithm!r}")
+        unknown = set(self.progress_order) - {
+            "datatype",
+            "collective",
+            "shmem",
+            "netmod",
+        }
+        if unknown:
+            raise ValueError(f"unknown progress subsystems: {sorted(unknown)}")
+
+
+#: Shared default configuration used when callers pass ``config=None``.
+DEFAULT_CONFIG = RuntimeConfig()

@@ -1,0 +1,22 @@
+"""Core MPI layer: requests, streams, progress engine, async extension,
+generalized requests, communicators, and per-process MPI state."""
+
+from repro.core.request import Request, Status
+from repro.core.stream import MpixStream, STREAM_NULL
+from repro.core.async_ext import (
+    ASYNC_DONE,
+    ASYNC_NOPROGRESS,
+    ASYNC_PENDING,
+    AsyncThing,
+)
+
+__all__ = [
+    "Request",
+    "Status",
+    "MpixStream",
+    "STREAM_NULL",
+    "AsyncThing",
+    "ASYNC_DONE",
+    "ASYNC_NOPROGRESS",
+    "ASYNC_PENDING",
+]

@@ -1,0 +1,103 @@
+"""The MPIX Async extension (section 3.3).
+
+``async_start(poll_fn, extra_state, stream)`` registers a user progress
+hook that MPI progress calls alongside its internal hooks.  The hook
+receives an opaque :class:`AsyncThing` combining the user state with
+implementation context; it returns one of
+
+* :data:`ASYNC_NOPROGRESS` — still pending, nothing advanced;
+* :data:`ASYNC_PENDING` — still pending but real progress was made
+  (participates in the collated-progress short-circuit);
+* :data:`ASYNC_DONE` — finished; the hook must have already released
+  its user state, and the library releases the AsyncThing.
+
+``AsyncThing.spawn`` (``MPIX_Async_spawn``) queues follow-on tasks that
+are attached *after* the current poll pass returns, avoiding recursion
+and re-entrant queue mutation exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable
+
+from repro.core.stream import MpixStream
+
+__all__ = [
+    "ASYNC_DONE",
+    "ASYNC_PENDING",
+    "ASYNC_NOPROGRESS",
+    "AsyncThing",
+    "async_get_state",
+]
+
+#: Task finished; clean-up already performed by the hook.
+ASYNC_DONE = 0
+#: Task still pending; the hook made progress this poll.
+ASYNC_PENDING = 1
+#: Task still pending; nothing advanced this poll.
+ASYNC_NOPROGRESS = 2
+
+_async_ids = itertools.count(1)
+
+#: Signature of a user poll function.
+PollFunction = Callable[["AsyncThing"], int]
+
+
+class AsyncThing:
+    """Opaque handle passed to user poll functions.
+
+    Combines the application state (``extra_state``) with the
+    implementation-side context (owning stream, spawn buffer).  User
+    code should only call :meth:`get_state` and :meth:`spawn` on it.
+    """
+
+    __slots__ = ("async_id", "poll_fn", "extra_state", "stream", "_spawned", "done")
+
+    def __init__(
+        self,
+        poll_fn: PollFunction,
+        extra_state: Any,
+        stream: MpixStream,
+    ) -> None:
+        self.async_id = next(_async_ids)
+        self.poll_fn = poll_fn
+        self.extra_state = extra_state
+        self.stream = stream
+        #: tasks spawned during the current poll, attached afterwards
+        self._spawned: list["AsyncThing"] = []
+        self.done = False
+
+    def get_state(self) -> Any:
+        """``MPIX_Async_get_state``: retrieve the user state pointer."""
+        return self.extra_state
+
+    def spawn(
+        self,
+        poll_fn: PollFunction,
+        extra_state: Any,
+        stream: MpixStream | None = None,
+    ) -> "AsyncThing":
+        """``MPIX_Async_spawn``: create a follow-on task from inside a hook.
+
+        The new task is buffered inside this AsyncThing and enlisted
+        only after the current ``poll_fn`` returns, so the progress
+        engine never mutates the task list re-entrantly.
+        """
+        thing = AsyncThing(poll_fn, extra_state, stream if stream is not None else self.stream)
+        self._spawned.append(thing)
+        return thing
+
+    def take_spawned(self) -> list["AsyncThing"]:
+        """Runtime internal: drain the spawn buffer after a poll."""
+        spawned, self._spawned = self._spawned, []
+        return spawned
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done else "pending"
+        return f"AsyncThing(#{self.async_id} {state} on {self.stream!r})"
+
+
+def async_get_state(thing: AsyncThing) -> Any:
+    """Module-level spelling of ``MPIX_Async_get_state``."""
+    return thing.get_state()

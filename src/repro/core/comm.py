@@ -1,0 +1,991 @@
+"""Communicators: point-to-point entry points, collectives, stream comms.
+
+A :class:`Comm` binds a rank group to (a) a context-id pair separating
+its point-to-point and collective traffic and (b) an MPIX stream whose
+VCI carries the traffic and whose lock serializes posting.  A *stream
+communicator* (``MPIX_Stream_comm_create``, section 3.1) is simply a
+Comm bound to a user-created stream; ``COMM_WORLD`` is bound to the
+default stream.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.core.request import Request, Status
+from repro.core.stream import MpixStream
+from repro.coll.algorithms import (
+    build_allgather_ring,
+    build_allgatherv_ring,
+    build_allreduce_rabenseifner,
+    build_allreduce_recursive_doubling,
+    build_alltoall_pairwise,
+    build_alltoallv_pairwise,
+    build_barrier_dissemination,
+    build_bcast_binomial,
+    build_bcast_scatter_allgather,
+    build_exscan_chain,
+    build_gather_linear,
+    build_gatherv_linear,
+    build_reduce_binomial,
+    build_reduce_scatter_pairwise,
+    build_scan_chain,
+    build_scatter_linear,
+    build_scatterv_linear,
+)
+from repro.coll.sched import Sched
+from repro.datatype.ops import SUM, Op
+from repro.datatype.types import (
+    BYTE,
+    Datatype,
+    as_readonly_view,
+    as_writable_view,
+)
+from repro.errors import InvalidCommunicatorError, InvalidRankError
+from repro.p2p.matching import ANY_SOURCE, ANY_TAG
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.mpi import Proc
+
+__all__ = ["Comm", "IN_PLACE"]
+
+
+class _InPlaceType:
+    """Singleton sentinel for ``MPI_IN_PLACE``."""
+
+    _instance: "_InPlaceType | None" = None
+
+    def __new__(cls) -> "_InPlaceType":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "IN_PLACE"
+
+
+IN_PLACE = _InPlaceType()
+
+
+def _byte_type():
+    return BYTE
+
+
+class Comm:
+    """A communicator for one process context.
+
+    Construction is internal; obtain communicators from
+    ``proc.comm_world`` and the collective constructors
+    (:meth:`dup`, :meth:`split`, :meth:`stream_comm`).
+    """
+
+    def __init__(
+        self,
+        proc: "Proc",
+        ranks: list[int],
+        context_id: int,
+        stream: MpixStream,
+        peer_vcis: list[int] | None = None,
+    ) -> None:
+        self.proc = proc
+        #: world ranks of the members, in comm rank order
+        self.ranks = list(ranks)
+        self.context_id = context_id
+        self.stream = stream
+        #: per-member VCI (stream comms exchange these at creation)
+        self.peer_vcis = list(peer_vcis) if peer_vcis is not None else [0] * len(ranks)
+        self._rank = self.ranks.index(proc.rank)
+        self._coll_seq = 0
+        self._child_count = 0
+        self.freed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        """This process's rank within the communicator."""
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        return len(self.ranks)
+
+    @property
+    def coll_context_id(self) -> int:
+        return self.context_id + 1
+
+    def _check(self) -> None:
+        if self.freed:
+            raise InvalidCommunicatorError("communicator has been freed")
+
+    def _world_rank(self, comm_rank: int) -> int:
+        if not 0 <= comm_rank < self.size:
+            raise InvalidRankError(f"rank {comm_rank} outside [0, {self.size})")
+        return self.ranks[comm_rank]
+
+    # ------------------------------------------------------------------
+    # Point-to-point.
+    # ------------------------------------------------------------------
+    def isend(
+        self,
+        buf,
+        count: int,
+        datatype: Datatype,
+        dest: int,
+        tag: int = 0,
+        *,
+        sync: bool = False,
+    ) -> Request:
+        """Nonblocking send (``sync=True`` gives MPI_Issend semantics)."""
+        self._check()
+        world_dest = self._world_rank(dest)
+        dst_vci = self.peer_vcis[dest]
+        with self.stream.lock:
+            return self.proc.p2p.isend(
+                self.stream.vci,
+                world_dest,
+                dst_vci,
+                buf,
+                count,
+                datatype,
+                tag,
+                self.context_id,
+                sync=sync,
+            )
+
+    def irecv(
+        self,
+        buf,
+        count: int,
+        datatype: Datatype,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+    ) -> Request:
+        """Nonblocking receive."""
+        self._check()
+        world_src = (
+            ANY_SOURCE if source == ANY_SOURCE else self._world_rank(source)
+        )
+        with self.stream.lock:
+            return self.proc.p2p.irecv(
+                self.stream.vci, buf, count, datatype, world_src, tag, self.context_id
+            )
+
+    def send(self, buf, count: int, datatype: Datatype, dest: int, tag: int = 0) -> None:
+        """Blocking send."""
+        self.proc.wait(self.isend(buf, count, datatype, dest, tag), self.stream)
+
+    def ssend(self, buf, count: int, datatype: Datatype, dest: int, tag: int = 0) -> None:
+        """Blocking synchronous send (completion implies matching)."""
+        self.proc.wait(
+            self.isend(buf, count, datatype, dest, tag, sync=True), self.stream
+        )
+
+    def recv(
+        self,
+        buf,
+        count: int,
+        datatype: Datatype,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+    ) -> Status:
+        """Blocking receive; returns the completion status."""
+        req = self.irecv(buf, count, datatype, source, tag)
+        self.proc.wait(req, self.stream)
+        status = req.status
+        if status.source >= 0:
+            # Translate world rank back into this comm's numbering.
+            try:
+                status.source = self.ranks.index(status.source)
+            except ValueError:  # pragma: no cover - foreign source
+                pass
+        return status
+
+    def sendrecv(
+        self,
+        sendbuf,
+        sendcount: int,
+        sendtype: Datatype,
+        dest: int,
+        recvbuf,
+        recvcount: int,
+        recvtype: Datatype,
+        source: int,
+        sendtag: int = 0,
+        recvtag: int = ANY_TAG,
+    ) -> Status:
+        """Combined send+receive, deadlock-free."""
+        rreq = self.irecv(recvbuf, recvcount, recvtype, source, recvtag)
+        sreq = self.isend(sendbuf, sendcount, sendtype, dest, sendtag)
+        self.proc.waitall([rreq, sreq], self.stream)
+        return rreq.status
+
+    def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Status | None:
+        """Nonblocking probe: status of a matchable message, or None.
+
+        Invokes one progress pass first so freshly arrived traffic is
+        visible (MPI requires probe to "see" arrived messages).
+        """
+        self._check()
+        self.proc.stream_progress(self.stream)
+        world_src = ANY_SOURCE if source == ANY_SOURCE else self._world_rank(source)
+        with self.stream.lock:
+            found = self.proc.p2p.iprobe(
+                self.stream.vci, world_src, tag, self.context_id
+            )
+        if found is None:
+            return None
+        status = Status(
+            source=found["source"], tag=found["tag"], count_bytes=found["count_bytes"]
+        )
+        try:
+            status.source = self.ranks.index(status.source)
+        except ValueError:  # pragma: no cover
+            pass
+        return status
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Status:
+        """Blocking probe."""
+        while True:
+            status = self.iprobe(source, tag)
+            if status is not None:
+                return status
+            self.proc.idle_wait()
+
+    # ------------------------------------------------------------------
+    # Python-object messaging (mpi4py-style lowercase convenience):
+    # pickle the object, ship the bytes, unpickle at the receiver.
+    # ------------------------------------------------------------------
+    def send_obj(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Blocking pickled-object send."""
+        import pickle
+
+        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        self.send(payload, len(payload), _byte_type(), dest, tag)
+
+    def isend_obj(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        """Nonblocking pickled-object send."""
+        import pickle
+
+        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        return self.isend(payload, len(payload), _byte_type(), dest, tag)
+
+    def recv_obj(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
+        """Blocking pickled-object receive.
+
+        Uses a matched probe to size the buffer, so arbitrary object
+        sizes work without a pre-agreed maximum.
+        """
+        import pickle
+
+        message, status = self.mprobe(source, tag)
+        buf = bytearray(status.count_bytes)
+        self.mrecv(buf, status.count_bytes, _byte_type(), message)
+        return pickle.loads(bytes(buf))
+
+    # ------------------------------------------------------------------
+    # Matched probe (MPI_Mprobe family): race-free probe-then-receive
+    # for multithreaded receivers.
+    # ------------------------------------------------------------------
+    def improbe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Nonblocking matched probe.
+
+        Returns ``(message, status)`` or None.  The claimed message is
+        dequeued: only :meth:`imrecv`/:meth:`mrecv` can receive it.
+        """
+        self._check()
+        self.proc.stream_progress(self.stream)
+        world_src = ANY_SOURCE if source == ANY_SOURCE else self._world_rank(source)
+        with self.stream.lock:
+            msg = self.proc.p2p.improbe(
+                self.stream.vci, world_src, tag, self.context_id
+            )
+        if msg is None:
+            return None
+        status = Status(
+            source=msg.header["src_rank"],
+            tag=msg.header["tag"],
+            count_bytes=msg.nbytes,
+        )
+        try:
+            status.source = self.ranks.index(status.source)
+        except ValueError:  # pragma: no cover
+            pass
+        return msg, status
+
+    def mprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Blocking matched probe; returns ``(message, status)``."""
+        while True:
+            found = self.improbe(source, tag)
+            if found is not None:
+                return found
+            self.proc.idle_wait()
+
+    def imrecv(self, buf, count: int, datatype: Datatype, message) -> Request:
+        """Nonblocking receive of a matched-probe message."""
+        self._check()
+        with self.stream.lock:
+            return self.proc.p2p.imrecv(
+                self.stream.vci, buf, count, datatype, message
+            )
+
+    def mrecv(self, buf, count: int, datatype: Datatype, message) -> Status:
+        """Blocking receive of a matched-probe message."""
+        req = self.imrecv(buf, count, datatype, message)
+        self.proc.wait(req, self.stream)
+        status = req.status
+        try:
+            status.source = self.ranks.index(status.source)
+        except ValueError:  # pragma: no cover
+            pass
+        return status
+
+    # ------------------------------------------------------------------
+    # Persistent requests (MPI_Send_init / MPI_Recv_init).
+    # ------------------------------------------------------------------
+    def send_init(
+        self, buf, count: int, datatype: Datatype, dest: int, tag: int = 0
+    ):
+        """Create a persistent standard send."""
+        from repro.core.persist import PersistentRequest
+
+        self._check()
+        self._world_rank(dest)
+        return PersistentRequest(
+            self,
+            "send",
+            {"buf": buf, "count": count, "datatype": datatype, "dest": dest, "tag": tag},
+        )
+
+    def ssend_init(
+        self, buf, count: int, datatype: Datatype, dest: int, tag: int = 0
+    ):
+        """Create a persistent synchronous send."""
+        from repro.core.persist import PersistentRequest
+
+        self._check()
+        self._world_rank(dest)
+        return PersistentRequest(
+            self,
+            "ssend",
+            {"buf": buf, "count": count, "datatype": datatype, "dest": dest, "tag": tag},
+        )
+
+    def recv_init(
+        self,
+        buf,
+        count: int,
+        datatype: Datatype,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+    ):
+        """Create a persistent receive."""
+        from repro.core.persist import PersistentRequest
+
+        self._check()
+        return PersistentRequest(
+            self,
+            "recv",
+            {
+                "buf": buf,
+                "count": count,
+                "datatype": datatype,
+                "source": source,
+                "tag": tag,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Collectives: nonblocking builders.
+    # ------------------------------------------------------------------
+    def _new_sched(self) -> Sched:
+        tag = self._coll_seq
+        self._coll_seq += 1
+        return Sched(
+            self.proc.p2p,
+            self.stream.vci,
+            self.coll_context_id,
+            tag,
+            rank_map=self.ranks,
+            vci_map=self.peer_vcis,
+        )
+
+    def _submit(self, sched: Sched) -> Request:
+        with self.stream.lock:
+            return self.proc.coll_engine.submit(sched)
+
+    def ibarrier(self) -> Request:
+        self._check()
+        sched = self._new_sched()
+        build_barrier_dissemination(sched, self.rank, self.size)
+        return self._submit(sched)
+
+    def ibcast(self, buf, count: int, datatype: Datatype, root: int = 0) -> Request:
+        """Nonblocking broadcast.
+
+        Algorithm selection (``config.bcast_algorithm``): binomial tree
+        for short messages, van de Geijn scatter+ring-allgather for long
+        ones (past ``config.bcast_long_threshold`` bytes).
+        """
+        self._check()
+        self._world_rank(root)
+        sched = self._new_sched()
+        cfg = self.proc.config
+        algo = cfg.bcast_algorithm
+        if algo == "auto":
+            long_msg = count * datatype.size > cfg.bcast_long_threshold
+            algo = "scatter_allgather" if long_msg and self.size > 1 else "binomial"
+        if algo == "scatter_allgather":
+            build_bcast_scatter_allgather(
+                sched, self.rank, self.size, root, buf, count, datatype
+            )
+        else:
+            build_bcast_binomial(
+                sched, self.rank, self.size, root, buf, count, datatype
+            )
+        return self._submit(sched)
+
+    def iallreduce(
+        self,
+        sendbuf,
+        recvbuf,
+        count: int,
+        datatype: Datatype,
+        op: Op = SUM,
+    ) -> Request:
+        """Nonblocking allreduce (any comm size).
+
+        Pass ``IN_PLACE`` as ``sendbuf`` to reduce ``recvbuf`` in place.
+        Algorithm selection (``config.allreduce_algorithm``): recursive
+        doubling for short messages and non-commutative operations,
+        Rabenseifner (reduce-scatter + allgather) for long commutative
+        reductions (past ``config.allreduce_long_threshold`` bytes).
+        """
+        self._check()
+        nbytes = count * datatype.size
+        if sendbuf is not IN_PLACE:
+            as_writable_view(recvbuf)[:nbytes] = as_readonly_view(sendbuf)[:nbytes]
+        sched = self._new_sched()
+        tmpbuf = bytearray(max(nbytes, 1))
+        cfg = self.proc.config
+        algo = cfg.allreduce_algorithm
+        if algo == "auto":
+            algo = (
+                "rabenseifner"
+                if op.commutative and nbytes > cfg.allreduce_long_threshold
+                else "recursive_doubling"
+            )
+        if algo == "rabenseifner" and op.commutative:
+            build_allreduce_rabenseifner(
+                sched, self.rank, self.size, recvbuf, tmpbuf, count, datatype, op
+            )
+        else:
+            build_allreduce_recursive_doubling(
+                sched, self.rank, self.size, recvbuf, tmpbuf, count, datatype, op
+            )
+        return self._submit(sched)
+
+    def ireduce(
+        self,
+        sendbuf,
+        recvbuf,
+        count: int,
+        datatype: Datatype,
+        op: Op = SUM,
+        root: int = 0,
+    ) -> Request:
+        """Nonblocking reduce-to-root.  ``recvbuf`` is only significant
+        at the root; non-roots may pass None."""
+        self._check()
+        self._world_rank(root)
+        nbytes = count * datatype.size
+        # Every rank accumulates in a private buffer (the root's doubles
+        # as the result, copied out at the end).
+        accbuf = bytearray(max(nbytes, 1))
+        if sendbuf is IN_PLACE and self.rank == root:
+            accbuf[:nbytes] = as_readonly_view(recvbuf)[:nbytes]
+        else:
+            accbuf[:nbytes] = as_readonly_view(sendbuf)[:nbytes]
+        n_tmp = self.size if not op.commutative else max(self.size.bit_length(), 1)
+        tmpbufs = [bytearray(max(nbytes, 1)) for _ in range(n_tmp)]
+        sched = self._new_sched()
+        build_reduce_binomial(
+            sched, self.rank, self.size, root, accbuf, tmpbufs, count, datatype, op
+        )
+        if self.rank == root:
+            from repro.coll.algorithms.util import copy_fn
+
+            deps = [v.index for v in sched.vertices]
+            sched.add_local(copy_fn(accbuf, recvbuf, nbytes), deps=deps, label="out")
+        return self._submit(sched)
+
+    def iallgather(
+        self, sendbuf, recvbuf, count: int, datatype: Datatype
+    ) -> Request:
+        """Nonblocking allgather; ``recvbuf`` holds ``size*count``
+        elements, ``IN_PLACE`` sendbuf uses the rank-th block."""
+        self._check()
+        block = count * datatype.size
+        view = as_writable_view(recvbuf)
+        if sendbuf is not IN_PLACE:
+            view[self.rank * block : (self.rank + 1) * block] = as_readonly_view(
+                sendbuf
+            )[:block]
+        sched = self._new_sched()
+        build_allgather_ring(sched, self.rank, self.size, recvbuf, count, datatype)
+        return self._submit(sched)
+
+    def ialltoall(self, sendbuf, recvbuf, count: int, datatype: Datatype) -> Request:
+        """Nonblocking alltoall; both buffers hold ``size*count`` elements."""
+        self._check()
+        sched = self._new_sched()
+        build_alltoall_pairwise(
+            sched, self.rank, self.size, sendbuf, recvbuf, count, datatype
+        )
+        return self._submit(sched)
+
+    def igather(
+        self, sendbuf, recvbuf, count: int, datatype: Datatype, root: int = 0
+    ) -> Request:
+        self._check()
+        self._world_rank(root)
+        sched = self._new_sched()
+        build_gather_linear(
+            sched, self.rank, self.size, root, sendbuf, recvbuf, count, datatype
+        )
+        return self._submit(sched)
+
+    def iscatter(
+        self, sendbuf, recvbuf, count: int, datatype: Datatype, root: int = 0
+    ) -> Request:
+        self._check()
+        self._world_rank(root)
+        sched = self._new_sched()
+        build_scatter_linear(
+            sched, self.rank, self.size, root, sendbuf, recvbuf, count, datatype
+        )
+        return self._submit(sched)
+
+    def ireduce_scatter_block(
+        self,
+        sendbuf,
+        recvbuf,
+        count: int,
+        datatype: Datatype,
+        op: Op = SUM,
+    ) -> Request:
+        """Nonblocking block-regular reduce-scatter: ``sendbuf`` holds
+        ``size * count`` elements; each rank receives the reduction of
+        its own ``count``-element block into ``recvbuf``.
+
+        Commutative operations use pairwise exchange; non-commutative
+        ones compose a rank-ordered reduce with a scatter in one
+        schedule.
+        """
+        self._check()
+        nbytes = count * datatype.size
+        sched = self._new_sched()
+        if op.commutative:
+            accbuf = bytearray(max(nbytes, 1))
+            accbuf[:nbytes] = as_readonly_view(sendbuf)[
+                self.rank * nbytes : (self.rank + 1) * nbytes
+            ]
+            tmpbufs = [bytearray(max(nbytes, 1)) for _ in range(self.size - 1)]
+            build_reduce_scatter_pairwise(
+                sched,
+                self.rank,
+                self.size,
+                sendbuf,
+                accbuf,
+                tmpbufs,
+                count,
+                datatype,
+                op,
+            )
+            from repro.coll.algorithms.util import copy_fn
+
+            deps = [v.index for v in sched.vertices]
+            sched.add_local(
+                copy_fn(accbuf, recvbuf, nbytes), deps=deps, label="out"
+            )
+            return self._submit(sched)
+        # Non-commutative: rank-ordered reduce to rank 0, then scatter —
+        # composed into one schedule so it stays a single collective.
+        total = self.size * count
+        total_bytes = total * datatype.size
+        accbuf = bytearray(max(total_bytes, 1))
+        accbuf[:total_bytes] = as_readonly_view(sendbuf)[:total_bytes]
+        n_tmp = self.size
+        tmpbufs = [bytearray(max(total_bytes, 1)) for _ in range(n_tmp)]
+        build_reduce_binomial(
+            sched, self.rank, self.size, 0, accbuf, tmpbufs, total, datatype, op
+        )
+        reduce_deps = [v.index for v in sched.vertices]
+        counts = [count] * self.size
+        displs = [i * count for i in range(self.size)]
+        if self.rank == 0:
+            # scatter accbuf blocks; sends must wait for the reduction.
+            from repro.coll.algorithms.util import copy_fn
+
+            sched.add_local(
+                copy_fn(accbuf, recvbuf, nbytes), deps=reduce_deps, label="own"
+            )
+            esize = datatype.size
+            for peer in range(1, self.size):
+                view = memoryview(accbuf)[
+                    displs[peer] * esize : (displs[peer] + count) * esize
+                ]
+                sched.add_send(peer, view, nbytes, BYTE, deps=reduce_deps)
+        else:
+            sched.add_recv(0, recvbuf, nbytes, BYTE)
+        return self._submit(sched)
+
+    def iscan(
+        self, sendbuf, recvbuf, count: int, datatype: Datatype, op: Op = SUM
+    ) -> Request:
+        """Nonblocking inclusive prefix reduction."""
+        self._check()
+        nbytes = count * datatype.size
+        if sendbuf is not IN_PLACE:
+            as_writable_view(recvbuf)[:nbytes] = as_readonly_view(sendbuf)[:nbytes]
+        sched = self._new_sched()
+        tmpbuf = bytearray(max(nbytes, 1))
+        build_scan_chain(
+            sched, self.rank, self.size, recvbuf, tmpbuf, count, datatype, op
+        )
+        return self._submit(sched)
+
+    def iexscan(
+        self, sendbuf, recvbuf, count: int, datatype: Datatype, op: Op = SUM
+    ) -> Request:
+        """Nonblocking exclusive prefix reduction (recvbuf untouched on
+        rank 0, per MPI)."""
+        self._check()
+        nbytes = count * datatype.size
+        own = bytes(
+            as_readonly_view(recvbuf if sendbuf is IN_PLACE else sendbuf)[:nbytes]
+        )
+        sched = self._new_sched()
+        tmpbuf = bytearray(max(nbytes, 1))
+        build_exscan_chain(
+            sched, self.rank, self.size, recvbuf, own, tmpbuf, count, datatype, op
+        )
+        return self._submit(sched)
+
+    # ------------------------------------------------------------------
+    # Vector collectives.
+    # ------------------------------------------------------------------
+    def iallgatherv(
+        self,
+        sendbuf,
+        sendcount: int,
+        recvbuf,
+        counts: list[int],
+        displs: list[int],
+        datatype: Datatype,
+    ) -> Request:
+        """Nonblocking allgatherv (ring).  ``IN_PLACE`` sendbuf uses the
+        rank's own block of ``recvbuf``."""
+        self._check()
+        esize = datatype.size
+        if sendbuf is not IN_PLACE:
+            view = as_writable_view(recvbuf)
+            lo = displs[self.rank] * esize
+            view[lo : lo + sendcount * esize] = as_readonly_view(sendbuf)[
+                : sendcount * esize
+            ]
+        sched = self._new_sched()
+        build_allgatherv_ring(
+            sched, self.rank, self.size, recvbuf, counts, displs, datatype
+        )
+        return self._submit(sched)
+
+    def igatherv(
+        self,
+        sendbuf,
+        sendcount: int,
+        recvbuf,
+        counts: list[int],
+        displs: list[int],
+        datatype: Datatype,
+        root: int = 0,
+    ) -> Request:
+        self._check()
+        self._world_rank(root)
+        sched = self._new_sched()
+        build_gatherv_linear(
+            sched,
+            self.rank,
+            self.size,
+            root,
+            sendbuf,
+            sendcount,
+            recvbuf,
+            counts,
+            displs,
+            datatype,
+        )
+        return self._submit(sched)
+
+    def iscatterv(
+        self,
+        sendbuf,
+        counts: list[int],
+        displs: list[int],
+        recvbuf,
+        recvcount: int,
+        datatype: Datatype,
+        root: int = 0,
+    ) -> Request:
+        self._check()
+        self._world_rank(root)
+        sched = self._new_sched()
+        build_scatterv_linear(
+            sched,
+            self.rank,
+            self.size,
+            root,
+            sendbuf,
+            counts,
+            displs,
+            recvbuf,
+            recvcount,
+            datatype,
+        )
+        return self._submit(sched)
+
+    def ialltoallv(
+        self,
+        sendbuf,
+        sendcounts: list[int],
+        sdispls: list[int],
+        recvbuf,
+        recvcounts: list[int],
+        rdispls: list[int],
+        datatype: Datatype,
+    ) -> Request:
+        self._check()
+        sched = self._new_sched()
+        build_alltoallv_pairwise(
+            sched,
+            self.rank,
+            self.size,
+            sendbuf,
+            sendcounts,
+            sdispls,
+            recvbuf,
+            recvcounts,
+            rdispls,
+            datatype,
+        )
+        return self._submit(sched)
+
+    # ------------------------------------------------------------------
+    # Collectives: blocking wrappers.
+    # ------------------------------------------------------------------
+    def barrier(self) -> None:
+        self.proc.wait(self.ibarrier(), self.stream)
+
+    def bcast(self, buf, count: int, datatype: Datatype, root: int = 0) -> None:
+        self.proc.wait(self.ibcast(buf, count, datatype, root), self.stream)
+
+    def allreduce(
+        self, sendbuf, recvbuf, count: int, datatype: Datatype, op: Op = SUM
+    ) -> None:
+        self.proc.wait(
+            self.iallreduce(sendbuf, recvbuf, count, datatype, op), self.stream
+        )
+
+    def reduce(
+        self,
+        sendbuf,
+        recvbuf,
+        count: int,
+        datatype: Datatype,
+        op: Op = SUM,
+        root: int = 0,
+    ) -> None:
+        self.proc.wait(
+            self.ireduce(sendbuf, recvbuf, count, datatype, op, root), self.stream
+        )
+
+    def allgather(self, sendbuf, recvbuf, count: int, datatype: Datatype) -> None:
+        self.proc.wait(self.iallgather(sendbuf, recvbuf, count, datatype), self.stream)
+
+    def alltoall(self, sendbuf, recvbuf, count: int, datatype: Datatype) -> None:
+        self.proc.wait(self.ialltoall(sendbuf, recvbuf, count, datatype), self.stream)
+
+    def gather(
+        self, sendbuf, recvbuf, count: int, datatype: Datatype, root: int = 0
+    ) -> None:
+        self.proc.wait(
+            self.igather(sendbuf, recvbuf, count, datatype, root), self.stream
+        )
+
+    def scatter(
+        self, sendbuf, recvbuf, count: int, datatype: Datatype, root: int = 0
+    ) -> None:
+        self.proc.wait(
+            self.iscatter(sendbuf, recvbuf, count, datatype, root), self.stream
+        )
+
+    def reduce_scatter_block(
+        self, sendbuf, recvbuf, count: int, datatype: Datatype, op: Op = SUM
+    ) -> None:
+        self.proc.wait(
+            self.ireduce_scatter_block(sendbuf, recvbuf, count, datatype, op),
+            self.stream,
+        )
+
+    def scan(
+        self, sendbuf, recvbuf, count: int, datatype: Datatype, op: Op = SUM
+    ) -> None:
+        self.proc.wait(self.iscan(sendbuf, recvbuf, count, datatype, op), self.stream)
+
+    def exscan(
+        self, sendbuf, recvbuf, count: int, datatype: Datatype, op: Op = SUM
+    ) -> None:
+        self.proc.wait(
+            self.iexscan(sendbuf, recvbuf, count, datatype, op), self.stream
+        )
+
+    def allgatherv(
+        self,
+        sendbuf,
+        sendcount: int,
+        recvbuf,
+        counts: list[int],
+        displs: list[int],
+        datatype: Datatype,
+    ) -> None:
+        self.proc.wait(
+            self.iallgatherv(sendbuf, sendcount, recvbuf, counts, displs, datatype),
+            self.stream,
+        )
+
+    def gatherv(
+        self,
+        sendbuf,
+        sendcount: int,
+        recvbuf,
+        counts: list[int],
+        displs: list[int],
+        datatype: Datatype,
+        root: int = 0,
+    ) -> None:
+        self.proc.wait(
+            self.igatherv(
+                sendbuf, sendcount, recvbuf, counts, displs, datatype, root
+            ),
+            self.stream,
+        )
+
+    def scatterv(
+        self,
+        sendbuf,
+        counts: list[int],
+        displs: list[int],
+        recvbuf,
+        recvcount: int,
+        datatype: Datatype,
+        root: int = 0,
+    ) -> None:
+        self.proc.wait(
+            self.iscatterv(
+                sendbuf, counts, displs, recvbuf, recvcount, datatype, root
+            ),
+            self.stream,
+        )
+
+    def alltoallv(
+        self,
+        sendbuf,
+        sendcounts: list[int],
+        sdispls: list[int],
+        recvbuf,
+        recvcounts: list[int],
+        rdispls: list[int],
+        datatype: Datatype,
+    ) -> None:
+        self.proc.wait(
+            self.ialltoallv(
+                sendbuf, sendcounts, sdispls, recvbuf, recvcounts, rdispls, datatype
+            ),
+            self.stream,
+        )
+
+    # ------------------------------------------------------------------
+    # Communicator constructors (collective over the parent).
+    # ------------------------------------------------------------------
+    def _alloc_child_context(self) -> int:
+        idx = self._child_count
+        self._child_count += 1
+        return self.proc.world.context_for(self.context_id, idx)
+
+    def dup(self) -> "Comm":
+        """Duplicate the communicator (collective)."""
+        self._check()
+        ctx = self._alloc_child_context()
+        comm = Comm(self.proc, self.ranks, ctx, self.stream, self.peer_vcis)
+        self.barrier()
+        return comm
+
+    def split(self, color: int | None, key: int = 0) -> "Comm | None":
+        """Split by color/key (collective).  ``color=None`` opts out."""
+        self._check()
+        ctx = self._alloc_child_context()
+        # Exchange (color, key) via allgather of two INTs per rank.
+        import numpy as np
+
+        from repro.datatype.types import INT
+
+        mine = np.array(
+            [color if color is not None else -(2**31), key], dtype="i4"
+        )
+        table = np.zeros(2 * self.size, dtype="i4")
+        self.allgather(mine, table, 2, INT)
+        if color is None:
+            return None
+        members: list[tuple[int, int, int]] = []  # (key, parent_rank, world)
+        for r in range(self.size):
+            c, k = int(table[2 * r]), int(table[2 * r + 1])
+            if c == color:
+                members.append((k, r, self.ranks[r]))
+        members.sort()
+        ranks = [world for _, _, world in members]
+        vcis = [self.peer_vcis[pr] for _, pr, _ in members]
+        # Distinct colors need distinct contexts: fold the color in via
+        # the registry (same derivation on every member).
+        ctx = self.proc.world.context_for(ctx, color)
+        return Comm(self.proc, ranks, ctx, self.stream, vcis)
+
+    def split_type_shared(self) -> "Comm":
+        """Split into on-node communicators
+        (MPI_Comm_split_type(MPI_COMM_TYPE_SHARED)): ranks sharing a
+        simulated node (``config.ranks_per_node``) land together."""
+        node = self.proc.rank // self.proc.config.ranks_per_node
+        sub = self.split(color=node, key=self.rank)
+        assert sub is not None
+        return sub
+
+    def stream_comm(self, stream: MpixStream) -> "Comm":
+        """``MPIX_Stream_comm_create``: bind a new communicator to a
+        local stream (collective; exchanges everyone's VCI)."""
+        self._check()
+        ctx = self._alloc_child_context()
+        import numpy as np
+
+        from repro.datatype.types import INT
+
+        mine = np.array([stream.vci], dtype="i4")
+        table = np.zeros(self.size, dtype="i4")
+        self.allgather(mine, table, 1, INT)
+        return Comm(self.proc, self.ranks, ctx, stream, [int(v) for v in table])
+
+    def free(self) -> None:
+        self.freed = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Comm(rank={self._rank}/{self.size}, ctx={self.context_id}, "
+            f"vci={self.stream.vci})"
+        )

@@ -1,0 +1,84 @@
+"""MPI generalized requests (section 4.6 / related work 5.2).
+
+``grequest_start(query_fn, free_fn, cancel_fn, extra_state)`` wraps a
+user-managed asynchronous task in a real :class:`Request` that works
+with ``test``/``wait``/``request_is_complete``.  As the paper stresses,
+generalized requests provide *tracking* but no *progression* — pairing
+them with an MPIX async hook (which calls :func:`grequest_complete`
+when the task finishes) supplies exactly the missing piece.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.request import Request, Status
+from repro.errors import InvalidRequestError
+
+__all__ = ["GeneralizedRequest", "grequest_start", "grequest_complete"]
+
+#: query_fn(extra_state, status) -> None; fills in the status.
+QueryFn = Callable[[Any, Status], None]
+#: free_fn(extra_state) -> None; called when the request is freed.
+FreeFn = Callable[[Any], None]
+#: cancel_fn(extra_state, complete: bool) -> None.
+CancelFn = Callable[[Any, bool], None]
+
+
+class GeneralizedRequest(Request):
+    """A user-defined operation behind a standard request handle."""
+
+    __slots__ = ("query_fn", "free_fn", "cancel_fn", "extra_state")
+
+    def __init__(
+        self,
+        query_fn: QueryFn | None,
+        free_fn: FreeFn | None,
+        cancel_fn: CancelFn | None,
+        extra_state: Any,
+    ) -> None:
+        super().__init__("grequest")
+        self.query_fn = query_fn
+        self.free_fn = free_fn
+        self.cancel_fn = cancel_fn
+        self.extra_state = extra_state
+
+    def query_status(self) -> Status:
+        """Run the user query callback to fill in this request's status."""
+        if self.query_fn is not None:
+            self.query_fn(self.extra_state, self.status)
+        return self.status
+
+    def cancel(self) -> None:
+        if self.cancel_fn is not None:
+            self.cancel_fn(self.extra_state, self.is_complete())
+        self.status.cancelled = True
+
+    def free(self) -> None:
+        if self.free_fn is not None:
+            fn, self.free_fn = self.free_fn, None
+            fn(self.extra_state)
+        super().free()
+
+
+def grequest_start(
+    query_fn: QueryFn | None = None,
+    free_fn: FreeFn | None = None,
+    cancel_fn: CancelFn | None = None,
+    extra_state: Any = None,
+) -> GeneralizedRequest:
+    """``MPI_Grequest_start``: create an active generalized request."""
+    return GeneralizedRequest(query_fn, free_fn, cancel_fn, extra_state)
+
+
+def grequest_complete(request: GeneralizedRequest) -> None:
+    """``MPI_Grequest_complete``: mark the user task finished.
+
+    Runs the query callback so the request's status is populated, then
+    flips the completion flag (waking any ``wait`` and firing completion
+    callbacks).
+    """
+    if not isinstance(request, GeneralizedRequest):
+        raise InvalidRequestError("grequest_complete needs a generalized request")
+    request.query_status()
+    request.complete()

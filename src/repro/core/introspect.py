@@ -1,0 +1,125 @@
+"""Progress introspection.
+
+"Managing MPI progress can feel almost magical when it works, but
+extremely frustrating when it fails" (section 2.5) — largely because
+implementations expose nothing about what progress is doing.  This
+module is the observability the paper's explicit-progress design makes
+possible: a structured snapshot of every progress-related counter in a
+process context, plus a human-readable report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.mpi import Proc
+
+__all__ = ["StreamStats", "ProgressSnapshot", "snapshot"]
+
+
+@dataclass(frozen=True)
+class StreamStats:
+    """Per-stream progress statistics."""
+
+    stream_id: int
+    vci: int
+    is_default: bool
+    progress_calls: int
+    pending_async_tasks: int
+    inbox_tasks: int
+    lock_acquires: int
+    lock_wait_s: float
+
+    @property
+    def mean_lock_wait_us(self) -> float:
+        if not self.lock_acquires:
+            return 0.0
+        return self.lock_wait_s / self.lock_acquires * 1e6
+
+
+@dataclass(frozen=True)
+class ProgressSnapshot:
+    """Point-in-time view of one rank's progress machinery."""
+
+    rank: int
+    engine_passes: int
+    subsystem_polls: int
+    pending_async_tasks: int
+    datatype_active_tasks: int
+    collective_active_scheds: int
+    streams: list[StreamStats] = field(default_factory=list)
+    endpoints: list[dict[str, Any]] = field(default_factory=list)
+
+    def format_report(self) -> str:
+        """Aligned multi-line report for humans."""
+        lines = [
+            f"progress report — rank {self.rank}",
+            f"  engine passes       : {self.engine_passes}",
+            f"  subsystem polls     : {self.subsystem_polls}",
+            f"  pending async tasks : {self.pending_async_tasks}",
+            f"  datatype tasks      : {self.datatype_active_tasks}",
+            f"  active schedules    : {self.collective_active_scheds}",
+            "  streams:",
+        ]
+        for s in self.streams:
+            name = "STREAM_NULL" if s.is_default else f"stream#{s.stream_id}"
+            lines.append(
+                f"    {name:>12} vci={s.vci} calls={s.progress_calls} "
+                f"tasks={s.pending_async_tasks} "
+                f"lock_wait={s.mean_lock_wait_us:.3f}us/acq"
+            )
+        if self.endpoints:
+            lines.append("  endpoints:")
+            for ep in self.endpoints:
+                lines.append(
+                    f"    vci={ep['vci']} posted={ep['posted']} "
+                    f"bytes={ep['bytes']} polls={ep['polls']} "
+                    f"empty={ep['empty_polls']} pending={ep['pending']}"
+                )
+        return "\n".join(lines)
+
+
+def snapshot(proc: "Proc") -> ProgressSnapshot:
+    """Collect a :class:`ProgressSnapshot` for ``proc``.
+
+    Reads are lock-free counter loads; values are a consistent-enough
+    point-in-time view for diagnostics (not a serialization point).
+    """
+    streams = []
+    endpoints = []
+    for stream in proc.streams:
+        streams.append(
+            StreamStats(
+                stream_id=stream.stream_id,
+                vci=stream.vci,
+                is_default=stream is proc.default_stream,
+                progress_calls=stream.stat_progress_calls,
+                pending_async_tasks=len(stream.async_tasks),
+                inbox_tasks=len(stream._inbox),
+                lock_acquires=stream.stat_lock_acquires,
+                lock_wait_s=stream.stat_lock_wait_s,
+            )
+        )
+        ep = proc.world.fabric.endpoint(proc.rank, stream.vci)
+        endpoints.append(
+            {
+                "vci": stream.vci,
+                "posted": ep.stat_posted,
+                "bytes": ep.stat_bytes,
+                "polls": ep.stat_polls,
+                "empty_polls": ep.stat_empty_polls,
+                "pending": ep.pending,
+            }
+        )
+    return ProgressSnapshot(
+        rank=proc.rank,
+        engine_passes=proc.progress_engine.stat_passes,
+        subsystem_polls=proc.progress_engine.stat_subsystem_polls,
+        pending_async_tasks=proc.pending_async_tasks,
+        datatype_active_tasks=proc.datatype_engine.active_tasks,
+        collective_active_scheds=proc.coll_engine.active_count,
+        streams=streams,
+        endpoints=endpoints,
+    )

@@ -1,0 +1,87 @@
+"""Persistent communication requests (MPI_Send_init / MPI_Recv_init).
+
+A persistent request freezes the argument list of a point-to-point
+operation; each :meth:`~PersistentRequest.start` posts one instance.
+The MPIX_Schedule proposal (section 5.3) targets exactly this kind of
+repeated operation set, so the comparator tests exercise schedules over
+persistent requests.
+
+MPI semantics implemented here:
+
+* a never-started or completed persistent request is *inactive* and
+  behaves as complete for wait/test;
+* ``start`` on an active request is an error;
+* freeing is deferred until inactivity.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.request import Request
+from repro.errors import InvalidRequestError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.comm import Comm
+
+__all__ = ["PersistentRequest"]
+
+
+class PersistentRequest(Request):
+    """A reusable send or receive operation."""
+
+    __slots__ = ("comm", "op_kind", "args", "_inner", "active")
+
+    def __init__(self, comm: "Comm", op_kind: str, args: dict) -> None:
+        super().__init__(f"persistent-{op_kind}")
+        self.comm = comm
+        self.op_kind = op_kind  # 'send' | 'ssend' | 'recv'
+        self.args = args
+        self._inner: Request | None = None
+        self.active = False
+        # Inactive persistent requests are "complete" for wait/test.
+        self._complete = True
+
+    # ------------------------------------------------------------------
+    def start(self) -> "PersistentRequest":
+        """MPI_Start: post one instance of the frozen operation."""
+        if self.active:
+            raise InvalidRequestError("persistent request already active")
+        self.active = True
+        self._complete = False
+        a = self.args
+        if self.op_kind == "recv":
+            inner = self.comm.irecv(
+                a["buf"], a["count"], a["datatype"], a["source"], a["tag"]
+            )
+        else:
+            inner = self.comm.isend(
+                a["buf"],
+                a["count"],
+                a["datatype"],
+                a["dest"],
+                a["tag"],
+                sync=self.op_kind == "ssend",
+            )
+        self._inner = inner
+        inner.on_complete(self._on_inner_complete)
+        return self
+
+    def _on_inner_complete(self, inner: Request) -> None:
+        self.active = False
+        self.complete(
+            source=inner.status.source,
+            tag=inner.status.tag,
+            count_bytes=inner.status.count_bytes,
+            error=inner.status.error,
+        )
+
+    @property
+    def inner(self) -> Request | None:
+        """The currently (or last) posted instance, for inspection."""
+        return self._inner
+
+    def free(self) -> None:
+        if self.active:
+            raise InvalidRequestError("cannot free an active persistent request")
+        super().free()

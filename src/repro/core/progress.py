@@ -1,0 +1,196 @@
+"""The collated progress engine (Listing 1.1) and explicit stream progress.
+
+One :class:`ProgressEngine` exists per process context.  A progress
+pass for a stream polls, in the configured order,
+
+1. the datatype engine (asynchronous pack/unpack),
+2. collective schedules on the stream's VCI,
+3. the shmem transport for the stream's address,
+4. the netmod endpoint for the stream's address,
+
+short-circuiting the remaining subsystems as soon as one makes progress
+(netmod last because its empty poll is not free — section 2.6), and then
+polls the stream's MPIX async hooks.  Hooks are polled on *every* pass,
+never short-circuited away: they watch external events, and delaying
+them is exactly the progress latency the paper is trying to eliminate.
+
+Thread model: a pass runs under the stream's lock.  Re-entering
+progress from inside a hook on the same thread raises
+:class:`~repro.errors.ProgressReentryError` (section 3.4 prohibits it);
+a *different* thread calling progress on the same stream blocks on the
+lock — the contention measured in Fig. 9.
+"""
+
+from __future__ import annotations
+
+import threading
+import time as _time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.async_ext import (
+    ASYNC_DONE,
+    ASYNC_NOPROGRESS,
+    ASYNC_PENDING,
+    AsyncThing,
+)
+from repro.core.stream import MpixStream
+from repro.errors import MpiError, ProgressReentryError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.mpi import Proc
+
+__all__ = ["ProgressState", "ProgressEngine"]
+
+
+@dataclass
+class ProgressState:
+    """Caller-tunable progress pass (the ``MPID_Progress_state`` of
+    Listing 1.1): lets a context skip subsystems it knows are idle."""
+
+    skip: frozenset[str] = frozenset()
+    #: filled in by the pass: which subsystems reported progress
+    progressed: list[str] = field(default_factory=list)
+
+
+class ProgressEngine:
+    """Collated progress over all subsystems of one process context."""
+
+    def __init__(self, proc: "Proc") -> None:
+        self.proc = proc
+        self.config = proc.config
+        #: per-pass subsystem pollers, bound once
+        self._pollers: dict[str, Callable[[MpixStream], bool]] = {
+            "datatype": self._poll_datatype,
+            "collective": self._poll_collective,
+            "shmem": self._poll_shmem,
+            "netmod": self._poll_netmod,
+        }
+        self.stat_passes = 0
+        self.stat_subsystem_polls = 0
+
+    # ------------------------------------------------------------------
+    # Subsystem pollers.
+    # ------------------------------------------------------------------
+    def _poll_datatype(self, stream: MpixStream) -> bool:
+        return self.proc.datatype_engine.progress()
+
+    def _poll_collective(self, stream: MpixStream) -> bool:
+        return self.proc.coll_engine.progress(stream.vci)
+
+    def _poll_shmem(self, stream: MpixStream) -> bool:
+        return self.proc.p2p.progress_shmem(stream.vci)
+
+    def _poll_netmod(self, stream: MpixStream) -> bool:
+        return self.proc.p2p.progress_netmod(stream.vci)
+
+    # ------------------------------------------------------------------
+    # One pass (caller holds the stream lock).
+    # ------------------------------------------------------------------
+    def run_locked(self, stream: MpixStream, state: ProgressState | None = None) -> bool:
+        """One collated pass for ``stream``; True if anything advanced."""
+        self.stat_passes += 1
+        made = False
+        skip = state.skip if state is not None else frozenset()
+        for name in self.config.progress_order:
+            if name in skip or name in stream.skip_subsystems:
+                continue
+            self.stat_subsystem_polls += 1
+            if self._pollers[name](stream):
+                made = True
+                if state is not None:
+                    state.progressed.append(name)
+                if self.config.progress_short_circuit:
+                    break
+        if self._poll_async_hooks(stream):
+            made = True
+            if state is not None:
+                state.progressed.append("async")
+        return made
+
+    # ------------------------------------------------------------------
+    # MPIX async hooks (section 3.3).
+    # ------------------------------------------------------------------
+    def _poll_async_hooks(self, stream: MpixStream) -> bool:
+        # Drain tasks registered from other threads/hooks first.
+        inbox = self.proc.drain_async_inbox(stream)
+        if inbox:
+            stream.async_tasks.extend(inbox)
+        tasks = stream.async_tasks
+        if not tasks:
+            return False
+        made = False
+        any_done = False
+        spawned: list[AsyncThing] = []
+        error: BaseException | None = None
+        for thing in tasks:
+            if thing.done:
+                continue
+            try:
+                ret = thing.poll_fn(thing)
+            except BaseException as exc:  # noqa: BLE001 - failure injection
+                # A faulty hook is retired (never polled again) and the
+                # error surfaces to whoever invoked progress, with the
+                # engine state left consistent: remaining hooks still
+                # run on later passes, spawned tasks are preserved.
+                thing.done = True
+                any_done = True
+                self.proc.note_async_done()
+                error = exc
+                spawned.extend(thing.take_spawned())
+                break
+            spawned.extend(thing.take_spawned())
+            if ret == ASYNC_DONE:
+                thing.done = True
+                any_done = True
+                made = True
+                self.proc.note_async_done()
+            elif ret == ASYNC_PENDING:
+                made = True
+            elif ret != ASYNC_NOPROGRESS:
+                thing.done = True
+                any_done = True
+                self.proc.note_async_done()
+                error = MpiError(
+                    f"async poll function returned invalid code {ret!r} "
+                    "(expected ASYNC_DONE/ASYNC_PENDING/ASYNC_NOPROGRESS)"
+                )
+                break
+        if any_done:
+            stream.async_tasks = [t for t in tasks if not t.done]
+        # Spawned tasks join their stream after the poll pass — same
+        # stream directly (we hold its lock), others via their inbox.
+        for thing in spawned:
+            if thing.stream is stream:
+                self.proc.note_async_spawned()
+                stream.async_tasks.append(thing)
+            else:
+                self.proc.enqueue_async(thing)
+        if error is not None:
+            raise error
+        return made
+
+    # ------------------------------------------------------------------
+    # Entry point with locking + re-entry guard.
+    # ------------------------------------------------------------------
+    def stream_progress(
+        self, stream: MpixStream, state: ProgressState | None = None
+    ) -> bool:
+        """``MPIX_Stream_progress``: one locked pass for ``stream``."""
+        ident = threading.get_ident()
+        if stream._progress_depth and stream._owner == ident:
+            raise ProgressReentryError(
+                "progress invoked recursively from inside a progress hook; "
+                "use mpix_request_is_complete instead (paper section 3.4)"
+            )
+        t_acquire = _time.perf_counter()
+        with stream.lock:
+            stream.stat_lock_wait_s += _time.perf_counter() - t_acquire
+            stream.stat_lock_acquires += 1
+            stream._progress_depth += 1
+            stream._owner = ident
+            stream.stat_progress_calls += 1
+            try:
+                return self.run_locked(stream, state)
+            finally:
+                stream._progress_depth -= 1

@@ -1,0 +1,140 @@
+"""MPI request objects.
+
+The paper's ``MPIX_Request_is_complete`` (section 3.4) is specified as
+a side-effect-free atomic flag read.  :class:`Request` keeps completion
+in an attribute whose load is GIL-atomic, so :meth:`is_complete` is a
+plain read with no locking and — crucially — *no progress invocation*.
+
+``test``/``wait`` (which DO invoke progress) live on the process
+context (:mod:`repro.core.mpi`), because progress needs the engine.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable
+
+__all__ = ["Status", "Request", "request_is_complete"]
+
+_request_ids = itertools.count(1)
+
+
+@dataclass
+class Status:
+    """Completion status (MPI_Status)."""
+
+    source: int = -1
+    tag: int = -1
+    error: int = 0
+    count_bytes: int = 0
+    cancelled: bool = False
+
+    def get_count(self, datatype) -> int:
+        """Number of whole ``datatype`` elements received."""
+        size = datatype.size
+        if size == 0:
+            return 0
+        return self.count_bytes // size
+
+
+class Request:
+    """Handle for a pending nonblocking operation.
+
+    Attributes
+    ----------
+    kind:
+        'send', 'recv', 'coll', 'grequest', ... (diagnostic).
+    wait_blocks:
+        Number of distinct asynchronous waits this operation passed
+        through — the Fig. 1 anatomy, directly measurable.
+    """
+
+    __slots__ = (
+        "req_id",
+        "kind",
+        "_complete",
+        "status",
+        "wait_blocks",
+        "_on_complete",
+        "_cb_lock",
+        "freed",
+        "user_data",
+    )
+
+    def __init__(self, kind: str = "generic") -> None:
+        self.req_id = next(_request_ids)
+        self.kind = kind
+        self._complete = False
+        self.status = Status()
+        self.wait_blocks = 0
+        self._on_complete: list[Callable[["Request"], None]] = []
+        self._cb_lock = threading.Lock()
+        self.freed = False
+        #: scratch slot for user layers (continuations, schedules, ...)
+        self.user_data: Any = None
+
+    # ------------------------------------------------------------------
+    def is_complete(self) -> bool:
+        """Side-effect-free completion query (a single attribute load).
+
+        This is ``MPIX_Request_is_complete``: safe to call from inside
+        async poll functions, never invokes progress, never locks.
+        """
+        return self._complete
+
+    def add_wait_block(self) -> None:
+        self.wait_blocks += 1
+
+    def on_complete(self, callback: Callable[["Request"], None]) -> None:
+        """Register a callback fired inside native progress at completion.
+
+        If the request is already complete the callback fires
+        immediately.  This is the mechanism the ``MPIX_Continue``
+        comparator builds on.
+        """
+        fire = False
+        with self._cb_lock:
+            if self._complete:
+                fire = True
+            else:
+                self._on_complete.append(callback)
+        if fire:
+            callback(self)
+
+    def complete(
+        self,
+        *,
+        source: int | None = None,
+        tag: int | None = None,
+        count_bytes: int | None = None,
+        error: int = 0,
+    ) -> None:
+        """Mark complete and fire completion callbacks (runtime internal)."""
+        if source is not None:
+            self.status.source = source
+        if tag is not None:
+            self.status.tag = tag
+        if count_bytes is not None:
+            self.status.count_bytes = count_bytes
+        self.status.error = error
+        with self._cb_lock:
+            callbacks = self._on_complete
+            self._on_complete = []
+            self._complete = True
+        for cb in callbacks:
+            cb(self)
+
+    def free(self) -> None:
+        """Release the handle (MPI_Request_free semantics)."""
+        self.freed = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "complete" if self._complete else "pending"
+        return f"Request(#{self.req_id} {self.kind} {state})"
+
+
+def request_is_complete(request: Request) -> bool:
+    """Module-level spelling of ``MPIX_Request_is_complete``."""
+    return request.is_complete()

@@ -1,0 +1,116 @@
+"""MPIX Streams (section 3.1).
+
+An :class:`MpixStream` is a *serial execution context* inside the MPI
+library: all operations attached to one stream are issued in strict
+serial order, so the library needs no lock protection *within* a
+stream.  Concretely each stream owns
+
+* a lock (taken only at the stream boundary — by ``stream_progress``
+  and by operations posted on the stream's communicators);
+* a VCI (virtual communication interface) index selecting its own
+  netmod endpoint and shmem address, so two streams never touch the
+  same transport queues;
+* its list of pending MPIX async tasks (section 3.3).
+
+``STREAM_NULL`` is the module-level default-stream sentinel, matching
+the paper's ``MPIX_STREAM_NULL``; each process context resolves it to
+its own internal default stream (VCI 0), whose lock is the "global"
+lock that Fig. 9's contention experiment measures.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.async_ext import AsyncThing
+
+__all__ = ["MpixStream", "STREAM_NULL", "StreamNullType"]
+
+_stream_ids = itertools.count(1)
+
+
+class StreamNullType:
+    """Singleton sentinel type for ``MPIX_STREAM_NULL``."""
+
+    _instance: "StreamNullType | None" = None
+
+    def __new__(cls) -> "StreamNullType":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "STREAM_NULL"
+
+
+#: The default stream sentinel (``MPIX_STREAM_NULL``).
+STREAM_NULL = StreamNullType()
+
+
+class MpixStream:
+    """One serial execution context.
+
+    Users obtain streams from :meth:`repro.core.mpi.Proc.stream_create`;
+    constructing one directly requires the owning process context's VCI
+    assignment, so treat this class as opaque.
+    """
+
+    __slots__ = (
+        "stream_id",
+        "vci",
+        "info",
+        "lock",
+        "async_tasks",
+        "_inbox",
+        "_inbox_lock",
+        "_progress_depth",
+        "_owner",
+        "freed",
+        "skip_subsystems",
+        "stat_progress_calls",
+        "stat_lock_wait_s",
+        "stat_lock_acquires",
+    )
+
+    def __init__(self, vci: int, info: dict[str, Any] | None = None) -> None:
+        self.stream_id = next(_stream_ids)
+        self.vci = vci
+        self.info = dict(info) if info else {}
+        # Reentrant: a poll_fn running inside a progress pass may post
+        # new operations on the same stream (Listing 1.8 does exactly
+        # that); only recursive *progress* is forbidden, enforced by the
+        # explicit _progress_depth/_owner guard in the engine.
+        self.lock = threading.RLock()
+        self.async_tasks: list["AsyncThing"] = []
+        #: tasks registered from any thread, drained by progress passes
+        #: (keeps async_start itself lock-cheap and race-free)
+        self._inbox: list["AsyncThing"] = []
+        self._inbox_lock = threading.Lock()
+        #: recursion guard: >0 while a progress pass runs on this stream
+        self._progress_depth = 0
+        #: thread ident of the in-progress owner (re-entry detection)
+        self._owner: int | None = None
+        self.freed = False
+        #: subsystems this stream's progress skips, from info hints —
+        #: e.g. ``info={'skip': 'netmod'}`` for latency-sensitive
+        #: streams that never touch inter-node communication (§3.2).
+        skip = self.info.get("skip", "")
+        if isinstance(skip, str):
+            skip = [s for s in skip.split(",") if s]
+        self.skip_subsystems: frozenset[str] = frozenset(skip)
+        self.stat_progress_calls = 0
+        #: cumulative wall seconds progress callers spent blocked on this
+        #: stream's lock, and the number of acquisitions — the direct
+        #: measure of the Fig. 9 contention mechanism.
+        self.stat_lock_wait_s = 0.0
+        self.stat_lock_acquires = 0
+
+    @property
+    def in_progress(self) -> bool:
+        return self._progress_depth > 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MpixStream(#{self.stream_id}, vci={self.vci})"

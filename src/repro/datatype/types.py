@@ -1,0 +1,570 @@
+"""MPI datatypes: basic named types and derived-type constructors.
+
+A datatype describes a *typemap*: a sequence of (offset, length) byte
+segments relative to the start of one element, plus an *extent* — the
+stride between consecutive elements.  Packing gathers those segments
+into a contiguous byte stream; unpacking scatters them back.  This is
+the same model MPICH's dataloop engine implements.
+
+Buffers are anything exposing the buffer protocol (``bytes``,
+``bytearray``, ``memoryview``, contiguous NumPy arrays).  Helper
+:func:`as_writable_view` / :func:`as_readonly_view` normalize them to
+flat ``memoryview('B')`` views.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import InvalidCountError, InvalidDatatypeError
+
+__all__ = [
+    "Datatype",
+    "BasicType",
+    "ContiguousType",
+    "VectorType",
+    "HVectorType",
+    "IndexedType",
+    "IndexedBlockType",
+    "SubarrayType",
+    "StructType",
+    "contiguous",
+    "vector",
+    "hvector",
+    "indexed",
+    "indexed_block",
+    "subarray",
+    "struct_type",
+    "as_readonly_view",
+    "as_writable_view",
+    # named basic types
+    "BYTE",
+    "CHAR",
+    "SHORT",
+    "INT",
+    "LONG",
+    "FLOAT",
+    "DOUBLE",
+    "INT8",
+    "INT16",
+    "INT32",
+    "INT64",
+    "UINT32",
+    "UINT64",
+]
+
+
+def as_readonly_view(buf) -> memoryview:
+    """Flat read-only byte view over any buffer-protocol object."""
+    view = memoryview(buf)
+    if not view.contiguous:
+        raise InvalidDatatypeError("buffers must be contiguous")
+    return view.cast("B").toreadonly()
+
+
+def as_writable_view(buf) -> memoryview:
+    """Flat writable byte view over any buffer-protocol object."""
+    view = memoryview(buf)
+    if view.readonly:
+        raise InvalidDatatypeError("receive buffer is read-only")
+    if not view.contiguous:
+        raise InvalidDatatypeError("buffers must be contiguous")
+    return view.cast("B")
+
+
+class Datatype:
+    """Base class for all datatypes.
+
+    Subclasses define :attr:`size` (bytes of actual data per element),
+    :attr:`extent` (stride between elements) and :meth:`segments`
+    (the typemap for one element).
+    """
+
+    __slots__ = ("_committed",)
+
+    def __init__(self) -> None:
+        self._committed = False
+
+    # -- metadata ------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """True data bytes per element (sum of segment lengths)."""
+        raise NotImplementedError
+
+    @property
+    def extent(self) -> int:
+        """Stride in bytes between consecutive elements."""
+        raise NotImplementedError
+
+    @property
+    def is_contiguous(self) -> bool:
+        """True when one element coalesces to a single segment spanning
+        the extent (e.g. a subarray covering its whole array)."""
+        segs = list(self.iter_segments(1))
+        return len(segs) == 1 and segs[0] == (0, self.extent)
+
+    @property
+    def committed(self) -> bool:
+        return self._committed
+
+    def commit(self) -> "Datatype":
+        """Mark the type ready for communication; returns self."""
+        self._committed = True
+        return self
+
+    def ensure_committed(self) -> None:
+        if not self._committed:
+            raise InvalidDatatypeError(f"{self!r} is not committed")
+
+    # -- typemap -------------------------------------------------------
+    def segments(self) -> Iterator[tuple[int, int]]:
+        """Yield (byte offset, byte length) segments for ONE element."""
+        raise NotImplementedError
+
+    def iter_segments(self, count: int) -> Iterator[tuple[int, int]]:
+        """Yield segments for ``count`` consecutive elements, coalescing
+        adjacent runs where possible."""
+        if count < 0:
+            raise InvalidCountError(f"negative count {count}")
+        pend_off = pend_len = None
+        ext = self.extent
+        for i in range(count):
+            base = i * ext
+            for off, length in self.segments():
+                off += base
+                if pend_off is not None and pend_off + pend_len == off:
+                    pend_len += length
+                    continue
+                if pend_off is not None:
+                    yield (pend_off, pend_len)
+                pend_off, pend_len = off, length
+        if pend_off is not None:
+            yield (pend_off, pend_len)
+
+    # -- pack / unpack -------------------------------------------------
+    def pack_into(self, src, count: int, dst) -> int:
+        """Gather ``count`` elements from ``src`` into contiguous ``dst``.
+
+        Returns the number of bytes written (== ``count * self.size``).
+        """
+        sview = as_readonly_view(src)
+        dview = as_writable_view(dst)
+        pos = 0
+        for off, length in self.iter_segments(count):
+            dview[pos : pos + length] = sview[off : off + length]
+            pos += length
+        return pos
+
+    def pack(self, src, count: int) -> bytearray:
+        """Gather ``count`` elements into a new contiguous buffer."""
+        out = bytearray(count * self.size)
+        self.pack_into(src, count, out)
+        return out
+
+    def unpack_from(self, src, count: int, dst) -> int:
+        """Scatter contiguous ``src`` into ``count`` elements of ``dst``.
+
+        Returns the number of bytes consumed.
+        """
+        sview = as_readonly_view(src)
+        dview = as_writable_view(dst)
+        pos = 0
+        for off, length in self.iter_segments(count):
+            dview[off : off + length] = sview[pos : pos + length]
+            pos += length
+        return pos
+
+    # -- numpy interop -------------------------------------------------
+    @property
+    def np_dtype(self) -> np.dtype | None:
+        """NumPy dtype for basic types; None for derived types."""
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(size={self.size}, extent={self.extent})"
+
+
+class BasicType(Datatype):
+    """A named elementary type (always committed)."""
+
+    __slots__ = ("name", "_nbytes", "_np_dtype")
+
+    def __init__(self, name: str, nbytes: int, np_dtype: str | None) -> None:
+        super().__init__()
+        self.name = name
+        self._nbytes = nbytes
+        self._np_dtype = np.dtype(np_dtype) if np_dtype else None
+        self._committed = True
+
+    @property
+    def size(self) -> int:
+        return self._nbytes
+
+    @property
+    def extent(self) -> int:
+        return self._nbytes
+
+    @property
+    def np_dtype(self) -> np.dtype | None:
+        return self._np_dtype
+
+    def segments(self) -> Iterator[tuple[int, int]]:
+        yield (0, self._nbytes)
+
+    def __repr__(self) -> str:
+        return f"<{self.name}>"
+
+
+class ContiguousType(Datatype):
+    """``count`` consecutive copies of a base type."""
+
+    __slots__ = ("count", "base")
+
+    def __init__(self, count: int, base: Datatype) -> None:
+        super().__init__()
+        if count < 0:
+            raise InvalidCountError(f"negative count {count}")
+        self.count = count
+        self.base = base
+
+    @property
+    def size(self) -> int:
+        return self.count * self.base.size
+
+    @property
+    def extent(self) -> int:
+        return self.count * self.base.extent
+
+    def segments(self) -> Iterator[tuple[int, int]]:
+        yield from self.base.iter_segments(self.count)
+
+
+class VectorType(Datatype):
+    """``count`` blocks of ``blocklength`` base elements, ``stride``
+    base-extents apart (MPI_Type_vector)."""
+
+    __slots__ = ("count", "blocklength", "stride", "base")
+
+    def __init__(self, count: int, blocklength: int, stride: int, base: Datatype) -> None:
+        super().__init__()
+        if count < 0 or blocklength < 0:
+            raise InvalidCountError("count and blocklength must be >= 0")
+        self.count = count
+        self.blocklength = blocklength
+        self.stride = stride
+        self.base = base
+
+    @property
+    def size(self) -> int:
+        return self.count * self.blocklength * self.base.size
+
+    @property
+    def extent(self) -> int:
+        if self.count == 0:
+            return 0
+        # MPI extent: from lowest to highest byte touched.
+        last_block_start = (self.count - 1) * self.stride * self.base.extent
+        high = last_block_start + self.blocklength * self.base.extent
+        low = min(0, (self.count - 1) * self.stride * self.base.extent)
+        return high - low if self.stride >= 0 else -low + self.blocklength * self.base.extent
+
+    def segments(self) -> Iterator[tuple[int, int]]:
+        for i in range(self.count):
+            block_base = i * self.stride * self.base.extent
+            for off, length in self.base.iter_segments(self.blocklength):
+                yield (block_base + off, length)
+
+
+class IndexedType(Datatype):
+    """Blocks of varying length at varying displacements (MPI_Type_indexed).
+
+    Displacements are in units of the base type extent.
+    """
+
+    __slots__ = ("blocklengths", "displacements", "base")
+
+    def __init__(
+        self,
+        blocklengths: Sequence[int],
+        displacements: Sequence[int],
+        base: Datatype,
+    ) -> None:
+        super().__init__()
+        if len(blocklengths) != len(displacements):
+            raise InvalidDatatypeError("blocklengths/displacements length mismatch")
+        if any(b < 0 for b in blocklengths):
+            raise InvalidCountError("negative blocklength")
+        self.blocklengths = tuple(blocklengths)
+        self.displacements = tuple(displacements)
+        self.base = base
+
+    @property
+    def size(self) -> int:
+        return sum(self.blocklengths) * self.base.size
+
+    @property
+    def extent(self) -> int:
+        if not self.blocklengths:
+            return 0
+        ext = self.base.extent
+        low = min(d * ext for d in self.displacements)
+        high = max(
+            (d + b) * ext for d, b in zip(self.displacements, self.blocklengths)
+        )
+        return high - min(0, low)
+
+    def segments(self) -> Iterator[tuple[int, int]]:
+        ext = self.base.extent
+        for blen, disp in zip(self.blocklengths, self.displacements):
+            block_base = disp * ext
+            for off, length in self.base.iter_segments(blen):
+                yield (block_base + off, length)
+
+
+class HVectorType(Datatype):
+    """Like :class:`VectorType` but with the stride in BYTES
+    (MPI_Type_create_hvector)."""
+
+    __slots__ = ("count", "blocklength", "stride_bytes", "base")
+
+    def __init__(
+        self, count: int, blocklength: int, stride_bytes: int, base: Datatype
+    ) -> None:
+        super().__init__()
+        if count < 0 or blocklength < 0:
+            raise InvalidCountError("count and blocklength must be >= 0")
+        self.count = count
+        self.blocklength = blocklength
+        self.stride_bytes = stride_bytes
+        self.base = base
+
+    @property
+    def size(self) -> int:
+        return self.count * self.blocklength * self.base.size
+
+    @property
+    def extent(self) -> int:
+        if self.count == 0:
+            return 0
+        block_bytes = self.blocklength * self.base.extent
+        high = (self.count - 1) * self.stride_bytes + block_bytes
+        low = min(0, (self.count - 1) * self.stride_bytes)
+        return high - low if self.stride_bytes >= 0 else -low + block_bytes
+
+    def segments(self) -> Iterator[tuple[int, int]]:
+        for i in range(self.count):
+            block_base = i * self.stride_bytes
+            for off, length in self.base.iter_segments(self.blocklength):
+                yield (block_base + off, length)
+
+
+class IndexedBlockType(Datatype):
+    """Fixed-length blocks at varying displacements
+    (MPI_Type_create_indexed_block)."""
+
+    __slots__ = ("blocklength", "displacements", "base")
+
+    def __init__(
+        self, blocklength: int, displacements: Sequence[int], base: Datatype
+    ) -> None:
+        super().__init__()
+        if blocklength < 0:
+            raise InvalidCountError("negative blocklength")
+        self.blocklength = blocklength
+        self.displacements = tuple(displacements)
+        self.base = base
+
+    @property
+    def size(self) -> int:
+        return len(self.displacements) * self.blocklength * self.base.size
+
+    @property
+    def extent(self) -> int:
+        if not self.displacements:
+            return 0
+        ext = self.base.extent
+        low = min(d * ext for d in self.displacements)
+        high = max((d + self.blocklength) * ext for d in self.displacements)
+        return high - min(0, low)
+
+    def segments(self) -> Iterator[tuple[int, int]]:
+        ext = self.base.extent
+        for disp in self.displacements:
+            block_base = disp * ext
+            for off, length in self.base.iter_segments(self.blocklength):
+                yield (block_base + off, length)
+
+
+class SubarrayType(Datatype):
+    """An n-dimensional subarray of a larger C-order array
+    (MPI_Type_create_subarray, MPI_ORDER_C)."""
+
+    __slots__ = ("sizes", "subsizes", "starts", "base")
+
+    def __init__(
+        self,
+        sizes: Sequence[int],
+        subsizes: Sequence[int],
+        starts: Sequence[int],
+        base: Datatype,
+    ) -> None:
+        super().__init__()
+        if not (len(sizes) == len(subsizes) == len(starts)):
+            raise InvalidDatatypeError("subarray argument length mismatch")
+        for full, sub, start in zip(sizes, subsizes, starts):
+            if sub < 0 or start < 0 or start + sub > full:
+                raise InvalidDatatypeError(
+                    f"subarray [{start}, {start + sub}) outside [0, {full})"
+                )
+        self.sizes = tuple(sizes)
+        self.subsizes = tuple(subsizes)
+        self.starts = tuple(starts)
+        self.base = base
+
+    @property
+    def size(self) -> int:
+        n = 1
+        for s in self.subsizes:
+            n *= s
+        return n * self.base.size
+
+    @property
+    def extent(self) -> int:
+        # MPI defines the subarray extent as the whole array's span.
+        n = 1
+        for s in self.sizes:
+            n *= s
+        return n * self.base.extent
+
+    def segments(self) -> Iterator[tuple[int, int]]:
+        if not self.sizes:
+            return
+        ext = self.base.extent
+        # row-major strides in elements
+        strides = [1] * len(self.sizes)
+        for d in range(len(self.sizes) - 2, -1, -1):
+            strides[d] = strides[d + 1] * self.sizes[d + 1]
+        # iterate over all leading indices; the innermost dim is a run
+        def walk(dim: int, offset_elems: int) -> Iterator[tuple[int, int]]:
+            if dim == len(self.sizes) - 1:
+                start = offset_elems + self.starts[dim]
+                for off, length in self.base.iter_segments(self.subsizes[dim]):
+                    yield (start * ext + off, length)
+                return
+            for i in range(self.subsizes[dim]):
+                idx = self.starts[dim] + i
+                yield from walk(dim + 1, offset_elems + idx * strides[dim])
+
+        yield from walk(0, 0)
+
+
+class StructType(Datatype):
+    """Heterogeneous blocks at byte displacements (MPI_Type_create_struct)."""
+
+    __slots__ = ("blocklengths", "displacements", "types", "_extent")
+
+    def __init__(
+        self,
+        blocklengths: Sequence[int],
+        displacements: Sequence[int],
+        types: Sequence[Datatype],
+        extent: int | None = None,
+    ) -> None:
+        super().__init__()
+        if not (len(blocklengths) == len(displacements) == len(types)):
+            raise InvalidDatatypeError("struct argument length mismatch")
+        self.blocklengths = tuple(blocklengths)
+        self.displacements = tuple(displacements)
+        self.types = tuple(types)
+        if extent is None:
+            extent = 0
+            for blen, disp, t in zip(blocklengths, displacements, types):
+                extent = max(extent, disp + blen * t.extent)
+        self._extent = extent
+
+    @property
+    def size(self) -> int:
+        return sum(b * t.size for b, t in zip(self.blocklengths, self.types))
+
+    @property
+    def extent(self) -> int:
+        return self._extent
+
+    def segments(self) -> Iterator[tuple[int, int]]:
+        for blen, disp, t in zip(self.blocklengths, self.displacements, self.types):
+            for off, length in t.iter_segments(blen):
+                yield (disp + off, length)
+
+
+# ----------------------------------------------------------------------
+# Constructor helpers (the usual MPI_Type_* spellings).
+# ----------------------------------------------------------------------
+
+def contiguous(count: int, base: Datatype) -> ContiguousType:
+    """MPI_Type_contiguous."""
+    return ContiguousType(count, base)
+
+
+def vector(count: int, blocklength: int, stride: int, base: Datatype) -> VectorType:
+    """MPI_Type_vector."""
+    return VectorType(count, blocklength, stride, base)
+
+
+def indexed(
+    blocklengths: Iterable[int], displacements: Iterable[int], base: Datatype
+) -> IndexedType:
+    """MPI_Type_indexed."""
+    return IndexedType(list(blocklengths), list(displacements), base)
+
+
+def struct_type(
+    blocklengths: Iterable[int],
+    displacements: Iterable[int],
+    types: Iterable[Datatype],
+    extent: int | None = None,
+) -> StructType:
+    """MPI_Type_create_struct."""
+    return StructType(list(blocklengths), list(displacements), list(types), extent)
+
+
+def hvector(count: int, blocklength: int, stride_bytes: int, base: Datatype) -> HVectorType:
+    """MPI_Type_create_hvector (stride in bytes)."""
+    return HVectorType(count, blocklength, stride_bytes, base)
+
+
+def indexed_block(
+    blocklength: int, displacements: Iterable[int], base: Datatype
+) -> IndexedBlockType:
+    """MPI_Type_create_indexed_block."""
+    return IndexedBlockType(blocklength, list(displacements), base)
+
+
+def subarray(
+    sizes: Iterable[int],
+    subsizes: Iterable[int],
+    starts: Iterable[int],
+    base: Datatype,
+) -> SubarrayType:
+    """MPI_Type_create_subarray (C order)."""
+    return SubarrayType(list(sizes), list(subsizes), list(starts), base)
+
+
+# ----------------------------------------------------------------------
+# Named basic types.
+# ----------------------------------------------------------------------
+
+BYTE = BasicType("BYTE", 1, "u1")
+CHAR = BasicType("CHAR", 1, "S1")
+SHORT = BasicType("SHORT", 2, "i2")
+INT = BasicType("INT", 4, "i4")
+LONG = BasicType("LONG", 8, "i8")
+FLOAT = BasicType("FLOAT", 4, "f4")
+DOUBLE = BasicType("DOUBLE", 8, "f8")
+INT8 = BasicType("INT8", 1, "i1")
+INT16 = BasicType("INT16", 2, "i2")
+INT32 = BasicType("INT32", 4, "i4")
+INT64 = BasicType("INT64", 8, "i8")
+UINT32 = BasicType("UINT32", 4, "u4")
+UINT64 = BasicType("UINT64", 8, "u8")

@@ -1,0 +1,88 @@
+"""Exception hierarchy for the :mod:`repro` runtime.
+
+The real MPI reports failures through integer error codes.  A Python
+runtime is better served by exceptions, but we keep the taxonomy close
+to the MPI error classes so that code written against this library reads
+like MPI code.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "MpiError",
+    "InvalidArgumentError",
+    "InvalidCommunicatorError",
+    "InvalidRankError",
+    "InvalidTagError",
+    "InvalidCountError",
+    "InvalidDatatypeError",
+    "InvalidStreamError",
+    "InvalidRequestError",
+    "TruncationError",
+    "NotInitializedError",
+    "AlreadyFinalizedError",
+    "ProgressReentryError",
+    "PendingOperationsError",
+]
+
+
+class MpiError(RuntimeError):
+    """Base class for all errors raised by the runtime."""
+
+
+class InvalidArgumentError(MpiError):
+    """A call received an argument outside its domain (MPI_ERR_ARG)."""
+
+
+class InvalidCommunicatorError(InvalidArgumentError):
+    """Operation applied to a freed or foreign communicator (MPI_ERR_COMM)."""
+
+
+class InvalidRankError(InvalidArgumentError):
+    """Peer rank outside ``[0, comm.size)`` (MPI_ERR_RANK)."""
+
+
+class InvalidTagError(InvalidArgumentError):
+    """Tag outside the supported tag space (MPI_ERR_TAG)."""
+
+
+class InvalidCountError(InvalidArgumentError):
+    """Negative element count (MPI_ERR_COUNT)."""
+
+
+class InvalidDatatypeError(InvalidArgumentError):
+    """Datatype is not committed or not a Datatype (MPI_ERR_TYPE)."""
+
+
+class InvalidStreamError(InvalidArgumentError):
+    """Stream handle is freed or belongs to another process context."""
+
+
+class InvalidRequestError(InvalidArgumentError):
+    """Request handle is inactive, freed, or foreign (MPI_ERR_REQUEST)."""
+
+
+class TruncationError(MpiError):
+    """An incoming message was larger than the posted receive buffer
+    (MPI_ERR_TRUNCATE)."""
+
+
+class NotInitializedError(MpiError):
+    """MPI call made before :func:`repro.init` for this process context."""
+
+
+class AlreadyFinalizedError(MpiError):
+    """MPI call made after :func:`repro.finalize` for this process context."""
+
+
+class ProgressReentryError(MpiError):
+    """MPI progress was invoked recursively from inside a progress hook.
+
+    The paper (section 3.4) explicitly prohibits invoking progress from
+    within an async ``poll_fn``; hooks must use side-effect-free queries
+    such as ``mpix_request_is_complete`` instead.
+    """
+
+
+class PendingOperationsError(MpiError):
+    """Finalize-time invariant violation (e.g. a hook never completing)."""

@@ -1,0 +1,36 @@
+"""Extensions and related-work comparators.
+
+* :mod:`repro.exts.progress_thread` — the global async-progress-thread
+  baseline (section 5.1), busy and adaptive variants.
+* :mod:`repro.exts.continue_ext` — the MPIX_Continue proposal
+  (section 5.4).
+* :mod:`repro.exts.schedule_ext` — the MPIX_Schedule proposal
+  (section 5.3).
+* :mod:`repro.exts.taskclass` — the task-class queue pattern
+  (Listing 1.4), generalized.
+* :mod:`repro.exts.events` — request-completion event loops built on
+  ``MPIX_Request_is_complete`` (Listing 1.6).
+* :mod:`repro.exts.futures` — futures + a cooperative task executor
+  driven by MPI progress (the task-based-runtime integration of the
+  paper's introduction).
+"""
+
+from repro.exts.aio import AsyncioProgress
+from repro.exts.continue_ext import ContinuationRequest, continue_init
+from repro.exts.events import RequestEventLoop
+from repro.exts.futures import MPIFuture, ProgressExecutor
+from repro.exts.progress_thread import ProgressThread
+from repro.exts.schedule_ext import Schedule
+from repro.exts.taskclass import TaskClassQueue
+
+__all__ = [
+    "AsyncioProgress",
+    "ProgressThread",
+    "ContinuationRequest",
+    "continue_init",
+    "Schedule",
+    "TaskClassQueue",
+    "RequestEventLoop",
+    "MPIFuture",
+    "ProgressExecutor",
+]

@@ -1,0 +1,131 @@
+"""asyncio integration: ``await`` MPI operations.
+
+Section 2.2 observes that the async/await style is exactly the wait-
+block structure of MPI operations made explicit.  This bridge lets
+coroutines await requests while ONE background asyncio task drives
+``MPIX_Stream_progress`` — the paper's single-engine design transplanted
+into an event loop:
+
+    async with AsyncioProgress(proc) as aio:
+        req = comm.irecv(buf, n, INT, peer, tag)
+        status = await aio.wait(req)
+
+Completion plumbing: the driver's progress calls run on the event-loop
+thread, so ``Request.on_complete`` callbacks (fired inside progress)
+resolve the asyncio futures directly.  ``call_soon_threadsafe`` is used
+anyway, so completions coming from a separate
+:class:`~repro.exts.progress_thread.ProgressThread` also work.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.core.mpi import Proc
+from repro.core.request import Request, Status
+from repro.core.stream import STREAM_NULL, MpixStream, StreamNullType
+
+__all__ = ["AsyncioProgress"]
+
+
+class AsyncioProgress:
+    """Drives MPI progress from an asyncio event loop.
+
+    Parameters
+    ----------
+    proc:
+        The process context to progress.
+    stream:
+        Which MPIX stream to drive.
+    idle_sleep:
+        Event-loop sleep when no awaiter is registered (keeps an idle
+        bridge from busy-spinning the loop).
+    """
+
+    def __init__(
+        self,
+        proc: Proc,
+        stream: MpixStream | StreamNullType = STREAM_NULL,
+        *,
+        idle_sleep: float = 1e-3,
+    ) -> None:
+        self.proc = proc
+        self.stream = stream
+        self.idle_sleep = idle_sleep
+        self._task: asyncio.Task | None = None
+        self._watchers = 0
+        self._stopped = False
+        self.stat_passes = 0
+
+    # ------------------------------------------------------------------
+    async def __aenter__(self) -> "AsyncioProgress":
+        self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.aclose()
+
+    def start(self) -> "AsyncioProgress":
+        """Start the driver task on the running loop."""
+        if self._task is not None:
+            raise RuntimeError("driver already started")
+        self._stopped = False
+        self._task = asyncio.get_event_loop().create_task(self._drive())
+        return self
+
+    async def aclose(self) -> None:
+        """Stop the driver task."""
+        self._stopped = True
+        if self._task is not None:
+            task, self._task = self._task, None
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+
+    async def _drive(self) -> None:
+        while not self._stopped:
+            made = self.proc.stream_progress(self.stream)
+            self.stat_passes += 1
+            if self._watchers == 0 and not made:
+                await asyncio.sleep(self.idle_sleep)
+            else:
+                # Yield to the loop; virtual clocks also advance here so
+                # deterministic tests work.
+                if not made:
+                    self.proc.clock.idle_advance()
+                await asyncio.sleep(0)
+
+    # ------------------------------------------------------------------
+    async def wait(self, request: Request) -> Status:
+        """Await a request's completion; returns its status."""
+        loop = asyncio.get_event_loop()
+        future: asyncio.Future = loop.create_future()
+
+        def on_done(req: Request) -> None:
+            def resolve() -> None:
+                if not future.done():
+                    future.set_result(req.status)
+
+            loop.call_soon_threadsafe(resolve)
+
+        self._watchers += 1
+        try:
+            request.on_complete(on_done)
+            return await future
+        finally:
+            self._watchers -= 1
+
+    async def wait_all(self, requests: list[Request]) -> list[Status]:
+        """Await a set of requests concurrently."""
+        return list(await asyncio.gather(*(self.wait(r) for r in requests)))
+
+    async def progress_until(self, predicate) -> None:
+        """Await an arbitrary condition, driving progress meanwhile."""
+        self._watchers += 1
+        try:
+            while not predicate():
+                await asyncio.sleep(0)
+        finally:
+            self._watchers -= 1

@@ -1,0 +1,120 @@
+"""The MPIX_Continue proposal (Schuchart et al. [12]; paper section 5.4).
+
+Continuations attach a callback to one or more operation requests; the
+callback fires *inside the implementation's native progress*, at the
+moment the operation completes — the efficiency edge the paper concedes
+to this design.  The continuation request (``cont_req``) tracks the
+whole set: it completes when every attached continuation has fired.
+
+Implemented as a comparator so the benchmarks can measure it against
+the Listing 1.6 query-loop pattern (``bench_ablation_continue``).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+from repro.core.request import Request
+
+__all__ = ["ContinuationRequest", "continue_init", "continue_", "continueall"]
+
+#: Callback signature: (completed operation request, user data) -> None.
+ContinueCb = Callable[[Request, Any], None]
+
+
+class ContinuationRequest(Request):
+    """Tracks a set of registered continuations (``cont_req``).
+
+    The request is *inactive* until :meth:`arm` (or a ``wait`` helper)
+    declares the registration set closed; it completes when armed and
+    every registered continuation has fired.
+    """
+
+    __slots__ = ("_lock", "_outstanding", "_armed")
+
+    def __init__(self) -> None:
+        super().__init__("continue")
+        self._lock = threading.Lock()
+        self._outstanding = 0
+        self._armed = False
+
+    # ------------------------------------------------------------------
+    def attach(self, op_request: Request, cb: ContinueCb, cb_data: Any = None) -> bool:
+        """Register ``cb`` to fire when ``op_request`` completes.
+
+        Returns True when the operation was already complete (the
+        callback then ran synchronously), mirroring the proposal's
+        ``flag`` output parameter.
+        """
+        with self._lock:
+            self._outstanding += 1
+
+        def fire(req: Request) -> None:
+            try:
+                cb(req, cb_data)
+            finally:
+                self._on_fired()
+
+        already = op_request.is_complete()
+        op_request.on_complete(fire)
+        return already
+
+    def _on_fired(self) -> None:
+        with self._lock:
+            self._outstanding -= 1
+            ready = self._armed and self._outstanding == 0
+        if ready and not self.is_complete():
+            self.complete()
+
+    def arm(self) -> None:
+        """Close the registration set: complete when all have fired."""
+        with self._lock:
+            self._armed = True
+            ready = self._outstanding == 0
+        if ready and not self.is_complete():
+            self.complete()
+
+    @property
+    def outstanding(self) -> int:
+        return self._outstanding
+
+
+def continue_init() -> ContinuationRequest:
+    """``MPIX_Continue_init``: create a continuation request."""
+    return ContinuationRequest()
+
+
+def continue_(
+    op_request: Request,
+    cb: ContinueCb,
+    cb_data: Any = None,
+    cont_req: ContinuationRequest | None = None,
+) -> bool:
+    """``MPIX_Continue``: attach one continuation.
+
+    Returns the proposal's ``flag``: True if the operation had already
+    completed (callback ran synchronously).
+    """
+    if cont_req is None:
+        cont_req = continue_init()
+    return cont_req.attach(op_request, cb, cb_data)
+
+
+def continueall(
+    requests: list[Request],
+    cb: ContinueCb,
+    cb_data: Any = None,
+    cont_req: ContinuationRequest | None = None,
+) -> bool:
+    """``MPIX_Continueall``: attach one continuation per request.
+
+    Returns True when *all* operations were already complete.
+    """
+    if cont_req is None:
+        cont_req = continue_init()
+    all_done = True
+    for req in requests:
+        if not cont_req.attach(req, cb, cb_data):
+            all_done = False
+    return all_done

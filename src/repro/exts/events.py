@@ -1,0 +1,97 @@
+"""Request-completion event loops (Listing 1.6).
+
+A "poor man's" event-driven layer: one async hook scans an array of
+registered requests with the side-effect-free
+``MPIX_Request_is_complete`` query and fires user callbacks on
+completion.  The paper measures the scan overhead in Fig. 12 (flat
+below ~256 pending requests); ``bench_fig12_request_query`` reruns it.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+from repro.core.async_ext import ASYNC_DONE, ASYNC_NOPROGRESS, ASYNC_PENDING, AsyncThing
+from repro.core.mpi import Proc
+from repro.core.request import Request
+from repro.core.stream import STREAM_NULL, MpixStream, StreamNullType
+
+__all__ = ["RequestEventLoop"]
+
+
+class RequestEventLoop:
+    """Fire callbacks when registered requests complete.
+
+    ``persistent=True`` keeps the hook alive when no requests are
+    registered (one idle scan per progress pass); ``False`` lets the
+    hook retire whenever the set drains, re-registering on demand.
+    """
+
+    def __init__(
+        self,
+        proc: Proc,
+        stream: MpixStream | StreamNullType = STREAM_NULL,
+        *,
+        persistent: bool = False,
+    ) -> None:
+        self.proc = proc
+        self.stream = stream
+        self.persistent = persistent
+        self._lock = threading.Lock()
+        self._watch: list[tuple[Request, Callable[[Request, Any], None], Any]] = []
+        self._hook_live = False
+        self._closed = False
+        self.stat_fired = 0
+        self.stat_scans = 0
+        if persistent:
+            self._hook_live = True
+            proc.async_start(self._poll, None, stream)
+
+    # ------------------------------------------------------------------
+    def watch(
+        self,
+        request: Request,
+        callback: Callable[[Request, Any], None],
+        cb_data: Any = None,
+    ) -> None:
+        """Register ``callback(request, cb_data)`` to fire on completion."""
+        if self._closed:
+            raise RuntimeError("event loop is closed")
+        with self._lock:
+            self._watch.append((request, callback, cb_data))
+            need_hook = not self._hook_live
+            if need_hook:
+                self._hook_live = True
+        if need_hook:
+            self.proc.async_start(self._poll, None, self.stream)
+
+    @property
+    def pending(self) -> int:
+        return len(self._watch)
+
+    def close(self) -> None:
+        """Let a persistent hook retire once the watch list drains."""
+        self._closed = True
+
+    # ------------------------------------------------------------------
+    def _poll(self, thing: AsyncThing) -> int:
+        self.stat_scans += 1
+        fired: list[tuple[Request, Callable[[Request, Any], None], Any]] = []
+        with self._lock:
+            still: list[tuple[Request, Callable[[Request, Any], None], Any]] = []
+            for item in self._watch:
+                if item[0].is_complete():
+                    fired.append(item)
+                else:
+                    still.append(item)
+            self._watch = still
+        for req, cb, data in fired:
+            self.stat_fired += 1
+            cb(req, data)
+        with self._lock:
+            drained = not self._watch
+            if drained and (not self.persistent or self._closed):
+                self._hook_live = False
+                return ASYNC_DONE
+        return ASYNC_PENDING if fired else ASYNC_NOPROGRESS

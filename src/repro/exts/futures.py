@@ -1,0 +1,270 @@
+"""Futures and a cooperative task executor driven by MPI progress.
+
+The paper's introduction argues that interoperable MPI progress lets
+task-based runtimes drop their private progress machinery: tasks that
+depend on MPI operations synchronize through the side-effect-free
+``MPIX_Request_is_complete`` while ONE engine — MPI progress — advances
+everything.  This module is that integration, concretely:
+
+* :class:`MPIFuture` — a future that can wrap an MPI request, a
+  user-set value, or the result of a scheduled task;
+* :class:`ProgressExecutor` — a cooperative scheduler whose dependency
+  tracking runs as a single MPIX async hook.  Following the paper's
+  advice that poll functions must stay lightweight (section 4.2), the
+  hook only *moves* runnable tasks onto a ready queue; task bodies
+  execute on the caller's thread inside :meth:`ProgressExecutor.run`
+  / ``future.result()``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Callable, Iterable
+
+from repro.core.async_ext import ASYNC_DONE, ASYNC_NOPROGRESS, ASYNC_PENDING
+from repro.core.mpi import Proc
+from repro.core.request import Request
+from repro.core.stream import STREAM_NULL, MpixStream, StreamNullType
+
+__all__ = ["MPIFuture", "ProgressExecutor"]
+
+
+class MPIFuture:
+    """A future resolvable by a request, a task, or user code."""
+
+    __slots__ = ("_done", "_value", "_exception", "_callbacks", "_lock", "label")
+
+    def __init__(self, label: str = "future") -> None:
+        self._done = False
+        self._value: Any = None
+        self._exception: BaseException | None = None
+        self._callbacks: list[Callable[["MPIFuture"], None]] = []
+        self._lock = threading.Lock()
+        self.label = label
+
+    # ------------------------------------------------------------------
+    def done(self) -> bool:
+        """Side-effect-free completion query (mirrors
+        ``MPIX_Request_is_complete``)."""
+        return self._done
+
+    def value(self) -> Any:
+        """The resolved value; raises if the future failed or pends."""
+        if not self._done:
+            raise RuntimeError(f"{self.label}: future not resolved yet")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    def set_result(self, value: Any) -> None:
+        self._resolve(value, None)
+
+    def set_exception(self, exc: BaseException) -> None:
+        self._resolve(None, exc)
+
+    def _resolve(self, value: Any, exc: BaseException | None) -> None:
+        with self._lock:
+            if self._done:
+                raise RuntimeError(f"{self.label}: already resolved")
+            self._value = value
+            self._exception = exc
+            callbacks, self._callbacks = self._callbacks, []
+            self._done = True
+        for cb in callbacks:
+            cb(self)
+
+    def add_done_callback(self, cb: Callable[["MPIFuture"], None]) -> None:
+        """Run ``cb(self)`` at resolution (immediately if resolved)."""
+        fire = False
+        with self._lock:
+            if self._done:
+                fire = True
+            else:
+                self._callbacks.append(cb)
+        if fire:
+            cb(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self._done else "pending"
+        return f"MPIFuture({self.label}, {state})"
+
+
+class _Task:
+    __slots__ = ("fn", "args", "deps", "future")
+
+    def __init__(self, fn, args, deps, future: MPIFuture) -> None:
+        self.fn = fn
+        self.args = args
+        self.deps = deps  # list of MPIFuture | Request
+        self.future = future
+
+    def ready(self) -> bool:
+        for dep in self.deps:
+            if isinstance(dep, Request):
+                if not dep.is_complete():
+                    return False
+            elif not dep.done():
+                return False
+        return True
+
+
+def _dep_failed(deps) -> BaseException | None:
+    for dep in deps:
+        if isinstance(dep, MPIFuture) and dep.done() and dep._exception is not None:
+            return dep._exception
+    return None
+
+
+class ProgressExecutor:
+    """Cooperative task scheduler on top of MPI progress.
+
+    Typical use::
+
+        ex = ProgressExecutor(proc)
+        recv_f = ex.wrap(comm.irecv(buf, n, INT, peer, 0))
+        work_f = ex.submit(process, buf, deps=[recv_f])
+        answer = ex.result(work_f)   # drives progress + runs tasks
+
+    Thread model: :meth:`submit`/:meth:`wrap` may be called from any
+    thread; task bodies run on whichever thread calls :meth:`run` /
+    :meth:`result` (one at a time, guarded).
+    """
+
+    def __init__(
+        self,
+        proc: Proc,
+        stream: MpixStream | StreamNullType = STREAM_NULL,
+    ) -> None:
+        self.proc = proc
+        self.stream = stream
+        self._lock = threading.Lock()
+        self._waiting: list[_Task] = []
+        self._ready: deque[_Task] = deque()
+        self._hook_live = False
+        self._run_lock = threading.Lock()
+        self.stat_executed = 0
+
+    # ------------------------------------------------------------------
+    # Building the graph.
+    # ------------------------------------------------------------------
+    def wrap(self, request: Request, label: str = "request") -> MPIFuture:
+        """Future view of an MPI request (resolves to its Status)."""
+        future = MPIFuture(label)
+        request.on_complete(lambda req: future.set_result(req.status))
+        return future
+
+    def completed(self, value: Any = None) -> MPIFuture:
+        """An already-resolved future (graph seeds)."""
+        f = MPIFuture("completed")
+        f.set_result(value)
+        return f
+
+    def submit(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        deps: Iterable[MPIFuture | Request] = (),
+        label: str | None = None,
+    ) -> MPIFuture:
+        """Schedule ``fn(*args)`` to run once every dep resolves.
+
+        Dependencies may be futures or raw MPI requests.  If a dep
+        future failed, the task is skipped and its future fails with
+        the same exception.
+        """
+        future = MPIFuture(label or getattr(fn, "__name__", "task"))
+        task = _Task(fn, args, list(deps), future)
+        with self._lock:
+            if task.ready():
+                self._ready.append(task)
+            else:
+                self._waiting.append(task)
+            need_hook = not self._hook_live and bool(self._waiting)
+            if need_hook:
+                self._hook_live = True
+        if need_hook:
+            self.proc.async_start(self._poll, None, self.stream)
+        return future
+
+    def then(
+        self, dep: MPIFuture | Request, fn: Callable[[Any], Any]
+    ) -> MPIFuture:
+        """Chain: run ``fn(dep_value)`` after ``dep`` resolves."""
+        def run() -> Any:
+            value = dep.value() if isinstance(dep, MPIFuture) else dep.status
+            return fn(value)
+
+        return self.submit(run, deps=[dep], label="then")
+
+    # ------------------------------------------------------------------
+    # The MPIX async hook: dependency tracking only (lightweight).
+    # ------------------------------------------------------------------
+    def _poll(self, thing) -> int:
+        moved = 0
+        with self._lock:
+            still: list[_Task] = []
+            for task in self._waiting:
+                if task.ready():
+                    self._ready.append(task)
+                    moved += 1
+                else:
+                    still.append(task)
+            self._waiting = still
+            if not self._waiting:
+                self._hook_live = False
+                return ASYNC_DONE
+        return ASYNC_PENDING if moved else ASYNC_NOPROGRESS
+
+    # ------------------------------------------------------------------
+    # Execution (caller's thread).
+    # ------------------------------------------------------------------
+    def run_ready(self) -> int:
+        """Execute everything currently runnable; returns the count."""
+        executed = 0
+        with self._run_lock:
+            while True:
+                with self._lock:
+                    task = self._ready.popleft() if self._ready else None
+                if task is None:
+                    break
+                failed = _dep_failed(task.deps)
+                if failed is not None:
+                    task.future.set_exception(failed)
+                else:
+                    try:
+                        task.future.set_result(task.fn(*task.args))
+                    except BaseException as exc:  # noqa: BLE001
+                        task.future.set_exception(exc)
+                executed += 1
+                self.stat_executed += 1
+        return executed
+
+    def run(self, until: MPIFuture | None = None) -> None:
+        """Drive progress + execute tasks until ``until`` resolves (or,
+        when None, until the executor is fully drained)."""
+        while True:
+            self.run_ready()
+            if until is not None:
+                if until.done():
+                    return
+            else:
+                with self._lock:
+                    if not self._waiting and not self._ready:
+                        return
+            made = self.proc.stream_progress(self.stream)
+            if not made:
+                with self._lock:
+                    has_ready = bool(self._ready)
+                if not has_ready:
+                    self.proc.idle_wait()
+
+    def result(self, future: MPIFuture) -> Any:
+        """Drive until ``future`` resolves; return (or raise) its value."""
+        self.run(until=future)
+        return future.value()
+
+    @property
+    def pending(self) -> int:
+        with self._lock:
+            return len(self._waiting) + len(self._ready)

@@ -1,0 +1,160 @@
+"""The MPIX_Schedule proposal (Schafer et al. [11]; paper section 5.3).
+
+A schedule is a sequence of *rounds*; each round contains operations —
+MPI requests (or thunks that start them) and local MPI-op reductions —
+that must all complete before the next round begins.  ``commit``
+returns a request that completes when the final round does.  The
+proposal targets persistent user-level collectives, which is why it
+has reset/completion markers and round structure.
+
+The paper's criticism — no progress mechanism of its own, awkward for
+non-MPI operations — holds here too by construction: this comparator
+*borrows* the MPIX async hook for progression (as the paper suggests
+any real implementation effectively must), and non-MPI work can only
+enter via a generalized request.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.async_ext import ASYNC_DONE, ASYNC_NOPROGRESS, ASYNC_PENDING, AsyncThing
+from repro.core.mpi import Proc
+from repro.core.request import Request
+from repro.core.stream import STREAM_NULL, MpixStream, StreamNullType
+from repro.datatype.ops import Op
+from repro.datatype.types import Datatype
+
+__all__ = ["Schedule"]
+
+#: A deferred operation: called at round start, returns the request.
+RequestThunk = Callable[[], Request]
+
+
+class _Round:
+    __slots__ = ("items", "local_ops", "started", "requests")
+
+    def __init__(self) -> None:
+        self.items: list[Request | RequestThunk] = []
+        self.local_ops: list[Callable[[], None]] = []
+        self.started = False
+        self.requests: list[Request] = []
+
+
+class Schedule:
+    """One MPIX_Schedule.
+
+    Build phase: ``add_operation`` / ``add_mpi_operation`` populate the
+    current round; ``create_round`` closes it.  ``mark_reset_point`` /
+    ``mark_completion_point`` record the persistent-collective markers
+    (kept as indices; semantically they delimit the init/round/fini
+    sections of the proposal).  ``commit`` freezes the schedule and
+    starts execution on the given stream.
+    """
+
+    def __init__(self, proc: Proc, *, auto_free: bool = True) -> None:
+        self.proc = proc
+        self.auto_free = auto_free
+        self._rounds: list[_Round] = [_Round()]
+        self.reset_point: int | None = None
+        self.completion_point: int | None = None
+        self._committed = False
+        self._freed = False
+        self.request: Request | None = None
+        self._round_index = 0
+
+    # ------------------------------------------------------------------
+    # Build phase.
+    # ------------------------------------------------------------------
+    def _check_building(self) -> None:
+        if self._committed:
+            raise RuntimeError("schedule already committed")
+        if self._freed:
+            raise RuntimeError("schedule already freed")
+
+    def add_operation(self, op: Request | RequestThunk) -> None:
+        """``MPIX_Schedule_add_operation``: add a request (or a thunk
+        that starts one at round entry) to the current round."""
+        self._check_building()
+        self._rounds[-1].items.append(op)
+
+    def add_mpi_operation(
+        self,
+        op: Op,
+        invec,
+        inoutvec,
+        length: int,
+        datatype: Datatype,
+    ) -> None:
+        """``MPIX_Schedule_add_mpi_operation``: a local reduction
+        executed after the round's communications complete."""
+        self._check_building()
+
+        def run() -> None:
+            op.apply(invec, inoutvec, length, datatype)
+
+        self._rounds[-1].local_ops.append(run)
+
+    def mark_reset_point(self) -> None:
+        """``MPIX_Schedule_mark_reset_point``."""
+        self._check_building()
+        self.reset_point = len(self._rounds) - 1
+
+    def mark_completion_point(self) -> None:
+        """``MPIX_Schedule_mark_completion_point``."""
+        self._check_building()
+        self.completion_point = len(self._rounds) - 1
+
+    def create_round(self) -> None:
+        """``MPIX_Schedule_create_round``: close the current round."""
+        self._check_building()
+        self._rounds.append(_Round())
+
+    # ------------------------------------------------------------------
+    # Execution.
+    # ------------------------------------------------------------------
+    def commit(
+        self, stream: MpixStream | StreamNullType = STREAM_NULL
+    ) -> Request:
+        """``MPIX_Schedule_commit``: start executing; returns the
+        schedule's request."""
+        self._check_building()
+        self._committed = True
+        # Drop a trailing empty round (an artifact of create_round).
+        if self._rounds and not self._rounds[-1].items and not self._rounds[-1].local_ops:
+            self._rounds.pop()
+        self.request = Request("schedule")
+        if not self._rounds:
+            self.request.complete()
+            return self.request
+        self.proc.async_start(self._poll, None, stream)
+        return self.request
+
+    def _start_round(self, rnd: _Round) -> None:
+        rnd.started = True
+        for item in rnd.items:
+            rnd.requests.append(item() if callable(item) else item)
+
+    def _poll(self, thing: AsyncThing) -> int:
+        advanced = False
+        while True:
+            rnd = self._rounds[self._round_index]
+            if not rnd.started:
+                self._start_round(rnd)
+            if not all(r.is_complete() for r in rnd.requests):
+                return ASYNC_PENDING if advanced else ASYNC_NOPROGRESS
+            for op in rnd.local_ops:
+                op()
+            self._round_index += 1
+            advanced = True
+            if self._round_index >= len(self._rounds):
+                assert self.request is not None
+                self.request.complete()
+                if self.auto_free:
+                    self._freed = True
+                return ASYNC_DONE
+            # fall through: start the next round within this same poll
+
+    def free(self) -> None:
+        """``MPIX_Schedule_free``."""
+        self._freed = True

@@ -1,0 +1,15 @@
+"""Mini MPI-IO built at user level — the ROMIO story, replayed.
+
+The paper holds ROMIO up as the model for extending MPI from a library
+on top (§1), and lists asynchronous storage I/O among the subsystems
+collated progress should absorb (§2.6).  This package does both: a
+simulated asynchronous storage device whose completions are discovered
+by polling, and an MPI-IO-flavored file layer (independent and
+two-phase collective reads/writes) whose progression is an MPIX async
+hook inside MPI progress.
+"""
+
+from repro.io.storage import StorageDevice
+from repro.io.file import File
+
+__all__ = ["StorageDevice", "File"]

@@ -1,0 +1,239 @@
+"""MPI-IO-flavored file layer, implemented entirely at user level.
+
+Exactly the architecture the paper advocates (§1, §2.7): an MPI
+extension living in a library on top of core MPI — its asynchronous
+progression supplied by ``MPIX_Async_start``, its collectives composed
+from the library's own allgather/gatherv/scatterv, its completion
+handles ordinary :class:`~repro.core.request.Request` objects usable
+with ``wait`` / ``request_is_complete``.
+
+Collective I/O uses two-phase aggregation (the ROMIO technique): the
+per-rank pieces are shipped to an aggregator rank, which issues ONE
+large storage operation instead of ``p`` small ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.async_ext import ASYNC_DONE, ASYNC_NOPROGRESS, ASYNC_PENDING
+from repro.core.comm import Comm
+from repro.core.request import Request
+from repro.datatype.types import INT64, as_readonly_view
+from repro.errors import InvalidArgumentError
+from repro.io.storage import StorageDevice
+
+__all__ = ["File"]
+
+
+class File:
+    """A file opened collectively over a communicator."""
+
+    def __init__(self, comm: Comm, path: str, device: StorageDevice) -> None:
+        self.comm = comm
+        self.proc = comm.proc
+        self.path = path
+        self.device = device
+        self.closed = False
+        self._hook_live = False
+        self._inflight = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(cls, comm: Comm, path: str, device: StorageDevice) -> "File":
+        """Collective open (synchronizing, like MPI_File_open)."""
+        handle = cls(comm, path, device)
+        comm.barrier()
+        return handle
+
+    def close(self) -> None:
+        """Collective close: drain outstanding I/O, synchronize."""
+        while self._inflight:
+            if not self.proc.stream_progress(self.comm.stream):
+                self.proc.idle_wait()
+        self.comm.barrier()
+        self.closed = True
+
+    def _check(self) -> None:
+        if self.closed:
+            raise InvalidArgumentError("file handle is closed")
+
+    # ------------------------------------------------------------------
+    # The storage progress hook: one per handle, armed while I/O is in
+    # flight — MPI-IO's async subsystem living inside MPI progress.
+    # ------------------------------------------------------------------
+    def _arm_hook(self) -> None:
+        if self._hook_live:
+            return
+        self._hook_live = True
+
+        def storage_poll(thing) -> int:
+            made = self.device.progress()
+            if self._inflight == 0:
+                self._hook_live = False
+                return ASYNC_DONE
+            return ASYNC_PENDING if made else ASYNC_NOPROGRESS
+
+        self.proc.async_start(storage_poll, None, self.comm.stream)
+
+    def _track(self, post) -> Request:
+        """Post a storage op whose completion resolves a Request."""
+        req = Request("io")
+        self._inflight += 1
+
+        def on_done(op) -> None:
+            self._inflight -= 1
+            req.complete(count_bytes=op.nbytes)
+
+        post(on_done)
+        self._arm_hook()
+        return req
+
+    # ------------------------------------------------------------------
+    # Independent I/O.
+    # ------------------------------------------------------------------
+    def iwrite_at(self, offset: int, buf, nbytes: int) -> Request:
+        """Nonblocking independent write at an explicit offset."""
+        self._check()
+        return self._track(
+            lambda cb: self.device.post_write(
+                self.path, offset, buf, nbytes, callback=cb
+            )
+        )
+
+    def write_at(self, offset: int, buf, nbytes: int) -> None:
+        self.proc.wait(self.iwrite_at(offset, buf, nbytes), self.comm.stream)
+
+    def iread_at(self, offset: int, buf, nbytes: int) -> Request:
+        """Nonblocking independent read at an explicit offset."""
+        self._check()
+        return self._track(
+            lambda cb: self.device.post_read(
+                self.path, offset, buf, nbytes, callback=cb
+            )
+        )
+
+    def read_at(self, offset: int, buf, nbytes: int) -> None:
+        self.proc.wait(self.iread_at(offset, buf, nbytes), self.comm.stream)
+
+    # ------------------------------------------------------------------
+    # Collective I/O (two-phase, aggregator = comm rank 0).
+    # ------------------------------------------------------------------
+    def _exchange_extents(self, offset: int, nbytes: int) -> tuple[list, list]:
+        """Allgather every rank's (offset, nbytes)."""
+        mine = np.array([offset, nbytes], dtype="i8")
+        table = np.zeros(2 * self.comm.size, dtype="i8")
+        self.comm.allgather(mine, table, 2, INT64)
+        offsets = [int(table[2 * r]) for r in range(self.comm.size)]
+        sizes = [int(table[2 * r + 1]) for r in range(self.comm.size)]
+        return offsets, sizes
+
+    def write_at_all(self, offset: int, buf, nbytes: int) -> None:
+        """Collective write: every rank contributes one extent.
+
+        Phase 1 ships the pieces to the aggregator (gatherv); phase 2
+        issues a single storage write per contiguous run of extents.
+        """
+        self._check()
+        offsets, sizes = self._exchange_extents(offset, nbytes)
+        counts = sizes
+        displs = [sum(counts[:r]) for r in range(self.comm.size)]
+        total = sum(counts)
+        gathered = bytearray(max(total, 1))
+        from repro.datatype.types import BYTE
+
+        self.comm.gatherv(
+            bytes(as_readonly_view(buf)[:nbytes]) if nbytes else b"",
+            nbytes,
+            gathered if self.comm.rank == 0 else None,
+            counts,
+            displs,
+            BYTE,
+            root=0,
+        )
+        if self.comm.rank == 0 and total:
+            reqs = []
+            for run_offset, run_data in _coalesce(offsets, sizes, gathered, displs):
+                reqs.append(
+                    self._track(
+                        lambda cb, o=run_offset, d=run_data: self.device.post_write(
+                            self.path, o, d, len(d), callback=cb
+                        )
+                    )
+                )
+            self.proc.waitall(reqs, self.comm.stream)
+        self.comm.barrier()  # write_at_all is synchronizing here
+
+    def read_at_all(self, offset: int, buf, nbytes: int) -> None:
+        """Collective read: aggregator reads each contiguous run once
+        and scatters the pieces."""
+        self._check()
+        offsets, sizes = self._exchange_extents(offset, nbytes)
+        counts = sizes
+        displs = [sum(counts[:r]) for r in range(self.comm.size)]
+        total = sum(counts)
+        staging = bytearray(max(total, 1))
+        from repro.datatype.types import BYTE
+
+        if self.comm.rank == 0 and total:
+            reqs = []
+            for run in _runs(offsets, sizes, displs):
+                run_offset, run_len, pieces = run
+                run_buf = bytearray(run_len)
+                reqs.append(
+                    (
+                        self._track(
+                            lambda cb, o=run_offset, b=run_buf, n=run_len: (
+                                self.device.post_read(self.path, o, b, n, callback=cb)
+                            )
+                        ),
+                        run_buf,
+                        pieces,
+                    )
+                )
+            self.proc.waitall([r for r, _, _ in reqs], self.comm.stream)
+            for _, run_buf, pieces in reqs:
+                for src_lo, dst_lo, ln in pieces:
+                    staging[dst_lo : dst_lo + ln] = run_buf[src_lo : src_lo + ln]
+        out = bytearray(max(nbytes, 1))
+        self.comm.scatterv(staging, counts, displs, out, nbytes, BYTE, root=0)
+        if nbytes:
+            from repro.datatype.types import as_writable_view
+
+            as_writable_view(buf)[:nbytes] = out[:nbytes]
+        self.comm.barrier()
+
+    # ------------------------------------------------------------------
+    def size(self) -> int:
+        return self.device.file_size(self.path)
+
+
+def _runs(offsets, sizes, displs):
+    """Group the (sorted-by-offset) extents into contiguous runs.
+
+    Yields ``(run_offset, run_len, pieces)`` where each piece is
+    ``(src_offset_in_run, dst_offset_in_gathered, length)``.
+    """
+    order = sorted(range(len(offsets)), key=lambda r: offsets[r])
+    run = None
+    for r in order:
+        if sizes[r] == 0:
+            continue
+        if run is not None and offsets[r] == run[0] + run[1]:
+            run[2].append((run[1], displs[r], sizes[r]))
+            run[1] += sizes[r]
+        else:
+            if run is not None:
+                yield tuple(run)
+            run = [offsets[r], sizes[r], [(0, displs[r], sizes[r])]]
+    if run is not None:
+        yield tuple(run)
+
+
+def _coalesce(offsets, sizes, gathered, displs):
+    """Yield ``(file_offset, data)`` per contiguous run for writing."""
+    for run_offset, run_len, pieces in _runs(offsets, sizes, displs):
+        data = bytearray(run_len)
+        for src_lo, g_lo, ln in pieces:
+            data[src_lo : src_lo + ln] = gathered[g_lo : g_lo + ln]
+        yield run_offset, bytes(data)

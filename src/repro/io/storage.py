@@ -1,0 +1,206 @@
+"""Simulated asynchronous storage device.
+
+Same offload model as the NIC and the GPU copy engine: an operation on
+*n* bytes posted at *t* matures at ``t + alpha + n*beta`` and its
+effects (bytes landing in the backing store, or read data landing in
+the caller's buffer) materialize only when the device is polled.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from typing import Any, Callable
+
+from repro.datatype.types import as_readonly_view, as_writable_view
+from repro.util.clock import Clock
+
+__all__ = ["StorageOp", "StorageDevice"]
+
+#: storage cost model (seconds, seconds/byte) — spinning-ish defaults
+STORAGE_ALPHA = 20e-6
+STORAGE_BETA = 1e-9
+
+
+class StorageOp:
+    """One posted read or write."""
+
+    __slots__ = (
+        "op_id",
+        "kind",
+        "path",
+        "offset",
+        "nbytes",
+        "deadline",
+        "completed",
+        "_data",
+        "_result_buf",
+        "_callback",
+    )
+
+    def __init__(
+        self,
+        op_id: int,
+        kind: str,
+        path: str,
+        offset: int,
+        nbytes: int,
+        deadline: float,
+        data: bytes | None,
+        result_buf,
+        callback: Callable[["StorageOp"], None] | None,
+    ) -> None:
+        self.op_id = op_id
+        self.kind = kind  # 'read' | 'write'
+        self.path = path
+        self.offset = offset
+        self.nbytes = nbytes
+        self.deadline = deadline
+        self.completed = False
+        self._data = data
+        self._result_buf = result_buf
+        self._callback = callback
+
+    def __lt__(self, other: "StorageOp") -> bool:
+        return (self.deadline, self.op_id) < (other.deadline, other.op_id)
+
+
+class StorageDevice:
+    """An async block store shared by every rank of a world.
+
+    Files are auto-created, auto-extending byte arrays keyed by path.
+    Thread-safe: any rank may post and any rank may poll; an op's
+    effects are applied exactly once, by whichever poll first observes
+    its deadline.
+    """
+
+    def __init__(
+        self,
+        clock: Clock,
+        *,
+        alpha: float = STORAGE_ALPHA,
+        beta: float = STORAGE_BETA,
+    ) -> None:
+        self.clock = clock
+        self.alpha = alpha
+        self.beta = beta
+        self._lock = threading.Lock()
+        self._files: dict[str, bytearray] = {}
+        self._inflight: list[StorageOp] = []
+        self._pending = 0
+        self._op_ids = itertools.count(1)
+        self.stat_reads = 0
+        self.stat_writes = 0
+        self.stat_bytes = 0
+
+    # ------------------------------------------------------------------
+    def _deadline(self, nbytes: int) -> float:
+        t = self.clock.now() + self.alpha + nbytes * self.beta
+        self.clock.register_deadline(t)
+        return t
+
+    def post_write(
+        self,
+        path: str,
+        offset: int,
+        buf,
+        nbytes: int,
+        *,
+        callback: Callable[[StorageOp], None] | None = None,
+    ) -> StorageOp:
+        """Queue an asynchronous write (data snapshotted at post)."""
+        data = bytes(as_readonly_view(buf)[:nbytes])
+        op = StorageOp(
+            next(self._op_ids),
+            "write",
+            path,
+            offset,
+            nbytes,
+            self._deadline(nbytes),
+            data,
+            None,
+            callback,
+        )
+        with self._lock:
+            heapq.heappush(self._inflight, op)
+            self._pending += 1
+        self.stat_writes += 1
+        self.stat_bytes += nbytes
+        return op
+
+    def post_read(
+        self,
+        path: str,
+        offset: int,
+        result_buf,
+        nbytes: int,
+        *,
+        callback: Callable[[StorageOp], None] | None = None,
+    ) -> StorageOp:
+        """Queue an asynchronous read into ``result_buf``."""
+        op = StorageOp(
+            next(self._op_ids),
+            "read",
+            path,
+            offset,
+            nbytes,
+            self._deadline(nbytes),
+            None,
+            result_buf,
+            callback,
+        )
+        with self._lock:
+            heapq.heappush(self._inflight, op)
+            self._pending += 1
+        self.stat_reads += 1
+        self.stat_bytes += nbytes
+        return op
+
+    # ------------------------------------------------------------------
+    def _apply_locked(self, op: StorageOp) -> None:
+        blob = self._files.setdefault(op.path, bytearray())
+        if op.kind == "write":
+            end = op.offset + op.nbytes
+            if len(blob) < end:
+                blob.extend(b"\x00" * (end - len(blob)))
+            blob[op.offset : end] = op._data
+        else:
+            end = min(op.offset + op.nbytes, len(blob))
+            chunk = bytes(blob[op.offset : end]) if end > op.offset else b""
+            view = as_writable_view(op._result_buf)
+            view[: len(chunk)] = chunk
+            if len(chunk) < op.nbytes:  # short read past EOF: zero-fill
+                view[len(chunk) : op.nbytes] = b"\x00" * (op.nbytes - len(chunk))
+
+    def progress(self) -> bool:
+        """Retire matured ops (standard collated-progress contract)."""
+        if self._pending == 0:
+            return False
+        now = self.clock.now()
+        matured: list[StorageOp] = []
+        with self._lock:
+            while self._inflight and self._inflight[0].deadline <= now:
+                op = heapq.heappop(self._inflight)
+                self._apply_locked(op)
+                op.completed = True
+                matured.append(op)
+            self._pending = len(self._inflight)
+        for op in matured:
+            if op._callback is not None:
+                cb, op._callback = op._callback, None
+                cb(op)
+        return bool(matured)
+
+    @property
+    def pending(self) -> int:
+        return self._pending
+
+    def file_size(self, path: str) -> int:
+        with self._lock:
+            return len(self._files.get(path, b""))
+
+    def snapshot(self, path: str) -> bytes:
+        """Copy of a file's current contents (test/diagnostic helper)."""
+        with self._lock:
+            return bytes(self._files.get(path, b""))

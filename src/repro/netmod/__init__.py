@@ -1,0 +1,14 @@
+"""Simulated network module (netmod).
+
+Replaces the OFI/UCX netmod of a real MPICH build with an in-process
+fabric that preserves the property the paper's analysis rests on:
+network operations are *offloaded* — they complete at a future instant
+and both local completions and incoming packets must be discovered by
+polling an endpoint.
+"""
+
+from repro.netmod.packet import Packet
+from repro.netmod.endpoint import Endpoint, NicOp
+from repro.netmod.fabric import Fabric
+
+__all__ = ["Packet", "NicOp", "Endpoint", "Fabric"]

@@ -1,0 +1,181 @@
+"""Fabric endpoints: injection, completion queues, receive queues.
+
+Each endpoint is addressed by ``(rank, vci)``.  Streams map to VCIs
+(virtual communication interfaces), so progress on one MPIX stream only
+polls that stream's endpoint — the isolation that makes Fig. 11 flat.
+
+Cost model (see :mod:`repro.config`): an injection of *n* bytes posted
+at local time *t*
+
+* completes locally (buffer reusable / NicOp matured) at
+  ``t + nic_alpha + n * nic_beta``;
+* arrives at the target (packet visible to its ``poll``) at
+  ``t + nic_wire_delay + n * nic_beta``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from typing import Any
+
+from repro.netmod.packet import Packet
+from repro.util.clock import Clock
+
+__all__ = ["NicOp", "Endpoint"]
+
+
+class NicOp:
+    """Handle for a posted network operation.
+
+    ``context`` is an opaque cookie the p2p protocol layer uses to find
+    its state machine when the completion is polled.
+    """
+
+    __slots__ = ("op_id", "nbytes", "deadline", "context", "completed")
+
+    def __init__(self, op_id: int, nbytes: int, deadline: float, context: Any) -> None:
+        self.op_id = op_id
+        self.nbytes = nbytes
+        self.deadline = deadline
+        self.context = context
+        self.completed = False
+
+    def __lt__(self, other: "NicOp") -> bool:  # heap ordering
+        return (self.deadline, self.op_id) < (other.deadline, other.op_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.completed else f"due@{self.deadline:.6f}"
+        return f"NicOp(#{self.op_id}, {self.nbytes}B, {state})"
+
+
+class Endpoint:
+    """One injection/polling port on the fabric.
+
+    Thread-safety: an endpoint may be polled by its owning stream while
+    remote ranks concurrently deliver packets to it, so the two pending
+    heaps are lock-protected.  Polling when idle is cheap: two int
+    checks under a single uncontended lock acquisition, preceded by a
+    lock-free emptiness test.
+    """
+
+    __slots__ = (
+        "address",
+        "_fabric",
+        "_clock",
+        "_lock",
+        "_inflight",
+        "_arrivals",
+        "_pending_count",
+        "_last_arrival",
+        "stat_posted",
+        "stat_bytes",
+        "stat_polls",
+        "stat_empty_polls",
+    )
+
+    def __init__(self, address: tuple[int, int], fabric: "Fabric") -> None:  # noqa: F821
+        self.address = address
+        self._fabric = fabric
+        self._clock: Clock = fabric.clock
+        self._lock = threading.Lock()
+        #: locally posted ops ordered by completion deadline
+        self._inflight: list[NicOp] = []
+        #: (arrival_time, seq, Packet) heap of packets en route to us
+        self._arrivals: list[tuple[float, int, Packet]] = []
+        self._pending_count = 0  # lock-free idle check
+        #: last scheduled arrival time per destination, enforcing FIFO
+        #: (non-overtaking) delivery per (src, dst) endpoint pair even
+        #: when a small message would otherwise "pass" a large one.
+        self._last_arrival: dict[tuple[int, int], float] = {}
+        self.stat_posted = 0
+        self.stat_bytes = 0
+        self.stat_polls = 0
+        self.stat_empty_polls = 0
+
+    # ------------------------------------------------------------------
+    # Injection side.
+    # ------------------------------------------------------------------
+    def post_send(
+        self,
+        dst: tuple[int, int],
+        header: dict[str, Any],
+        payload: bytes | bytearray | memoryview = b"",
+        *,
+        context: Any = None,
+    ) -> NicOp:
+        """Inject a packet towards ``dst``.
+
+        The payload is snapshotted at post time (MPI forbids touching a
+        send buffer before completion, so this is semantically safe) and
+        a :class:`NicOp` is returned whose completion must be discovered
+        via :meth:`poll`.
+        """
+        cfg = self._fabric.config
+        now = self._clock.now()
+        data = bytes(payload)
+        nbytes = len(data)
+        op_id = self._fabric.next_op_id()
+        deadline = now + cfg.nic_alpha + nbytes * cfg.nic_beta
+        arrival = now + cfg.nic_wire_delay + nbytes * cfg.nic_beta
+        prev = self._last_arrival.get(dst)
+        if prev is not None and arrival <= prev:
+            arrival = prev + 1e-12
+        self._last_arrival[dst] = arrival
+        op = NicOp(op_id, nbytes, deadline, context)
+        packet = Packet(self.address, dst, dict(header), data, seq=op_id)
+        with self._lock:
+            heapq.heappush(self._inflight, op)
+            self._pending_count += 1
+        self._clock.register_deadline(deadline)
+        self._fabric.deliver(packet, arrival)
+        self.stat_posted += 1
+        self.stat_bytes += nbytes
+        return op
+
+    # ------------------------------------------------------------------
+    # Delivery side (called by the fabric, possibly from another thread).
+    # ------------------------------------------------------------------
+    def enqueue_arrival(self, packet: Packet, arrival_time: float) -> None:
+        with self._lock:
+            heapq.heappush(self._arrivals, (arrival_time, packet.seq, packet))
+            self._pending_count += 1
+        self._clock.register_deadline(arrival_time)
+
+    # ------------------------------------------------------------------
+    # Polling.
+    # ------------------------------------------------------------------
+    def poll(self) -> tuple[list[NicOp], list[Packet]]:
+        """Harvest matured completions and arrived packets.
+
+        Returns ``(completions, packets)`` in deadline order.  Both are
+        empty when nothing matured — the common idle case, which costs
+        one lock-free counter read.
+        """
+        self.stat_polls += 1
+        if self._pending_count == 0:
+            self.stat_empty_polls += 1
+            return [], []
+        now = self._clock.now()
+        completions: list[NicOp] = []
+        packets: list[Packet] = []
+        with self._lock:
+            while self._inflight and self._inflight[0].deadline <= now:
+                op = heapq.heappop(self._inflight)
+                op.completed = True
+                completions.append(op)
+            while self._arrivals and self._arrivals[0][0] <= now:
+                _, _, packet = heapq.heappop(self._arrivals)
+                packets.append(packet)
+            self._pending_count = len(self._inflight) + len(self._arrivals)
+        if not completions and not packets:
+            self.stat_empty_polls += 1
+        return completions, packets
+
+    @property
+    def pending(self) -> int:
+        """Operations/arrivals not yet harvested (lock-free snapshot)."""
+        return self._pending_count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Endpoint{self.address}(pending={self._pending_count})"

@@ -1,0 +1,89 @@
+"""The fabric: the set of all endpoints plus global delivery.
+
+One :class:`Fabric` instance backs one :class:`repro.runtime.World`.
+Endpoints are created lazily per ``(rank, vci)`` address; VCI 0 is the
+default used by ``MPIX_STREAM_NULL`` traffic.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+
+from repro.config import DEFAULT_CONFIG, RuntimeConfig
+from repro.errors import InvalidRankError
+from repro.netmod.endpoint import Endpoint
+from repro.netmod.packet import Packet
+from repro.util.clock import Clock, MonotonicClock
+
+__all__ = ["Fabric"]
+
+
+class Fabric:
+    """In-process interconnect connecting ``nranks`` ranks.
+
+    Parameters
+    ----------
+    nranks:
+        Number of ranks attached to the fabric.
+    clock:
+        Shared time source; defaults to a fresh :class:`MonotonicClock`.
+    config:
+        Cost-model and protocol configuration.
+    """
+
+    def __init__(
+        self,
+        nranks: int,
+        *,
+        clock: Clock | None = None,
+        config: RuntimeConfig | None = None,
+    ) -> None:
+        if nranks <= 0:
+            raise ValueError("nranks must be positive")
+        self.nranks = nranks
+        self.clock = clock if clock is not None else MonotonicClock()
+        self.config = config if config is not None else DEFAULT_CONFIG
+        self.config.validate()
+        self._endpoints: dict[tuple[int, int], Endpoint] = {}
+        self._ep_lock = threading.Lock()
+        self._op_counter = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    def endpoint(self, rank: int, vci: int = 0) -> Endpoint:
+        """Get (lazily creating) the endpoint at ``(rank, vci)``."""
+        if not 0 <= rank < self.nranks:
+            raise InvalidRankError(f"rank {rank} outside [0, {self.nranks})")
+        key = (rank, vci)
+        ep = self._endpoints.get(key)
+        if ep is not None:
+            return ep
+        with self._ep_lock:
+            ep = self._endpoints.get(key)
+            if ep is None:
+                ep = Endpoint(key, self)
+                self._endpoints[key] = ep
+            return ep
+
+    def next_op_id(self) -> int:
+        return next(self._op_counter)
+
+    def deliver(self, packet: Packet, arrival_time: float) -> None:
+        """Route ``packet`` to its destination endpoint."""
+        rank, vci = packet.dst
+        self.endpoint(rank, vci).enqueue_arrival(packet, arrival_time)
+
+    # ------------------------------------------------------------------
+    def same_node(self, rank_a: int, rank_b: int) -> bool:
+        """True when the two ranks share a simulated node."""
+        rpn = self.config.ranks_per_node
+        return rank_a // rpn == rank_b // rpn
+
+    def total_pending(self) -> int:
+        """Sum of unharvested work across all endpoints (diagnostics)."""
+        with self._ep_lock:
+            eps = list(self._endpoints.values())
+        return sum(ep.pending for ep in eps)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Fabric(nranks={self.nranks}, endpoints={len(self._endpoints)})"

@@ -1,0 +1,45 @@
+"""Wire packets carried by the simulated fabric.
+
+The netmod is deliberately dumb: it moves an opaque header dict plus a
+payload byte string from one endpoint to another with a delay.  All
+protocol meaning (eager data, RTS, CTS, chunk, ack, ...) lives in the
+p2p layer's header fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Packet"]
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One message on the wire."""
+
+    #: Source (rank, vci) address.
+    src: tuple[int, int]
+    #: Destination (rank, vci) address.
+    dst: tuple[int, int]
+    #: Protocol-defined header fields.
+    header: dict[str, Any]
+    #: Payload bytes (may be empty for control packets).
+    payload: bytes = b""
+    #: Fabric-assigned monotonically increasing id (per fabric).
+    seq: int = 0
+
+    @property
+    def kind(self) -> str:
+        """Protocol packet kind, e.g. 'eager', 'rts', 'cts', 'data'."""
+        return self.header.get("kind", "?")
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.payload)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Packet(#{self.seq} {self.kind} {self.src}->{self.dst} "
+            f"{self.nbytes}B)"
+        )

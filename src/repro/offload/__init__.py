@@ -1,0 +1,5 @@
+"""Simulated offload device (GPU-like asynchronous copy engine)."""
+
+from repro.offload.device import OffloadDevice, OffloadOp
+
+__all__ = ["OffloadDevice", "OffloadOp"]

@@ -1,0 +1,19 @@
+"""Point-to-point messaging engine.
+
+Implements the message modes of Fig. 1 — buffered (lightweight), eager,
+rendezvous, and pipeline — over the netmod and shmem transports, with
+posted/unexpected matching queues and wildcard support.
+"""
+
+from repro.p2p.matching import ANY_SOURCE, ANY_TAG, PostedQueue, UnexpectedQueue
+from repro.p2p.protocol import P2PEngine, RecvEntry, SendMode
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "PostedQueue",
+    "UnexpectedQueue",
+    "P2PEngine",
+    "RecvEntry",
+    "SendMode",
+]

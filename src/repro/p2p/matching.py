@@ -1,0 +1,102 @@
+"""Message matching: posted-receive and unexpected-message queues.
+
+MPI matching is FIFO per (context_id, source, tag) with wildcard
+``ANY_SOURCE``/``ANY_TAG`` on the receive side.  Queues here are plain
+lists scanned in order — the same structure MPICH uses for its default
+queues — because matching order (not asymptotics) is the correctness-
+critical property.
+
+Queues are per-VCI and protected by the owning stream's lock, so they
+need no internal locking.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "PostedQueue", "UnexpectedQueue"]
+
+#: Wildcard source rank (MPI_ANY_SOURCE).
+ANY_SOURCE = -1
+#: Wildcard tag (MPI_ANY_TAG).
+ANY_TAG = -1
+
+
+def _matches(
+    posted_src: int, posted_tag: int, msg_src: int, msg_tag: int
+) -> bool:
+    """Does a posted (src, tag) pattern match an incoming message?"""
+    if posted_src != ANY_SOURCE and posted_src != msg_src:
+        return False
+    if posted_tag != ANY_TAG and posted_tag != msg_tag:
+        return False
+    return True
+
+
+class PostedQueue:
+    """Receives posted before their message arrived."""
+
+    __slots__ = ("_entries",)
+
+    def __init__(self) -> None:
+        # (context_id, src_pattern, tag_pattern, entry)
+        self._entries: list[tuple[int, int, int, Any]] = []
+
+    def post(self, context_id: int, src: int, tag: int, entry: Any) -> None:
+        self._entries.append((context_id, src, tag, entry))
+
+    def match(self, context_id: int, msg_src: int, msg_tag: int) -> Any | None:
+        """Pop and return the first posted entry matching an arrival."""
+        for i, (ctx, src, tag, entry) in enumerate(self._entries):
+            if ctx == context_id and _matches(src, tag, msg_src, msg_tag):
+                del self._entries[i]
+                return entry
+        return None
+
+    def remove(self, entry: Any) -> bool:
+        """Withdraw a specific posted entry (receive cancellation)."""
+        for i, (_, _, _, e) in enumerate(self._entries):
+            if e is entry:
+                del self._entries[i]
+                return True
+        return False
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Any]:
+        return (entry for _, _, _, entry in self._entries)
+
+
+class UnexpectedQueue:
+    """Arrived messages with no matching posted receive yet."""
+
+    __slots__ = ("_entries",)
+
+    def __init__(self) -> None:
+        # (context_id, msg_src, msg_tag, entry)
+        self._entries: list[tuple[int, int, int, Any]] = []
+
+    def add(self, context_id: int, msg_src: int, msg_tag: int, entry: Any) -> None:
+        self._entries.append((context_id, msg_src, msg_tag, entry))
+
+    def match(self, context_id: int, src: int, tag: int) -> Any | None:
+        """Pop and return the first arrival matching a newly posted recv."""
+        for i, (ctx, msg_src, msg_tag, entry) in enumerate(self._entries):
+            if ctx == context_id and _matches(src, tag, msg_src, msg_tag):
+                del self._entries[i]
+                return entry
+        return None
+
+    def peek(self, context_id: int, src: int, tag: int) -> Any | None:
+        """Like :meth:`match` but leaves the entry queued (MPI_Probe)."""
+        for ctx, msg_src, msg_tag, entry in self._entries:
+            if ctx == context_id and _matches(src, tag, msg_src, msg_tag):
+                return entry
+        return None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Any]:
+        return (entry for _, _, _, entry in self._entries)

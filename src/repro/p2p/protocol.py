@@ -1,0 +1,778 @@
+"""Point-to-point protocol state machines.
+
+Implements the four message modes of Fig. 1 over the two transports:
+
+=============  ==========================  =====================  ============
+mode           selected when (payload n)   sender wait blocks     Fig. 1 panel
+=============  ==========================  =====================  ============
+BUFFERED       n <= buffered_threshold     0 (copy + inject)      (a)
+EAGER          n <= eager_threshold        1 (NIC completion)     (b)
+RENDEZVOUS     n <= rendezvous_threshold   2 (CTS, then data)     (c)
+PIPELINE       larger                      1 + one per chunk wave pipeline mode
+=============  ==========================  =====================  ============
+
+Wait blocks are *counted* on each request (``Request.wait_blocks``) so
+the anatomy of Fig. 1 is a measurable, testable property rather than a
+diagram.
+
+Threading: all state in a :class:`VciState` is protected by the owning
+stream's lock, which the core layer holds around every call into this
+module.  Nothing here takes locks of its own (matching MPICH's per-VCI
+locking discipline that MPIX streams exploit).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Any
+
+from repro.config import RuntimeConfig
+from repro.core.request import Request
+from repro.datatype.engine import DatatypeEngine, PackTask
+from repro.datatype.types import Datatype, as_readonly_view, as_writable_view
+from repro.errors import InvalidCountError, InvalidTagError
+from repro.netmod.fabric import Fabric
+from repro.netmod.packet import Packet
+from repro.p2p.matching import ANY_TAG, PostedQueue, UnexpectedQueue
+from repro.shmem.transport import ShmemTransport
+from repro.util.trace import Tracer
+
+__all__ = ["SendMode", "SendEntry", "RecvEntry", "VciState", "P2PEngine"]
+
+#: status.error value for truncation, mirroring MPI_ERR_TRUNCATE.
+ERR_TRUNCATE = 15
+
+
+class SendMode(enum.Enum):
+    BUFFERED = "buffered"
+    EAGER = "eager"
+    RENDEZVOUS = "rendezvous"
+    PIPELINE = "pipeline"
+
+
+class SendEntry:
+    """Sender-side state machine for one message."""
+
+    __slots__ = (
+        "req",
+        "msg_id",
+        "mode",
+        "payload",
+        "nbytes",
+        "dst_rank",
+        "dst_vci",
+        "tag",
+        "context_id",
+        "use_shmem",
+        "next_offset",
+        "inflight_chunks",
+        "chunks_done",
+        "total_chunks",
+    )
+
+    def __init__(self, req: Request, msg_id: int, mode: SendMode) -> None:
+        self.req = req
+        self.msg_id = msg_id
+        self.mode = mode
+        self.payload: bytes = b""
+        self.nbytes = 0
+        self.dst_rank = -1
+        self.dst_vci = 0
+        self.tag = 0
+        self.context_id = 0
+        self.use_shmem = False
+        # pipeline bookkeeping
+        self.next_offset = 0
+        self.inflight_chunks = 0
+        self.chunks_done = 0
+        self.total_chunks = 0
+
+
+class RecvEntry:
+    """Receiver-side state for one posted or matched receive."""
+
+    __slots__ = (
+        "req",
+        "buf",
+        "count",
+        "datatype",
+        "src",
+        "tag",
+        "context_id",
+        "capacity",
+        "staging",
+        "bytes_received",
+        "expected_bytes",
+        "contiguous",
+    )
+
+    def __init__(
+        self,
+        req: Request,
+        buf,
+        count: int,
+        datatype: Datatype,
+        src: int,
+        tag: int,
+        context_id: int,
+    ) -> None:
+        self.req = req
+        self.buf = buf
+        self.count = count
+        self.datatype = datatype
+        self.src = src
+        self.tag = tag
+        self.context_id = context_id
+        self.capacity = count * datatype.size
+        self.staging: bytearray | None = None
+        self.bytes_received = 0
+        self.expected_bytes = 0
+        self.contiguous = datatype.is_contiguous
+
+
+class _UnexpectedMsg:
+    """A buffered unexpected arrival (eager payload or RTS descriptor)."""
+
+    __slots__ = ("kind", "src_addr", "header", "payload")
+
+    def __init__(
+        self, kind: str, src_addr: tuple[int, int], header: dict[str, Any], payload: bytes
+    ) -> None:
+        self.kind = kind  # 'eager' or 'rts'
+        self.src_addr = src_addr
+        self.header = header
+        self.payload = payload
+
+    @property
+    def nbytes(self) -> int:
+        if self.kind == "eager":
+            return len(self.payload)
+        return int(self.header["nbytes"])
+
+
+class VciState:
+    """Per-VCI messaging state: queues, active entries, endpoint."""
+
+    __slots__ = (
+        "vci",
+        "posted",
+        "unexpected",
+        "sends",
+        "recvs",
+    )
+
+    def __init__(self, vci: int) -> None:
+        self.vci = vci
+        self.posted = PostedQueue()
+        self.unexpected = UnexpectedQueue()
+        #: active sender state machines by msg_id
+        self.sends: dict[int, SendEntry] = {}
+        #: receives awaiting rendezvous/pipeline data by (src_addr, msg_id)
+        self.recvs: dict[tuple[tuple[int, int], int], RecvEntry] = {}
+
+
+class P2PEngine:
+    """All point-to-point machinery for one rank.
+
+    The engine is transport-agnostic: per destination it picks the
+    shmem transport (same node, enabled) or the netmod endpoint, both
+    of which expose post/poll with completion cookies.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        fabric: Fabric,
+        shmem: ShmemTransport | None,
+        datatype_engine: DatatypeEngine,
+        config: RuntimeConfig,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.rank = rank
+        self.fabric = fabric
+        self.shmem = shmem
+        self.datatype_engine = datatype_engine
+        self.config = config
+        self.tracer = tracer if tracer is not None else Tracer()
+        self._vcis: dict[int, VciState] = {}
+        self._msg_ids = itertools.count(1)
+        #: RMA windows by win id; 'rma_*' packets route here
+        self.rma_windows: dict[int, Any] = {}
+
+    # ------------------------------------------------------------------
+    def vci_state(self, vci: int) -> VciState:
+        state = self._vcis.get(vci)
+        if state is None:
+            state = VciState(vci)
+            self._vcis[vci] = state
+        return state
+
+    def _shmem_route(self, dst_rank: int) -> bool:
+        return (
+            self.shmem is not None
+            and self.config.use_shmem
+            and self.fabric.same_node(self.rank, dst_rank)
+        )
+
+    def _post(
+        self,
+        vci: int,
+        dst: tuple[int, int],
+        header: dict[str, Any],
+        payload,
+        *,
+        context: Any = None,
+        via_shmem: bool = False,
+    ):
+        """Inject one packet via the chosen transport."""
+        src = (self.rank, vci)
+        if via_shmem:
+            assert self.shmem is not None
+            return self.shmem.post_send(src, dst, header, payload, context=context)
+        return self.fabric.endpoint(self.rank, vci).post_send(
+            dst, header, payload, context=context
+        )
+
+    def _select_mode(self, nbytes: int) -> SendMode:
+        cfg = self.config
+        if nbytes <= cfg.buffered_threshold:
+            return SendMode.BUFFERED
+        if nbytes <= cfg.eager_threshold:
+            return SendMode.EAGER
+        if nbytes <= cfg.rendezvous_threshold:
+            return SendMode.RENDEZVOUS
+        return SendMode.PIPELINE
+
+    # ------------------------------------------------------------------
+    # Send path.
+    # ------------------------------------------------------------------
+    def isend(
+        self,
+        vci: int,
+        dst_rank: int,
+        dst_vci: int,
+        buf,
+        count: int,
+        datatype: Datatype,
+        tag: int,
+        context_id: int,
+        *,
+        sync: bool = False,
+    ) -> Request:
+        """Start a nonblocking send; returns its request.
+
+        ``sync=True`` forces rendezvous regardless of size (MPI_Ssend
+        semantics: completion implies the receive was matched).
+        """
+        if count < 0:
+            raise InvalidCountError(f"negative count {count}")
+        if tag < 0 or tag > self.config.tag_ub:
+            raise InvalidTagError(f"tag {tag} outside [0, {self.config.tag_ub}]")
+        datatype.ensure_committed()
+        nbytes = count * datatype.size
+        req = Request("send")
+        mode = SendMode.RENDEZVOUS if sync and nbytes <= self.config.rendezvous_threshold else self._select_mode(nbytes)
+        if sync and mode in (SendMode.BUFFERED, SendMode.EAGER):
+            mode = SendMode.RENDEZVOUS
+        entry = SendEntry(req, next(self._msg_ids), mode)
+        entry.dst_rank = dst_rank
+        entry.dst_vci = dst_vci
+        entry.tag = tag
+        entry.context_id = context_id
+        entry.nbytes = nbytes
+        entry.use_shmem = self._shmem_route(dst_rank)
+
+        state = self.vci_state(vci)
+
+        # --- gather the payload -------------------------------------
+        if count == 0:
+            self._start_protocol(vci, state, entry, b"")
+            return req
+        if datatype.is_contiguous:
+            payload = bytes(as_readonly_view(buf)[:nbytes])
+            self._start_protocol(vci, state, entry, payload)
+        elif nbytes <= self.config.datatype_chunk_size:
+            payload = bytes(datatype.pack(buf, count))
+            self._start_protocol(vci, state, entry, payload)
+        else:
+            # Large non-contiguous payload: pack asynchronously via the
+            # datatype engine; the protocol starts when packing ends.
+            staging = bytearray(nbytes)
+            req.add_wait_block()  # the async pack is itself a wait
+
+            def _packed() -> None:
+                self._start_protocol(vci, state, entry, bytes(staging))
+
+            task = PackTask(
+                datatype,
+                count,
+                buf,
+                staging,
+                unpack=False,
+                chunk_size=self.config.datatype_chunk_size,
+                on_complete=_packed,
+            )
+            self.datatype_engine.submit(task)
+        return req
+
+    def _start_protocol(
+        self, vci: int, state: VciState, entry: SendEntry, payload: bytes
+    ) -> None:
+        entry.payload = payload
+        dst = (entry.dst_rank, entry.dst_vci)
+        base_header = {
+            "ctx": entry.context_id,
+            "src_rank": self.rank,
+            "src_vci": vci,
+            "tag": entry.tag,
+            "msg_id": entry.msg_id,
+        }
+        self.tracer.record(
+            self.fabric.clock.now(),
+            "send_start",
+            mode=entry.mode.value,
+            msg_id=entry.msg_id,
+            nbytes=entry.nbytes,
+            dst=entry.dst_rank,
+        )
+        if entry.mode is SendMode.BUFFERED:
+            # Lightweight send: the payload snapshot above IS the bounce
+            # buffer copy; fire and forget, zero wait blocks.
+            header = dict(base_header, kind="eager")
+            self._post(vci, dst, header, payload, via_shmem=entry.use_shmem)
+            entry.req.complete(count_bytes=entry.nbytes)
+        elif entry.mode is SendMode.EAGER:
+            header = dict(base_header, kind="eager")
+            entry.req.add_wait_block()
+            state.sends[entry.msg_id] = entry
+            self._post(
+                vci,
+                dst,
+                header,
+                payload,
+                context=("send_done", entry),
+                via_shmem=entry.use_shmem,
+            )
+        else:  # RENDEZVOUS or PIPELINE: RTS first.
+            header = dict(
+                base_header,
+                kind="rts",
+                nbytes=entry.nbytes,
+                pipelined=entry.mode is SendMode.PIPELINE,
+            )
+            entry.req.add_wait_block()  # waiting for CTS
+            state.sends[entry.msg_id] = entry
+            self._post(vci, dst, header, b"", via_shmem=entry.use_shmem)
+
+    def _handle_cts(self, vci: int, state: VciState, msg_id: int) -> None:
+        entry = state.sends.get(msg_id)
+        if entry is None:
+            return
+        dst = (entry.dst_rank, entry.dst_vci)
+        self.tracer.record(
+            self.fabric.clock.now(), "cts_received", msg_id=msg_id
+        )
+        if entry.mode is SendMode.RENDEZVOUS:
+            header = {"kind": "rdata", "msg_id": msg_id}
+            entry.req.add_wait_block()  # waiting for data completion
+            self._post(
+                vci,
+                dst,
+                header,
+                entry.payload,
+                context=("send_done", entry),
+                via_shmem=entry.use_shmem,
+            )
+        else:  # PIPELINE
+            chunk = self.config.pipeline_chunk_size
+            entry.total_chunks = max(1, -(-entry.nbytes // chunk))
+            self._pump_pipeline(vci, state, entry)
+
+    def _pump_pipeline(self, vci: int, state: VciState, entry: SendEntry) -> None:
+        """Post chunks up to the in-flight window."""
+        cfg = self.config
+        dst = (entry.dst_rank, entry.dst_vci)
+        posted_any = False
+        while (
+            entry.next_offset < entry.nbytes
+            and entry.inflight_chunks < cfg.pipeline_max_inflight
+        ):
+            end = min(entry.next_offset + cfg.pipeline_chunk_size, entry.nbytes)
+            header = {
+                "kind": "chunk",
+                "msg_id": entry.msg_id,
+                "offset": entry.next_offset,
+                "last": end >= entry.nbytes,
+            }
+            self._post(
+                vci,
+                dst,
+                header,
+                entry.payload[entry.next_offset : end],
+                context=("chunk_done", entry),
+                via_shmem=entry.use_shmem,
+            )
+            entry.next_offset = end
+            entry.inflight_chunks += 1
+            posted_any = True
+        if posted_any:
+            entry.req.add_wait_block()  # one wait per posted wave
+
+    def _handle_chunk_done(self, vci: int, state: VciState, entry: SendEntry) -> None:
+        entry.inflight_chunks -= 1
+        entry.chunks_done += 1
+        if entry.next_offset < entry.nbytes:
+            self._pump_pipeline(vci, state, entry)
+        elif entry.inflight_chunks == 0:
+            state.sends.pop(entry.msg_id, None)
+            entry.req.complete(count_bytes=entry.nbytes)
+
+    # ------------------------------------------------------------------
+    # Receive path.
+    # ------------------------------------------------------------------
+    def irecv(
+        self,
+        vci: int,
+        buf,
+        count: int,
+        datatype: Datatype,
+        src: int,
+        tag: int,
+        context_id: int,
+    ) -> Request:
+        """Post a nonblocking receive; returns its request."""
+        if count < 0:
+            raise InvalidCountError(f"negative count {count}")
+        if tag != ANY_TAG and (tag < 0 or tag > self.config.tag_ub):
+            raise InvalidTagError(f"tag {tag} outside [0, {self.config.tag_ub}]")
+        datatype.ensure_committed()
+        req = Request("recv")
+        entry = RecvEntry(req, buf, count, datatype, src, tag, context_id)
+        state = self.vci_state(vci)
+
+        msg = state.unexpected.match(context_id, src, tag)
+        if msg is None:
+            state.posted.post(context_id, src, tag, entry)
+            req.add_wait_block()  # will wait for arrival
+            return req
+
+        if msg.kind == "eager":
+            self._deliver_eager(entry, msg.header, msg.payload)
+        else:  # rts arrived before the receive was posted
+            self._accept_rts(vci, state, entry, msg.src_addr, msg.header)
+        return req
+
+    def _deliver_eager(
+        self, entry: RecvEntry, header: dict[str, Any], payload: bytes
+    ) -> None:
+        n = len(payload)
+        error = 0
+        if n > entry.capacity:
+            n = entry.capacity
+            error = ERR_TRUNCATE
+        if n:
+            if entry.contiguous:
+                as_writable_view(entry.buf)[:n] = payload[:n]
+            else:
+                whole = n // entry.datatype.size
+                entry.datatype.unpack_from(payload, whole, entry.buf)
+        entry.req.complete(
+            source=header["src_rank"],
+            tag=header["tag"],
+            count_bytes=n,
+            error=error,
+        )
+        self.tracer.record(
+            self.fabric.clock.now(),
+            "recv_complete",
+            mode="eager",
+            msg_id=header["msg_id"],
+            nbytes=n,
+        )
+
+    def _accept_rts(
+        self,
+        vci: int,
+        state: VciState,
+        entry: RecvEntry,
+        src_addr: tuple[int, int],
+        header: dict[str, Any],
+    ) -> None:
+        """Matched an RTS: reply CTS and arm for incoming data."""
+        msg_id = header["msg_id"]
+        nbytes = header["nbytes"]
+        entry.expected_bytes = nbytes
+        entry.req.status.source = header["src_rank"]
+        entry.req.status.tag = header["tag"]
+        if not entry.contiguous or nbytes > entry.capacity:
+            entry.staging = bytearray(min(nbytes, max(entry.capacity, 1)) or 1)
+        state.recvs[(src_addr, msg_id)] = entry
+        entry.req.add_wait_block()  # waiting for the data
+        via_shmem = self._shmem_route(src_addr[0])
+        self.tracer.record(
+            self.fabric.clock.now(), "cts_sent", msg_id=msg_id, nbytes=nbytes
+        )
+        self._post(vci, src_addr, {"kind": "cts", "msg_id": msg_id}, b"", via_shmem=via_shmem)
+
+    def _finish_large_recv(
+        self,
+        state: VciState,
+        key: tuple[tuple[int, int], int],
+        entry: RecvEntry,
+        payload: bytes | None,
+    ) -> None:
+        """Complete a rendezvous/pipeline receive.
+
+        ``payload`` is the whole message for rendezvous; None for
+        pipeline (data already landed in buf/staging chunk by chunk).
+        """
+        state.recvs.pop(key, None)
+        error = 0
+        if payload is not None:
+            n = len(payload)
+            if n > entry.capacity:
+                n = entry.capacity
+                error = ERR_TRUNCATE
+            if entry.contiguous:
+                if n:
+                    as_writable_view(entry.buf)[:n] = payload[:n]
+            else:
+                whole = n // entry.datatype.size
+                entry.datatype.unpack_from(payload, whole, entry.buf)
+            received = n
+        else:
+            received = min(entry.bytes_received, entry.capacity)
+            if entry.bytes_received > entry.capacity:
+                error = ERR_TRUNCATE
+            if entry.staging is not None:
+                whole = received // entry.datatype.size
+                entry.datatype.unpack_from(entry.staging, whole, entry.buf)
+        entry.req.complete(count_bytes=received, error=error)
+        self.tracer.record(
+            self.fabric.clock.now(),
+            "recv_complete",
+            mode="large",
+            msg_id=key[1],
+            nbytes=received,
+        )
+
+    def _handle_chunk_packet(
+        self, state: VciState, src_addr: tuple[int, int], packet: Packet
+    ) -> None:
+        msg_id = packet.header["msg_id"]
+        key = (src_addr, msg_id)
+        entry = state.recvs.get(key)
+        if entry is None:
+            return  # stale (cancelled receive)
+        offset = packet.header["offset"]
+        data = packet.payload
+        if entry.staging is not None:
+            end = min(offset + len(data), len(entry.staging))
+            if offset < end:
+                entry.staging[offset:end] = data[: end - offset]
+        else:
+            view = as_writable_view(entry.buf)
+            end = min(offset + len(data), entry.capacity)
+            if offset < end:
+                view[offset:end] = data[: end - offset]
+        entry.bytes_received += len(data)
+        if entry.bytes_received >= entry.expected_bytes:
+            self._finish_large_recv(state, key, entry, None)
+
+    # ------------------------------------------------------------------
+    # Probe / matched probe / cancel.
+    # ------------------------------------------------------------------
+    def improbe(
+        self, vci: int, src: int, tag: int, context_id: int
+    ) -> "_UnexpectedMsg | None":
+        """Matched probe (MPI_Improbe): atomically claim one matching
+        unexpected message, removing it from the queue.
+
+        The returned handle can only be received via :meth:`imrecv`;
+        other receives can no longer match it.  None when nothing
+        matches (the core layer drives progress around this).
+        """
+        state = self.vci_state(vci)
+        return state.unexpected.match(context_id, src, tag)
+
+    def imrecv(
+        self,
+        vci: int,
+        buf,
+        count: int,
+        datatype: Datatype,
+        message: "_UnexpectedMsg",
+    ) -> Request:
+        """Receive a message claimed by :meth:`improbe`."""
+        datatype.ensure_committed()
+        req = Request("mrecv")
+        entry = RecvEntry(
+            req,
+            buf,
+            count,
+            datatype,
+            message.header["src_rank"],
+            message.header["tag"],
+            message.header["ctx"],
+        )
+        state = self.vci_state(vci)
+        if message.kind == "eager":
+            self._deliver_eager(entry, message.header, message.payload)
+        else:  # rts
+            self._accept_rts(vci, state, entry, message.src_addr, message.header)
+        return req
+
+    def iprobe(
+        self, vci: int, src: int, tag: int, context_id: int
+    ) -> dict[str, Any] | None:
+        """Non-destructive check for a matchable unexpected message.
+
+        Returns ``{'source', 'tag', 'count_bytes'}`` or None.  The core
+        layer invokes progress around this.
+        """
+        state = self.vci_state(vci)
+        msg = state.unexpected.peek(context_id, src, tag)
+        if msg is None:
+            return None
+        return {
+            "source": msg.header["src_rank"],
+            "tag": msg.header["tag"],
+            "count_bytes": msg.nbytes,
+        }
+
+    def cancel_recv(self, vci: int, req: Request) -> bool:
+        """Cancel a still-posted receive; True on success."""
+        state = self.vci_state(vci)
+        for entry in list(state.posted):
+            if entry.req is req:
+                state.posted.remove(entry)
+                req.status.cancelled = True
+                req.complete(count_bytes=0)
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Progress.
+    # ------------------------------------------------------------------
+    def progress_netmod(self, vci: int) -> bool:
+        """Poll the netmod endpoint for this VCI (Listing 1.1's
+        ``Netmod_progress``); True when anything was processed."""
+        state = self.vci_state(vci)
+        made = False
+        endpoint = self.fabric.endpoint(self.rank, vci)
+        completions, packets = endpoint.poll()
+        for op in completions:
+            if op.context is not None:
+                made = True
+                self._dispatch_completion(vci, state, op.context)
+        for packet in packets:
+            made = True
+            self._dispatch_packet(vci, state, packet)
+        return made
+
+    def progress_shmem(self, vci: int) -> bool:
+        """Poll the shmem transport for this VCI (Listing 1.1's
+        ``Shmem_progress``); True when anything was processed."""
+        if self.shmem is None or not self.config.use_shmem:
+            return False
+        state = self.vci_state(vci)
+        addr = (self.rank, vci)
+        if not self.shmem.has_work(addr):
+            return False
+        s_completions, s_packets, made = self.shmem.progress(addr)
+        for op in s_completions:
+            if op.context is not None:
+                made = True
+                self._dispatch_completion(vci, state, op.context)
+        for packet in s_packets:
+            made = True
+            self._dispatch_packet(vci, state, packet)
+        return made
+
+    def progress(self, vci: int) -> bool:
+        """Poll both transports (convenience for tests)."""
+        made = self.progress_shmem(vci)
+        return self.progress_netmod(vci) or made
+
+    def _dispatch_completion(self, vci: int, state: VciState, context: Any) -> None:
+        kind, entry = context
+        if kind == "send_done":
+            state.sends.pop(entry.msg_id, None)
+            entry.req.complete(count_bytes=entry.nbytes)
+            self.tracer.record(
+                self.fabric.clock.now(),
+                "send_complete",
+                mode=entry.mode.value,
+                msg_id=entry.msg_id,
+            )
+        elif kind == "chunk_done":
+            self._handle_chunk_done(vci, state, entry)
+        # other cookies ('rts_sent', ...) need no action
+
+    # ------------------------------------------------------------------
+    # RMA window registry (one-sided packets bypass matching).
+    # ------------------------------------------------------------------
+    def register_rma(self, win_id: int, win: Any) -> None:
+        self.rma_windows[win_id] = win
+
+    def unregister_rma(self, win_id: int) -> None:
+        self.rma_windows.pop(win_id, None)
+
+    def _dispatch_packet(self, vci: int, state: VciState, packet: Packet) -> None:
+        kind = packet.kind
+        header = packet.header
+        if kind.startswith("rma_"):
+            win = self.rma_windows.get(header["win"])
+            if win is not None:
+                win.handle_packet(self, vci, packet)
+            return
+        if kind == "eager":
+            entry = state.posted.match(
+                header["ctx"], header["src_rank"], header["tag"]
+            )
+            if entry is not None:
+                self._deliver_eager(entry, header, packet.payload)
+            else:
+                state.unexpected.add(
+                    header["ctx"],
+                    header["src_rank"],
+                    header["tag"],
+                    _UnexpectedMsg("eager", packet.src, header, packet.payload),
+                )
+        elif kind == "rts":
+            entry = state.posted.match(
+                header["ctx"], header["src_rank"], header["tag"]
+            )
+            if entry is not None:
+                self._accept_rts(vci, state, entry, packet.src, header)
+            else:
+                state.unexpected.add(
+                    header["ctx"],
+                    header["src_rank"],
+                    header["tag"],
+                    _UnexpectedMsg("rts", packet.src, header, b""),
+                )
+        elif kind == "cts":
+            self._handle_cts(vci, state, header["msg_id"])
+        elif kind == "rdata":
+            key = (packet.src, header["msg_id"])
+            entry = state.recvs.get(key)
+            if entry is not None:
+                self._finish_large_recv(state, key, entry, packet.payload)
+        elif kind == "chunk":
+            self._handle_chunk_packet(state, packet.src, packet)
+        else:  # pragma: no cover - future protocol kinds
+            raise AssertionError(f"unknown packet kind {kind!r}")
+
+    # ------------------------------------------------------------------
+    def has_pending(self, vci: int) -> bool:
+        """Any protocol activity outstanding on this VCI?"""
+        state = self.vci_state(vci)
+        if state.sends or state.recvs or len(state.posted):
+            return True
+        if self.fabric.endpoint(self.rank, vci).pending:
+            return True
+        if self.shmem is not None and self.shmem.has_work((self.rank, vci)):
+            return True
+        return False

@@ -1,0 +1,12 @@
+"""One-sided communication (RMA windows).
+
+RMA is the subsystem where MPI progress matters most: a passive-target
+``get`` can only complete when the *target* rank's progress engine
+processes the request — the textbook case for the paper's explicit
+progress control (a target busy computing serves RMA only if a progress
+thread or interspersed ``MPIX_Stream_progress`` calls run).
+"""
+
+from repro.rma.window import Win, win_create
+
+__all__ = ["Win", "win_create"]

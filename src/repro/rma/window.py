@@ -1,0 +1,450 @@
+"""RMA windows: put/get/accumulate/fetch-ops with fence and
+passive-target lock synchronization.
+
+Protocol: every one-sided operation is a packet routed by the target's
+p2p dispatch to the window handler (`rma_*` kinds), applied to the
+exposed buffer *inside the target's progress*, and acknowledged back to
+the origin.  That is exactly MPICH's software-RMA path — and why
+passive-target RMA lives or dies by target-side progress (the paper's
+problem statement, in one subsystem).
+
+Simplifications vs full MPI RMA, documented:
+
+* displacement unit is one byte (``disp_unit=1``);
+* accumulate supports the predefined reduction ops (they travel by
+  name; user ops would need code shipping);
+* lock-all/PSCW epochs are not implemented (fence + per-rank locks are).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import TYPE_CHECKING, Any
+
+import repro.datatype.ops as _ops
+from repro.core.request import Request
+from repro.datatype.ops import SUM, Op
+from repro.datatype.types import (
+    BasicType,
+    Datatype,
+    as_readonly_view,
+    as_writable_view,
+)
+from repro.errors import InvalidArgumentError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.comm import Comm
+    from repro.p2p.protocol import P2PEngine
+
+__all__ = ["Win", "win_create"]
+
+#: predefined ops addressable by wire name
+_OP_REGISTRY: dict[str, Op] = {
+    name: getattr(_ops, name)
+    for name in ("SUM", "PROD", "MIN", "MAX", "LAND", "LOR", "BAND", "BOR", "BXOR")
+}
+
+_LOCK_EXCLUSIVE = 0
+_LOCK_SHARED = 1
+
+
+class _TargetLockState:
+    """Per-window lock state at the target side."""
+
+    __slots__ = ("mode", "holders", "queue")
+
+    def __init__(self) -> None:
+        self.mode: int | None = None  # None = unlocked
+        self.holders: set[tuple[int, int]] = set()  # origin addresses
+        self.queue: list[tuple[tuple[int, int], int, int]] = []  # (addr, type, op_id)
+
+
+class Win:
+    """One rank's handle on a collectively created RMA window."""
+
+    def __init__(self, comm: "Comm", buf, win_id: int) -> None:
+        self.comm = comm
+        self.proc = comm.proc
+        self.win_id = win_id
+        self.local_buf = buf
+        self.local_view = as_writable_view(buf) if buf is not None else None
+        self.freed = False
+        self._op_ids = itertools.count(1)
+        #: origin side: outstanding ops awaiting target ack/response
+        self._outstanding: dict[int, dict[str, Any]] = {}
+        #: per-target count of unacked ops (flush bookkeeping)
+        self._unacked: dict[int, int] = {}
+        self._target_lock = _TargetLockState()
+        self._mutex = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Origin-side helpers.
+    # ------------------------------------------------------------------
+    def _post_to(self, target: int, header: dict[str, Any], payload=b"") -> None:
+        p2p = self.proc.p2p
+        world = self.comm._world_rank(target)
+        dst_vci = self.comm.peer_vcis[target]
+        header = dict(
+            header,
+            win=self.win_id,
+            origin_rank=self.comm.rank,
+            origin_vci=self.comm.stream.vci,
+        )
+        with self.comm.stream.lock:
+            p2p._post(
+                self.comm.stream.vci,
+                (world, dst_vci),
+                header,
+                payload,
+                via_shmem=p2p._shmem_route(world),
+            )
+
+    def _new_op(self, target: int, kind: str, **extra: Any) -> tuple[int, Request]:
+        req = Request(f"rma-{kind}")
+        op_id = next(self._op_ids)
+        with self._mutex:
+            self._outstanding[op_id] = {"request": req, "target": target, **extra}
+            self._unacked[target] = self._unacked.get(target, 0) + 1
+        return op_id, req
+
+    def _check(self, target: int, offset: int, nbytes: int) -> None:
+        if self.freed:
+            raise InvalidArgumentError("window has been freed")
+        if not 0 <= target < self.comm.size:
+            raise InvalidArgumentError(f"target rank {target} out of range")
+        if offset < 0 or nbytes < 0:
+            raise InvalidArgumentError("negative offset/size")
+
+    # ------------------------------------------------------------------
+    # One-sided operations (r-variants return a Request).
+    # ------------------------------------------------------------------
+    def rput(self, origin_buf, nbytes: int, target: int, offset: int = 0) -> Request:
+        """Write ``nbytes`` of ``origin_buf`` into the target window at
+        byte ``offset``; the request completes on the target's ack."""
+        self._check(target, offset, nbytes)
+        payload = bytes(as_readonly_view(origin_buf)[:nbytes])
+        op_id, req = self._new_op(target, "put")
+        self._post_to(target, {"kind": "rma_put", "offset": offset, "op_id": op_id}, payload)
+        return req
+
+    def put(self, origin_buf, nbytes: int, target: int, offset: int = 0) -> None:
+        self.proc.wait(self.rput(origin_buf, nbytes, target, offset), self.comm.stream)
+
+    def rget(self, result_buf, nbytes: int, target: int, offset: int = 0) -> Request:
+        """Read ``nbytes`` from the target window into ``result_buf``."""
+        self._check(target, offset, nbytes)
+        op_id, req = self._new_op(target, "get", result_buf=result_buf)
+        self._post_to(
+            target, {"kind": "rma_get", "offset": offset, "nbytes": nbytes, "op_id": op_id}
+        )
+        return req
+
+    def get(self, result_buf, nbytes: int, target: int, offset: int = 0) -> None:
+        self.proc.wait(self.rget(result_buf, nbytes, target, offset), self.comm.stream)
+
+    def raccumulate(
+        self,
+        origin_buf,
+        count: int,
+        datatype: Datatype,
+        target: int,
+        offset: int = 0,
+        op: Op = SUM,
+    ) -> Request:
+        """Element-wise ``target[off:] = origin (op) target[off:]``."""
+        if not isinstance(datatype, BasicType):
+            raise InvalidArgumentError("accumulate requires a basic datatype")
+        if op.name not in _OP_REGISTRY:
+            raise InvalidArgumentError(
+                f"accumulate supports predefined ops only, not {op.name!r}"
+            )
+        nbytes = count * datatype.size
+        self._check(target, offset, nbytes)
+        payload = bytes(as_readonly_view(origin_buf)[:nbytes])
+        op_id, req = self._new_op(target, "acc")
+        self._post_to(
+            target,
+            {
+                "kind": "rma_acc",
+                "offset": offset,
+                "op_id": op_id,
+                "opname": op.name,
+                "dtname": datatype.name,
+                "count": count,
+            },
+            payload,
+        )
+        return req
+
+    def accumulate(self, origin_buf, count, datatype, target, offset=0, op=SUM) -> None:
+        self.proc.wait(
+            self.raccumulate(origin_buf, count, datatype, target, offset, op),
+            self.comm.stream,
+        )
+
+    def rfetch_and_op(
+        self,
+        value_buf,
+        result_buf,
+        datatype: Datatype,
+        target: int,
+        offset: int = 0,
+        op: Op = SUM,
+    ) -> Request:
+        """Atomically ``result = target[off]; target[off] = value (op)
+        target[off]`` for one element."""
+        if not isinstance(datatype, BasicType):
+            raise InvalidArgumentError("fetch_and_op requires a basic datatype")
+        if op.name not in _OP_REGISTRY:
+            raise InvalidArgumentError("fetch_and_op supports predefined ops only")
+        nbytes = datatype.size
+        self._check(target, offset, nbytes)
+        payload = bytes(as_readonly_view(value_buf)[:nbytes])
+        op_id, req = self._new_op(target, "fop", result_buf=result_buf)
+        self._post_to(
+            target,
+            {
+                "kind": "rma_fop",
+                "offset": offset,
+                "op_id": op_id,
+                "opname": op.name,
+                "dtname": datatype.name,
+            },
+            payload,
+        )
+        return req
+
+    def fetch_and_op(self, value_buf, result_buf, datatype, target, offset=0, op=SUM):
+        self.proc.wait(
+            self.rfetch_and_op(value_buf, result_buf, datatype, target, offset, op),
+            self.comm.stream,
+        )
+
+    def compare_and_swap(
+        self,
+        compare_buf,
+        origin_buf,
+        result_buf,
+        datatype: Datatype,
+        target: int,
+        offset: int = 0,
+    ) -> None:
+        """Atomic one-element CAS: result = target[off]; if it equals
+        compare, target[off] = origin."""
+        if not isinstance(datatype, BasicType):
+            raise InvalidArgumentError("compare_and_swap requires a basic datatype")
+        nbytes = datatype.size
+        self._check(target, offset, nbytes)
+        payload = bytes(as_readonly_view(compare_buf)[:nbytes]) + bytes(
+            as_readonly_view(origin_buf)[:nbytes]
+        )
+        op_id, req = self._new_op(target, "cas", result_buf=result_buf)
+        self._post_to(
+            target,
+            {
+                "kind": "rma_cas",
+                "offset": offset,
+                "op_id": op_id,
+                "dtname": datatype.name,
+            },
+            payload,
+        )
+        self.proc.wait(req, self.comm.stream)
+
+    # ------------------------------------------------------------------
+    # Synchronization epochs.
+    # ------------------------------------------------------------------
+    def flush(self, target: int) -> None:
+        """Block until every op issued to ``target`` was acked."""
+        while self._unacked.get(target, 0) > 0:
+            if not self.proc.stream_progress(self.comm.stream):
+                self.proc.idle_wait()
+
+    def flush_all(self) -> None:
+        while any(v > 0 for v in self._unacked.values()):
+            if not self.proc.stream_progress(self.comm.stream):
+                self.proc.idle_wait()
+
+    def fence(self) -> None:
+        """Active-target epoch boundary: complete all outgoing ops at
+        their targets, then synchronize everyone."""
+        self.flush_all()
+        self.comm.barrier()
+
+    def lock(self, target: int, *, shared: bool = False) -> None:
+        """Acquire the passive-target lock on ``target``'s window."""
+        op_id, req = self._new_op(target, "lock")
+        self._post_to(
+            target,
+            {
+                "kind": "rma_lock",
+                "op_id": op_id,
+                "lock_type": _LOCK_SHARED if shared else _LOCK_EXCLUSIVE,
+            },
+        )
+        self.proc.wait(req, self.comm.stream)
+
+    def unlock(self, target: int) -> None:
+        """Flush and release the passive-target lock."""
+        self.flush(target)
+        op_id, req = self._new_op(target, "unlock")
+        self._post_to(target, {"kind": "rma_unlock", "op_id": op_id})
+        self.proc.wait(req, self.comm.stream)
+
+    def free(self) -> None:
+        """Collective: drain and release the window."""
+        self.fence()
+        self.proc.p2p.unregister_rma(self.win_id)
+        self.freed = True
+
+    # ------------------------------------------------------------------
+    # Target-side packet handling (runs inside the target's progress).
+    # ------------------------------------------------------------------
+    def handle_packet(self, p2p: "P2PEngine", vci: int, packet) -> None:
+        header = packet.header
+        kind = header["kind"]
+        # Replies go straight back to the sender's fabric address.
+        reply_to = packet.src
+
+        def reply(hdr: dict[str, Any], payload=b"") -> None:
+            p2p._post(
+                vci,
+                reply_to,
+                dict(hdr, win=self.win_id),
+                payload,
+                via_shmem=p2p._shmem_route(reply_to[0]),
+            )
+
+        if kind == "rma_put":
+            off = header["offset"]
+            self.local_view[off : off + len(packet.payload)] = packet.payload
+            reply({"kind": "rma_ack", "op_id": header["op_id"]})
+        elif kind == "rma_get":
+            off, n = header["offset"], header["nbytes"]
+            reply(
+                {"kind": "rma_resp", "op_id": header["op_id"]},
+                bytes(self.local_view[off : off + n]),
+            )
+        elif kind == "rma_acc":
+            off = header["offset"]
+            dt = _basic_by_name(header["dtname"])
+            op = _OP_REGISTRY[header["opname"]]
+            region = self.local_view[off : off + len(packet.payload)]
+            op.apply(packet.payload, region, header["count"], dt)
+            reply({"kind": "rma_ack", "op_id": header["op_id"]})
+        elif kind == "rma_fop":
+            off = header["offset"]
+            dt = _basic_by_name(header["dtname"])
+            op = _OP_REGISTRY[header["opname"]]
+            region = self.local_view[off : off + dt.size]
+            old = bytes(region)
+            op.apply(packet.payload, region, 1, dt)
+            reply({"kind": "rma_resp", "op_id": header["op_id"]}, old)
+        elif kind == "rma_cas":
+            off = header["offset"]
+            dt = _basic_by_name(header["dtname"])
+            region = self.local_view[off : off + dt.size]
+            old = bytes(region)
+            compare = packet.payload[: dt.size]
+            new = packet.payload[dt.size : 2 * dt.size]
+            if old == compare:
+                region[:] = new
+            reply({"kind": "rma_resp", "op_id": header["op_id"]}, old)
+        elif kind == "rma_lock":
+            self._handle_lock(reply_to, header["lock_type"], header["op_id"], reply)
+        elif kind == "rma_unlock":
+            self._handle_unlock(reply_to, header["op_id"], reply, p2p, vci)
+        elif kind == "rma_ack":
+            self._origin_acked(header["op_id"])
+        elif kind == "rma_resp":
+            self._origin_response(header["op_id"], packet.payload)
+        elif kind == "rma_lock_grant":
+            self._origin_acked(header["op_id"])
+        elif kind == "rma_unlock_ack":
+            self._origin_acked(header["op_id"])
+        else:  # pragma: no cover
+            raise AssertionError(f"unknown RMA packet {kind!r}")
+
+    # -- target lock machinery ----------------------------------------
+    def _grant(self, addr: tuple[int, int], op_id: int, p2p=None, vci=None) -> None:
+        proc_p2p = self.proc.p2p
+        proc_p2p._post(
+            self.comm.stream.vci,
+            addr,
+            {"kind": "rma_lock_grant", "op_id": op_id, "win": self.win_id},
+            b"",
+            via_shmem=proc_p2p._shmem_route(addr[0]),
+        )
+
+    def _handle_lock(self, addr, lock_type, op_id, reply) -> None:
+        state = self._target_lock
+        if state.mode is None or (
+            state.mode == _LOCK_SHARED and lock_type == _LOCK_SHARED
+        ):
+            state.mode = lock_type
+            state.holders.add(addr)
+            self._grant(addr, op_id)
+        else:
+            state.queue.append((addr, lock_type, op_id))
+
+    def _handle_unlock(self, addr, op_id, reply, p2p, vci) -> None:
+        state = self._target_lock
+        state.holders.discard(addr)
+        reply({"kind": "rma_unlock_ack", "op_id": op_id})
+        if state.holders:
+            return
+        state.mode = None
+        # grant the next group: one exclusive, or a run of shared
+        while state.queue:
+            naddr, ntype, nop = state.queue[0]
+            if state.mode is None:
+                state.mode = ntype
+            elif not (state.mode == _LOCK_SHARED and ntype == _LOCK_SHARED):
+                break
+            state.queue.pop(0)
+            state.holders.add(naddr)
+            self._grant(naddr, nop)
+            if ntype == _LOCK_EXCLUSIVE:
+                break
+        if not state.holders:
+            state.mode = None
+
+    # -- origin completion ----------------------------------------------
+    def _origin_acked(self, op_id: int) -> None:
+        with self._mutex:
+            entry = self._outstanding.pop(op_id, None)
+            if entry is not None:
+                self._unacked[entry["target"]] -= 1
+        if entry is not None:
+            entry["request"].complete()
+
+    def _origin_response(self, op_id: int, payload: bytes) -> None:
+        with self._mutex:
+            entry = self._outstanding.pop(op_id, None)
+            if entry is not None:
+                self._unacked[entry["target"]] -= 1
+        if entry is not None:
+            buf = entry.get("result_buf")
+            if buf is not None and payload:
+                as_writable_view(buf)[: len(payload)] = payload
+            entry["request"].complete(count_bytes=len(payload))
+
+
+def _basic_by_name(name: str) -> BasicType:
+    import repro.datatype.types as _types
+
+    dt = getattr(_types, name, None)
+    if not isinstance(dt, BasicType):
+        raise InvalidArgumentError(f"unknown basic datatype {name!r}")
+    return dt
+
+
+def win_create(comm: "Comm", buf) -> Win:
+    """Collectively create a window exposing ``buf`` (or None for a
+    zero-size exposure) on every rank of ``comm``."""
+    win_id = comm._alloc_child_context()
+    win = Win(comm, buf, win_id)
+    comm.proc.p2p.register_rma(win_id, win)
+    comm.barrier()  # nobody RMAs before everyone registered
+    return win

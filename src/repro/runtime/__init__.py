@@ -1,0 +1,6 @@
+"""Runtime: worlds (rank sets over one fabric) and SPMD runners."""
+
+from repro.runtime.world import World
+from repro.runtime.runner import run_world
+
+__all__ = ["World", "run_world"]

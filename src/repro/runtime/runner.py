@@ -1,0 +1,75 @@
+"""SPMD runner: one thread per rank.
+
+``run_world(nranks, fn)`` spawns a thread per rank, each calling
+``fn(proc)`` with its own process context, and returns the per-rank
+results in rank order.  An exception in any rank is re-raised in the
+caller after all threads stop (a crashed rank would otherwise deadlock
+its peers, so surviving ranks are given a deadline).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+from repro.config import RuntimeConfig
+from repro.core.mpi import Proc
+from repro.runtime.world import World
+from repro.util.clock import Clock
+
+__all__ = ["run_world"]
+
+
+def run_world(
+    nranks: int,
+    fn: Callable[[Proc], Any],
+    *,
+    config: RuntimeConfig | None = None,
+    clock: Clock | None = None,
+    world: World | None = None,
+    trace: bool = False,
+    timeout: float | None = 120.0,
+    finalize: bool = True,
+) -> list[Any]:
+    """Run ``fn(proc)`` on every rank of a (new or given) world.
+
+    Returns the list of per-rank return values.  Raises the first
+    rank's exception if any rank failed, or ``TimeoutError`` if ranks
+    are still running after ``timeout`` wall seconds (deadlock guard —
+    threads are daemonic, so a timed-out run does not hang the
+    interpreter).
+    """
+    if world is None:
+        world = World(nranks, config=config, clock=clock, trace=trace)
+    elif world.nranks != nranks:
+        raise ValueError(f"world has {world.nranks} ranks, asked for {nranks}")
+
+    results: list[Any] = [None] * nranks
+    errors: list[tuple[int, BaseException]] = []
+    errors_lock = threading.Lock()
+
+    def rank_main(rank: int) -> None:
+        proc = world.proc(rank)
+        try:
+            results[rank] = fn(proc)
+            if finalize and not proc.finalized:
+                proc.finalize()
+        except BaseException as exc:  # noqa: BLE001 - re-raised in caller
+            with errors_lock:
+                errors.append((rank, exc))
+
+    threads = [
+        threading.Thread(target=rank_main, args=(rank,), daemon=True, name=f"rank-{rank}")
+        for rank in range(nranks)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout)
+    alive = [t.name for t in threads if t.is_alive()]
+    if errors:
+        rank, exc = min(errors, key=lambda e: e[0])
+        raise exc
+    if alive:
+        raise TimeoutError(f"ranks still running after {timeout}s: {alive}")
+    return results

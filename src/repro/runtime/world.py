@@ -1,0 +1,100 @@
+"""The world: shared substrate for a set of ranks.
+
+The paper's cluster experiment ran one MPI process per node over an
+Omni-Path fabric; our substitute runs one :class:`~repro.core.mpi.Proc`
+per rank inside a single Python process, all attached to one simulated
+:class:`~repro.netmod.fabric.Fabric` (plus the shmem transport for
+on-node pairs).  Rank code runs on real threads — see
+:mod:`repro.runtime.runner` — so lock behaviour is genuine.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.config import DEFAULT_CONFIG, RuntimeConfig
+from repro.core.mpi import Proc
+from repro.netmod.fabric import Fabric
+from repro.shmem.transport import ShmemTransport
+from repro.util.clock import Clock, MonotonicClock
+from repro.util.trace import Tracer
+
+__all__ = ["World"]
+
+
+class World:
+    """All shared state for ``nranks`` ranks.
+
+    Parameters
+    ----------
+    nranks:
+        Number of ranks.
+    config:
+        Runtime tunables (protocol thresholds, cost models, topology).
+    clock:
+        Shared time source (default: a fresh :class:`MonotonicClock`).
+    trace:
+        When True, protocol tracing is enabled on every rank (used by
+        the Fig. 1 anatomy tests).
+    """
+
+    def __init__(
+        self,
+        nranks: int = 1,
+        *,
+        config: RuntimeConfig | None = None,
+        clock: Clock | None = None,
+        trace: bool = False,
+    ) -> None:
+        if nranks <= 0:
+            raise ValueError("nranks must be positive")
+        self.nranks = nranks
+        self.config = config if config is not None else DEFAULT_CONFIG
+        self.config.validate()
+        self.clock = clock if clock is not None else MonotonicClock()
+        self.fabric = Fabric(nranks, clock=self.clock, config=self.config)
+        self.shmem = (
+            ShmemTransport(self.clock, self.config) if self.config.use_shmem else None
+        )
+        self._context_registry: dict[tuple[int, int], int] = {}
+        self._next_context = 2  # 0/1 are COMM_WORLD's pt2pt/coll pair
+        self._context_lock = threading.Lock()
+        self._procs: list[Proc] = [
+            Proc(rank, self, tracer=Tracer(enabled=trace)) for rank in range(nranks)
+        ]
+
+    # ------------------------------------------------------------------
+    def proc(self, rank: int) -> Proc:
+        """The process context of ``rank``."""
+        return self._procs[rank]
+
+    @property
+    def procs(self) -> list[Proc]:
+        return list(self._procs)
+
+    def context_for(self, parent_context: int, child_index: int) -> int:
+        """Deterministic context-id allocation.
+
+        Every rank deriving "the ``child_index``-th communicator from
+        parent ``parent_context``" receives the same fresh id, because
+        communicator construction is collective and ordered.  Ids step
+        by two: ``id`` is the point-to-point context, ``id + 1`` the
+        collective context.
+        """
+        key = (parent_context, child_index)
+        with self._context_lock:
+            ctx = self._context_registry.get(key)
+            if ctx is None:
+                ctx = self._next_context
+                self._next_context += 2
+                self._context_registry[key] = ctx
+            return ctx
+
+    def finalize(self) -> None:
+        """Finalize every rank (single-threaded convenience)."""
+        for proc in self._procs:
+            if not proc.finalized:
+                proc.finalize()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"World(nranks={self.nranks})"

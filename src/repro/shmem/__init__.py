@@ -1,0 +1,13 @@
+"""Simulated on-node shared-memory transport.
+
+Models the bounded-cell copy rings a real MPI shm transport allocates
+between on-node ranks.  Large messages stream through a fixed number of
+cells, so a sender that outruns the receiver stalls and needs *sender
+side* progress to push the remaining chunks — one of the multi-wait-
+block patterns of section 2.1.
+"""
+
+from repro.shmem.channel import Cell, RingChannel
+from repro.shmem.transport import ShmemOp, ShmemTransport
+
+__all__ = ["Cell", "RingChannel", "ShmemOp", "ShmemTransport"]

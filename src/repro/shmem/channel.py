@@ -1,0 +1,83 @@
+"""Directional bounded-cell channel between two on-node endpoints."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.util.clock import Clock
+from repro.util.ringbuf import RingBuffer
+
+__all__ = ["Cell", "RingChannel"]
+
+
+@dataclass
+class Cell:
+    """One copy cell in flight.
+
+    ``ready_time`` models the memcpy cost into the shared segment: the
+    receiver may only consume the cell once the clock passes it.
+    """
+
+    msg_id: int
+    chunk_index: int
+    is_last: bool
+    header: dict[str, Any]
+    payload: bytes
+    ready_time: float
+
+
+class RingChannel:
+    """SPSC bounded ring of :class:`Cell` objects.
+
+    The sender side uses :meth:`try_send_cell`; the receiver side uses
+    :meth:`pop_ready`.  Capacity pressure is surfaced to the transport,
+    which queues overflow chunks on the sender and retries them from
+    shmem progress.
+    """
+
+    __slots__ = ("src", "dst", "_ring", "_clock")
+
+    def __init__(
+        self,
+        src: tuple[int, int],
+        dst: tuple[int, int],
+        capacity: int,
+        clock: Clock,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self._ring: RingBuffer[Cell] = RingBuffer(capacity)
+        self._clock = clock
+
+    @property
+    def capacity(self) -> int:
+        return self._ring.capacity
+
+    def free_cells(self) -> int:
+        return self._ring.capacity - len(self._ring)
+
+    def try_send_cell(self, cell: Cell) -> bool:
+        """Push a cell; False when the ring is full (backpressure)."""
+        ok = self._ring.try_push(cell)
+        if ok:
+            self._clock.register_deadline(cell.ready_time)
+        return ok
+
+    def pop_ready(self) -> Cell | None:
+        """Pop the head cell if its copy deadline has matured.
+
+        Cells are strictly FIFO: a not-yet-ready head blocks younger
+        cells even if (impossibly) they were ready, preserving in-order
+        delivery.
+        """
+        head = self._ring.peek()
+        if head is None or head.ready_time > self._clock.now():
+            return None
+        return self._ring.try_pop()
+
+    def pending(self) -> int:
+        return len(self._ring)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RingChannel({self.src}->{self.dst}, {self.pending()}/{self.capacity})"

@@ -1,0 +1,254 @@
+"""Shared-memory transport: chunked sends over bounded cell rings.
+
+Presents the same interface shape as a netmod endpoint — ``post_send``
+returning an op handle, plus per-address progress yielding completions
+and whole reassembled packets — so the p2p protocol layer is transport
+agnostic.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Any
+
+from repro.config import RuntimeConfig
+from repro.netmod.packet import Packet
+from repro.shmem.channel import Cell, RingChannel
+from repro.util.clock import Clock
+
+__all__ = ["ShmemOp", "ShmemTransport"]
+
+
+class ShmemOp:
+    """Handle for a shmem send.
+
+    ``remaining`` holds the not-yet-pushed tail of a large message; the
+    sender's shmem progress drains it as ring space frees up.  The op
+    completes once the final chunk's copy deadline matures (the source
+    buffer was fully copied into cells by then).
+    """
+
+    __slots__ = (
+        "op_id",
+        "dst",
+        "header",
+        "payload",
+        "offset",
+        "chunk_index",
+        "context",
+        "completed",
+        "final_deadline",
+        "nbytes",
+    )
+
+    def __init__(
+        self,
+        op_id: int,
+        dst: tuple[int, int],
+        header: dict[str, Any],
+        payload: bytes,
+        context: Any,
+    ) -> None:
+        self.op_id = op_id
+        self.dst = dst
+        self.header = header
+        self.payload = payload
+        self.nbytes = len(payload)
+        self.offset = 0  # bytes already pushed into cells
+        self.chunk_index = 0
+        self.context = context
+        self.completed = False
+        self.final_deadline: float | None = None
+
+    @property
+    def all_pushed(self) -> bool:
+        return self.offset >= self.nbytes and self.chunk_index > 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ShmemOp(#{self.op_id} {self.offset}/{self.nbytes}B)"
+
+
+class _Reassembly:
+    """Receiver-side buffer collecting the chunks of one message."""
+
+    __slots__ = ("header", "chunks", "src")
+
+    def __init__(self, src: tuple[int, int], header: dict[str, Any]) -> None:
+        self.src = src
+        self.header = header
+        self.chunks: list[bytes] = []
+
+
+class ShmemTransport:
+    """All shmem state for one world.
+
+    Channels and per-address send queues are created lazily.  Progress
+    for an address ``(rank, vci)`` does sender work (push queued chunks,
+    harvest completions) and receiver work (pop ready cells, reassemble,
+    emit packets).
+    """
+
+    def __init__(self, clock: Clock, config: RuntimeConfig) -> None:
+        self.clock = clock
+        self.config = config
+        self._lock = threading.Lock()
+        self._channels: dict[tuple[tuple[int, int], tuple[int, int]], RingChannel] = {}
+        #: inbound channels per destination address
+        self._inbound: dict[tuple[int, int], list[RingChannel]] = {}
+        #: unfinished sends per source address
+        self._sends: dict[tuple[int, int], list[ShmemOp]] = {}
+        self._reassembly: dict[tuple[tuple[int, int], int], _Reassembly] = {}
+        self._op_counter = itertools.count(1)
+        #: lock-free idle hints per address
+        self._activity: dict[tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    def _channel(self, src: tuple[int, int], dst: tuple[int, int]) -> RingChannel:
+        key = (src, dst)
+        ch = self._channels.get(key)
+        if ch is not None:
+            return ch
+        with self._lock:
+            ch = self._channels.get(key)
+            if ch is None:
+                ch = RingChannel(src, dst, self.config.shmem_num_cells, self.clock)
+                self._channels[key] = ch
+                self._inbound.setdefault(dst, []).append(ch)
+                self._activity[dst] = self._activity.get(dst, 0)
+            return ch
+
+    def _bump(self, addr: tuple[int, int]) -> None:
+        with self._lock:
+            self._activity[addr] = self._activity.get(addr, 0) + 1
+
+    def has_work(self, addr: tuple[int, int]) -> bool:
+        """Cheap idle check for collated progress."""
+        if self._sends.get(addr):
+            return True
+        for ch in self._inbound.get(addr, ()):
+            if ch.pending():
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Send side.
+    # ------------------------------------------------------------------
+    def post_send(
+        self,
+        src: tuple[int, int],
+        dst: tuple[int, int],
+        header: dict[str, Any],
+        payload: bytes | bytearray | memoryview = b"",
+        *,
+        context: Any = None,
+    ) -> ShmemOp:
+        """Start a (possibly chunked) shmem send from ``src`` to ``dst``."""
+        op = ShmemOp(next(self._op_counter), dst, dict(header), bytes(payload), context)
+        with self._lock:
+            self._sends.setdefault(src, []).append(op)
+        self._push_chunks(src, op)
+        return op
+
+    def _push_chunks(self, src: tuple[int, int], op: ShmemOp) -> None:
+        """Push as many chunks as ring space allows."""
+        cfg = self.config
+        ch = self._channel(src, op.dst)
+        cell_size = cfg.shmem_cell_size
+        while True:
+            if op.chunk_index > 0 and op.offset >= op.nbytes:
+                return  # fully pushed
+            end = min(op.offset + cell_size, op.nbytes)
+            chunk = op.payload[op.offset : end]
+            is_last = end >= op.nbytes
+            now = self.clock.now()
+            ready = now + cfg.shmem_alpha + len(chunk) * cfg.shmem_beta
+            cell = Cell(
+                msg_id=op.op_id,
+                chunk_index=op.chunk_index,
+                is_last=is_last,
+                header=op.header if op.chunk_index == 0 else {},
+                payload=chunk,
+                ready_time=ready,
+            )
+            if not ch.try_send_cell(cell):
+                return  # backpressure: retry from shmem progress
+            op.offset = end
+            op.chunk_index += 1
+            if is_last:
+                op.final_deadline = ready
+                self.clock.register_deadline(ready)
+                return
+
+    # ------------------------------------------------------------------
+    # Progress.
+    # ------------------------------------------------------------------
+    def progress(
+        self, addr: tuple[int, int]
+    ) -> tuple[list[ShmemOp], list[Packet], bool]:
+        """Advance shmem work for one address.
+
+        Returns ``(completions, packets, made_progress)``:
+        completed sends posted from ``addr``, packets fully received at
+        ``addr``, and whether *any* data moved.  ``made_progress`` can
+        be True with both lists empty — pushing a queued chunk into a
+        freed ring cell, or consuming a non-final chunk, is real
+        progress (it unblocks the peer) even though no operation
+        finished; the collated progress engine must see it so wait
+        loops do not mistake a mid-transfer state for idleness.
+        """
+        completions: list[ShmemOp] = []
+        packets: list[Packet] = []
+        made = False
+        now = self.clock.now()
+
+        # Sender side: push queued chunks, harvest completions.
+        sends = self._sends.get(addr)
+        if sends:
+            still: list[ShmemOp] = []
+            for op in sends:
+                if not op.all_pushed:
+                    before = op.offset
+                    self._push_chunks(addr, op)
+                    if op.offset != before:
+                        made = True
+                if (
+                    op.all_pushed
+                    and op.final_deadline is not None
+                    and op.final_deadline <= now
+                ):
+                    op.completed = True
+                    completions.append(op)
+                else:
+                    still.append(op)
+            with self._lock:
+                self._sends[addr] = still
+
+        # Receiver side: drain ready cells from every inbound channel.
+        for ch in self._inbound.get(addr, ()):
+            while True:
+                cell = ch.pop_ready()
+                if cell is None:
+                    break
+                made = True
+                key = (ch.src, cell.msg_id)
+                if cell.chunk_index == 0:
+                    reasm = _Reassembly(ch.src, cell.header)
+                    self._reassembly[key] = reasm
+                else:
+                    reasm = self._reassembly[key]
+                reasm.chunks.append(cell.payload)
+                if cell.is_last:
+                    del self._reassembly[key]
+                    packets.append(
+                        Packet(
+                            src=ch.src,
+                            dst=addr,
+                            header=reasm.header,
+                            payload=b"".join(reasm.chunks),
+                            seq=cell.msg_id,
+                        )
+                    )
+        if completions:
+            made = True
+        return completions, packets, made

@@ -1,0 +1,5 @@
+"""Process topologies: Cartesian grids and neighborhood collectives."""
+
+from repro.topo.cart import PROC_NULL, CartComm, cart_create, dims_create
+
+__all__ = ["PROC_NULL", "CartComm", "cart_create", "dims_create"]

@@ -1,0 +1,26 @@
+"""User-level collectives built purely on the MPIX extension APIs.
+
+These are the paper's proof that interoperable progress lets users
+extend MPI from the application layer with native-class performance
+(section 4.7): each algorithm is a state machine advanced by an MPIX
+async hook, synchronizing on its constituent point-to-point requests
+with the side-effect-free ``MPIX_Request_is_complete`` query — never by
+recursive progress.
+"""
+
+from repro.usercoll.allgather import user_allgather, user_iallgather
+from repro.usercoll.allreduce import my_allreduce, my_iallreduce, user_allreduce
+from repro.usercoll.barrier import user_barrier, user_ibarrier
+from repro.usercoll.bcast import user_bcast, user_ibcast
+
+__all__ = [
+    "my_allreduce",
+    "my_iallreduce",
+    "user_allreduce",
+    "user_allgather",
+    "user_iallgather",
+    "user_barrier",
+    "user_ibarrier",
+    "user_bcast",
+    "user_ibcast",
+]

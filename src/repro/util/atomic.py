@@ -1,0 +1,85 @@
+"""Tiny atomic primitives.
+
+CPython's GIL makes single attribute loads and stores atomic, which is
+exactly the guarantee ``MPIX_Request_is_complete`` needs: the paper
+specifies it as "an atomic flag read" with no side effects.  Read-modify-
+write operations still need a lock, which :class:`AtomicCounter`
+encapsulates.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["AtomicFlag", "AtomicCounter"]
+
+
+class AtomicFlag:
+    """One-way boolean flag: starts clear, may be set once (or more).
+
+    Reads are lock-free (a plain attribute load); writes publish via a
+    simple store.  This mirrors the release/acquire flag MPICH uses for
+    request completion.
+    """
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: bool = False) -> None:
+        self._value = bool(value)
+
+    def set(self) -> None:
+        self._value = True
+
+    def clear(self) -> None:
+        self._value = False
+
+    def is_set(self) -> bool:
+        return self._value
+
+    def __bool__(self) -> bool:
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AtomicFlag({self._value})"
+
+
+class AtomicCounter:
+    """Integer counter with locked read-modify-write and lock-free read."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self, value: int = 0) -> None:
+        self._value = int(value)
+        self._lock = threading.Lock()
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def add(self, delta: int = 1) -> int:
+        """Add ``delta`` and return the new value."""
+        with self._lock:
+            self._value += delta
+            return self._value
+
+    def sub(self, delta: int = 1) -> int:
+        """Subtract ``delta`` and return the new value."""
+        return self.add(-delta)
+
+    def exchange(self, value: int) -> int:
+        """Store ``value``, returning the previous value."""
+        with self._lock:
+            old = self._value
+            self._value = int(value)
+            return old
+
+    def compare_exchange(self, expected: int, value: int) -> bool:
+        """Store ``value`` iff the counter equals ``expected``."""
+        with self._lock:
+            if self._value != expected:
+                return False
+            self._value = int(value)
+            return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AtomicCounter({self._value})"

@@ -1,0 +1,155 @@
+"""Clock abstraction shared by every subsystem.
+
+All timing in the runtime flows through a :class:`Clock` so the same
+protocol code runs against two very different time sources:
+
+* :class:`MonotonicClock` — ``time.perf_counter``; used by the latency
+  microbenchmarks (Figures 7–13), where real elapsed time is the
+  measured quantity.
+
+* :class:`VirtualClock` — a deterministic, manually advanced clock used
+  by unit and property tests.  Subsystems that model offloaded work
+  (netmod, shmem, offload device) register their completion *deadlines*
+  with the clock; when every thread in the system is idle (nothing
+  matured, nothing to do), the runtime calls :meth:`VirtualClock.idle_advance`
+  which jumps time to the earliest registered deadline.  This makes
+  protocol timing exact and tests instantaneous regardless of the
+  simulated costs involved.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from abc import ABC, abstractmethod
+
+__all__ = ["Clock", "MonotonicClock", "VirtualClock", "busy_wait_until"]
+
+
+class Clock(ABC):
+    """Interface for time sources used by the runtime."""
+
+    @abstractmethod
+    def now(self) -> float:
+        """Current time in seconds (monotonic, arbitrary epoch)."""
+
+    def register_deadline(self, t: float) -> None:
+        """Inform the clock that an offloaded operation matures at ``t``.
+
+        Real clocks ignore this; the virtual clock uses it to know how
+        far it may jump when the system is idle.
+        """
+
+    def idle_advance(self) -> bool:
+        """Called when a progress loop found nothing to do.
+
+        Returns True if time was advanced (virtual clock) so the caller
+        should immediately re-poll.  Real clocks return False and the
+        caller should yield the CPU instead.
+        """
+        return False
+
+    def yield_cpu(self) -> None:
+        """Politely give other threads a chance to run while spinning."""
+        time.sleep(0)
+
+
+class MonotonicClock(Clock):
+    """Wall-clock time via ``time.perf_counter``.
+
+    The epoch is shifted so that ``now()`` starts near zero, which keeps
+    printed traces readable and avoids precision loss in long-running
+    processes.
+    """
+
+    __slots__ = ("_epoch",)
+
+    def __init__(self) -> None:
+        self._epoch = time.perf_counter()
+
+    def now(self) -> float:
+        return time.perf_counter() - self._epoch
+
+
+class VirtualClock(Clock):
+    """Deterministic clock advanced explicitly or via registered deadlines.
+
+    Thread-safe: multiple rank threads may register deadlines and call
+    :meth:`idle_advance` concurrently.  ``idle_advance`` only ever moves
+    time *forward* to the earliest deadline strictly in the future, so
+    concurrent callers cannot skip an event.
+    """
+
+    __slots__ = ("_now", "_lock", "_deadlines", "_counter")
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._lock = threading.Lock()
+        self._deadlines: list[tuple[float, int]] = []
+        self._counter = itertools.count()
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, dt: float) -> None:
+        """Move time forward by ``dt`` seconds (``dt`` must be >= 0)."""
+        if dt < 0:
+            raise ValueError("cannot advance a clock backwards")
+        with self._lock:
+            self._now += dt
+
+    def advance_to(self, t: float) -> None:
+        """Move time forward to absolute instant ``t`` (no-op if past)."""
+        with self._lock:
+            if t > self._now:
+                self._now = t
+
+    def register_deadline(self, t: float) -> None:
+        with self._lock:
+            heapq.heappush(self._deadlines, (t, next(self._counter)))
+
+    def pending_deadlines(self) -> int:
+        """Number of registered deadlines not yet matured past."""
+        with self._lock:
+            self._prune_locked()
+            return len(self._deadlines)
+
+    def idle_advance(self) -> bool:
+        """Jump to the earliest future deadline, if any.
+
+        Returns True when time moved; False when no deadline is pending
+        (a real dead-lock at the simulation level, or simply nothing
+        offloaded right now).
+        """
+        with self._lock:
+            self._prune_locked()
+            if not self._deadlines:
+                return False
+            t, _ = self._deadlines[0]
+            if t > self._now:
+                self._now = t
+            return True
+
+    def yield_cpu(self) -> None:
+        # Virtual time has no real concurrency to be polite to, but
+        # thread-based tests still benefit from an explicit yield point.
+        time.sleep(0)
+
+    def _prune_locked(self) -> None:
+        while self._deadlines and self._deadlines[0][0] <= self._now:
+            heapq.heappop(self._deadlines)
+
+
+def busy_wait_until(clock: Clock, t: float) -> None:
+    """Spin until ``clock.now() >= t``.
+
+    Used to model compute phases and the injected poll-function delays
+    of Figure 8.  On a virtual clock this advances time directly.
+    """
+    if isinstance(clock, VirtualClock):
+        clock.advance_to(t)
+        return
+    while clock.now() < t:
+        pass

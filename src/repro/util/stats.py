@@ -1,0 +1,170 @@
+"""Latency statistics and benchmark series reporting.
+
+The paper's central metric is *progress latency*: the elapsed time
+between a task's completion instant and the moment user code observes
+the completion event (section 4).  :class:`LatencyRecorder` accumulates
+those samples; :class:`Series` pairs a swept parameter with a recorder
+per point, which is the exact shape of every figure in the evaluation.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass, field
+
+__all__ = ["LatencyRecorder", "Series", "format_series_table"]
+
+
+class LatencyRecorder:
+    """Streaming statistics over latency samples (seconds).
+
+    Uses Welford's algorithm for numerically stable mean/variance and
+    keeps the raw samples (bounded by ``keep``) for percentile queries.
+    Thread-safe so per-thread benchmark workers can share one recorder.
+    """
+
+    __slots__ = ("_lock", "_n", "_mean", "_m2", "_min", "_max", "_keep", "_samples")
+
+    def __init__(self, keep: int = 1 << 20) -> None:
+        self._lock = threading.Lock()
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._keep = keep
+        self._samples: list[float] = []
+
+    def add(self, sample: float) -> None:
+        with self._lock:
+            self._n += 1
+            delta = sample - self._mean
+            self._mean += delta / self._n
+            self._m2 += delta * (sample - self._mean)
+            if sample < self._min:
+                self._min = sample
+            if sample > self._max:
+                self._max = sample
+            if len(self._samples) < self._keep:
+                self._samples.append(sample)
+
+    def merge(self, other: "LatencyRecorder") -> None:
+        """Fold another recorder's samples into this one."""
+        with other._lock:
+            samples = list(other._samples)
+        for s in samples:
+            self.add(s)
+
+    @property
+    def count(self) -> int:
+        return self._n
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self._n else math.nan
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / (self._n - 1) if self._n > 1 else 0.0
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def min(self) -> float:
+        return self._min if self._n else math.nan
+
+    @property
+    def max(self) -> float:
+        return self._max if self._n else math.nan
+
+    def percentile(self, p: float) -> float:
+        """Linear-interpolated percentile ``p`` in [0, 100]."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        with self._lock:
+            data = sorted(self._samples)
+        if not data:
+            return math.nan
+        if len(data) == 1:
+            return data[0]
+        k = (len(data) - 1) * (p / 100.0)
+        lo = math.floor(k)
+        hi = math.ceil(k)
+        if lo == hi:
+            return data[lo]
+        return data[lo] + (data[hi] - data[lo]) * (k - lo)
+
+    @property
+    def median(self) -> float:
+        return self.percentile(50.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LatencyRecorder(n={self._n}, mean={self.mean:.3e}, "
+            f"min={self.min:.3e}, max={self.max:.3e})"
+        )
+
+
+@dataclass
+class Series:
+    """One benchmark curve: a swept parameter and a recorder per point."""
+
+    name: str
+    xlabel: str = "x"
+    ylabel: str = "latency (us)"
+    points: list[tuple[float, LatencyRecorder]] = field(default_factory=list)
+
+    def point(self, x: float) -> LatencyRecorder:
+        """Return (creating if needed) the recorder for parameter ``x``."""
+        for px, rec in self.points:
+            if px == x:
+                return rec
+        rec = LatencyRecorder()
+        self.points.append((x, rec))
+        return rec
+
+    def add(self, x: float, sample: float) -> None:
+        self.point(x).add(sample)
+
+    def xs(self) -> list[float]:
+        return [x for x, _ in self.points]
+
+    def means_us(self) -> list[float]:
+        """Mean of each point converted to microseconds."""
+        return [rec.mean * 1e6 for _, rec in self.points]
+
+    def medians_us(self) -> list[float]:
+        return [rec.median * 1e6 for _, rec in self.points]
+
+
+def format_series_table(series: list[Series], *, use_median: bool = True) -> str:
+    """Render one or more series as an aligned text table.
+
+    All series must share the same x values (the usual case for a figure
+    with several curves).  Values are printed in microseconds, matching
+    the paper's axes.
+    """
+    if not series:
+        return "(no data)"
+    xs = series[0].xs()
+    for s in series[1:]:
+        if s.xs() != xs:
+            raise ValueError("all series in one table must share x values")
+    header = [series[0].xlabel] + [s.name for s in series]
+    rows: list[list[str]] = [header]
+    columns = [
+        s.medians_us() if use_median else s.means_us() for s in series
+    ]
+    for i, x in enumerate(xs):
+        xcell = f"{int(x)}" if float(x).is_integer() else f"{x:g}"
+        rows.append([xcell] + [f"{col[i]:.3f}" for col in columns])
+    widths = [max(len(r[c]) for r in rows) for c in range(len(header))]
+    lines = []
+    for r_i, row in enumerate(rows):
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        if r_i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

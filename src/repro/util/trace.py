@@ -1,0 +1,70 @@
+"""Lightweight event tracing.
+
+Protocol code records structured events (packet sent, wait block
+entered, handshake phase, ...) into a :class:`Tracer`.  The Fig. 1
+"anatomy" tests and bench assert on these traces — e.g. that a
+rendezvous send passes through exactly two wait blocks — instead of
+guessing from timing.
+
+Tracing is off by default and costs a single attribute check per call
+site when disabled.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["TraceEvent", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event."""
+
+    time: float
+    kind: str
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.fields[key]
+
+
+class Tracer:
+    """Append-only trace buffer with kind-based filtering."""
+
+    __slots__ = ("enabled", "_events", "_lock")
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self._events: list[TraceEvent] = []
+        self._lock = threading.Lock()
+
+    def record(self, time: float, kind: str, **fields: Any) -> None:
+        """Record an event (no-op unless :attr:`enabled`)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._events.append(TraceEvent(time, kind, fields))
+
+    def events(self, kind: str | None = None, **match: Any) -> list[TraceEvent]:
+        """Snapshot of events, optionally filtered by kind and fields."""
+        with self._lock:
+            events = list(self._events)
+        if kind is not None:
+            events = [e for e in events if e.kind == kind]
+        for key, value in match.items():
+            events = [e for e in events if e.fields.get(key) == value]
+        return events
+
+    def count(self, kind: str, **match: Any) -> int:
+        return len(self.events(kind, **match))
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)

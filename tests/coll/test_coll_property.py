@@ -1,0 +1,156 @@
+"""Property-based collective tests against NumPy references."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+import repro
+from tests.conftest import drive, make_vworld
+
+
+def run_collective(nranks, start_fn, **config):
+    config.setdefault("use_shmem", False)
+    world = make_vworld(nranks, **config)
+    reqs = [start_fn(world.proc(r)) for r in range(nranks)]
+    drive(world, reqs)
+
+
+op_cases = st.sampled_from(
+    [
+        (repro.SUM, np.add.reduce),
+        (repro.MAX, np.maximum.reduce),
+        (repro.MIN, np.minimum.reduce),
+        (repro.BXOR, np.bitwise_xor.reduce),
+    ]
+)
+
+
+@given(
+    st.integers(1, 7),          # ranks
+    st.integers(1, 40),         # count
+    op_cases,
+    st.integers(0, 2**31 - 1),  # seed
+    st.sampled_from(["recursive_doubling", "rabenseifner"]),
+)
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_allreduce_matches_numpy(size, count, op_case, seed, algorithm):
+    op, np_reduce = op_case
+    rng = np.random.default_rng(seed)
+    inputs = [rng.integers(-(2**20), 2**20, count).astype("i8") for _ in range(size)]
+    expect = np_reduce(np.stack(inputs), axis=0)
+    outs = {}
+
+    def start(proc):
+        r = proc.comm_world.rank
+        out = np.zeros(count, dtype="i8")
+        outs[r] = out
+        return proc.comm_world.iallreduce(inputs[r], out, count, repro.INT64, op)
+
+    run_collective(size, start, allreduce_algorithm=algorithm)
+    for r in range(size):
+        assert np.array_equal(outs[r], expect), (r, size, count, algorithm)
+
+
+@given(
+    st.integers(1, 7),
+    st.integers(1, 30),
+    st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_scan_matches_numpy_cumsum(size, count, seed):
+    rng = np.random.default_rng(seed)
+    inputs = [rng.integers(-100, 100, count).astype("i8") for _ in range(size)]
+    prefix = np.cumsum(np.stack(inputs), axis=0)
+    outs = {}
+
+    def start(proc):
+        r = proc.comm_world.rank
+        out = np.zeros(count, dtype="i8")
+        outs[r] = out
+        return proc.comm_world.iscan(inputs[r], out, count, repro.INT64, repro.SUM)
+
+    run_collective(size, start)
+    for r in range(size):
+        assert np.array_equal(outs[r], prefix[r]), r
+
+
+@given(
+    st.integers(2, 6),
+    st.integers(1, 16),
+    st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_reduce_scatter_block_matches_numpy(size, count, seed):
+    rng = np.random.default_rng(seed)
+    inputs = [
+        rng.integers(-(2**20), 2**20, size * count).astype("i8") for _ in range(size)
+    ]
+    total = np.add.reduce(np.stack(inputs), axis=0)
+    outs = {}
+
+    def start(proc):
+        r = proc.comm_world.rank
+        out = np.zeros(count, dtype="i8")
+        outs[r] = out
+        return proc.comm_world.ireduce_scatter_block(
+            inputs[r], out, count, repro.INT64, repro.SUM
+        )
+
+    run_collective(size, start)
+    for r in range(size):
+        assert np.array_equal(outs[r], total[r * count : (r + 1) * count]), r
+
+
+@given(
+    st.integers(1, 7),
+    st.lists(st.integers(0, 6), min_size=1, max_size=7),
+    st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_allgatherv_matches_concatenation(size, raw_counts, seed):
+    counts = [(raw_counts[r % len(raw_counts)]) for r in range(size)]
+    displs = [sum(counts[:r]) for r in range(size)]
+    total = sum(counts)
+    rng = np.random.default_rng(seed)
+    inputs = [rng.integers(0, 1000, max(counts[r], 1)).astype("i4") for r in range(size)]
+    expect = np.concatenate(
+        [inputs[r][: counts[r]] for r in range(size)]
+        or [np.zeros(0, dtype="i4")]
+    )
+    outs = {}
+
+    def start(proc):
+        r = proc.comm_world.rank
+        out = np.zeros(max(total, 1), dtype="i4")
+        outs[r] = out
+        return proc.comm_world.iallgatherv(
+            inputs[r], counts[r], out, counts, displs, repro.INT
+        )
+
+    run_collective(size, start)
+    for r in range(size):
+        assert np.array_equal(outs[r][:total], expect), r
+
+
+@given(
+    st.integers(1, 6),
+    st.integers(1, 12),
+    st.integers(0, 3),
+    st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_bcast_any_algorithm_any_root(size, count, root_seed, seed):
+    root = root_seed % size
+    rng = np.random.default_rng(seed)
+    payload = rng.integers(0, 255, count).astype("u1")
+    for algorithm in ("binomial", "scatter_allgather"):
+        bufs = {}
+
+        def start(proc):
+            r = proc.comm_world.rank
+            buf = payload.copy() if r == root else np.zeros(count, dtype="u1")
+            bufs[r] = buf
+            return proc.comm_world.ibcast(buf, count, repro.BYTE, root)
+
+        run_collective(size, start, bcast_algorithm=algorithm)
+        for r in range(size):
+            assert np.array_equal(bufs[r], payload), (r, algorithm)

@@ -1,0 +1,130 @@
+"""Collective schedule machinery: DAG execution, dependencies, engine."""
+
+import numpy as np
+
+import repro
+from repro.coll.sched import CollSchedEngine, Sched
+from tests.conftest import drive, make_vworld
+
+
+def make_sched(world, rank, tag=0):
+    proc = world.proc(rank)
+    return Sched(proc.p2p, 0, proc.comm_world.coll_context_id, tag)
+
+
+class TestSchedBuild:
+    def test_empty_sched_completes_at_start(self):
+        world = make_vworld(1)
+        sched = make_sched(world, 0)
+        req = sched.start()
+        assert req.is_complete()
+
+    def test_local_vertices_run_in_dependency_order(self):
+        world = make_vworld(1)
+        sched = make_sched(world, 0)
+        order = []
+        a = sched.add_local(lambda: order.append("a"))
+        b = sched.add_local(lambda: order.append("b"), deps=[a])
+        c = sched.add_local(lambda: order.append("c"), deps=[b])
+        sched.start()
+        assert order == ["a", "b", "c"]
+        assert sched.done
+
+    def test_diamond_dependencies(self):
+        world = make_vworld(1)
+        sched = make_sched(world, 0)
+        order = []
+        a = sched.add_local(lambda: order.append("a"))
+        b = sched.add_local(lambda: order.append("b"), deps=[a])
+        c = sched.add_local(lambda: order.append("c"), deps=[a])
+        sched.add_local(lambda: order.append("d"), deps=[b, c])
+        sched.start()
+        assert order[0] == "a" and order[-1] == "d"
+        assert set(order[1:3]) == {"b", "c"}
+
+    def test_barrier_vertex(self):
+        world = make_vworld(1)
+        sched = make_sched(world, 0)
+        hits = []
+        a = sched.add_local(lambda: hits.append(1))
+        b = sched.add_local(lambda: hits.append(2))
+        sched.add_barrier_on([a, b])
+        sched.start()
+        assert sched.done
+
+
+class TestSchedCommunication:
+    def test_send_recv_pair(self):
+        world = make_vworld(2, use_shmem=False)
+        s0 = make_sched(world, 0)
+        s1 = make_sched(world, 1)
+        data = np.array([42], dtype="i4")
+        out = np.zeros(1, dtype="i4")
+        s0.add_send(1, data, 1, repro.INT)
+        s1.add_recv(0, out, 1, repro.INT)
+        r0 = world.proc(0).coll_engine.submit(s0)
+        r1 = world.proc(1).coll_engine.submit(s1)
+        drive(world, [r0, r1])
+        assert out[0] == 42
+
+    def test_chained_rounds(self):
+        """send -> recv -> local -> send models one collective round."""
+        world = make_vworld(2, use_shmem=False)
+        s0 = make_sched(world, 0)
+        s1 = make_sched(world, 1)
+        v0 = np.array([1], dtype="i4")
+        v1 = np.array([10], dtype="i4")
+        t0 = np.zeros(1, dtype="i4")
+        t1 = np.zeros(1, dtype="i4")
+        # both ranks: exchange, then add
+        for sched, mine, tmp, peer in ((s0, v0, t0, 1), (s1, v1, t1, 0)):
+            snd = sched.add_send(peer, mine, 1, repro.INT)
+            rcv = sched.add_recv(peer, tmp, 1, repro.INT)
+            sched.add_local(
+                (lambda m, t: lambda: m.__iadd__(t))(mine, tmp), deps=[snd, rcv]
+            )
+        r0 = world.proc(0).coll_engine.submit(s0)
+        r1 = world.proc(1).coll_engine.submit(s1)
+        drive(world, [r0, r1])
+        assert v0[0] == 11 and v1[0] == 11
+
+    def test_rank_map_translation(self):
+        """Schedules with a rank map reach the right world ranks."""
+        world = make_vworld(3, use_shmem=False)
+        # "communicator" = world ranks [2, 0]; comm rank 0 -> world 2
+        p2, p0 = world.proc(2), world.proc(0)
+        s_a = Sched(p2.p2p, 0, 100, 0, rank_map=[2, 0])
+        s_b = Sched(p0.p2p, 0, 100, 0, rank_map=[2, 0])
+        out = np.zeros(1, dtype="i4")
+        s_a.add_send(1, np.array([7], dtype="i4"), 1, repro.INT)  # comm rank 1 == world 0
+        s_b.add_recv(0, out, 1, repro.INT)  # comm rank 0 == world 2
+        ra = p2.coll_engine.submit(s_a)
+        rb = p0.coll_engine.submit(s_b)
+        drive(world, [ra, rb])
+        assert out[0] == 7
+
+
+class TestCollSchedEngine:
+    def test_idle_engine(self):
+        engine = CollSchedEngine()
+        assert engine.progress(0) is False
+        assert engine.active_count == 0
+        assert not engine.has_work(0)
+
+    def test_completed_sched_retired(self):
+        world = make_vworld(1)
+        engine = world.proc(0).coll_engine
+        sched = make_sched(world, 0)
+        sched.add_local(lambda: None)
+        engine.submit(sched)
+        assert engine.active_count == 0  # retired instantly (all local)
+
+    def test_vci_isolation(self):
+        world = make_vworld(2, use_shmem=False)
+        proc = world.proc(0)
+        sched = Sched(proc.p2p, 3, 100, 0)  # vci 3
+        sched.add_recv(1, np.zeros(1, "i4"), 1, repro.INT)
+        proc.coll_engine.submit(sched)
+        assert proc.coll_engine.has_work(3)
+        assert not proc.coll_engine.has_work(0)
+        assert proc.coll_engine.progress(0) is False  # other vci untouched

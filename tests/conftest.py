@@ -1,0 +1,82 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.config import RuntimeConfig
+from repro.runtime.world import World
+from repro.util.clock import VirtualClock
+
+
+@pytest.fixture
+def proc():
+    """A standalone single-rank process context (monotonic clock)."""
+    p = repro.init()
+    yield p
+    if not p.finalized:
+        p.finalize()
+
+
+@pytest.fixture
+def vproc():
+    """A single-rank context on a deterministic virtual clock."""
+    world = World(1, clock=VirtualClock())
+    p = world.proc(0)
+    yield p
+    if not p.finalized:
+        p.finalize()
+
+
+def make_vworld(nranks: int, **config_kwargs) -> World:
+    """A virtual-clock world for single-threaded, deterministic tests.
+
+    Rank code is driven manually from the test thread via :func:`drive`.
+    """
+    config = RuntimeConfig(**config_kwargs) if config_kwargs else None
+    return World(nranks, clock=VirtualClock(), config=config)
+
+
+def drive(world: World, requests, max_iters: int = 200_000) -> None:
+    """Single-threaded completion loop over all ranks of a world.
+
+    Progresses every rank's default stream until every request in
+    ``requests`` completes, advancing virtual time when the whole world
+    is idle.  Fails the test on livelock.
+    """
+    pending = [r for r in requests if not r.is_complete()]
+    iters = 0
+    while pending:
+        made = False
+        for rank in range(world.nranks):
+            if world.proc(rank).stream_progress():
+                made = True
+        pending = [r for r in pending if not r.is_complete()]
+        if pending and not made:
+            if not world.clock.idle_advance():
+                # Nothing to mature and nothing progressed: only OK if a
+                # peer still needs to post (impossible single-threaded).
+                raise AssertionError(
+                    f"deadlock: {len(pending)} requests pending with an idle world"
+                )
+        iters += 1
+        if iters > max_iters:
+            raise AssertionError(f"livelock after {max_iters} iterations")
+
+
+def drive_streams(world: World, requests, streams, max_iters: int = 200_000) -> None:
+    """Like :func:`drive` but progressing explicit (proc, stream) pairs."""
+    pending = [r for r in requests if not r.is_complete()]
+    iters = 0
+    while pending:
+        made = False
+        for proc, stream in streams:
+            if proc.stream_progress(stream):
+                made = True
+        pending = [r for r in pending if not r.is_complete()]
+        if pending and not made and not world.clock.idle_advance():
+            raise AssertionError("deadlock in drive_streams")
+        iters += 1
+        if iters > max_iters:
+            raise AssertionError("livelock in drive_streams")

@@ -1,0 +1,201 @@
+"""MPIX Async extension (section 3.3): hooks, state, spawning, draining."""
+
+import pytest
+
+import repro
+from repro.core.async_ext import (
+    ASYNC_DONE,
+    ASYNC_NOPROGRESS,
+    ASYNC_PENDING,
+)
+
+
+class TestAsyncStart:
+    def test_hook_polled_by_stream_progress(self, proc):
+        calls = []
+
+        def poll(thing):
+            calls.append(1)
+            return ASYNC_DONE
+
+        proc.async_start(poll, None)
+        assert calls == []  # not yet polled
+        proc.stream_progress()
+        assert calls == [1]
+
+    def test_done_task_removed(self, proc):
+        calls = []
+
+        def poll(thing):
+            calls.append(1)
+            return ASYNC_DONE
+
+        proc.async_start(poll, None)
+        proc.stream_progress()
+        proc.stream_progress()
+        assert calls == [1]  # not polled again after DONE
+        assert proc.pending_async_tasks == 0
+
+    def test_pending_task_polled_every_pass(self, proc):
+        calls = []
+
+        def poll(thing):
+            calls.append(1)
+            return ASYNC_NOPROGRESS if len(calls) < 3 else ASYNC_DONE
+
+        proc.async_start(poll, None)
+        for _ in range(5):
+            proc.stream_progress()
+        assert len(calls) == 3
+
+    def test_extra_state_roundtrip(self, proc):
+        state = {"key": "value"}
+        seen = []
+
+        def poll(thing):
+            seen.append(thing.get_state())
+            assert repro.async_get_state(thing) is state
+            return ASYNC_DONE
+
+        proc.async_start(poll, state)
+        proc.stream_progress()
+        assert seen == [state]
+
+    def test_multiple_tasks_polled_in_registration_order(self, proc):
+        order = []
+
+        def make(i):
+            def poll(thing):
+                order.append(i)
+                return ASYNC_DONE
+
+            return poll
+
+        for i in range(4):
+            proc.async_start(make(i), None)
+        proc.stream_progress()
+        assert order == [0, 1, 2, 3]
+
+    def test_pending_returns_count_as_made_progress(self, proc):
+        """ASYNC_PENDING means the pass made progress."""
+
+        calls = []
+
+        def poll(thing):
+            calls.append(1)
+            return ASYNC_PENDING if len(calls) == 1 else ASYNC_DONE
+
+        proc.async_start(poll, None)
+        assert proc.stream_progress() is True
+        assert proc.stream_progress() is True  # DONE also counts
+        assert proc.stream_progress() is False  # nothing left
+
+
+class TestAsyncSpawn:
+    def test_spawned_task_joins_after_pass(self, proc):
+        events = []
+
+        def child(thing):
+            events.append("child")
+            return ASYNC_DONE
+
+        def parent(thing):
+            events.append("parent")
+            thing.spawn(child, None)
+            return ASYNC_DONE
+
+        proc.async_start(parent, None)
+        proc.stream_progress()
+        # The child was buffered during the parent's poll...
+        assert events == ["parent"]
+        proc.stream_progress()
+        assert events == ["parent", "child"]
+
+    def test_spawn_chain(self, proc):
+        depth = []
+
+        def make(level):
+            def poll(thing):
+                depth.append(level)
+                if level < 3:
+                    thing.spawn(make(level + 1), None)
+                return ASYNC_DONE
+
+            return poll
+
+        proc.async_start(make(0), None)
+        for _ in range(5):
+            proc.stream_progress()
+        assert depth == [0, 1, 2, 3]
+
+    def test_spawn_onto_other_stream(self, proc):
+        other = proc.stream_create()
+        events = []
+
+        def child(thing):
+            events.append("child")
+            return ASYNC_DONE
+
+        def parent(thing):
+            thing.spawn(child, None, other)
+            return ASYNC_DONE
+
+        proc.async_start(parent, None)
+        proc.stream_progress()  # parent runs on default stream
+        proc.stream_progress()  # child NOT here...
+        assert events == []
+        proc.stream_progress(other)  # ...but on the other stream
+        assert events == ["child"]
+
+    def test_pending_async_count_tracks_spawns(self, proc):
+        def child(thing):
+            return ASYNC_DONE
+
+        def parent(thing):
+            thing.spawn(child, None)
+            return ASYNC_DONE
+
+        proc.async_start(parent, None)
+        assert proc.pending_async_tasks == 1
+        proc.stream_progress()
+        assert proc.pending_async_tasks == 1  # parent done, child pending
+        proc.stream_progress()
+        assert proc.pending_async_tasks == 0
+
+
+class TestListing12Shape:
+    """The paper's Listing 1.2/1.3: dummy timer tasks with a counter."""
+
+    def test_dummy_tasks_with_wait_loop(self, proc):
+        TASKS = 10
+        counter = [TASKS]
+
+        def dummy_poll(thing):
+            state = thing.get_state()
+            if proc.wtime() >= state["finish"]:
+                counter[0] -= 1
+                return ASYNC_DONE
+            return ASYNC_NOPROGRESS
+
+        for _ in range(TASKS):
+            proc.async_start(dummy_poll, {"finish": proc.wtime() + 0.0005})
+        while counter[0] > 0:
+            proc.stream_progress(repro.STREAM_NULL)
+        assert counter[0] == 0
+        assert proc.pending_async_tasks == 0
+
+    def test_finalize_drains_tasks(self):
+        """Listing 1.2: finalize spins progress until tasks complete."""
+        proc = repro.init()
+        counter = [5]
+
+        def dummy_poll(thing):
+            if proc.wtime() >= thing.get_state():
+                counter[0] -= 1
+                return ASYNC_DONE
+            return ASYNC_NOPROGRESS
+
+        for _ in range(5):
+            proc.async_start(dummy_poll, proc.wtime() + 0.0005)
+        proc.finalize()  # must not raise, must drain
+        assert counter[0] == 0

@@ -1,0 +1,125 @@
+"""Property-based invariants of the async task engine.
+
+Whatever sequence of registrations, spawns, and completions happens,
+the engine must satisfy conservation: every task registered is polled
+until it reports DONE, exactly-once accounting, and no lost spawns.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+import repro
+
+
+# A program is a list of task specs; each spec: (polls_until_done,
+# spawn_depth) — the task returns NOPROGRESS for `polls_until_done`
+# polls, then spawns a chain of `spawn_depth` children and completes.
+task_specs = st.lists(
+    st.tuples(st.integers(0, 5), st.integers(0, 3)), min_size=0, max_size=12
+)
+
+
+@given(task_specs)
+@settings(max_examples=60, deadline=None)
+def test_every_task_completes_exactly_once(specs):
+    proc = repro.init()
+    completions: list[str] = []
+
+    def make_poll(name, polls_left, spawn_depth):
+        state = {"left": polls_left}
+
+        def poll(thing):
+            if state["left"] > 0:
+                state["left"] -= 1
+                return repro.ASYNC_NOPROGRESS
+            if spawn_depth > 0:
+                thing.spawn(
+                    make_poll(f"{name}.c", 0, spawn_depth - 1), None
+                )
+            completions.append(name)
+            return repro.ASYNC_DONE
+
+        return poll
+
+    expected = 0
+    for i, (polls, depth) in enumerate(specs):
+        proc.async_start(make_poll(f"t{i}", polls, depth), None)
+        expected += 1 + depth  # the task plus its spawn chain
+
+    # Drive until the engine drains (bounded by a generous pass count).
+    for _ in range(200):
+        proc.stream_progress()
+        if proc.pending_async_tasks == 0:
+            break
+    assert proc.pending_async_tasks == 0
+    assert len(completions) == expected
+    assert len(set(completions)) == expected  # exactly once each
+    proc.finalize()
+
+
+@given(task_specs)
+@settings(max_examples=40, deadline=None)
+def test_finalize_drains_any_program(specs):
+    proc = repro.init()
+    count = [0]
+
+    def make_poll(polls_left, spawn_depth):
+        state = {"left": polls_left}
+
+        def poll(thing):
+            if state["left"] > 0:
+                state["left"] -= 1
+                return repro.ASYNC_NOPROGRESS
+            if spawn_depth > 0:
+                thing.spawn(make_poll(0, spawn_depth - 1), None)
+            count[0] += 1
+            return repro.ASYNC_DONE
+
+        return poll
+
+    expected = sum(1 + depth for _, depth in specs)
+    for polls, depth in specs:
+        proc.async_start(make_poll(polls, depth), None)
+    proc.finalize()
+    assert count[0] == expected
+
+
+@given(
+    st.lists(st.integers(0, 3), min_size=1, max_size=8),
+    st.integers(2, 4),
+)
+@settings(max_examples=30, deadline=None)
+def test_tasks_isolated_per_stream(poll_counts, nstreams):
+    """Tasks land only on their own stream, whatever the mix."""
+    proc = repro.init()
+    streams = [proc.stream_create() for _ in range(nstreams)]
+    polled_on: dict[int, list[int]] = {i: [] for i in range(nstreams)}
+    current = {"stream": -1}
+
+    def make_poll(owner, polls_left):
+        state = {"left": polls_left}
+
+        def poll(thing):
+            polled_on[owner].append(current["stream"])
+            if state["left"] > 0:
+                state["left"] -= 1
+                return repro.ASYNC_NOPROGRESS
+            return repro.ASYNC_DONE
+
+        return poll
+
+    for i, polls in enumerate(poll_counts):
+        owner = i % nstreams
+        proc.async_start(make_poll(owner, polls), None, streams[owner])
+
+    for _ in range(20):
+        for si, s in enumerate(streams):
+            current["stream"] = si
+            proc.stream_progress(s)
+        if proc.pending_async_tasks == 0:
+            break
+    assert proc.pending_async_tasks == 0
+    for owner, seen in polled_on.items():
+        assert all(s == owner for s in seen), (owner, seen)
+    for s in streams:
+        proc.stream_free(s)
+    proc.finalize()

@@ -1,0 +1,149 @@
+"""Communicators: rank mapping, dup/split, stream comms, validation."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import InvalidCommunicatorError, InvalidRankError
+from tests.conftest import drive, make_vworld
+
+
+class TestCommWorld:
+    def test_rank_size(self):
+        world = make_vworld(3)
+        for r in range(3):
+            comm = world.proc(r).comm_world
+            assert comm.rank == r
+            assert comm.size == 3
+
+    def test_context_ids(self):
+        world = make_vworld(2)
+        comm = world.proc(0).comm_world
+        assert comm.context_id == 0
+        assert comm.coll_context_id == 1
+
+    def test_freed_comm_rejected(self):
+        world = make_vworld(1)
+        comm = world.proc(0).comm_world
+        comm.free()
+        with pytest.raises(InvalidCommunicatorError):
+            comm.isend(b"x", 1, repro.BYTE, 0, 0)
+
+    def test_rank_validation(self):
+        world = make_vworld(2)
+        with pytest.raises(InvalidRankError):
+            world.proc(0).comm_world.ibcast(bytearray(4), 4, repro.BYTE, root=5)
+
+
+class TestSendrecv:
+    def test_ring_shift(self):
+        size = 4
+        world = make_vworld(size, use_shmem=False)
+        outs = {}
+        # single-threaded: post both halves as nonblocking, then drive
+        reqs = []
+        for r in range(size):
+            comm = world.proc(r).comm_world
+            out = np.zeros(1, dtype="i4")
+            outs[r] = out
+            reqs.append(comm.irecv(out, 1, repro.INT, (r - 1) % size, 0))
+            reqs.append(
+                comm.isend(np.array([r], dtype="i4"), 1, repro.INT, (r + 1) % size, 0)
+            )
+        drive(world, reqs)
+        for r in range(size):
+            assert outs[r][0] == (r - 1) % size
+
+
+class TestDupSplit:
+    """dup/split are collective; run them thread-per-rank (real clock)."""
+
+    def test_dup_isolates_traffic(self):
+        from repro.runtime import run_world
+
+        def main(proc):
+            comm = proc.comm_world
+            dup = comm.dup()
+            assert dup.context_id != comm.context_id
+            assert dup.ranks == comm.ranks
+            # message sent on dup is invisible to comm's matching
+            if comm.rank == 0:
+                dup.send(np.array([1], dtype="i4"), 1, repro.INT, 1, 0)
+            else:
+                out = np.zeros(1, dtype="i4")
+                assert comm.iprobe(0, 0) is None or True  # may not have arrived
+                dup.recv(out, 1, repro.INT, 0, 0)
+                assert out[0] == 1
+                assert comm.iprobe(0, 0) is None  # never matched on comm
+            comm.barrier()
+            return "ok"
+
+        assert run_world(2, main, timeout=60) == ["ok", "ok"]
+
+    def test_split_halves(self):
+        from repro.runtime import run_world
+
+        def main(proc):
+            comm = proc.comm_world
+            color = comm.rank % 2
+            sub = comm.split(color, key=comm.rank)
+            assert sub.size == 2
+            assert sub.ranks == [color, color + 2]
+            out = np.zeros(1, dtype="i4")
+            sub.allreduce(np.array([comm.rank], dtype="i4"), out, 1, repro.INT)
+            return int(out[0])
+
+        results = run_world(4, main, timeout=60)
+        assert results == [2, 4, 2, 4]  # 0+2 and 1+3
+
+    def test_split_key_reorders_ranks(self):
+        from repro.runtime import run_world
+
+        def main(proc):
+            comm = proc.comm_world
+            sub = comm.split(0, key=-comm.rank)  # reverse order
+            return sub.rank
+
+        assert run_world(3, main, timeout=60) == [2, 1, 0]
+
+    def test_split_none_opts_out(self):
+        from repro.runtime import run_world
+
+        def main(proc):
+            comm = proc.comm_world
+            color = None if comm.rank == 0 else 1
+            sub = comm.split(color, key=comm.rank)
+            if comm.rank == 0:
+                return sub is None
+            return sub.size
+
+        assert run_world(3, main, timeout=60) == [True, 2, 2]
+
+
+class TestStreamComm:
+    def test_stream_comm_uses_stream_vci(self):
+        from repro.runtime import run_world
+
+        def main(proc):
+            comm = proc.comm_world
+            s = proc.stream_create()
+            sc = comm.stream_comm(s)
+            assert sc.stream is s
+            # every rank learns every peer's VCI
+            assert len(sc.peer_vcis) == comm.size
+            assert sc.peer_vcis[comm.rank] == s.vci
+            # traffic flows between the right endpoints
+            out = np.zeros(1, dtype="i4")
+            if comm.rank == 0:
+                sc.send(np.array([7], dtype="i4"), 1, repro.INT, 1, 0)
+            else:
+                sc.recv(out, 1, repro.INT, 0, 0)
+                assert out[0] == 7
+            comm.barrier()
+            # the traffic went via the stream's endpoint, not VCI 0
+            if comm.rank == 0:
+                ep = proc.world.fabric.endpoint(0, s.vci)
+                assert ep.stat_posted >= 1
+            return "ok"
+
+        assert run_world(2, main, timeout=60) == ["ok", "ok"]

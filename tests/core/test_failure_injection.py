@@ -1,0 +1,125 @@
+"""Failure injection: faulty hooks, invalid return codes, and engine
+consistency after errors."""
+
+import pytest
+
+import repro
+from repro.errors import MpiError
+
+
+class TestFaultyHooks:
+    def test_raising_hook_surfaces_to_progress_caller(self, proc):
+        def bad(thing):
+            raise RuntimeError("hook exploded")
+
+        proc.async_start(bad, None)
+        with pytest.raises(RuntimeError, match="hook exploded"):
+            proc.stream_progress()
+
+    def test_faulty_hook_retired_after_raise(self, proc):
+        calls = []
+
+        def bad(thing):
+            calls.append(1)
+            raise RuntimeError("once")
+
+        proc.async_start(bad, None)
+        with pytest.raises(RuntimeError):
+            proc.stream_progress()
+        # retired: subsequent passes do not re-poll it
+        proc.stream_progress()
+        proc.stream_progress()
+        assert calls == [1]
+        assert proc.pending_async_tasks == 0
+
+    def test_other_hooks_survive_a_faulty_one(self, proc):
+        healthy_calls = []
+
+        def bad(thing):
+            raise ValueError("broken")
+
+        def healthy(thing):
+            healthy_calls.append(1)
+            return repro.ASYNC_DONE if len(healthy_calls) >= 2 else repro.ASYNC_NOPROGRESS
+
+        proc.async_start(bad, None)
+        proc.async_start(healthy, None)
+        with pytest.raises(ValueError):
+            proc.stream_progress()
+        # The healthy hook continues on later passes.
+        proc.stream_progress()
+        proc.stream_progress()
+        assert len(healthy_calls) >= 2
+        assert proc.pending_async_tasks == 0
+
+    def test_invalid_return_code_raises(self, proc):
+        def confused(thing):
+            return 42
+
+        proc.async_start(confused, None)
+        with pytest.raises(MpiError, match="invalid code"):
+            proc.stream_progress()
+        assert proc.pending_async_tasks == 0
+
+    def test_none_return_raises(self, proc):
+        """Forgetting the return statement is a common bug: caught."""
+
+        def forgetful(thing):
+            pass  # implicitly returns None
+
+        proc.async_start(forgetful, None)
+        with pytest.raises(MpiError):
+            proc.stream_progress()
+
+    def test_spawns_of_faulty_hook_preserved(self, proc):
+        ran = []
+
+        def child(thing):
+            ran.append(1)
+            return repro.ASYNC_DONE
+
+        def bad(thing):
+            thing.spawn(child, None)
+            raise RuntimeError("after spawning")
+
+        proc.async_start(bad, None)
+        with pytest.raises(RuntimeError):
+            proc.stream_progress()
+        proc.stream_progress()
+        assert ran == [1]
+
+    def test_finalize_after_hook_failure(self):
+        local = repro.init()
+
+        def bad(thing):
+            raise RuntimeError("boom")
+
+        local.async_start(bad, None)
+        with pytest.raises(RuntimeError):
+            local.stream_progress()
+        local.finalize()  # engine is consistent: finalize drains cleanly
+
+    def test_wait_survives_across_hook_failure(self, proc):
+        """A wait loop hitting a faulty hook raises, but retrying the
+        wait completes once the fault is cleared."""
+        from repro.core.request import Request
+
+        req = Request()
+        fired = {"n": 0}
+
+        def finisher(thing):
+            fired["n"] += 1
+            if fired["n"] >= 2:
+                req.complete()
+                return repro.ASYNC_DONE
+            return repro.ASYNC_NOPROGRESS
+
+        def bad(thing):
+            raise OSError("transient")
+
+        proc.async_start(bad, None)
+        proc.async_start(finisher, None)
+        with pytest.raises(OSError):
+            proc.wait(req)
+        proc.wait(req)  # the faulty hook is gone; completes normally
+        assert req.is_complete()

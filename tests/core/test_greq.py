@@ -1,0 +1,92 @@
+"""Generalized requests (section 4.6 / 5.2) and their pairing with the
+MPIX async extension."""
+
+import pytest
+
+import repro
+from repro.core.greq import grequest_complete, grequest_start
+from repro.core.request import Request
+from repro.errors import InvalidRequestError
+
+
+class TestGrequestBasics:
+    def test_starts_incomplete(self):
+        greq = grequest_start()
+        assert not greq.is_complete()
+        assert greq.kind == "grequest"
+
+    def test_complete_marks_done(self):
+        greq = grequest_start()
+        grequest_complete(greq)
+        assert greq.is_complete()
+
+    def test_query_fn_fills_status(self):
+        def query(state, status):
+            status.count_bytes = state["n"]
+            status.tag = 5
+
+        greq = grequest_start(query_fn=query, extra_state={"n": 12})
+        grequest_complete(greq)
+        assert greq.status.count_bytes == 12
+        assert greq.status.tag == 5
+
+    def test_free_fn_called_once(self):
+        freed = []
+        greq = grequest_start(free_fn=lambda s: freed.append(s), extra_state="S")
+        greq.free()
+        greq.free()
+        assert freed == ["S"]
+
+    def test_cancel_fn(self):
+        cancelled = []
+        greq = grequest_start(cancel_fn=lambda s, done: cancelled.append(done))
+        greq.cancel()
+        assert cancelled == [False]
+        assert greq.status.cancelled
+
+    def test_complete_rejects_plain_request(self):
+        with pytest.raises(InvalidRequestError):
+            grequest_complete(Request())
+
+    def test_works_with_request_is_complete(self):
+        greq = grequest_start()
+        assert repro.request_is_complete(greq) is False
+        grequest_complete(greq)
+        assert repro.request_is_complete(greq) is True
+
+
+class TestGrequestWithAsync:
+    """Listing 1.7: a greq completed by an MPIX async hook, waited on
+    with plain MPI_Wait."""
+
+    def test_listing_1_7(self, proc):
+        INTERVAL = 0.0005
+        greq = proc.grequest_start()
+        state = {"finish": proc.wtime() + INTERVAL, "greq": greq}
+
+        def dummy_poll(thing):
+            p = thing.get_state()
+            if proc.wtime() > p["finish"]:
+                proc.grequest_complete(p["greq"])
+                return repro.ASYNC_DONE
+            return repro.ASYNC_NOPROGRESS
+
+        proc.async_start(dummy_poll, state, repro.STREAM_NULL)
+        proc.wait(greq)  # replaces the manual wait loop of Listing 1.3
+        assert greq.is_complete()
+        assert proc.wtime() >= state["finish"]
+
+    def test_test_polls_progress_for_greq(self, proc):
+        greq = proc.grequest_start()
+        fire_at = proc.wtime() + 0.0002
+
+        def poll(thing):
+            if proc.wtime() >= fire_at:
+                proc.grequest_complete(greq)
+                return repro.ASYNC_DONE
+            return repro.ASYNC_NOPROGRESS
+
+        proc.async_start(poll, None)
+        while not proc.test(greq):
+            pass
+        assert greq.is_complete()

@@ -1,0 +1,76 @@
+"""Progress introspection snapshots."""
+
+import numpy as np
+
+import repro
+from repro.core.introspect import snapshot
+from tests.conftest import drive, make_vworld
+
+
+class TestSnapshot:
+    def test_fresh_proc(self, proc):
+        snap = snapshot(proc)
+        assert snap.rank == 0
+        assert snap.engine_passes == 0
+        assert snap.pending_async_tasks == 0
+        assert len(snap.streams) == 1
+        assert snap.streams[0].is_default
+
+    def test_counts_progress_activity(self, proc):
+        def poll(thing):
+            return repro.ASYNC_DONE
+
+        proc.async_start(poll, None)
+        before = snapshot(proc)
+        assert before.pending_async_tasks == 1
+        proc.stream_progress()
+        proc.stream_progress()
+        after = snapshot(proc)
+        assert after.engine_passes == before.engine_passes + 2
+        assert after.subsystem_polls > before.subsystem_polls
+        assert after.pending_async_tasks == 0
+
+    def test_streams_listed(self, proc):
+        s = proc.stream_create()
+        state = {"done": False}
+
+        def hook(thing):
+            return repro.ASYNC_DONE if state["done"] else repro.ASYNC_NOPROGRESS
+
+        proc.async_start(hook, None, s)
+        proc.stream_progress(s)
+        snap = snapshot(proc)
+        assert len(snap.streams) == 2
+        by_vci = {st.vci: st for st in snap.streams}
+        assert by_vci[s.vci].pending_async_tasks == 1
+        assert by_vci[s.vci].progress_calls == 1
+        # let the fixture finalize cleanly
+        state["done"] = True
+        proc.stream_progress(s)
+
+    def test_endpoint_traffic_counted(self):
+        world = make_vworld(2, use_shmem=False)
+        p0, p1 = world.proc(0), world.proc(1)
+        out = np.zeros(4, dtype="u1")
+        rreq = p1.comm_world.irecv(out, 4, repro.BYTE, 0, 0)
+        sreq = p0.comm_world.isend(np.zeros(4, "u1"), 4, repro.BYTE, 1, 0)
+        drive(world, [sreq, rreq])
+        snap = snapshot(p0)
+        assert snap.endpoints[0]["posted"] == 1
+        assert snap.endpoints[0]["bytes"] == 4
+        assert snap.endpoints[0]["polls"] > 0
+
+    def test_report_renders(self, proc):
+        s = proc.stream_create()
+        proc.stream_progress(s)
+        report = snapshot(proc).format_report()
+        assert "progress report — rank 0" in report
+        assert "STREAM_NULL" in report
+        assert f"stream#{s.stream_id}" in report
+        assert "endpoints:" in report
+
+    def test_lock_wait_stat(self, proc):
+        proc.stream_progress()
+        snap = snapshot(proc)
+        assert snap.streams[0].lock_acquires == 1
+        assert snap.streams[0].mean_lock_wait_us >= 0.0

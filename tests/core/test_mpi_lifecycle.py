@@ -1,0 +1,62 @@
+"""Process-context lifecycle: init, finalize draining, error states."""
+
+import pytest
+
+import repro
+from repro.errors import AlreadyFinalizedError, PendingOperationsError
+
+
+class TestInitFinalize:
+    def test_init_gives_single_rank_world(self):
+        proc = repro.init()
+        assert proc.rank == 0
+        assert proc.comm_world.size == 1
+        proc.finalize()
+
+    def test_finalize_twice_raises(self):
+        proc = repro.init()
+        proc.finalize()
+        with pytest.raises(AlreadyFinalizedError):
+            proc.finalize()
+
+    def test_calls_after_finalize_raise(self):
+        proc = repro.init()
+        proc.finalize()
+        with pytest.raises(AlreadyFinalizedError):
+            proc.stream_progress()
+        with pytest.raises(AlreadyFinalizedError):
+            proc.async_start(lambda t: repro.ASYNC_DONE, None)
+        with pytest.raises(AlreadyFinalizedError):
+            proc.stream_create()
+
+    def test_finalize_drains_tasks_on_all_streams(self):
+        proc = repro.init()
+        s = proc.stream_create()
+        done = []
+
+        def poll(thing):
+            done.append(thing.get_state())
+            return repro.ASYNC_DONE
+
+        proc.async_start(poll, "default")
+        proc.async_start(poll, "stream", s)
+        proc.finalize()
+        assert sorted(done) == ["default", "stream"]
+
+    def test_finalize_raises_on_never_completing_hook(self):
+        proc = repro.init()
+        proc.async_start(lambda t: repro.ASYNC_NOPROGRESS, None)
+        with pytest.raises(PendingOperationsError):
+            proc.finalize(max_spins=100)
+
+    def test_wtime_advances(self):
+        proc = repro.init()
+        t0 = proc.wtime()
+        t1 = proc.wtime()
+        assert t1 >= t0 >= 0.0
+        proc.finalize()
+
+    def test_thread_level(self):
+        proc = repro.init()
+        assert proc.thread_level == repro.THREAD_MULTIPLE
+        proc.finalize()

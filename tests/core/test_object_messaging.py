@@ -1,0 +1,83 @@
+"""Pickled-object messaging (mpi4py-style lowercase convenience)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.runtime import run_world
+
+
+class TestObjectMessaging:
+    def test_roundtrip_dict(self):
+        def main(proc):
+            comm = proc.comm_world
+            if comm.rank == 0:
+                comm.send_obj({"a": 7, "b": [1.5, "x"], "c": (None, True)}, 1, 11)
+                comm.barrier()
+                return None
+            obj = comm.recv_obj(0, 11)
+            comm.barrier()
+            return obj
+
+        results = run_world(2, main, timeout=60)
+        assert results[1] == {"a": 7, "b": [1.5, "x"], "c": (None, True)}
+
+    def test_numpy_array_roundtrip(self):
+        def main(proc):
+            comm = proc.comm_world
+            if comm.rank == 0:
+                comm.send_obj(np.arange(1000).reshape(10, 100), 1)
+                comm.barrier()
+                return True
+            arr = comm.recv_obj(0)
+            comm.barrier()
+            return bool(
+                arr.shape == (10, 100) and np.array_equal(arr, np.arange(1000).reshape(10, 100))
+            )
+
+        assert run_world(2, main, timeout=60)[1] is True
+
+    def test_large_object_uses_rendezvous(self):
+        """Objects beyond the eager threshold still arrive intact."""
+
+        def main(proc):
+            comm = proc.comm_world
+            if comm.rank == 0:
+                comm.send_obj(list(range(50_000)), 1)
+                comm.barrier()
+                return None
+            obj = comm.recv_obj(0)
+            comm.barrier()
+            return obj[-1]
+
+        assert run_world(2, main, timeout=120)[1] == 49_999
+
+    def test_isend_obj_nonblocking(self):
+        def main(proc):
+            comm = proc.comm_world
+            if comm.rank == 0:
+                req = comm.isend_obj("hello", 1, 3)
+                proc.wait(req)
+                comm.barrier()
+                return None
+            obj = comm.recv_obj(0, 3)
+            comm.barrier()
+            return obj
+
+        assert run_world(2, main, timeout=60)[1] == "hello"
+
+    def test_wildcard_recv_obj(self):
+        def main(proc):
+            comm = proc.comm_world
+            if comm.rank == 0:
+                comm.send_obj(("from", 0), 2, 5)
+            elif comm.rank == 1:
+                comm.send_obj(("from", 1), 2, 5)
+            else:
+                objs = {comm.recv_obj()[1] for _ in range(2)}
+                comm.barrier()
+                return sorted(objs)
+            comm.barrier()
+            return None
+
+        assert run_world(3, main, timeout=60)[2] == [0, 1]

@@ -1,0 +1,197 @@
+"""Persistent requests, matched probe, and the extended test/wait API."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.persist import PersistentRequest
+from repro.core.request import Request
+from repro.errors import InvalidRequestError
+from tests.conftest import drive, make_vworld
+
+
+class TestPersistentRequests:
+    def test_inactive_is_complete(self):
+        world = make_vworld(2, use_shmem=False)
+        preq = world.proc(0).comm_world.send_init(
+            np.zeros(1, "i4"), 1, repro.INT, 1
+        )
+        assert isinstance(preq, PersistentRequest)
+        assert preq.is_complete()  # inactive == complete for wait/test
+        assert not preq.active
+
+    def test_start_and_complete_roundtrip(self):
+        world = make_vworld(2, use_shmem=False)
+        p0, p1 = world.proc(0), world.proc(1)
+        data = np.array([5], dtype="i4")
+        out = np.zeros(1, dtype="i4")
+        psend = p0.comm_world.send_init(data, 1, repro.INT, 1, tag=4)
+        precv = p1.comm_world.recv_init(out, 1, repro.INT, 0, tag=4)
+        psend.start()
+        precv.start()
+        # The tiny send is buffered mode and completed at post; the
+        # receive is genuinely in flight until driven.
+        assert precv.active and not precv.is_complete()
+        drive(world, [psend, precv])
+        assert out[0] == 5
+        assert not psend.active
+
+    def test_reuse_many_rounds(self):
+        world = make_vworld(2, use_shmem=False)
+        p0, p1 = world.proc(0), world.proc(1)
+        data = np.zeros(1, dtype="i4")
+        out = np.zeros(1, dtype="i4")
+        psend = p0.comm_world.send_init(data, 1, repro.INT, 1)
+        precv = p1.comm_world.recv_init(out, 1, repro.INT, 0)
+        for round_no in range(5):
+            data[0] = round_no * 11
+            p0.startall([psend])
+            p1.start(precv)
+            drive(world, [psend, precv])
+            assert out[0] == round_no * 11
+
+    def test_start_while_active_rejected(self):
+        world = make_vworld(2, use_shmem=False)
+        preq = world.proc(1).comm_world.recv_init(np.zeros(1, "i4"), 1, repro.INT, 0)
+        preq.start()
+        with pytest.raises(InvalidRequestError):
+            preq.start()
+
+    def test_free_while_active_rejected(self):
+        world = make_vworld(2, use_shmem=False)
+        preq = world.proc(1).comm_world.recv_init(np.zeros(1, "i4"), 1, repro.INT, 0)
+        preq.start()
+        with pytest.raises(InvalidRequestError):
+            preq.free()
+
+    def test_persistent_ssend(self):
+        world = make_vworld(2, use_shmem=False)
+        p0, p1 = world.proc(0), world.proc(1)
+        pssend = p0.comm_world.ssend_init(np.zeros(8, "u1"), 8, repro.BYTE, 1)
+        pssend.start()
+        # no receiver posted: synchronous send cannot complete
+        for _ in range(30):
+            p0.stream_progress()
+            p1.stream_progress()
+            world.clock.idle_advance()
+        assert not pssend.is_complete()
+        out = np.zeros(8, dtype="u1")
+        rreq = p1.comm_world.irecv(out, 8, repro.BYTE, 0, 0)
+        drive(world, [pssend, rreq])
+
+    def test_status_propagates(self):
+        world = make_vworld(2, use_shmem=False)
+        p0, p1 = world.proc(0), world.proc(1)
+        precv = p1.comm_world.recv_init(
+            np.zeros(3, "i4"), 3, repro.INT, repro.ANY_SOURCE, repro.ANY_TAG
+        )
+        precv.start()
+        sreq = p0.comm_world.isend(np.arange(3, dtype="i4"), 3, repro.INT, 1, 9)
+        drive(world, [precv, sreq])
+        assert precv.status.source == 0
+        assert precv.status.tag == 9
+        assert precv.status.count_bytes == 12
+
+
+class TestMatchedProbe:
+    def _deliver_unexpected(self, world, nbytes=4, tag=5):
+        p0, p1 = world.proc(0), world.proc(1)
+        data = np.arange(nbytes, dtype="u1")
+        sreq = p0.comm_world.isend(data, nbytes, repro.BYTE, 1, tag)
+        drive(world, [sreq])
+        for _ in range(5):
+            world.clock.idle_advance()
+            p1.stream_progress()
+        return data
+
+    def test_improbe_claims_message(self):
+        world = make_vworld(2, use_shmem=False)
+        data = self._deliver_unexpected(world)
+        p1 = world.proc(1)
+        found = p1.comm_world.improbe(0, 5)
+        assert found is not None
+        msg, status = found
+        assert status.source == 0
+        assert status.tag == 5
+        assert status.count_bytes == 4
+        # claimed: a plain iprobe no longer sees it
+        assert p1.comm_world.iprobe(0, 5) is None
+        out = np.zeros(4, dtype="u1")
+        status2 = p1.comm_world.mrecv(out, 4, repro.BYTE, msg)
+        assert np.array_equal(out, data)
+        assert status2.count_bytes == 4
+
+    def test_improbe_none_when_no_match(self):
+        world = make_vworld(2, use_shmem=False)
+        assert world.proc(1).comm_world.improbe(0, 5) is None
+
+    def test_mprobe_blocking(self):
+        world = make_vworld(2, use_shmem=False)
+        self._deliver_unexpected(world, tag=8)
+        msg, status = world.proc(1).comm_world.mprobe(0, 8)
+        assert status.tag == 8
+
+    def test_imrecv_nonblocking(self):
+        world = make_vworld(2, use_shmem=False)
+        data = self._deliver_unexpected(world)
+        p1 = world.proc(1)
+        msg, _ = p1.comm_world.improbe(0, 5)
+        out = np.zeros(4, dtype="u1")
+        req = p1.comm_world.imrecv(out, 4, repro.BYTE, msg)
+        drive(world, [req])
+        assert np.array_equal(out, data)
+
+    def test_mrecv_of_rendezvous_message(self):
+        """Matched probe works for RTS-mode (large) messages too."""
+        world = make_vworld(2, use_shmem=False)
+        p0, p1 = world.proc(0), world.proc(1)
+        n = 50_000
+        data = (np.arange(n) % 251).astype("u1")
+        sreq = p0.comm_world.isend(data, n, repro.BYTE, 1, 3)
+        # push the RTS across
+        for _ in range(10):
+            world.clock.idle_advance()
+            p0.stream_progress()
+            p1.stream_progress()
+        msg, status = p1.comm_world.mprobe(0, 3)
+        assert status.count_bytes == n
+        out = np.zeros(n, dtype="u1")
+        req = p1.comm_world.imrecv(out, n, repro.BYTE, msg)
+        drive(world, [sreq, req])
+        assert np.array_equal(out, data)
+
+
+class TestExtendedCompletionApi:
+    def _three_requests(self, proc):
+        reqs = [Request() for _ in range(3)]
+        return reqs
+
+    def test_testall(self, proc):
+        reqs = self._three_requests(proc)
+        assert proc.testall(reqs) is False
+        for r in reqs:
+            r.complete()
+        assert proc.testall(reqs) is True
+
+    def test_testany(self, proc):
+        reqs = self._three_requests(proc)
+        assert proc.testany(reqs) is None
+        reqs[2].complete()
+        assert proc.testany(reqs) == 2
+
+    def test_testsome(self, proc):
+        reqs = self._three_requests(proc)
+        assert proc.testsome(reqs) == []
+        reqs[0].complete()
+        reqs[2].complete()
+        assert proc.testsome(reqs) == [0, 2]
+
+    def test_waitsome(self, proc):
+        reqs = self._three_requests(proc)
+
+        def finisher(thing):
+            reqs[1].complete()
+            return repro.ASYNC_DONE
+
+        proc.async_start(finisher, None)
+        assert proc.waitsome(reqs) == [1]

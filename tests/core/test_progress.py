@@ -1,0 +1,209 @@
+"""The collated progress engine: ordering, short-circuit, skip hints,
+re-entry prohibition (section 2.6 / 3.2 / 3.4)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.progress import ProgressState
+from repro.errors import ProgressReentryError
+from tests.conftest import drive, make_vworld
+
+
+class TestCollation:
+    def test_progress_state_records_progressed_subsystems(self):
+        world = make_vworld(2, use_shmem=False)
+        p0, p1 = world.proc(0), world.proc(1)
+        out = np.zeros(1, dtype="i4")
+        rreq = p1.comm_world.irecv(out, 1, repro.INT, 0, 0)
+        sreq = p0.comm_world.isend(np.array([1], dtype="i4"), 1, repro.INT, 1, 0)
+        world.clock.advance(1.0)
+        state = ProgressState()
+        p1.stream_progress(repro.STREAM_NULL, state)
+        assert "netmod" in state.progressed
+
+    def test_skip_hint_blocks_subsystem(self):
+        world = make_vworld(2, use_shmem=False)
+        p0, p1 = world.proc(0), world.proc(1)
+        out = np.zeros(1, dtype="i4")
+        p1.comm_world.irecv(out, 1, repro.INT, 0, 0)
+        sreq = p0.comm_world.isend(np.array([1], dtype="i4"), 1, repro.INT, 1, 0)
+        world.clock.advance(1.0)
+        state = ProgressState(skip=frozenset({"netmod"}))
+        assert p1.stream_progress(repro.STREAM_NULL, state) is False
+        # without the skip it is delivered
+        assert p1.stream_progress() is True
+        assert out[0] == 1
+
+    def test_stream_level_skip_hint(self):
+        """A stream created with info={'skip': 'netmod'} never polls it."""
+        world = make_vworld(2, use_shmem=False)
+        p1 = world.proc(1)
+        lazy = p1.stream_create(info={"skip": "netmod"})
+        p0 = world.proc(0)
+        # Send to rank1's vci 0 (default stream context) but progress
+        # only the lazy stream: the packet is never harvested by it.
+        out = np.zeros(1, dtype="i4")
+        p1.comm_world.irecv(out, 1, repro.INT, 0, 0)
+        p0.comm_world.isend(np.array([5], dtype="i4"), 1, repro.INT, 1, 0)
+        world.clock.advance(1.0)
+        assert p1.stream_progress(lazy) is False
+
+    def test_short_circuit_defers_netmod(self):
+        """When the datatype engine has work, a single pass does not
+        poll netmod (Listing 1.1's goto fn_exit)."""
+        world = make_vworld(2, use_shmem=False, datatype_chunk_size=64)
+        p0 = world.proc(0)
+        from repro.datatype.engine import PackTask
+
+        vec = repro.vector(128, 1, 2, repro.INT).commit()
+        src = np.zeros(256, dtype="i4")
+        staging = bytearray(128 * 4)
+        p0.datatype_engine.submit(
+            PackTask(vec, 1, src, staging, unpack=False, chunk_size=64)
+        )
+        polls_before = world.fabric.endpoint(0, 0).stat_polls
+        state = ProgressState()
+        p0.stream_progress(repro.STREAM_NULL, state)
+        assert state.progressed == ["datatype"]
+        assert world.fabric.endpoint(0, 0).stat_polls == polls_before
+
+    def test_no_short_circuit_config(self):
+        """progress_short_circuit=False polls every subsystem."""
+        world = make_vworld(1, progress_short_circuit=False, use_shmem=False)
+        p0 = world.proc(0)
+        from repro.datatype.engine import PackTask
+
+        vec = repro.vector(128, 1, 2, repro.INT).commit()
+        staging = bytearray(128 * 4)
+        p0.datatype_engine.submit(
+            PackTask(vec, 1, np.zeros(256, "i4"), staging, unpack=False, chunk_size=64)
+        )
+        polls_before = p0.world.fabric.endpoint(0, 0).stat_polls
+        p0.stream_progress()
+        assert p0.world.fabric.endpoint(0, 0).stat_polls == polls_before + 1
+
+    def test_custom_progress_order(self):
+        world = make_vworld(1, progress_order=("netmod", "datatype"))
+        p0 = world.proc(0)
+        assert p0.stream_progress() is False  # just runs without error
+
+
+class TestReentry:
+    def test_progress_inside_hook_raises(self, proc):
+        caught = []
+
+        def poll(thing):
+            try:
+                proc.stream_progress()
+            except ProgressReentryError as exc:
+                caught.append(exc)
+            return repro.ASYNC_DONE
+
+        proc.async_start(poll, None)
+        proc.stream_progress()
+        assert len(caught) == 1
+
+    def test_wait_inside_hook_raises(self, proc):
+        """wait() invokes progress, so it is equally forbidden in hooks."""
+        from repro.core.request import Request
+
+        caught = []
+        dep = Request()
+
+        def poll(thing):
+            try:
+                proc.wait(dep)
+            except ProgressReentryError as exc:
+                caught.append(exc)
+            return repro.ASYNC_DONE
+
+        proc.async_start(poll, None)
+        proc.stream_progress()
+        assert len(caught) == 1
+
+    def test_progress_on_other_stream_inside_hook_allowed(self, proc):
+        """Only same-stream recursion is prohibited."""
+        other = proc.stream_create()
+        results = []
+
+        def poll(thing):
+            results.append(proc.stream_progress(other))
+            return repro.ASYNC_DONE
+
+        proc.async_start(poll, None)
+        proc.stream_progress()
+        assert results == [False]
+
+    def test_posting_operations_inside_hook_allowed(self):
+        """Listing 1.8 posts isend/irecv from poll_fn: must not raise."""
+        world = make_vworld(2, use_shmem=False)
+        p0, p1 = world.proc(0), world.proc(1)
+        posted = []
+
+        def poll(thing):
+            req = p0.comm_world.isend(
+                np.array([1], dtype="i4"), 1, repro.INT, 1, 0
+            )
+            posted.append(req)
+            return repro.ASYNC_DONE
+
+        p0.async_start(poll, None)
+        p0.stream_progress()
+        assert len(posted) == 1
+        out = np.zeros(1, dtype="i4")
+        rreq = p1.comm_world.irecv(out, 1, repro.INT, 0, 0)
+        drive(world, [posted[0], rreq])
+        assert out[0] == 1
+
+
+class TestWaitTest:
+    def test_test_returns_false_then_true(self, proc):
+        state = {"n": 0}
+
+        def poll(thing):
+            state["n"] += 1
+            return repro.ASYNC_DONE if state["n"] >= 3 else repro.ASYNC_NOPROGRESS
+
+        from repro.core.request import Request
+
+        req = Request()
+
+        def finisher(thing):
+            if state["n"] >= 2:
+                req.complete()
+                return repro.ASYNC_DONE
+            return repro.ASYNC_NOPROGRESS
+
+        proc.async_start(poll, None)
+        proc.async_start(finisher, None)
+        assert proc.test(req) is False
+        assert proc.test(req) is True
+
+    def test_waitall(self, proc):
+        from repro.core.request import Request
+
+        reqs = [Request() for _ in range(3)]
+        remaining = list(reqs)
+
+        def poll(thing):
+            if remaining:
+                remaining.pop().complete()
+                return repro.ASYNC_PENDING
+            return repro.ASYNC_DONE
+
+        proc.async_start(poll, None)
+        proc.waitall(reqs)
+        assert all(r.is_complete() for r in reqs)
+
+    def test_waitany_returns_first_index(self, proc):
+        from repro.core.request import Request
+
+        reqs = [Request(), Request()]
+
+        def poll(thing):
+            reqs[1].complete()
+            return repro.ASYNC_DONE
+
+        proc.async_start(poll, None)
+        assert proc.waitany(reqs) == 1

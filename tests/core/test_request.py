@@ -1,0 +1,112 @@
+"""Request objects: atomic completion, callbacks, statuses."""
+
+import threading
+
+import repro
+from repro.core.request import Request, Status, request_is_complete
+
+
+class TestRequest:
+    def test_initial_state(self):
+        req = Request("send")
+        assert not req.is_complete()
+        assert req.kind == "send"
+        assert req.wait_blocks == 0
+        assert not req.freed
+
+    def test_complete_sets_status(self):
+        req = Request("recv")
+        req.complete(source=3, tag=9, count_bytes=16)
+        assert req.is_complete()
+        assert req.status.source == 3
+        assert req.status.tag == 9
+        assert req.status.count_bytes == 16
+        assert req.status.error == 0
+
+    def test_is_complete_has_no_side_effects(self):
+        """MPIX_Request_is_complete: pure query, repeatable."""
+        req = Request()
+        for _ in range(100):
+            assert req.is_complete() is False
+        req.complete()
+        for _ in range(100):
+            assert req.is_complete() is True
+
+    def test_module_level_spelling(self):
+        req = Request()
+        assert request_is_complete(req) is False
+        req.complete()
+        assert request_is_complete(req) is True
+
+    def test_unique_ids(self):
+        ids = {Request().req_id for _ in range(100)}
+        assert len(ids) == 100
+
+    def test_wait_block_accounting(self):
+        req = Request()
+        req.add_wait_block()
+        req.add_wait_block()
+        assert req.wait_blocks == 2
+
+    def test_free(self):
+        req = Request()
+        req.free()
+        assert req.freed
+
+
+class TestCompletionCallbacks:
+    def test_callback_on_complete(self):
+        req = Request()
+        fired = []
+        req.on_complete(lambda r: fired.append(r))
+        assert fired == []
+        req.complete()
+        assert fired == [req]
+
+    def test_callback_after_complete_fires_immediately(self):
+        req = Request()
+        req.complete()
+        fired = []
+        req.on_complete(lambda r: fired.append(1))
+        assert fired == [1]
+
+    def test_multiple_callbacks_in_order(self):
+        req = Request()
+        order = []
+        req.on_complete(lambda r: order.append(1))
+        req.on_complete(lambda r: order.append(2))
+        req.complete()
+        assert order == [1, 2]
+
+    def test_callback_fires_exactly_once_under_racing_registration(self):
+        req = Request()
+        count = [0]
+        barrier = threading.Barrier(2)
+
+        def register():
+            barrier.wait()
+            req.on_complete(lambda r: count.__setitem__(0, count[0] + 1))
+
+        def complete():
+            barrier.wait()
+            req.complete()
+
+        t1 = threading.Thread(target=register)
+        t2 = threading.Thread(target=complete)
+        t1.start(), t2.start()
+        t1.join(), t2.join()
+        assert count[0] == 1
+
+
+class TestStatus:
+    def test_get_count(self):
+        status = Status(count_bytes=12)
+        assert status.get_count(repro.INT) == 3
+        assert status.get_count(repro.DOUBLE) == 1
+        assert status.get_count(repro.BYTE) == 12
+
+    def test_defaults(self):
+        status = Status()
+        assert status.source == -1
+        assert status.tag == -1
+        assert not status.cancelled

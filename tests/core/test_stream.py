@@ -1,0 +1,97 @@
+"""MPIX streams (section 3.1): creation, VCIs, isolation, freeing."""
+
+import pytest
+
+import repro
+from repro.core.stream import STREAM_NULL, MpixStream, StreamNullType
+from repro.errors import InvalidStreamError
+
+
+class TestStreamCreate:
+    def test_distinct_vcis(self, proc):
+        s1 = proc.stream_create()
+        s2 = proc.stream_create()
+        assert s1.vci != s2.vci
+        assert s1.vci != 0 and s2.vci != 0  # 0 is the default stream
+
+    def test_stream_null_resolves_to_default(self, proc):
+        assert proc.resolve_stream(STREAM_NULL) is proc.default_stream
+        assert proc.default_stream.vci == 0
+
+    def test_stream_null_singleton(self):
+        assert StreamNullType() is STREAM_NULL
+
+    def test_info_skip_hint(self, proc):
+        s = proc.stream_create(info={"skip": "netmod,shmem"})
+        assert s.skip_subsystems == {"netmod", "shmem"}
+
+    def test_info_skip_list(self, proc):
+        s = proc.stream_create(info={"skip": ["netmod"]})
+        assert s.skip_subsystems == {"netmod"}
+
+
+class TestStreamFree:
+    def test_free_removes_stream(self, proc):
+        s = proc.stream_create()
+        proc.stream_free(s)
+        assert s.freed
+        with pytest.raises(InvalidStreamError):
+            proc.resolve_stream(s)
+
+    def test_cannot_free_default(self, proc):
+        with pytest.raises(InvalidStreamError):
+            proc.stream_free(STREAM_NULL)
+
+    def test_cannot_free_with_pending_tasks(self):
+        # Local context: the never-finishing hook would stall the shared
+        # fixture's finalize.
+        local = repro.init()
+        s = local.stream_create()
+        state = {"done": False}
+
+        def poll(thing):
+            return repro.ASYNC_DONE if state["done"] else repro.ASYNC_NOPROGRESS
+
+        local.async_start(poll, None, s)
+        local.stream_progress(s)  # move it from the inbox to the task list
+        with pytest.raises(InvalidStreamError):
+            local.stream_free(s)
+        state["done"] = True
+        local.stream_progress(s)
+        local.stream_free(s)  # drained: free succeeds
+        local.finalize()
+
+
+class TestStreamIsolation:
+    def test_tasks_only_polled_by_their_stream(self, proc):
+        s1 = proc.stream_create()
+        s2 = proc.stream_create()
+        polled = []
+
+        def make(name):
+            def poll(thing):
+                polled.append(name)
+                return repro.ASYNC_DONE
+
+            return poll
+
+        proc.async_start(make("s1"), None, s1)
+        proc.async_start(make("s2"), None, s2)
+        proc.stream_progress(s1)
+        assert polled == ["s1"]
+        proc.stream_progress(s2)
+        assert polled == ["s1", "s2"]
+
+    def test_default_stream_does_not_poll_created_streams(self, proc):
+        s = proc.stream_create()
+        polled = []
+        proc.async_start(lambda t: (polled.append(1), repro.ASYNC_DONE)[1], None, s)
+        proc.stream_progress()  # default stream
+        assert polled == []
+
+    def test_stat_progress_calls(self, proc):
+        s = proc.stream_create()
+        before = s.stat_progress_calls
+        proc.stream_progress(s)
+        proc.stream_progress(s)
+        assert s.stat_progress_calls == before + 2

@@ -1,0 +1,114 @@
+"""Asynchronous pack/unpack engine: chunked progression."""
+
+import numpy as np
+
+from repro.datatype.engine import DatatypeEngine, PackTask
+from repro.datatype.types import INT, contiguous, vector
+
+
+def make_vector_buffers(count=8, blocklength=2, stride=4):
+    dt = vector(count, blocklength, stride, INT)
+    dt.commit()
+    span = count * stride
+    src = np.arange(span, dtype="i4")
+    packed = bytearray(count * blocklength * 4)
+    return dt, src, packed
+
+
+class TestPackTask:
+    def test_single_step_completes_small_job(self):
+        dt, src, packed = make_vector_buffers()
+        task = PackTask(dt, 1, src, packed, unpack=False, chunk_size=1 << 20)
+        assert not task.done
+        task.step()
+        assert task.done
+        vals = np.frombuffer(bytes(packed), dtype="i4")
+        expect = np.concatenate([src[i * 4 : i * 4 + 2] for i in range(8)])
+        assert np.array_equal(vals, expect)
+
+    def test_chunked_progression(self):
+        dt, src, packed = make_vector_buffers()
+        task = PackTask(dt, 1, src, packed, unpack=False, chunk_size=8)
+        steps = 0
+        while not task.done:
+            moved = task.step()
+            assert 0 < moved <= 8
+            steps += 1
+        assert steps == dt.size // 8
+        assert task.bytes_moved == dt.size
+
+    def test_chunk_boundary_mid_segment(self):
+        """Chunk size smaller than one segment splits the segment."""
+        dt = contiguous(10, INT)
+        dt.commit()
+        src = np.arange(10, dtype="i4")
+        packed = bytearray(40)
+        task = PackTask(dt, 1, src, packed, unpack=False, chunk_size=7)
+        task.drain()
+        assert np.array_equal(np.frombuffer(bytes(packed), "i4"), src)
+
+    def test_unpack_direction(self):
+        dt, src, _ = make_vector_buffers()
+        packed = dt.pack(src, 1)
+        dst = np.zeros_like(src)
+        task = PackTask(dt, 1, dst, packed, unpack=True, chunk_size=5)
+        task.drain()
+        for off, length in dt.iter_segments(1):
+            a = dst.view("u1")[off : off + length]
+            b = src.view("u1")[off : off + length]
+            assert np.array_equal(a, b)
+
+    def test_completion_callback_fires_once(self):
+        dt, src, packed = make_vector_buffers()
+        calls = []
+        task = PackTask(
+            dt, 1, src, packed, unpack=False, chunk_size=8, on_complete=lambda: calls.append(1)
+        )
+        task.drain()
+        task.step()  # extra steps are no-ops
+        assert calls == [1]
+
+    def test_empty_task_completes_immediately(self):
+        dt = contiguous(1, INT)
+        dt.commit()
+        calls = []
+        task = PackTask(
+            dt,
+            0,
+            np.zeros(1, "i4"),
+            bytearray(0),
+            unpack=False,
+            chunk_size=8,
+            on_complete=lambda: calls.append(1),
+        )
+        assert task.done
+        assert calls == [1]
+
+
+class TestDatatypeEngine:
+    def test_idle_progress_is_false(self):
+        engine = DatatypeEngine()
+        assert engine.progress() is False
+        assert engine.active_tasks == 0
+
+    def test_progress_advances_all_tasks(self):
+        engine = DatatypeEngine()
+        dt, src, p1 = make_vector_buffers()
+        _, src2, p2 = make_vector_buffers()
+        t1 = PackTask(dt, 1, src, p1, unpack=False, chunk_size=16)
+        t2 = PackTask(dt, 1, src2, p2, unpack=False, chunk_size=16)
+        engine.submit(t1)
+        engine.submit(t2)
+        assert engine.active_tasks == 2
+        while engine.active_tasks:
+            assert engine.progress() is True
+        assert t1.done and t2.done
+        assert engine.progress() is False
+
+    def test_completed_task_not_submitted(self):
+        engine = DatatypeEngine()
+        dt = contiguous(1, INT)
+        dt.commit()
+        task = PackTask(dt, 0, np.zeros(1, "i4"), bytearray(0), unpack=False, chunk_size=4)
+        engine.submit(task)
+        assert engine.active_tasks == 0

@@ -1,0 +1,92 @@
+"""Reduction operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro
+from repro.datatype.ops import BAND, BOR, BXOR, LAND, LOR, MAX, MIN, PROD, SUM, user_op
+from repro.datatype.types import DOUBLE, INT, contiguous
+from repro.errors import InvalidDatatypeError
+
+
+def apply_op(op, a, b, dtype="i4", datatype=INT):
+    src = np.array(a, dtype=dtype)
+    dst = np.array(b, dtype=dtype)
+    op.apply(src, dst, len(src), datatype)
+    return dst
+
+
+class TestPredefinedOps:
+    def test_sum(self):
+        assert list(apply_op(SUM, [1, 2, 3], [10, 20, 30])) == [11, 22, 33]
+
+    def test_prod(self):
+        assert list(apply_op(PROD, [2, 3], [4, 5])) == [8, 15]
+
+    def test_min_max(self):
+        assert list(apply_op(MIN, [1, 9], [5, 5])) == [1, 5]
+        assert list(apply_op(MAX, [1, 9], [5, 5])) == [5, 9]
+
+    def test_logical(self):
+        assert list(apply_op(LAND, [1, 0, 2], [1, 1, 1])) == [1, 0, 1]
+        assert list(apply_op(LOR, [0, 0, 2], [0, 1, 0])) == [0, 1, 1]
+
+    def test_bitwise(self):
+        assert list(apply_op(BAND, [0b1100], [0b1010])) == [0b1000]
+        assert list(apply_op(BOR, [0b1100], [0b1010])) == [0b1110]
+        assert list(apply_op(BXOR, [0b1100], [0b1010])) == [0b0110]
+
+    def test_float_sum(self):
+        out = apply_op(SUM, [1.5, 2.5], [1.0, 1.0], dtype="f8", datatype=DOUBLE)
+        assert list(out) == [2.5, 3.5]
+
+    def test_partial_count(self):
+        """Only `count` leading elements are reduced."""
+        src = np.array([1, 1, 1], dtype="i4")
+        dst = np.array([0, 0, 0], dtype="i4")
+        SUM.apply(src, dst, 2, INT)
+        assert list(dst) == [1, 1, 0]
+
+    def test_derived_type_rejected(self):
+        t = contiguous(2, INT).commit()
+        with pytest.raises(InvalidDatatypeError):
+            SUM.apply(np.zeros(2, "i4"), np.zeros(2, "i4"), 1, t)
+
+    def test_all_predefined_commutative(self):
+        for op in (SUM, PROD, MIN, MAX, LAND, LOR, BAND, BOR, BXOR):
+            assert op.commutative
+
+
+class TestUserOp:
+    def test_in_place_kernel(self):
+        op = user_op(lambda s, d: np.add(s, d, out=d), name="MYSUM")
+        assert list(apply_op(op, [1], [2])) == [3]
+        assert op.name == "MYSUM"
+
+    def test_out_of_place_kernel(self):
+        op = user_op(lambda s, d: s - d)  # returns fresh array
+        assert list(apply_op(op, [10], [3])) == [7]
+
+    def test_non_commutative_flag(self):
+        op = user_op(lambda s, d: s, commutative=False)
+        assert not op.commutative
+
+
+class TestOpProperties:
+    @given(
+        st.lists(st.integers(-1000, 1000), min_size=1, max_size=50),
+        st.lists(st.integers(-1000, 1000), min_size=1, max_size=50),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_sum_matches_numpy(self, a, b):
+        n = min(len(a), len(b))
+        out = apply_op(SUM, a[:n], b[:n])
+        assert np.array_equal(out, np.array(a[:n], "i4") + np.array(b[:n], "i4"))
+
+    @given(st.lists(st.integers(0, 2**31 - 1), min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_min_max_bracket(self, xs):
+        lo = apply_op(MIN, xs, xs)
+        hi = apply_op(MAX, xs, xs)
+        assert np.array_equal(lo, hi)  # idempotent on equal inputs

@@ -1,0 +1,174 @@
+"""Datatype layer: typemaps, pack/unpack, commit semantics."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.datatype.types import (
+    BYTE,
+    DOUBLE,
+    INT,
+    as_readonly_view,
+    as_writable_view,
+    contiguous,
+    indexed,
+    struct_type,
+    vector,
+)
+from repro.errors import InvalidCountError, InvalidDatatypeError
+
+
+class TestBasicTypes:
+    def test_sizes(self):
+        assert BYTE.size == 1
+        assert INT.size == 4
+        assert DOUBLE.size == 8
+        assert repro.INT64.size == 8
+        assert repro.FLOAT.size == 4
+
+    def test_basic_types_precommitted(self):
+        assert INT.committed
+        INT.ensure_committed()  # no raise
+
+    def test_contiguity(self):
+        assert INT.is_contiguous
+        assert BYTE.is_contiguous
+
+    def test_np_dtype_mapping(self):
+        assert INT.np_dtype == np.dtype("i4")
+        assert DOUBLE.np_dtype == np.dtype("f8")
+
+    def test_segments(self):
+        assert list(INT.segments()) == [(0, 4)]
+        assert list(INT.iter_segments(3)) == [(0, 12)]  # coalesced
+
+
+class TestContiguous:
+    def test_size_extent(self):
+        t = contiguous(5, INT)
+        assert t.size == 20
+        assert t.extent == 20
+        assert t.is_contiguous
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(InvalidCountError):
+            contiguous(-1, INT)
+
+    def test_pack_roundtrip(self):
+        t = contiguous(4, INT).commit()
+        src = np.arange(8, dtype="i4")
+        packed = t.pack(src, 2)
+        assert len(packed) == 32
+        dst = np.zeros(8, dtype="i4")
+        t.unpack_from(packed, 2, dst)
+        assert np.array_equal(dst, src)
+
+    def test_nested_contiguous(self):
+        t = contiguous(3, contiguous(2, INT))
+        assert t.size == 24
+        assert t.is_contiguous
+
+
+class TestVector:
+    def test_strided_columns(self):
+        """Extract a column of a 4x4 row-major matrix."""
+        t = vector(4, 1, 4, INT).commit()
+        mat = np.arange(16, dtype="i4").reshape(4, 4)
+        packed = t.pack(mat, 1)
+        col = np.frombuffer(packed, dtype="i4")
+        assert np.array_equal(col, mat[:, 0])
+
+    def test_size(self):
+        t = vector(3, 2, 4, INT)
+        assert t.size == 3 * 2 * 4
+        assert not t.is_contiguous
+
+    def test_unpack_scatter(self):
+        t = vector(2, 1, 2, INT).commit()
+        dst = np.zeros(4, dtype="i4")
+        t.unpack_from(np.array([7, 9], dtype="i4"), 1, dst)
+        assert np.array_equal(dst, [7, 0, 9, 0])
+
+    def test_unit_stride_equals_contiguous_layout(self):
+        t = vector(4, 1, 1, INT)
+        assert list(t.iter_segments(1)) == [(0, 16)]
+
+
+class TestIndexed:
+    def test_basic(self):
+        t = indexed([2, 1], [0, 3], INT).commit()
+        src = np.arange(5, dtype="i4")
+        packed = t.pack(src, 1)
+        vals = np.frombuffer(packed, dtype="i4")
+        assert np.array_equal(vals, [0, 1, 3])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(InvalidDatatypeError):
+            indexed([1, 2], [0], INT)
+
+    def test_negative_blocklength_rejected(self):
+        with pytest.raises(InvalidCountError):
+            indexed([-1], [0], INT)
+
+    def test_size(self):
+        assert indexed([2, 3], [0, 5], INT).size == 20
+
+
+class TestStruct:
+    def test_heterogeneous(self):
+        # int at offset 0, double at offset 8 (aligned), extent 16
+        t = struct_type([1, 1], [0, 8], [INT, DOUBLE], extent=16).commit()
+        assert t.size == 12
+        assert t.extent == 16
+        raw = bytearray(32)
+        src = np.zeros(4, dtype="i8").view("u1")  # 32 raw bytes
+        buf = bytearray(32)
+        np.frombuffer(buf, dtype="i4", count=1, offset=0)[:] = 42
+        np.frombuffer(buf, dtype="f8", count=1, offset=8)[:] = 2.5
+        packed = t.pack(buf, 1)
+        assert np.frombuffer(packed, dtype="i4", count=1)[0] == 42
+        assert np.frombuffer(packed, dtype="f8", count=1, offset=4)[0] == 2.5
+
+    def test_default_extent(self):
+        t = struct_type([1, 2], [0, 4], [INT, INT])
+        assert t.extent == 12
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(InvalidDatatypeError):
+            struct_type([1], [0, 4], [INT, INT])
+
+
+class TestCommit:
+    def test_derived_needs_commit(self):
+        t = contiguous(2, INT)
+        assert not t.committed
+        with pytest.raises(InvalidDatatypeError):
+            t.ensure_committed()
+        assert t.commit() is t
+        t.ensure_committed()
+
+
+class TestBufferViews:
+    def test_readonly_view_of_bytes(self):
+        view = as_readonly_view(b"abc")
+        assert view.readonly
+        assert bytes(view) == b"abc"
+
+    def test_writable_view_rejects_bytes(self):
+        with pytest.raises(InvalidDatatypeError):
+            as_writable_view(b"abc")
+
+    def test_writable_view_of_numpy(self):
+        arr = np.zeros(4, dtype="i4")
+        view = as_writable_view(arr)
+        view[0] = 9
+        assert arr.view("u1")[0] == 9
+
+    def test_noncontiguous_numpy_rejected(self):
+        arr = np.zeros((4, 4), dtype="i4")[::2, ::2]
+        with pytest.raises(InvalidDatatypeError):
+            as_readonly_view(arr)
+
+    def test_zero_count_pack(self):
+        t = contiguous(3, INT).commit()
+        assert t.pack(np.zeros(3, dtype="i4"), 0) == bytearray()

@@ -1,0 +1,103 @@
+"""Extended derived datatypes: hvector, indexed_block, subarray."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.datatype.types import hvector, indexed_block, subarray
+from repro.errors import InvalidDatatypeError
+
+
+class TestHVector:
+    def test_byte_stride(self):
+        # 3 blocks of one INT, 10 bytes apart
+        t = hvector(3, 1, 10, repro.INT).commit()
+        assert t.size == 12
+        raw = bytearray(30)
+        for i in range(3):
+            np.frombuffer(raw, dtype="i4", count=1, offset=10 * i)[:] = i + 1
+        packed = np.frombuffer(t.pack(raw, 1), dtype="i4")
+        assert list(packed) == [1, 2, 3]
+
+    def test_matches_vector_when_stride_aligned(self):
+        v = repro.vector(4, 2, 3, repro.INT)
+        hv = hvector(4, 2, 12, repro.INT)  # 3 ints * 4 bytes
+        assert list(v.iter_segments(1)) == list(hv.iter_segments(1))
+
+    def test_unpack(self):
+        t = hvector(2, 1, 8, repro.INT).commit()
+        dst = bytearray(16)
+        t.unpack_from(np.array([7, 9], dtype="i4"), 1, dst)
+        assert np.frombuffer(dst, dtype="i4", count=1)[0] == 7
+        assert np.frombuffer(dst, dtype="i4", count=1, offset=8)[0] == 9
+
+
+class TestIndexedBlock:
+    def test_fixed_blocks(self):
+        t = indexed_block(2, [0, 4, 7], repro.INT).commit()
+        assert t.size == 3 * 2 * 4
+        src = np.arange(10, dtype="i4")
+        packed = np.frombuffer(t.pack(src, 1), dtype="i4")
+        assert list(packed) == [0, 1, 4, 5, 7, 8]
+
+    def test_extent(self):
+        t = indexed_block(2, [0, 4], repro.INT)
+        assert t.extent == 6 * 4
+
+    def test_matches_indexed(self):
+        ib = indexed_block(3, [1, 5], repro.BYTE)
+        ix = repro.indexed([3, 3], [1, 5], repro.BYTE)
+        assert list(ib.iter_segments(1)) == list(ix.iter_segments(1))
+
+
+class TestSubarray:
+    def test_2d_block(self):
+        """Extract the middle 2x2 of a 4x4 matrix."""
+        t = subarray([4, 4], [2, 2], [1, 1], repro.INT).commit()
+        assert t.size == 16
+        assert t.extent == 64
+        mat = np.arange(16, dtype="i4").reshape(4, 4)
+        packed = np.frombuffer(t.pack(mat, 1), dtype="i4").reshape(2, 2)
+        assert np.array_equal(packed, mat[1:3, 1:3])
+
+    def test_3d_block(self):
+        t = subarray([3, 4, 5], [2, 2, 3], [1, 1, 1], repro.DOUBLE).commit()
+        cube = np.arange(60, dtype="f8").reshape(3, 4, 5)
+        packed = np.frombuffer(t.pack(cube, 1), dtype="f8").reshape(2, 2, 3)
+        assert np.array_equal(packed, cube[1:3, 1:3, 1:4])
+
+    def test_1d(self):
+        t = subarray([10], [4], [3], repro.INT).commit()
+        src = np.arange(10, dtype="i4")
+        packed = np.frombuffer(t.pack(src, 1), dtype="i4")
+        assert list(packed) == [3, 4, 5, 6]
+
+    def test_full_array_is_contiguous(self):
+        t = subarray([4, 4], [4, 4], [0, 0], repro.INT)
+        assert t.is_contiguous
+
+    def test_out_of_bounds_rejected(self):
+        with pytest.raises(InvalidDatatypeError):
+            subarray([4], [3], [2], repro.INT)  # 2+3 > 4
+        with pytest.raises(InvalidDatatypeError):
+            subarray([4, 4], [2], [0], repro.INT)  # rank mismatch
+
+    def test_unpack_scatters_back(self):
+        t = subarray([3, 3], [2, 2], [0, 0], repro.INT).commit()
+        dst = np.zeros((3, 3), dtype="i4")
+        t.unpack_from(np.array([1, 2, 3, 4], dtype="i4"), 1, dst)
+        assert np.array_equal(dst, [[1, 2, 0], [3, 4, 0], [0, 0, 0]])
+
+    def test_on_the_wire(self):
+        """Send a subarray, receive contiguous — 2-D halo column case."""
+        from tests.conftest import drive, make_vworld
+
+        world = make_vworld(2, use_shmem=False)
+        p0, p1 = world.proc(0), world.proc(1)
+        col = subarray([4, 4], [4, 1], [0, 3], repro.INT).commit()  # last column
+        mat = np.arange(16, dtype="i4").reshape(4, 4)
+        out = np.zeros(4, dtype="i4")
+        rreq = p1.comm_world.irecv(out, 4, repro.INT, 0, 0)
+        sreq = p0.comm_world.isend(mat, 1, col, 1, 0)
+        drive(world, [sreq, rreq])
+        assert np.array_equal(out, mat[:, 3])

@@ -1,0 +1,159 @@
+"""asyncio bridge: awaiting MPI operations from coroutines."""
+
+import asyncio
+import threading
+
+import numpy as np
+import pytest
+
+import repro
+from repro.exts.aio import AsyncioProgress
+
+
+def run_async(coro):
+    return asyncio.run(coro)
+
+
+class TestAsyncioProgress:
+    def test_await_grequest(self, proc):
+        async def main():
+            async with AsyncioProgress(proc) as aio:
+                greq = proc.grequest_start()
+                deadline = proc.wtime() + 0.001
+
+                def finisher(thing):
+                    if proc.wtime() >= deadline:
+                        proc.grequest_complete(greq)
+                        return repro.ASYNC_DONE
+                    return repro.ASYNC_NOPROGRESS
+
+                proc.async_start(finisher, None)
+                status = await aio.wait(greq)
+                assert greq.is_complete()
+                return status is greq.status
+
+        assert run_async(main())
+
+    def test_await_already_complete(self, proc):
+        async def main():
+            async with AsyncioProgress(proc) as aio:
+                from repro.core.request import Request
+
+                req = Request()
+                req.complete(count_bytes=3)
+                status = await aio.wait(req)
+                return status.count_bytes
+
+        assert run_async(main()) == 3
+
+    def test_wait_all_gathers(self, proc):
+        async def main():
+            async with AsyncioProgress(proc) as aio:
+                greqs = [proc.grequest_start() for _ in range(3)]
+                deadline = proc.wtime() + 0.001
+
+                def finisher(thing):
+                    if proc.wtime() >= deadline:
+                        for g in greqs:
+                            if not g.is_complete():
+                                proc.grequest_complete(g)
+                        return repro.ASYNC_DONE
+                    return repro.ASYNC_NOPROGRESS
+
+                proc.async_start(finisher, None)
+                statuses = await aio.wait_all(greqs)
+                return len(statuses)
+
+        assert run_async(main()) == 3
+
+    def test_double_start_rejected(self, proc):
+        async def main():
+            aio = AsyncioProgress(proc).start()
+            try:
+                with pytest.raises(RuntimeError):
+                    aio.start()
+            finally:
+                await aio.aclose()
+
+        run_async(main())
+
+    def test_concurrent_coroutines_one_engine(self, proc):
+        """Several coroutines awaiting different tasks share the single
+        progress driver (no progress storm)."""
+
+        async def main():
+            async with AsyncioProgress(proc) as aio:
+                greqs = [proc.grequest_start() for _ in range(4)]
+                base = proc.wtime()
+
+                def finisher(thing):
+                    now = proc.wtime()
+                    for i, g in enumerate(greqs):
+                        if not g.is_complete() and now >= base + 2e-4 * (i + 1):
+                            proc.grequest_complete(g)
+                    if all(g.is_complete() for g in greqs):
+                        return repro.ASYNC_DONE
+                    return repro.ASYNC_NOPROGRESS
+
+                proc.async_start(finisher, None)
+
+                order = []
+
+                async def waiter(i):
+                    await aio.wait(greqs[i])
+                    order.append(i)
+
+                await asyncio.gather(*(waiter(i) for i in range(4)))
+                return order
+
+        order = run_async(main())
+        assert sorted(order) == [0, 1, 2, 3]
+
+    def test_progress_until_predicate(self, proc):
+        async def main():
+            async with AsyncioProgress(proc) as aio:
+                box = {"ready": False}
+                deadline = proc.wtime() + 5e-4
+
+                def hook(thing):
+                    if proc.wtime() >= deadline:
+                        box["ready"] = True
+                        return repro.ASYNC_DONE
+                    return repro.ASYNC_NOPROGRESS
+
+                proc.async_start(hook, None)
+                await aio.progress_until(lambda: box["ready"])
+                return box["ready"]
+
+        assert run_async(main())
+
+
+class TestAsyncioWithTraffic:
+    def test_await_p2p_between_ranks(self):
+        """Rank 1 runs an asyncio coroutine awaiting receives while rank
+        0 (plain thread) sends — one event loop, one progress engine."""
+        from repro.runtime import run_world
+
+        def main(proc):
+            comm = proc.comm_world
+            if comm.rank == 0:
+                for i in range(4):
+                    comm.send(np.array([i * 5], dtype="i4"), 1, repro.INT, 1, i)
+                comm.barrier()
+                return None
+
+            async def receiver():
+                async with AsyncioProgress(proc) as aio:
+                    bufs = [np.zeros(1, dtype="i4") for _ in range(4)]
+                    reqs = [
+                        comm.irecv(bufs[i], 1, repro.INT, 0, i) for i in range(4)
+                    ]
+                    await aio.wait_all(reqs)
+                    return [int(b[0]) for b in bufs]
+
+            values = asyncio.run(receiver())
+            comm.barrier()
+            return values
+
+        results = run_world(2, main, timeout=120)
+        assert results[1] == [0, 5, 10, 15]

@@ -1,0 +1,79 @@
+"""MPIX_Continue comparator (section 5.4)."""
+
+import repro
+from repro.core.request import Request
+from repro.exts.continue_ext import continue_, continue_init, continueall
+
+
+class TestContinue:
+    def test_callback_fires_inside_native_progress(self, proc):
+        """The continuation fires at the moment of completion, not at a
+        later scan — the efficiency edge over Listing 1.6."""
+        cont = continue_init()
+        greq = proc.grequest_start()
+        fired = []
+        assert continue_(greq, lambda r, d: fired.append(d), "cbdata", cont) is False
+        deadline = proc.wtime() + 0.0003
+
+        def finisher(thing):
+            if proc.wtime() >= deadline:
+                proc.grequest_complete(greq)  # callback fires HERE
+                assert fired == ["cbdata"]
+                return repro.ASYNC_DONE
+            return repro.ASYNC_NOPROGRESS
+
+        proc.async_start(finisher, None)
+        cont.arm()
+        proc.wait(cont)
+        assert fired == ["cbdata"]
+
+    def test_flag_true_when_already_complete(self):
+        cont = continue_init()
+        req = Request()
+        req.complete()
+        fired = []
+        assert continue_(req, lambda r, d: fired.append(1), None, cont) is True
+        assert fired == [1]
+
+    def test_cont_req_completes_when_all_fired(self):
+        cont = continue_init()
+        reqs = [Request() for _ in range(3)]
+        continueall(reqs, lambda r, d: None, None, cont)
+        cont.arm()
+        assert not cont.is_complete()
+        reqs[0].complete()
+        reqs[1].complete()
+        assert not cont.is_complete()
+        reqs[2].complete()
+        assert cont.is_complete()
+
+    def test_unarmed_cont_req_never_completes(self):
+        cont = continue_init()
+        req = Request()
+        continue_(req, lambda r, d: None, None, cont)
+        req.complete()
+        assert not cont.is_complete()  # registration set still open
+        cont.arm()
+        assert cont.is_complete()
+
+    def test_arm_with_no_registrations(self):
+        cont = continue_init()
+        cont.arm()
+        assert cont.is_complete()
+
+    def test_continueall_flag(self):
+        done = Request()
+        done.complete()
+        pending = Request()
+        assert continueall([done], lambda r, d: None) is True
+        assert continueall([done, pending], lambda r, d: None) is False
+
+    def test_works_as_request(self, proc):
+        """cont_req interoperates with wait/request_is_complete."""
+        cont = continue_init()
+        req = Request()
+        continue_(req, lambda r, d: None, None, cont)
+        cont.arm()
+        assert repro.request_is_complete(cont) is False
+        req.complete()
+        proc.wait(cont)

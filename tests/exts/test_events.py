@@ -1,0 +1,103 @@
+"""Request-completion event loops (Listing 1.6)."""
+
+import pytest
+
+import repro
+from repro.core.request import Request
+from repro.exts.events import RequestEventLoop
+
+
+class TestRequestEventLoop:
+    def test_callback_on_completion(self, proc):
+        loop = RequestEventLoop(proc)
+        req = Request()
+        fired = []
+        loop.watch(req, lambda r, d: fired.append((r, d)), "data")
+        proc.stream_progress()
+        assert fired == []
+        req.complete()
+        proc.stream_progress()
+        assert fired == [(req, "data")]
+
+    def test_multiple_requests_fire_as_they_complete(self, proc):
+        loop = RequestEventLoop(proc)
+        reqs = [Request() for _ in range(3)]
+        fired = []
+        for i, r in enumerate(reqs):
+            loop.watch(r, lambda r, d: fired.append(d), i)
+        reqs[1].complete()
+        proc.stream_progress()
+        assert fired == [1]
+        reqs[0].complete()
+        reqs[2].complete()
+        proc.stream_progress()
+        assert fired == [1, 0, 2]
+
+    def test_hook_retires_when_drained(self, proc):
+        loop = RequestEventLoop(proc)
+        req = Request()
+        loop.watch(req, lambda r, d: None)
+        req.complete()
+        proc.stream_progress()
+        proc.stream_progress()
+        assert proc.pending_async_tasks == 0
+        # rearmed on next watch
+        req2 = Request()
+        loop.watch(req2, lambda r, d: None)
+        assert proc.pending_async_tasks == 1
+        req2.complete()
+        proc.stream_progress()
+
+    def test_persistent_loop_stays_armed(self, proc):
+        loop = RequestEventLoop(proc, persistent=True)
+        proc.stream_progress()
+        assert proc.pending_async_tasks == 1  # idle but alive
+        req = Request()
+        fired = []
+        loop.watch(req, lambda r, d: fired.append(1))
+        req.complete()
+        proc.stream_progress()
+        assert fired == [1]
+        assert proc.pending_async_tasks == 1  # still alive
+        loop.close()
+        proc.stream_progress()
+        assert proc.pending_async_tasks == 0
+
+    def test_watch_after_close_rejected(self, proc):
+        loop = RequestEventLoop(proc, persistent=True)
+        loop.close()
+        proc.stream_progress()
+        with pytest.raises(RuntimeError):
+            loop.watch(Request(), lambda r, d: None)
+
+    def test_already_complete_request(self, proc):
+        loop = RequestEventLoop(proc)
+        req = Request()
+        req.complete()
+        fired = []
+        loop.watch(req, lambda r, d: fired.append(1))
+        proc.stream_progress()
+        assert fired == [1]
+
+    def test_with_mpi_requests(self, proc):
+        """Listing 1.6's pattern over real grequests."""
+        loop = RequestEventLoop(proc)
+        greqs = [proc.grequest_start() for _ in range(4)]
+        completed_events = []
+        deadline = proc.wtime() + 0.0005
+        for g in greqs:
+            loop.watch(g, lambda r, d: completed_events.append(r))
+
+        def finisher(thing):
+            if proc.wtime() >= deadline:
+                for g in greqs:
+                    if not g.is_complete():
+                        proc.grequest_complete(g)
+                return repro.ASYNC_DONE
+            return repro.ASYNC_NOPROGRESS
+
+        proc.async_start(finisher, None)
+        while loop.pending:
+            proc.stream_progress()
+        assert len(completed_events) == 4
+        assert loop.stat_fired == 4

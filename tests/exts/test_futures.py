@@ -1,0 +1,165 @@
+"""Futures / progress-driven task executor."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.request import Request
+from repro.exts.futures import MPIFuture, ProgressExecutor
+from repro.runtime import run_world
+
+
+class TestMPIFuture:
+    def test_resolution(self):
+        f = MPIFuture("t")
+        assert not f.done()
+        f.set_result(42)
+        assert f.done()
+        assert f.value() == 42
+
+    def test_value_before_done_raises(self):
+        with pytest.raises(RuntimeError):
+            MPIFuture().value()
+
+    def test_double_resolution_rejected(self):
+        f = MPIFuture()
+        f.set_result(1)
+        with pytest.raises(RuntimeError):
+            f.set_result(2)
+
+    def test_exception_propagates(self):
+        f = MPIFuture()
+        f.set_exception(ValueError("boom"))
+        with pytest.raises(ValueError, match="boom"):
+            f.value()
+
+    def test_done_callbacks(self):
+        f = MPIFuture()
+        seen = []
+        f.add_done_callback(lambda fut: seen.append(fut.value()))
+        f.set_result("x")
+        assert seen == ["x"]
+        f.add_done_callback(lambda fut: seen.append("late"))
+        assert seen == ["x", "late"]
+
+
+class TestProgressExecutor:
+    def test_simple_task(self, proc):
+        ex = ProgressExecutor(proc)
+        f = ex.submit(lambda a, b: a + b, 2, 3)
+        assert ex.result(f) == 5
+        assert ex.stat_executed == 1
+
+    def test_dependency_chain(self, proc):
+        ex = ProgressExecutor(proc)
+        a = ex.submit(lambda: 10)
+        b = ex.then(a, lambda v: v * 2)
+        c = ex.then(b, lambda v: v + 1)
+        assert ex.result(c) == 21
+
+    def test_diamond_graph(self, proc):
+        ex = ProgressExecutor(proc)
+        order = []
+        root = ex.submit(lambda: order.append("root"))
+        left = ex.submit(lambda: order.append("left"), deps=[root])
+        right = ex.submit(lambda: order.append("right"), deps=[root])
+        join = ex.submit(lambda: order.append("join"), deps=[left, right])
+        ex.result(join)
+        assert order[0] == "root" and order[-1] == "join"
+        assert set(order[1:3]) == {"left", "right"}
+
+    def test_task_waits_for_request_dep(self, proc):
+        """A task gated on an MPI request only runs after the request
+        completes — synchronized via request_is_complete in the hook."""
+        ex = ProgressExecutor(proc)
+        req = Request()
+        ran = []
+        f = ex.submit(lambda: ran.append(1), deps=[req])
+        for _ in range(5):
+            proc.stream_progress()
+            ex.run_ready()
+        assert ran == []
+        req.complete()
+        ex.result(f)
+        assert ran == [1]
+
+    def test_exception_in_task_fails_future(self, proc):
+        ex = ProgressExecutor(proc)
+
+        def bad():
+            raise KeyError("nope")
+
+        f = ex.submit(bad)
+        with pytest.raises(KeyError):
+            ex.result(f)
+
+    def test_failed_dep_skips_dependents(self, proc):
+        ex = ProgressExecutor(proc)
+        bad = ex.submit(lambda: 1 / 0)
+        ran = []
+        child = ex.submit(lambda: ran.append(1), deps=[bad])
+        with pytest.raises(ZeroDivisionError):
+            ex.result(child)
+        assert ran == []  # never executed
+
+    def test_hook_stays_light(self, proc):
+        """The executor uses at most one async hook regardless of the
+        number of waiting tasks (the section 4.2 discipline)."""
+        ex = ProgressExecutor(proc)
+        gate = Request()
+        for _ in range(50):
+            ex.submit(lambda: None, deps=[gate])
+        assert proc.pending_async_tasks == 1
+        gate.complete()
+        ex.run(until=None)
+        assert ex.pending == 0
+
+    def test_run_drains_everything(self, proc):
+        ex = ProgressExecutor(proc)
+        results = []
+        for i in range(10):
+            ex.submit(results.append, i)
+        ex.run()
+        assert sorted(results) == list(range(10))
+
+
+class TestExecutorWithMpiTraffic:
+    def test_task_graph_over_communication(self):
+        """A little task pipeline: receive two vectors, process each as
+        it lands, combine — all driven by ONE progress engine."""
+
+        def main(proc):
+            comm = proc.comm_world
+            ex = ProgressExecutor(proc)
+            if comm.rank == 0:
+                comm.send(np.arange(4, dtype="i4"), 4, repro.INT, 1, 1)
+                comm.send(np.arange(4, dtype="i4") * 10, 4, repro.INT, 1, 2)
+                comm.barrier()
+                return None
+            buf_a = np.zeros(4, dtype="i4")
+            buf_b = np.zeros(4, dtype="i4")
+            fa = ex.wrap(comm.irecv(buf_a, 4, repro.INT, 0, 1))
+            fb = ex.wrap(comm.irecv(buf_b, 4, repro.INT, 0, 2))
+            pa = ex.submit(lambda: int(buf_a.sum()), deps=[fa])
+            pb = ex.submit(lambda: int(buf_b.sum()), deps=[fb])
+            combined = ex.submit(lambda: pa.value() + pb.value(), deps=[pa, pb])
+            total = ex.result(combined)
+            comm.barrier()
+            return total
+
+        results = run_world(2, main, timeout=60)
+        assert results[1] == 6 + 60
+
+    def test_collective_as_dependency(self):
+        def main(proc):
+            comm = proc.comm_world
+            ex = ProgressExecutor(proc)
+            out = np.zeros(1, dtype="i4")
+            allred = comm.iallreduce(
+                np.array([comm.rank + 1], dtype="i4"), out, 1, repro.INT
+            )
+            post = ex.submit(lambda: int(out[0]) * 2, deps=[allred])
+            return ex.result(post)
+
+        size = 3
+        assert run_world(size, main, timeout=60) == [12, 12, 12]

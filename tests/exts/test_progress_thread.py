@@ -1,0 +1,107 @@
+"""Async progress threads (section 5.1 baseline)."""
+
+import time
+
+import pytest
+
+import repro
+from repro.exts.progress_thread import ProgressThread
+
+
+class TestProgressThread:
+    def test_drives_async_tasks_without_user_progress(self, proc):
+        """With a progress thread the main thread never calls progress."""
+        done = []
+        deadline = proc.wtime() + 0.002
+
+        def poll(thing):
+            if proc.wtime() >= deadline:
+                done.append(1)
+                return repro.ASYNC_DONE
+            return repro.ASYNC_NOPROGRESS
+
+        proc.async_start(poll, None)
+        with ProgressThread(proc):
+            t_end = time.time() + 5.0
+            while not done and time.time() < t_end:
+                time.sleep(0.001)  # main thread does "compute", no MPI calls
+        assert done == [1]
+
+    def test_stop_joins_thread(self, proc):
+        pt = ProgressThread(proc).start()
+        pt.stop()
+        assert pt._thread is None
+        assert pt.stat_passes > 0
+
+    def test_double_start_rejected(self, proc):
+        pt = ProgressThread(proc).start()
+        with pytest.raises(RuntimeError):
+            pt.start()
+        pt.stop()
+
+    def test_invalid_mode_rejected(self, proc):
+        with pytest.raises(ValueError):
+            ProgressThread(proc, mode="turbo")
+
+    def test_adaptive_mode_sleeps_when_idle(self, proc):
+        pt = ProgressThread(proc, mode="adaptive", idle_threshold=4, idle_sleep=1e-4)
+        pt.start()
+        time.sleep(0.05)
+        pt.stop()
+        assert pt.stat_sleeps > 0  # idle backoff engaged
+        assert pt.stat_idle_passes > 0
+
+    def test_busy_mode_never_sleeps(self, proc):
+        pt = ProgressThread(proc, mode="busy")
+        pt.start()
+        time.sleep(0.02)
+        pt.stop()
+        assert pt.stat_sleeps == 0
+
+    def test_targets_specific_stream(self, proc):
+        s = proc.stream_create()
+        done = []
+        deadline = proc.wtime() + 0.002
+
+        def poll(thing):
+            if proc.wtime() >= deadline:
+                done.append(1)
+                return repro.ASYNC_DONE
+            return repro.ASYNC_NOPROGRESS
+
+        proc.async_start(poll, None, s)
+        with ProgressThread(proc, stream=s):
+            t_end = time.time() + 5.0
+            while not done and time.time() < t_end:
+                time.sleep(0.001)
+        assert done == [1]
+
+    def test_completes_p2p_in_background(self):
+        """A progress thread provides 'strong progress': a nonblocking
+        send/recv completes while the app computes."""
+        from repro.runtime import run_world
+        import numpy as np
+
+        def main(proc):
+            comm = proc.comm_world
+            pt = ProgressThread(proc).start()
+            try:
+                if comm.rank == 0:
+                    req = comm.isend(
+                        np.arange(2000, dtype="i4"), 2000, repro.INT, 1, 0
+                    )
+                else:
+                    out = np.zeros(2000, dtype="i4")
+                    req = comm.irecv(out, 2000, repro.INT, 0, 0)
+                # "compute" without any MPI calls
+                t_end = time.time() + 5.0
+                while not req.is_complete() and time.time() < t_end:
+                    time.sleep(0.0005)
+                assert req.is_complete()
+                if comm.rank == 1:
+                    assert out[999] == 999
+            finally:
+                pt.stop()
+            return "ok"
+
+        assert run_world(2, main, timeout=60) == ["ok", "ok"]

@@ -1,0 +1,125 @@
+"""MPIX_Schedule comparator (section 5.3)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.request import Request
+from repro.exts.schedule_ext import Schedule
+
+
+class TestScheduleBuild:
+    def test_empty_schedule_completes(self, proc):
+        sched = Schedule(proc)
+        req = sched.commit()
+        assert req.is_complete()
+
+    def test_add_after_commit_rejected(self, proc):
+        sched = Schedule(proc)
+        sched.commit()
+        with pytest.raises(RuntimeError):
+            sched.add_operation(Request())
+
+    def test_markers_record_round_indices(self, proc):
+        sched = Schedule(proc)
+        sched.mark_reset_point()
+        sched.create_round()
+        sched.mark_completion_point()
+        assert sched.reset_point == 0
+        assert sched.completion_point == 1
+        sched.free()
+
+
+class TestScheduleExecution:
+    def test_rounds_execute_sequentially(self, proc):
+        sched = Schedule(proc)
+        r1 = Request()
+        r2 = Request()
+        sched.add_operation(r1)
+        sched.create_round()
+        sched.add_operation(r2)
+        req = sched.commit()
+        proc.stream_progress()
+        assert not req.is_complete()
+        r1.complete()
+        proc.stream_progress()  # round 1 done, round 2 starts
+        assert not req.is_complete()
+        r2.complete()
+        proc.stream_progress()
+        assert req.is_complete()
+
+    def test_thunks_start_at_round_entry(self, proc):
+        started = []
+
+        def thunk():
+            started.append(1)
+            r = Request()
+            r.complete()
+            return r
+
+        blocker = Request()
+        sched = Schedule(proc)
+        sched.add_operation(blocker)
+        sched.create_round()
+        sched.add_operation(thunk)
+        req = sched.commit()
+        proc.stream_progress()
+        assert started == []  # round 2 not entered
+        blocker.complete()
+        proc.stream_progress()
+        assert started == [1]
+        proc.stream_progress()
+        assert req.is_complete()
+
+    def test_local_mpi_op_runs_after_round_comms(self, proc):
+        invec = np.array([5, 5], dtype="i4")
+        inout = np.array([1, 2], dtype="i4")
+        gate = Request()
+        sched = Schedule(proc)
+        sched.add_operation(gate)
+        sched.add_mpi_operation(repro.SUM, invec, inout, 2, repro.INT)
+        req = sched.commit()
+        proc.stream_progress()
+        assert list(inout) == [1, 2]  # not yet
+        gate.complete()
+        proc.stream_progress()
+        assert list(inout) == [6, 7]
+        assert req.is_complete()
+
+    def test_schedule_of_mpi_traffic(self):
+        """Two-round coordinated exchange built from thunks, like a
+        persistent collective round."""
+        from tests.conftest import drive, make_vworld
+
+        world = make_vworld(2, use_shmem=False)
+        p0, p1 = world.proc(0), world.proc(1)
+        out = np.zeros(2, dtype="i4")
+
+        s0 = Schedule(p0)
+        s0.add_operation(
+            lambda: p0.comm_world.isend(np.array([1], "i4"), 1, repro.INT, 1, 0)
+        )
+        s0.create_round()
+        s0.add_operation(
+            lambda: p0.comm_world.isend(np.array([2], "i4"), 1, repro.INT, 1, 0)
+        )
+        r0 = s0.commit()
+
+        s1 = Schedule(p1)
+        s1.add_operation(lambda: p1.comm_world.irecv(out[:1], 1, repro.INT, 0, 0))
+        s1.create_round()
+        s1.add_operation(lambda: p1.comm_world.irecv(out[1:], 1, repro.INT, 0, 0))
+        r1 = s1.commit()
+
+        drive(world, [r0, r1])
+        assert list(out) == [1, 2]
+
+    def test_auto_free(self, proc):
+        sched = Schedule(proc, auto_free=True)
+        r = Request()
+        r.complete()
+        sched.add_operation(r)
+        req = sched.commit()
+        proc.stream_progress()
+        assert req.is_complete()
+        assert sched._freed

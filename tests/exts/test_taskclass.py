@@ -1,0 +1,82 @@
+"""Task-class queues (Listing 1.4): single hook, in-order retirement."""
+
+import repro
+from repro.exts.taskclass import TaskClassQueue
+
+
+def timer_task(proc, delay):
+    return {"finish": proc.wtime() + delay}
+
+
+def is_done(proc):
+    return lambda task: proc.wtime() >= task["finish"]
+
+
+class TestTaskClassQueue:
+    def test_in_order_completion(self, proc):
+        retired = []
+        queue = TaskClassQueue(proc, is_done(proc), on_complete=retired.append)
+        tasks = [timer_task(proc, 0.0002 * (i + 1)) for i in range(5)]
+        for t in tasks:
+            queue.add(t)
+        while not queue.empty:
+            proc.stream_progress()
+        assert retired == tasks  # strict FIFO
+        assert queue.stat_retired == 5
+
+    def test_single_hook_for_many_tasks(self, proc):
+        """The whole queue costs ONE async task, however deep."""
+        queue = TaskClassQueue(proc, is_done(proc))
+        for i in range(100):
+            queue.add(timer_task(proc, 0.0001))
+        assert proc.pending_async_tasks == 1
+        while not queue.empty:
+            proc.stream_progress()
+
+    def test_hook_retires_and_reregisters(self, proc):
+        queue = TaskClassQueue(proc, is_done(proc))
+        queue.add(timer_task(proc, 0.0001))
+        while not queue.empty:
+            proc.stream_progress()
+        proc.stream_progress()  # hook returns DONE, retires
+        assert proc.pending_async_tasks == 0
+        queue.add(timer_task(proc, 0.0001))  # re-registers
+        assert proc.pending_async_tasks == 1
+        while not queue.empty:
+            proc.stream_progress()
+
+    def test_head_blocks_tail(self, proc):
+        """Only the head is checked: a slow head delays faster tails
+        (the documented trade-off of in-order classes)."""
+        retired = []
+        queue = TaskClassQueue(proc, is_done(proc), on_complete=retired.append)
+        slow = timer_task(proc, 0.002)
+        fast = timer_task(proc, 0.0001)
+        queue.add(slow)
+        queue.add(fast)
+        # Spin until fast's deadline passed but before slow's:
+        while proc.wtime() < fast["finish"]:
+            proc.stream_progress()
+        proc.stream_progress()
+        assert retired == []  # fast is ready but blocked behind slow
+        while not queue.empty:
+            proc.stream_progress()
+        assert retired == [slow, fast]
+
+    def test_multiple_ready_retired_in_one_poll(self, proc):
+        retired = []
+        queue = TaskClassQueue(proc, is_done(proc), on_complete=retired.append)
+        now_tasks = [timer_task(proc, 0.0) for _ in range(4)]
+        for t in now_tasks:
+            queue.add(t)
+        proc.stream_progress()
+        assert retired == now_tasks
+
+    def test_custom_stream(self, proc):
+        s = proc.stream_create()
+        queue = TaskClassQueue(proc, is_done(proc), stream=s)
+        queue.add(timer_task(proc, 0.0))
+        proc.stream_progress()  # default stream: not polled
+        assert not queue.empty
+        proc.stream_progress(s)
+        assert queue.empty

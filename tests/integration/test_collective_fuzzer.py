@@ -1,0 +1,131 @@
+"""Collective fuzzer: random programs of mixed collectives, every rank
+executing the same sequence, verified against NumPy references."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+import repro
+from tests.conftest import drive, make_vworld
+
+KINDS = ["allreduce", "bcast", "allgather", "barrier", "scan", "alltoall"]
+
+programs = st.lists(
+    st.tuples(st.sampled_from(KINDS), st.integers(0, 7), st.integers(1, 6)),
+    min_size=1,
+    max_size=8,
+)
+
+
+@given(st.integers(2, 5), programs, st.integers(0, 2**31 - 1))
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_random_collective_programs(size, program, seed):
+    """Execute the program step by step (all ranks in lockstep, driven
+    single-threaded); every step's result must match NumPy."""
+    rng = np.random.default_rng(seed)
+    world = make_vworld(size, use_shmem=False)
+    comms = [world.proc(r).comm_world for r in range(size)]
+
+    for kind, root_sel, count in program:
+        root = root_sel % size
+        inputs = [
+            rng.integers(-100, 100, count).astype("i8") for _ in range(size)
+        ]
+        if kind == "allreduce":
+            outs = [np.zeros(count, dtype="i8") for _ in range(size)]
+            reqs = [
+                comms[r].iallreduce(inputs[r], outs[r], count, repro.INT64)
+                for r in range(size)
+            ]
+            drive(world, reqs)
+            expect = np.add.reduce(np.stack(inputs), axis=0)
+            for r in range(size):
+                assert np.array_equal(outs[r], expect), (kind, r)
+        elif kind == "bcast":
+            bufs = [
+                inputs[root].copy() if r == root else np.zeros(count, dtype="i8")
+                for r in range(size)
+            ]
+            reqs = [
+                comms[r].ibcast(bufs[r], count, repro.INT64, root)
+                for r in range(size)
+            ]
+            drive(world, reqs)
+            for r in range(size):
+                assert np.array_equal(bufs[r], inputs[root]), (kind, r)
+        elif kind == "allgather":
+            outs = [np.zeros(size * count, dtype="i8") for _ in range(size)]
+            reqs = [
+                comms[r].iallgather(inputs[r], outs[r], count, repro.INT64)
+                for r in range(size)
+            ]
+            drive(world, reqs)
+            expect = np.concatenate(inputs)
+            for r in range(size):
+                assert np.array_equal(outs[r], expect), (kind, r)
+        elif kind == "barrier":
+            reqs = [comms[r].ibarrier() for r in range(size)]
+            drive(world, reqs)
+        elif kind == "scan":
+            outs = [np.zeros(count, dtype="i8") for _ in range(size)]
+            reqs = [
+                comms[r].iscan(inputs[r], outs[r], count, repro.INT64)
+                for r in range(size)
+            ]
+            drive(world, reqs)
+            prefix = np.cumsum(np.stack(inputs), axis=0)
+            for r in range(size):
+                assert np.array_equal(outs[r], prefix[r]), (kind, r)
+        elif kind == "alltoall":
+            sends = [
+                rng.integers(-100, 100, size * count).astype("i8")
+                for _ in range(size)
+            ]
+            outs = [np.zeros(size * count, dtype="i8") for _ in range(size)]
+            reqs = [
+                comms[r].ialltoall(sends[r], outs[r], count, repro.INT64)
+                for r in range(size)
+            ]
+            drive(world, reqs)
+            for r in range(size):
+                expect = np.concatenate(
+                    [
+                        sends[src][r * count : (r + 1) * count]
+                        for src in range(size)
+                    ]
+                )
+                assert np.array_equal(outs[r], expect), (kind, r)
+
+
+@given(st.integers(2, 4), st.integers(0, 2**31 - 1))
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_overlapping_nonblocking_collectives(size, seed):
+    """Several nonblocking collectives in flight simultaneously on one
+    communicator must not interfere (distinct tags per sequence)."""
+    rng = np.random.default_rng(seed)
+    world = make_vworld(size, use_shmem=False)
+    comms = [world.proc(r).comm_world for r in range(size)]
+    inputs1 = [rng.integers(0, 100, 3).astype("i8") for _ in range(size)]
+    inputs2 = [rng.integers(0, 100, 3).astype("i8") for _ in range(size)]
+    outs1 = [np.zeros(3, dtype="i8") for _ in range(size)]
+    outs2 = [np.zeros(3, dtype="i8") for _ in range(size)]
+    bufs = [
+        np.arange(5, dtype="i8") if r == 0 else np.zeros(5, dtype="i8")
+        for r in range(size)
+    ]
+    reqs = []
+    for r in range(size):
+        # same order on every rank; all three fly together
+        reqs.append(comms[r].iallreduce(inputs1[r], outs1[r], 3, repro.INT64))
+        reqs.append(comms[r].ibcast(bufs[r], 5, repro.INT64, 0))
+        reqs.append(comms[r].iallreduce(inputs2[r], outs2[r], 3, repro.INT64))
+    drive(world, reqs)
+    e1 = np.add.reduce(np.stack(inputs1), axis=0)
+    e2 = np.add.reduce(np.stack(inputs2), axis=0)
+    for r in range(size):
+        assert np.array_equal(outs1[r], e1)
+        assert np.array_equal(outs2[r], e2)
+        assert np.array_equal(bufs[r], np.arange(5, dtype="i8"))

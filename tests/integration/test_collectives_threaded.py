@@ -1,0 +1,101 @@
+"""Blocking wrappers of the extended collectives, thread-per-rank."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.runtime import run_world
+
+
+class TestExtendedCollectivesThreaded:
+    def test_scan_chain(self):
+        def main(proc):
+            comm = proc.comm_world
+            out = np.zeros(1, dtype="i4")
+            comm.scan(np.array([comm.rank + 1], dtype="i4"), out, 1, repro.INT)
+            return int(out[0])
+
+        size = 5
+        assert run_world(size, main, timeout=120) == [
+            sum(range(1, r + 2)) for r in range(size)
+        ]
+
+    def test_exscan(self):
+        def main(proc):
+            comm = proc.comm_world
+            out = np.full(1, -7, dtype="i4")
+            comm.exscan(np.array([2], dtype="i4"), out, 1, repro.INT)
+            return int(out[0])
+
+        assert run_world(4, main, timeout=120) == [-7, 2, 4, 6]
+
+    def test_reduce_scatter_block(self):
+        def main(proc):
+            comm = proc.comm_world
+            p, r = comm.size, comm.rank
+            send = np.arange(p, dtype="i4") * (r + 1)
+            out = np.zeros(1, dtype="i4")
+            comm.reduce_scatter_block(send, out, 1, repro.INT)
+            return int(out[0])
+
+        size = 4
+        total_factor = sum(range(1, size + 1))
+        assert run_world(size, main, timeout=120) == [
+            r * total_factor for r in range(size)
+        ]
+
+    def test_allgatherv(self):
+        def main(proc):
+            comm = proc.comm_world
+            p, r = comm.size, comm.rank
+            counts = [i + 1 for i in range(p)]
+            displs = [sum(counts[:i]) for i in range(p)]
+            out = np.zeros(sum(counts), dtype="i4")
+            comm.allgatherv(
+                np.full(counts[r], r, dtype="i4"), counts[r], out, counts, displs,
+                repro.INT,
+            )
+            return out.tolist()
+
+        size = 4
+        expect = []
+        for r in range(size):
+            expect += [r] * (r + 1)
+        assert all(res == expect for res in run_world(size, main, timeout=120))
+
+    def test_alltoallv(self):
+        def main(proc):
+            comm = proc.comm_world
+            p, r = comm.size, comm.rank
+            scounts = [1] * p
+            sdispls = list(range(p))
+            send = np.array([10 * r + d for d in range(p)], dtype="i4")
+            rcounts = [1] * p
+            rdispls = list(range(p))
+            out = np.zeros(p, dtype="i4")
+            comm.alltoallv(send, scounts, sdispls, out, rcounts, rdispls, repro.INT)
+            return out.tolist()
+
+        size = 3
+        results = run_world(size, main, timeout=120)
+        for r in range(size):
+            assert results[r] == [10 * src + r for src in range(size)]
+
+    def test_long_message_auto_algorithms(self):
+        """Long allreduce + bcast exercise Rabenseifner / van de Geijn
+        through the blocking wrappers under real threads."""
+
+        def main(proc):
+            comm = proc.comm_world
+            n = 8192  # 64 KB of i8 > both long-message thresholds
+            out = np.zeros(n, dtype="i8")
+            comm.allreduce(np.full(n, comm.rank + 1, dtype="i8"), out, n, repro.INT64)
+            assert np.all(out == sum(range(1, comm.size + 1)))
+            buf = np.zeros(n, dtype="i8")
+            if comm.rank == 1:
+                buf[:] = np.arange(n)
+            comm.bcast(buf, n, repro.INT64, 1)
+            assert np.array_equal(buf, np.arange(n))
+            return "ok"
+
+        assert run_world(4, main, timeout=300) == ["ok"] * 4

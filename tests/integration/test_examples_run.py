@@ -1,0 +1,38 @@
+"""Every example script must run clean — examples are deliverables.
+
+Each is executed in a subprocess (its own interpreter, like a user
+would run it) with a generous timeout; a nonzero exit or traceback
+fails the test.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parents[2] / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{script.name} failed\nstdout:\n{result.stdout}\n"
+        f"stderr:\n{result.stderr}"
+    )
+    assert "Traceback" not in result.stderr, result.stderr
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 10
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert "user_level_allreduce.py" in names

@@ -1,0 +1,98 @@
+"""Asynchronous storage device."""
+
+import numpy as np
+import pytest
+
+from repro.io.storage import StorageDevice
+from repro.util.clock import VirtualClock
+
+
+def make_device(alpha=1e-5, beta=1e-9):
+    clock = VirtualClock()
+    return StorageDevice(clock, alpha=alpha, beta=beta), clock
+
+
+class TestStorageDevice:
+    def test_write_not_visible_until_progressed(self):
+        dev, clock = make_device()
+        op = dev.post_write("f", 0, b"hello", 5)
+        assert dev.snapshot("f") == b""
+        clock.advance_to(op.deadline)
+        assert dev.progress() is True
+        assert dev.snapshot("f") == b"hello"
+        assert op.completed
+
+    def test_deadline_cost_model(self):
+        dev, _ = make_device(alpha=2e-5, beta=1e-9)
+        op = dev.post_write("f", 0, b"x" * 1000, 1000)
+        assert op.deadline == pytest.approx(2e-5 + 1000 * 1e-9)
+
+    def test_write_extends_file(self):
+        dev, clock = make_device()
+        dev.post_write("f", 10, b"ZZ", 2)
+        clock.advance(1.0)
+        dev.progress()
+        blob = dev.snapshot("f")
+        assert len(blob) == 12
+        assert blob[:10] == b"\x00" * 10
+        assert blob[10:] == b"ZZ"
+
+    def test_read_roundtrip(self):
+        dev, clock = make_device()
+        dev.post_write("f", 0, b"abcdef", 6)
+        clock.advance(1.0)
+        dev.progress()
+        out = bytearray(4)
+        dev.post_read("f", 1, out, 4)
+        clock.advance(1.0)
+        dev.progress()
+        assert bytes(out) == b"bcde"
+
+    def test_short_read_zero_fills(self):
+        dev, clock = make_device()
+        dev.post_write("f", 0, b"ab", 2)
+        clock.advance(1.0)
+        dev.progress()
+        out = bytearray(b"XXXX")
+        dev.post_read("f", 0, out, 4)
+        clock.advance(1.0)
+        dev.progress()
+        assert bytes(out) == b"ab\x00\x00"
+
+    def test_callbacks_fire_once(self):
+        dev, clock = make_device()
+        fired = []
+        dev.post_write("f", 0, b"1", 1, callback=lambda op: fired.append(op.op_id))
+        clock.advance(1.0)
+        dev.progress()
+        dev.progress()
+        assert len(fired) == 1
+
+    def test_ops_apply_in_deadline_order(self):
+        """Two writes to the same range: the later-posted (later
+        deadline) write wins, matching post order for equal sizes."""
+        dev, clock = make_device()
+        dev.post_write("f", 0, b"AAAA", 4)
+        dev.post_write("f", 0, b"BBBB", 4)
+        clock.advance(1.0)
+        dev.progress()
+        assert dev.snapshot("f") == b"BBBB"
+
+    def test_distinct_files(self):
+        dev, clock = make_device()
+        dev.post_write("a", 0, b"1", 1)
+        dev.post_write("b", 0, b"2", 1)
+        clock.advance(1.0)
+        dev.progress()
+        assert dev.snapshot("a") == b"1"
+        assert dev.snapshot("b") == b"2"
+        assert dev.file_size("a") == 1
+
+    def test_stats(self):
+        dev, clock = make_device()
+        dev.post_write("f", 0, b"abc", 3)
+        out = bytearray(3)
+        dev.post_read("f", 0, out, 3)
+        assert dev.stat_writes == 1
+        assert dev.stat_reads == 1
+        assert dev.stat_bytes == 6

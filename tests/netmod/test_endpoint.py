@@ -1,0 +1,147 @@
+"""Netmod endpoint: cost model, polling, FIFO delivery."""
+
+import pytest
+
+from repro.config import RuntimeConfig
+from repro.netmod.fabric import Fabric
+from repro.util.clock import VirtualClock
+
+
+CFG = RuntimeConfig(nic_alpha=1e-6, nic_beta=1e-9, nic_wire_delay=2e-6)
+
+
+def make_fabric(nranks=2, config=CFG):
+    clock = VirtualClock()
+    return Fabric(nranks, clock=clock, config=config), clock
+
+
+class TestPostAndPoll:
+    def test_completion_respects_alpha_beta(self):
+        fabric, clock = make_fabric()
+        ep = fabric.endpoint(0)
+        op = ep.post_send((1, 0), {"kind": "eager"}, b"x" * 1000, context="c")
+        assert op.deadline == pytest.approx(1e-6 + 1000 * 1e-9)
+        comps, packets = ep.poll()
+        assert comps == [] and packets == []  # nothing matured yet
+        clock.advance_to(op.deadline)
+        comps, _ = ep.poll()
+        assert comps == [op]
+        assert op.completed
+
+    def test_arrival_respects_wire_delay(self):
+        fabric, clock = make_fabric()
+        src, dst = fabric.endpoint(0), fabric.endpoint(1)
+        src.post_send((1, 0), {"kind": "eager", "n": 1}, b"abc")
+        arrival = 2e-6 + 3 * 1e-9
+        clock.advance_to(arrival - 1e-9)
+        _, packets = dst.poll()
+        assert packets == []
+        clock.advance_to(arrival)
+        _, packets = dst.poll()
+        assert len(packets) == 1
+        assert packets[0].payload == b"abc"
+        assert packets[0].header["n"] == 1
+
+    def test_empty_poll_is_cheap_and_counted(self):
+        fabric, _ = make_fabric()
+        ep = fabric.endpoint(0)
+        ep.poll()
+        assert ep.stat_polls == 1
+        assert ep.stat_empty_polls == 1
+        assert ep.pending == 0
+
+    def test_payload_snapshotted_at_post(self):
+        fabric, clock = make_fabric()
+        buf = bytearray(b"AAAA")
+        src, dst = fabric.endpoint(0), fabric.endpoint(1)
+        src.post_send((1, 0), {"kind": "eager"}, buf)
+        buf[:] = b"BBBB"  # mutate after post
+        clock.advance(1.0)
+        _, packets = dst.poll()
+        assert packets[0].payload == b"AAAA"
+
+    def test_loopback(self):
+        fabric, clock = make_fabric()
+        ep = fabric.endpoint(0)
+        op = ep.post_send((0, 0), {"kind": "eager"}, b"self")
+        clock.advance(1.0)
+        comps, packets = ep.poll()
+        assert comps == [op]
+        assert packets[0].payload == b"self"
+
+    def test_stats(self):
+        fabric, _ = make_fabric()
+        ep = fabric.endpoint(0)
+        ep.post_send((1, 0), {"kind": "eager"}, b"12345")
+        assert ep.stat_posted == 1
+        assert ep.stat_bytes == 5
+
+
+class TestOrdering:
+    def test_fifo_per_destination_despite_size_inversion(self):
+        """A small message posted after a large one must not overtake it
+        (MPI non-overtaking)."""
+        cfg = CFG.updated(nic_beta=1e-6)  # make size dominate
+        fabric, clock = make_fabric(config=cfg)
+        src, dst = fabric.endpoint(0), fabric.endpoint(1)
+        src.post_send((1, 0), {"kind": "eager", "i": 0}, b"x" * 10_000)
+        src.post_send((1, 0), {"kind": "eager", "i": 1}, b"y")
+        clock.advance(1.0)
+        _, packets = dst.poll()
+        assert [p.header["i"] for p in packets] == [0, 1]
+
+    def test_different_destinations_not_serialized(self):
+        cfg = CFG.updated(nic_beta=1e-6)
+        fabric, clock = make_fabric(nranks=3, config=cfg)
+        src = fabric.endpoint(0)
+        src.post_send((1, 0), {"kind": "eager"}, b"x" * 10_000)
+        src.post_send((2, 0), {"kind": "eager"}, b"y")
+        # The small message to rank 2 arrives before the big one to 1.
+        clock.advance_to(2e-6 + 1e-6 + 1e-9)
+        _, p2 = fabric.endpoint(2).poll()
+        _, p1 = fabric.endpoint(1).poll()
+        assert len(p2) == 1 and len(p1) == 0
+
+    def test_completions_in_deadline_order(self):
+        fabric, clock = make_fabric()
+        ep = fabric.endpoint(0)
+        big = ep.post_send((1, 0), {"kind": "a"}, b"z" * 100_000, context=1)
+        small = ep.post_send((1, 0), {"kind": "b"}, b"z", context=2)
+        clock.advance(1.0)
+        comps, _ = ep.poll()
+        assert comps == sorted(comps, key=lambda o: o.deadline)
+        assert small.deadline < big.deadline
+
+
+class TestFabricValidation:
+    def test_bad_rank(self):
+        fabric, _ = make_fabric()
+        from repro.errors import InvalidRankError
+
+        with pytest.raises(InvalidRankError):
+            fabric.endpoint(5)
+
+    def test_bad_nranks(self):
+        with pytest.raises(ValueError):
+            Fabric(0)
+
+    def test_endpoint_identity(self):
+        fabric, _ = make_fabric()
+        assert fabric.endpoint(0, 0) is fabric.endpoint(0, 0)
+        assert fabric.endpoint(0, 1) is not fabric.endpoint(0, 0)
+
+    def test_same_node(self):
+        cfg = CFG.updated(ranks_per_node=2)
+        fabric = Fabric(4, clock=VirtualClock(), config=cfg)
+        assert fabric.same_node(0, 1)
+        assert not fabric.same_node(1, 2)
+        assert fabric.same_node(2, 3)
+
+    def test_total_pending(self):
+        fabric, clock = make_fabric()
+        fabric.endpoint(0).post_send((1, 0), {"kind": "x"}, b"q")
+        assert fabric.total_pending() == 2  # one completion + one arrival
+        clock.advance(1.0)
+        fabric.endpoint(0).poll()
+        fabric.endpoint(1).poll()
+        assert fabric.total_pending() == 0

@@ -1,0 +1,88 @@
+"""Offload device: deferred copies, callbacks, synchronize."""
+
+import numpy as np
+import pytest
+
+from repro.config import RuntimeConfig
+from repro.offload.device import OffloadDevice
+from repro.util.clock import VirtualClock
+
+
+def make_device(alpha=1e-6, beta=1e-9):
+    clock = VirtualClock()
+    cfg = RuntimeConfig(offload_alpha=alpha, offload_beta=beta)
+    return OffloadDevice(clock, cfg), clock
+
+
+class TestOffloadDevice:
+    def test_copy_not_visible_until_progressed(self):
+        dev, clock = make_device()
+        src = np.arange(8, dtype="u1")
+        dst = np.zeros(8, dtype="u1")
+        op = dev.copy_async(src, dst)
+        assert not op.completed
+        assert np.all(dst == 0)  # nothing moved yet
+        clock.advance_to(op.deadline)
+        assert dev.progress() is True
+        assert op.completed
+        assert np.array_equal(dst, src)
+
+    def test_deadline_cost_model(self):
+        dev, _ = make_device(alpha=2e-6, beta=1e-9)
+        op = dev.copy_async(b"x" * 1000, bytearray(1000))
+        assert op.deadline == pytest.approx(2e-6 + 1000 * 1e-9)
+
+    def test_partial_copy_with_nbytes(self):
+        dev, clock = make_device()
+        dst = bytearray(b"....")
+        dev.copy_async(b"ABCD", dst, nbytes=2)
+        clock.advance(1.0)
+        dev.progress()
+        assert bytes(dst) == b"AB.."
+
+    def test_callback_fires_on_progress(self):
+        dev, clock = make_device()
+        fired = []
+        dev.copy_async(b"x", bytearray(1), callback=lambda op: fired.append(op))
+        clock.advance(1.0)
+        dev.progress()
+        assert len(fired) == 1
+        assert fired[0].completed
+
+    def test_idle_progress_false(self):
+        dev, _ = make_device()
+        assert dev.progress() is False
+
+    def test_ordering_by_deadline(self):
+        dev, clock = make_device(beta=1e-6)
+        order = []
+        dev.copy_async(b"x" * 100, bytearray(100), callback=lambda o: order.append("big"))
+        dev.copy_async(b"x", bytearray(1), callback=lambda o: order.append("small"))
+        clock.advance(1.0)
+        dev.progress()
+        assert order == ["small", "big"]
+
+    def test_synchronize_drains_all(self):
+        dev, clock = make_device()
+        dst = [bytearray(1) for _ in range(5)]
+        for i, d in enumerate(dst):
+            dev.copy_async(bytes([i]), d)
+        dev.synchronize()
+        assert dev.pending == 0
+        assert [d[0] for d in dst] == [0, 1, 2, 3, 4]
+
+    def test_stats(self):
+        dev, clock = make_device()
+        dev.copy_async(b"abc", bytearray(3))
+        assert dev.stat_copies == 1
+        assert dev.stat_bytes == 3
+
+    def test_source_snapshot(self):
+        dev, clock = make_device()
+        src = bytearray(b"AAAA")
+        dst = bytearray(4)
+        dev.copy_async(src, dst)
+        src[:] = b"BBBB"
+        clock.advance(1.0)
+        dev.progress()
+        assert bytes(dst) == b"AAAA"

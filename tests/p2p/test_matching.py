@@ -1,0 +1,108 @@
+"""Matching queues: FIFO semantics, wildcards, context separation."""
+
+from hypothesis import given, strategies as st
+
+from repro.p2p.matching import ANY_SOURCE, ANY_TAG, PostedQueue, UnexpectedQueue
+
+
+class TestPostedQueue:
+    def test_exact_match(self):
+        q = PostedQueue()
+        q.post(0, 1, 5, "entry")
+        assert q.match(0, 1, 5) == "entry"
+        assert len(q) == 0
+
+    def test_no_match_leaves_queue(self):
+        q = PostedQueue()
+        q.post(0, 1, 5, "entry")
+        assert q.match(0, 2, 5) is None
+        assert q.match(0, 1, 6) is None
+        assert q.match(1, 1, 5) is None  # wrong context
+        assert len(q) == 1
+
+    def test_wildcard_source(self):
+        q = PostedQueue()
+        q.post(0, ANY_SOURCE, 5, "e")
+        assert q.match(0, 3, 5) == "e"
+
+    def test_wildcard_tag(self):
+        q = PostedQueue()
+        q.post(0, 1, ANY_TAG, "e")
+        assert q.match(0, 1, 99) == "e"
+
+    def test_double_wildcard(self):
+        q = PostedQueue()
+        q.post(0, ANY_SOURCE, ANY_TAG, "e")
+        assert q.match(0, 7, 42) == "e"
+
+    def test_fifo_order_among_matches(self):
+        q = PostedQueue()
+        q.post(0, ANY_SOURCE, ANY_TAG, "first")
+        q.post(0, 1, 5, "second")
+        assert q.match(0, 1, 5) == "first"
+        assert q.match(0, 1, 5) == "second"
+
+    def test_remove(self):
+        q = PostedQueue()
+        q.post(0, 1, 1, "a")
+        q.post(0, 2, 2, "b")
+        assert q.remove("a") is True
+        assert q.remove("a") is False
+        assert list(q) == ["b"]
+
+
+class TestUnexpectedQueue:
+    def test_match_by_pattern(self):
+        q = UnexpectedQueue()
+        q.add(0, 3, 7, "msg")
+        assert q.match(0, ANY_SOURCE, 7) == "msg"
+
+    def test_peek_does_not_consume(self):
+        q = UnexpectedQueue()
+        q.add(0, 3, 7, "msg")
+        assert q.peek(0, 3, ANY_TAG) == "msg"
+        assert len(q) == 1
+        assert q.match(0, 3, 7) == "msg"
+        assert len(q) == 0
+
+    def test_fifo_among_same_signature(self):
+        q = UnexpectedQueue()
+        q.add(0, 1, 5, "m1")
+        q.add(0, 1, 5, "m2")
+        assert q.match(0, 1, 5) == "m1"
+        assert q.match(0, 1, 5) == "m2"
+
+    def test_context_separation(self):
+        q = UnexpectedQueue()
+        q.add(2, 1, 5, "ctx2")
+        assert q.match(0, 1, 5) is None
+        assert q.match(2, 1, 5) == "ctx2"
+
+
+@given(
+    st.lists(
+        # src/tag drawn from {-1 (=wildcard), 0, 1, 2}
+        st.tuples(st.integers(0, 2), st.integers(-1, 2), st.integers(-1, 2)),
+        max_size=30,
+    )
+)
+def test_posted_then_matched_in_fifo_order(msgs):
+    """For any arrival sequence, each arrival matches the OLDEST
+    compatible posted receive (the MPI matching rule)."""
+    q = PostedQueue()
+    posted = []
+    for i, (ctx, src, tag) in enumerate(msgs):
+        entry = (i, ctx, src, tag)
+        q.post(ctx, src, tag, entry)
+        posted.append(entry)
+    # arrival with concrete src=1, tag=1 in every context
+    for ctx in (0, 1, 2):
+        expect = [
+            e
+            for e in posted
+            if e[1] == ctx and e[2] in (1, ANY_SOURCE) and e[3] in (1, ANY_TAG)
+        ]
+        got = []
+        while (m := q.match(ctx, 1, 1)) is not None:
+            got.append(m)
+        assert got == expect

@@ -1,0 +1,278 @@
+"""P2P integration: wildcards, ordering, truncation, probe, cancel,
+datatypes on the wire, shmem routing."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import InvalidRankError, InvalidTagError, TruncationError
+from tests.conftest import drive, make_vworld
+
+
+def world2(**kw):
+    kw.setdefault("use_shmem", False)
+    return make_vworld(2, **kw)
+
+
+class TestBasicExchange:
+    def test_send_recv_status(self):
+        world = world2()
+        p0, p1 = world.proc(0), world.proc(1)
+        data = np.array([1, 2, 3], dtype="i4")
+        out = np.zeros(3, dtype="i4")
+        rreq = p1.comm_world.irecv(out, 3, repro.INT, 0, 42)
+        sreq = p0.comm_world.isend(data, 3, repro.INT, 1, 42)
+        drive(world, [sreq, rreq])
+        assert rreq.status.source == 0
+        assert rreq.status.tag == 42
+        assert rreq.status.count_bytes == 12
+        assert rreq.status.get_count(repro.INT) == 3
+        assert np.array_equal(out, data)
+
+    def test_zero_byte_message(self):
+        world = world2()
+        p0, p1 = world.proc(0), world.proc(1)
+        rreq = p1.comm_world.irecv(bytearray(0), 0, repro.BYTE, 0, 0)
+        sreq = p0.comm_world.isend(bytearray(0), 0, repro.BYTE, 1, 0)
+        drive(world, [sreq, rreq])
+        assert rreq.status.count_bytes == 0
+
+    def test_many_messages_nonovertaking(self):
+        """Same (src, dst, tag): delivery must follow post order."""
+        world = world2()
+        p0, p1 = world.proc(0), world.proc(1)
+        n = 20
+        outs = [np.zeros(1, dtype="i4") for _ in range(n)]
+        rreqs = [p1.comm_world.irecv(outs[i], 1, repro.INT, 0, 7) for i in range(n)]
+        sreqs = [
+            p0.comm_world.isend(np.array([i], dtype="i4"), 1, repro.INT, 1, 7)
+            for i in range(n)
+        ]
+        drive(world, sreqs + rreqs)
+        assert [int(o[0]) for o in outs] == list(range(n))
+
+    def test_mixed_sizes_nonovertaking(self):
+        """Ordering holds even across protocol modes (eager then tiny)."""
+        world = world2()
+        p0, p1 = world.proc(0), world.proc(1)
+        big = (np.arange(5000) % 251).astype("u1")
+        small = np.array([9], dtype="u1")
+        out_big = np.zeros(5000, dtype="u1")
+        out_small = np.zeros(1, dtype="u1")
+        r1 = p1.comm_world.irecv(out_big, 5000, repro.BYTE, 0, 1)
+        r2 = p1.comm_world.irecv(out_small, 1, repro.BYTE, 0, 1)
+        s1 = p0.comm_world.isend(big, 5000, repro.BYTE, 1, 1)
+        s2 = p0.comm_world.isend(small, 1, repro.BYTE, 1, 1)
+        drive(world, [s1, s2, r1, r2])
+        assert np.array_equal(out_big, big)
+        assert out_small[0] == 9
+
+
+class TestWildcards:
+    def test_any_source(self):
+        world = make_vworld(3, use_shmem=False)
+        p2 = world.proc(2)
+        out = np.zeros(1, dtype="i4")
+        rreq = p2.comm_world.irecv(out, 1, repro.INT, repro.ANY_SOURCE, 5)
+        sreq = world.proc(1).comm_world.isend(
+            np.array([11], dtype="i4"), 1, repro.INT, 2, 5
+        )
+        drive(world, [sreq, rreq])
+        assert rreq.status.source == 1
+        assert out[0] == 11
+
+    def test_any_tag(self):
+        world = world2()
+        out = np.zeros(1, dtype="i4")
+        rreq = world.proc(1).comm_world.irecv(out, 1, repro.INT, 0, repro.ANY_TAG)
+        sreq = world.proc(0).comm_world.isend(
+            np.array([3], dtype="i4"), 1, repro.INT, 1, 77
+        )
+        drive(world, [sreq, rreq])
+        assert rreq.status.tag == 77
+
+    def test_tag_selectivity(self):
+        """A recv for tag B skips an earlier unexpected message with tag A."""
+        world = world2()
+        p0, p1 = world.proc(0), world.proc(1)
+        sA = p0.comm_world.isend(np.array([1], dtype="i4"), 1, repro.INT, 1, 1)
+        sB = p0.comm_world.isend(np.array([2], dtype="i4"), 1, repro.INT, 1, 2)
+        drive(world, [sA, sB])
+        # both are unexpected at rank 1 now; drain arrivals
+        for _ in range(5):
+            world.clock.idle_advance()
+            p1.stream_progress()
+        outB = np.zeros(1, dtype="i4")
+        rB = p1.comm_world.irecv(outB, 1, repro.INT, 0, 2)
+        drive(world, [rB])
+        assert outB[0] == 2
+        outA = np.zeros(1, dtype="i4")
+        rA = p1.comm_world.irecv(outA, 1, repro.INT, 0, 1)
+        drive(world, [rA])
+        assert outA[0] == 1
+
+
+class TestTruncation:
+    @pytest.mark.parametrize("nbytes,bufbytes", [(128, 64), (5000, 100)])
+    def test_truncation_sets_error(self, nbytes, bufbytes):
+        world = world2(
+            buffered_threshold=16, eager_threshold=1024, rendezvous_threshold=1 << 20
+        )
+        p0, p1 = world.proc(0), world.proc(1)
+        data = np.zeros(nbytes, dtype="u1")
+        out = np.zeros(bufbytes, dtype="u1")
+        rreq = p1.comm_world.irecv(out, bufbytes, repro.BYTE, 0, 0)
+        sreq = p0.comm_world.isend(data, nbytes, repro.BYTE, 1, 0)
+        # drive manually: wait() raises on truncation
+        while not (sreq.is_complete() and rreq.is_complete()):
+            made = p0.stream_progress() | p1.stream_progress()
+            if not made:
+                world.clock.idle_advance()
+        assert rreq.status.error != 0
+        with pytest.raises(TruncationError):
+            p1.wait(rreq)
+
+
+class TestProbe:
+    def test_iprobe_sees_unexpected(self):
+        world = world2()
+        p0, p1 = world.proc(0), world.proc(1)
+        assert p1.comm_world.iprobe() is None
+        sreq = p0.comm_world.isend(np.array([5], dtype="i4"), 1, repro.INT, 1, 9)
+        drive(world, [sreq])
+        for _ in range(5):
+            world.clock.idle_advance()
+            p1.stream_progress()
+        status = p1.comm_world.iprobe(0, 9)
+        assert status is not None
+        assert status.source == 0
+        assert status.tag == 9
+        assert status.count_bytes == 4
+        # probe does not consume: recv still works
+        out = np.zeros(1, dtype="i4")
+        rreq = p1.comm_world.irecv(out, 1, repro.INT, 0, 9)
+        drive(world, [rreq])
+        assert out[0] == 5
+
+    def test_iprobe_respects_pattern(self):
+        world = world2()
+        p0, p1 = world.proc(0), world.proc(1)
+        sreq = p0.comm_world.isend(np.array([5], dtype="i4"), 1, repro.INT, 1, 9)
+        drive(world, [sreq])
+        for _ in range(5):
+            world.clock.idle_advance()
+            p1.stream_progress()
+        assert p1.comm_world.iprobe(0, 8) is None
+        assert p1.comm_world.iprobe(repro.ANY_SOURCE, repro.ANY_TAG) is not None
+
+
+class TestCancel:
+    def test_cancel_posted_recv(self):
+        world = world2()
+        p1 = world.proc(1)
+        out = np.zeros(1, dtype="i4")
+        rreq = p1.comm_world.irecv(out, 1, repro.INT, 0, 3)
+        assert p1.p2p.cancel_recv(0, rreq) is True
+        assert rreq.is_complete()
+        assert rreq.status.cancelled
+
+    def test_cancel_matched_recv_fails(self):
+        world = world2()
+        p0, p1 = world.proc(0), world.proc(1)
+        out = np.zeros(1, dtype="i4")
+        rreq = p1.comm_world.irecv(out, 1, repro.INT, 0, 3)
+        sreq = p0.comm_world.isend(np.array([1], dtype="i4"), 1, repro.INT, 1, 3)
+        drive(world, [sreq, rreq])
+        assert p1.p2p.cancel_recv(0, rreq) is False
+
+
+class TestValidation:
+    def test_bad_rank(self):
+        world = world2()
+        with pytest.raises(InvalidRankError):
+            world.proc(0).comm_world.isend(b"x", 1, repro.BYTE, 5, 0)
+
+    def test_bad_tag(self):
+        world = world2()
+        with pytest.raises(InvalidTagError):
+            world.proc(0).comm_world.isend(b"x", 1, repro.BYTE, 1, -3)
+
+    def test_uncommitted_datatype(self):
+        from repro.errors import InvalidDatatypeError
+
+        world = world2()
+        t = repro.contiguous(2, repro.INT)  # not committed
+        with pytest.raises(InvalidDatatypeError):
+            world.proc(0).comm_world.isend(np.zeros(2, "i4"), 1, t, 1, 0)
+
+
+class TestDerivedDatatypesOnTheWire:
+    def test_vector_send_contiguous_recv(self):
+        world = world2()
+        p0, p1 = world.proc(0), world.proc(1)
+        col = repro.vector(4, 1, 4, repro.INT).commit()
+        mat = np.arange(16, dtype="i4").reshape(4, 4)
+        out = np.zeros(4, dtype="i4")
+        rreq = p1.comm_world.irecv(out, 4, repro.INT, 0, 0)
+        sreq = p0.comm_world.isend(mat, 1, col, 1, 0)
+        drive(world, [sreq, rreq])
+        assert np.array_equal(out, mat[:, 0])
+
+    def test_contiguous_send_vector_recv(self):
+        world = world2()
+        p0, p1 = world.proc(0), world.proc(1)
+        col = repro.vector(4, 1, 4, repro.INT).commit()
+        data = np.array([10, 20, 30, 40], dtype="i4")
+        out = np.zeros(16, dtype="i4")
+        rreq = p1.comm_world.irecv(out, 1, col, 0, 0)
+        sreq = p0.comm_world.isend(data, 4, repro.INT, 1, 0)
+        drive(world, [sreq, rreq])
+        assert np.array_equal(out.reshape(4, 4)[:, 0], data)
+
+    def test_large_noncontiguous_uses_async_pack(self):
+        """A large non-contiguous send goes through the datatype engine."""
+        world = world2(datatype_chunk_size=1024)
+        p0, p1 = world.proc(0), world.proc(1)
+        n = 2048
+        vec = repro.vector(n, 1, 2, repro.INT).commit()  # 8 KiB of data
+        src = np.arange(2 * n, dtype="i4")
+        out = np.zeros(n, dtype="i4")
+        rreq = p1.comm_world.irecv(out, n, repro.INT, 0, 0)
+        sreq = p0.comm_world.isend(src, 1, vec, 1, 0)
+        assert p0.datatype_engine.active_tasks == 1  # packing queued
+        drive(world, [sreq, rreq])
+        assert np.array_equal(out, src[::2])
+
+
+class TestShmemRouting:
+    def test_same_node_goes_via_shmem(self):
+        world = make_vworld(2, ranks_per_node=2)
+        p0, p1 = world.proc(0), world.proc(1)
+        data = np.arange(100, dtype="u1")
+        out = np.zeros(100, dtype="u1")
+        rreq = p1.comm_world.irecv(out, 100, repro.BYTE, 0, 0)
+        sreq = p0.comm_world.isend(data, 100, repro.BYTE, 1, 0)
+        drive(world, [sreq, rreq])
+        assert np.array_equal(out, data)
+        # netmod endpoints saw no traffic
+        assert world.fabric.endpoint(0, 0).stat_posted == 0
+
+    def test_cross_node_goes_via_netmod(self):
+        world = make_vworld(4, ranks_per_node=2)
+        p0, p3 = world.proc(0), world.proc(3)
+        out = np.zeros(4, dtype="u1")
+        rreq = p3.comm_world.irecv(out, 4, repro.BYTE, 0, 0)
+        sreq = p0.comm_world.isend(np.arange(4, dtype="u1"), 4, repro.BYTE, 3, 0)
+        drive(world, [sreq, rreq])
+        assert world.fabric.endpoint(0, 0).stat_posted == 1
+
+    def test_large_message_via_shmem(self):
+        world = make_vworld(2, ranks_per_node=2, shmem_cell_size=512, shmem_num_cells=2)
+        p0, p1 = world.proc(0), world.proc(1)
+        n = 100_000
+        data = (np.arange(n) % 251).astype("u1")
+        out = np.zeros(n, dtype="u1")
+        rreq = p1.comm_world.irecv(out, n, repro.BYTE, 0, 0)
+        sreq = p0.comm_world.isend(data, n, repro.BYTE, 1, 0)
+        drive(world, [sreq, rreq])
+        assert np.array_equal(out, data)

@@ -1,0 +1,130 @@
+"""Property-based p2p tests: for ANY schedule of sends/receives the
+runtime must deliver every payload intact and respect the MPI
+non-overtaking rule per (source, tag) channel."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+import repro
+from tests.conftest import drive, make_vworld
+
+
+# One message spec: (tag in {0,1}, size selector spanning all protocols).
+message_specs = st.lists(
+    st.tuples(st.integers(0, 1), st.sampled_from([0, 3, 40, 200, 3000, 20_000])),
+    min_size=1,
+    max_size=12,
+)
+
+
+def payload_for(index: int, nbytes: int) -> np.ndarray:
+    rng = np.random.default_rng(index)
+    return rng.integers(0, 250, size=nbytes, dtype=np.uint8)
+
+
+@given(message_specs, st.booleans())
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_any_message_schedule_delivers_intact_in_order(specs, recvs_first):
+    """All payloads arrive byte-identical; same-tag messages arrive in
+    post order whichever side posts first."""
+    world = make_vworld(
+        2,
+        use_shmem=False,
+        buffered_threshold=16,
+        eager_threshold=512,
+        rendezvous_threshold=8192,
+        pipeline_chunk_size=4096,
+    )
+    p0, p1 = world.proc(0), world.proc(1)
+
+    outs = [np.zeros(max(n, 1), dtype=np.uint8) for _, n in specs]
+    per_tag_expect: dict[int, list[int]] = {0: [], 1: []}
+    for i, (tag, _n) in enumerate(specs):
+        per_tag_expect[tag].append(i)
+
+    def post_recvs():
+        return [
+            p1.comm_world.irecv(outs[i], n, repro.BYTE, 0, tag)
+            for i, (tag, n) in enumerate(specs)
+        ]
+
+    def post_sends():
+        return [
+            p0.comm_world.isend(payload_for(i, n), n, repro.BYTE, 1, tag)
+            for i, (tag, n) in enumerate(specs)
+        ]
+
+    if recvs_first:
+        rreqs = post_recvs()
+        sreqs = post_sends()
+    else:
+        sreqs = post_sends()
+        rreqs = post_recvs()
+    drive(world, rreqs + sreqs)
+
+    # Non-overtaking per tag: the k-th same-tag recv got the k-th
+    # same-tag send, so every buffer holds ITS OWN payload.
+    for i, (tag, n) in enumerate(specs):
+        expect = payload_for(i, n)
+        assert np.array_equal(outs[i][:n], expect), (i, tag, n)
+        assert rreqs[i].status.count_bytes == n
+
+
+@given(message_specs)
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_any_schedule_over_shmem(specs):
+    """Same property through the shared-memory transport."""
+    world = make_vworld(2, ranks_per_node=2, shmem_cell_size=1024, shmem_num_cells=3)
+    p0, p1 = world.proc(0), world.proc(1)
+    outs = [np.zeros(max(n, 1), dtype=np.uint8) for _, n in specs]
+    rreqs = [
+        p1.comm_world.irecv(outs[i], n, repro.BYTE, 0, tag)
+        for i, (tag, n) in enumerate(specs)
+    ]
+    sreqs = [
+        p0.comm_world.isend(payload_for(i, n), n, repro.BYTE, 1, tag)
+        for i, (tag, n) in enumerate(specs)
+    ]
+    drive(world, rreqs + sreqs)
+    for i, (tag, n) in enumerate(specs):
+        assert np.array_equal(outs[i][:n], payload_for(i, n)), (i, tag, n)
+
+
+@given(
+    st.lists(st.integers(0, 5), min_size=1, max_size=8),
+    st.integers(0, 3),
+)
+@settings(max_examples=30, deadline=None)
+def test_wildcard_receiver_sees_every_message_exactly_once(tags, extra_ranks):
+    """ANY_SOURCE/ANY_TAG receives over several senders: each message is
+    consumed exactly once, and the multiset of payloads matches."""
+    nsenders = 1 + extra_ranks
+    world = make_vworld(nsenders + 1, use_shmem=False)
+    receiver = world.proc(nsenders)
+    sreqs = []
+    sent = []
+    for i, tag in enumerate(tags):
+        src = i % nsenders
+        value = 1000 * src + tag
+        sent.append(value)
+        sreqs.append(
+            world.proc(src).comm_world.isend(
+                np.array([value], dtype="i4"), 1, repro.INT, nsenders, tag
+            )
+        )
+    outs = [np.zeros(1, dtype="i4") for _ in tags]
+    rreqs = [
+        receiver.comm_world.irecv(out, 1, repro.INT, repro.ANY_SOURCE, repro.ANY_TAG)
+        for out in outs
+    ]
+    drive(world, sreqs + rreqs)
+    got = sorted(int(o[0]) for o in outs)
+    assert got == sorted(sent)

@@ -1,0 +1,106 @@
+"""Property-based RMA: any program of puts/accumulates/gets, applied
+through windows with fences, matches a NumPy reference."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+import repro
+from repro.rma.window import Win
+from tests.conftest import make_vworld
+
+WIN_ELEMS = 16
+
+# One op: (kind, origin_rank 1..2, offset_elem, value)
+ops_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["put", "acc_sum", "acc_max"]),
+        st.integers(1, 2),
+        st.integers(0, WIN_ELEMS - 1),
+        st.integers(-50, 50),
+    ),
+    max_size=20,
+)
+
+
+def _drive(world, reqs, max_iters=100_000):
+    pending = [r for r in reqs if not r.is_complete()]
+    iters = 0
+    while pending:
+        made = False
+        for r in range(world.nranks):
+            if world.proc(r).stream_progress():
+                made = True
+        pending = [q for q in pending if not q.is_complete()]
+        if pending and not made and not world.clock.idle_advance():
+            raise AssertionError("RMA deadlock")
+        iters += 1
+        assert iters < max_iters
+
+
+@given(ops_strategy)
+@settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+def test_rma_program_matches_reference(ops):
+    """Ops are fenced one at a time (deterministic order), so the
+    window must equal the sequential NumPy replay."""
+    world = make_vworld(3, use_shmem=False)
+    exposed = np.zeros(WIN_ELEMS, dtype="i8")
+    reference = np.zeros(WIN_ELEMS, dtype="i8")
+    wins = []
+    win_id = 7777
+    for r in range(3):
+        w = Win(world.proc(r).comm_world, exposed if r == 0 else None, win_id)
+        world.proc(r).p2p.register_rma(win_id, w)
+        wins.append(w)
+
+    for kind, origin, offset, value in ops:
+        buf = np.array([value], dtype="i8")
+        w = wins[origin]
+        if kind == "put":
+            req = w.rput(buf, 8, target=0, offset=offset * 8)
+            reference[offset] = value
+        elif kind == "acc_sum":
+            req = w.raccumulate(buf, 1, repro.INT64, 0, offset * 8, repro.SUM)
+            reference[offset] += value
+        else:
+            req = w.raccumulate(buf, 1, repro.INT64, 0, offset * 8, repro.MAX)
+            reference[offset] = max(reference[offset], value)
+        _drive(world, [req])  # fence between ops: deterministic order
+
+    assert np.array_equal(exposed, reference), (exposed, reference)
+
+    # And reads observe exactly the final state.
+    out = np.zeros(WIN_ELEMS, dtype="i8")
+    req = wins[1].rget(out, WIN_ELEMS * 8, target=0)
+    _drive(world, [req])
+    assert np.array_equal(out, reference)
+
+
+@given(
+    st.lists(st.integers(1, 30), min_size=1, max_size=12),
+)
+@settings(
+    max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+def test_concurrent_accumulates_commute(increments):
+    """SUM accumulates from multiple origins, all in flight at once:
+    the total must be exact regardless of arrival interleaving."""
+    world = make_vworld(4, use_shmem=False)
+    exposed = np.zeros(1, dtype="i8")
+    win_id = 8888
+    wins = []
+    for r in range(4):
+        w = Win(world.proc(r).comm_world, exposed if r == 0 else None, win_id)
+        world.proc(r).p2p.register_rma(win_id, w)
+        wins.append(w)
+    reqs = []
+    for i, inc in enumerate(increments):
+        origin = 1 + (i % 3)
+        reqs.append(
+            wins[origin].raccumulate(
+                np.array([inc], dtype="i8"), 1, repro.INT64, 0, 0, repro.SUM
+            )
+        )
+    _drive(world, reqs)
+    assert int(exposed[0]) == sum(increments)

@@ -1,0 +1,69 @@
+"""RMA over the shared-memory transport and mixed topologies."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.rma import win_create
+from repro.runtime import run_world
+
+
+class TestRmaOverShmem:
+    def test_put_get_on_node(self):
+        cfg = repro.RuntimeConfig(ranks_per_node=2)
+
+        def main(proc):
+            comm = proc.comm_world
+            exposed = np.zeros(8, dtype="u1")
+            win = win_create(comm, exposed)
+            if comm.rank == 0:
+                win.put(np.full(8, 3, dtype="u1"), 8, target=1)
+            win.fence()
+            out = np.zeros(8, dtype="u1")
+            if comm.rank == 1:
+                assert np.all(exposed == 3)
+                win.get(out, 8, target=0)
+            win.fence()
+            win.free()
+            return int(out[0])
+
+        results = run_world(2, main, config=cfg, timeout=60)
+        assert results[1] == 0  # rank 0's window stayed zero
+
+    def test_mixed_topology_accumulate(self):
+        """4 ranks on 2 nodes: accumulates traverse shmem AND netmod."""
+        cfg = repro.RuntimeConfig(ranks_per_node=2)
+
+        def main(proc):
+            comm = proc.comm_world
+            exposed = np.zeros(1, dtype="i4")
+            win = win_create(comm, exposed)
+            win.accumulate(np.array([comm.rank + 1], dtype="i4"), 1, repro.INT, 0)
+            win.fence()
+            result = int(exposed[0])
+            win.free()
+            return result
+
+        results = run_world(4, main, config=cfg, timeout=120)
+        assert results[0] == 10  # 1+2+3+4
+
+    def test_lock_across_nodes(self):
+        cfg = repro.RuntimeConfig(ranks_per_node=2)
+
+        def main(proc):
+            comm = proc.comm_world
+            exposed = np.array([0], dtype="i4")
+            win = win_create(comm, exposed)
+            if comm.rank == 3:  # off-node origin
+                win.lock(0)
+                win.put(np.array([77], dtype="i4"), 4, target=0)
+                win.unlock(0)
+            if comm.rank == 0:
+                while exposed[0] != 77:
+                    proc.stream_progress()
+            comm.barrier()
+            win.free()
+            return int(exposed[0])
+
+        results = run_world(4, main, config=cfg, timeout=120)
+        assert results[0] == 77

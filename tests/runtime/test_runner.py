@@ -1,0 +1,63 @@
+"""Thread-per-rank SPMD runner."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.runtime import World, run_world
+
+
+class TestRunWorld:
+    def test_results_in_rank_order(self):
+        assert run_world(4, lambda proc: proc.rank * 10, timeout=30) == [0, 10, 20, 30]
+
+    def test_exception_propagates(self):
+        def main(proc):
+            if proc.rank == 1:
+                raise ValueError("rank 1 broke")
+            return "ok"
+
+        with pytest.raises(ValueError, match="rank 1 broke"):
+            run_world(2, main, timeout=30, finalize=False)
+
+    def test_lowest_rank_exception_wins(self):
+        def main(proc):
+            raise RuntimeError(f"rank {proc.rank}")
+
+        with pytest.raises(RuntimeError, match="rank 0"):
+            run_world(3, main, timeout=30, finalize=False)
+
+    def test_timeout_on_deadlock(self):
+        def main(proc):
+            if proc.rank == 0:
+                out = np.zeros(1, dtype="i4")
+                proc.comm_world.recv(out, 1, repro.INT, 1, 0)  # never sent
+            return "ok"
+
+        with pytest.raises(TimeoutError):
+            run_world(2, main, timeout=1.0, finalize=False)
+
+    def test_existing_world_reused(self):
+        world = World(2)
+        run_world(2, lambda p: None, world=world, finalize=False)
+        # same world usable again
+        out = run_world(2, lambda p: p.rank, world=world, finalize=False)
+        assert out == [0, 1]
+
+    def test_world_size_mismatch(self):
+        world = World(2)
+        with pytest.raises(ValueError):
+            run_world(3, lambda p: None, world=world)
+
+    def test_finalize_by_default(self):
+        world = World(2)
+        run_world(2, lambda p: None, world=world)
+        assert all(p.finalized for p in world.procs)
+
+    def test_config_passed_through(self):
+        cfg = repro.RuntimeConfig(eager_threshold=123)
+
+        def main(proc):
+            return proc.config.eager_threshold
+
+        assert run_world(2, main, config=cfg, timeout=30) == [123, 123]

@@ -1,0 +1,57 @@
+"""World construction, context-id registry, finalize."""
+
+import pytest
+
+import repro
+from repro.runtime.world import World
+from repro.util.clock import VirtualClock
+
+
+class TestWorld:
+    def test_procs_created_eagerly(self):
+        world = World(3)
+        assert [world.proc(r).rank for r in range(3)] == [0, 1, 2]
+        assert len(world.procs) == 3
+
+    def test_invalid_nranks(self):
+        with pytest.raises(ValueError):
+            World(0)
+
+    def test_shared_clock_and_fabric(self):
+        clock = VirtualClock()
+        world = World(2, clock=clock)
+        assert world.proc(0).clock is clock
+        assert world.proc(1).clock is clock
+        assert world.fabric.nranks == 2
+
+    def test_no_shmem_when_disabled(self):
+        cfg = repro.RuntimeConfig(use_shmem=False)
+        world = World(2, config=cfg)
+        assert world.shmem is None
+
+    def test_finalize_all(self):
+        world = World(2)
+        world.finalize()
+        assert all(p.finalized for p in world.procs)
+
+
+class TestContextRegistry:
+    def test_deterministic_allocation(self):
+        world = World(2)
+        a = world.context_for(0, 0)
+        b = world.context_for(0, 0)  # same key from another rank
+        assert a == b
+
+    def test_distinct_keys_distinct_contexts(self):
+        world = World(2)
+        a = world.context_for(0, 0)
+        b = world.context_for(0, 1)
+        c = world.context_for(a, 0)
+        assert len({a, b, c}) == 3
+
+    def test_contexts_step_by_two(self):
+        """Each id pairs a pt2pt context with id+1 for collectives."""
+        world = World(1)
+        ids = [world.context_for(0, i) for i in range(5)]
+        assert all(i % 2 == 0 for i in ids)
+        assert len(set(ids)) == 5

@@ -1,0 +1,51 @@
+"""User-level ring allgather."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.runtime import run_world
+from repro.usercoll import user_allgather, user_iallgather
+
+
+class TestUserAllgather:
+    @pytest.mark.parametrize("size", [1, 2, 3, 5, 8])
+    def test_gathers_all_blocks(self, size):
+        def main(proc):
+            comm = proc.comm_world
+            out = np.zeros(2 * size, dtype="i4")
+            out[2 * comm.rank : 2 * comm.rank + 2] = [comm.rank, comm.rank * 7]
+            user_allgather(comm, out, 2, repro.INT)
+            return out.tolist()
+
+        expect = []
+        for r in range(size):
+            expect += [r, r * 7]
+        results = run_world(size, main, timeout=120)
+        assert all(r == expect for r in results)
+
+    def test_matches_native(self):
+        def main(proc):
+            comm = proc.comm_world
+            p, r = comm.size, comm.rank
+            native = np.zeros(p, dtype="i4")
+            comm.allgather(np.array([r * 3], dtype="i4"), native, 1, repro.INT)
+            user = np.zeros(p, dtype="i4")
+            user[r] = r * 3
+            user_allgather(comm, user, 1, repro.INT)
+            return bool(np.array_equal(native, user))
+
+        assert all(run_world(5, main, timeout=120))
+
+    def test_nonblocking_overlap(self):
+        def main(proc):
+            comm = proc.comm_world
+            out = np.zeros(comm.size, dtype="i4")
+            out[comm.rank] = comm.rank + 1
+            req = user_iallgather(comm, out, 1, repro.INT)
+            acc = sum(range(500))  # overlap with "compute"
+            proc.wait(req)
+            assert list(out) == list(range(1, comm.size + 1))
+            return acc
+
+        assert run_world(4, main, timeout=60) == [124750] * 4

@@ -1,0 +1,141 @@
+"""User-level allreduce (Listing 1.8): correctness vs native, all sizes."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.comm import IN_PLACE
+from repro.errors import InvalidArgumentError
+from repro.runtime import run_world
+from repro.usercoll import my_allreduce, my_iallreduce, user_allreduce
+
+
+class TestMyAllreduceFaithful:
+    """Listing 1.8 restrictions: IN_PLACE, INT, SUM, power-of-two."""
+
+    @pytest.mark.parametrize("size", [1, 2, 4, 8])
+    def test_listing(self, size):
+        def main(proc):
+            comm = proc.comm_world
+            buf = np.array([comm.rank + 1], dtype="i4")
+            my_allreduce(comm, IN_PLACE, buf, 1, repro.INT, repro.SUM)
+            return int(buf[0])
+
+        expect = size * (size + 1) // 2
+        assert run_world(size, main, timeout=60) == [expect] * size
+
+    def test_rejects_non_in_place(self):
+        def main(proc):
+            with pytest.raises(InvalidArgumentError):
+                my_allreduce(
+                    proc.comm_world,
+                    np.zeros(1, "i4"),
+                    np.zeros(1, "i4"),
+                    1,
+                )
+            return "ok"
+
+        assert run_world(2, main, timeout=60) == ["ok", "ok"]
+
+    def test_rejects_non_pof2(self):
+        def main(proc):
+            with pytest.raises(InvalidArgumentError):
+                my_allreduce(proc.comm_world, IN_PLACE, np.zeros(1, "i4"), 1)
+            return "ok"
+
+        assert run_world(3, main, timeout=60) == ["ok", "ok", "ok"]
+
+
+class TestUserAllreduceGeneralized:
+    @pytest.mark.parametrize("size", [1, 2, 3, 5, 6, 8])
+    def test_any_size_sum(self, size):
+        def main(proc):
+            comm = proc.comm_world
+            buf = np.array([comm.rank + 1, 100], dtype="i4")
+            req = user_allreduce(comm, buf, 2, repro.INT, repro.SUM)
+            proc.wait(req)
+            return (int(buf[0]), int(buf[1]))
+
+        expect = (size * (size + 1) // 2, 100 * size)
+        assert run_world(size, main, timeout=120) == [expect] * size
+
+    @pytest.mark.parametrize("size", [2, 5])
+    def test_max_op(self, size):
+        def main(proc):
+            comm = proc.comm_world
+            buf = np.array([float(comm.rank)], dtype="f8")
+            req = user_allreduce(comm, buf, 1, repro.DOUBLE, repro.MAX)
+            proc.wait(req)
+            return buf[0]
+
+        assert run_world(size, main, timeout=60) == [float(size - 1)] * size
+
+    @pytest.mark.parametrize("size", [2, 3, 4])
+    def test_non_commutative(self, size):
+        """Rank-ordered 2x2 matmul through the user-level path."""
+
+        def kernel(s, d):
+            a = s.reshape(2, 2).astype("i8")
+            b = d.reshape(2, 2).astype("i8")
+            d.reshape(2, 2)[:] = a @ b
+            return d
+
+        op = repro.user_op(kernel, name="MM", commutative=False)
+
+        def main(proc):
+            comm = proc.comm_world
+            r = comm.rank
+            buf = np.array([[1, r + 1], [0, 1]], dtype="i8").reshape(4)
+            req = user_allreduce(comm, buf, 4, repro.INT64, op)
+            proc.wait(req)
+            return buf.tolist()
+
+        results = run_world(size, main, timeout=60)
+        expect = np.eye(2, dtype="i8")
+        for r in range(size):
+            expect = expect @ np.array([[1, r + 1], [0, 1]], dtype="i8")
+        for got in results:
+            assert got == expect.reshape(4).tolist()
+
+    def test_matches_native(self):
+        """User-level and native allreduce produce identical results on
+        the same random vectors."""
+
+        def main(proc):
+            comm = proc.comm_world
+            rng = np.random.default_rng(comm.rank)
+            vec = rng.integers(-100, 100, size=64).astype("i4")
+            native = np.zeros(64, dtype="i4")
+            comm.allreduce(vec, native, 64, repro.INT)
+            user = vec.copy()
+            req = user_allreduce(comm, user, 64, repro.INT, repro.SUM)
+            proc.wait(req)
+            return bool(np.array_equal(native, user))
+
+        assert all(run_world(5, main, timeout=120))
+
+
+class TestMyIallreduceGrequest:
+    def test_generalized_request_handle(self):
+        def main(proc):
+            comm = proc.comm_world
+            buf = np.array([comm.rank + 1], dtype="i4")
+            greq = my_iallreduce(comm, buf, 1, repro.INT, repro.SUM)
+            assert isinstance(greq, repro.GeneralizedRequest)
+            proc.wait(greq)  # MPI_Wait on the grequest (Listing 1.7 style)
+            return int(buf[0])
+
+        assert run_world(4, main, timeout=60) == [10, 10, 10, 10]
+
+    def test_request_is_complete_polling(self):
+        """Synchronize via the side-effect-free query + explicit progress."""
+
+        def main(proc):
+            comm = proc.comm_world
+            buf = np.array([1], dtype="i4")
+            greq = my_iallreduce(comm, buf, 1, repro.INT, repro.SUM)
+            while not repro.request_is_complete(greq):
+                proc.stream_progress(repro.STREAM_NULL)
+            return int(buf[0])
+
+        assert run_world(4, main, timeout=60) == [4, 4, 4, 4]

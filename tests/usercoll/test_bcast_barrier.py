@@ -1,0 +1,90 @@
+"""User-level bcast and barrier built on the MPIX extension APIs."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.runtime import run_world
+from repro.usercoll import user_barrier, user_bcast, user_ibarrier, user_ibcast
+
+
+class TestUserBcast:
+    @pytest.mark.parametrize("size", [1, 2, 3, 5, 8])
+    @pytest.mark.parametrize("root_kind", ["zero", "last"])
+    def test_bcast(self, size, root_kind):
+        root = 0 if root_kind == "zero" else size - 1
+
+        def main(proc):
+            comm = proc.comm_world
+            buf = np.zeros(4, dtype="f8")
+            if comm.rank == root:
+                buf[:] = [1.5, 2.5, 3.5, 4.5]
+            user_bcast(comm, buf, 4, repro.DOUBLE, root)
+            return buf.tolist()
+
+        results = run_world(size, main, timeout=60)
+        assert all(r == [1.5, 2.5, 3.5, 4.5] for r in results)
+
+    def test_nonblocking_handle(self):
+        def main(proc):
+            comm = proc.comm_world
+            buf = np.zeros(1, dtype="i4")
+            if comm.rank == 0:
+                buf[0] = 9
+            req = user_ibcast(comm, buf, 1, repro.INT, 0)
+            proc.wait(req)
+            return int(buf[0])
+
+        assert run_world(4, main, timeout=60) == [9, 9, 9, 9]
+
+    def test_matches_native_bcast(self):
+        def main(proc):
+            comm = proc.comm_world
+            a = np.zeros(16, dtype="i4")
+            b = np.zeros(16, dtype="i4")
+            if comm.rank == 1:
+                a[:] = np.arange(16)
+                b[:] = np.arange(16)
+            comm.bcast(a, 16, repro.INT, 1)
+            user_bcast(comm, b, 16, repro.INT, 1)
+            return bool(np.array_equal(a, b))
+
+        assert all(run_world(6, main, timeout=60))
+
+
+class TestUserBarrier:
+    @pytest.mark.parametrize("size", [1, 2, 3, 7])
+    def test_completes(self, size):
+        def main(proc):
+            user_barrier(proc.comm_world)
+            return "ok"
+
+        assert run_world(size, main, timeout=60) == ["ok"] * size
+
+    def test_synchronizes(self):
+        """Rank 0 sets a flag before its barrier; others must observe it
+        after theirs."""
+        import threading
+
+        flag = threading.Event()
+
+        def main(proc):
+            comm = proc.comm_world
+            if comm.rank == 0:
+                flag.set()
+            user_barrier(comm)
+            return flag.is_set()
+
+        assert all(run_world(4, main, timeout=60))
+
+    def test_nonblocking_with_overlap(self):
+        """ibarrier + computation + wait (the overlap pattern)."""
+
+        def main(proc):
+            comm = proc.comm_world
+            req = user_ibarrier(comm)
+            acc = sum(range(1000))  # computation while barrier progresses
+            proc.wait(req)
+            return acc
+
+        assert run_world(4, main, timeout=60) == [499500] * 4

@@ -1,0 +1,69 @@
+"""Atomic primitives under concurrency."""
+
+import threading
+
+from repro.util.atomic import AtomicCounter, AtomicFlag
+
+
+class TestAtomicFlag:
+    def test_initial_state(self):
+        assert not AtomicFlag().is_set()
+        assert AtomicFlag(True).is_set()
+
+    def test_set_clear(self):
+        flag = AtomicFlag()
+        flag.set()
+        assert flag.is_set()
+        assert bool(flag)
+        flag.clear()
+        assert not flag.is_set()
+
+    def test_visible_across_threads(self):
+        flag = AtomicFlag()
+        seen = threading.Event()
+
+        def watcher():
+            while not flag.is_set():
+                pass
+            seen.set()
+
+        t = threading.Thread(target=watcher, daemon=True)
+        t.start()
+        flag.set()
+        assert seen.wait(5.0)
+        t.join()
+
+
+class TestAtomicCounter:
+    def test_add_sub(self):
+        c = AtomicCounter(10)
+        assert c.add(5) == 15
+        assert c.sub(3) == 12
+        assert c.value == 12
+
+    def test_exchange(self):
+        c = AtomicCounter(1)
+        assert c.exchange(42) == 1
+        assert c.value == 42
+
+    def test_compare_exchange(self):
+        c = AtomicCounter(7)
+        assert c.compare_exchange(7, 8) is True
+        assert c.value == 8
+        assert c.compare_exchange(7, 9) is False
+        assert c.value == 8
+
+    def test_concurrent_increments_do_not_lose_updates(self):
+        c = AtomicCounter()
+        n_threads, per_thread = 8, 5000
+
+        def bump():
+            for _ in range(per_thread):
+                c.add(1)
+
+        threads = [threading.Thread(target=bump) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == n_threads * per_thread

@@ -1,0 +1,112 @@
+"""Clock behaviour: monotonicity, virtual advancing, deadline handling."""
+
+import threading
+
+import pytest
+
+from repro.util.clock import MonotonicClock, VirtualClock, busy_wait_until
+
+
+class TestMonotonicClock:
+    def test_starts_near_zero(self):
+        clock = MonotonicClock()
+        assert 0.0 <= clock.now() < 0.1
+
+    def test_monotonic(self):
+        clock = MonotonicClock()
+        samples = [clock.now() for _ in range(100)]
+        assert samples == sorted(samples)
+
+    def test_idle_advance_is_noop(self):
+        clock = MonotonicClock()
+        assert clock.idle_advance() is False
+
+    def test_register_deadline_is_noop(self):
+        clock = MonotonicClock()
+        clock.register_deadline(clock.now() + 100.0)  # must not raise
+
+    def test_busy_wait_until(self):
+        clock = MonotonicClock()
+        target = clock.now() + 0.001
+        busy_wait_until(clock, target)
+        assert clock.now() >= target
+
+
+class TestVirtualClock:
+    def test_starts_at_given_time(self):
+        assert VirtualClock().now() == 0.0
+        assert VirtualClock(5.0).now() == 5.0
+
+    def test_advance(self):
+        clock = VirtualClock()
+        clock.advance(1.5)
+        assert clock.now() == 1.5
+        clock.advance(0.0)
+        assert clock.now() == 1.5
+
+    def test_advance_negative_rejected(self):
+        clock = VirtualClock()
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+    def test_advance_to_never_goes_backwards(self):
+        clock = VirtualClock(10.0)
+        clock.advance_to(5.0)
+        assert clock.now() == 10.0
+        clock.advance_to(12.0)
+        assert clock.now() == 12.0
+
+    def test_idle_advance_jumps_to_earliest_deadline(self):
+        clock = VirtualClock()
+        clock.register_deadline(3.0)
+        clock.register_deadline(1.0)
+        clock.register_deadline(2.0)
+        assert clock.idle_advance() is True
+        assert clock.now() == 1.0
+        assert clock.idle_advance() is True
+        assert clock.now() == 2.0
+        assert clock.idle_advance() is True
+        assert clock.now() == 3.0
+        assert clock.idle_advance() is False
+
+    def test_idle_advance_without_deadlines(self):
+        clock = VirtualClock()
+        assert clock.idle_advance() is False
+        assert clock.now() == 0.0
+
+    def test_matured_deadlines_are_pruned(self):
+        clock = VirtualClock()
+        clock.register_deadline(1.0)
+        clock.advance(2.0)
+        assert clock.pending_deadlines() == 0
+        assert clock.idle_advance() is False
+
+    def test_idle_advance_stays_when_deadline_now(self):
+        """A deadline exactly at `now` counts as matured, not future."""
+        clock = VirtualClock(1.0)
+        clock.register_deadline(1.0)
+        assert clock.idle_advance() is False
+
+    def test_busy_wait_until_advances_virtual_time(self):
+        clock = VirtualClock()
+        busy_wait_until(clock, 7.25)
+        assert clock.now() == 7.25
+
+    def test_thread_safe_registration(self):
+        clock = VirtualClock()
+
+        def register(base):
+            for i in range(500):
+                clock.register_deadline(base + i + 1.0)  # strictly future
+
+        threads = [threading.Thread(target=register, args=(t * 1000,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert clock.pending_deadlines() == 2000
+        # Deadlines come out in order.
+        prev = -1.0
+        while clock.idle_advance():
+            assert clock.now() > prev
+            prev = clock.now()

@@ -1,0 +1,125 @@
+"""Latency statistics: accumulation, percentiles, series tables."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.stats import LatencyRecorder, Series, format_series_table
+
+
+class TestLatencyRecorder:
+    def test_empty(self):
+        rec = LatencyRecorder()
+        assert rec.count == 0
+        assert math.isnan(rec.mean)
+        assert math.isnan(rec.min)
+        assert math.isnan(rec.percentile(50))
+
+    def test_single_sample(self):
+        rec = LatencyRecorder()
+        rec.add(2.5)
+        assert rec.count == 1
+        assert rec.mean == 2.5
+        assert rec.min == rec.max == 2.5
+        assert rec.median == 2.5
+        assert rec.variance == 0.0
+
+    def test_known_statistics(self):
+        rec = LatencyRecorder()
+        for x in [1.0, 2.0, 3.0, 4.0, 5.0]:
+            rec.add(x)
+        assert rec.mean == pytest.approx(3.0)
+        assert rec.variance == pytest.approx(2.5)
+        assert rec.stddev == pytest.approx(math.sqrt(2.5))
+        assert rec.min == 1.0
+        assert rec.max == 5.0
+        assert rec.median == 3.0
+        assert rec.percentile(0) == 1.0
+        assert rec.percentile(100) == 5.0
+        assert rec.percentile(25) == 2.0
+
+    def test_percentile_bounds(self):
+        rec = LatencyRecorder()
+        rec.add(1.0)
+        with pytest.raises(ValueError):
+            rec.percentile(-1)
+        with pytest.raises(ValueError):
+            rec.percentile(101)
+
+    def test_merge(self):
+        a, b = LatencyRecorder(), LatencyRecorder()
+        for x in (1.0, 2.0):
+            a.add(x)
+        for x in (3.0, 4.0):
+            b.add(x)
+        a.merge(b)
+        assert a.count == 4
+        assert a.mean == pytest.approx(2.5)
+
+    def test_keep_cap_bounds_memory(self):
+        rec = LatencyRecorder(keep=10)
+        for i in range(100):
+            rec.add(float(i))
+        assert rec.count == 100
+        assert len(rec._samples) == 10
+        # Welford stats still exact despite the sample cap.
+        assert rec.mean == pytest.approx(49.5)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=200))
+    def test_mean_matches_naive(self, xs):
+        rec = LatencyRecorder()
+        for x in xs:
+            rec.add(x)
+        assert rec.mean == pytest.approx(sum(xs) / len(xs), rel=1e-9, abs=1e-9)
+        assert rec.min == min(xs)
+        assert rec.max == max(xs)
+
+    @given(
+        st.lists(st.floats(min_value=-1e3, max_value=1e3), min_size=2, max_size=100),
+        st.floats(min_value=0, max_value=100),
+    )
+    def test_percentile_within_range(self, xs, p):
+        rec = LatencyRecorder()
+        for x in xs:
+            rec.add(x)
+        value = rec.percentile(p)
+        assert min(xs) <= value <= max(xs)
+
+
+class TestSeries:
+    def test_point_reuse(self):
+        s = Series("curve")
+        s.add(1, 10e-6)
+        s.add(1, 20e-6)
+        s.add(2, 30e-6)
+        assert s.xs() == [1, 2]
+        assert s.means_us() == pytest.approx([15.0, 30.0])
+
+    def test_medians(self):
+        s = Series("curve")
+        for v in (1e-6, 2e-6, 9e-6):
+            s.add(5, v)
+        assert s.medians_us() == pytest.approx([2.0])
+
+    def test_table_formatting(self):
+        a = Series("alpha", xlabel="n")
+        b = Series("beta", xlabel="n")
+        for x in (1, 2):
+            a.add(x, x * 1e-6)
+            b.add(x, x * 2e-6)
+        table = format_series_table([a, b])
+        lines = table.splitlines()
+        assert "alpha" in lines[0] and "beta" in lines[0] and "n" in lines[0]
+        assert len(lines) == 4  # header, rule, two rows
+
+    def test_table_mismatched_x_rejected(self):
+        a = Series("alpha")
+        b = Series("beta")
+        a.add(1, 1e-6)
+        b.add(2, 1e-6)
+        with pytest.raises(ValueError):
+            format_series_table([a, b])
+
+    def test_empty_table(self):
+        assert format_series_table([]) == "(no data)"

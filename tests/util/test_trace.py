@@ -1,0 +1,47 @@
+"""Tracer: filtering, disabled fast path."""
+
+from repro.util.trace import Tracer
+
+
+class TestTracer:
+    def test_disabled_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        tracer.record(0.0, "send", msg=1)
+        assert len(tracer) == 0
+
+    def test_enabled_records(self):
+        tracer = Tracer(enabled=True)
+        tracer.record(1.0, "send", msg=1, nbytes=64)
+        tracer.record(2.0, "recv", msg=1)
+        assert len(tracer) == 2
+        assert tracer.count("send") == 1
+        assert tracer.count("recv") == 1
+
+    def test_field_filtering(self):
+        tracer = Tracer(enabled=True)
+        for i in range(5):
+            tracer.record(float(i), "send", msg=i % 2)
+        assert tracer.count("send", msg=0) == 3
+        assert tracer.count("send", msg=1) == 2
+        assert tracer.count("send", msg=9) == 0
+
+    def test_event_access(self):
+        tracer = Tracer(enabled=True)
+        tracer.record(3.5, "cts", msg_id=7)
+        (event,) = tracer.events("cts")
+        assert event.time == 3.5
+        assert event["msg_id"] == 7
+
+    def test_clear(self):
+        tracer = Tracer(enabled=True)
+        tracer.record(0.0, "x")
+        tracer.clear()
+        assert len(tracer) == 0
+
+    def test_toggle_mid_run(self):
+        tracer = Tracer(enabled=False)
+        tracer.record(0.0, "a")
+        tracer.enabled = True
+        tracer.record(0.0, "b")
+        assert tracer.count("a") == 0
+        assert tracer.count("b") == 1
