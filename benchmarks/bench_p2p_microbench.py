@@ -8,7 +8,6 @@ only variables.
 """
 
 import numpy as np
-import pytest
 
 import repro
 from repro.runtime.world import World

@@ -9,7 +9,9 @@ matching the paper's metric (section 4).
 
 from repro.bench.harness import (
     measure_allreduce_latency,
+    measure_idle_pass_fastpath,
     measure_lock_isolation,
+    measure_match_latency,
     measure_message_modes,
     measure_overlap_remedies,
     measure_pending_tasks_latency,
@@ -19,11 +21,13 @@ from repro.bench.harness import (
     measure_task_class_latency,
     measure_thread_contention_latency,
 )
-from repro.bench.reporting import print_figure
+from repro.bench.reporting import print_figure, print_rows, record_bench_json
 from repro.bench.workloads import DummyTaskBatch
 
 __all__ = [
     "DummyTaskBatch",
+    "measure_idle_pass_fastpath",
+    "measure_match_latency",
     "measure_pending_tasks_latency",
     "measure_poll_overhead_latency",
     "measure_thread_contention_latency",
@@ -35,4 +39,6 @@ __all__ = [
     "measure_message_modes",
     "measure_overlap_remedies",
     "print_figure",
+    "print_rows",
+    "record_bench_json",
 ]

@@ -22,6 +22,8 @@ from repro.util.clock import VirtualClock
 from repro.util.stats import LatencyRecorder, Series
 
 __all__ = [
+    "measure_idle_pass_fastpath",
+    "measure_match_latency",
     "measure_pending_tasks_latency",
     "measure_poll_overhead_latency",
     "measure_thread_contention_latency",
@@ -33,6 +35,99 @@ __all__ = [
     "measure_message_modes",
     "measure_overlap_remedies",
 ]
+
+
+# ----------------------------------------------------------------------
+# Fast-path ablation — pending-work registry and bucketed matching.
+# ----------------------------------------------------------------------
+
+def _fastpath_proc(registry: bool, busy_collective: bool) -> Proc:
+    """Rank 0 of a virtual world prepared for idle-pass timing.
+
+    With ``busy_collective`` a collective schedule blocked on a receive
+    that never arrives is submitted, so the collective subsystem reports
+    work forever while datatype, shmem and netmod stay idle — a pass
+    with 3 of 4 subsystems idle that never makes progress.  Without it
+    every subsystem is idle (the common steady-state pass).
+    """
+    cfg = RuntimeConfig(use_shmem=False, progress_registry_skip=registry)
+    world = World(2, clock=VirtualClock(), config=cfg)
+    p0 = world.proc(0)
+    if busy_collective:
+        from repro.coll.sched import Sched
+
+        sched = Sched(p0.p2p, 0, context_id=999, tag=0)
+        sched.add_recv(1, np.zeros(1, dtype="i4"), 1, repro.INT)
+        p0.coll_engine.submit(sched)
+    return p0
+
+
+def measure_idle_pass_fastpath(
+    *, passes: int = 20_000, repeats: int = 5
+) -> dict[str, dict[str, float]]:
+    """Per-pass cost of ``run_locked`` on passes that find no progress.
+
+    Two scenarios, registry on vs off: ``all_idle`` (every subsystem
+    idle — the pass the registry collapses to a few integer reads) and
+    ``three_idle_one_busy`` (a blocked collective schedule keeps one
+    subsystem busy; the registry still skips the other three).  Times
+    the engine pass itself (no stream lock or wrapper bookkeeping),
+    best-of-``repeats``; each scenario reports microseconds per pass
+    for both modes plus the seed/registry speedup.
+    """
+    results: dict[str, dict[str, float]] = {}
+    for scenario, busy_collective in (
+        ("all_idle", False),
+        ("three_idle_one_busy", True),
+    ):
+        out: dict[str, float] = {}
+        for label, registry in (("registry_us", True), ("seed_us", False)):
+            p0 = _fastpath_proc(registry, busy_collective)
+            run = p0.progress_engine.run_locked
+            stream = p0.default_stream
+            best = float("inf")
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                for _ in range(passes):
+                    run(stream)
+                best = min(best, time.perf_counter() - t0)
+            out[label] = best / passes * 1e6
+        out["speedup"] = out["seed_us"] / out["registry_us"]
+        results[scenario] = out
+    return results
+
+
+def measure_match_latency(
+    depths: list[int], *, iters: int = 2_000, repeats: int = 5
+) -> list[dict]:
+    """Posted-queue match latency vs queue depth, bucketed vs list scan.
+
+    The queue is filled with ``depth`` receives on distinct concrete
+    ``(ctx, src, tag)`` signatures; the timed operation matches (and
+    re-posts) the LAST posted signature — the linear scan's worst case
+    and the bucketed queue's ordinary one-dict-lookup case.  Returns one
+    row per depth with best-of-``repeats`` per-match microseconds.
+    """
+    from repro.p2p.matching import ListPostedQueue, PostedQueue
+
+    rows: list[dict] = []
+    for depth in depths:
+        row: dict = {"depth": depth}
+        for label, cls in (("bucketed_us", PostedQueue), ("list_us", ListPostedQueue)):
+            queue = cls()
+            for i in range(depth):
+                queue.post(0, i, 0, object())
+            last = depth - 1
+            best = float("inf")
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                for _ in range(iters):
+                    entry = queue.match(0, last, 0)
+                    queue.post(0, last, 0, entry)
+                best = min(best, time.perf_counter() - t0)
+            row[label] = best / iters * 1e6
+        rows.append(row)
+    return rows
 
 
 # ----------------------------------------------------------------------

@@ -7,9 +7,26 @@ as a side-by-side reproduction record.
 
 from __future__ import annotations
 
+import json
+import os
+
 from repro.util.stats import Series, format_series_table
 
-__all__ = ["print_figure", "print_rows"]
+__all__ = ["print_figure", "print_rows", "record_bench_json"]
+
+
+def record_bench_json(filename: str, payload: dict) -> str:
+    """Write a benchmark's result payload as pretty JSON.
+
+    Relative filenames land in the current working directory (the repo
+    root when run via pytest), matching the tracked ``BENCH_*.json``
+    reproduction records.  Returns the absolute path written.
+    """
+    path = os.path.abspath(filename)
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return path
 
 
 def print_figure(

@@ -55,7 +55,7 @@ def build_allgatherv_ring(
     for step in range(size - 1):
         send_block = (rank - step + size) % size
         recv_block = (rank - step - 1 + size) % size
-        send = sched.add_send(
+        sched.add_send(
             right,
             _view(recvbuf, datatype, displs[send_block], counts[send_block]),
             counts[send_block] * esize,

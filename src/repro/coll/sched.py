@@ -257,11 +257,15 @@ class CollSchedEngine:
 
         # Per-VCI schedule lists.  Each list is only mutated under its
         # stream's lock; the dict itself is guarded for concurrent
-        # first-use from different streams.
+        # first-use from different streams.  The list OBJECT per VCI is
+        # stable for the engine's lifetime (mutated in place, never
+        # rebound) so the progress engine's pending-work registry can
+        # hold a direct reference and test its truthiness.
         self._active: dict[int, list[Sched]] = {}
         self._dict_lock = threading.Lock()
 
-    def _list_for(self, vci: int) -> list[Sched]:
+    def work_list(self, vci: int) -> list[Sched]:
+        """The stable active-schedule list for ``vci`` (registry hook)."""
         lst = self._active.get(vci)
         if lst is None:
             with self._dict_lock:
@@ -275,7 +279,7 @@ class CollSchedEngine:
         """
         req = sched.start()
         if not sched.done:
-            self._list_for(sched.vci).append(sched)
+            self.work_list(sched.vci).append(sched)
         return req
 
     @property
@@ -294,11 +298,10 @@ class CollSchedEngine:
         if not scheds:
             return False
         made = False
-        still: list[Sched] = []
         for sched in scheds:
             if sched.progress():
                 made = True
-            if not sched.done:
-                still.append(sched)
-        self._active[vci] = still
+        still = [sched for sched in scheds if not sched.done]
+        if len(still) != len(scheds):
+            scheds[:] = still
         return made

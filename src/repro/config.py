@@ -132,6 +132,26 @@ class RuntimeConfig:
     #: point-to-point traffic; when False everything goes via netmod.
     use_shmem: bool = True
 
+    #: When True, a progress pass consults the per-VCI pending-work
+    #: registry and skips subsystems whose active counters are zero, so
+    #: the common idle pass costs a few integer reads instead of four
+    #: subsystem polls (section 2.6's "empty polls are not free").
+    #: Exposed so the fast-path benchmark can measure the seed behaviour.
+    progress_registry_skip: bool = True
+
+    # ------------------------------------------------------------------
+    # Wait backoff (MPI_Wait* completion loops).
+    # ------------------------------------------------------------------
+    #: Number of consecutive empty progress passes a wait loop spins
+    #: through at full speed before it starts yielding the CPU.  Spinning
+    #: catches imminent completions at minimum latency; the backoff keeps
+    #: multi-thread-rank runs from burning whole cores on empty polls.
+    wait_spin_count: int = 32
+
+    #: Once past the spin phase, yield the CPU on every Nth empty pass
+    #: (1 = every empty pass, matching the pre-backoff behaviour).
+    wait_yield_interval: int = 1
+
     # ------------------------------------------------------------------
     # World / topology.
     # ------------------------------------------------------------------
@@ -164,6 +184,10 @@ class RuntimeConfig:
             raise ValueError("datatype_chunk_size must be positive")
         if self.ranks_per_node <= 0:
             raise ValueError("ranks_per_node must be positive")
+        if self.wait_spin_count < 0:
+            raise ValueError("wait_spin_count must be >= 0")
+        if self.wait_yield_interval <= 0:
+            raise ValueError("wait_yield_interval must be positive")
         if self.allreduce_algorithm not in (
             "auto",
             "recursive_doubling",

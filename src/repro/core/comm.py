@@ -620,7 +620,6 @@ class Comm:
             sched, self.rank, self.size, 0, accbuf, tmpbufs, total, datatype, op
         )
         reduce_deps = [v.index for v in sched.vertices]
-        counts = [count] * self.size
         displs = [i * count for i in range(self.size)]
         if self.rank == 0:
             # scatter accbuf blocks; sends must wait for the reduction.

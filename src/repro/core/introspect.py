@@ -27,6 +27,8 @@ class StreamStats:
     vci: int
     is_default: bool
     progress_calls: int
+    subsystem_polls: int
+    skipped_polls: int
     pending_async_tasks: int
     inbox_tasks: int
     lock_acquires: int
@@ -46,6 +48,7 @@ class ProgressSnapshot:
     rank: int
     engine_passes: int
     subsystem_polls: int
+    skipped_polls: int
     pending_async_tasks: int
     datatype_active_tasks: int
     collective_active_scheds: int
@@ -58,6 +61,7 @@ class ProgressSnapshot:
             f"progress report — rank {self.rank}",
             f"  engine passes       : {self.engine_passes}",
             f"  subsystem polls     : {self.subsystem_polls}",
+            f"  skipped polls       : {self.skipped_polls}",
             f"  pending async tasks : {self.pending_async_tasks}",
             f"  datatype tasks      : {self.datatype_active_tasks}",
             f"  active schedules    : {self.collective_active_scheds}",
@@ -67,6 +71,7 @@ class ProgressSnapshot:
             name = "STREAM_NULL" if s.is_default else f"stream#{s.stream_id}"
             lines.append(
                 f"    {name:>12} vci={s.vci} calls={s.progress_calls} "
+                f"polls={s.subsystem_polls} skipped={s.skipped_polls} "
                 f"tasks={s.pending_async_tasks} "
                 f"lock_wait={s.mean_lock_wait_us:.3f}us/acq"
             )
@@ -96,6 +101,8 @@ def snapshot(proc: "Proc") -> ProgressSnapshot:
                 vci=stream.vci,
                 is_default=stream is proc.default_stream,
                 progress_calls=stream.stat_progress_calls,
+                subsystem_polls=stream.stat_subsystem_polls,
+                skipped_polls=stream.stat_skipped_polls,
                 pending_async_tasks=len(stream.async_tasks),
                 inbox_tasks=len(stream._inbox),
                 lock_acquires=stream.stat_lock_acquires,
@@ -117,6 +124,7 @@ def snapshot(proc: "Proc") -> ProgressSnapshot:
         rank=proc.rank,
         engine_passes=proc.progress_engine.stat_passes,
         subsystem_polls=proc.progress_engine.stat_subsystem_polls,
+        skipped_polls=proc.progress_engine.stat_skipped_polls,
         pending_async_tasks=proc.pending_async_tasks,
         datatype_active_tasks=proc.datatype_engine.active_tasks,
         collective_active_scheds=proc.coll_engine.active_count,

@@ -252,6 +252,37 @@ class Proc:
         if not self.clock.idle_advance():
             self.clock.yield_cpu()
 
+    def _progress_until(self, done, stream: MpixStream | StreamNullType) -> None:
+        """Drive progress until ``done()``; adaptive spin-then-yield backoff.
+
+        All blocking MPI_Wait* variants funnel through this loop.  An
+        empty pass first tries :meth:`Clock.idle_advance` (virtual-clock
+        worlds jump to the next deadline, so tests stay instantaneous).
+        On a real clock the loop spins through ``wait_spin_count``
+        consecutive empty passes at full speed — an imminent completion
+        is caught at minimum latency — then yields the CPU every
+        ``wait_yield_interval``-th empty pass so co-located rank threads
+        are not starved by a hot wait loop.  Any progress, completion,
+        or virtual-time jump resets the backoff.
+        """
+        cfg = self.config
+        spin = cfg.wait_spin_count
+        interval = cfg.wait_yield_interval
+        clock = self.clock
+        idle = 0
+        while not done():
+            if self.stream_progress(stream):
+                idle = 0
+                continue
+            if done():
+                return
+            if clock.idle_advance():
+                idle = 0
+                continue
+            idle += 1
+            if idle > spin and (idle - spin) % interval == 0:
+                clock.yield_cpu()
+
     def _finish_wait(self, request: Request) -> None:
         if request.status.error:
             raise TruncationError(
@@ -277,10 +308,7 @@ class Proc:
         stream: MpixStream | StreamNullType = STREAM_NULL,
     ) -> Request:
         """MPI_Wait: progress until ``request`` completes."""
-        while not request.is_complete():
-            made = self.stream_progress(stream)
-            if not made and not request.is_complete():
-                self.idle_wait()
+        self._progress_until(request.is_complete, stream)
         self._finish_wait(request)
         return request
 
@@ -290,12 +318,14 @@ class Proc:
         stream: MpixStream | StreamNullType = STREAM_NULL,
     ) -> None:
         """MPI_Waitall over ``requests``."""
+        requests = list(requests)
         pending = [r for r in requests if not r.is_complete()]
-        while pending:
-            made = self.stream_progress(stream)
-            pending = [r for r in pending if not r.is_complete()]
-            if pending and not made:
-                self.idle_wait()
+
+        def all_done() -> bool:
+            pending[:] = [r for r in pending if not r.is_complete()]
+            return not pending
+
+        self._progress_until(all_done, stream)
         # surface any truncation error after everything finished
         for r in requests:
             self._finish_wait(r)
@@ -306,13 +336,14 @@ class Proc:
         stream: MpixStream | StreamNullType = STREAM_NULL,
     ) -> int:
         """MPI_Waitany: index of the first request to complete."""
-        while True:
-            for i, r in enumerate(requests):
-                if r.is_complete():
-                    self._finish_wait(r)
-                    return i
-            if not self.stream_progress(stream):
-                self.idle_wait()
+        self._progress_until(
+            lambda: any(r.is_complete() for r in requests), stream
+        )
+        for i, r in enumerate(requests):
+            if r.is_complete():
+                self._finish_wait(r)
+                return i
+        raise AssertionError("unreachable: waitany finished with none complete")
 
     def testall(
         self,
@@ -362,14 +393,13 @@ class Proc:
     ) -> list[int]:
         """MPI_Waitsome: progress until at least one completes; returns
         the indices of everything complete at that point."""
-        while True:
-            done = [i for i, r in enumerate(requests) if r.is_complete()]
-            if done:
-                for i in done:
-                    self._finish_wait(requests[i])
-                return done
-            if not self.stream_progress(stream):
-                self.idle_wait()
+        self._progress_until(
+            lambda: any(r.is_complete() for r in requests), stream
+        )
+        done = [i for i, r in enumerate(requests) if r.is_complete()]
+        for i in done:
+            self._finish_wait(requests[i])
+        return done
 
     @staticmethod
     def start(request) -> None:

@@ -14,6 +14,16 @@ polls the stream's MPIX async hooks.  Hooks are polled on *every* pass,
 never short-circuited away: they watch external events, and delaying
 them is exactly the progress latency the paper is trying to eliminate.
 
+Pending-work registry: each subsystem maintains a cheap active counter
+(``DatatypeEngine.active_tasks``, the collective engine's per-VCI work
+list, the shmem transport's per-address send/cell counters, the netmod
+endpoint's pending count).  When ``RuntimeConfig.progress_registry_skip``
+is on (the default), a pass first evaluates a per-VCI *busy check* — a
+bound closure doing a few integer reads — and polls only the subsystems
+that report work.  The common fully idle pass therefore does no
+subsystem calls at all; ``stat_skipped_polls`` counts the polls avoided
+(per engine and per stream, surfaced by :mod:`repro.core.introspect`).
+
 Thread model: a pass runs under the stream's lock.  Re-entering
 progress from inside a hook on the same thread raises
 :class:`~repro.errors.ProgressReentryError` (section 3.4 prohibits it);
@@ -66,8 +76,22 @@ class ProgressEngine:
             "shmem": self._poll_shmem,
             "netmod": self._poll_netmod,
         }
+        self._order: tuple[str, ...] = tuple(self.config.progress_order)
+        self._short_circuit = self.config.progress_short_circuit
+        self._registry_on = self.config.progress_registry_skip
+        #: busy-check closures emit names in the canonical order; when
+        #: the configured order matches, their result is polled directly
+        self._canonical_order = self._order == (
+            "datatype",
+            "collective",
+            "shmem",
+            "netmod",
+        )
+        #: per-VCI busy-check closures (pending-work registry)
+        self._busy_checks: dict[int, Callable[[], list[str] | None]] = {}
         self.stat_passes = 0
         self.stat_subsystem_polls = 0
+        self.stat_skipped_polls = 0
 
     # ------------------------------------------------------------------
     # Subsystem pollers.
@@ -85,23 +109,122 @@ class ProgressEngine:
         return self.proc.p2p.progress_netmod(stream.vci)
 
     # ------------------------------------------------------------------
+    # Pending-work registry.
+    # ------------------------------------------------------------------
+    def _make_busy_check(self, vci: int) -> Callable[[], list[str] | None]:
+        """Bind a per-VCI busy check over the subsystems' work counters.
+
+        The returned closure costs a few integer/truthiness reads and
+        returns None when every subsystem is idle (the common case), or
+        the list of subsystem names with pending work.
+        """
+        proc = self.proc
+        datatype = proc.datatype_engine
+        coll_work = proc.coll_engine.work_list(vci)
+        p2p = proc.p2p
+        endpoint = p2p.endpoint_for(vci)
+        shmem_probe = (
+            p2p.shmem.idle_probe((p2p.rank, vci))
+            if p2p.shmem is not None and self.config.use_shmem
+            else None
+        )
+
+        def busy() -> list[str] | None:
+            names: list[str] | None = None
+            if datatype.active_tasks:
+                names = ["datatype"]
+            if coll_work:
+                if names is None:
+                    names = ["collective"]
+                else:
+                    names.append("collective")
+            if shmem_probe is not None and shmem_probe():
+                if names is None:
+                    names = ["shmem"]
+                else:
+                    names.append("shmem")
+            if endpoint.pending:
+                if names is None:
+                    names = ["netmod"]
+                else:
+                    names.append("netmod")
+            return names
+
+        return busy
+
+    def busy_subsystems(self, vci: int) -> list[str]:
+        """Registry view: subsystems with pending work on ``vci``."""
+        check = self._busy_checks.get(vci)
+        if check is None:
+            check = self._busy_checks[vci] = self._make_busy_check(vci)
+        return check() or []
+
+    # ------------------------------------------------------------------
     # One pass (caller holds the stream lock).
     # ------------------------------------------------------------------
     def run_locked(self, stream: MpixStream, state: ProgressState | None = None) -> bool:
         """One collated pass for ``stream``; True if anything advanced."""
         self.stat_passes += 1
         made = False
-        skip = state.skip if state is not None else frozenset()
-        for name in self.config.progress_order:
-            if name in skip or name in stream.skip_subsystems:
-                continue
-            self.stat_subsystem_polls += 1
-            if self._pollers[name](stream):
-                made = True
-                if state is not None:
-                    state.progressed.append(name)
-                if self.config.progress_short_circuit:
-                    break
+        skip = state.skip if state is not None else None
+        if self._registry_on:
+            check = self._busy_checks.get(stream.vci)
+            if check is None:
+                check = self._busy_checks[stream.vci] = self._make_busy_check(
+                    stream.vci
+                )
+            busy = check()
+            # The registry decides the skip set for the whole pass up
+            # front: every eligible subsystem is accounted either as one
+            # poll or one skipped poll, independent of short-circuiting.
+            if skip is None and not stream.skip_subsystems:
+                to_poll = (
+                    busy
+                    if busy is None or self._canonical_order
+                    else [n for n in self._order if n in busy]
+                )
+                n_eligible = len(self._order)
+            else:
+                eligible = [
+                    n
+                    for n in self._order
+                    if not (
+                        (skip is not None and n in skip)
+                        or n in stream.skip_subsystems
+                    )
+                ]
+                to_poll = (
+                    None if busy is None else [n for n in eligible if n in busy]
+                )
+                n_eligible = len(eligible)
+            skipped = n_eligible - (0 if to_poll is None else len(to_poll))
+            if skipped:
+                self.stat_skipped_polls += skipped
+                stream.stat_skipped_polls += skipped
+            if to_poll is not None:
+                for name in to_poll:
+                    self.stat_subsystem_polls += 1
+                    stream.stat_subsystem_polls += 1
+                    if self._pollers[name](stream):
+                        made = True
+                        if state is not None:
+                            state.progressed.append(name)
+                        if self._short_circuit:
+                            break
+        else:
+            for name in self._order:
+                if (
+                    skip is not None and name in skip
+                ) or name in stream.skip_subsystems:
+                    continue
+                self.stat_subsystem_polls += 1
+                stream.stat_subsystem_polls += 1
+                if self._pollers[name](stream):
+                    made = True
+                    if state is not None:
+                        state.progressed.append(name)
+                    if self._short_circuit:
+                        break
         if self._poll_async_hooks(stream):
             made = True
             if state is not None:

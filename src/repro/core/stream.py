@@ -71,6 +71,8 @@ class MpixStream:
         "freed",
         "skip_subsystems",
         "stat_progress_calls",
+        "stat_subsystem_polls",
+        "stat_skipped_polls",
         "stat_lock_wait_s",
         "stat_lock_acquires",
     )
@@ -102,6 +104,10 @@ class MpixStream:
             skip = [s for s in skip.split(",") if s]
         self.skip_subsystems: frozenset[str] = frozenset(skip)
         self.stat_progress_calls = 0
+        #: subsystem polls issued / polls avoided by the pending-work
+        #: registry on this stream's passes (the fast-path counters).
+        self.stat_subsystem_polls = 0
+        self.stat_skipped_polls = 0
         #: cumulative wall seconds progress callers spent blocked on this
         #: stream's lock, and the number of acquisitions — the direct
         #: measure of the Fig. 9 contention mechanism.

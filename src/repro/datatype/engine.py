@@ -160,6 +160,11 @@ class DatatypeEngine:
     def active_tasks(self) -> int:
         return self._active
 
+    @property
+    def has_work(self) -> bool:
+        """Registry-shaped idle check (one int comparison, lock-free)."""
+        return self._active != 0
+
     def progress(self) -> bool:
         """Advance each active task one chunk; True if anything moved."""
         if self._active == 0:

@@ -11,7 +11,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import threading
-from typing import Any, Callable
+from typing import Callable
 
 from repro.datatype.types import as_readonly_view, as_writable_view
 from repro.util.clock import Clock

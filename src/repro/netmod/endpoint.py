@@ -118,19 +118,24 @@ class Endpoint:
         op_id = self._fabric.next_op_id()
         deadline = now + cfg.nic_alpha + nbytes * cfg.nic_beta
         arrival = now + cfg.nic_wire_delay + nbytes * cfg.nic_beta
-        prev = self._last_arrival.get(dst)
-        if prev is not None and arrival <= prev:
-            arrival = prev + 1e-12
-        self._last_arrival[dst] = arrival
         op = NicOp(op_id, nbytes, deadline, context)
-        packet = Packet(self.address, dst, dict(header), data, seq=op_id)
+        # The FIFO arrival adjustment and the stat counters share the
+        # endpoint lock with the heaps: two threads posting towards the
+        # same destination must serialize the read-adjust-write of
+        # _last_arrival or both could compute the same arrival time (and
+        # drop counter increments).
         with self._lock:
+            prev = self._last_arrival.get(dst)
+            if prev is not None and arrival <= prev:
+                arrival = prev + 1e-12
+            self._last_arrival[dst] = arrival
             heapq.heappush(self._inflight, op)
             self._pending_count += 1
+            self.stat_posted += 1
+            self.stat_bytes += nbytes
+        packet = Packet(self.address, dst, dict(header), data, seq=op_id)
         self._clock.register_deadline(deadline)
         self._fabric.deliver(packet, arrival)
-        self.stat_posted += 1
-        self.stat_bytes += nbytes
         return op
 
     # ------------------------------------------------------------------

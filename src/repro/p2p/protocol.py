@@ -196,6 +196,7 @@ class P2PEngine:
         self.config = config
         self.tracer = tracer if tracer is not None else Tracer()
         self._vcis: dict[int, VciState] = {}
+        self._endpoints: dict[int, Any] = {}
         self._msg_ids = itertools.count(1)
         #: RMA windows by win id; 'rma_*' packets route here
         self.rma_windows: dict[int, Any] = {}
@@ -207,6 +208,30 @@ class P2PEngine:
             state = VciState(vci)
             self._vcis[vci] = state
         return state
+
+    def endpoint_for(self, vci: int):
+        """This rank's netmod endpoint for ``vci`` (cached: endpoints
+        are stable objects, so the fabric lookup happens once)."""
+        ep = self._endpoints.get(vci)
+        if ep is None:
+            ep = self.fabric.endpoint(self.rank, vci)
+            self._endpoints[vci] = ep
+        return ep
+
+    # ------------------------------------------------------------------
+    # Pending-work registry checks (cheap, lock-free).
+    # ------------------------------------------------------------------
+    def netmod_has_work(self, vci: int) -> bool:
+        """Unharvested netmod completions/arrivals on this VCI?"""
+        return self.endpoint_for(vci).pending > 0
+
+    def shmem_has_work(self, vci: int) -> bool:
+        """Queued shmem sends or undelivered cells on this VCI?"""
+        return (
+            self.shmem is not None
+            and self.config.use_shmem
+            and self.shmem.has_work((self.rank, vci))
+        )
 
     def _shmem_route(self, dst_rank: int) -> bool:
         return (
@@ -660,7 +685,7 @@ class P2PEngine:
         ``Netmod_progress``); True when anything was processed."""
         state = self.vci_state(vci)
         made = False
-        endpoint = self.fabric.endpoint(self.rank, vci)
+        endpoint = self.endpoint_for(vci)
         completions, packets = endpoint.poll()
         for op in completions:
             if op.context is not None:
@@ -771,7 +796,7 @@ class P2PEngine:
         state = self.vci_state(vci)
         if state.sends or state.recvs or len(state.posted):
             return True
-        if self.fabric.endpoint(self.rank, vci).pending:
+        if self.netmod_has_work(vci):
             return True
         if self.shmem is not None and self.shmem.has_work((self.rank, vci)):
             return True

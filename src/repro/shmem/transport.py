@@ -100,8 +100,12 @@ class ShmemTransport:
         self._sends: dict[tuple[int, int], list[ShmemOp]] = {}
         self._reassembly: dict[tuple[tuple[int, int], int], _Reassembly] = {}
         self._op_counter = itertools.count(1)
-        #: lock-free idle hints per address
-        self._activity: dict[tuple[int, int], int] = {}
+        #: in-flight (pushed, not yet popped) cell counts per destination
+        #: address; incremented under the lock as chunks enter a ring and
+        #: batch-decremented by the receiver's progress, so ``has_work``
+        #: and the registry probe cost two dict reads instead of walking
+        #: every inbound channel.
+        self._cells_pending: dict[tuple[int, int], int] = {}
 
     # ------------------------------------------------------------------
     def _channel(self, src: tuple[int, int], dst: tuple[int, int]) -> RingChannel:
@@ -115,21 +119,26 @@ class ShmemTransport:
                 ch = RingChannel(src, dst, self.config.shmem_num_cells, self.clock)
                 self._channels[key] = ch
                 self._inbound.setdefault(dst, []).append(ch)
-                self._activity[dst] = self._activity.get(dst, 0)
             return ch
 
-    def _bump(self, addr: tuple[int, int]) -> None:
-        with self._lock:
-            self._activity[addr] = self._activity.get(addr, 0) + 1
-
     def has_work(self, addr: tuple[int, int]) -> bool:
-        """Cheap idle check for collated progress."""
-        if self._sends.get(addr):
-            return True
-        for ch in self._inbound.get(addr, ()):
-            if ch.pending():
-                return True
-        return False
+        """Cheap idle check for collated progress: two dict reads."""
+        return bool(self._sends.get(addr)) or self._cells_pending.get(addr, 0) > 0
+
+    def idle_probe(self, addr: tuple[int, int]):
+        """A bound zero-arg busy check for the pending-work registry.
+
+        The returned closure captures the dict getters directly so each
+        evaluation is two lookups and a comparison, with no attribute
+        traversal through the transport.
+        """
+        sends_get = self._sends.get
+        cells_get = self._cells_pending.get
+
+        def probe() -> bool:
+            return bool(sends_get(addr)) or cells_get(addr, 0) > 0
+
+        return probe
 
     # ------------------------------------------------------------------
     # Send side.
@@ -173,6 +182,8 @@ class ShmemTransport:
             )
             if not ch.try_send_cell(cell):
                 return  # backpressure: retry from shmem progress
+            with self._lock:
+                self._cells_pending[op.dst] = self._cells_pending.get(op.dst, 0) + 1
             op.offset = end
             op.chunk_index += 1
             if is_last:
@@ -225,11 +236,13 @@ class ShmemTransport:
                 self._sends[addr] = still
 
         # Receiver side: drain ready cells from every inbound channel.
+        popped = 0
         for ch in self._inbound.get(addr, ()):
             while True:
                 cell = ch.pop_ready()
                 if cell is None:
                     break
+                popped += 1
                 made = True
                 key = (ch.src, cell.msg_id)
                 if cell.chunk_index == 0:
@@ -249,6 +262,9 @@ class ShmemTransport:
                             seq=cell.msg_id,
                         )
                     )
+        if popped:
+            with self._lock:
+                self._cells_pending[addr] = self._cells_pending.get(addr, 0) - popped
         if completions:
             made = True
         return completions, packets, made

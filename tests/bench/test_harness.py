@@ -1,6 +1,5 @@
 """Unit tests for the benchmark harness itself (small parameters)."""
 
-import numpy as np
 import pytest
 
 import repro

@@ -1,6 +1,5 @@
 """MPIX Async extension (section 3.3): hooks, state, spawning, draining."""
 
-import pytest
 
 import repro
 from repro.core.async_ext import (

@@ -27,7 +27,18 @@ class TestSnapshot:
         proc.stream_progress()
         after = snapshot(proc)
         assert after.engine_passes == before.engine_passes + 2
-        assert after.subsystem_polls > before.subsystem_polls
+        # Both passes found every subsystem idle: the registry turns
+        # would-be polls into skips, and every pass is accounted as one
+        # or the other.
+        assert after.skipped_polls > before.skipped_polls
+        assert after.subsystem_polls == before.subsystem_polls
+        polls_and_skips = (
+            after.subsystem_polls
+            + after.skipped_polls
+            - before.subsystem_polls
+            - before.skipped_polls
+        )
+        assert polls_and_skips == 8  # 2 passes x 4 subsystems
         assert after.pending_async_tasks == 0
 
     def test_streams_listed(self, proc):

@@ -1,7 +1,6 @@
 """Pickled-object messaging (mpi4py-style lowercase convenience)."""
 
 import numpy as np
-import pytest
 
 import repro
 from repro.runtime import run_world

@@ -2,7 +2,6 @@
 re-entry prohibition (section 2.6 / 3.2 / 3.4)."""
 
 import numpy as np
-import pytest
 
 import repro
 from repro.core.progress import ProgressState
@@ -69,8 +68,18 @@ class TestCollation:
         assert world.fabric.endpoint(0, 0).stat_polls == polls_before
 
     def test_no_short_circuit_config(self):
-        """progress_short_circuit=False polls every subsystem."""
-        world = make_vworld(1, progress_short_circuit=False, use_shmem=False)
+        """progress_short_circuit=False polls every subsystem.
+
+        Registry skipping is disabled so the idle netmod endpoint is
+        actually polled (the registry's behaviour has its own tests in
+        :class:`TestRegistry`).
+        """
+        world = make_vworld(
+            1,
+            progress_short_circuit=False,
+            progress_registry_skip=False,
+            use_shmem=False,
+        )
         p0 = world.proc(0)
         from repro.datatype.engine import PackTask
 
@@ -87,6 +96,91 @@ class TestCollation:
         world = make_vworld(1, progress_order=("netmod", "datatype"))
         p0 = world.proc(0)
         assert p0.stream_progress() is False  # just runs without error
+
+
+class TestRegistry:
+    """The pending-work registry: idle passes skip subsystem polls
+    outright and the skipped/issued counters account for every pass."""
+
+    def test_idle_pass_skips_every_subsystem(self):
+        world = make_vworld(1, use_shmem=False)
+        p0 = world.proc(0)
+        ep = world.fabric.endpoint(0, 0)
+        stream = p0.default_stream
+        assert p0.stream_progress() is False
+        assert ep.stat_polls == 0  # netmod never touched
+        assert stream.stat_subsystem_polls == 0
+        assert stream.stat_skipped_polls == 4
+        assert p0.progress_engine.busy_subsystems(0) == []
+
+    def test_busy_subsystem_polled_others_skipped(self):
+        world = make_vworld(
+            1,
+            use_shmem=False,
+            progress_short_circuit=False,
+            datatype_chunk_size=64,
+        )
+        p0 = world.proc(0)
+        from repro.datatype.engine import PackTask
+
+        vec = repro.vector(128, 1, 2, repro.INT).commit()
+        staging = bytearray(128 * 4)
+        p0.datatype_engine.submit(
+            PackTask(vec, 1, np.zeros(256, "i4"), staging, unpack=False, chunk_size=64)
+        )
+        assert p0.progress_engine.busy_subsystems(0) == ["datatype"]
+        stream = p0.default_stream
+        assert p0.stream_progress() is True
+        assert stream.stat_subsystem_polls == 1  # only datatype
+        assert stream.stat_skipped_polls == 3  # collective, shmem, netmod
+        assert world.fabric.endpoint(0, 0).stat_polls == 0
+
+    def test_state_skip_combines_with_registry(self):
+        """Subsystems skipped by ProgressState are not double-counted as
+        registry skips on a fully idle pass."""
+        world = make_vworld(1, use_shmem=False)
+        p0 = world.proc(0)
+        stream = p0.default_stream
+        state = ProgressState(skip=frozenset({"netmod"}))
+        p0.stream_progress(repro.STREAM_NULL, state)
+        assert stream.stat_skipped_polls == 3
+        assert stream.stat_subsystem_polls == 0
+
+    def test_stream_skip_hint_combines_with_registry(self):
+        world = make_vworld(1, use_shmem=False)
+        p0 = world.proc(0)
+        lazy = p0.stream_create(info={"skip": "netmod,shmem"})
+        p0.stream_progress(lazy)
+        assert lazy.stat_skipped_polls == 2
+        assert lazy.stat_subsystem_polls == 0
+
+    def test_registry_off_polls_everything(self):
+        world = make_vworld(1, use_shmem=False, progress_registry_skip=False)
+        p0 = world.proc(0)
+        ep = world.fabric.endpoint(0, 0)
+        stream = p0.default_stream
+        assert p0.stream_progress() is False
+        assert ep.stat_polls == 1  # idle netmod endpoint really polled
+        assert stream.stat_subsystem_polls == 4
+        assert stream.stat_skipped_polls == 0
+
+    def test_accounting_across_idle_and_busy_passes(self):
+        world = make_vworld(1, use_shmem=False, datatype_chunk_size=64)
+        p0 = world.proc(0)
+        eng = p0.progress_engine
+        stream = p0.default_stream
+        p0.stream_progress()  # idle pass: 4 skips
+        from repro.datatype.engine import PackTask
+
+        vec = repro.vector(128, 1, 2, repro.INT).commit()
+        staging = bytearray(128 * 4)
+        p0.datatype_engine.submit(
+            PackTask(vec, 1, np.zeros(256, "i4"), staging, unpack=False, chunk_size=64)
+        )
+        p0.stream_progress()  # busy pass: datatype polled, 3 skipped
+        assert eng.stat_subsystem_polls == stream.stat_subsystem_polls == 1
+        assert eng.stat_skipped_polls == stream.stat_skipped_polls == 4 + 3
+        assert eng.stat_passes == stream.stat_progress_calls == 2
 
 
 class TestReentry:

@@ -3,7 +3,7 @@
 import pytest
 
 import repro
-from repro.core.stream import STREAM_NULL, MpixStream, StreamNullType
+from repro.core.stream import STREAM_NULL, StreamNullType
 from repro.errors import InvalidStreamError
 
 

@@ -1,7 +1,6 @@
 """asyncio bridge: awaiting MPI operations from coroutines."""
 
 import asyncio
-import threading
 
 import numpy as np
 import pytest

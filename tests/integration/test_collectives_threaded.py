@@ -1,7 +1,6 @@
 """Blocking wrappers of the extended collectives, thread-per-rank."""
 
 import numpy as np
-import pytest
 
 import repro
 from repro.runtime import run_world

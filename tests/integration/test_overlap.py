@@ -9,7 +9,6 @@ strong progress.
 import time
 
 import numpy as np
-import pytest
 
 import repro
 from repro.exts.progress_thread import ProgressThread

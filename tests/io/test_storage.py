@@ -1,6 +1,5 @@
 """Asynchronous storage device."""
 
-import numpy as np
 import pytest
 
 from repro.io.storage import StorageDevice

@@ -1,0 +1,161 @@
+"""Differential property tests: bucketed matching queues vs the seed
+linear-scan implementations.
+
+The bucketed :class:`PostedQueue`/:class:`UnexpectedQueue` must be
+observationally identical to :class:`ListPostedQueue`/
+:class:`ListUnexpectedQueue` — the executable specification of MPI's
+FIFO matching order — on every interleaving of posts, arrivals,
+cancellations and probes, with and without wildcards.  Entry objects
+are shared between both queues so results compare by identity.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.p2p.matching import (
+    ANY_SOURCE,
+    ANY_TAG,
+    ListPostedQueue,
+    ListUnexpectedQueue,
+    PostedQueue,
+    UnexpectedQueue,
+)
+
+_CTX = st.integers(0, 1)
+_SRC = st.integers(0, 3)
+_TAG = st.integers(0, 3)
+_WSRC = st.one_of(_SRC, st.just(ANY_SOURCE))
+_WTAG = st.one_of(_TAG, st.just(ANY_TAG))
+_PICK = st.integers(0, 1 << 16)
+
+
+def _posted_ops(wildcards: bool):
+    src = _WSRC if wildcards else _SRC
+    tag = _WTAG if wildcards else _TAG
+    return st.lists(
+        st.one_of(
+            # pattern post; the extra int occasionally reuses an already
+            # posted entry object (exercises duplicate-entry removal)
+            st.tuples(st.just("post"), _CTX, src, tag, _PICK),
+            # arrivals always carry a concrete signature
+            st.tuples(st.just("arrive"), _CTX, _SRC, _TAG),
+            # cancel the k-th posted entry (mod posts so far)
+            st.tuples(st.just("cancel"), _PICK),
+        ),
+        max_size=60,
+    )
+
+
+def _unexpected_ops(wildcards: bool):
+    src = _WSRC if wildcards else _SRC
+    tag = _WTAG if wildcards else _TAG
+    return st.lists(
+        st.one_of(
+            st.tuples(st.just("add"), _CTX, _SRC, _TAG),
+            st.tuples(st.just("match"), _CTX, src, tag),
+            st.tuples(st.just("peek"), _CTX, src, tag),
+        ),
+        max_size=60,
+    )
+
+
+class _Entry:
+    __slots__ = ("n",)
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+
+    def __repr__(self) -> str:  # pragma: no cover - hypothesis shrinking aid
+        return f"<entry {self.n}>"
+
+
+def _run_posted(ops):
+    fast, ref = PostedQueue(), ListPostedQueue()
+    posted: list[_Entry] = []
+    for op in ops:
+        kind = op[0]
+        if kind == "post":
+            _, ctx, src, tag, pick = op
+            if posted and pick % 5 == 0:
+                entry = posted[pick % len(posted)]
+            else:
+                entry = _Entry(len(posted))
+            posted.append(entry)
+            fast.post(ctx, src, tag, entry)
+            ref.post(ctx, src, tag, entry)
+        elif kind == "arrive":
+            _, ctx, src, tag = op
+            assert fast.match(ctx, src, tag) is ref.match(ctx, src, tag)
+        else:  # cancel
+            _, pick = op
+            if not posted:
+                continue
+            entry = posted[pick % len(posted)]
+            assert fast.remove(entry) is ref.remove(entry)
+        assert len(fast) == len(ref)
+    assert [e is r for e, r in zip(list(fast), list(ref))].count(False) == 0
+    assert len(list(fast)) == len(list(ref))
+
+
+def _run_unexpected(ops):
+    fast, ref = UnexpectedQueue(), ListUnexpectedQueue()
+    arrived = 0
+    for op in ops:
+        kind = op[0]
+        _, ctx, src, tag = op
+        if kind == "add":
+            entry = _Entry(arrived)
+            arrived += 1
+            fast.add(ctx, src, tag, entry)
+            ref.add(ctx, src, tag, entry)
+        elif kind == "match":
+            assert fast.match(ctx, src, tag) is ref.match(ctx, src, tag)
+        else:  # peek
+            assert fast.peek(ctx, src, tag) is ref.peek(ctx, src, tag)
+        assert len(fast) == len(ref)
+    assert [e is r for e, r in zip(list(fast), list(ref))].count(False) == 0
+    assert len(list(fast)) == len(list(ref))
+
+
+class TestPostedDifferential:
+    @settings(max_examples=300, deadline=None)
+    @given(ops=_posted_ops(wildcards=False))
+    def test_no_wildcards(self, ops):
+        _run_posted(ops)
+
+    @settings(max_examples=300, deadline=None)
+    @given(ops=_posted_ops(wildcards=True))
+    def test_with_wildcards(self, ops):
+        _run_posted(ops)
+
+
+class TestUnexpectedDifferential:
+    @settings(max_examples=300, deadline=None)
+    @given(ops=_unexpected_ops(wildcards=False))
+    def test_no_wildcards(self, ops):
+        _run_unexpected(ops)
+
+    @settings(max_examples=300, deadline=None)
+    @given(ops=_unexpected_ops(wildcards=True))
+    def test_with_wildcards(self, ops):
+        _run_unexpected(ops)
+
+
+def test_compaction_thresholds_crossed():
+    """Drive both queues far past the tombstone compaction slack so the
+    compaction paths run, and re-check equivalence afterwards."""
+    fast, ref = PostedQueue(), ListPostedQueue()
+    entries = [_Entry(i) for i in range(200)]
+    for i, e in enumerate(entries):
+        fast.post(0, ANY_SOURCE, i % 3, e)
+        ref.post(0, ANY_SOURCE, i % 3, e)
+    for e in entries[:150]:
+        assert fast.remove(e) is ref.remove(e) is True
+    assert list(fast) == list(ref)
+    ufast, uref = UnexpectedQueue(), ListUnexpectedQueue()
+    for i, e in enumerate(entries):
+        ufast.add(0, i % 2, i % 3, e)
+        uref.add(0, i % 2, i % 3, e)
+    for i in range(150):
+        assert ufast.match(0, ANY_SOURCE, i % 3) is uref.match(0, ANY_SOURCE, i % 3)
+    assert list(ufast) == list(uref)

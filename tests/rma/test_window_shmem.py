@@ -1,7 +1,6 @@
 """RMA over the shared-memory transport and mixed topologies."""
 
 import numpy as np
-import pytest
 
 import repro
 from repro.rma import win_create
