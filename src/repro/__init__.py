@@ -50,7 +50,7 @@ from repro.core.async_ext import (
     AsyncThing,
     async_get_state,
 )
-from repro.core.comm import IN_PLACE, Comm
+from repro.core.comm import ERRORS_ARE_FATAL, ERRORS_RETURN, IN_PLACE, Comm
 from repro.core.greq import GeneralizedRequest, grequest_complete, grequest_start
 from repro.core.introspect import ProgressSnapshot, snapshot as progress_snapshot
 from repro.core.persist import PersistentRequest
@@ -100,13 +100,16 @@ from repro.datatype import (
 )
 from repro.errors import (
     AlreadyFinalizedError,
+    DeliveryFailedError,
     InvalidArgumentError,
     MpiError,
     NotInitializedError,
+    PeerUnreachableError,
     PendingOperationsError,
     ProgressReentryError,
     TruncationError,
 )
+from repro.netmod.faults import FaultPlan
 from repro.p2p.matching import ANY_SOURCE, ANY_TAG
 from repro.io import File, StorageDevice
 from repro.rma import Win, win_create
@@ -160,6 +163,10 @@ __all__ = [
     "IN_PLACE",
     "ANY_SOURCE",
     "ANY_TAG",
+    "ERRORS_ARE_FATAL",
+    "ERRORS_RETURN",
+    # fault injection & reliability
+    "FaultPlan",
     # datatypes & ops
     "Datatype",
     "contiguous",
@@ -200,6 +207,8 @@ __all__ = [
     "MpiError",
     "InvalidArgumentError",
     "TruncationError",
+    "DeliveryFailedError",
+    "PeerUnreachableError",
     "ProgressReentryError",
     "PendingOperationsError",
     "NotInitializedError",

@@ -153,6 +153,61 @@ class RuntimeConfig:
     wait_yield_interval: int = 1
 
     # ------------------------------------------------------------------
+    # Fault injection (lossy-fabric chaos; all off by default).
+    # ------------------------------------------------------------------
+    #: Seed for the fault injector's RNG.  Same seed + same (single
+    #: threaded) schedule = same faults, so chaos failures replay.
+    fault_seed: int = 0
+
+    #: Per-packet probability that the fabric silently drops a packet.
+    fault_drop_prob: float = 0.0
+
+    #: Per-packet probability that the fabric delivers a packet twice.
+    fault_dup_prob: float = 0.0
+
+    #: Per-packet probability that a packet is held back long enough to
+    #: arrive after later traffic on the same link (reordering).
+    fault_reorder_prob: float = 0.0
+
+    #: Maximum uniform extra delay (seconds) added to every delivery.
+    fault_delay_jitter: float = 0.0
+
+    #: Extra delay applied to a reordered packet, as a multiple of
+    #: ``nic_wire_delay`` (drawn uniformly in [1, this]).
+    fault_reorder_span: float = 8.0
+
+    #: Optional per-link knob overrides: ``{(src_rank, dst_rank):
+    #: {"drop_prob": ..., "dup_prob": ..., "reorder_prob": ...,
+    #: "delay_jitter": ...}}``.  Links not listed use the global knobs.
+    fault_link_overrides: Any = None
+
+    #: Optional :class:`repro.netmod.faults.FaultPlan` scripting
+    #: targeted faults ("drop the 3rd packet from rank 1 to rank 0").
+    fault_plan: Any = None
+
+    # ------------------------------------------------------------------
+    # Reliability (ack/retransmit) layer.
+    # ------------------------------------------------------------------
+    #: 'auto' enables the ack/retransmit protocol exactly when any fault
+    #: knob is active; 'on'/'off' force it.  When off (the default with
+    #: no faults configured) the wire protocol is byte-identical to the
+    #: seed: no sequence numbers, no acks, no timers.
+    reliability: str = "auto"
+
+    #: Initial retransmit timeout (seconds) before an unacked packet is
+    #: resent.  Should comfortably exceed one round trip
+    #: (``2 * nic_wire_delay`` plus processing).
+    rel_rto: float = 1.0e-4
+
+    #: Multiplier applied to the retransmit timeout after every resend
+    #: of the same packet (exponential backoff).
+    rel_backoff: float = 2.0
+
+    #: Resend attempts per packet before the link is declared dead and
+    #: the owning request fails with ``DeliveryFailedError``.
+    rel_max_retries: int = 10
+
+    # ------------------------------------------------------------------
     # World / topology.
     # ------------------------------------------------------------------
     #: Number of ranks per simulated node (controls which pairs are
@@ -165,6 +220,25 @@ class RuntimeConfig:
     def updated(self, **changes: Any) -> "RuntimeConfig":
         """Return a copy with ``changes`` applied."""
         return replace(self, **changes)
+
+    def faults_active(self) -> bool:
+        """True when any fault-injection knob deviates from "perfect"."""
+        if (
+            self.fault_drop_prob
+            or self.fault_dup_prob
+            or self.fault_reorder_prob
+            or self.fault_delay_jitter
+        ):
+            return True
+        return self.fault_plan is not None or bool(self.fault_link_overrides)
+
+    def reliability_active(self) -> bool:
+        """Whether the ack/retransmit layer runs (resolves 'auto')."""
+        if self.reliability == "on":
+            return True
+        if self.reliability == "off":
+            return False
+        return self.faults_active()
 
     def validate(self) -> None:
         """Raise ``ValueError`` if the configuration is inconsistent."""
@@ -188,6 +262,39 @@ class RuntimeConfig:
             raise ValueError("wait_spin_count must be >= 0")
         if self.wait_yield_interval <= 0:
             raise ValueError("wait_yield_interval must be positive")
+        for name in ("fault_drop_prob", "fault_dup_prob", "fault_reorder_prob"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        if self.fault_delay_jitter < 0:
+            raise ValueError("fault_delay_jitter must be >= 0")
+        if self.fault_reorder_span < 1.0:
+            raise ValueError("fault_reorder_span must be >= 1")
+        if self.fault_link_overrides is not None:
+            for link, knobs in dict(self.fault_link_overrides).items():
+                if len(tuple(link)) != 2:
+                    raise ValueError(f"fault link key must be (src, dst): {link!r}")
+                for key, value in dict(knobs).items():
+                    if key in ("drop_prob", "dup_prob", "reorder_prob"):
+                        if not 0.0 <= value <= 1.0:
+                            raise ValueError(
+                                f"link {link} {key} must be in [0, 1], got {value}"
+                            )
+                    elif key == "delay_jitter":
+                        if value < 0:
+                            raise ValueError(
+                                f"link {link} delay_jitter must be >= 0"
+                            )
+                    else:
+                        raise ValueError(f"unknown link fault knob {key!r}")
+        if self.reliability not in ("auto", "on", "off"):
+            raise ValueError(f"unknown reliability mode {self.reliability!r}")
+        if self.rel_rto <= 0:
+            raise ValueError("rel_rto must be positive")
+        if self.rel_backoff < 1.0:
+            raise ValueError("rel_backoff must be >= 1")
+        if self.rel_max_retries <= 0:
+            raise ValueError("rel_max_retries must be positive")
         if self.allreduce_algorithm not in (
             "auto",
             "recursive_doubling",

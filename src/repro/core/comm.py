@@ -47,7 +47,13 @@ from repro.p2p.matching import ANY_SOURCE, ANY_TAG
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.mpi import Proc
 
-__all__ = ["Comm", "IN_PLACE"]
+__all__ = ["Comm", "IN_PLACE", "ERRORS_ARE_FATAL", "ERRORS_RETURN"]
+
+#: MPI_ERRORS_ARE_FATAL: delivery failures raise from test/wait.
+ERRORS_ARE_FATAL = "fatal"
+#: MPI_ERRORS_RETURN: delivery failures complete the request with the
+#: error captured on it (``req.exception`` / ``status.error``).
+ERRORS_RETURN = "return"
 
 
 class _InPlaceType:
@@ -98,6 +104,30 @@ class Comm:
         self._coll_seq = 0
         self._child_count = 0
         self.freed = False
+        #: MPI-style error handler: ERRORS_ARE_FATAL or ERRORS_RETURN.
+        self.errhandler: str = ERRORS_ARE_FATAL
+
+    # ------------------------------------------------------------------
+    # Error handlers (MPI_Comm_set_errhandler).
+    # ------------------------------------------------------------------
+    def set_errhandler(self, errhandler: str) -> None:
+        """Set this communicator's error disposition.
+
+        ``ERRORS_ARE_FATAL`` (default): a failed operation raises (e.g.
+        :class:`~repro.errors.DeliveryFailedError`) from the wait/test
+        that observes it.  ``ERRORS_RETURN``: the operation's request
+        completes with the exception captured on ``request.exception``
+        and a nonzero ``status.error``; waits return normally.
+        """
+        if errhandler not in (ERRORS_ARE_FATAL, ERRORS_RETURN):
+            raise ValueError(
+                f"errhandler must be {ERRORS_ARE_FATAL!r} or {ERRORS_RETURN!r},"
+                f" got {errhandler!r}"
+            )
+        self.errhandler = errhandler
+
+    def get_errhandler(self) -> str:
+        return self.errhandler
 
     # ------------------------------------------------------------------
     @property
@@ -140,7 +170,7 @@ class Comm:
         world_dest = self._world_rank(dest)
         dst_vci = self.peer_vcis[dest]
         with self.stream.lock:
-            return self.proc.p2p.isend(
+            req = self.proc.p2p.isend(
                 self.stream.vci,
                 world_dest,
                 dst_vci,
@@ -151,6 +181,8 @@ class Comm:
                 self.context_id,
                 sync=sync,
             )
+        req.errhandler = self.errhandler
+        return req
 
     def irecv(
         self,
@@ -166,9 +198,11 @@ class Comm:
             ANY_SOURCE if source == ANY_SOURCE else self._world_rank(source)
         )
         with self.stream.lock:
-            return self.proc.p2p.irecv(
+            req = self.proc.p2p.irecv(
                 self.stream.vci, buf, count, datatype, world_src, tag, self.context_id
             )
+        req.errhandler = self.errhandler
+        return req
 
     def send(self, buf, count: int, datatype: Datatype, dest: int, tag: int = 0) -> None:
         """Blocking send."""
@@ -324,9 +358,11 @@ class Comm:
         """Nonblocking receive of a matched-probe message."""
         self._check()
         with self.stream.lock:
-            return self.proc.p2p.imrecv(
+            req = self.proc.p2p.imrecv(
                 self.stream.vci, buf, count, datatype, message
             )
+        req.errhandler = self.errhandler
+        return req
 
     def mrecv(self, buf, count: int, datatype: Datatype, message) -> Status:
         """Blocking receive of a matched-probe message."""
@@ -925,6 +961,7 @@ class Comm:
         self._check()
         ctx = self._alloc_child_context()
         comm = Comm(self.proc, self.ranks, ctx, self.stream, self.peer_vcis)
+        comm.errhandler = self.errhandler
         self.barrier()
         return comm
 
@@ -955,7 +992,9 @@ class Comm:
         # Distinct colors need distinct contexts: fold the color in via
         # the registry (same derivation on every member).
         ctx = self.proc.world.context_for(ctx, color)
-        return Comm(self.proc, ranks, ctx, self.stream, vcis)
+        comm = Comm(self.proc, ranks, ctx, self.stream, vcis)
+        comm.errhandler = self.errhandler
+        return comm
 
     def split_type_shared(self) -> "Comm":
         """Split into on-node communicators
@@ -978,7 +1017,9 @@ class Comm:
         mine = np.array([stream.vci], dtype="i4")
         table = np.zeros(self.size, dtype="i4")
         self.allgather(mine, table, 1, INT)
-        return Comm(self.proc, self.ranks, ctx, stream, [int(v) for v in table])
+        comm = Comm(self.proc, self.ranks, ctx, stream, [int(v) for v in table])
+        comm.errhandler = self.errhandler
+        return comm
 
     def free(self) -> None:
         self.freed = True

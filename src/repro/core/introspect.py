@@ -54,6 +54,10 @@ class ProgressSnapshot:
     collective_active_scheds: int
     streams: list[StreamStats] = field(default_factory=list)
     endpoints: list[dict[str, Any]] = field(default_factory=list)
+    #: ack/retransmit counters (zero everywhere on a lossless run)
+    reliability: dict[str, int] = field(default_factory=dict)
+    #: fault-injector counters; None on a perfect fabric
+    faults: dict[str, int] | None = None
 
     def format_report(self) -> str:
         """Aligned multi-line report for humans."""
@@ -83,6 +87,22 @@ class ProgressSnapshot:
                     f"bytes={ep['bytes']} polls={ep['polls']} "
                     f"empty={ep['empty_polls']} pending={ep['pending']}"
                 )
+        if any(self.reliability.values()):
+            r = self.reliability
+            lines.append(
+                "  reliability         : "
+                f"retransmits={r['retransmits']} acks_tx={r['acks_tx']} "
+                f"acks_rx={r['acks_rx']} dedup={r['dedup_hits']} "
+                f"ooo={r['ooo_buffered']} failures={r['failures']}"
+            )
+        if self.faults is not None:
+            f = self.faults
+            lines.append(
+                "  fault injection     : "
+                f"packets={f['packets']} dropped={f['dropped']} "
+                f"duplicated={f['duplicated']} reordered={f['reordered']} "
+                f"delayed={f['delayed']} plan_hits={f['plan_hits']}"
+            )
         return "\n".join(lines)
 
 
@@ -130,4 +150,6 @@ def snapshot(proc: "Proc") -> ProgressSnapshot:
         collective_active_scheds=proc.coll_engine.active_count,
         streams=streams,
         endpoints=endpoints,
+        reliability=proc.p2p.reliability_stats(),
+        faults=proc.world.fabric.fault_stats(),
     )

@@ -79,6 +79,9 @@ class Proc:
             self.tracer,
         )
         self.progress_engine = ProgressEngine(self)
+        # The p2p engine registers its retransmit-timer hooks through
+        # this proc's async_start (same machinery as user hooks).
+        self.p2p._hook_host = self
 
         #: VCI 0 / default stream: what STREAM_NULL resolves to.
         self.default_stream = MpixStream(vci=0)
@@ -119,6 +122,12 @@ class Proc:
             for stream in list(self._streams):
                 if self.p2p.has_pending(stream.vci):
                     busy = True
+            # Finalize is collective: with reliability on, keep making
+            # progress until the whole world's reliable traffic is
+            # quiescent, or a finalized rank would strand peers waiting
+            # on acks only this rank can send.
+            if self.p2p._rel_on and not self.world.rel_quiescent():
+                busy = True
             if not busy:
                 break
             spins += 1
@@ -167,6 +176,17 @@ class Proc:
     @property
     def streams(self) -> list[MpixStream]:
         return list(self._streams)
+
+    def stream_for_vci(self, vci: int) -> MpixStream:
+        """The stream owning ``vci`` (runtime internal; used to attach
+        internal async hooks on the right progress context)."""
+        if vci == 0:
+            return self.default_stream
+        with self._stream_lock:
+            for stream in self._streams:
+                if stream.vci == vci:
+                    return stream
+        raise InvalidStreamError(f"no stream owns vci {vci}")
 
     # ------------------------------------------------------------------
     # Explicit progress (section 3.2).
@@ -284,10 +304,17 @@ class Proc:
                 clock.yield_cpu()
 
     def _finish_wait(self, request: Request) -> None:
-        if request.status.error:
-            raise TruncationError(
-                f"receive truncated: status.error={request.status.error}"
-            )
+        if not request.status.error:
+            return
+        if request.errhandler == "return":
+            # MPI_ERRORS_RETURN: the error stays on the request/status;
+            # the wait itself returns normally.
+            return
+        if request.exception is not None:
+            raise request.exception
+        raise TruncationError(
+            f"receive truncated: status.error={request.status.error}"
+        )
 
     def test(
         self,

@@ -16,6 +16,8 @@ import threading
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from repro.errors import ERR_DELIVERY_FAILED
+
 __all__ = ["Status", "Request", "request_is_complete"]
 
 _request_ids = itertools.count(1)
@@ -61,6 +63,8 @@ class Request:
         "_cb_lock",
         "freed",
         "user_data",
+        "exception",
+        "errhandler",
     )
 
     def __init__(self, kind: str = "generic") -> None:
@@ -74,6 +78,12 @@ class Request:
         self.freed = False
         #: scratch slot for user layers (continuations, schedules, ...)
         self.user_data: Any = None
+        #: error captured by :meth:`fail` (e.g. DeliveryFailedError)
+        self.exception: BaseException | None = None
+        #: error-handler disposition stamped by the owning communicator
+        #: at post time ('fatal' raises from wait, 'return' completes
+        #: the request with the error recorded)
+        self.errhandler: str = "fatal"
 
     # ------------------------------------------------------------------
     def is_complete(self) -> bool:
@@ -129,6 +139,19 @@ class Request:
     def free(self) -> None:
         """Release the handle (MPI_Request_free semantics)."""
         self.freed = True
+
+    def fail(self, exc: BaseException) -> None:
+        """Complete the request as *failed* (runtime internal).
+
+        Used by the reliability layer when delivery is abandoned: the
+        exception is captured for the waiter, and the request completes
+        with ``status.error`` set so waits stop blocking.  Idempotent
+        in the sense that an already-complete request just records the
+        exception (completion callbacks never fire twice).
+        """
+        self.exception = exc
+        if not self._complete:
+            self.complete(error=ERR_DELIVERY_FAILED)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "complete" if self._complete else "pending"

@@ -23,7 +23,15 @@ __all__ = [
     "AlreadyFinalizedError",
     "ProgressReentryError",
     "PendingOperationsError",
+    "DeliveryFailedError",
+    "PeerUnreachableError",
+    "ERR_DELIVERY_FAILED",
 ]
+
+#: ``status.error`` value stamped on requests that fail delivery, the
+#: way ``ERR_TRUNCATE`` marks truncation (no MPI equivalent; chosen
+#: outside the classic error-class range).
+ERR_DELIVERY_FAILED = 75
 
 
 class MpiError(RuntimeError):
@@ -86,3 +94,18 @@ class ProgressReentryError(MpiError):
 
 class PendingOperationsError(MpiError):
     """Finalize-time invariant violation (e.g. a hook never completing)."""
+
+
+class DeliveryFailedError(MpiError):
+    """A packet exhausted its retransmit budget on a lossy fabric.
+
+    The owning request completes with this exception captured
+    (``request.exception``); whether the wait raises it or returns is
+    decided by the communicator's error handler
+    (``ERRORS_ARE_FATAL`` / ``ERRORS_RETURN``).
+    """
+
+
+class PeerUnreachableError(DeliveryFailedError):
+    """The link to a peer was already declared dead by an earlier
+    delivery failure; subsequent traffic fails immediately."""

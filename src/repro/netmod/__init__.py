@@ -10,5 +10,6 @@ polling an endpoint.
 from repro.netmod.packet import Packet
 from repro.netmod.endpoint import Endpoint, NicOp
 from repro.netmod.fabric import Fabric
+from repro.netmod.faults import FaultInjector, FaultPlan
 
-__all__ = ["Packet", "NicOp", "Endpoint", "Fabric"]
+__all__ = ["Packet", "NicOp", "Endpoint", "Fabric", "FaultInjector", "FaultPlan"]

@@ -13,6 +13,7 @@ import threading
 from repro.config import DEFAULT_CONFIG, RuntimeConfig
 from repro.errors import InvalidRankError
 from repro.netmod.endpoint import Endpoint
+from repro.netmod.faults import FaultInjector
 from repro.netmod.packet import Packet
 from repro.util.clock import Clock, MonotonicClock
 
@@ -43,8 +44,21 @@ class Fabric:
             raise ValueError("nranks must be positive")
         self.nranks = nranks
         self.clock = clock if clock is not None else MonotonicClock()
-        self.config = config if config is not None else DEFAULT_CONFIG
-        self.config.validate()
+        # DEFAULT_CONFIG is validated once at import; re-validating the
+        # shared instance on every Fabric construction is pure waste, so
+        # only explicitly passed configs are checked here.
+        if config is not None:
+            config.validate()
+            self.config = config
+        else:
+            self.config = DEFAULT_CONFIG
+        #: fault injector; None on a perfect fabric (the default), so
+        #: the lossless delivery path carries no per-packet overhead.
+        self.faults: FaultInjector | None = (
+            FaultInjector(self.config, self.clock)
+            if self.config.faults_active()
+            else None
+        )
         self._endpoints: dict[tuple[int, int], Endpoint] = {}
         self._ep_lock = threading.Lock()
         self._op_counter = itertools.count(1)
@@ -69,9 +83,22 @@ class Fabric:
         return next(self._op_counter)
 
     def deliver(self, packet: Packet, arrival_time: float) -> None:
-        """Route ``packet`` to its destination endpoint."""
+        """Route ``packet`` to its destination endpoint.
+
+        With fault injection active, a delivery may be dropped,
+        duplicated, delayed, or held back past later traffic; the
+        reliability layer above is responsible for surviving that.
+        """
         rank, vci = packet.dst
+        if self.faults is not None:
+            for t in self.faults.schedule(packet, arrival_time):
+                self.endpoint(rank, vci).enqueue_arrival(packet, t)
+            return
         self.endpoint(rank, vci).enqueue_arrival(packet, arrival_time)
+
+    def fault_stats(self) -> dict[str, int] | None:
+        """Fault-injection counters, or None on a perfect fabric."""
+        return self.faults.stats() if self.faults is not None else None
 
     # ------------------------------------------------------------------
     def same_node(self, rank_a: int, rank_b: int) -> bool:

@@ -1,0 +1,257 @@
+"""Seeded fault injection for the simulated fabric.
+
+The seed fabric delivers every packet exactly once, in FIFO order.  A
+:class:`FaultInjector` sits inside :meth:`repro.netmod.fabric.Fabric.deliver`
+and, per packet, may
+
+* **drop** it (never enqueued at the destination),
+* **duplicate** it (enqueued twice, the copy slightly later),
+* **reorder** it (held back past later traffic on the same link), or
+* **delay** it (uniform jitter added to the arrival time).
+
+Probabilities come from the global :class:`repro.config.RuntimeConfig`
+knobs, optionally overridden per ``(src_rank, dst_rank)`` link, and all
+randomness flows through one RNG seeded with ``fault_seed`` — a chaos
+failure replays exactly under a single-threaded driver.
+
+A :class:`FaultPlan` scripts *targeted* faults on top of (or instead
+of) the probabilistic ones: "drop the 3rd packet from rank 1 to rank
+0".  Plans count packets per rank-level link in traversal order.
+
+Every injected fault is recorded into a :class:`repro.util.trace.Tracer`
+so a failed chaos run can print a replayable event timeline keyed by
+the seed (see :meth:`FaultInjector.format_timeline`).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import TYPE_CHECKING
+
+from repro.util.trace import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.config import RuntimeConfig
+    from repro.netmod.packet import Packet
+    from repro.util.clock import Clock
+
+__all__ = ["FaultPlan", "FaultInjector"]
+
+#: Delay applied to the duplicate copy of a duplicated packet, as a
+#: fraction of the wire delay — late enough to be a distinct arrival,
+#: early enough not to reorder it past unrelated traffic.
+_DUP_DELAY_FRACTION = 0.5
+
+
+class FaultPlan:
+    """A deterministic script of targeted faults.
+
+    Rules are keyed by rank-level link and 1-based packet ordinal::
+
+        plan = (
+            FaultPlan()
+            .drop(src=1, dst=0, nth=3)        # drop 3rd packet 1 -> 0
+            .duplicate(src=0, dst=1, nth=1)   # deliver 1st packet twice
+            .delay(src=0, dst=1, nth=2, by=5e-6)
+        )
+        config = RuntimeConfig(fault_plan=plan)
+
+    One rule per (link, ordinal); later rules replace earlier ones.
+    """
+
+    def __init__(self) -> None:
+        self._rules: dict[tuple[int, int], dict[int, tuple[str, float]]] = {}
+
+    def drop(self, src: int, dst: int, nth: int) -> "FaultPlan":
+        """Drop the ``nth`` packet from rank ``src`` to rank ``dst``."""
+        return self._add(src, dst, nth, "drop", 0.0)
+
+    def duplicate(self, src: int, dst: int, nth: int) -> "FaultPlan":
+        """Deliver the ``nth`` packet twice."""
+        return self._add(src, dst, nth, "dup", 0.0)
+
+    def delay(self, src: int, dst: int, nth: int, by: float) -> "FaultPlan":
+        """Delay the ``nth`` packet by ``by`` seconds."""
+        if by < 0:
+            raise ValueError("delay must be >= 0")
+        return self._add(src, dst, nth, "delay", by)
+
+    def _add(
+        self, src: int, dst: int, nth: int, op: str, arg: float
+    ) -> "FaultPlan":
+        if nth < 1:
+            raise ValueError("packet ordinals are 1-based")
+        self._rules.setdefault((src, dst), {})[nth] = (op, arg)
+        return self
+
+    def lookup(self, src: int, dst: int, nth: int) -> tuple[str, float] | None:
+        """Rule for the ``nth`` packet on ``src -> dst``, if any."""
+        link = self._rules.get((src, dst))
+        if link is None:
+            return None
+        return link.get(nth)
+
+    def __len__(self) -> int:
+        return sum(len(rules) for rules in self._rules.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan({len(self)} rules)"
+
+
+class _LinkKnobs:
+    """Resolved fault probabilities for one rank-level link."""
+
+    __slots__ = ("drop_prob", "dup_prob", "reorder_prob", "delay_jitter")
+
+    def __init__(
+        self,
+        drop_prob: float,
+        dup_prob: float,
+        reorder_prob: float,
+        delay_jitter: float,
+    ) -> None:
+        self.drop_prob = drop_prob
+        self.dup_prob = dup_prob
+        self.reorder_prob = reorder_prob
+        self.delay_jitter = delay_jitter
+
+
+class FaultInjector:
+    """Per-fabric fault engine: one seeded RNG, per-link counters/stats.
+
+    Thread-safe: the lock serializes RNG draws and counter updates, so
+    threaded chaos runs stay consistent (though their fault *schedule*
+    is only deterministic under a single-threaded driver).
+    """
+
+    def __init__(self, config: "RuntimeConfig", clock: "Clock") -> None:
+        self.config = config
+        self.seed = config.fault_seed
+        self._clock = clock
+        self._rng = random.Random(config.fault_seed)
+        self._lock = threading.Lock()
+        #: packets seen per rank-level link, for FaultPlan ordinals
+        self._link_counts: dict[tuple[int, int], int] = {}
+        self._knob_cache: dict[tuple[int, int], _LinkKnobs] = {}
+        self.tracer = Tracer(enabled=True)
+        self.stat_packets = 0
+        self.stat_dropped = 0
+        self.stat_duplicated = 0
+        self.stat_reordered = 0
+        self.stat_delayed = 0
+        self.stat_plan_hits = 0
+
+    # ------------------------------------------------------------------
+    def _knobs(self, link: tuple[int, int]) -> _LinkKnobs:
+        knobs = self._knob_cache.get(link)
+        if knobs is None:
+            cfg = self.config
+            override = {}
+            if cfg.fault_link_overrides:
+                override = dict(cfg.fault_link_overrides).get(link) or {}
+            knobs = _LinkKnobs(
+                override.get("drop_prob", cfg.fault_drop_prob),
+                override.get("dup_prob", cfg.fault_dup_prob),
+                override.get("reorder_prob", cfg.fault_reorder_prob),
+                override.get("delay_jitter", cfg.fault_delay_jitter),
+            )
+            self._knob_cache[link] = knobs
+        return knobs
+
+    def _record(self, kind: str, packet: "Packet", **fields) -> None:
+        self.tracer.record(
+            self._clock.now(),
+            kind,
+            seq=packet.seq,
+            pkt=packet.kind,
+            src=packet.src[0],
+            dst=packet.dst[0],
+            **fields,
+        )
+
+    # ------------------------------------------------------------------
+    def schedule(self, packet: "Packet", arrival: float) -> list[float]:
+        """Decide the fate of one delivery.
+
+        Returns the arrival times to enqueue: ``[]`` when dropped, one
+        time normally, two when duplicated.
+        """
+        link = (packet.src[0], packet.dst[0])
+        cfg = self.config
+        with self._lock:
+            self.stat_packets += 1
+            nth = self._link_counts.get(link, 0) + 1
+            self._link_counts[link] = nth
+
+            plan_rule = (
+                cfg.fault_plan.lookup(link[0], link[1], nth)
+                if cfg.fault_plan is not None
+                else None
+            )
+            if plan_rule is not None:
+                self.stat_plan_hits += 1
+                op, arg = plan_rule
+                if op == "drop":
+                    self.stat_dropped += 1
+                    self._record("fault_drop", packet, nth=nth, plan=True)
+                    return []
+                if op == "dup":
+                    self.stat_duplicated += 1
+                    self._record("fault_dup", packet, nth=nth, plan=True)
+                    return [
+                        arrival,
+                        arrival + cfg.nic_wire_delay * _DUP_DELAY_FRACTION,
+                    ]
+                # delay
+                self.stat_delayed += 1
+                self._record("fault_delay", packet, nth=nth, by=arg, plan=True)
+                return [arrival + arg]
+
+            knobs = self._knobs(link)
+            rng = self._rng
+            if knobs.drop_prob and rng.random() < knobs.drop_prob:
+                self.stat_dropped += 1
+                self._record("fault_drop", packet, nth=nth)
+                return []
+            if knobs.delay_jitter:
+                jitter = rng.random() * knobs.delay_jitter
+                if jitter:
+                    self.stat_delayed += 1
+                    self._record("fault_delay", packet, nth=nth, by=jitter)
+                    arrival += jitter
+            if knobs.reorder_prob and rng.random() < knobs.reorder_prob:
+                span = 1.0 + rng.random() * (cfg.fault_reorder_span - 1.0)
+                hold = cfg.nic_wire_delay * span
+                self.stat_reordered += 1
+                self._record("fault_reorder", packet, nth=nth, by=hold)
+                arrival += hold
+            if knobs.dup_prob and rng.random() < knobs.dup_prob:
+                self.stat_duplicated += 1
+                self._record("fault_dup", packet, nth=nth)
+                return [
+                    arrival,
+                    arrival + cfg.nic_wire_delay * _DUP_DELAY_FRACTION,
+                ]
+            return [arrival]
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        """Snapshot of the fault counters."""
+        return {
+            "packets": self.stat_packets,
+            "dropped": self.stat_dropped,
+            "duplicated": self.stat_duplicated,
+            "reordered": self.stat_reordered,
+            "delayed": self.stat_delayed,
+            "plan_hits": self.stat_plan_hits,
+        }
+
+    def format_timeline(self) -> str:
+        """Replayable fault timeline keyed by the injector's seed."""
+        return self.tracer.format_timeline(
+            title=f"fault timeline (fault_seed={self.seed})"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultInjector(seed={self.seed}, {self.stats()})"

@@ -28,13 +28,20 @@ import itertools
 from typing import Any
 
 from repro.config import RuntimeConfig
+from repro.core.async_ext import ASYNC_DONE, ASYNC_NOPROGRESS, ASYNC_PENDING
 from repro.core.request import Request
 from repro.datatype.engine import DatatypeEngine, PackTask
 from repro.datatype.types import Datatype, as_readonly_view, as_writable_view
-from repro.errors import InvalidCountError, InvalidTagError
+from repro.errors import (
+    DeliveryFailedError,
+    InvalidCountError,
+    InvalidTagError,
+    PeerUnreachableError,
+)
 from repro.netmod.fabric import Fabric
 from repro.netmod.packet import Packet
 from repro.p2p.matching import ANY_TAG, PostedQueue, UnexpectedQueue
+from repro.p2p.reliability import RelVciState, TxLink, UnackedEntry
 from repro.shmem.transport import ShmemTransport
 from repro.util.trace import Tracer
 
@@ -160,6 +167,7 @@ class VciState:
         "unexpected",
         "sends",
         "recvs",
+        "rel",
     )
 
     def __init__(self, vci: int) -> None:
@@ -170,6 +178,8 @@ class VciState:
         self.sends: dict[int, SendEntry] = {}
         #: receives awaiting rendezvous/pipeline data by (src_addr, msg_id)
         self.recvs: dict[tuple[tuple[int, int], int], RecvEntry] = {}
+        #: ack/retransmit state; allocated on first reliable packet
+        self.rel: RelVciState | None = None
 
 
 class P2PEngine:
@@ -200,6 +210,14 @@ class P2PEngine:
         self._msg_ids = itertools.count(1)
         #: RMA windows by win id; 'rma_*' packets route here
         self.rma_windows: dict[int, Any] = {}
+        #: resolved once: with every fault knob off this is False and
+        #: the wire protocol is byte-identical to the seed (no rseq
+        #: headers, no acks, no retransmit timers).
+        self._rel_on = config.reliability_active()
+        #: owning Proc, bound post-construction; provides async_start
+        #: for the retransmit-timer hook (None in transport-only tests,
+        #: where timers are driven manually via rel_poll()).
+        self._hook_host: Any = None
 
     # ------------------------------------------------------------------
     def vci_state(self, vci: int) -> VciState:
@@ -249,15 +267,278 @@ class P2PEngine:
         *,
         context: Any = None,
         via_shmem: bool = False,
+        req: Request | None = None,
+        send_entry: "SendEntry | None" = None,
+        recv_key: Any = None,
     ):
-        """Inject one packet via the chosen transport."""
+        """Inject one packet via the chosen transport.
+
+        ``req``/``send_entry``/``recv_key`` are failure-attribution
+        hints for the reliability layer: which request to fail and which
+        protocol state to clean up if this packet exhausts its
+        retransmit budget.  Ignored on the lossless fast path and over
+        shmem (which is never lossy).
+        """
         src = (self.rank, vci)
         if via_shmem:
             assert self.shmem is not None
             return self.shmem.post_send(src, dst, header, payload, context=context)
-        return self.fabric.endpoint(self.rank, vci).post_send(
-            dst, header, payload, context=context
+        if self._rel_on:
+            return self._rel_send(
+                vci, dst, header, payload, context, req, send_entry, recv_key
+            )
+        return self.endpoint_for(vci).post_send(dst, header, payload, context=context)
+
+    # ------------------------------------------------------------------
+    # Reliability: sender side (sequence numbers, retransmit timer).
+    # ------------------------------------------------------------------
+    def _rel_state(self, state: VciState) -> RelVciState:
+        rel = state.rel
+        if rel is None:
+            rel = state.rel = RelVciState()
+        return rel
+
+    def _rel_send(
+        self,
+        vci: int,
+        dst: tuple[int, int],
+        header: dict[str, Any],
+        payload,
+        cookie: Any,
+        req: Request | None,
+        send_entry: "SendEntry | None",
+        recv_key: Any,
+    ):
+        """Post one reliable packet: stamp ``rseq``, retain for
+        retransmission, and defer the completion cookie to the ack."""
+        state = self.vci_state(vci)
+        rel = self._rel_state(state)
+        link = rel.tx_link(dst)
+        if send_entry is None and cookie is not None:
+            send_entry = cookie[1]
+        if link.failed:
+            rel.stat_failures += 1
+            exc = PeerUnreachableError(
+                f"link ({self.rank}, {vci}) -> {dst} already declared dead"
+            )
+            self._rel_abort(state, send_entry, recv_key, req, exc)
+            return None
+        seq = link.next_seq
+        link.next_seq += 1
+        wire_header = dict(header, rseq=seq)
+        data = bytes(payload)
+        clock = self.fabric.clock
+        deadline = clock.now() + self.config.rel_rto
+        entry = UnackedEntry(seq, dst, wire_header, data, deadline, req, cookie, recv_key)
+        link.unacked[seq] = entry
+        clock.register_deadline(deadline)
+        self._ensure_rel_hook(vci, state)
+        return self.endpoint_for(vci).post_send(dst, wire_header, data, context=None)
+
+    def _ensure_rel_hook(self, vci: int, state: VciState) -> None:
+        """Arm the retransmit timer for this VCI: an internal async hook
+        registered through the ordinary ``MPIX_Async_start`` machinery,
+        so reliability work rides the same progress passes as user
+        hooks — no hidden thread (the paper's thesis, applied to
+        ourselves)."""
+        rel = state.rel
+        if rel.hook_active:
+            return
+        host = self._hook_host
+        if host is None:
+            return
+        rel.hook_active = True
+        host.async_start(
+            lambda thing: self.rel_poll(vci),
+            extra_state="rel-retransmit-timer",
+            stream=host.stream_for_vci(vci),
         )
+
+    def rel_poll(self, vci: int) -> int:
+        """One retransmit-timer pass (the async hook's poll function).
+
+        Resends unacked packets whose deadline expired, with exponential
+        backoff; a packet out of retries kills its whole link.  Pure
+        injection — never invokes progress (section 3.4's rule).
+        """
+        state = self.vci_state(vci)
+        rel = state.rel
+        cfg = self.config
+        clock = self.fabric.clock
+        now = clock.now()
+        advanced = False
+        endpoint = self.endpoint_for(vci)
+        for link in list(rel.tx.values()):
+            if not link.unacked:
+                continue
+            for entry in list(link.unacked.values()):
+                if entry.deadline > now:
+                    continue
+                if entry.retries >= cfg.rel_max_retries:
+                    self._rel_fail_link(state, link)
+                    advanced = True
+                    break
+                entry.retries += 1
+                rel.stat_retransmits += 1
+                entry.deadline = now + cfg.rel_rto * (cfg.rel_backoff**entry.retries)
+                clock.register_deadline(entry.deadline)
+                self.tracer.record(
+                    now,
+                    "rel_retransmit",
+                    seq=entry.seq,
+                    dst=entry.dst[0],
+                    pkt=entry.header.get("kind"),
+                    retry=entry.retries,
+                )
+                endpoint.post_send(entry.dst, entry.header, entry.payload, context=None)
+                advanced = True
+        if not rel.has_unacked():
+            rel.hook_active = False
+            return ASYNC_DONE
+        return ASYNC_PENDING if advanced else ASYNC_NOPROGRESS
+
+    def _rel_fail_link(self, state: VciState, link: TxLink) -> None:
+        """Exhausted retries: declare the link dead and fail everything
+        queued behind it."""
+        rel = state.rel
+        link.failed = True
+        entries = list(link.unacked.values())
+        link.unacked.clear()
+        exc = DeliveryFailedError(
+            f"delivery from rank {self.rank} to rank {link.dst[0]} "
+            f"(vci {link.dst[1]}) failed after {self.config.rel_max_retries} "
+            "retransmits"
+        )
+        now = self.fabric.clock.now()
+        for entry in entries:
+            rel.stat_failures += 1
+            self.tracer.record(
+                now,
+                "rel_fail",
+                seq=entry.seq,
+                dst=entry.dst[0],
+                pkt=entry.header.get("kind"),
+            )
+            send_entry = entry.cookie[1] if entry.cookie is not None else None
+            self._rel_abort(state, send_entry, entry.recv_key, entry.req, exc)
+
+    def _rel_abort(
+        self,
+        state: VciState,
+        send_entry: "SendEntry | None",
+        recv_key: Any,
+        req: Request | None,
+        exc: DeliveryFailedError,
+    ) -> None:
+        """Detach failed protocol state so finalize can drain, then
+        complete the owning request with the error captured."""
+        if send_entry is not None:
+            state.sends.pop(send_entry.msg_id, None)
+        if recv_key is not None:
+            state.recvs.pop(recv_key, None)
+        if req is not None:
+            req.fail(exc)
+
+    # ------------------------------------------------------------------
+    # Reliability: receiver side (dedup window, reorder restore, acks).
+    # ------------------------------------------------------------------
+    def _rel_ingress(self, vci: int, state: VciState, packet: Packet):
+        """Filter one netmod arrival through the reliability window.
+
+        Returns the packets to release to the protocol layer, strictly
+        in per-link ``rseq`` order: the arrival itself when in-order
+        (plus any buffered successors it unblocks), nothing when it is
+        a duplicate, out-of-order, or an ack.
+        """
+        header = packet.header
+        if header.get("kind") == "rel_ack":
+            self._rel_handle_ack(vci, state, packet)
+            return ()
+        rseq = header.get("rseq")
+        if rseq is None:
+            # Unsequenced traffic (e.g. posted before a config switch);
+            # nothing to dedup, deliver as-is.
+            return (packet,)
+        rel = self._rel_state(state)
+        link = rel.rx_link(packet.src)
+        deliverable: list[Packet] = []
+        if rseq == link.expected:
+            link.expected += 1
+            deliverable.append(packet)
+            while link.expected in link.buffered:
+                deliverable.append(link.buffered.pop(link.expected))
+                link.expected += 1
+        elif rseq > link.expected:
+            if rseq in link.buffered:
+                rel.stat_dedup_hits += 1
+                self.tracer.record(
+                    self.fabric.clock.now(),
+                    "rel_dedup",
+                    seq=rseq,
+                    src=packet.src[0],
+                    pkt=packet.kind,
+                )
+            else:
+                link.buffered[rseq] = packet
+                rel.stat_ooo_buffered += 1
+        else:
+            rel.stat_dedup_hits += 1
+            self.tracer.record(
+                self.fabric.clock.now(),
+                "rel_dedup",
+                seq=rseq,
+                src=packet.src[0],
+                pkt=packet.kind,
+            )
+        # Cumulative ack: highest in-order sequence delivered so far.
+        # Sent for every reliable arrival (duplicates included) so a
+        # lost ack is repaired by the sender's retransmit + this re-ack.
+        rel.stat_acks_tx += 1
+        self.tracer.record(
+            self.fabric.clock.now(),
+            "rel_ack_tx",
+            ack=link.expected - 1,
+            dst=packet.src[0],
+        )
+        self.endpoint_for(vci).post_send(
+            packet.src, {"kind": "rel_ack", "ack": link.expected - 1}, b"", context=None
+        )
+        return deliverable
+
+    def _rel_handle_ack(self, vci: int, state: VciState, packet: Packet) -> None:
+        rel = self._rel_state(state)
+        link = rel.tx_link(packet.src)
+        ack = packet.header["ack"]
+        rel.stat_acks_rx += 1
+        self.tracer.record(
+            self.fabric.clock.now(), "rel_ack_rx", ack=ack, src=packet.src[0]
+        )
+        acked: list[UnackedEntry] = []
+        # unacked is insertion-ordered with ascending seqs, so the scan
+        # stops at the first sequence beyond the cumulative ack.
+        for seq in list(link.unacked):
+            if seq > ack:
+                break
+            acked.append(link.unacked.pop(seq))
+        for entry in acked:
+            if entry.cookie is not None:
+                self._dispatch_completion(vci, state, entry.cookie)
+
+    def reliability_stats(self) -> dict[str, int]:
+        """Aggregated ack/retransmit counters across this rank's VCIs."""
+        totals = {
+            "retransmits": 0,
+            "acks_tx": 0,
+            "acks_rx": 0,
+            "dedup_hits": 0,
+            "ooo_buffered": 0,
+            "failures": 0,
+        }
+        for state in self._vcis.values():
+            if state.rel is not None:
+                for key, value in state.rel.stats().items():
+                    totals[key] += value
+        return totals
 
     def _select_mode(self, nbytes: int) -> SendMode:
         cfg = self.config
@@ -361,13 +642,20 @@ class P2PEngine:
             nbytes=entry.nbytes,
             dst=entry.dst_rank,
         )
-        if entry.mode is SendMode.BUFFERED:
+        buffered = entry.mode is SendMode.BUFFERED
+        if buffered and self._rel_on and not entry.use_shmem:
+            # Fire-and-forget is meaningless on a lossy link: completing
+            # the request before the ack would hide a dropped packet.
+            # Reliable mode therefore runs buffered sends through the
+            # eager path (completion deferred to the ack).
+            buffered = False
+        if buffered:
             # Lightweight send: the payload snapshot above IS the bounce
             # buffer copy; fire and forget, zero wait blocks.
             header = dict(base_header, kind="eager")
             self._post(vci, dst, header, payload, via_shmem=entry.use_shmem)
             entry.req.complete(count_bytes=entry.nbytes)
-        elif entry.mode is SendMode.EAGER:
+        elif entry.mode in (SendMode.BUFFERED, SendMode.EAGER):
             header = dict(base_header, kind="eager")
             entry.req.add_wait_block()
             state.sends[entry.msg_id] = entry
@@ -378,6 +666,7 @@ class P2PEngine:
                 payload,
                 context=("send_done", entry),
                 via_shmem=entry.use_shmem,
+                req=entry.req,
             )
         else:  # RENDEZVOUS or PIPELINE: RTS first.
             header = dict(
@@ -388,7 +677,15 @@ class P2PEngine:
             )
             entry.req.add_wait_block()  # waiting for CTS
             state.sends[entry.msg_id] = entry
-            self._post(vci, dst, header, b"", via_shmem=entry.use_shmem)
+            self._post(
+                vci,
+                dst,
+                header,
+                b"",
+                via_shmem=entry.use_shmem,
+                req=entry.req,
+                send_entry=entry,
+            )
 
     def _handle_cts(self, vci: int, state: VciState, msg_id: int) -> None:
         entry = state.sends.get(msg_id)
@@ -408,6 +705,7 @@ class P2PEngine:
                 entry.payload,
                 context=("send_done", entry),
                 via_shmem=entry.use_shmem,
+                req=entry.req,
             )
         else:  # PIPELINE
             chunk = self.config.pipeline_chunk_size
@@ -437,6 +735,7 @@ class P2PEngine:
                 entry.payload[entry.next_offset : end],
                 context=("chunk_done", entry),
                 via_shmem=entry.use_shmem,
+                req=entry.req,
             )
             entry.next_offset = end
             entry.inflight_chunks += 1
@@ -538,7 +837,15 @@ class P2PEngine:
         self.tracer.record(
             self.fabric.clock.now(), "cts_sent", msg_id=msg_id, nbytes=nbytes
         )
-        self._post(vci, src_addr, {"kind": "cts", "msg_id": msg_id}, b"", via_shmem=via_shmem)
+        self._post(
+            vci,
+            src_addr,
+            {"kind": "cts", "msg_id": msg_id},
+            b"",
+            via_shmem=via_shmem,
+            req=entry.req,
+            recv_key=(src_addr, msg_id),
+        )
 
     def _finish_large_recv(
         self,
@@ -691,9 +998,17 @@ class P2PEngine:
             if op.context is not None:
                 made = True
                 self._dispatch_completion(vci, state, op.context)
-        for packet in packets:
-            made = True
-            self._dispatch_packet(vci, state, packet)
+        if self._rel_on:
+            for packet in packets:
+                # Receiving anything (even a duplicate or an ack) is
+                # progress: it mutated reliability state.
+                made = True
+                for released in self._rel_ingress(vci, state, packet):
+                    self._dispatch_packet(vci, state, released)
+        else:
+            for packet in packets:
+                made = True
+                self._dispatch_packet(vci, state, packet)
         return made
 
     def progress_shmem(self, vci: int) -> bool:
@@ -795,6 +1110,12 @@ class P2PEngine:
         """Any protocol activity outstanding on this VCI?"""
         state = self.vci_state(vci)
         if state.sends or state.recvs or len(state.posted):
+            return True
+        # Unacked reliable sends keep the VCI busy (the retransmit hook
+        # must keep firing until the ack lands or the link dies).  Parked
+        # out-of-order *receives* deliberately do not: if the sender gave
+        # up, waiting on the gap would hang finalize forever.
+        if self._rel_on and state.rel is not None and state.rel.has_unacked():
             return True
         if self.netmod_has_work(vci):
             return True

@@ -1,0 +1,178 @@
+"""Ack/retransmit reliability protocol for the lossy fabric.
+
+When fault injection is active (or ``config.reliability == 'on'``),
+every netmod packet a rank posts is wrapped by this layer:
+
+* **sender** — each packet gets a per-``(vci, dst)`` link sequence
+  number (``rseq`` header field) and a copy is retained in the link's
+  unacked buffer with a retransmit deadline.  A retransmit timer —
+  implemented as an *internal MPIX async hook* registered through
+  exactly the machinery of :mod:`repro.core.async_ext`, per the paper's
+  thesis that hooks are a sufficient substrate for any background
+  protocol — resends expired entries with exponential backoff and
+  declares the link dead after ``rel_max_retries`` resends.
+* **receiver** — packets are released to the protocol layer strictly in
+  ``rseq`` order: in-order packets deliver immediately (plus any
+  buffered successors they unblock), future packets wait in a reorder
+  buffer, and already-delivered sequence numbers are counted as dedup
+  hits and discarded.  Every reliable arrival is answered with a
+  *cumulative* ack (kind ``rel_ack``) carrying the highest in-order
+  sequence delivered; acks themselves are unreliable — a lost ack is
+  repaired by the sender's retransmit and the receiver's re-ack.
+
+Because delivery to the protocol layer is restored to per-link FIFO,
+everything above (matching queues, rendezvous, pipeline chunks, RMA)
+runs unchanged on a lossy fabric.
+
+In reliable mode a send request's completion cookie fires when the
+packet is *acked* rather than when the local NIC op matures, so "send
+complete" implies the bytes reached the peer's endpoint — which is what
+makes exhausted retries expressible as a request failure instead of a
+silent hang.
+
+Locking: all state here is per-VCI and is mutated only under the owning
+stream's lock (posting paths take it in :mod:`repro.core.comm`; the
+progress engine and async hooks hold it during a pass), matching the
+discipline of :mod:`repro.p2p.protocol`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.request import Request
+
+__all__ = ["UnackedEntry", "TxLink", "RxLink", "RelVciState"]
+
+
+class UnackedEntry:
+    """One reliable packet awaiting a cumulative ack."""
+
+    __slots__ = (
+        "seq",
+        "dst",
+        "header",
+        "payload",
+        "deadline",
+        "retries",
+        "req",
+        "cookie",
+        "recv_key",
+    )
+
+    def __init__(
+        self,
+        seq: int,
+        dst: tuple[int, int],
+        header: dict[str, Any],
+        payload: bytes,
+        deadline: float,
+        req: "Request | None",
+        cookie: Any,
+        recv_key: Any,
+    ) -> None:
+        self.seq = seq
+        self.dst = dst
+        self.header = header
+        self.payload = payload
+        self.deadline = deadline
+        self.retries = 0
+        #: request to fail if retries are exhausted (None for packets
+        #: with no owning request, e.g. RMA control traffic)
+        self.req = req
+        #: completion context to dispatch when the ack lands (the
+        #: ("send_done"/"chunk_done", entry) cookie the NIC completion
+        #: would have carried in unreliable mode)
+        self.cookie = cookie
+        #: (src_addr, msg_id) key into ``VciState.recvs`` to clean up
+        #: when a receiver-side control packet (CTS) fails
+        self.recv_key = recv_key
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"UnackedEntry(seq={self.seq} -> {self.dst} "
+            f"{self.header.get('kind')} retries={self.retries})"
+        )
+
+
+class TxLink:
+    """Sender half of one reliable link ``(vci, dst_addr)``."""
+
+    __slots__ = ("dst", "next_seq", "unacked", "failed")
+
+    def __init__(self, dst: tuple[int, int]) -> None:
+        self.dst = dst
+        self.next_seq = 0
+        #: seq -> UnackedEntry, insertion-ordered (seqs ascend)
+        self.unacked: dict[int, UnackedEntry] = {}
+        #: set once retries are exhausted; later sends fail immediately
+        self.failed = False
+
+
+class RxLink:
+    """Receiver half of one reliable link ``(vci, src_addr)``."""
+
+    __slots__ = ("expected", "buffered")
+
+    def __init__(self) -> None:
+        #: next in-order sequence number to release upward
+        self.expected = 0
+        #: out-of-order packets parked until the gap fills: seq -> Packet
+        self.buffered: dict[int, Any] = {}
+
+
+class RelVciState:
+    """All reliability state and counters for one VCI."""
+
+    __slots__ = (
+        "tx",
+        "rx",
+        "hook_active",
+        "stat_retransmits",
+        "stat_acks_tx",
+        "stat_acks_rx",
+        "stat_dedup_hits",
+        "stat_ooo_buffered",
+        "stat_failures",
+    )
+
+    def __init__(self) -> None:
+        self.tx: dict[tuple[int, int], TxLink] = {}
+        self.rx: dict[tuple[int, int], RxLink] = {}
+        #: True while a retransmit-timer hook is registered for this VCI
+        self.hook_active = False
+        self.stat_retransmits = 0
+        self.stat_acks_tx = 0
+        self.stat_acks_rx = 0
+        self.stat_dedup_hits = 0
+        self.stat_ooo_buffered = 0
+        self.stat_failures = 0
+
+    def tx_link(self, dst: tuple[int, int]) -> TxLink:
+        link = self.tx.get(dst)
+        if link is None:
+            link = self.tx[dst] = TxLink(dst)
+        return link
+
+    def rx_link(self, src: tuple[int, int]) -> RxLink:
+        link = self.rx.get(src)
+        if link is None:
+            link = self.rx[src] = RxLink()
+        return link
+
+    def has_unacked(self) -> bool:
+        for link in self.tx.values():
+            if link.unacked:
+                return True
+        return False
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "retransmits": self.stat_retransmits,
+            "acks_tx": self.stat_acks_tx,
+            "acks_rx": self.stat_acks_rx,
+            "dedup_hits": self.stat_dedup_hits,
+            "ooo_buffered": self.stat_ooo_buffered,
+            "failures": self.stat_failures,
+        }

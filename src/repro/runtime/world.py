@@ -49,8 +49,13 @@ class World:
         if nranks <= 0:
             raise ValueError("nranks must be positive")
         self.nranks = nranks
-        self.config = config if config is not None else DEFAULT_CONFIG
-        self.config.validate()
+        # DEFAULT_CONFIG is validated once at import; only explicitly
+        # passed configs need checking here (mirrors Fabric).
+        if config is not None:
+            config.validate()
+            self.config = config
+        else:
+            self.config = DEFAULT_CONFIG
         self.clock = clock if clock is not None else MonotonicClock()
         self.fabric = Fabric(nranks, clock=self.clock, config=self.config)
         self.shmem = (
@@ -90,8 +95,55 @@ class World:
                 self._context_registry[key] = ctx
             return ctx
 
+    def rel_quiescent(self) -> bool:
+        """True when no rank holds unacked reliable traffic and the
+        fabric has nothing in flight.
+
+        Used by finalize: with the reliability layer active, a rank
+        stopping progress while a peer still awaits its acks would force
+        that peer into pointless retransmits (and eventually a spurious
+        link-failure).  MPI_Finalize is collective, so waiting for
+        world-wide quiescence is semantically free.
+        """
+        for proc in self._procs:
+            for state in proc.p2p._vcis.values():
+                if state.rel is not None and state.rel.has_unacked():
+                    return False
+        return self.fabric.total_pending() == 0
+
+    def _drain_reliability(self, *, max_spins: int = 1_000_000) -> None:
+        """Round-robin progress across ALL ranks until reliable traffic
+        quiesces.
+
+        Sequential finalize would otherwise deadlock: once rank 0
+        finalizes, nobody polls its endpoint, so a retransmit from rank
+        1 to rank 0 can never be acked.  Draining globally first means
+        each per-proc finalize afterwards finds nothing in flight.
+        """
+        spins = 0
+        while not self.rel_quiescent():
+            busy = False
+            for proc in self._procs:
+                if proc.finalized:
+                    continue
+                for stream in proc.streams:
+                    if proc.stream_progress(stream):
+                        busy = True
+            spins += 1
+            if spins > max_spins:
+                break  # per-proc finalize will surface the stuck state
+            if not busy:
+                for proc in self._procs:
+                    if not proc.finalized:
+                        proc.idle_wait()
+                        break
+
     def finalize(self) -> None:
         """Finalize every rank (single-threaded convenience)."""
+        if any(
+            not proc.finalized and proc.p2p._rel_on for proc in self._procs
+        ):
+            self._drain_reliability()
         for proc in self._procs:
             if not proc.finalized:
                 proc.finalize()

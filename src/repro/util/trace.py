@@ -16,7 +16,24 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any
 
-__all__ = ["TraceEvent", "Tracer"]
+__all__ = ["TraceEvent", "Tracer", "FAULT_EVENT_KINDS"]
+
+#: Event kinds recorded by the fault injector and the reliability
+#: layer.  ``Tracer.format_timeline(kinds=FAULT_EVENT_KINDS)`` filters
+#: a mixed trace down to the fault/recovery story.
+FAULT_EVENT_KINDS = frozenset(
+    {
+        "fault_drop",
+        "fault_dup",
+        "fault_reorder",
+        "fault_delay",
+        "rel_retransmit",
+        "rel_ack_tx",
+        "rel_ack_rx",
+        "rel_dedup",
+        "rel_fail",
+    }
+)
 
 
 @dataclass(frozen=True)
@@ -60,6 +77,31 @@ class Tracer:
 
     def count(self, kind: str, **match: Any) -> int:
         return len(self.events(kind, **match))
+
+    def format_timeline(
+        self,
+        *,
+        kinds: frozenset[str] | set[str] | None = None,
+        title: str | None = None,
+    ) -> str:
+        """Human-readable, time-ordered event dump.
+
+        Chaos tests print this on failure: with the fault injector's
+        seed in ``title`` the run replays exactly, so the timeline is a
+        reproduction script as much as a diagnostic.
+        """
+        with self._lock:
+            events = list(self._events)
+        if kinds is not None:
+            events = [e for e in events if e.kind in kinds]
+        events.sort(key=lambda e: e.time)
+        lines = [title] if title else []
+        if not events:
+            lines.append("  (no events recorded)")
+        for e in events:
+            fields = " ".join(f"{k}={v!r}" for k, v in sorted(e.fields.items()))
+            lines.append(f"  [{e.time * 1e6:12.3f}us] {e.kind:<14} {fields}")
+        return "\n".join(lines)
 
     def clear(self) -> None:
         with self._lock:

@@ -1,0 +1,120 @@
+"""Per-communicator error handlers and delivery-failure surfacing.
+
+A link whose retransmit budget is exhausted declares delivery failed.
+What happens next is the communicator's error handler's choice, exactly
+as in MPI: ``ERRORS_ARE_FATAL`` (default) raises from the wait that
+observes the failure; ``ERRORS_RETURN`` completes the request with the
+exception captured on it and lets the application inspect status.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.core.comm import ERRORS_ARE_FATAL, ERRORS_RETURN
+from tests.conftest import drive, make_vworld
+
+#: rank-0 -> rank-1 black hole: every packet on the link is dropped, so
+#: a send must exhaust its (small) retry budget and fail.  The receive
+#: is deliberately NOT posted — it could never complete.
+BLACKHOLE = dict(
+    fault_link_overrides={(0, 1): {"drop_prob": 1.0}},
+    rel_max_retries=3,
+    rel_rto=1e-5,
+    use_shmem=False,
+)
+
+
+def _drive_until(world, req, max_iters=200_000):
+    """Progress all ranks until ``req`` completes (possibly failed)."""
+    drive(world, [req], max_iters=max_iters)
+
+
+class TestErrorsReturn:
+    def test_request_completes_with_captured_exception(self):
+        world = make_vworld(2, **BLACKHOLE)
+        comm = world.proc(0).comm_world
+        comm.set_errhandler(ERRORS_RETURN)
+        req = comm.isend(b"doomed", 6, repro.BYTE, 1, tag=0)
+        _drive_until(world, req)
+        assert req.is_complete()
+        assert isinstance(req.exception, repro.DeliveryFailedError)
+        assert req.status.error != 0
+
+    def test_wait_returns_normally(self):
+        world = make_vworld(2, **BLACKHOLE)
+        proc = world.proc(0)
+        comm = proc.comm_world
+        comm.set_errhandler(ERRORS_RETURN)
+        req = comm.isend(b"doomed", 6, repro.BYTE, 1, tag=0)
+        _drive_until(world, req)
+        proc.wait(req)  # must NOT raise
+        assert isinstance(req.exception, repro.DeliveryFailedError)
+
+    def test_failure_counted_and_link_stays_dead(self):
+        world = make_vworld(2, **BLACKHOLE)
+        proc = world.proc(0)
+        comm = proc.comm_world
+        comm.set_errhandler(ERRORS_RETURN)
+        req = comm.isend(b"doomed", 6, repro.BYTE, 1, tag=0)
+        _drive_until(world, req)
+        assert proc.p2p.reliability_stats()["failures"] >= 1
+        # A later send on the dead link fails immediately (PeerUnreachable).
+        req2 = comm.isend(b"more", 4, repro.BYTE, 1, tag=1)
+        _drive_until(world, req2)
+        assert isinstance(req2.exception, repro.DeliveryFailedError)
+
+    def test_finalize_clean_after_failure(self):
+        world = make_vworld(2, **BLACKHOLE)
+        comm = world.proc(0).comm_world
+        comm.set_errhandler(ERRORS_RETURN)
+        req = comm.isend(b"doomed", 6, repro.BYTE, 1, tag=0)
+        _drive_until(world, req)
+        world.finalize()  # failed state must not wedge the drain
+        assert world.proc(0).finalized and world.proc(1).finalized
+
+
+class TestErrorsAreFatal:
+    def test_wait_raises_delivery_failed(self):
+        world = make_vworld(2, **BLACKHOLE)
+        proc = world.proc(0)
+        req = proc.comm_world.isend(b"doomed", 6, repro.BYTE, 1, tag=0)
+        _drive_until(world, req)
+        with pytest.raises(repro.DeliveryFailedError):
+            proc.wait(req)
+
+    def test_test_raises_delivery_failed(self):
+        world = make_vworld(2, **BLACKHOLE)
+        proc = world.proc(0)
+        req = proc.comm_world.isend(b"doomed", 6, repro.BYTE, 1, tag=0)
+        _drive_until(world, req)
+        with pytest.raises(repro.DeliveryFailedError):
+            proc.test(req)
+
+
+class TestErrhandlerAPI:
+    def test_default_is_fatal(self, proc):
+        assert proc.comm_world.get_errhandler() == ERRORS_ARE_FATAL
+
+    def test_invalid_handler_rejected(self, proc):
+        with pytest.raises(ValueError):
+            proc.comm_world.set_errhandler("ignore")
+
+    def test_dup_inherits_handler(self, proc):
+        proc.comm_world.set_errhandler(ERRORS_RETURN)
+        child = proc.comm_world.dup()
+        assert child.get_errhandler() == ERRORS_RETURN
+        proc.comm_world.set_errhandler(ERRORS_ARE_FATAL)
+
+    def test_split_inherits_handler(self, proc):
+        proc.comm_world.set_errhandler(ERRORS_RETURN)
+        child = proc.comm_world.split(color=0)
+        assert child.get_errhandler() == ERRORS_RETURN
+        proc.comm_world.set_errhandler(ERRORS_ARE_FATAL)
+
+    def test_exported_constants(self):
+        assert repro.ERRORS_ARE_FATAL == ERRORS_ARE_FATAL
+        assert repro.ERRORS_RETURN == ERRORS_RETURN
+        assert issubclass(repro.PeerUnreachableError, repro.DeliveryFailedError)
+        assert issubclass(repro.DeliveryFailedError, repro.MpiError)

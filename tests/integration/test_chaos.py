@@ -1,0 +1,280 @@
+"""Chaos soak: the messaging stack on a lossy fabric.
+
+Every test runs with fault injection active (seeded drop + duplication
++ reordering) and therefore with the ack/retransmit reliability layer
+armed.  Assertions are end-to-end MPI semantics — byte-identical
+payloads, per-(ctx, src, tag) FIFO ordering, clean finalize — plus the
+introspection counters proving the faults actually happened and were
+repaired (a chaos run where nothing was dropped proves nothing).
+
+All soak tests drive the world single-threaded on a virtual clock, so
+any failure replays exactly from its ``fault_seed``; on mismatch the
+fault timeline is printed as a reproduction script.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.usercoll import user_allreduce
+from tests.conftest import drive, make_vworld
+
+SOAK_SEEDS = [1, 2, 3]
+
+CHAOS_KNOBS = dict(
+    fault_drop_prob=0.05,
+    fault_dup_prob=0.02,
+    fault_reorder_prob=0.05,
+    use_shmem=False,  # every packet crosses the lossy fabric
+)
+
+
+def chaos_world(nranks: int, seed: int, **extra):
+    return make_vworld(nranks, fault_seed=seed, **{**CHAOS_KNOBS, **extra})
+
+
+def assert_faults_repaired(world) -> None:
+    """The run must have seen real faults AND real repairs.
+
+    A dropped *ack* is repaired for free by a later cumulative ack, so
+    the retransmit/dedup guarantees are conditioned on faults that hit
+    sequenced data packets: a dropped data packet can only ever complete
+    via a retransmit, and a duplicated data packet whose two copies both
+    arrive must produce a dedup hit.
+    """
+    faults = world.fabric.fault_stats()
+    rel = {
+        k: sum(world.proc(r).p2p.reliability_stats()[k] for r in range(world.nranks))
+        for k in ("retransmits", "dedup_hits", "failures")
+    }
+    tracer = world.fabric.faults.tracer
+    data_drops = [
+        e for e in tracer.events("fault_drop") if e["pkt"] != "rel_ack"
+    ]
+    data_dups = [e for e in tracer.events("fault_dup") if e["pkt"] != "rel_ack"]
+    timeline = world.fabric.faults.format_timeline()
+    assert faults["dropped"] > 0, timeline
+    if data_drops:
+        assert rel["retransmits"] > 0, (rel, timeline)
+    if data_dups:
+        assert rel["dedup_hits"] > 0, (rel, timeline)
+    assert rel["failures"] == 0, (rel, timeline)
+
+
+class TestChaosP2P:
+    @pytest.mark.parametrize("seed", SOAK_SEEDS)
+    def test_payload_integrity_across_modes(self, seed):
+        """Messages spanning all four send modes arrive byte-identical."""
+        world = chaos_world(2, seed, eager_threshold=1 << 12)
+        c0 = world.proc(0).comm_world
+        c1 = world.proc(1).comm_world
+        # Sizes hitting buffered, eager, rendezvous and pipeline paths.
+        sizes = [0, 1, 17, 256, 1 << 12, 1 << 15, 1 << 17]
+        msgs = [bytes((i * 31 + j) % 256 for j in range(n)) for i, n in enumerate(sizes)]
+        bufs = [bytearray(max(n, 1)) for n in sizes]
+        reqs = []
+        for i, m in enumerate(msgs):
+            reqs.append(c0.isend(m, len(m), repro.BYTE, 1, tag=i))
+            reqs.append(c1.irecv(bufs[i], len(m), repro.BYTE, 0, tag=i))
+        drive(world, reqs)
+        for i, m in enumerate(msgs):
+            got = bytes(bufs[i][: len(m)])
+            assert got == m, (
+                f"payload {i} corrupted under fault_seed={seed}\n"
+                + world.fabric.faults.format_timeline()
+            )
+        assert_faults_repaired(world)
+        world.finalize()
+
+    @pytest.mark.parametrize("seed", SOAK_SEEDS)
+    def test_fifo_per_sender_tag(self, seed):
+        """Same (ctx, src, tag) messages match in posting order despite
+        wire-level reordering — MPI's non-overtaking guarantee."""
+        world = chaos_world(2, seed)
+        c0 = world.proc(0).comm_world
+        c1 = world.proc(1).comm_world
+        n = 64
+        msgs = [i.to_bytes(4, "little") for i in range(n)]
+        bufs = [bytearray(4) for _ in range(n)]
+        reqs = []
+        for m in msgs:
+            reqs.append(c0.isend(m, 4, repro.BYTE, 1, tag=5))
+        for b in bufs:
+            reqs.append(c1.irecv(b, 4, repro.BYTE, 0, tag=5))
+        drive(world, reqs)
+        order = [int.from_bytes(bytes(b), "little") for b in bufs]
+        assert order == list(range(n)), (
+            f"FIFO violated under fault_seed={seed}: {order}\n"
+            + world.fabric.faults.format_timeline()
+        )
+        assert_faults_repaired(world)
+        world.finalize()
+
+
+class TestChaosCollectives:
+    @pytest.mark.parametrize("seed", SOAK_SEEDS)
+    def test_collective_suite(self, seed):
+        """bcast + allreduce + allgather + alltoall, all lossy."""
+        world = chaos_world(4, seed)
+        comms = [world.proc(r).comm_world for r in range(4)]
+
+        bcast_bufs = [np.zeros(8, dtype="i4") for _ in range(4)]
+        bcast_bufs[0][:] = np.arange(8)
+        reqs = [c.ibcast(bcast_bufs[r], 8, repro.INT, 0) for r, c in enumerate(comms)]
+        drive(world, reqs)
+        for r in range(4):
+            assert list(bcast_bufs[r]) == list(range(8)), f"bcast rank {r}"
+
+        outs = [np.zeros(4, dtype="i8") for _ in range(4)]
+        reqs = [
+            c.iallreduce(np.full(4, r + 1, dtype="i8"), outs[r], 4, repro.INT64)
+            for r, c in enumerate(comms)
+        ]
+        drive(world, reqs)
+        for r in range(4):
+            assert list(outs[r]) == [10] * 4, f"allreduce rank {r}"
+
+        gathers = [np.zeros(4, dtype="i4") for _ in range(4)]
+        reqs = [
+            c.iallgather(np.array([r * 11], dtype="i4"), gathers[r], 1, repro.INT)
+            for r, c in enumerate(comms)
+        ]
+        drive(world, reqs)
+        for r in range(4):
+            assert list(gathers[r]) == [0, 11, 22, 33], f"allgather rank {r}"
+
+        a2a_out = [np.zeros(4, dtype="i4") for _ in range(4)]
+        reqs = [
+            c.ialltoall(
+                np.array([r * 10 + j for j in range(4)], dtype="i4"),
+                a2a_out[r],
+                1,
+                repro.INT,
+            )
+            for r, c in enumerate(comms)
+        ]
+        drive(world, reqs)
+        for r in range(4):
+            assert list(a2a_out[r]) == [j * 10 + r for j in range(4)], f"alltoall {r}"
+
+        assert_faults_repaired(world)
+        world.finalize()
+
+    @pytest.mark.parametrize("seed", SOAK_SEEDS)
+    def test_user_collective(self, seed):
+        """The paper's hook-based user allreduce also survives loss —
+        its hooks and the retransmit timer share one progress engine."""
+        world = chaos_world(3, seed)
+        bufs = [np.array([r + 1, 10 * (r + 1)], dtype="i4") for r in range(3)]
+        reqs = [
+            user_allreduce(world.proc(r).comm_world, bufs[r], 2, repro.INT, repro.SUM)
+            for r in range(3)
+        ]
+        drive(world, reqs)
+        for r in range(3):
+            assert list(bufs[r]) == [6, 60], f"user allreduce rank {r}"
+        assert_faults_repaired(world)
+        world.finalize()
+
+
+class TestChaosFinalize:
+    @pytest.mark.parametrize("seed", SOAK_SEEDS)
+    def test_finalize_drains_inflight_retransmit_state(self, seed):
+        """Finalize immediately after completion: in-flight acks and
+        retained unacked copies must drain, not wedge or leak."""
+        world = chaos_world(2, seed)
+        c0 = world.proc(0).comm_world
+        c1 = world.proc(1).comm_world
+        buf = bytearray(1 << 12)
+        reqs = [
+            c0.isend(bytes(range(256)) * 16, 1 << 12, repro.BYTE, 1, tag=0),
+            c1.irecv(buf, 1 << 12, repro.BYTE, 0, tag=0),
+        ]
+        drive(world, reqs)
+        world.finalize()  # must converge without PendingOperationsError
+        assert world.rel_quiescent()
+        for r in range(2):
+            assert world.proc(r).finalized
+
+
+class TestDedupProperty:
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(min_value=1, max_value=10_000),
+        dup_prob=st.floats(min_value=0.05, max_value=0.5),
+        nmsgs=st.integers(min_value=1, max_value=12),
+    )
+    def test_duplicates_never_double_deliver(self, seed, dup_prob, nmsgs):
+        """Property: whatever the duplication rate, each message is
+        delivered exactly once and reqs complete with exact counts."""
+        world = make_vworld(
+            2,
+            fault_seed=seed,
+            fault_dup_prob=dup_prob,
+            use_shmem=False,
+        )
+        c0 = world.proc(0).comm_world
+        c1 = world.proc(1).comm_world
+        msgs = [bytes([i + 1]) * (8 + i) for i in range(nmsgs)]
+        bufs = [bytearray(len(m)) for m in msgs]
+        reqs = []
+        for i, m in enumerate(msgs):
+            reqs.append(c0.isend(m, len(m), repro.BYTE, 1, tag=i))
+            reqs.append(c1.irecv(bufs[i], len(m), repro.BYTE, 0, tag=i))
+        drive(world, reqs)
+        for i, m in enumerate(msgs):
+            assert bytes(bufs[i]) == m
+            # exactly-once: the receive saw len(m) bytes, no more
+            assert reqs[2 * i + 1].status.count_bytes == len(m)
+        data_dups = [
+            e
+            for e in world.fabric.faults.tracer.events("fault_dup")
+            if e["pkt"] != "rel_ack" and e["dst"] == 1
+        ]
+        dedup = world.proc(1).p2p.reliability_stats()["dedup_hits"]
+        if data_dups:
+            assert dedup > 0, world.fabric.faults.format_timeline()
+        world.finalize()
+
+
+class TestChaosIntrospection:
+    def test_snapshot_reports_fault_and_rel_counters(self):
+        world = chaos_world(2, seed=11)
+        c0 = world.proc(0).comm_world
+        c1 = world.proc(1).comm_world
+        buf = bytearray(512)
+        drive(
+            world,
+            [
+                c0.isend(b"x" * 512, 512, repro.BYTE, 1, tag=0),
+                c1.irecv(buf, 512, repro.BYTE, 0, tag=0),
+            ],
+        )
+        snap = repro.progress_snapshot(world.proc(0))
+        assert snap.faults is not None and snap.faults["packets"] > 0
+        report = snap.format_report()
+        assert "fault injection" in report
+        world.finalize()
+
+    def test_timeline_keyed_by_seed(self):
+        world = chaos_world(2, seed=99)
+        c0 = world.proc(0).comm_world
+        c1 = world.proc(1).comm_world
+        buf = bytearray(64)
+        drive(
+            world,
+            [
+                c0.isend(b"y" * 64, 64, repro.BYTE, 1, tag=0),
+                c1.irecv(buf, 64, repro.BYTE, 0, tag=0),
+            ],
+        )
+        assert "fault_seed=99" in world.fabric.faults.format_timeline()
+        world.finalize()

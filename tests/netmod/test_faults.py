@@ -1,0 +1,207 @@
+"""Unit tests for the fault-injection layer and its config plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG, RuntimeConfig
+from repro.netmod.fabric import Fabric
+from repro.netmod.faults import FaultInjector, FaultPlan
+from repro.netmod.packet import Packet
+from repro.util.clock import VirtualClock
+
+
+def make_injector(**knobs) -> FaultInjector:
+    return FaultInjector(RuntimeConfig(**knobs), VirtualClock())
+
+
+def pkt(src=0, dst=1, seq=1) -> Packet:
+    return Packet((src, 0), (dst, 0), {"kind": "eager"}, b"x", seq=seq)
+
+
+class TestConfigKnobs:
+    def test_defaults_inactive(self):
+        cfg = RuntimeConfig()
+        assert not cfg.faults_active()
+        assert not cfg.reliability_active()
+
+    @pytest.mark.parametrize(
+        "knobs",
+        [
+            {"fault_drop_prob": 0.1},
+            {"fault_dup_prob": 0.1},
+            {"fault_reorder_prob": 0.1},
+            {"fault_delay_jitter": 1e-6},
+            {"fault_link_overrides": {(0, 1): {"drop_prob": 1.0}}},
+            {"fault_plan": FaultPlan().drop(0, 1, 1)},
+        ],
+    )
+    def test_any_knob_activates_faults_and_reliability(self, knobs):
+        cfg = RuntimeConfig(**knobs)
+        assert cfg.faults_active()
+        assert cfg.reliability_active()  # 'auto' follows faults
+
+    def test_reliability_force_on_off(self):
+        assert RuntimeConfig(reliability="on").reliability_active()
+        off = RuntimeConfig(fault_drop_prob=0.1, reliability="off")
+        assert off.faults_active() and not off.reliability_active()
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"fault_drop_prob": -0.1},
+            {"fault_drop_prob": 1.5},
+            {"fault_dup_prob": 2.0},
+            {"fault_reorder_prob": -1.0},
+            {"fault_delay_jitter": -1e-6},
+            {"fault_reorder_span": 0.5},
+            {"reliability": "sometimes"},
+            {"rel_rto": 0.0},
+            {"rel_backoff": 0.5},
+            {"rel_max_retries": 0},
+            {"fault_link_overrides": {(0,): {"drop_prob": 0.5}}},
+            {"fault_link_overrides": {(0, 1): {"lose_prob": 0.5}}},
+            {"fault_link_overrides": {(0, 1): {"drop_prob": 7.0}}},
+        ],
+    )
+    def test_validate_rejects(self, bad):
+        with pytest.raises(ValueError):
+            RuntimeConfig(**bad).validate()
+
+
+class TestFabricConstruction:
+    def test_default_config_not_revalidated(self, monkeypatch):
+        """Satellite fix: constructing a Fabric with the shared default
+        config must not re-validate it every time."""
+        calls = []
+        monkeypatch.setattr(
+            type(DEFAULT_CONFIG),
+            "validate",
+            lambda self: calls.append(1),
+        )
+        Fabric(2)
+        assert calls == []
+        Fabric(2, config=RuntimeConfig(fault_drop_prob=0.1, fault_seed=1))
+        assert calls == [1]
+
+    def test_explicit_config_still_validated(self):
+        with pytest.raises(ValueError):
+            Fabric(2, config=RuntimeConfig(fault_drop_prob=3.0))
+
+    def test_no_injector_on_perfect_fabric(self):
+        fabric = Fabric(2)
+        assert fabric.faults is None
+        assert fabric.fault_stats() is None
+
+    def test_injector_created_when_faults_active(self):
+        fabric = Fabric(2, config=RuntimeConfig(fault_drop_prob=0.1, fault_seed=1))
+        assert fabric.faults is not None
+        assert fabric.fault_stats() == {
+            "packets": 0,
+            "dropped": 0,
+            "duplicated": 0,
+            "reordered": 0,
+            "delayed": 0,
+            "plan_hits": 0,
+        }
+
+
+class TestInjectorDeterminism:
+    def test_same_seed_same_schedule(self):
+        runs = []
+        for _ in range(2):
+            inj = make_injector(fault_seed=5, fault_drop_prob=0.2, fault_dup_prob=0.2)
+            runs.append([inj.schedule(pkt(seq=i), float(i)) for i in range(200)])
+        assert runs[0] == runs[1]
+
+    def test_different_seed_different_schedule(self):
+        def run(seed):
+            inj = make_injector(fault_seed=seed, fault_drop_prob=0.3)
+            return [inj.schedule(pkt(seq=i), float(i)) for i in range(200)]
+
+        assert run(1) != run(2)
+
+    def test_drop_returns_no_arrivals(self):
+        inj = make_injector(fault_seed=1, fault_drop_prob=1.0)
+        assert inj.schedule(pkt(), 1.0) == []
+        assert inj.stats()["dropped"] == 1
+
+    def test_dup_returns_two_arrivals(self):
+        inj = make_injector(fault_seed=1, fault_dup_prob=1.0)
+        times = inj.schedule(pkt(), 1.0)
+        assert len(times) == 2 and times[0] == 1.0 and times[1] > 1.0
+        assert inj.stats()["duplicated"] == 1
+
+    def test_reorder_holds_packet_back(self):
+        inj = make_injector(fault_seed=1, fault_reorder_prob=1.0)
+        (t,) = inj.schedule(pkt(), 1.0)
+        assert t > 1.0
+        assert inj.stats()["reordered"] == 1
+
+    def test_jitter_delays(self):
+        inj = make_injector(fault_seed=1, fault_delay_jitter=1e-3)
+        (t,) = inj.schedule(pkt(), 1.0)
+        assert 1.0 <= t <= 1.0 + 1e-3
+        assert inj.stats()["delayed"] == 1
+
+
+class TestLinkOverrides:
+    def test_override_applies_to_named_link_only(self):
+        inj = make_injector(
+            fault_seed=1,
+            fault_link_overrides={(0, 1): {"drop_prob": 1.0}},
+        )
+        assert inj.schedule(pkt(src=0, dst=1), 1.0) == []
+        assert inj.schedule(pkt(src=1, dst=0), 1.0) == [1.0]
+        assert inj.schedule(pkt(src=0, dst=2, seq=3), 1.0) == [1.0]
+
+    def test_override_can_relax_global_knob(self):
+        inj = make_injector(
+            fault_seed=1,
+            fault_drop_prob=1.0,
+            fault_link_overrides={(0, 1): {"drop_prob": 0.0}},
+        )
+        assert inj.schedule(pkt(src=0, dst=1), 1.0) == [1.0]
+        assert inj.schedule(pkt(src=1, dst=0), 1.0) == []
+
+
+class TestFaultPlan:
+    def test_targeted_drop_by_ordinal(self):
+        plan = FaultPlan().drop(src=0, dst=1, nth=3)
+        inj = make_injector(fault_plan=plan)
+        fates = [inj.schedule(pkt(seq=i), 1.0) for i in range(1, 6)]
+        assert fates == [[1.0], [1.0], [], [1.0], [1.0]]
+        assert inj.stats()["plan_hits"] == 1
+
+    def test_targeted_duplicate_and_delay(self):
+        plan = (
+            FaultPlan()
+            .duplicate(src=0, dst=1, nth=1)
+            .delay(src=0, dst=1, nth=2, by=5e-6)
+        )
+        inj = make_injector(fault_plan=plan)
+        first = inj.schedule(pkt(seq=1), 1.0)
+        second = inj.schedule(pkt(seq=2), 1.0)
+        assert len(first) == 2
+        assert second == [1.0 + 5e-6]
+        assert inj.stats()["plan_hits"] == 2
+
+    def test_plan_validates_arguments(self):
+        with pytest.raises(ValueError):
+            FaultPlan().drop(0, 1, nth=0)
+        with pytest.raises(ValueError):
+            FaultPlan().delay(0, 1, nth=1, by=-1.0)
+
+    def test_rules_count(self):
+        plan = FaultPlan().drop(0, 1, 1).duplicate(1, 0, 2)
+        assert len(plan) == 2
+
+
+class TestTimeline:
+    def test_events_recorded_and_formatted(self):
+        inj = make_injector(fault_seed=13, fault_drop_prob=1.0)
+        inj.schedule(pkt(), 1.0)
+        out = inj.format_timeline()
+        assert "fault_seed=13" in out
+        assert "fault_drop" in out
+        assert len(inj.tracer.events("fault_drop")) == 1
