@@ -16,7 +16,6 @@ matching Listing 1.2's observed behaviour.
 
 from __future__ import annotations
 
-import threading
 from typing import TYPE_CHECKING, Any, Iterable
 
 from repro.config import RuntimeConfig
@@ -35,6 +34,7 @@ from repro.errors import (
     TruncationError,
 )
 from repro.p2p.protocol import P2PEngine
+from repro.util import sync as _sync
 from repro.util.atomic import AtomicCounter
 from repro.util.trace import Tracer
 
@@ -87,7 +87,7 @@ class Proc:
         self.default_stream = MpixStream(vci=0)
         self._streams: list[MpixStream] = [self.default_stream]
         self._vci_counter = 1
-        self._stream_lock = threading.Lock()
+        self._stream_lock = _sync.make_lock(f"proc{rank}.streams")
 
         self._pending_async = AtomicCounter(0)
         self.finalized = False

@@ -33,7 +33,6 @@ lock — the contention measured in Fig. 9.
 
 from __future__ import annotations
 
-import threading
 import time as _time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
@@ -46,6 +45,7 @@ from repro.core.async_ext import (
 )
 from repro.core.stream import MpixStream
 from repro.errors import MpiError, ProgressReentryError
+from repro.util import sync as _sync
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.mpi import Proc
@@ -300,7 +300,7 @@ class ProgressEngine:
         self, stream: MpixStream, state: ProgressState | None = None
     ) -> bool:
         """``MPIX_Stream_progress``: one locked pass for ``stream``."""
-        ident = threading.get_ident()
+        ident = _sync.get_ident()
         if stream._progress_depth and stream._owner == ident:
             raise ProgressReentryError(
                 "progress invoked recursively from inside a progress hook; "

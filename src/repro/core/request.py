@@ -12,11 +12,11 @@ context (:mod:`repro.core.mpi`), because progress needs the engine.
 from __future__ import annotations
 
 import itertools
-import threading
 from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.errors import ERR_DELIVERY_FAILED
+from repro.util import sync as _sync
 
 __all__ = ["Status", "Request", "request_is_complete"]
 
@@ -65,6 +65,7 @@ class Request:
         "user_data",
         "exception",
         "errhandler",
+        "__weakref__",  # the dsched invariant monitor watches requests
     )
 
     def __init__(self, kind: str = "generic") -> None:
@@ -74,7 +75,7 @@ class Request:
         self.status = Status()
         self.wait_blocks = 0
         self._on_complete: list[Callable[["Request"], None]] = []
-        self._cb_lock = threading.Lock()
+        self._cb_lock = _sync.make_lock(f"req{self.req_id}.cb")
         self.freed = False
         #: scratch slot for user layers (continuations, schedules, ...)
         self.user_data: Any = None
@@ -84,6 +85,7 @@ class Request:
         #: at post time ('fatal' raises from wait, 'return' completes
         #: the request with the error recorded)
         self.errhandler: str = "fatal"
+        _sync.note_request(self)
 
     # ------------------------------------------------------------------
     def is_complete(self) -> bool:

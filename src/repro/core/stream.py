@@ -21,8 +21,9 @@ lock that Fig. 9's contention experiment measures.
 from __future__ import annotations
 
 import itertools
-import threading
 from typing import TYPE_CHECKING, Any
+
+from repro.util import sync as _sync
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.async_ext import AsyncThing
@@ -85,12 +86,12 @@ class MpixStream:
         # new operations on the same stream (Listing 1.8 does exactly
         # that); only recursive *progress* is forbidden, enforced by the
         # explicit _progress_depth/_owner guard in the engine.
-        self.lock = threading.RLock()
+        self.lock = _sync.make_rlock(f"stream{self.stream_id}.lock")
         self.async_tasks: list["AsyncThing"] = []
         #: tasks registered from any thread, drained by progress passes
         #: (keeps async_start itself lock-cheap and race-free)
         self._inbox: list["AsyncThing"] = []
-        self._inbox_lock = threading.Lock()
+        self._inbox_lock = _sync.make_lock(f"stream{self.stream_id}.inbox")
         #: recursion guard: >0 while a progress pass runs on this stream
         self._progress_depth = 0
         #: thread ident of the in-progress owner (re-entry detection)

@@ -1,0 +1,54 @@
+"""Deterministic interleaving explorer for the progress engine.
+
+Runs N logical threads cooperatively with a yield point at every
+instrumented synchronization operation, every scheduling decision drawn
+from one seeded RNG, and always-on concurrency invariant checkers.  See
+:mod:`repro.dsched.sched` for the scheduler, :mod:`repro.dsched.explore`
+for the seed-sweep / DFS drivers, and ``docs/GUIDE.md`` ("Deterministic
+concurrency testing") for the cookbook.
+"""
+
+from repro.dsched.explore import (
+    ExplorationResult,
+    ScheduleFailure,
+    explore_dfs,
+    explore_seeds,
+    run_schedule,
+)
+from repro.dsched.invariants import (
+    ConservationError,
+    DeadlockError,
+    InvariantError,
+    InvariantMonitor,
+    LivelockError,
+    LockOrderError,
+    MonotonicityError,
+)
+from repro.dsched.primitives import DetCondition, DetEvent, DetLock, DetRLock
+from repro.dsched.sched import DetScheduler, DetThread, SchedulerAbort
+from repro.dsched.trace import Decision, DecisionTrace, ReplayDivergenceError
+
+__all__ = [
+    "DetScheduler",
+    "DetThread",
+    "SchedulerAbort",
+    "DetLock",
+    "DetRLock",
+    "DetCondition",
+    "DetEvent",
+    "Decision",
+    "DecisionTrace",
+    "ReplayDivergenceError",
+    "InvariantMonitor",
+    "InvariantError",
+    "DeadlockError",
+    "LivelockError",
+    "MonotonicityError",
+    "ConservationError",
+    "LockOrderError",
+    "explore_seeds",
+    "explore_dfs",
+    "run_schedule",
+    "ExplorationResult",
+    "ScheduleFailure",
+]

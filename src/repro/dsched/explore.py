@@ -1,0 +1,174 @@
+"""Schedule exploration drivers: seed sweeps and exhaustive DFS.
+
+A *scenario* is a callable ``scenario(sched)`` that builds fresh state
+(worlds, requests, shared objects) and spawns logical threads via
+``sched.spawn``; the drivers here construct one
+:class:`~repro.dsched.sched.DetScheduler` per schedule, install it, run
+the scenario, and collect every failing schedule with its decision
+trace.  Scenarios must build *all* mutable state inside the call —
+state leaking across runs is the classic way to break replayability
+(and shows up as :class:`~repro.dsched.trace.ReplayDivergenceError`).
+
+Two strategies:
+
+* :func:`explore_seeds` — run the scenario once per seed (optionally in
+  PCT mode).  Coverage grows with the seed count; the CI matrix sweeps
+  a fixed seed range so failures name the exact seed to rerun.
+* :func:`explore_dfs` — enumerate every interleaving of a small-bound
+  scenario by depth-first search over the decision tree, forcing
+  alternative branches via ``dfs_prefix``.  Exhaustive, so only viable
+  for scenarios with tens of branching decisions; gate such tests with
+  ``@pytest.mark.slow``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.dsched.sched import DetScheduler
+from repro.dsched.trace import DecisionTrace
+
+__all__ = [
+    "ScheduleFailure",
+    "ExplorationResult",
+    "run_schedule",
+    "explore_seeds",
+    "explore_dfs",
+]
+
+
+@dataclass
+class ScheduleFailure:
+    """One failing schedule: what to rerun and the full repro trace."""
+
+    error: BaseException
+    trace: DecisionTrace
+    seed: int | None = None
+    prefix: list[int] | None = None
+
+    def format(self) -> str:
+        key = f"seed={self.seed}" if self.seed is not None else f"prefix={self.prefix}"
+        head = f"{type(self.error).__name__} at {key}: {self.error}"
+        return f"{head}\n{self.trace.format(title=f'failing schedule {key}')}"
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome of an exploration sweep."""
+
+    schedules: int = 0
+    decisions: int = 0  #: branching decisions across all schedules
+    failures: list[ScheduleFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def report(self) -> str:
+        lines = [
+            f"explored {self.schedules} schedules "
+            f"({self.decisions} branching decisions), "
+            f"{len(self.failures)} failing"
+        ]
+        lines.extend(f.format() for f in self.failures)
+        return "\n".join(lines)
+
+    def raise_if_failed(self) -> None:
+        if self.failures:
+            first = self.failures[0]
+            raise AssertionError(self.report()) from first.error
+
+
+def run_schedule(
+    scenario: Callable[[DetScheduler], Any],
+    *,
+    seed: int = 0,
+    mode: str = "random",
+    replay: DecisionTrace | None = None,
+    dfs_prefix: list[int] | None = None,
+    timeout: float = 60.0,
+    **sched_kwargs: Any,
+) -> tuple[DetScheduler, BaseException | None]:
+    """Run ``scenario`` under one schedule; never raises scenario errors.
+
+    Returns the (finished, uninstalled) scheduler — whose ``trace`` is
+    the schedule that ran — and the failure, or None on success.
+    """
+    sched = DetScheduler(
+        seed, mode=mode, replay=replay, dfs_prefix=dfs_prefix, **sched_kwargs
+    )
+    failure: BaseException | None = None
+    with sched:
+        try:
+            scenario(sched)
+            sched.run(timeout)
+        except Exception as exc:  # noqa: BLE001 - collected for the report
+            failure = exc
+    return sched, failure
+
+
+def explore_seeds(
+    scenario: Callable[[DetScheduler], Any],
+    seeds: range | list[int],
+    *,
+    mode: str = "random",
+    timeout: float = 60.0,
+    stop_on_failure: bool = False,
+    **sched_kwargs: Any,
+) -> ExplorationResult:
+    """Run ``scenario`` once per seed, collecting failing schedules."""
+    result = ExplorationResult()
+    for seed in seeds:
+        sched, failure = run_schedule(
+            scenario, seed=seed, mode=mode, timeout=timeout, **sched_kwargs
+        )
+        result.schedules += 1
+        result.decisions += len(sched.trace)
+        if failure is not None:
+            result.failures.append(
+                ScheduleFailure(error=failure, trace=sched.trace, seed=seed)
+            )
+            if stop_on_failure:
+                break
+    return result
+
+
+def explore_dfs(
+    scenario: Callable[[DetScheduler], Any],
+    *,
+    max_schedules: int = 2000,
+    timeout: float = 60.0,
+    stop_on_failure: bool = False,
+    **sched_kwargs: Any,
+) -> ExplorationResult:
+    """Enumerate every interleaving of ``scenario`` depth-first.
+
+    Each run follows a forced ``dfs_prefix`` then takes the first
+    candidate at every branch; the recorded trace tells us how many
+    alternatives each decision had, and untaken branches are pushed as
+    new prefixes.  ``max_schedules`` bounds runaway state spaces — when
+    hit, the result is a *sample*, not a proof of absence.
+    """
+    result = ExplorationResult()
+    stack: list[list[int]] = [[]]
+    while stack and result.schedules < max_schedules:
+        prefix = stack.pop()
+        sched, failure = run_schedule(
+            scenario, seed=0, mode="dfs", dfs_prefix=prefix, timeout=timeout,
+            **sched_kwargs,
+        )
+        result.schedules += 1
+        result.decisions += len(sched.trace)
+        if failure is not None:
+            result.failures.append(
+                ScheduleFailure(error=failure, trace=sched.trace, prefix=prefix)
+            )
+            if stop_on_failure:
+                break
+        decisions = sched.trace.decisions
+        for i in range(len(prefix), len(decisions)):
+            base = [d.chosen_index for d in decisions[:i]]
+            for alt in range(1, len(decisions[i].candidates)):
+                stack.append(base + [alt])
+    return result

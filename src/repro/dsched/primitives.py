@@ -1,0 +1,247 @@
+"""Instrumented synchronization primitives for deterministic scheduling.
+
+Drop-in shims for ``threading.Lock`` / ``RLock`` / ``Condition`` /
+``Event`` whose every operation is a scheduler *yield point*: before
+the operation takes effect, the scheduler may run any other runnable
+logical thread.  Blocking never blocks the OS thread — a contended
+acquire deschedules the logical thread until the resource frees, which
+is what lets the scheduler see the whole wait-for graph and detect
+deadlocks instead of hanging.
+
+Construction happens through :mod:`repro.util.sync`; instances are only
+handed out while a :class:`~repro.dsched.sched.DetScheduler` is
+installed.  Calls from threads the scheduler does not manage (the test
+harness thread building a world before the run, or a fixture finalizer
+after it) degrade to plain uncontended semantics; a *contended* foreign
+acquire mid-run is a usage error and raises.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dsched.sched import DetScheduler, DetThread
+
+__all__ = ["DetLock", "DetRLock", "DetCondition", "DetEvent"]
+
+#: Sentinel owner for acquisitions by unmanaged (external) threads.
+_EXTERNAL = object()
+
+
+class DetLock:
+    """Deterministic mutex (``threading.Lock`` shape)."""
+
+    _reentrant = False
+
+    __slots__ = ("_sched", "name", "_owner", "_count", "_waiters")
+
+    def __init__(self, sched: "DetScheduler", name: str) -> None:
+        self._sched = sched
+        self.name = name
+        self._owner: "DetThread | None | object" = None
+        self._count = 0
+        self._waiters: list["DetThread"] = []
+
+    # -- threading.Lock interface --------------------------------------
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        sched = self._sched
+        t = sched.current()
+        if t is None:
+            return self._acquire_external(blocking)
+        sched.yield_point(f"{self.name}.acquire")
+        while not (self._owner is None or (self._reentrant and self._owner is t)):
+            if not blocking:
+                return False
+            sched.block(self, t)
+        if self._owner is t:
+            self._count += 1
+        else:
+            self._owner = t
+            self._count = 1
+            sched.note_acquire(self, t)
+        return True
+
+    def release(self) -> None:
+        sched = self._sched
+        t = sched.current()
+        if self._owner is None:
+            raise RuntimeError(f"release of unheld {self.name}")
+        if t is not None and self._owner is not t and self._owner is not _EXTERNAL:
+            raise RuntimeError(
+                f"{t.name} released {self.name} held by "
+                f"{getattr(self._owner, 'name', self._owner)!r}"
+            )
+        self._count -= 1
+        if self._count > 0:
+            return
+        holder, self._owner = self._owner, None
+        if holder is not _EXTERNAL and t is not None:
+            sched.note_release(self, t)
+        sched.wake_waiters(self)
+        if t is not None:
+            sched.yield_point(f"{self.name}.release")
+
+    def locked(self) -> bool:
+        return self._owner is not None
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        owner = getattr(self._owner, "name", self._owner)
+        state = f"held by {owner!r}" if self._owner is not None else "unlocked"
+        return f"<{type(self).__name__} {self.name} {state}>"
+
+    # -- unmanaged-thread fallback -------------------------------------
+    def _acquire_external(self, blocking: bool) -> bool:
+        if self._owner is None:
+            self._owner = _EXTERNAL
+            self._count = 1
+            return True
+        if self._owner is _EXTERNAL and self._reentrant:
+            self._count += 1
+            return True
+        if not blocking:
+            return False
+        raise RuntimeError(
+            f"unmanaged thread would block on {self.name}: only logical "
+            "threads may contend for instrumented locks mid-run"
+        )
+
+
+class DetRLock(DetLock):
+    """Deterministic reentrant mutex (``threading.RLock`` shape)."""
+
+    _reentrant = True
+    __slots__ = ()
+
+
+class DetEvent:
+    """Deterministic event flag (``threading.Event`` shape).
+
+    ``set``/``clear``/``wait`` each yield *before* mutating or
+    examining the flag, which is exactly the window a lost-wakeup bug
+    needs to surface under exploration.
+    """
+
+    __slots__ = ("_sched", "name", "_flag", "_waiters", "_owner")
+
+    def __init__(self, sched: "DetScheduler", name: str) -> None:
+        self._sched = sched
+        self.name = name
+        self._flag = False
+        self._waiters: list["DetThread"] = []
+        self._owner = None  # events have no owner (deadlock report shape)
+
+    def is_set(self) -> bool:
+        return self._flag
+
+    def set(self) -> None:
+        sched = self._sched
+        if sched.current() is not None:
+            sched.yield_point(f"{self.name}.set")
+        self._flag = True
+        sched.wake_waiters(self)
+
+    def clear(self) -> None:
+        sched = self._sched
+        if sched.current() is not None:
+            sched.yield_point(f"{self.name}.clear")
+        self._flag = False
+
+    def wait(self, timeout: float | None = None) -> bool:
+        sched = self._sched
+        t = sched.current()
+        if t is None:
+            if self._flag:
+                return True
+            raise RuntimeError(
+                f"unmanaged thread would block on {self.name}.wait"
+            )
+        sched.yield_point(f"{self.name}.wait")
+        if timeout is None:
+            while not self._flag:
+                sched.block(self, t)
+            return True
+        deadline = sched.clock.now() + timeout
+        while not self._flag:
+            if sched.clock.now() >= deadline:
+                return False
+            sched.block(self, t, wake_at=deadline)
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<DetEvent {self.name} {'set' if self._flag else 'clear'}>"
+
+
+class DetCondition:
+    """Deterministic condition variable bound to a :class:`DetLock`."""
+
+    __slots__ = ("_sched", "name", "_lock", "_waiters", "_owner")
+
+    def __init__(self, sched: "DetScheduler", lock: DetLock, name: str) -> None:
+        self._sched = sched
+        self.name = name
+        self._lock = lock
+        self._waiters: list["DetThread"] = []
+        self._owner = None
+
+    def acquire(self, *args) -> bool:
+        return self._lock.acquire(*args)
+
+    def release(self) -> None:
+        self._lock.release()
+
+    def __enter__(self) -> bool:
+        return self._lock.acquire()
+
+    def __exit__(self, *exc) -> None:
+        self._lock.release()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        sched = self._sched
+        t = sched.current()
+        if t is None or self._lock._owner is not t:
+            raise RuntimeError(f"wait on {self.name} without holding its lock")
+        # Register as a waiter BEFORE releasing the lock: release ends in
+        # a yield point, and a notify landing in that window must see us
+        # on the list (atomic release-and-wait, like a real condvar).
+        # Then release fully (an RLock may be held recursively), sleep on
+        # the condition, and restore the exact hold count.
+        count = self._lock._count
+        self._lock._count = 1
+        self._waiters.append(t)
+        self._lock.release()
+        wake_at = None if timeout is None else sched.clock.now() + timeout
+        if t in self._waiters:  # not consumed by a notify during release
+            sched.block(self, t, wake_at=wake_at)
+        # A notify removes us from the waiter list before waking us; if
+        # we are still listed, the clock (timeout) woke us instead.
+        signalled = t not in self._waiters
+        if not signalled:
+            self._waiters.remove(t)
+        self._lock.acquire()
+        self._lock._count = count
+        return signalled
+
+    def wait_for(self, predicate, timeout: float | None = None) -> bool:
+        result = predicate()
+        while not result:
+            if not self.wait(timeout):
+                return predicate()
+            result = predicate()
+        return result
+
+    def notify(self, n: int = 1) -> None:
+        sched = self._sched
+        if sched.current() is not None:
+            sched.yield_point(f"{self.name}.notify")
+        woken, self._waiters = self._waiters[:n], self._waiters[n:]
+        sched.wake_threads(woken)
+
+    def notify_all(self) -> None:
+        self.notify(len(self._waiters))

@@ -1,0 +1,631 @@
+"""The deterministic scheduler: seeded, replayable thread interleaving.
+
+A :class:`DetScheduler` runs N *logical* threads cooperatively: exactly
+one executes at any instant, and control transfers only at *yield
+points* — the instrumented synchronization operations of
+:mod:`repro.dsched.primitives` plus explicit :meth:`DetScheduler.sleep`
+calls.  Each logical thread is backed by a parked OS thread (so
+existing imperative code runs unmodified, and ``threading.get_ident``
+still distinguishes threads), but a baton guarantees serial execution:
+a thread leaving a yield point opens the next thread's gate and parks
+on its own.  Every scheduling decision flows from one
+``random.Random(sched_seed)`` — same seed, same program, same
+interleaving — and is recorded in a :class:`~repro.dsched.trace.DecisionTrace`
+that a failure prints as its repro script, mirroring the fault
+injector's seed-keyed timeline (PR 2).
+
+Scheduling modes
+----------------
+``random``
+    Uniform choice among runnable threads at each branch point.
+``pct``
+    PCT-style priority scheduling (Burckhardt et al.): threads get
+    random priorities, the highest-priority runnable thread always
+    runs, and at ``pct_depth - 1`` pre-drawn step counts the current
+    top thread is demoted — finds depth-*d* concurrency bugs with
+    provable probability.
+``dfs``
+    Explorer-guided: follow a forced prefix of decision indices then
+    take the first candidate; used by
+    :func:`repro.dsched.explore.explore_dfs` to enumerate every
+    schedule of a small-bound scenario.
+``replay=<DecisionTrace>``
+    Follow a recorded trace decision-for-decision (divergence raises).
+
+Time integrates with :class:`~repro.util.clock.VirtualClock`: a
+sleeping thread costs nothing — when no thread is runnable the clock
+jumps to the earliest wake instant (or registered subsystem deadline
+via the sleeper's own ``idle_advance`` calls).  When *nothing* is
+runnable or sleeping but threads remain, that is a deadlock: the
+scheduler raises :class:`~repro.dsched.invariants.DeadlockError` with
+the wait-for graph, pending requests, and the decision trace.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import threading
+import time as _time
+from typing import Any, Callable
+
+from repro.dsched.invariants import (
+    DeadlockError,
+    InvariantError,
+    InvariantMonitor,
+    LivelockError,
+)
+from repro.dsched.primitives import DetCondition, DetEvent, DetLock, DetRLock
+from repro.dsched.trace import DecisionTrace, ReplayDivergenceError
+from repro.util import sync as _sync
+from repro.util.clock import Clock, VirtualClock
+
+__all__ = ["DetScheduler", "DetThread", "SchedulerAbort"]
+
+
+class SchedulerAbort(BaseException):
+    """Unwinds logical threads when a run is being torn down.
+
+    Derives from ``BaseException`` so ordinary ``except Exception``
+    blocks in code under test do not swallow it; the primary failure is
+    recorded on the scheduler before this is raised.
+    """
+
+
+#: Logical thread states.
+_NEW = "new"
+_RUNNABLE = "runnable"
+_RUNNING = "running"
+_BLOCKED = "blocked"
+_SLEEPING = "sleeping"
+_DONE = "done"
+
+
+class DetThread:
+    """One cooperatively scheduled logical thread.
+
+    API-compatible with the slice of :class:`threading.Thread` the
+    runtime uses (``start``/``join``/``is_alive``/``name``), so
+    :func:`repro.util.sync.spawn_thread` can return either.
+    """
+
+    __slots__ = (
+        "_sched",
+        "tid",
+        "name",
+        "daemon",
+        "_target",
+        "_args",
+        "_gate",
+        "_done_evt",
+        "_os_thread",
+        "state",
+        "result",
+        "exc",
+        "blocked_on",
+        "wake_at",
+        "held_locks",
+        "priority",
+        "_waiters",
+    )
+
+    def __init__(
+        self,
+        sched: "DetScheduler",
+        tid: int,
+        target: Callable[..., Any],
+        args: tuple,
+        name: str | None,
+    ) -> None:
+        self._sched = sched
+        self.tid = tid
+        self.name = name or f"t{tid}"
+        self.daemon = True
+        self._target = target
+        self._args = args
+        self._gate = threading.Event()  # raw: the baton
+        self._done_evt = threading.Event()  # raw: external joins
+        self._os_thread: threading.Thread | None = None
+        self.state = _NEW
+        self.result: Any = None
+        self.exc: BaseException | None = None
+        #: resource this thread is blocked on (None while runnable)
+        self.blocked_on: Any = None
+        #: virtual instant a sleep / timed block matures, if any
+        self.wake_at: float | None = None
+        #: instrumented locks currently held (lock-order recording)
+        self.held_locks: list[Any] = []
+        #: PCT priority (drawn at creation from the scheduler RNG)
+        self.priority = 0.0
+        #: logical threads blocked joining us (resource protocol)
+        self._waiters: list["DetThread"] = []
+
+    # -- resource protocol (join targets look like lock-ish resources) --
+    @property
+    def _owner(self) -> "DetThread":
+        return self
+
+    @property
+    def ident(self) -> tuple[str, int]:
+        """Equality token for this logical thread (never an OS ident)."""
+        return ("dsched", self.tid)
+
+    # -- threading.Thread surface --------------------------------------
+    def start(self) -> "DetThread":
+        if self._os_thread is not None:
+            raise RuntimeError(f"thread {self.name} already started")
+        self.state = _RUNNABLE
+        self._os_thread = threading.Thread(
+            target=self._bootstrap, daemon=True, name=f"dsched-{self.name}"
+        )
+        self._os_thread.start()
+        return self
+
+    def is_alive(self) -> bool:
+        return self.state not in (_NEW, _DONE)
+
+    def join(self, timeout: float | None = None) -> None:
+        sched = self._sched
+        cur = sched.current()
+        if cur is None:
+            # External joiner: kick the scheduler if needed, then wait
+            # in real time while the logical threads self-schedule.
+            sched._ensure_kicked()
+            self._done_evt.wait(timeout)
+            return
+        if cur is self:
+            raise RuntimeError("cannot join the current thread")
+        sched.yield_point(f"join:{self.name}")
+        deadline = None if timeout is None else sched.clock.now() + timeout
+        while self.state != _DONE:
+            if deadline is not None and sched.clock.now() >= deadline:
+                return
+            sched.block(self, cur, wake_at=deadline)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DetThread({self.name} {self.state})"
+
+    # -- execution ------------------------------------------------------
+    def _bootstrap(self) -> None:
+        sched = self._sched
+        self._gate.wait()
+        self._gate.clear()
+        sched._by_ident[threading.get_ident()] = self
+        if not sched._aborting:
+            self.state = _RUNNING
+            sched._current = self
+            try:
+                self.result = self._target(*self._args)
+            except SchedulerAbort:
+                self.exc = SchedulerAbort("aborted")
+            except BaseException as exc:  # noqa: BLE001 - surfaced via run()
+                self.exc = exc
+                sched._record_failure(self, exc)
+        sched._finish(self)
+
+
+class DetScheduler:
+    """Deterministic cooperative scheduler over logical threads."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        mode: str = "random",
+        clock: Clock | None = None,
+        monitor: InvariantMonitor | None = None,
+        max_steps: int = 200_000,
+        check_every: int = 1,
+        pct_depth: int = 3,
+        pct_steps: int = 10_000,
+        replay: DecisionTrace | None = None,
+        dfs_prefix: list[int] | None = None,
+    ) -> None:
+        if mode not in ("random", "pct", "dfs"):
+            raise ValueError("mode must be 'random', 'pct', or 'dfs'")
+        self.seed = seed
+        self.mode = mode
+        self._rng = random.Random(seed)
+        self.clock: Clock = clock if clock is not None else VirtualClock()
+        self.monitor = monitor if monitor is not None else InvariantMonitor()
+        self.max_steps = max_steps
+        self.check_every = max(1, check_every)
+        self.trace = DecisionTrace(seed=seed, mode=mode)
+        self._replay: list | None = None
+        if replay is not None:
+            self._replay = list(replay.decisions)
+            # Byte-for-byte replay: the re-recorded trace carries the
+            # original run's identity, so format() output matches.
+            self.trace.seed = replay.seed
+            self.trace.mode = replay.mode
+        self._dfs_prefix = list(dfs_prefix or [])
+        self._threads: list[DetThread] = []
+        self._by_ident: dict[int, DetThread] = {}
+        self._current: DetThread | None = None
+        self._step = 0
+        self._kicked = False
+        self._kick_lock = threading.Lock()  # raw: external kick race
+        self._done = False
+        self._aborting = False
+        self._run_done = threading.Event()  # raw: external run()/shutdown
+        self.failure: BaseException | None = None
+        self.failed_thread: DetThread | None = None
+        self._name_counter = itertools.count(1)
+        self._pct_floor = -1.0
+        self._pct_points: frozenset[int] = frozenset()
+        if mode == "pct":
+            k = max(0, pct_depth - 1)
+            pool = range(1, max(k + 2, pct_steps))
+            self._pct_points = frozenset(self._rng.sample(pool, k)) if k else frozenset()
+
+    # ------------------------------------------------------------------
+    # Installation (routes repro.util.sync factories here).
+    # ------------------------------------------------------------------
+    def install(self) -> "DetScheduler":
+        _sync.install_scheduler(self)
+        return self
+
+    def uninstall(self) -> None:
+        try:
+            self.shutdown()
+        finally:
+            _sync.uninstall_scheduler(self)
+
+    def __enter__(self) -> "DetScheduler":
+        return self.install()
+
+    def __exit__(self, *exc) -> None:
+        self.uninstall()
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Abort still-live logical threads (cleanup safety net)."""
+        if self._kicked and not self._done:
+            self._aborting = True
+            for th in self._threads:
+                if th.state not in (_NEW, _DONE):
+                    th._gate.set()
+            self._run_done.wait(timeout)
+
+    # ------------------------------------------------------------------
+    # Factories (called via repro.util.sync).
+    # ------------------------------------------------------------------
+    def create_lock(self, name: str | None = None) -> DetLock:
+        return DetLock(self, name or f"lock#{next(self._name_counter)}")
+
+    def create_rlock(self, name: str | None = None) -> DetRLock:
+        return DetRLock(self, name or f"rlock#{next(self._name_counter)}")
+
+    def create_event(self, name: str | None = None) -> DetEvent:
+        return DetEvent(self, name or f"event#{next(self._name_counter)}")
+
+    def create_condition(self, lock=None, name: str | None = None) -> DetCondition:
+        if lock is None:
+            lock = self.create_lock()
+        return DetCondition(self, lock, name or f"cond#{next(self._name_counter)}")
+
+    def create_thread(
+        self, target: Callable[..., Any], *, args: tuple = (), name: str | None = None
+    ) -> DetThread:
+        t = DetThread(self, len(self._threads) + 1, target, args, name)
+        t.priority = self._rng.random()  # drawn always: keeps the RNG
+        self._threads.append(t)  # stream identical across modes
+        return t
+
+    def spawn(
+        self, target: Callable[..., Any], *args: Any, name: str | None = None
+    ) -> DetThread:
+        """Create *and start* a logical thread running ``target(*args)``."""
+        t = self.create_thread(target, args=args, name=name)
+        t.start()
+        return t
+
+    # ------------------------------------------------------------------
+    # Monitor notification hooks (via repro.util.sync).
+    # ------------------------------------------------------------------
+    @staticmethod
+    def is_abort(exc: BaseException) -> bool:
+        """Duck-typed hook for :func:`repro.util.sync.is_scheduler_abort`."""
+        return isinstance(exc, SchedulerAbort)
+
+    def note_request(self, request: Any) -> None:
+        self.monitor.watch_request(request)
+
+    def note_world(self, world: Any) -> None:
+        self.monitor.watch_world(world)
+
+    def note_acquire(self, lock: Any, thread: DetThread) -> None:
+        self.monitor.on_acquire(thread, lock, self._step)
+
+    def note_release(self, lock: Any, thread: DetThread) -> None:
+        self.monitor.on_release(thread, lock)
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+    def current(self) -> DetThread | None:
+        """The logical thread of the *calling* OS thread, or None."""
+        return self._by_ident.get(threading.get_ident())
+
+    @property
+    def step(self) -> int:
+        return self._step
+
+    @property
+    def threads(self) -> list[DetThread]:
+        return list(self._threads)
+
+    # ------------------------------------------------------------------
+    # The run loop.
+    # ------------------------------------------------------------------
+    def run(self, timeout: float = 60.0) -> dict[str, Any]:
+        """Drive until every logical thread finishes.
+
+        ``timeout`` is a *real-time* watchdog against scheduler bugs
+        (logical-time livelock is caught by ``max_steps`` long before).
+        Raises the first recorded failure — an
+        :class:`~repro.dsched.invariants.InvariantError` carries its
+        decision trace — or returns ``{thread name: return value}``.
+        """
+        self._ensure_kicked()
+        if not self._run_done.wait(timeout):
+            self.shutdown()
+            err = LivelockError(
+                f"real-time watchdog: run exceeded {timeout}s "
+                f"(step {self._step})"
+            )
+            err.decision_trace = self.trace.format(title="stalled schedule")
+            raise err
+        if self.failure is not None:
+            raise self.failure
+        return {th.name: th.result for th in self._threads}
+
+    def _ensure_kicked(self) -> None:
+        with self._kick_lock:
+            if self._kicked:
+                return
+            self._kicked = True
+        if self._maybe_done():
+            return
+        try:
+            nxt = self._choose("kick")
+        except SchedulerAbort:
+            return
+        nxt._gate.set()
+
+    def _maybe_done(self) -> bool:
+        if any(th.state not in (_DONE, _NEW) for th in self._threads):
+            return False
+        self._done = True
+        if self.failure is None:
+            try:
+                self.monitor.check_quiescent()
+            except InvariantError as exc:
+                exc.decision_trace = self.trace.format(
+                    title=f"failing schedule ({type(exc).__name__})"
+                )
+                self.failure = exc
+        self._run_done.set()
+        return True
+
+    # ------------------------------------------------------------------
+    # Yield points and blocking (called by the primitives).
+    # ------------------------------------------------------------------
+    def yield_point(self, op: str) -> None:
+        """A context-switch opportunity; no-op off logical threads."""
+        t = self.current()
+        if t is None:
+            return
+        if self._aborting:
+            raise SchedulerAbort()
+        self._step += 1
+        if self._step > self.max_steps:
+            err = LivelockError(
+                f"step budget exhausted ({self.max_steps} yield points): "
+                "no thread is blocked, but the system is not finishing — "
+                "likely an application-level wait that can never be "
+                "satisfied\n" + self.monitor.deadlock_report(self._threads)
+            )
+            self._fail(t, err)
+        if self._step % self.check_every == 0:
+            try:
+                self.monitor.check(self._step)
+            except InvariantError as exc:
+                self._fail(t, exc)
+        nxt = self._choose(op.replace(" ", "_"))
+        if nxt is t:
+            return
+        t.state = _RUNNABLE
+        self._handoff(t, nxt)
+
+    def block(self, resource: Any, thread: DetThread, wake_at: float | None = None) -> None:
+        """Deschedule ``thread`` until ``resource`` wakes it (or time)."""
+        if self._aborting:
+            raise SchedulerAbort()
+        waiters = resource._waiters
+        if thread not in waiters:
+            waiters.append(thread)
+        thread.state = _BLOCKED
+        thread.blocked_on = resource
+        thread.wake_at = wake_at
+        nxt = self._choose(f"block:{resource.name}")
+        self._handoff(thread, nxt)
+        thread.blocked_on = None
+        thread.wake_at = None
+
+    def sleep(self, dt: float) -> None:
+        """Deschedule the current thread for ``dt`` virtual seconds."""
+        t = self.current()
+        if t is None:
+            self.clock.sleep(dt)
+            return
+        if self._aborting:
+            raise SchedulerAbort()
+        if dt <= 0:
+            self.yield_point("sleep:0")
+            return
+        t.state = _SLEEPING
+        t.wake_at = self.clock.now() + dt
+        self.clock.register_deadline(t.wake_at)
+        nxt = self._choose("sleep")
+        self._handoff(t, nxt)
+        t.wake_at = None
+
+    def wait_for(
+        self,
+        pred: Callable[[], bool],
+        *,
+        dt: float = 1e-6,
+        max_iters: int = 100_000,
+    ) -> None:
+        """Poll ``pred`` from a logical thread, sleeping ``dt`` between
+        checks — the dsched replacement for ``while not x: time.sleep``."""
+        for _ in range(max_iters):
+            if pred():
+                return
+            self.sleep(dt)
+        raise AssertionError(f"wait_for: predicate still false after {max_iters} polls")
+
+    def wake_waiters(self, resource: Any) -> None:
+        """Make every thread blocked on ``resource`` runnable."""
+        waiters = resource._waiters
+        if not waiters:
+            return
+        woken = list(waiters)
+        waiters.clear()
+        self.wake_threads(woken)
+
+    def wake_threads(self, threads: list[DetThread]) -> None:
+        for th in threads:
+            if th.state == _BLOCKED:
+                th.state = _RUNNABLE
+
+    # ------------------------------------------------------------------
+    # Internals: choosing, switching, finishing, failing.
+    # ------------------------------------------------------------------
+    def _handoff(self, t: DetThread, nxt: DetThread) -> None:
+        nxt._gate.set()
+        t._gate.wait()
+        t._gate.clear()
+        if self._aborting:
+            raise SchedulerAbort()
+        t.state = _RUNNING
+        self._current = t
+
+    def _choose(self, op: str) -> DetThread:
+        while True:
+            cands = [
+                th for th in self._threads if th.state in (_RUNNABLE, _RUNNING)
+            ]
+            if cands:
+                break
+            if not self._advance_idle():
+                live = [th for th in self._threads if th.state not in (_DONE, _NEW)]
+                err = DeadlockError(
+                    f"deadlock at step {self._step}: no logical thread is "
+                    "runnable and none is sleeping\n"
+                    + self.monitor.deadlock_report(live)
+                )
+                self._fail(self.current(), err)
+        if len(cands) == 1:
+            return cands[0]
+        return self._decide(cands, op)
+
+    def _advance_idle(self) -> bool:
+        """Everything is blocked; advance time to the earliest waker."""
+        sleepers = [th for th in self._threads if th.wake_at is not None]
+        if not sleepers:
+            return False
+        target = min(th.wake_at for th in sleepers)
+        now = self.clock.now()
+        if target > now:
+            if isinstance(self.clock, VirtualClock):
+                self.clock.advance_to(target)
+            else:  # pragma: no cover - real-clock fallback
+                _time.sleep(target - now)
+        now = self.clock.now()
+        for th in sleepers:
+            if th.wake_at is not None and th.wake_at <= now:
+                th.state = _RUNNABLE
+        return True
+
+    def _decide(self, cands: list[DetThread], op: str) -> DetThread:
+        names = tuple(th.name for th in cands)
+        if self._replay is not None:
+            i = len(self.trace.decisions)
+            if i >= len(self._replay):
+                self._fail_divergence(
+                    f"decision {i} at step {self._step}: trace has only "
+                    f"{len(self._replay)} decisions"
+                )
+            d = self._replay[i]
+            if d.candidates != names:
+                self._fail_divergence(
+                    f"decision {i}: candidates {names} != recorded "
+                    f"{d.candidates}"
+                )
+            chosen = cands[names.index(d.chosen)]
+        elif self.mode == "dfs":
+            i = len(self.trace.decisions)
+            idx = self._dfs_prefix[i] if i < len(self._dfs_prefix) else 0
+            if idx >= len(cands):
+                self._fail_divergence(
+                    f"dfs prefix index {idx} out of range at decision {i} "
+                    f"({len(cands)} candidates)"
+                )
+            chosen = cands[idx]
+        elif self.mode == "pct":
+            if self._step in self._pct_points:
+                top = max(cands, key=lambda th: th.priority)
+                top.priority = self._pct_floor
+                self._pct_floor -= 1.0
+            chosen = max(cands, key=lambda th: th.priority)
+        else:
+            chosen = cands[self._rng.randrange(len(cands))]
+        self.trace.record(self._step, op, names, chosen.name)
+        return chosen
+
+    def _fail_divergence(self, message: str) -> None:
+        self._fail(self.current(), ReplayDivergenceError(message))
+
+    def _record_failure(self, thread: DetThread | None, exc: BaseException) -> None:
+        if self.failure is None:
+            if isinstance(exc, InvariantError) and not exc.decision_trace:
+                exc.decision_trace = self.trace.format(
+                    title=f"failing schedule ({type(exc).__name__})"
+                )
+            self.failure = exc
+            self.failed_thread = thread
+        self._abort_all()
+
+    def _fail(self, thread: DetThread | None, exc: BaseException) -> None:
+        self._record_failure(thread, exc)
+        raise SchedulerAbort()
+
+    def _abort_all(self) -> None:
+        self._aborting = True
+        for th in self._threads:
+            if th.state not in (_NEW, _DONE):
+                th._gate.set()
+
+    def _finish(self, t: DetThread) -> None:
+        self._by_ident.pop(threading.get_ident(), None)
+        t.state = _DONE
+        t.blocked_on = None
+        t.wake_at = None
+        self.wake_threads(t._waiters)
+        t._waiters.clear()
+        t._done_evt.set()
+        if self._current is t:
+            self._current = None
+        if self._maybe_done():
+            return
+        if self._aborting:
+            for th in self._threads:
+                if th.state not in (_NEW, _DONE):
+                    th._gate.set()
+            return
+        try:
+            nxt = self._choose(f"exit:{t.name}")
+        except SchedulerAbort:
+            return
+        nxt._gate.set()

@@ -1,0 +1,131 @@
+"""Replayable scheduling-decision traces.
+
+Every branching scheduling decision — a yield point where more than one
+logical thread was runnable — is recorded as a :class:`Decision`.
+Forced steps (exactly one candidate) are *not* recorded: they are
+reproduced for free by re-executing the program, which keeps traces
+short and makes replay a pure sequence of branch choices, mirroring the
+fault injector's seed-keyed timeline (PR 2).
+
+A formatted trace is the repro script: :meth:`DecisionTrace.parse` of
+the printed text drives ``DetScheduler(replay=...)`` through the exact
+same interleaving, and the trace recorded *during* replay is
+byte-for-byte identical to the original (asserted by
+``tests/dsched/test_replay.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Decision", "DecisionTrace", "ReplayDivergenceError"]
+
+
+class ReplayDivergenceError(AssertionError):
+    """A replayed run reached a decision the trace does not match.
+
+    This means the program under test is not deterministic between the
+    recording run and the replay run (different candidate sets or a
+    different number of decisions) — e.g. the scenario read real time,
+    or shared state leaked between runs.
+    """
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One branching scheduling decision."""
+
+    index: int  #: ordinal among recorded decisions (0-based)
+    step: int  #: global yield-point step at decision time
+    op: str  #: the operation that triggered the yield point
+    candidates: tuple[str, ...]  #: runnable thread names, spawn order
+    chosen: str  #: name of the thread scheduled next
+
+    @property
+    def chosen_index(self) -> int:
+        return self.candidates.index(self.chosen)
+
+    def format(self) -> str:
+        return (
+            f"D {self.index} step={self.step} op={self.op} "
+            f"cands={','.join(self.candidates)} chose={self.chosen}"
+        )
+
+
+@dataclass
+class DecisionTrace:
+    """Ordered record of one run's branching decisions."""
+
+    seed: int = 0
+    mode: str = "random"
+    decisions: list[Decision] = field(default_factory=list)
+
+    def record(
+        self, step: int, op: str, candidates: tuple[str, ...], chosen: str
+    ) -> None:
+        self.decisions.append(
+            Decision(len(self.decisions), step, op, candidates, chosen)
+        )
+
+    def __len__(self) -> int:
+        return len(self.decisions)
+
+    def choices(self) -> list[str]:
+        """The chosen thread name at each branching decision."""
+        return [d.chosen for d in self.decisions]
+
+    def format_decisions(self) -> str:
+        """Decision lines only (stable across record/replay runs)."""
+        return "\n".join(d.format() for d in self.decisions)
+
+    def format(self, *, title: str | None = None) -> str:
+        """Printable repro script.
+
+        Feed the output back through :meth:`parse` and pass the result
+        as ``DetScheduler(replay=...)`` to re-run the interleaving.
+        """
+        head = title or "dsched decision trace"
+        lines = [
+            f"# {head} — seed={self.seed} mode={self.mode} "
+            f"decisions={len(self.decisions)}",
+            "# replay: DetScheduler(replay=DecisionTrace.parse(text))",
+        ]
+        if not self.decisions:
+            lines.append("# (no branching decisions: the run was forced)")
+        lines.extend(d.format() for d in self.decisions)
+        return "\n".join(lines)
+
+    @classmethod
+    def parse(cls, text: str) -> "DecisionTrace":
+        """Rebuild a trace from :meth:`format` output.
+
+        Comment lines (``#``) are ignored, so a trace pasted out of a
+        failure report — surrounding prose and all — parses as long as
+        the ``D ...`` lines survive intact.
+        """
+        trace = cls()
+        for raw in text.splitlines():
+            line = raw.strip()
+            if not line.startswith("D "):
+                if line.startswith("#") and "seed=" in line and "mode=" in line:
+                    for tok in line.split():
+                        if tok.startswith("seed="):
+                            trace.seed = int(tok[5:])
+                        elif tok.startswith("mode="):
+                            trace.mode = tok[5:]
+                continue
+            fields = {}
+            parts = line.split()
+            for tok in parts[2:]:
+                key, _, value = tok.partition("=")
+                fields[key] = value
+            trace.decisions.append(
+                Decision(
+                    index=int(parts[1]),
+                    step=int(fields["step"]),
+                    op=fields["op"],
+                    candidates=tuple(fields["cands"].split(",")),
+                    chosen=fields["chose"],
+                )
+            )
+        return trace

@@ -14,11 +14,9 @@ specific stream, which is the paper's recommended design; pass
 
 from __future__ import annotations
 
-import threading
-import time
-
 from repro.core.mpi import Proc
 from repro.core.stream import STREAM_NULL, MpixStream, StreamNullType
+from repro.util import sync as _sync
 
 __all__ = ["ProgressThread"]
 
@@ -55,8 +53,8 @@ class ProgressThread:
         self.mode = mode
         self.idle_threshold = idle_threshold
         self.idle_sleep = idle_sleep
-        self._stop = threading.Event()
-        self._thread: threading.Thread | None = None
+        self._stop = _sync.make_event("progress_thread.stop")
+        self._thread = None
         self.stat_passes = 0
         self.stat_idle_passes = 0
         self.stat_sleeps = 0
@@ -65,18 +63,29 @@ class ProgressThread:
     def start(self) -> "ProgressThread":
         if self._thread is not None:
             raise RuntimeError("progress thread already started")
-        self._thread = threading.Thread(
-            target=self._main, daemon=True, name="mpi-progress"
-        )
+        self._thread = _sync.spawn_thread(self._main, name="mpi-progress")
         self._thread.start()
         return self
 
-    def stop(self) -> None:
-        """Signal the thread and join it."""
+    def stop(self, timeout: float = 10.0) -> None:
+        """Signal the thread and join it.
+
+        The join is bounded by *real* time even when the proc runs a
+        virtual clock: a wedged progress thread must surface as an
+        error here, not hang the caller forever (the pre-fix behaviour
+        when the thread slept on a timeline nobody was advancing).
+        """
         self._stop.set()
-        if self._thread is not None:
-            self._thread.join()
-            self._thread = None
+        t = self._thread
+        if t is None:
+            return
+        t.join(timeout)
+        if t.is_alive():
+            raise RuntimeError(
+                f"progress thread failed to stop within {timeout}s "
+                f"(mode={self.mode}, {self.stat_passes} passes)"
+            )
+        self._thread = None
 
     def __enter__(self) -> "ProgressThread":
         return self.start()
@@ -97,6 +106,10 @@ class ProgressThread:
                 idle_run += 1
                 if self.mode == "adaptive" and idle_run >= self.idle_threshold:
                     self.stat_sleeps += 1
-                    time.sleep(self.idle_sleep)
+                    # Route the nap through the clock abstraction: real
+                    # clocks block, virtual clocks charge virtual time,
+                    # and a deterministic scheduler turns it into a
+                    # yield point (see repro.util.sync.sleep).
+                    _sync.sleep(self.idle_sleep, self.proc.clock)
                 else:
                     self.proc.clock.yield_cpu()

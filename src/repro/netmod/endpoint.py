@@ -72,6 +72,8 @@ class Endpoint:
         "stat_bytes",
         "stat_polls",
         "stat_empty_polls",
+        "stat_delivered",
+        "stat_harvested",
     )
 
     def __init__(self, address: tuple[int, int], fabric: "Fabric") -> None:  # noqa: F821
@@ -92,6 +94,11 @@ class Endpoint:
         self.stat_bytes = 0
         self.stat_polls = 0
         self.stat_empty_polls = 0
+        #: packet copies the fabric enqueued here / packets harvested by
+        #: poll — the two sides of the dsched message-conservation
+        #: invariant (delivered == harvested + arrivals still queued).
+        self.stat_delivered = 0
+        self.stat_harvested = 0
 
     # ------------------------------------------------------------------
     # Injection side.
@@ -145,6 +152,7 @@ class Endpoint:
         with self._lock:
             heapq.heappush(self._arrivals, (arrival_time, packet.seq, packet))
             self._pending_count += 1
+            self.stat_delivered += 1
         self._clock.register_deadline(arrival_time)
 
     # ------------------------------------------------------------------
@@ -172,6 +180,7 @@ class Endpoint:
             while self._arrivals and self._arrivals[0][0] <= now:
                 _, _, packet = heapq.heappop(self._arrivals)
                 packets.append(packet)
+            self.stat_harvested += len(packets)
             self._pending_count = len(self._inflight) + len(self._arrivals)
         if not completions and not packets:
             self.stat_empty_polls += 1
@@ -181,6 +190,12 @@ class Endpoint:
     def pending(self) -> int:
         """Operations/arrivals not yet harvested (lock-free snapshot)."""
         return self._pending_count
+
+    @property
+    def arrivals_pending(self) -> int:
+        """Delivered packets not yet harvested (conservation checking)."""
+        with self._lock:
+            return len(self._arrivals)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Endpoint{self.address}(pending={self._pending_count})"

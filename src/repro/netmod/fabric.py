@@ -112,5 +112,34 @@ class Fabric:
             eps = list(self._endpoints.values())
         return sum(ep.pending for ep in eps)
 
+    def conservation_counts(self) -> dict[str, int]:
+        """Fabric-wide packet accounting for the dsched invariant.
+
+        Every packet copy the fabric schedules must be enqueued at an
+        endpoint, and every enqueued copy must be either harvested by a
+        poll or still queued::
+
+            posted - dropped + duplicated == delivered
+            delivered == harvested + in_flight
+
+        The endpoint and fault-injector locks are *raw* (never yield
+        points), so these counters are mutually consistent at every
+        scheduler yield point — no packet can be half-accounted.
+        """
+        with self._ep_lock:
+            eps = list(self._endpoints.values())
+        counts = {
+            "posted": sum(ep.stat_posted for ep in eps),
+            "delivered": sum(ep.stat_delivered for ep in eps),
+            "harvested": sum(ep.stat_harvested for ep in eps),
+            "in_flight": sum(ep.arrivals_pending for ep in eps),
+            "dropped": 0,
+            "duplicated": 0,
+        }
+        if self.faults is not None:
+            counts["dropped"] = self.faults.stat_dropped
+            counts["duplicated"] = self.faults.stat_duplicated
+        return counts
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Fabric(nranks={self.nranks}, endpoints={len(self._endpoints)})"

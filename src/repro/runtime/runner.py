@@ -15,6 +15,7 @@ from typing import Any, Callable
 from repro.config import RuntimeConfig
 from repro.core.mpi import Proc
 from repro.runtime.world import World
+from repro.util import sync as _sync
 from repro.util.clock import Clock
 
 __all__ = ["run_world"]
@@ -55,11 +56,16 @@ def run_world(
             if finalize and not proc.finalized:
                 proc.finalize()
         except BaseException as exc:  # noqa: BLE001 - re-raised in caller
+            if _sync.is_scheduler_abort(exc):
+                # Teardown of an aborted deterministic run, not a rank
+                # failure: let it unwind so the scheduler's primary
+                # failure (raised below) stays the story.
+                raise
             with errors_lock:
                 errors.append((rank, exc))
 
     threads = [
-        threading.Thread(target=rank_main, args=(rank,), daemon=True, name=f"rank-{rank}")
+        _sync.spawn_thread(rank_main, args=(rank,), name=f"rank-{rank}")
         for rank in range(nranks)
     ]
     for t in threads:
@@ -67,6 +73,9 @@ def run_world(
     for t in threads:
         t.join(timeout)
     alive = [t.name for t in threads if t.is_alive()]
+    sched = _sync.active_scheduler()
+    if sched is not None and sched.failure is not None:
+        raise sched.failure
     if errors:
         rank, exc = min(errors, key=lambda e: e[0])
         raise exc

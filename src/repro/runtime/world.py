@@ -10,12 +10,11 @@ on-node pairs).  Rank code runs on real threads — see
 
 from __future__ import annotations
 
-import threading
-
 from repro.config import DEFAULT_CONFIG, RuntimeConfig
 from repro.core.mpi import Proc
 from repro.netmod.fabric import Fabric
 from repro.shmem.transport import ShmemTransport
+from repro.util import sync as _sync
 from repro.util.clock import Clock, MonotonicClock
 from repro.util.trace import Tracer
 
@@ -63,10 +62,12 @@ class World:
         )
         self._context_registry: dict[tuple[int, int], int] = {}
         self._next_context = 2  # 0/1 are COMM_WORLD's pt2pt/coll pair
-        self._context_lock = threading.Lock()
+        self._context_lock = _sync.make_lock("world.context")
         self._procs: list[Proc] = [
             Proc(rank, self, tracer=Tracer(enabled=trace)) for rank in range(nranks)
         ]
+        # Register with the dsched invariant monitor (no-op otherwise).
+        _sync.note_world(self)
 
     # ------------------------------------------------------------------
     def proc(self, rank: int) -> Proc:

@@ -9,12 +9,12 @@ agnostic.
 from __future__ import annotations
 
 import itertools
-import threading
 from typing import Any
 
 from repro.config import RuntimeConfig
 from repro.netmod.packet import Packet
 from repro.shmem.channel import Cell, RingChannel
+from repro.util import sync as _sync
 from repro.util.clock import Clock
 
 __all__ = ["ShmemOp", "ShmemTransport"]
@@ -92,7 +92,7 @@ class ShmemTransport:
     def __init__(self, clock: Clock, config: RuntimeConfig) -> None:
         self.clock = clock
         self.config = config
-        self._lock = threading.Lock()
+        self._lock = _sync.make_lock("shmem.transport")
         self._channels: dict[tuple[tuple[int, int], tuple[int, int]], RingChannel] = {}
         #: inbound channels per destination address
         self._inbound: dict[tuple[int, int], list[RingChannel]] = {}

@@ -9,7 +9,7 @@ encapsulates.
 
 from __future__ import annotations
 
-import threading
+from repro.util import sync as _sync
 
 __all__ = ["AtomicFlag", "AtomicCounter"]
 
@@ -50,7 +50,7 @@ class AtomicCounter:
 
     def __init__(self, value: int = 0) -> None:
         self._value = int(value)
-        self._lock = threading.Lock()
+        self._lock = _sync.make_lock("atomic")
 
     @property
     def value(self) -> int:

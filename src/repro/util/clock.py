@@ -55,6 +55,20 @@ class Clock(ABC):
         """Politely give other threads a chance to run while spinning."""
         time.sleep(0)
 
+    def sleep(self, dt: float) -> None:
+        """Block (or account) for ``dt`` seconds on this timeline.
+
+        Real clocks actually sleep.  The virtual clock charges the
+        delay to virtual time instead, so adaptive backoff paths (the
+        ``ProgressThread`` idle nap) are testable without wall-clock
+        waits.  Deterministic schedulers intercept sleeps before they
+        reach the clock — see :func:`repro.util.sync.sleep`.
+        """
+        if dt > 0:
+            time.sleep(dt)
+        else:
+            time.sleep(0)
+
 
 class MonotonicClock(Clock):
     """Wall-clock time via ``time.perf_counter``.
@@ -136,6 +150,25 @@ class VirtualClock(Clock):
         # Virtual time has no real concurrency to be polite to, but
         # thread-based tests still benefit from an explicit yield point.
         time.sleep(0)
+
+    def sleep(self, dt: float) -> None:
+        """Charge ``dt`` to virtual time instead of blocking.
+
+        The wake instant is registered as a deadline and time advances
+        through :meth:`idle_advance`, so concurrent sleepers cannot jump
+        past an earlier subsystem deadline — the clock only ever moves
+        to the *earliest* pending event.  A brief OS yield keeps real
+        threads sharing a virtual clock from starving each other.
+        """
+        if dt <= 0:
+            self.yield_cpu()
+            return
+        wake = self._now + dt
+        self.register_deadline(wake)
+        while self._now < wake:
+            if not self.idle_advance():
+                break
+        self.yield_cpu()
 
     def _prune_locked(self) -> None:
         while self._deadlines and self._deadlines[0][0] <= self._now:

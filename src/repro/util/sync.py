@@ -1,0 +1,184 @@
+"""Synchronization facade: ``threading`` by default, dsched when active.
+
+Every lock, event, and thread the runtime's concurrent paths create
+flows through the factories in this module.  Normally they return the
+plain :mod:`threading` primitives — one module-global load and a branch
+per *construction*, zero per-operation overhead — so production runs
+are untouched.  When a :class:`repro.dsched.DetScheduler` is installed
+(see :func:`install_scheduler`), the factories return that scheduler's
+instrumented ``DetLock``/``DetRLock``/``DetCondition``/``DetEvent``
+shims instead, every synchronization operation becomes a deterministic
+yield point, and thread creation produces cooperatively scheduled
+logical threads.
+
+The module deliberately knows nothing about the scheduler's type: it
+holds whatever object was installed and duck-types six methods
+(``create_lock``, ``create_rlock``, ``create_condition``,
+``create_event``, ``create_thread``, ``sleep``) plus the notification
+hooks (``note_request``, ``note_world``, ``current``).  That keeps the
+import graph acyclic — ``repro.dsched`` imports ``repro.util``, never
+the reverse.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.util.clock import Clock
+
+__all__ = [
+    "install_scheduler",
+    "uninstall_scheduler",
+    "active_scheduler",
+    "make_lock",
+    "make_rlock",
+    "make_condition",
+    "make_event",
+    "spawn_thread",
+    "sleep",
+    "get_ident",
+    "is_scheduler_abort",
+    "note_request",
+    "note_world",
+]
+
+#: The active deterministic scheduler, or None (the common case).  Read
+#: directly by hot paths (``if _scheduler is not None``) to keep the
+#: disabled cost at one global load.
+_scheduler: Any | None = None
+
+
+def install_scheduler(sched: Any) -> None:
+    """Route subsequent primitive construction through ``sched``.
+
+    Only one scheduler may be active per process (the whole point is a
+    single serialized interleaving); nesting raises.
+    """
+    global _scheduler
+    if _scheduler is not None:
+        raise RuntimeError("a deterministic scheduler is already installed")
+    _scheduler = sched
+
+
+def uninstall_scheduler(sched: Any) -> None:
+    """Remove ``sched``; no-op if it is not the installed one."""
+    global _scheduler
+    if _scheduler is sched:
+        _scheduler = None
+
+
+def active_scheduler() -> Any | None:
+    return _scheduler
+
+
+# ----------------------------------------------------------------------
+# Primitive factories.
+# ----------------------------------------------------------------------
+def make_lock(name: str | None = None):
+    """A mutex: ``threading.Lock`` or an instrumented ``DetLock``."""
+    s = _scheduler
+    if s is None:
+        return threading.Lock()
+    return s.create_lock(name)
+
+
+def make_rlock(name: str | None = None):
+    """A reentrant mutex: ``threading.RLock`` or a ``DetRLock``."""
+    s = _scheduler
+    if s is None:
+        return threading.RLock()
+    return s.create_rlock(name)
+
+
+def make_condition(lock=None, name: str | None = None):
+    """A condition variable bound to ``lock`` (created if None)."""
+    s = _scheduler
+    if s is None:
+        return threading.Condition(lock)
+    return s.create_condition(lock, name)
+
+
+def make_event(name: str | None = None):
+    """An event flag: ``threading.Event`` or a ``DetEvent``."""
+    s = _scheduler
+    if s is None:
+        return threading.Event()
+    return s.create_event(name)
+
+
+def spawn_thread(
+    target: Callable[..., Any],
+    *,
+    args: tuple = (),
+    name: str | None = None,
+    daemon: bool = True,
+):
+    """An *unstarted* thread handle running ``target(*args)``.
+
+    The returned object exposes ``start()``, ``join(timeout)``,
+    ``is_alive()``, and ``name`` whether it is a real
+    :class:`threading.Thread` or a scheduler-managed logical thread.
+    """
+    s = _scheduler
+    if s is None:
+        return threading.Thread(target=target, args=args, name=name, daemon=daemon)
+    return s.create_thread(target, args=args, name=name)
+
+
+def sleep(dt: float, clock: "Clock | None" = None) -> None:
+    """Sleep ``dt`` seconds on the appropriate timeline.
+
+    Inside a scheduled logical thread the scheduler deschedules the
+    caller and charges the delay to virtual time (sleeps cost nothing).
+    Otherwise the delay goes to ``clock.sleep`` when a clock is given
+    (virtual clocks advance instead of blocking) or to ``time.sleep``.
+    """
+    s = _scheduler
+    if s is not None and s.current() is not None:
+        s.sleep(dt)
+        return
+    if clock is not None:
+        clock.sleep(dt)
+    else:
+        time.sleep(dt)
+
+
+def get_ident():
+    """Identity of the executing thread, logical or OS-level.
+
+    Logical threads return a scheduler-scoped token; everything else
+    falls through to :func:`threading.get_ident`.  Values are only ever
+    compared for equality (progress re-entry guard), never ordered.
+    """
+    s = _scheduler
+    if s is not None:
+        t = s.current()
+        if t is not None:
+            return t.ident
+    return threading.get_ident()
+
+
+# ----------------------------------------------------------------------
+# Invariant-monitor notification hooks (no-ops without a scheduler).
+# ----------------------------------------------------------------------
+def is_scheduler_abort(exc: BaseException) -> bool:
+    """True when ``exc`` is the active scheduler's teardown signal."""
+    s = _scheduler
+    return s is not None and s.is_abort(exc)
+
+
+def note_request(request: Any) -> None:
+    """Register a freshly created Request with the invariant monitor."""
+    s = _scheduler
+    if s is not None:
+        s.note_request(request)
+
+
+def note_world(world: Any) -> None:
+    """Register a freshly created World for conservation checking."""
+    s = _scheduler
+    if s is not None:
+        s.note_world(world)

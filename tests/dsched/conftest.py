@@ -1,0 +1,27 @@
+"""Shared helpers for the deterministic-scheduler suite.
+
+The CI seed matrix is environment-driven: ``DSCHED_SEED_BASE`` (default
+0) and ``DSCHED_SEED_COUNT`` (default 200) select the seed range the
+exploration suites sweep, so CI shards can split the space and a
+failure report names the exact seed to rerun locally::
+
+    DSCHED_SEED_BASE=600 DSCHED_SEED_COUNT=200 pytest tests/dsched
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def seed_matrix(default_count: int = 200) -> range:
+    base = int(os.environ.get("DSCHED_SEED_BASE", "0"))
+    count = int(os.environ.get("DSCHED_SEED_COUNT", str(default_count)))
+    return range(base, base + count)
+
+
+@pytest.fixture
+def seed_range() -> range:
+    """The CI seed matrix (>= 200 seeds by default)."""
+    return seed_matrix()

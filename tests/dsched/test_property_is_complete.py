@@ -1,0 +1,80 @@
+"""Property: ``MPIX_Request_is_complete`` is monotone and publication-safe.
+
+Under ARBITRARY seeded interleavings of an observer thread against the
+completing side, ``is_complete()`` must never return True before the
+completion processing is visible (status/count already final) and must
+never revert to False afterwards.  Hypothesis drives the seed space;
+each example is one fully deterministic schedule.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.dsched import DetScheduler
+from repro.runtime.world import World
+
+
+def _observe(sched, req, log):
+    """Poll is_complete at every scheduling opportunity; record the
+    status snapshot seen at the first True and any reversion after."""
+    seen_complete = False
+    for _ in range(100_000):
+        done = req.is_complete()
+        if done and not seen_complete:
+            seen_complete = True
+            log["first_status"] = (req.status.count_bytes, req.status.tag)
+        elif seen_complete and not done:
+            log["reverted"] = True
+            return
+        if done and seen_complete:
+            log["final"] = True
+            return
+        sched.sleep(1e-7)
+    log["gave_up"] = True
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_is_complete_never_early_never_reverts(seed):
+    log = {}
+
+    sched = DetScheduler(seed)
+    with sched:
+        def driver():
+            world = World(2, clock=sched.clock)
+            p0, p1 = world.proc(0), world.proc(1)
+            buf = bytearray(8)
+            rreq = p1.comm_world.irecv(buf, 8, repro.BYTE, 0, 42)
+
+            def completion_cb(req):
+                # the flag is published before callbacks fire, and the
+                # status a callback sees is already final
+                log["cb"] = (req.is_complete(), req.status.count_bytes, req.status.tag)
+
+            rreq.on_complete(completion_cb)
+            obs = sched.spawn(_observe, sched, rreq, log, name="observer")
+
+            def pump():
+                p0.comm_world.send(b"propertyX"[:8], 8, repro.BYTE, 1, 42)
+                while not rreq.is_complete():
+                    if not p1.stream_progress():
+                        p1.idle_wait()
+
+            t = sched.spawn(pump, name="pump")
+            t.join()
+            obs.join()
+            assert bytes(buf) == b"property"
+            world.finalize()
+
+        sched.spawn(driver, name="driver")
+        sched.run(60.0)
+
+    assert log.get("final"), f"observer never saw completion: {log}"
+    assert not log.get("reverted"), "is_complete reverted True -> False"
+    # Publication safety: at the FIRST observed True the status was
+    # already final — completion processing happened before the flag.
+    assert log["first_status"] == (8, 42)
+    # The completion callback observed the flag already True and the
+    # final status: flag publication precedes callback dispatch.
+    assert log["cb"] == (True, 8, 42)

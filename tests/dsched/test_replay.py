@@ -1,0 +1,205 @@
+"""Trace replay: byte-for-byte regression, divergence detection, and
+the acceptance-criteria lost-wakeup fixture.
+
+``BuggyGate`` is a deliberately broken hand-rolled gate (check flag,
+THEN clear + wait — the classic lost-wakeup window).  It exists only as
+a test fixture: the explorer must find it on some seeds, the failing
+seed set must be deterministic, and the failure must replay from the
+*printed* report alone.
+"""
+
+import pytest
+
+from repro.dsched import (
+    DeadlockError,
+    DecisionTrace,
+    DetScheduler,
+    ReplayDivergenceError,
+    explore_dfs,
+    explore_seeds,
+    run_schedule,
+)
+
+
+def contended(sched):
+    state = {"x": 0}
+    lock = sched.create_lock("L")
+
+    def worker():
+        for _ in range(3):
+            with lock:
+                state["x"] += 1
+
+    sched.spawn(worker, name="a")
+    sched.spawn(worker, name="b")
+
+
+class BuggyGate:
+    """check-then-clear-then-wait: drops a notify that lands between
+    the flag check and the wait."""
+
+    def __init__(self, sched):
+        self.flag = False
+        self.evt = sched.create_event("gate.evt")
+
+    def wait(self):
+        if not self.flag:
+            self.evt.clear()
+            self.evt.wait()
+
+    def notify(self):
+        self.flag = True
+        self.evt.set()
+
+
+def buggy_gate_scenario(sched):
+    gate = BuggyGate(sched)
+
+    def consumer():
+        gate.wait()
+
+    def producer():
+        gate.notify()
+
+    sched.spawn(consumer, name="consumer")
+    sched.spawn(producer, name="producer")
+
+
+class TestReplay:
+    def test_byte_for_byte_roundtrip(self):
+        """record -> format -> parse -> replay reproduces the identical
+        trace, including the header line."""
+        sched = DetScheduler(7)
+        with sched:
+            contended(sched)
+            sched.run(30.0)
+        text = sched.trace.format()
+        assert len(sched.trace) > 0
+
+        replayed = DetScheduler(0, replay=DecisionTrace.parse(text))
+        with replayed:
+            contended(replayed)
+            replayed.run(30.0)
+        assert replayed.trace.format_decisions() == sched.trace.format_decisions()
+        assert replayed.trace.format() == text  # byte-for-byte
+
+    def test_replay_divergence_raises(self):
+        """Replaying one scenario's trace against a different scenario
+        reports divergence instead of silently picking something."""
+        sched = DetScheduler(7)
+        with sched:
+            contended(sched)
+            sched.run(30.0)
+
+        def other(sched2):
+            evt = sched2.create_event("E")
+
+            def waiter():
+                evt.wait()
+
+            def setter():
+                evt.set()
+
+            sched2.spawn(waiter, name="w1")
+            sched2.spawn(setter, name="w2")
+
+        replayed = DetScheduler(0, replay=sched.trace)
+        with replayed:
+            other(replayed)
+            with pytest.raises(ReplayDivergenceError):
+                replayed.run(30.0)
+
+
+class TestLostWakeupAcceptance:
+    """The ISSUE acceptance criterion, end to end."""
+
+    def test_explorer_finds_the_bug(self, seed_range):
+        res = explore_seeds(buggy_gate_scenario, seed_range, timeout=30.0)
+        bad = [f for f in res.failures if isinstance(f.error, DeadlockError)]
+        assert bad, "no seed in the matrix exposed the lost wakeup"
+
+    def test_failing_seeds_are_deterministic(self):
+        seeds = range(100)
+        a = [f.seed for f in explore_seeds(buggy_gate_scenario, seeds).failures]
+        b = [f.seed for f in explore_seeds(buggy_gate_scenario, seeds).failures]
+        assert a == b and a
+
+    def test_replays_from_the_printed_report(self):
+        """The failure's printed text alone is the repro script."""
+        res = explore_seeds(
+            buggy_gate_scenario, range(100), stop_on_failure=True
+        )
+        failure = res.failures[0]
+        printed = str(failure.error)  # what pytest would show a user
+        assert "# failing schedule" in printed
+        assert "DecisionTrace.parse" in printed  # the how-to-replay hint
+
+        replayed = DetScheduler(0, replay=DecisionTrace.parse(printed))
+        with replayed:
+            buggy_gate_scenario(replayed)
+            with pytest.raises(DeadlockError):
+                replayed.run(30.0)
+
+    def test_fixed_gate_is_clean(self):
+        """The corrected protocol (clear BEFORE checking the flag)
+        passes the same sweep — the finding is the bug, not noise."""
+
+        def fixed(sched):
+            evt = sched.create_event("gate.evt")
+            state = {"flag": False}
+
+            def consumer():
+                while not state["flag"]:
+                    evt.wait()
+
+            def producer():
+                state["flag"] = True
+                evt.set()
+
+            sched.spawn(consumer, name="consumer")
+            sched.spawn(producer, name="producer")
+
+        res = explore_seeds(fixed, range(100))
+        assert res.ok, res.report()
+
+
+class TestDFS:
+    def test_enumeration_is_deterministic(self):
+        a = explore_dfs(contended, max_schedules=500)
+        b = explore_dfs(contended, max_schedules=500)
+        assert a.schedules == b.schedules > 1
+        assert a.ok
+
+    def test_run_schedule_with_prefix(self):
+        """A dfs_prefix forces the first decisions down a chosen branch."""
+        _, failure = run_schedule(contended, dfs_prefix=[1, 1], timeout=30.0)
+        assert failure is None
+
+    @pytest.mark.slow
+    def test_exhaustive_dfs_finds_lost_wakeup(self):
+        """Small-bound exhaustive search needs no lucky seed: every
+        interleaving of the buggy gate is enumerated and the bad one is
+        certain to be visited."""
+        res = explore_dfs(buggy_gate_scenario, max_schedules=2000)
+        bad = [f for f in res.failures if isinstance(f.error, DeadlockError)]
+        assert bad, "exhaustive enumeration missed the lost wakeup"
+
+    @pytest.mark.slow
+    def test_exhaustive_dfs_proves_fixed_gate(self):
+        def fixed(sched):
+            evt = sched.create_event("gate.evt")
+            state = {"flag": False}
+
+            def consumer():
+                while not state["flag"]:
+                    evt.wait()
+
+            def producer():
+                state["flag"] = True
+                evt.set()
+
+            sched.spawn(consumer, name="consumer")
+            sched.spawn(producer, name="producer")
+
+        res = explore_dfs(fixed, max_schedules=2000)
+        assert res.ok, res.report()

@@ -1,0 +1,205 @@
+"""DetScheduler mechanics: determinism, time, joins, failure handling."""
+
+import pytest
+
+from repro.dsched import DetScheduler, LivelockError
+from repro.util import sync as _sync
+
+
+def contended_counter(sched):
+    """A scenario with plenty of branching decisions."""
+    state = {"x": 0}
+    lock = sched.create_lock("L")
+
+    def worker():
+        for _ in range(4):
+            with lock:
+                state["x"] += 1
+
+    sched.spawn(worker, name="a")
+    sched.spawn(worker, name="b")
+    sched.spawn(worker, name="c")
+    return state
+
+
+def trace_for(seed, mode="random"):
+    sched = DetScheduler(seed, mode=mode)
+    with sched:
+        contended_counter(sched)
+        sched.run(30.0)
+    return sched.trace
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        for seed in (0, 3, 17):
+            a = trace_for(seed).format_decisions()
+            b = trace_for(seed).format_decisions()
+            assert a == b
+
+    def test_different_seeds_explore_different_schedules(self):
+        traces = {trace_for(seed).format_decisions() for seed in range(20)}
+        assert len(traces) > 1
+
+    def test_pct_mode_deterministic(self):
+        a = trace_for(5, mode="pct").format_decisions()
+        b = trace_for(5, mode="pct").format_decisions()
+        assert a == b
+
+    def test_decisions_record_only_branches(self):
+        """A single-threaded run has no branching decisions at all."""
+        sched = DetScheduler(0)
+        with sched:
+            lock = sched.create_lock("L")
+
+            def solo():
+                for _ in range(10):
+                    with lock:
+                        pass
+
+            sched.spawn(solo, name="solo")
+            sched.run(30.0)
+        assert len(sched.trace) == 0
+        assert sched.step > 0
+
+
+class TestVirtualTime:
+    def test_sleep_charges_virtual_time(self):
+        sched = DetScheduler(0)
+        with sched:
+            def sleeper():
+                sched.sleep(0.5)
+                return sched.clock.now()
+
+            sched.spawn(sleeper, name="s")
+            results = sched.run(30.0)
+        assert results["s"] >= 0.5
+
+    def test_sleepers_wake_in_deadline_order(self):
+        sched = DetScheduler(0)
+        order = []
+        with sched:
+            def napper(name, dt):
+                sched.sleep(dt)
+                order.append(name)
+
+            sched.spawn(napper, "late", 0.3, name="late")
+            sched.spawn(napper, "early", 0.1, name="early")
+            sched.run(30.0)
+        assert order == ["early", "late"]
+
+    def test_wait_for_polls_until_true(self):
+        sched = DetScheduler(0)
+        with sched:
+            state = {"flag": False}
+
+            def setter():
+                sched.sleep(0.01)
+                state["flag"] = True
+
+            def waiter():
+                sched.wait_for(lambda: state["flag"], dt=1e-3)
+                return sched.clock.now()
+
+            sched.spawn(setter, name="setter")
+            sched.spawn(waiter, name="waiter")
+            results = sched.run(30.0)
+        assert results["waiter"] >= 0.01
+
+
+class TestThreads:
+    def test_join_from_logical_thread(self):
+        sched = DetScheduler(0)
+        with sched:
+            def child():
+                sched.sleep(0.01)
+                return 42
+
+            def parent():
+                t = sched.spawn(child, name="child")
+                t.join()
+                return t.result
+
+            sched.spawn(parent, name="parent")
+            results = sched.run(30.0)
+        assert results["parent"] == 42
+
+    def test_external_join_drives_the_run(self):
+        """Joining from the harness thread kicks scheduling (the
+        run_world pattern: spawn, join, no explicit run())."""
+        sched = DetScheduler(0)
+        with sched:
+            t = sched.spawn(lambda: "done", name="t")
+            t.join(10.0)
+            assert not t.is_alive()
+            assert t.result == "done"
+            results = sched.run(10.0)
+        assert results["t"] == "done"
+
+    def test_logical_idents_are_distinct_and_tagged(self):
+        sched = DetScheduler(0)
+        idents = []
+        with sched:
+            def who():
+                idents.append(_sync.get_ident())
+
+            sched.spawn(who, name="a")
+            sched.spawn(who, name="b")
+            sched.run(30.0)
+        assert len(set(idents)) == 2
+        assert all(i[0] == "dsched" for i in idents)
+
+
+class TestFailures:
+    def test_user_exception_propagates_and_unwinds_peers(self):
+        sched = DetScheduler(0)
+        with sched:
+            evt = sched.create_event("never")
+
+            def stuck():
+                evt.wait()  # would block forever
+
+            def boom():
+                sched.sleep(0.01)
+                raise ValueError("scenario bug")
+
+            sched.spawn(stuck, name="stuck")
+            sched.spawn(boom, name="boom")
+            with pytest.raises(ValueError, match="scenario bug"):
+                sched.run(30.0)
+        assert all(not t.is_alive() for t in sched.threads)
+
+    def test_livelock_budget_exhaustion(self):
+        sched = DetScheduler(0, max_steps=200)
+        with sched:
+            lock = sched.create_lock("L")
+
+            def spinner():
+                while True:
+                    with lock:
+                        pass
+
+            sched.spawn(spinner, name="spin")
+            with pytest.raises(LivelockError, match="step budget"):
+                sched.run(30.0)
+
+    def test_failure_carries_decision_trace(self):
+        sched = DetScheduler(0, max_steps=100)
+        with sched:
+            lock = sched.create_lock("L")
+
+            def spinner():
+                while True:
+                    with lock:
+                        pass
+
+            sched.spawn(spinner, name="a")
+            sched.spawn(spinner, name="b")
+            with pytest.raises(LivelockError) as err:
+                sched.run(30.0)
+        assert "D 0 step=" in str(err.value)  # the repro script is inline
+
+    def test_nested_install_rejected(self):
+        with DetScheduler(0):
+            with pytest.raises(RuntimeError, match="already installed"):
+                DetScheduler(1).install()

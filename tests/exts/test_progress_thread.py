@@ -1,4 +1,11 @@
-"""Async progress threads (section 5.1 baseline)."""
+"""Async progress threads (section 5.1 baseline).
+
+All waits are clock-driven: tests that used to nap on ``time.sleep``
+now run the proc on a :class:`VirtualClock` and either charge the wait
+to virtual time or poll the observable condition while maturing clock
+deadlines, so nothing here depends on wall-clock timing.  ``time.time``
+appears only as a coarse real-time *failsafe* bound on the wait loops.
+"""
 
 import time
 
@@ -6,25 +13,27 @@ import pytest
 
 import repro
 from repro.exts.progress_thread import ProgressThread
+from repro.util.clock import VirtualClock
 
 
 class TestProgressThread:
-    def test_drives_async_tasks_without_user_progress(self, proc):
+    def test_drives_async_tasks_without_user_progress(self, vproc):
         """With a progress thread the main thread never calls progress."""
         done = []
-        deadline = proc.wtime() + 0.002
+        deadline = vproc.wtime() + 0.002
 
         def poll(thing):
-            if proc.wtime() >= deadline:
+            if vproc.wtime() >= deadline:
                 done.append(1)
                 return repro.ASYNC_DONE
             return repro.ASYNC_NOPROGRESS
 
-        proc.async_start(poll, None)
-        with ProgressThread(proc):
+        vproc.async_start(poll, None)
+        with ProgressThread(vproc):
             t_end = time.time() + 5.0
+            # main thread does "compute": advances virtual time, no MPI calls
             while not done and time.time() < t_end:
-                time.sleep(0.001)  # main thread does "compute", no MPI calls
+                vproc.clock.sleep(0.001)
         assert done == [1]
 
     def test_stop_joins_thread(self, proc):
@@ -43,37 +52,45 @@ class TestProgressThread:
         with pytest.raises(ValueError):
             ProgressThread(proc, mode="turbo")
 
-    def test_adaptive_mode_sleeps_when_idle(self, proc):
-        pt = ProgressThread(proc, mode="adaptive", idle_threshold=4, idle_sleep=1e-4)
+    def test_adaptive_mode_sleeps_when_idle(self, vproc):
+        """The idle naps are charged to virtual time (registered as clock
+        deadlines), so the backoff is observable without real waiting."""
+        pt = ProgressThread(vproc, mode="adaptive", idle_threshold=4, idle_sleep=1e-4)
         pt.start()
-        time.sleep(0.05)
+        t_end = time.time() + 5.0
+        while (pt.stat_sleeps == 0 or pt.stat_idle_passes == 0) and time.time() < t_end:
+            vproc.idle_wait()  # mature the thread's nap deadlines
         pt.stop()
         assert pt.stat_sleeps > 0  # idle backoff engaged
         assert pt.stat_idle_passes > 0
+        assert vproc.wtime() > 0  # the naps consumed virtual, not real, time
 
     def test_busy_mode_never_sleeps(self, proc):
         pt = ProgressThread(proc, mode="busy")
         pt.start()
-        time.sleep(0.02)
+        t_end = time.time() + 5.0
+        while pt.stat_passes < 50 and time.time() < t_end:
+            proc.clock.yield_cpu()
         pt.stop()
+        assert pt.stat_passes >= 50
         assert pt.stat_sleeps == 0
 
-    def test_targets_specific_stream(self, proc):
-        s = proc.stream_create()
+    def test_targets_specific_stream(self, vproc):
+        s = vproc.stream_create()
         done = []
-        deadline = proc.wtime() + 0.002
+        deadline = vproc.wtime() + 0.002
 
         def poll(thing):
-            if proc.wtime() >= deadline:
+            if vproc.wtime() >= deadline:
                 done.append(1)
                 return repro.ASYNC_DONE
             return repro.ASYNC_NOPROGRESS
 
-        proc.async_start(poll, None, s)
-        with ProgressThread(proc, stream=s):
+        vproc.async_start(poll, None, s)
+        with ProgressThread(vproc, stream=s):
             t_end = time.time() + 5.0
             while not done and time.time() < t_end:
-                time.sleep(0.001)
+                vproc.clock.sleep(0.001)
         assert done == [1]
 
     def test_completes_p2p_in_background(self):
@@ -93,10 +110,11 @@ class TestProgressThread:
                 else:
                     out = np.zeros(2000, dtype="i4")
                     req = comm.irecv(out, 2000, repro.INT, 0, 0)
-                # "compute" without any MPI calls
+                # "compute" without any MPI calls: mature fabric deadlines
+                # so the progress thread sees deliveries, never progress
                 t_end = time.time() + 5.0
                 while not req.is_complete() and time.time() < t_end:
-                    time.sleep(0.0005)
+                    proc.idle_wait()
                 assert req.is_complete()
                 if comm.rank == 1:
                     assert out[999] == 999
@@ -104,4 +122,4 @@ class TestProgressThread:
                 pt.stop()
             return "ok"
 
-        assert run_world(2, main, timeout=60) == ["ok", "ok"]
+        assert run_world(2, main, clock=VirtualClock(), timeout=60) == ["ok", "ok"]

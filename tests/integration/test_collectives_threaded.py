@@ -1,9 +1,15 @@
-"""Blocking wrappers of the extended collectives, thread-per-rank."""
+"""Blocking wrappers of the extended collectives, thread-per-rank.
+
+Every world runs on a :class:`VirtualClock`: the blocking waits'
+adaptive backoff advances simulated time instead of sleeping, so the
+suite is immune to wall-clock jitter and runs at full CPU speed.
+"""
 
 import numpy as np
 
 import repro
 from repro.runtime import run_world
+from repro.util.clock import VirtualClock
 
 
 class TestExtendedCollectivesThreaded:
@@ -15,7 +21,7 @@ class TestExtendedCollectivesThreaded:
             return int(out[0])
 
         size = 5
-        assert run_world(size, main, timeout=120) == [
+        assert run_world(size, main, clock=VirtualClock(), timeout=120) == [
             sum(range(1, r + 2)) for r in range(size)
         ]
 
@@ -26,7 +32,7 @@ class TestExtendedCollectivesThreaded:
             comm.exscan(np.array([2], dtype="i4"), out, 1, repro.INT)
             return int(out[0])
 
-        assert run_world(4, main, timeout=120) == [-7, 2, 4, 6]
+        assert run_world(4, main, clock=VirtualClock(), timeout=120) == [-7, 2, 4, 6]
 
     def test_reduce_scatter_block(self):
         def main(proc):
@@ -39,7 +45,7 @@ class TestExtendedCollectivesThreaded:
 
         size = 4
         total_factor = sum(range(1, size + 1))
-        assert run_world(size, main, timeout=120) == [
+        assert run_world(size, main, clock=VirtualClock(), timeout=120) == [
             r * total_factor for r in range(size)
         ]
 
@@ -60,7 +66,7 @@ class TestExtendedCollectivesThreaded:
         expect = []
         for r in range(size):
             expect += [r] * (r + 1)
-        assert all(res == expect for res in run_world(size, main, timeout=120))
+        assert all(res == expect for res in run_world(size, main, clock=VirtualClock(), timeout=120))
 
     def test_alltoallv(self):
         def main(proc):
@@ -76,7 +82,7 @@ class TestExtendedCollectivesThreaded:
             return out.tolist()
 
         size = 3
-        results = run_world(size, main, timeout=120)
+        results = run_world(size, main, clock=VirtualClock(), timeout=120)
         for r in range(size):
             assert results[r] == [10 * src + r for src in range(size)]
 
@@ -97,4 +103,4 @@ class TestExtendedCollectivesThreaded:
             assert np.array_equal(buf, np.arange(n))
             return "ok"
 
-        assert run_world(4, main, timeout=300) == ["ok"] * 4
+        assert run_world(4, main, clock=VirtualClock(), timeout=300) == ["ok"] * 4
