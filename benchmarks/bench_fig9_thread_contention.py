@@ -39,3 +39,32 @@ def test_fig9_shared_stream_latency_rises(benchmark):
     # worse response latency.
     assert lat[8] > 2 * lat[1], lat
     assert lat[4] > lat[1], lat
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced sweep asserting only the rising-latency shape",
+    )
+    args = parser.parse_args(argv)
+    threads = [1, 4] if args.smoke else THREADS
+    repeats = 2 if args.smoke else 4
+    latency, _ = measure_thread_contention_latency(
+        threads, tasks_per_thread=4 if args.smoke else 10, repeats=repeats
+    )
+    print_figure(
+        "Figure 9 — latency vs progress threads (all on STREAM_NULL)",
+        [latency],
+        expectation="latency increases with concurrent progress threads",
+    )
+    lat = dict(zip(latency.xs(), latency.medians_us()))
+    assert lat[max(threads)] > lat[1], lat
+    print(f"smoke ok: {lat}" if args.smoke else f"ok: {lat}")
+
+
+if __name__ == "__main__":
+    main()

@@ -16,6 +16,8 @@ from repro.bench.harness import (
     measure_overlap_remedies,
     measure_pending_tasks_latency,
     measure_poll_overhead_latency,
+    measure_pool_idle_latency,
+    measure_pool_scaling,
     measure_request_query_overhead,
     measure_stream_scaling_latency,
     measure_task_class_latency,
@@ -30,6 +32,8 @@ __all__ = [
     "measure_match_latency",
     "measure_pending_tasks_latency",
     "measure_poll_overhead_latency",
+    "measure_pool_idle_latency",
+    "measure_pool_scaling",
     "measure_thread_contention_latency",
     "measure_task_class_latency",
     "measure_stream_scaling_latency",

@@ -11,7 +11,7 @@ import numpy as np
 import repro
 from repro.bench.workloads import DummyTaskBatch
 from repro.config import RuntimeConfig
-from repro.core.async_ext import ASYNC_DONE, ASYNC_NOPROGRESS
+from repro.core.async_ext import ASYNC_DONE, ASYNC_NOPROGRESS, ASYNC_PENDING
 from repro.core.mpi import Proc
 from repro.core.stream import STREAM_NULL
 from repro.exts.progress_thread import ProgressThread
@@ -23,6 +23,8 @@ from repro.util.stats import LatencyRecorder, Series
 
 __all__ = [
     "measure_idle_pass_fastpath",
+    "measure_pool_scaling",
+    "measure_pool_idle_latency",
     "measure_match_latency",
     "measure_pending_tasks_latency",
     "measure_poll_overhead_latency",
@@ -95,6 +97,112 @@ def measure_idle_pass_fastpath(
         out["speedup"] = out["seed_us"] / out["registry_us"]
         results[scenario] = out
     return results
+
+
+# ----------------------------------------------------------------------
+# Parallel progress — ProgressPool scaling and single-stream latency.
+# ----------------------------------------------------------------------
+
+def measure_pool_scaling(
+    worker_counts: list[int],
+    *,
+    num_streams: int = 8,
+    poll_cost: float = 200e-6,
+    duration: float = 0.6,
+) -> list[dict]:
+    """Aggregate harvested-completions/sec vs pool worker count.
+
+    ``num_streams`` busy streams each carry a perpetual hook whose poll
+    sleeps ``poll_cost`` (releasing the GIL while holding the stream
+    lock — modelling a NIC poll / completion-harvest cost) and then
+    reports one harvested completion.  One worker serializes all
+    ``num_streams`` sleeps per round; N workers overlap them across
+    their shards, so throughput scales with the worker count even under
+    the GIL.  Returns one row per worker count with the measured
+    completions/sec and the pool's steal/pass counters.
+    """
+    from repro.exts.progress_pool import ProgressPool
+
+    rows: list[dict] = []
+    for workers in worker_counts:
+        proc = repro.init()
+        streams = [proc.stream_create() for _ in range(num_streams)]
+        counts = [0] * num_streams
+        live = {"on": True}
+
+        def make_poll(i: int):
+            def poll(thing):
+                if not live["on"]:
+                    return ASYNC_DONE
+                time.sleep(poll_cost)
+                counts[i] += 1
+                return ASYNC_PENDING
+
+            return poll
+
+        for i, s in enumerate(streams):
+            proc.async_start(make_poll(i), None, s)
+        pool = ProgressPool(
+            [(proc, s) for s in streams], workers=workers, mode="busy"
+        )
+        pool.start()
+        try:
+            # Warm up: every stream polled at least once before timing.
+            t_fail = time.time() + 10.0
+            while min(counts) == 0 and time.time() < t_fail:
+                time.sleep(poll_cost)
+            c0 = sum(counts)
+            t0 = time.perf_counter()
+            time.sleep(duration)
+            c1 = sum(counts)
+            dt = time.perf_counter() - t0
+            live["on"] = False
+        finally:
+            pool.stop()
+        stats = pool.stats()
+        rows.append(
+            {
+                "workers": workers,
+                "completions_per_s": (c1 - c0) / dt,
+                "steals": stats["stat_steals"],
+                "passes": sum(stats["worker_passes"]),
+            }
+        )
+        proc.finalize()
+    return rows
+
+
+def measure_pool_idle_latency(
+    *, passes: int = 20_000, repeats: int = 5
+) -> dict[str, float]:
+    """Single-stream idle-pass latency with and without pool machinery.
+
+    Both measurements run in the same process/interpreter state so the
+    comparison is machine-independent: ``fastpath_us`` is the PR-1
+    registry idle pass (the ``BENCH_progress_fastpath.json`` reference),
+    ``pool_registered_us`` is the identical pass on a stream that has
+    been registered in a 4-worker pool (busy check bound through
+    ``bind_stream``, slot table populated).  ``ratio`` is their
+    quotient — the pool must not tax the unsharded common case.
+    """
+    from repro.exts.progress_pool import ProgressPool
+
+    out: dict[str, float] = {}
+    for label, with_pool in (("fastpath_us", False), ("pool_registered_us", True)):
+        p0 = _fastpath_proc(True, False)
+        if with_pool:
+            ProgressPool([(p0, p0.default_stream)], workers=4)
+        run = p0.progress_engine.run_locked
+        stream = p0.default_stream
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            for _ in range(passes):
+                run(stream)
+            best = min(best, time.perf_counter() - t0)
+        out[label] = best / passes * 1e6
+    out["ratio"] = out["pool_registered_us"] / out["fastpath_us"]
+    return out
 
 
 def measure_match_latency(

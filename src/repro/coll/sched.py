@@ -289,19 +289,33 @@ class CollSchedEngine:
     def has_work(self, vci: int) -> bool:
         return bool(self._active.get(vci))
 
-    def progress(self, vci: int) -> bool:
-        """Advance every schedule on ``vci``; True if any advanced.
+    def progress(self, vci: int, max_k: int | None = None) -> bool:
+        """Advance up to ``max_k`` schedules on ``vci`` (all when None);
+        True if any advanced.
 
-        Caller must hold the owning stream's lock.
+        Caller must hold the owning stream's lock.  Finished schedules
+        are retired by swap-remove — O(1) per retirement with the list
+        object kept stable for the pending-work registry — instead of
+        rebuilding the whole list every pass.
         """
         scheds = self._active.get(vci)
         if not scheds:
             return False
         made = False
-        for sched in scheds:
+        advanced = 0
+        i = 0
+        while i < len(scheds):
+            sched = scheds[i]
             if sched.progress():
                 made = True
-        still = [sched for sched in scheds if not sched.done]
-        if len(still) != len(scheds):
-            scheds[:] = still
+                advanced += 1
+            if sched.done:
+                last = scheds.pop()
+                if last is not sched:
+                    # the swapped-in tail schedule is re-examined at i
+                    scheds[i] = last
+                continue
+            i += 1
+            if max_k is not None and advanced >= max_k:
+                break
         return made

@@ -139,6 +139,15 @@ class RuntimeConfig:
     #: Exposed so the fast-path benchmark can measure the seed behaviour.
     progress_registry_skip: bool = True
 
+    #: Batched-drain bound: one progress pass harvests at most this many
+    #: matured completions/arrivals per subsystem under a single lock
+    #: acquisition (``poll_batch``), and advances at most this many
+    #: collective schedules.  0 means unbounded (drain everything
+    #: matured).  The bound keeps a flooded VCI from monopolizing its
+    #: pool worker while still amortizing one lock round-trip per batch
+    #: instead of one per completion.
+    progress_batch_size: int = 64
+
     # ------------------------------------------------------------------
     # Wait backoff (MPI_Wait* completion loops).
     # ------------------------------------------------------------------
@@ -258,6 +267,8 @@ class RuntimeConfig:
             raise ValueError("datatype_chunk_size must be positive")
         if self.ranks_per_node <= 0:
             raise ValueError("ranks_per_node must be positive")
+        if self.progress_batch_size < 0:
+            raise ValueError("progress_batch_size must be >= 0 (0 = unbounded)")
         if self.wait_spin_count < 0:
             raise ValueError("wait_spin_count must be >= 0")
         if self.wait_yield_interval <= 0:

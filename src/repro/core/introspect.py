@@ -54,6 +54,9 @@ class ProgressSnapshot:
     collective_active_scheds: int
     streams: list[StreamStats] = field(default_factory=list)
     endpoints: list[dict[str, Any]] = field(default_factory=list)
+    #: progress-pool counters (see ``ProgressPool.stats``); None when
+    #: no pool was passed to :func:`snapshot`
+    pool: dict[str, Any] | None = None
     #: ack/retransmit counters (zero everywhere on a lossless run)
     reliability: dict[str, int] = field(default_factory=dict)
     #: fault-injector counters; None on a perfect fabric
@@ -85,8 +88,18 @@ class ProgressSnapshot:
                 lines.append(
                     f"    vci={ep['vci']} posted={ep['posted']} "
                     f"bytes={ep['bytes']} polls={ep['polls']} "
-                    f"empty={ep['empty_polls']} pending={ep['pending']}"
+                    f"empty={ep['empty_polls']} "
+                    f"batches={ep['batch_harvests']} pending={ep['pending']}"
                 )
+        if self.pool is not None:
+            p = self.pool
+            lines.append(
+                "  progress pool       : "
+                f"workers={p['workers']} slots={p['slots']} "
+                f"steals={p['stat_steals']} returns={p['stat_returns']} "
+                f"batch_harvests={p['stat_batch_harvests']} "
+                f"passes={p['worker_passes']}"
+            )
         if any(self.reliability.values()):
             r = self.reliability
             lines.append(
@@ -106,11 +119,13 @@ class ProgressSnapshot:
         return "\n".join(lines)
 
 
-def snapshot(proc: "Proc") -> ProgressSnapshot:
+def snapshot(proc: "Proc", pool: Any | None = None) -> ProgressSnapshot:
     """Collect a :class:`ProgressSnapshot` for ``proc``.
 
     Reads are lock-free counter loads; values are a consistent-enough
     point-in-time view for diagnostics (not a serialization point).
+    Pass the rank's :class:`~repro.exts.progress_pool.ProgressPool` as
+    ``pool`` to include steal/batch counters in the snapshot.
     """
     streams = []
     endpoints = []
@@ -137,6 +152,7 @@ def snapshot(proc: "Proc") -> ProgressSnapshot:
                 "bytes": ep.stat_bytes,
                 "polls": ep.stat_polls,
                 "empty_polls": ep.stat_empty_polls,
+                "batch_harvests": ep.stat_batch_harvests,
                 "pending": ep.pending,
             }
         )
@@ -150,6 +166,7 @@ def snapshot(proc: "Proc") -> ProgressSnapshot:
         collective_active_scheds=proc.coll_engine.active_count,
         streams=streams,
         endpoints=endpoints,
+        pool=pool.stats() if pool is not None else None,
         reliability=proc.p2p.reliability_stats(),
         faults=proc.world.fabric.fault_stats(),
     )

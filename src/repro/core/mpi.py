@@ -85,6 +85,7 @@ class Proc:
 
         #: VCI 0 / default stream: what STREAM_NULL resolves to.
         self.default_stream = MpixStream(vci=0)
+        self.progress_engine.bind_stream(self.default_stream)
         self._streams: list[MpixStream] = [self.default_stream]
         self._vci_counter = 1
         self._stream_lock = _sync.make_lock(f"proc{rank}.streams")
@@ -150,6 +151,10 @@ class Proc:
             vci = self._vci_counter
             self._vci_counter += 1
             stream = MpixStream(vci=vci, info=info)
+            # Bind the pending-work busy check before the stream is
+            # published: every progress pass then finds it as a plain
+            # attribute (no dict probe, no double-create race).
+            self.progress_engine.bind_stream(stream)
             self._streams.append(stream)
         return stream
 

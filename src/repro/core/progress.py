@@ -79,6 +79,8 @@ class ProgressEngine:
         self._order: tuple[str, ...] = tuple(self.config.progress_order)
         self._short_circuit = self.config.progress_short_circuit
         self._registry_on = self.config.progress_registry_skip
+        #: batched-drain bound per subsystem poll (None = unbounded)
+        self._batch_k = self.config.progress_batch_size or None
         #: busy-check closures emit names in the canonical order; when
         #: the configured order matches, their result is polled directly
         self._canonical_order = self._order == (
@@ -100,13 +102,13 @@ class ProgressEngine:
         return self.proc.datatype_engine.progress()
 
     def _poll_collective(self, stream: MpixStream) -> bool:
-        return self.proc.coll_engine.progress(stream.vci)
+        return self.proc.coll_engine.progress(stream.vci, self._batch_k)
 
     def _poll_shmem(self, stream: MpixStream) -> bool:
-        return self.proc.p2p.progress_shmem(stream.vci)
+        return self.proc.p2p.progress_shmem(stream.vci, self._batch_k)
 
     def _poll_netmod(self, stream: MpixStream) -> bool:
-        return self.proc.p2p.progress_netmod(stream.vci)
+        return self.proc.p2p.progress_netmod(stream.vci, self._batch_k)
 
     # ------------------------------------------------------------------
     # Pending-work registry.
@@ -152,6 +154,24 @@ class ProgressEngine:
 
         return busy
 
+    def bind_stream(self, stream: MpixStream) -> Callable[[], list[str] | None]:
+        """Bind the per-VCI busy check onto ``stream``.
+
+        Called by the Proc at stream-table registration (default stream
+        construction and ``stream_create``), so by the time any thread
+        runs a progress pass the closure is already an attribute on the
+        stream — the hot path does one attribute load instead of a dict
+        probe, and the benign double-create race of two threads missing
+        the dict simultaneously is gone.
+        """
+        check = self._busy_checks.get(stream.vci)
+        if check is None:
+            check = self._busy_checks[stream.vci] = self._make_busy_check(
+                stream.vci
+            )
+        stream.busy_check = check
+        return check
+
     def busy_subsystems(self, vci: int) -> list[str]:
         """Registry view: subsystems with pending work on ``vci``."""
         check = self._busy_checks.get(vci)
@@ -168,11 +188,11 @@ class ProgressEngine:
         made = False
         skip = state.skip if state is not None else None
         if self._registry_on:
-            check = self._busy_checks.get(stream.vci)
+            check = stream.busy_check
             if check is None:
-                check = self._busy_checks[stream.vci] = self._make_busy_check(
-                    stream.vci
-                )
+                # Streams not registered through a Proc's stream table
+                # (transport-level tests) bind lazily on first pass.
+                check = self.bind_stream(stream)
             busy = check()
             # The registry decides the skip set for the whole pass up
             # front: every eligible subsystem is accounted either as one
@@ -243,11 +263,23 @@ class ProgressEngine:
         if not tasks:
             return False
         made = False
-        any_done = False
         spawned: list[AsyncThing] = []
         error: BaseException | None = None
-        for thing in tasks:
-            if thing.done:
+
+        def retire(i: int, thing: AsyncThing) -> None:
+            # Swap-remove: O(1) retirement in place of rebuilding the
+            # whole task list whenever any hook finishes.  The tail task
+            # moves into slot ``i`` and is polled next, so every live
+            # hook is still polled exactly once per pass.
+            last = tasks.pop()
+            if last is not thing:
+                tasks[i] = last
+
+        i = 0
+        while i < len(tasks):
+            thing = tasks[i]
+            if thing.done:  # retired elsewhere; drop the stale entry
+                retire(i, thing)
                 continue
             try:
                 ret = thing.poll_fn(thing)
@@ -257,30 +289,30 @@ class ProgressEngine:
                 # engine state left consistent: remaining hooks still
                 # run on later passes, spawned tasks are preserved.
                 thing.done = True
-                any_done = True
                 self.proc.note_async_done()
                 error = exc
                 spawned.extend(thing.take_spawned())
+                retire(i, thing)
                 break
             spawned.extend(thing.take_spawned())
             if ret == ASYNC_DONE:
                 thing.done = True
-                any_done = True
                 made = True
                 self.proc.note_async_done()
+                retire(i, thing)
+                continue
             elif ret == ASYNC_PENDING:
                 made = True
             elif ret != ASYNC_NOPROGRESS:
                 thing.done = True
-                any_done = True
                 self.proc.note_async_done()
                 error = MpiError(
                     f"async poll function returned invalid code {ret!r} "
                     "(expected ASYNC_DONE/ASYNC_PENDING/ASYNC_NOPROGRESS)"
                 )
+                retire(i, thing)
                 break
-        if any_done:
-            stream.async_tasks = [t for t in tasks if not t.done]
+            i += 1
         # Spawned tasks join their stream after the poll pass — same
         # stream directly (we hold its lock), others via their inbox.
         for thing in spawned:

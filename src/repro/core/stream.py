@@ -71,6 +71,7 @@ class MpixStream:
         "_owner",
         "freed",
         "skip_subsystems",
+        "busy_check",
         "stat_progress_calls",
         "stat_subsystem_polls",
         "stat_skipped_polls",
@@ -104,6 +105,12 @@ class MpixStream:
         if isinstance(skip, str):
             skip = [s for s in skip.split(",") if s]
         self.skip_subsystems: frozenset[str] = frozenset(skip)
+        #: per-VCI pending-work busy check, bound by the progress engine
+        #: when the owning Proc registers the stream in its stream table
+        #: (``ProgressEngine.bind_stream``).  Holding it here makes the
+        #: hot-path lookup one attribute load — no dict probe, and no
+        #: double-create race when two threads miss the cache at once.
+        self.busy_check = None
         self.stat_progress_calls = 0
         #: subsystem polls issued / polls avoided by the pending-work
         #: registry on this stream's passes (the fast-path counters).

@@ -2,6 +2,8 @@
 
 * :mod:`repro.exts.progress_thread` — the global async-progress-thread
   baseline (section 5.1), busy and adaptive variants.
+* :mod:`repro.exts.progress_pool` — sharded parallel progress: per-VCI
+  worker pool with affinity and work stealing.
 * :mod:`repro.exts.continue_ext` — the MPIX_Continue proposal
   (section 5.4).
 * :mod:`repro.exts.schedule_ext` — the MPIX_Schedule proposal
@@ -19,13 +21,16 @@ from repro.exts.aio import AsyncioProgress
 from repro.exts.continue_ext import ContinuationRequest, continue_init
 from repro.exts.events import RequestEventLoop
 from repro.exts.futures import MPIFuture, ProgressExecutor
-from repro.exts.progress_thread import ProgressThread
+from repro.exts.progress_pool import ProgressPool
+from repro.exts.progress_thread import IdleBackoff, ProgressThread
 from repro.exts.schedule_ext import Schedule
 from repro.exts.taskclass import TaskClassQueue
 
 __all__ = [
     "AsyncioProgress",
+    "IdleBackoff",
     "ProgressThread",
+    "ProgressPool",
     "ContinuationRequest",
     "continue_init",
     "Schedule",

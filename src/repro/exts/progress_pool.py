@@ -1,0 +1,342 @@
+"""Sharded parallel progress: a per-VCI worker pool with work stealing.
+
+One :class:`~repro.exts.progress_thread.ProgressThread` spinning the
+default stream is the section 5.1 baseline — and its weakness: every
+busy VCI funnels through one thread, so eight busy streams serialize
+behind one poll loop.  :class:`ProgressPool` shards the registered
+``(proc, stream)`` targets across N worker threads instead.  Each
+target becomes a :class:`_Slot` with a *home* worker (round-robin
+affinity); in the cache-warm common case a VCI is only ever polled by
+its home worker, so per-stream state stays on one core and the stream
+lock is uncontended.
+
+Work stealing rebalances the unlucky shardings.  The pending-work
+registry's per-VCI busy check (bound onto the stream by
+``ProgressEngine.bind_stream``) doubles as the steal signal: an idle
+worker scans the slot table for a slot whose busy check fires while its
+owner has *other* busy slots queued (the owner is overloaded — a slot
+that is its owner's only busy work gets polled next pass anyway, and
+migrating it would just cool the cache).  Stolen slots carry
+``owner != home`` and are handed back the moment their busy check goes
+quiet, so steals are leases, not migrations.
+
+Safety protocol (all transitions under one pool lock):
+
+* every slot has exactly one ``owner`` at all times — registration
+  assigns it, steal/return reassign it, nothing removes it;
+* a worker polls a slot only inside a ``claim``/``release`` pair that
+  atomically checks ``owner == me and not polling`` and sets
+  ``polling`` — so a VCI is never polled by two workers at once, and a
+  steal can never target a slot mid-poll.
+
+``steal``/``return_idle``/``claim``/``release`` are public precisely so
+tests can drive the protocol without threads and assert those
+invariants (see the hypothesis property in
+``tests/exts/test_progress_pool.py``).  Steal decisions announce
+themselves to the deterministic scheduler via
+:func:`repro.util.sync.checkpoint`, and all primitives come from the
+:mod:`repro.util.sync` factories, so dsched schedules pool workers as
+ordinary instrumented logical threads.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.exts.progress_thread import IdleBackoff
+from repro.util import sync as _sync
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.mpi import Proc
+    from repro.core.stream import MpixStream
+
+__all__ = ["ProgressPool"]
+
+
+class _Slot:
+    """One registered ``(proc, stream)`` target and its ownership state."""
+
+    __slots__ = (
+        "proc", "stream", "home", "owner", "polling",
+        "stat_steals", "stat_passes",
+    )
+
+    def __init__(self, proc: "Proc", stream: "MpixStream", home: int) -> None:
+        self.proc = proc
+        self.stream = stream
+        #: affinity worker — the slot's owner whenever it is not stolen
+        self.home = home
+        #: worker currently responsible for polling this slot
+        self.owner = home
+        #: True while some worker is inside a progress pass on this slot
+        self.polling = False
+        self.stat_steals = 0
+        self.stat_passes = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = f"owner={self.owner}" + (
+            "" if self.owner == self.home else f" home={self.home}"
+        )
+        return f"_Slot(rank={self.proc.rank}, vci={self.stream.vci}, {where})"
+
+
+class ProgressPool:
+    """N worker threads progressing registered streams, with stealing.
+
+    Parameters
+    ----------
+    targets:
+        Iterable of ``(proc, stream)`` pairs to progress.  Slots take
+        round-robin home workers in iteration order, so interleaving
+        hot streams in ``targets`` spreads them across workers.
+    workers:
+        Number of worker threads.
+    mode / idle_threshold / idle_sleep:
+        Idle policy per worker, as in
+        :class:`~repro.exts.progress_thread.ProgressThread` (default
+        ``"adaptive"`` — a pool exists to scale busy work, burning N
+        cores while idle is rarely wanted).
+    steal:
+        Enable work stealing (on by default).  With ``workers=1`` or
+        stealing off the pool degrades to sharded progress threads.
+    """
+
+    def __init__(
+        self,
+        targets: Iterable[tuple["Proc", "MpixStream"]],
+        *,
+        workers: int = 2,
+        mode: str = "adaptive",
+        idle_threshold: int = 16,
+        idle_sleep: float = 50e-6,
+        steal: bool = True,
+    ) -> None:
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        IdleBackoff(mode, idle_threshold, idle_sleep)  # validate mode early
+        self.workers = workers
+        self.mode = mode
+        self.idle_threshold = idle_threshold
+        self.idle_sleep = idle_sleep
+        self.steal_enabled = steal and workers > 1
+        self._lock = _sync.make_lock("progress_pool.slots")
+        self._stop = _sync.make_event("progress_pool.stop")
+        self._threads: list = []
+        self._slots: list[_Slot] = []
+        self.stat_steals = 0
+        self.stat_returns = 0
+        #: per-worker counters, indexed by worker id
+        self.worker_passes = [0] * workers
+        self.worker_idle_passes = [0] * workers
+        self.worker_sleeps = [0] * workers
+        for proc, stream in targets:
+            self.register(proc, stream)
+
+    # ------------------------------------------------------------------
+    # Construction conveniences.
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_proc(cls, proc: "Proc", **kwargs) -> "ProgressPool":
+        """A pool over every stream in ``proc``'s stream table."""
+        return cls([(proc, s) for s in proc.streams], **kwargs)
+
+    def register(self, proc: "Proc", stream: "MpixStream") -> None:
+        """Add a target; usable before or after ``start``.
+
+        Binding the busy check here (idempotent) guarantees the steal
+        signal exists even for streams that never saw a progress pass.
+        """
+        proc.progress_engine.bind_stream(stream)
+        with self._lock:
+            home = len(self._slots) % self.workers
+            self._slots.append(_Slot(proc, stream, home))
+
+    # ------------------------------------------------------------------
+    # Ownership protocol (public for threadless protocol tests).
+    # ------------------------------------------------------------------
+    def claim(self, slot: _Slot, wid: int) -> bool:
+        """Atomically claim ``slot`` for a poll by worker ``wid``.
+
+        Fails (False) when the slot was stolen since the caller
+        snapshotted its shard, or is already mid-poll.
+        """
+        with self._lock:
+            if slot.owner != wid or slot.polling:
+                return False
+            slot.polling = True
+            return True
+
+    def release(self, slot: _Slot) -> None:
+        """End the poll claimed by :meth:`claim`."""
+        with self._lock:
+            slot.polling = False
+
+    def steal(self, wid: int) -> _Slot | None:
+        """One steal attempt by idle worker ``wid``.
+
+        Takes ownership of the first slot whose busy check fires while
+        its owner is overloaded (owns at least one *other* busy slot)
+        and that is not mid-poll.  Returns the stolen slot, or None.
+        """
+        _sync.checkpoint("progress_pool.steal")
+        with self._lock:
+            busy_counts: dict[int, int] = {}
+            busy_flags: list[bool] = []
+            for slot in self._slots:
+                check = slot.stream.busy_check
+                is_busy = bool(check is not None and check())
+                busy_flags.append(is_busy)
+                if is_busy:
+                    busy_counts[slot.owner] = busy_counts.get(slot.owner, 0) + 1
+            for slot, is_busy in zip(self._slots, busy_flags):
+                if (
+                    is_busy
+                    and slot.owner != wid
+                    and not slot.polling
+                    and busy_counts.get(slot.owner, 0) >= 2
+                ):
+                    slot.owner = wid
+                    slot.stat_steals += 1
+                    self.stat_steals += 1
+                    return slot
+        return None
+
+    def return_idle(self, wid: int) -> int:
+        """Hand quiesced stolen slots owned by ``wid`` back to their
+        home workers; returns how many went home."""
+        returned = 0
+        with self._lock:
+            for slot in self._slots:
+                if slot.owner == wid and slot.home != wid and not slot.polling:
+                    check = slot.stream.busy_check
+                    if check is None or not check():
+                        slot.owner = slot.home
+                        returned += 1
+        if returned:
+            self.stat_returns += returned
+        return returned
+
+    # ------------------------------------------------------------------
+    # Worker loop.
+    # ------------------------------------------------------------------
+    def run_pass(self, wid: int) -> bool:
+        """One sharded pass: poll every slot worker ``wid`` owns.
+
+        The shard is snapshotted without claims, then each slot is
+        claimed individually right before its poll — so slots queued
+        behind a slow poll stay stealable instead of being locked into
+        this worker's pass.
+        """
+        with self._lock:
+            mine = [s for s in self._slots if s.owner == wid]
+        made = False
+        for slot in mine:
+            if not self.claim(slot, wid):
+                continue  # stolen meanwhile, or polled by its thief
+            try:
+                if slot.proc.stream_progress(slot.stream):
+                    made = True
+                slot.stat_passes += 1
+            finally:
+                self.release(slot)
+        return made
+
+    def _main(self, wid: int) -> None:
+        backoff = IdleBackoff(self.mode, self.idle_threshold, self.idle_sleep)
+        clock = self._clock_for(wid)
+        while not self._stop.is_set():
+            made = self.run_pass(wid)
+            self.worker_passes[wid] += 1
+            if made:
+                backoff.reset()
+                continue
+            self.worker_idle_passes[wid] += 1
+            if self.steal_enabled:
+                self.return_idle(wid)
+                if self.steal(wid) is not None:
+                    backoff.reset()
+                    continue  # poll the stolen slot immediately
+            if backoff.pause(clock):
+                self.worker_sleeps[wid] += 1
+
+    def _clock_for(self, wid: int):
+        # Pools may span procs; all procs of a world share one clock,
+        # so any owned slot's clock serves for the idle nap.
+        with self._lock:
+            for slot in self._slots:
+                if slot.owner == wid:
+                    return slot.proc.clock
+            return self._slots[0].proc.clock if self._slots else None
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+    def start(self) -> "ProgressPool":
+        if self._threads:
+            raise RuntimeError("progress pool already started")
+        if not self._slots:
+            raise RuntimeError("progress pool has no registered streams")
+        for wid in range(self.workers):
+            t = _sync.spawn_thread(
+                self._main, args=(wid,), name=f"mpi-progress-pool-{wid}"
+            )
+            self._threads.append(t)
+        for t in self._threads:
+            t.start()
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Signal all workers and join them, bounded by *real* time
+        (a wedged worker surfaces as an error, never a hang)."""
+        self._stop.set()
+        for t in self._threads:
+            t.join(timeout)
+        stuck = [t.name for t in self._threads if t.is_alive()]
+        if stuck:
+            raise RuntimeError(
+                f"progress pool workers failed to stop within {timeout}s: {stuck}"
+            )
+        self._threads = []
+
+    def __enter__(self) -> "ProgressPool":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+    def slots(self) -> list[_Slot]:
+        """Snapshot of the slot table (for tests and introspection)."""
+        with self._lock:
+            return list(self._slots)
+
+    def stats(self) -> dict:
+        """Aggregate pool counters, including the endpoints' batched
+        harvest counts for every registered target (deduplicated)."""
+        with self._lock:
+            slots = list(self._slots)
+        batch_harvests = 0
+        seen: set[int] = set()
+        for slot in slots:
+            ep = slot.proc.p2p.endpoint_for(slot.stream.vci)
+            if id(ep) not in seen:
+                seen.add(id(ep))
+                batch_harvests += ep.stat_batch_harvests
+        return {
+            "workers": self.workers,
+            "slots": len(slots),
+            "stat_steals": self.stat_steals,
+            "stat_returns": self.stat_returns,
+            "stat_batch_harvests": batch_harvests,
+            "worker_passes": list(self.worker_passes),
+            "worker_idle_passes": list(self.worker_idle_passes),
+            "worker_sleeps": list(self.worker_sleeps),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ProgressPool(workers={self.workers}, slots={len(self._slots)}, "
+            f"steals={self.stat_steals})"
+        )

@@ -18,7 +18,48 @@ from repro.core.mpi import Proc
 from repro.core.stream import STREAM_NULL, MpixStream, StreamNullType
 from repro.util import sync as _sync
 
-__all__ = ["ProgressThread"]
+__all__ = ["IdleBackoff", "ProgressThread"]
+
+
+class IdleBackoff:
+    """Spin-then-nap idle policy shared by :class:`ProgressThread` and
+    the :class:`~repro.exts.progress_pool.ProgressPool` workers.
+
+    ``"busy"`` mode yields the CPU after every idle pass and never
+    sleeps; ``"adaptive"`` (the MVAPICH design) starts napping
+    ``idle_sleep`` seconds once ``idle_threshold`` consecutive passes
+    made no progress, resetting the moment progress is made.
+    """
+
+    __slots__ = ("mode", "idle_threshold", "idle_sleep", "_idle_run")
+
+    def __init__(self, mode: str, idle_threshold: int, idle_sleep: float) -> None:
+        if mode not in ("busy", "adaptive"):
+            raise ValueError("mode must be 'busy' or 'adaptive'")
+        self.mode = mode
+        self.idle_threshold = idle_threshold
+        self.idle_sleep = idle_sleep
+        self._idle_run = 0
+
+    def reset(self) -> None:
+        """Progress was made; start the idle count over."""
+        self._idle_run = 0
+
+    def pause(self, clock) -> bool:
+        """Pause after one idle pass.
+
+        Returns True when the pause was an adaptive nap (so callers can
+        count sleeps), False when it only yielded the CPU.  The nap is
+        routed through the clock abstraction: real clocks block, virtual
+        clocks charge virtual time, and a deterministic scheduler turns
+        it into a yield point (see :func:`repro.util.sync.sleep`).
+        """
+        self._idle_run += 1
+        if self.mode == "adaptive" and self._idle_run >= self.idle_threshold:
+            _sync.sleep(self.idle_sleep, clock)
+            return True
+        clock.yield_cpu()
+        return False
 
 
 class ProgressThread:
@@ -46,8 +87,7 @@ class ProgressThread:
         idle_threshold: int = 64,
         idle_sleep: float = 50e-6,
     ) -> None:
-        if mode not in ("busy", "adaptive"):
-            raise ValueError("mode must be 'busy' or 'adaptive'")
+        self._backoff = IdleBackoff(mode, idle_threshold, idle_sleep)
         self.proc = proc
         self.stream = stream
         self.mode = mode
@@ -95,21 +135,13 @@ class ProgressThread:
 
     # ------------------------------------------------------------------
     def _main(self) -> None:
-        idle_run = 0
+        backoff = self._backoff
         while not self._stop.is_set():
             made = self.proc.stream_progress(self.stream)
             self.stat_passes += 1
             if made:
-                idle_run = 0
+                backoff.reset()
             else:
                 self.stat_idle_passes += 1
-                idle_run += 1
-                if self.mode == "adaptive" and idle_run >= self.idle_threshold:
+                if backoff.pause(self.proc.clock):
                     self.stat_sleeps += 1
-                    # Route the nap through the clock abstraction: real
-                    # clocks block, virtual clocks charge virtual time,
-                    # and a deterministic scheduler turns it into a
-                    # yield point (see repro.util.sync.sleep).
-                    _sync.sleep(self.idle_sleep, self.proc.clock)
-                else:
-                    self.proc.clock.yield_cpu()

@@ -987,13 +987,19 @@ class P2PEngine:
     # ------------------------------------------------------------------
     # Progress.
     # ------------------------------------------------------------------
-    def progress_netmod(self, vci: int) -> bool:
+    def progress_netmod(self, vci: int, max_k: int | None = None) -> bool:
         """Poll the netmod endpoint for this VCI (Listing 1.1's
-        ``Netmod_progress``); True when anything was processed."""
+        ``Netmod_progress``); True when anything was processed.
+
+        ``max_k`` bounds the batched drain: at most that many matured
+        completions/arrivals are harvested under one endpoint lock
+        acquisition, keeping a flooded endpoint from monopolizing the
+        pass while still amortizing the lock round-trip over the batch.
+        """
         state = self.vci_state(vci)
         made = False
         endpoint = self.endpoint_for(vci)
-        completions, packets = endpoint.poll()
+        completions, packets = endpoint.poll_batch(max_k)
         for op in completions:
             if op.context is not None:
                 made = True
@@ -1011,16 +1017,17 @@ class P2PEngine:
                 self._dispatch_packet(vci, state, packet)
         return made
 
-    def progress_shmem(self, vci: int) -> bool:
+    def progress_shmem(self, vci: int, max_k: int | None = None) -> bool:
         """Poll the shmem transport for this VCI (Listing 1.1's
-        ``Shmem_progress``); True when anything was processed."""
+        ``Shmem_progress``); True when anything was processed.  ``max_k``
+        bounds the receiver-side cell drain per pass."""
         if self.shmem is None or not self.config.use_shmem:
             return False
         state = self.vci_state(vci)
         addr = (self.rank, vci)
         if not self.shmem.has_work(addr):
             return False
-        s_completions, s_packets, made = self.shmem.progress(addr)
+        s_completions, s_packets, made = self.shmem.progress_batch(addr, max_k)
         for op in s_completions:
             if op.context is not None:
                 made = True

@@ -96,6 +96,21 @@ class World:
                 self._context_registry[key] = ctx
             return ctx
 
+    def progress_pool(self, workers: int = 2, **kwargs):
+        """A :class:`~repro.exts.progress_pool.ProgressPool` spanning
+        every stream of every rank (unstarted; use as context manager).
+
+        Targets are interleaved rank-major — rank 0's streams, rank
+        1's, ... — so round-robin homing spreads each rank's hot
+        default stream across distinct workers.
+        """
+        from repro.exts.progress_pool import ProgressPool
+
+        targets = [
+            (proc, stream) for proc in self._procs for stream in proc.streams
+        ]
+        return ProgressPool(targets, workers=workers, **kwargs)
+
     def rel_quiescent(self) -> bool:
         """True when no rank holds unacked reliable traffic and the
         fabric has nothing in flight.

@@ -197,7 +197,14 @@ class ShmemTransport:
     def progress(
         self, addr: tuple[int, int]
     ) -> tuple[list[ShmemOp], list[Packet], bool]:
-        """Advance shmem work for one address.
+        """Advance shmem work for one address (unbounded drain)."""
+        return self.progress_batch(addr, None)
+
+    def progress_batch(
+        self, addr: tuple[int, int], max_k: int | None
+    ) -> tuple[list[ShmemOp], list[Packet], bool]:
+        """Advance shmem work for one address, popping at most ``max_k``
+        ready cells (``None`` = drain everything ready).
 
         Returns ``(completions, packets, made_progress)``:
         completed sends posted from ``addr``, packets fully received at
@@ -237,12 +244,14 @@ class ShmemTransport:
 
         # Receiver side: drain ready cells from every inbound channel.
         popped = 0
+        budget = max_k if max_k is not None else -1
         for ch in self._inbound.get(addr, ()):
-            while True:
+            while budget != 0:
                 cell = ch.pop_ready()
                 if cell is None:
                     break
                 popped += 1
+                budget -= 1
                 made = True
                 key = (ch.src, cell.msg_id)
                 if cell.chunk_index == 0:

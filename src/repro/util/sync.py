@@ -39,6 +39,7 @@ __all__ = [
     "make_event",
     "spawn_thread",
     "sleep",
+    "checkpoint",
     "get_ident",
     "is_scheduler_abort",
     "note_request",
@@ -144,6 +145,20 @@ def sleep(dt: float, clock: "Clock | None" = None) -> None:
         clock.sleep(dt)
     else:
         time.sleep(dt)
+
+
+def checkpoint(op: str) -> None:
+    """Explicit interleaving point for lock-free decisions.
+
+    Code that makes scheduling-relevant choices *without* touching a
+    shared primitive — e.g. the progress pool deciding which VCI slot
+    to steal — calls this so the deterministic scheduler can interleave
+    other logical threads at the decision.  Outside a scheduled logical
+    thread it is a no-op costing one global load and a branch.
+    """
+    s = _scheduler
+    if s is not None and s.current() is not None:
+        s.yield_point(op)
 
 
 def get_ident():

@@ -60,7 +60,11 @@ class TestAsyncStart:
         proc.stream_progress()
         assert seen == [state]
 
-    def test_multiple_tasks_polled_in_registration_order(self, proc):
+    def test_multiple_tasks_each_polled_exactly_once_per_pass(self, proc):
+        # Retirement is swap-remove (O(1)), so completing hooks permute
+        # the polling order within a pass — the guarantee is that every
+        # registered hook is polled exactly once, and the first hook
+        # (no retirement before it) leads the pass.
         order = []
 
         def make(i):
@@ -73,7 +77,9 @@ class TestAsyncStart:
         for i in range(4):
             proc.async_start(make(i), None)
         proc.stream_progress()
-        assert order == [0, 1, 2, 3]
+        assert sorted(order) == [0, 1, 2, 3]
+        assert order[0] == 0
+        assert proc.stream_progress() is False  # all retired in one pass
 
     def test_pending_returns_count_as_made_progress(self, proc):
         """ASYNC_PENDING means the pass made progress."""

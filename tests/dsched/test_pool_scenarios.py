@@ -1,0 +1,146 @@
+"""Progress-pool scenarios swept across the CI seed matrix.
+
+Pool workers are ordinary instrumented logical threads under dsched
+(every primitive comes from :mod:`repro.util.sync`, and steal decisions
+announce themselves via ``checkpoint``), so the full invariant suite —
+message conservation at every yield point, lock-order tracking,
+deadlock detection — runs over every interleaving explored here.
+"""
+
+import repro
+from repro.dsched import explore_seeds
+from repro.exts.progress_pool import ProgressPool
+from repro.runtime.world import World
+
+
+def _two_workers_distinct_vcis(sched):
+    """Two pool workers progressing two different VCIs of one rank.
+
+    A p2p message on the default stream and a hook chain on a second
+    stream must both complete, each stream must have been progressed,
+    and no interleaving may produce a lock-order inversion between the
+    two stream locks or stall one VCI behind the other's work.
+    """
+
+    def driver():
+        world = World(1, clock=sched.clock)
+        proc = world.proc(0)
+        s1 = proc.stream_create()
+        comm = proc.comm_world
+        buf = bytearray(4)
+        rreq = comm.irecv(buf, 4, repro.BYTE, 0, 9)
+        sreq = comm.isend(b"pool", 4, repro.BYTE, 0, 9)
+        fired = []
+        calls = {"n": 0}
+
+        def poll(thing):
+            calls["n"] += 1
+            if calls["n"] < 3:
+                return repro.ASYNC_NOPROGRESS
+            fired.append(1)
+            return repro.ASYNC_DONE
+
+        proc.async_start(poll, None, s1)
+        pool = ProgressPool(
+            [(proc, proc.default_stream), (proc, s1)],
+            workers=2,
+            mode="adaptive",
+            idle_threshold=2,
+            idle_sleep=1e-5,
+        )
+        pool.start()
+        sched.wait_for(
+            lambda: rreq.is_complete() and sreq.is_complete() and bool(fired),
+            dt=1e-6,
+        )
+        pool.stop()
+        assert bytes(buf) == b"pool"
+        # no cross-stream blocking: both VCIs actually ran passes
+        assert proc.default_stream.stat_progress_calls > 0
+        assert s1.stat_progress_calls > 0
+        world.finalize()
+
+    sched.spawn(driver, name="driver")
+
+
+def _steal_rebalances_overload(sched):
+    """Both of worker 0's slots report busy while worker 1 idles; the
+    steal lease must fire and never violate the ownership protocol."""
+
+    def driver():
+        world = World(1, clock=sched.clock)
+        proc = world.proc(0)
+        streams = [proc.default_stream, proc.stream_create(), proc.stream_create()]
+        pool = ProgressPool(
+            [(proc, s) for s in streams],
+            workers=2,
+            mode="adaptive",
+            idle_threshold=2,
+            idle_sleep=1e-5,
+        )
+        for slot in pool.slots():  # homes: 0, 1, 0 — worker 0 overloaded
+            slot.stream.busy_check = (
+                (lambda: ["netmod"]) if slot.home == 0 else (lambda: None)
+            )
+        pool.start()
+        sched.wait_for(lambda: pool.stat_steals >= 1, dt=1e-6)
+        pool.stop()
+        assert pool.stat_steals >= 1
+        for slot in pool.slots():
+            assert not slot.polling
+            assert slot.owner in (0, 1)
+        world.finalize()
+
+    sched.spawn(driver, name="driver")
+
+
+def _pool_plus_application_thread(sched):
+    """The application thread progresses the default stream while the
+    pool's workers do too — the Fig. 9 contention shape with a pool."""
+
+    def driver():
+        world = World(1, clock=sched.clock)
+        proc = world.proc(0)
+        comm = proc.comm_world
+        buf = bytearray(2)
+        rreq = comm.irecv(buf, 2, repro.BYTE, 0, 3)
+        sreq = comm.isend(b"hi", 2, repro.BYTE, 0, 3)
+        pool = ProgressPool(
+            [(proc, proc.default_stream)],
+            workers=2,
+            mode="adaptive",
+            idle_threshold=2,
+            idle_sleep=1e-5,
+        )
+        pool.start()
+        while not (rreq.is_complete() and sreq.is_complete()):
+            if not proc.stream_progress():
+                proc.idle_wait()
+        pool.stop()
+        assert bytes(buf) == b"hi"
+        world.finalize()
+
+    sched.spawn(driver, name="driver")
+
+
+class TestPoolScenarios:
+    def test_two_workers_distinct_vcis(self, seed_range):
+        res = explore_seeds(_two_workers_distinct_vcis, seed_range, timeout=60.0)
+        assert res.ok, res.report()
+        assert res.decisions > 0
+
+    def test_steal_rebalances_overload(self, seed_range):
+        res = explore_seeds(_steal_rebalances_overload, seed_range, timeout=60.0)
+        assert res.ok, res.report()
+        assert res.decisions > 0
+
+    def test_pool_plus_application_thread(self, seed_range):
+        res = explore_seeds(_pool_plus_application_thread, seed_range, timeout=60.0)
+        assert res.ok, res.report()
+        assert res.decisions > 0
+
+    def test_pct_mode_steal(self):
+        res = explore_seeds(
+            _steal_rebalances_overload, range(25), mode="pct", timeout=60.0
+        )
+        assert res.ok, res.report()

@@ -1,0 +1,266 @@
+"""Sharded progress pool: lifecycle, stealing, and protocol safety.
+
+The threaded tests mirror the ProgressThread suite (virtual clocks,
+real-time bounds only as failsafes).  The protocol property drives the
+public ``claim``/``release``/``steal``/``return_idle`` methods without
+any threads and asserts the ownership invariants the pool's safety
+argument rests on: no slot is ever dropped, no slot is ever claimed
+twice concurrently, and steals only move busy slots off overloaded
+workers.
+"""
+
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.exts.progress_pool import ProgressPool
+from repro.runtime.world import World
+from repro.util.clock import VirtualClock
+
+
+class TestLifecycle:
+    def test_start_stop(self, proc):
+        pool = ProgressPool([(proc, proc.default_stream)], workers=2).start()
+        pool.stop()
+        assert pool._threads == []
+        assert sum(pool.worker_passes) > 0
+
+    def test_double_start_rejected(self, proc):
+        pool = ProgressPool([(proc, proc.default_stream)]).start()
+        with pytest.raises(RuntimeError):
+            pool.start()
+        pool.stop()
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(RuntimeError):
+            ProgressPool([]).start()
+
+    def test_invalid_workers_rejected(self, proc):
+        with pytest.raises(ValueError):
+            ProgressPool([(proc, proc.default_stream)], workers=0)
+
+    def test_invalid_mode_rejected(self, proc):
+        with pytest.raises(ValueError):
+            ProgressPool([(proc, proc.default_stream)], mode="turbo")
+
+    def test_round_robin_homes(self, vproc):
+        streams = [vproc.default_stream] + [vproc.stream_create() for _ in range(3)]
+        pool = ProgressPool([(vproc, s) for s in streams], workers=2)
+        assert [s.home for s in pool.slots()] == [0, 1, 0, 1]
+        assert all(s.owner == s.home for s in pool.slots())
+
+    def test_register_binds_busy_check(self, vproc):
+        s = vproc.stream_create()
+        s.busy_check = None  # simulate an unbound stream
+        ProgressPool([(vproc, s)])
+        assert s.busy_check is not None
+
+    def test_single_worker_disables_steal(self, proc):
+        pool = ProgressPool([(proc, proc.default_stream)], workers=1)
+        assert not pool.steal_enabled
+
+
+class TestProgressing:
+    def test_drives_async_tasks_on_multiple_streams(self, vproc):
+        """Workers complete hooks on every registered stream while the
+        main thread only advances virtual time."""
+        streams = [vproc.default_stream, vproc.stream_create(), vproc.stream_create()]
+        done = []
+        deadline = vproc.wtime() + 0.002
+
+        def make_poll(i):
+            def poll(thing):
+                if vproc.wtime() >= deadline:
+                    done.append(i)
+                    return repro.ASYNC_DONE
+                return repro.ASYNC_NOPROGRESS
+
+            return poll
+
+        for i, s in enumerate(streams):
+            vproc.async_start(make_poll(i), None, s)
+        with ProgressPool([(vproc, s) for s in streams], workers=2):
+            t_end = time.time() + 5.0
+            while len(done) < 3 and time.time() < t_end:
+                vproc.clock.sleep(0.001)
+        assert sorted(done) == [0, 1, 2]
+
+    def test_completes_p2p_across_ranks(self):
+        """A world-wide pool provides strong progress for every rank."""
+        import numpy as np
+
+        world = World(2, clock=VirtualClock())
+        p0, p1 = world.proc(0), world.proc(1)
+        out = np.zeros(1000, dtype="i4")
+        rreq = p1.comm_world.irecv(out, 1000, repro.INT, 0, 7)
+        sreq = p0.comm_world.isend(np.arange(1000, dtype="i4"), 1000, repro.INT, 1, 7)
+        with world.progress_pool(workers=2):
+            t_end = time.time() + 5.0
+            while not (rreq.is_complete() and sreq.is_complete()) and time.time() < t_end:
+                p0.idle_wait()
+        assert rreq.is_complete() and sreq.is_complete()
+        assert out[999] == 999
+        world.finalize()
+
+    def test_idle_workers_steal_from_overloaded_worker(self, vproc):
+        """Both of worker 0's slots report busy forever while worker 1's
+        stay idle; worker 1 must steal one of them."""
+        streams = [vproc.default_stream, vproc.stream_create(),
+                   vproc.stream_create(), vproc.stream_create()]
+        pool = ProgressPool([(vproc, s) for s in streams], workers=2,
+                            mode="busy")
+        for slot in pool.slots():
+            if slot.home == 0:
+                slot.stream.busy_check = lambda: ["netmod"]
+            else:
+                slot.stream.busy_check = lambda: None
+        pool.start()
+        t_end = time.time() + 5.0
+        while pool.stat_steals == 0 and time.time() < t_end:
+            vproc.clock.yield_cpu()
+        pool.stop()
+        assert pool.stat_steals >= 1
+        stolen = [s for s in pool.slots() if s.stat_steals]
+        assert stolen and all(s.home == 0 for s in stolen)
+
+    def test_stolen_slot_returns_home_when_idle(self, vproc):
+        """Flip the stolen slot's busy signal off; its thief must hand
+        it back to the home worker."""
+        streams = [vproc.default_stream, vproc.stream_create(),
+                   vproc.stream_create(), vproc.stream_create()]
+        pool = ProgressPool([(vproc, s) for s in streams], workers=2,
+                            mode="busy")
+        busy = {0: True, 2: True}  # both home-0 slots busy
+
+        def make_check(i):
+            return lambda: ["netmod"] if busy.get(i) else None
+
+        for i, slot in enumerate(pool.slots()):
+            slot.stream.busy_check = make_check(i)
+        pool.start()
+        t_end = time.time() + 5.0
+        while pool.stat_steals == 0 and time.time() < t_end:
+            vproc.clock.yield_cpu()
+        busy.clear()  # everything quiesces -> stolen slot goes home
+        while pool.stat_returns == 0 and time.time() < t_end:
+            vproc.clock.yield_cpu()
+        pool.stop()
+        assert pool.stat_returns >= 1
+        assert all(s.owner == s.home for s in pool.slots())
+
+    def test_stats_shape(self, vproc):
+        pool = ProgressPool([(vproc, vproc.default_stream)], workers=3)
+        stats = pool.stats()
+        assert stats["workers"] == 3 and stats["slots"] == 1
+        assert len(stats["worker_passes"]) == 3
+        assert set(stats) >= {
+            "stat_steals", "stat_returns", "stat_batch_harvests",
+            "worker_idle_passes", "worker_sleeps",
+        }
+
+    def test_snapshot_includes_pool_section(self, vproc):
+        from repro.core.introspect import snapshot
+
+        pool = ProgressPool([(vproc, vproc.default_stream)], workers=2)
+        snap = snapshot(vproc, pool)
+        assert snap.pool is not None and snap.pool["workers"] == 2
+        assert "progress pool" in snap.format_report()
+        assert snapshot(vproc).pool is None
+
+
+# ----------------------------------------------------------------------
+# Protocol property: steal/return never drops or double-claims a slot.
+# ----------------------------------------------------------------------
+_N_SLOTS = 4
+_N_WORKERS = 3
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("toggle"), st.integers(0, _N_SLOTS - 1)),
+        st.tuples(st.just("claim"), st.integers(0, _N_SLOTS - 1),
+                  st.integers(0, _N_WORKERS - 1)),
+        st.tuples(st.just("release"), st.integers(0, _N_SLOTS - 1)),
+        st.tuples(st.just("steal"), st.integers(0, _N_WORKERS - 1)),
+        st.tuples(st.just("return"), st.integers(0, _N_WORKERS - 1)),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(ops=_ops)
+def test_ownership_protocol_property(ops):
+    """Drive arbitrary claim/release/steal/return sequences against a
+    threadless pool and check, after every step:
+
+    * the slot table never loses or duplicates a slot,
+    * every slot has exactly one owner, always a valid worker id,
+    * a claimed slot can never be claimed again until released
+      (no double-poll), and a mid-poll slot is never stolen,
+    * steals take only busy slots from overloaded owners.
+    """
+    world = World(1, clock=VirtualClock())
+    proc = world.proc(0)
+    streams = [proc.default_stream] + [
+        proc.stream_create() for _ in range(_N_SLOTS - 1)
+    ]
+    pool = ProgressPool(
+        [(proc, s) for s in streams], workers=_N_WORKERS, mode="busy"
+    )
+    slots = pool.slots()
+    busy = set()
+    for i, slot in enumerate(slots):
+        slot.stream.busy_check = (
+            lambda i=i: ["netmod"] if i in busy else None
+        )
+    claimed: dict[int, int | None] = {i: None for i in range(_N_SLOTS)}
+    baseline = set(id(s) for s in slots)
+
+    for op in ops:
+        if op[0] == "toggle":
+            busy.symmetric_difference_update({op[1]})
+        elif op[0] == "claim":
+            _, idx, wid = op
+            expect = slots[idx].owner == wid and claimed[idx] is None
+            got = pool.claim(slots[idx], wid)
+            assert got == expect
+            if got:
+                claimed[idx] = wid
+        elif op[0] == "release":
+            idx = op[1]
+            if claimed[idx] is not None:
+                pool.release(slots[idx])
+                claimed[idx] = None
+        elif op[0] == "steal":
+            wid = op[1]
+            owners_before = {id(s): s.owner for s in slots}
+            got = pool.steal(wid)
+            if got is not None:
+                i = slots.index(got)
+                assert i in busy  # only busy slots are stolen
+                assert claimed[i] is None  # never mid-poll
+                prev = owners_before[id(got)]
+                assert prev != wid and got.owner == wid
+                # the victim owned at least one other busy slot
+                others = [
+                    s for j, s in enumerate(slots)
+                    if j != i and owners_before[id(s)] == prev and j in busy
+                ]
+                assert others
+        elif op[0] == "return":
+            pool.return_idle(op[1])
+            # nothing idle-and-stolen may remain owned by this worker
+            for j, s in enumerate(slots):
+                if s.home != op[1] and claimed[j] is None and j not in busy:
+                    assert s.owner != op[1]
+        # global invariants after every operation
+        now = pool.slots()
+        assert set(id(s) for s in now) == baseline  # no drop, no dup
+        for j, s in enumerate(now):
+            assert 0 <= s.owner < _N_WORKERS
+            assert s.polling == (claimed[j] is not None)
+    world.finalize()
