@@ -21,7 +21,10 @@ from repro.bench.harness import (
     measure_request_query_overhead,
     measure_stream_scaling_latency,
     measure_task_class_latency,
+    measure_small_message_rate,
     measure_thread_contention_latency,
+    measure_zero_copy_bandwidth,
+    measure_zero_copy_idle_pass,
 )
 from repro.bench.reporting import print_figure, print_rows, record_bench_json
 from repro.bench.workloads import DummyTaskBatch
@@ -42,6 +45,9 @@ __all__ = [
     "measure_allreduce_latency",
     "measure_message_modes",
     "measure_overlap_remedies",
+    "measure_zero_copy_bandwidth",
+    "measure_small_message_rate",
+    "measure_zero_copy_idle_pass",
     "print_figure",
     "print_rows",
     "record_bench_json",

@@ -36,6 +36,9 @@ __all__ = [
     "measure_allreduce_latency",
     "measure_message_modes",
     "measure_overlap_remedies",
+    "measure_zero_copy_bandwidth",
+    "measure_small_message_rate",
+    "measure_zero_copy_idle_pass",
 ]
 
 
@@ -687,3 +690,139 @@ def measure_overlap_remedies(
             1.0 - row["wait"] / base_wait if base_wait > 0 else 1.0
         )
     return results
+
+
+# ----------------------------------------------------------------------
+# Zero-copy payload paths — leased buffer pool ablation.
+# ----------------------------------------------------------------------
+
+def _pingpong_world(*, pool_on: bool, use_shmem: bool) -> World:
+    cfg = RuntimeConfig(
+        use_shmem=use_shmem,
+        ranks_per_node=2 if use_shmem else 1,
+        buffer_pool_enabled=pool_on,
+    )
+    return World(2, clock=VirtualClock(), config=cfg)
+
+
+def _one_way(world: World, nbytes: int) -> tuple[float, int]:
+    """One rank-0 -> rank-1 transfer: (virtual seconds, library copy bytes)."""
+    p0, p1 = world.proc(0), world.proc(1)
+    data = np.zeros(nbytes, dtype="u1")
+    out = np.zeros(nbytes, dtype="u1")
+    t0 = world.clock.now()
+    copies0 = p0.p2p.copy_bytes(0) + p1.p2p.copy_bytes(0)
+    shmem0 = world.shmem.stat_copy_bytes if world.shmem is not None else 0
+    rreq = p1.comm_world.irecv(out, nbytes, repro.BYTE, 0, 0)
+    sreq = p0.comm_world.isend(data, nbytes, repro.BYTE, 1, 0)
+    while not (sreq.is_complete() and rreq.is_complete()):
+        if not (p0.stream_progress() | p1.stream_progress()):
+            world.clock.idle_advance()
+    elapsed = world.clock.now() - t0
+    copies = p0.p2p.copy_bytes(0) + p1.p2p.copy_bytes(0) - copies0
+    if world.shmem is not None:
+        copies += world.shmem.stat_copy_bytes - shmem0
+    return elapsed, copies
+
+
+def measure_zero_copy_bandwidth(
+    sizes: list[int], *, use_shmem: bool = False
+) -> list[dict]:
+    """Effective one-way bandwidth, buffer pool on vs off, per size.
+
+    The virtual clock models the wire (``nic_alpha``/``nic_beta``) and
+    the shmem cells, but library staging copies are Python-side and
+    free on it.  To compare the paths fairly, each copied byte is
+    charged a modelled memcpy cost of ``2 * nic_beta`` — a copy reads
+    and writes memory once each at the same 10 GB/s the wire moves
+    bytes at.  ``effective = nbytes / (elapsed + copied * memcpy_beta)``.
+    """
+    rows = []
+    for nbytes in sizes:
+        per_mode = {}
+        for label, pool_on in (("on", True), ("off", False)):
+            world = _pingpong_world(pool_on=pool_on, use_shmem=use_shmem)
+            memcpy_beta = 2.0 * world.config.nic_beta
+            elapsed, copied = _one_way(world, nbytes)
+            world.finalize()
+            per_mode[label] = nbytes / (elapsed + copied * memcpy_beta)
+            per_mode[f"copies_{label}"] = copied / nbytes
+        rows.append(
+            {
+                "nbytes": nbytes,
+                "transport": "shmem" if use_shmem else "netmod",
+                "copies_per_msg_on": per_mode["copies_on"],
+                "copies_per_msg_off": per_mode["copies_off"],
+                "bw_on_MBps": per_mode["on"] / 1e6,
+                "bw_off_MBps": per_mode["off"] / 1e6,
+                "speedup": per_mode["on"] / per_mode["off"],
+            }
+        )
+    return rows
+
+
+def measure_small_message_rate(
+    *, nbytes: int = 512, msgs: int = 2000, repeats: int = 5
+) -> dict:
+    """Wall-clock eager messages/sec, pool on vs off (regression guard).
+
+    The pooled eager path swaps a ``bytes()`` snapshot for a lease
+    acquire + slab copy + harvest-time release; this measures that the
+    swap costs nothing at the message rate.  Best-of-``repeats`` per
+    mode after a shared warmup round.
+    """
+
+    def rate(pool_on: bool, n_msgs: int) -> float:
+        world = _pingpong_world(pool_on=pool_on, use_shmem=False)
+        p0, p1 = world.proc(0), world.proc(1)
+        data = np.zeros(nbytes, dtype="u1")
+        out = np.zeros(nbytes, dtype="u1")
+        t0 = time.perf_counter()
+        for _ in range(n_msgs):
+            rreq = p1.comm_world.irecv(out, nbytes, repro.BYTE, 0, 0)
+            sreq = p0.comm_world.isend(data, nbytes, repro.BYTE, 1, 0)
+            while not (sreq.is_complete() and rreq.is_complete()):
+                if not (p0.stream_progress() | p1.stream_progress()):
+                    world.clock.idle_advance()
+        elapsed = time.perf_counter() - t0
+        world.finalize()
+        return n_msgs / elapsed
+
+    rate(True, msgs // 4)  # warmup
+    rate(False, msgs // 4)
+    best = {"on": 0.0, "off": 0.0}
+    for _ in range(repeats):
+        best["on"] = max(best["on"], rate(True, msgs))
+        best["off"] = max(best["off"], rate(False, msgs))
+    return {
+        "nbytes": nbytes,
+        "msgs_per_s_pool_on": best["on"],
+        "msgs_per_s_pool_off": best["off"],
+        "ratio": best["on"] / best["off"],
+    }
+
+
+def measure_zero_copy_idle_pass(
+    *, passes: int = 20_000, repeats: int = 5
+) -> dict:
+    """Idle progress-pass latency, pool on vs off (regression guard).
+
+    The pool lives entirely on the payload path; an idle pass must not
+    pay for it.  Best-of-``repeats`` microseconds per pass.
+    """
+
+    def idle_us(pool_on: bool) -> float:
+        cfg = RuntimeConfig(use_shmem=False, buffer_pool_enabled=pool_on)
+        world = World(1, clock=VirtualClock(), config=cfg)
+        p0 = world.proc(0)
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            for _ in range(passes):
+                p0.stream_progress()
+            best = min(best, time.perf_counter() - t0)
+        world.finalize()
+        return best / passes * 1e6
+
+    on, off = idle_us(True), idle_us(False)
+    return {"idle_us_pool_on": on, "idle_us_pool_off": off, "ratio": on / off}

@@ -2,7 +2,12 @@
 
 from __future__ import annotations
 
-from repro.coll.algorithms.util import block_view, copy_fn, largest_pof2_below
+from repro.coll.algorithms.util import (
+    block_view,
+    copy_fn,
+    largest_pof2_below,
+    stage_block,
+)
 from repro.coll.sched import Sched
 from repro.datatype.types import BYTE, Datatype, as_readonly_view
 
@@ -29,7 +34,7 @@ def build_alltoall_pairwise(
     block_bytes = count * datatype.size
     # Local block: plain copy.
     src_view = as_readonly_view(sendbuf)
-    local = bytes(src_view[rank * block_bytes : (rank + 1) * block_bytes])
+    local = stage_block(src_view, rank * block_bytes, block_bytes)
     sched.add_local(
         copy_fn(local, block_view(recvbuf, rank, block_bytes), block_bytes),
         label="self-copy",
@@ -43,9 +48,7 @@ def build_alltoall_pairwise(
         else:
             send_to = (rank + step) % size
             recv_from = (rank - step + size) % size
-        send_block = bytes(
-            src_view[send_to * block_bytes : (send_to + 1) * block_bytes]
-        )
+        send_block = stage_block(src_view, send_to * block_bytes, block_bytes)
         sched.add_send(send_to, send_block, block_bytes, BYTE)
         sched.add_recv(
             recv_from,

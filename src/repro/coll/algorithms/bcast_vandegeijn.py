@@ -9,6 +9,7 @@ the message is bandwidth-bound.
 
 from __future__ import annotations
 
+from repro.coll.algorithms.util import stage_block
 from repro.coll.algorithms.vcoll import build_allgatherv_ring
 from repro.coll.sched import Sched
 from repro.datatype.types import BYTE, Datatype, as_readonly_view, as_writable_view
@@ -43,8 +44,7 @@ def build_bcast_scatter_allgather(
         for peer in range(size):
             if peer == root or counts[peer] == 0:
                 continue
-            lo = displs[peer] * esize
-            block = bytes(src[lo : lo + counts[peer] * esize])
+            block = stage_block(src, displs[peer] * esize, counts[peer] * esize)
             sched.add_send(peer, block, counts[peer] * esize, BYTE)
         # root already owns its own block in place
     else:

@@ -7,13 +7,24 @@ from typing import Callable
 from repro.datatype.ops import Op
 from repro.datatype.types import Datatype, as_readonly_view, as_writable_view
 
-__all__ = ["block_view", "copy_fn", "reduce_fn", "largest_pof2_below"]
+__all__ = ["block_view", "stage_block", "copy_fn", "reduce_fn", "largest_pof2_below"]
 
 
 def block_view(buf, index: int, block_bytes: int) -> memoryview:
     """Writable view of block ``index`` of a contiguous buffer."""
     view = as_writable_view(buf)
     return view[index * block_bytes : (index + 1) * block_bytes]
+
+
+def stage_block(src, offset_bytes: int, nbytes: int) -> memoryview:
+    """Read-only subview of one block of a contiguous send buffer.
+
+    Collectives hand these straight to the send path, which snapshots
+    or pool-stages at issue time only where the protocol needs payload
+    ownership — replacing the unconditional per-block ``bytes(...)``
+    copies the algorithms used to make.
+    """
+    return as_readonly_view(src)[offset_bytes : offset_bytes + nbytes]
 
 
 def copy_fn(src, dst, nbytes: int) -> Callable[[], None]:

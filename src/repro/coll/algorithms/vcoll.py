@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.coll.algorithms.util import copy_fn
+from repro.coll.algorithms.util import copy_fn, stage_block
 from repro.coll.sched import Sched
 from repro.datatype.types import BYTE, Datatype, as_readonly_view, as_writable_view
 
@@ -129,7 +129,7 @@ def build_scatterv_linear(
     src = as_readonly_view(sendbuf)
     sched.add_local(
         copy_fn(
-            bytes(src[displs[root] * esize : (displs[root] + counts[root]) * esize]),
+            stage_block(src, displs[root] * esize, counts[root] * esize),
             recvbuf,
             counts[root] * esize,
         ),
@@ -138,9 +138,7 @@ def build_scatterv_linear(
     for peer in range(size):
         if peer == root:
             continue
-        block = bytes(
-            src[displs[peer] * esize : (displs[peer] + counts[peer]) * esize]
-        )
+        block = stage_block(src, displs[peer] * esize, counts[peer] * esize)
         sched.add_send(peer, block, counts[peer] * esize, BYTE)
 
 
@@ -161,9 +159,8 @@ def build_alltoallv_pairwise(
     esize = datatype.size
     src = as_readonly_view(sendbuf)
 
-    def send_block(peer: int) -> bytes:
-        lo = sdispls[peer] * esize
-        return bytes(src[lo : lo + sendcounts[peer] * esize])
+    def send_block(peer: int) -> memoryview:
+        return stage_block(src, sdispls[peer] * esize, sendcounts[peer] * esize)
 
     sched.add_local(
         copy_fn(

@@ -217,6 +217,26 @@ class RuntimeConfig:
     rel_max_retries: int = 10
 
     # ------------------------------------------------------------------
+    # Leased buffer pool (zero-copy payload paths).
+    # ------------------------------------------------------------------
+    #: When True (the default), payload-bearing paths stage through the
+    #: size-class :class:`repro.mem.BufferPool` and large transfers go
+    #: zero-copy (receiver-confirmed rendezvous/pipeline).  When False
+    #: every path reverts to the plain ``bytes``-snapshot protocol —
+    #: the documented off-switch for differential testing against the
+    #: copying paths.
+    buffer_pool_enabled: bool = True
+
+    #: Cap on bytes retained across the pool's free lists; released
+    #: slabs beyond it are dropped to the allocator instead of parked.
+    buffer_pool_max_bytes: int = 64 * 1024 * 1024
+
+    #: Number of power-of-two size classes (class i holds slabs of
+    #: ``256 << i`` bytes); payloads beyond the largest class lease an
+    #: unpooled one-shot buffer.
+    buffer_pool_size_classes: int = 16
+
+    # ------------------------------------------------------------------
     # World / topology.
     # ------------------------------------------------------------------
     #: Number of ranks per simulated node (controls which pairs are
@@ -306,6 +326,10 @@ class RuntimeConfig:
             raise ValueError("rel_backoff must be >= 1")
         if self.rel_max_retries <= 0:
             raise ValueError("rel_max_retries must be positive")
+        if self.buffer_pool_max_bytes < 0:
+            raise ValueError("buffer_pool_max_bytes must be >= 0")
+        if not 1 <= self.buffer_pool_size_classes <= 32:
+            raise ValueError("buffer_pool_size_classes must be in [1, 32]")
         if self.allreduce_algorithm not in (
             "auto",
             "recursive_doubling",

@@ -61,6 +61,9 @@ class ProgressSnapshot:
     reliability: dict[str, int] = field(default_factory=dict)
     #: fault-injector counters; None on a perfect fabric
     faults: dict[str, int] | None = None
+    #: buffer-pool + copy-path counters (pool hits/misses/outstanding,
+    #: per-rank staging copy bytes, shmem transport copy bytes)
+    mem_pool: dict[str, Any] | None = None
 
     def format_report(self) -> str:
         """Aligned multi-line report for humans."""
@@ -116,6 +119,15 @@ class ProgressSnapshot:
                 f"duplicated={f['duplicated']} reordered={f['reordered']} "
                 f"delayed={f['delayed']} plan_hits={f['plan_hits']}"
             )
+        if self.mem_pool is not None:
+            m = self.mem_pool
+            lines.append(
+                "  buffer pool         : "
+                f"enabled={m['enabled']} hits={m['hits']} misses={m['misses']} "
+                f"outstanding={m['outstanding']} high_water={m['high_water']} "
+                f"recycled={m['bytes_recycled']}B free={m['free_bytes']}B "
+                f"copies={m['copy_bytes_total']}B"
+            )
         return "\n".join(lines)
 
 
@@ -154,8 +166,14 @@ def snapshot(proc: "Proc", pool: Any | None = None) -> ProgressSnapshot:
                 "empty_polls": ep.stat_empty_polls,
                 "batch_harvests": ep.stat_batch_harvests,
                 "pending": ep.pending,
+                "copy_bytes": proc.p2p.copy_bytes(stream.vci),
             }
         )
+    mem_pool = dict(proc.p2p.pool.stats())
+    mem_pool["copy_bytes_total"] = sum(proc.p2p.stat_copy_bytes.values())
+    mem_pool["shmem_copy_bytes"] = (
+        proc.p2p.shmem.stat_copy_bytes if proc.p2p.shmem is not None else 0
+    )
     return ProgressSnapshot(
         rank=proc.rank,
         engine_passes=proc.progress_engine.stat_passes,
@@ -169,4 +187,5 @@ def snapshot(proc: "Proc", pool: Any | None = None) -> ProgressSnapshot:
         pool=pool.stats() if pool is not None else None,
         reliability=proc.p2p.reliability_stats(),
         faults=proc.world.fabric.fault_stats(),
+        mem_pool=mem_pool,
     )

@@ -1,0 +1,13 @@
+"""Leased buffer pool for zero-copy payload paths.
+
+The transports move payloads as ``memoryview`` slices over pooled
+slabs (or directly over user buffers); :class:`BufferPool` owns the
+slabs and :class:`Lease` refcounts every live artifact that still
+references one — wire packets, retransmit queues, shmem cells,
+unexpected-queue entries — so a slab is recycled exactly when the last
+reader lets go.
+"""
+
+from repro.mem.pool import BufferPool, Lease
+
+__all__ = ["BufferPool", "Lease"]

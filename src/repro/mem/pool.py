@@ -1,0 +1,218 @@
+"""Size-class buffer pool with refcounted leases.
+
+Every payload the runtime must *own* (eager staging, retransmit
+queues, packed non-contiguous data, RMA staging) is copied exactly
+once into a leased slab instead of a fresh ``bytes`` per hop.  Slabs
+are power-of-two sized; a released slab parks on its class's free list
+(up to ``max_bytes`` retained) and the next acquire of that class is a
+hit — no allocation, no GC churn.
+
+Ownership protocol
+------------------
+
+A :class:`Lease` starts with one reference held by whoever acquired
+it.  Every additional artifact that keeps reading the slab — a wire
+:class:`~repro.netmod.packet.Packet`, a reliability
+``UnackedEntry``, a shmem ``Cell``, an unexpected-queue entry —
+*retains* the lease while it lives and *releases* it when consumed
+(typically inside ``poll_batch``/harvest).  The slab returns to the
+free list only when the count hits zero, so a receiver can never
+observe a recycled slab.  Releasing below zero raises — a
+double-release is a protocol bug, not a condition to tolerate.
+
+Thread-safety: all mutation happens under one lock built by
+:func:`repro.util.sync.make_lock`, so under a deterministic scheduler
+every retain/release is a schedulable yield point and the dsched
+sweeps explore interleavings of the lease protocol itself.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.util import sync as _sync
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.config import RuntimeConfig
+
+__all__ = ["BufferPool", "Lease", "MIN_CLASS_BYTES"]
+
+#: Smallest slab size; payloads below this are cheaper to snapshot as
+#: plain ``bytes`` than to route through the lease protocol, so the
+#: protocol layers use this as their "stage through the pool" floor.
+MIN_CLASS_BYTES = 256
+
+
+class Lease:
+    """A refcounted claim on one slab (or an unpooled buffer).
+
+    ``view``/``readonly`` expose exactly the ``nbytes`` requested from
+    :meth:`BufferPool.acquire`, not the full slab.
+    """
+
+    __slots__ = ("pool", "buf", "nbytes", "size_class", "refs")
+
+    def __init__(
+        self, pool: "BufferPool", buf: bytearray, nbytes: int, size_class: int
+    ) -> None:
+        self.pool = pool
+        self.buf = buf
+        self.nbytes = nbytes
+        #: index into the pool's class table; -1 = unpooled (oversized)
+        self.size_class = size_class
+        self.refs = 1
+
+    @property
+    def view(self) -> memoryview:
+        """Writable view of the leased region."""
+        return memoryview(self.buf)[: self.nbytes]
+
+    @property
+    def readonly(self) -> memoryview:
+        """Read-only view of the leased region (what goes on the wire)."""
+        return memoryview(self.buf)[: self.nbytes].toreadonly()
+
+    def retain(self) -> "Lease":
+        """Add one reference (a new artifact now shares the slab)."""
+        with self.pool._lock:
+            if self.refs <= 0:
+                raise RuntimeError("retain() on a released lease")
+            self.refs += 1
+        return self
+
+    def release(self) -> None:
+        """Drop one reference; recycles the slab at zero."""
+        pool = self.pool
+        with pool._lock:
+            self.refs -= 1
+            if self.refs < 0:
+                raise RuntimeError("lease released more times than leased")
+            if self.refs > 0:
+                return
+            pool._outstanding -= 1
+            if self.size_class >= 0:
+                slab = len(self.buf)
+                if pool._free_bytes + slab <= pool.max_bytes:
+                    pool._free[self.size_class].append(self.buf)
+                    pool._free_bytes += slab
+                    pool.stat_bytes_recycled += slab
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Lease({self.nbytes}B class={self.size_class} refs={self.refs})"
+        )
+
+
+class BufferPool:
+    """Power-of-two size-class slab pool.
+
+    Class ``i`` hands out slabs of ``MIN_CLASS_BYTES << i`` bytes for
+    ``i`` in ``[0, size_classes)``; larger requests get an unpooled
+    one-shot buffer (counted as a miss, never recycled).  ``max_bytes``
+    caps the total bytes parked on free lists — beyond it a released
+    slab is simply dropped to the garbage collector.
+    """
+
+    __slots__ = (
+        "enabled",
+        "max_bytes",
+        "size_classes",
+        "_free",
+        "_free_bytes",
+        "_lock",
+        "_outstanding",
+        "stat_hits",
+        "stat_misses",
+        "stat_bytes_recycled",
+        "stat_high_water",
+    )
+
+    def __init__(
+        self,
+        *,
+        enabled: bool = True,
+        max_bytes: int = 64 * 1024 * 1024,
+        size_classes: int = 16,
+    ) -> None:
+        self.enabled = enabled
+        self.max_bytes = max_bytes
+        self.size_classes = size_classes
+        self._free: list[list[bytearray]] = [[] for _ in range(size_classes)]
+        self._free_bytes = 0
+        self._lock = _sync.make_lock("mem.pool")
+        self._outstanding = 0
+        self.stat_hits = 0
+        self.stat_misses = 0
+        self.stat_bytes_recycled = 0
+        self.stat_high_water = 0
+
+    @classmethod
+    def from_config(cls, config: "RuntimeConfig") -> "BufferPool":
+        return cls(
+            enabled=config.buffer_pool_enabled,
+            max_bytes=config.buffer_pool_max_bytes,
+            size_classes=config.buffer_pool_size_classes,
+        )
+
+    # ------------------------------------------------------------------
+    def _class_for(self, nbytes: int) -> int:
+        """Smallest class whose slab fits ``nbytes``; -1 when oversized."""
+        size = MIN_CLASS_BYTES
+        for i in range(self.size_classes):
+            if nbytes <= size:
+                return i
+            size <<= 1
+        return -1
+
+    def acquire(self, nbytes: int) -> Lease:
+        """Lease a buffer of at least ``nbytes`` (view sliced to it)."""
+        if nbytes < 0:
+            raise ValueError(f"negative lease size {nbytes}")
+        cls = self._class_for(nbytes)
+        buf: bytearray | None = None
+        with self._lock:
+            if cls >= 0:
+                free = self._free[cls]
+                if free:
+                    buf = free.pop()
+                    self._free_bytes -= len(buf)
+                    self.stat_hits += 1
+                else:
+                    self.stat_misses += 1
+            else:
+                self.stat_misses += 1
+            self._outstanding += 1
+            if self._outstanding > self.stat_high_water:
+                self.stat_high_water = self._outstanding
+        if buf is None:
+            buf = bytearray(MIN_CLASS_BYTES << cls if cls >= 0 else nbytes)
+        return Lease(self, buf, nbytes, cls)
+
+    # ------------------------------------------------------------------
+    @property
+    def outstanding(self) -> int:
+        """Live leases (lock-free snapshot for diagnostics)."""
+        return self._outstanding
+
+    @property
+    def free_bytes(self) -> int:
+        """Bytes currently parked on free lists."""
+        return self._free_bytes
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "enabled": self.enabled,
+            "hits": self.stat_hits,
+            "misses": self.stat_misses,
+            "bytes_recycled": self.stat_bytes_recycled,
+            "outstanding": self._outstanding,
+            "high_water": self.stat_high_water,
+            "free_bytes": self._free_bytes,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BufferPool(outstanding={self._outstanding}, "
+            f"free={self._free_bytes}B, hits={self.stat_hits}, "
+            f"misses={self.stat_misses})"
+        )

@@ -113,18 +113,27 @@ class Endpoint:
         payload: bytes | bytearray | memoryview = b"",
         *,
         context: Any = None,
+        lease: Any = None,
     ) -> NicOp:
         """Inject a packet towards ``dst``.
 
-        The payload is snapshotted at post time (MPI forbids touching a
-        send buffer before completion, so this is semantically safe) and
-        a :class:`NicOp` is returned whose completion must be discovered
-        via :meth:`poll`.
+        ``bytes`` and ``memoryview`` payloads travel as-is — the p2p
+        layer guarantees their stability (immutability, a pool lease,
+        or receiver-confirmed completion).  Anything else (a bare
+        ``bytearray``) is snapshotted at post time.  When ``lease`` is
+        given the packet retains it; the consumer releases after
+        dispatch.  The retain happens *before* the endpoint lock: the
+        pool lock may be a dsched yield point while ``_lock`` is raw.
         """
         cfg = self._fabric.config
         now = self._clock.now()
-        data = bytes(payload)
+        if isinstance(payload, (bytes, memoryview)):
+            data = payload
+        else:
+            data = bytes(payload)
         nbytes = len(data)
+        if lease is not None:
+            lease.retain()
         op_id = self._fabric.next_op_id()
         deadline = now + cfg.nic_alpha + nbytes * cfg.nic_beta
         arrival = now + cfg.nic_wire_delay + nbytes * cfg.nic_beta
@@ -143,7 +152,7 @@ class Endpoint:
             self._pending_count += 1
             self.stat_posted += 1
             self.stat_bytes += nbytes
-        packet = Packet(self.address, dst, dict(header), data, seq=op_id)
+        packet = Packet(self.address, dst, dict(header), data, seq=op_id, lease=lease)
         self._clock.register_deadline(deadline)
         self._fabric.deliver(packet, arrival)
         return op

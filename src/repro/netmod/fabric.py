@@ -91,7 +91,17 @@ class Fabric:
         """
         rank, vci = packet.dst
         if self.faults is not None:
-            for t in self.faults.schedule(packet, arrival_time):
+            times = self.faults.schedule(packet, arrival_time)
+            if packet.lease is not None:
+                # The packet was posted holding ONE lease reference; a
+                # drop means nobody will ever consume it, a duplicate
+                # means the same Packet object is consumed twice.
+                if not times:
+                    packet.lease.release()
+                else:
+                    for _ in range(len(times) - 1):
+                        packet.lease.retain()
+            for t in times:
                 self.endpoint(rank, vci).enqueue_arrival(packet, t)
             return
         self.endpoint(rank, vci).enqueue_arrival(packet, arrival_time)

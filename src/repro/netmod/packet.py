@@ -24,10 +24,15 @@ class Packet:
     dst: tuple[int, int]
     #: Protocol-defined header fields.
     header: dict[str, Any]
-    #: Payload bytes (may be empty for control packets).
-    payload: bytes = b""
+    #: Payload bytes or a zero-copy ``memoryview`` over a leased slab /
+    #: user buffer (may be empty for control packets).
+    payload: bytes | memoryview = b""
     #: Fabric-assigned monotonically increasing id (per fabric).
     seq: int = 0
+    #: Buffer-pool lease backing ``payload``; the packet holds one
+    #: reference, released by the consumer after dispatch (or
+    #: transferred to the unexpected queue).  None for plain bytes.
+    lease: Any = None
 
     @property
     def kind(self) -> str:

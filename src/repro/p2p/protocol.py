@@ -38,6 +38,16 @@ from repro.errors import (
     InvalidTagError,
     PeerUnreachableError,
 )
+from repro.mem.pool import MIN_CLASS_BYTES, BufferPool
+
+#: Snapshot-staging floor: an eager/RMA snapshot below this is a plain
+#: ``bytes()`` copy — the lease protocol's fixed cost (lock round
+#: trips at acquire, wire retain, harvest release) is ~10x a small
+#: memcpy, so pooling only pays once slabs are a few KiB.  Pack
+#: destinations and receive staging pool from ``MIN_CLASS_BYTES`` up
+#: because there the slab replaces a whole extra copy, not just an
+#: allocation.
+POOL_STAGE_MIN = 4096
 from repro.netmod.fabric import Fabric
 from repro.netmod.packet import Packet
 from repro.p2p.matching import ANY_TAG, PostedQueue, UnexpectedQueue
@@ -76,13 +86,16 @@ class SendEntry:
         "inflight_chunks",
         "chunks_done",
         "total_chunks",
+        "lease",
+        "zc",
+        "rdone_received",
     )
 
     def __init__(self, req: Request, msg_id: int, mode: SendMode) -> None:
         self.req = req
         self.msg_id = msg_id
         self.mode = mode
-        self.payload: bytes = b""
+        self.payload: bytes | memoryview = b""
         self.nbytes = 0
         self.dst_rank = -1
         self.dst_vci = 0
@@ -94,6 +107,16 @@ class SendEntry:
         self.inflight_chunks = 0
         self.chunks_done = 0
         self.total_chunks = 0
+        #: buffer-pool lease backing ``payload`` when the library staged
+        #: it (eager snapshot or async pack); the entry holds one
+        #: reference, released when the send completes or aborts.
+        self.lease: Any = None
+        #: True when ``payload`` is a live view of the *user's* buffer
+        #: (rendezvous/pipeline zero-copy): completion is then gated on
+        #: the receiver's ``rdone`` confirmation, because the user may
+        #: overwrite the buffer the moment the request completes.
+        self.zc = False
+        self.rdone_received = False
 
 
 class RecvEntry:
@@ -112,6 +135,8 @@ class RecvEntry:
         "bytes_received",
         "expected_bytes",
         "contiguous",
+        "lease",
+        "zc_reply",
     )
 
     def __init__(
@@ -132,24 +157,37 @@ class RecvEntry:
         self.tag = tag
         self.context_id = context_id
         self.capacity = count * datatype.size
-        self.staging: bytearray | None = None
+        self.staging: bytearray | memoryview | None = None
         self.bytes_received = 0
         self.expected_bytes = 0
         self.contiguous = datatype.is_contiguous
+        #: pool lease backing ``staging``; released on completion
+        self.lease: Any = None
+        #: True when the matched RTS advertised a zero-copy payload —
+        #: the receiver must confirm consumption with an ``rdone``
+        self.zc_reply = False
 
 
 class _UnexpectedMsg:
     """A buffered unexpected arrival (eager payload or RTS descriptor)."""
 
-    __slots__ = ("kind", "src_addr", "header", "payload")
+    __slots__ = ("kind", "src_addr", "header", "payload", "lease")
 
     def __init__(
-        self, kind: str, src_addr: tuple[int, int], header: dict[str, Any], payload: bytes
+        self,
+        kind: str,
+        src_addr: tuple[int, int],
+        header: dict[str, Any],
+        payload: bytes | memoryview,
+        lease: Any = None,
     ) -> None:
         self.kind = kind  # 'eager' or 'rts'
         self.src_addr = src_addr
         self.header = header
         self.payload = payload
+        #: the wire packet's lease reference, transferred here while
+        #: the payload waits to be matched; released after delivery
+        self.lease = lease
 
     @property
     def nbytes(self) -> int:
@@ -218,6 +256,17 @@ class P2PEngine:
         #: for the retransmit-timer hook (None in transport-only tests,
         #: where timers are driven manually via rel_poll()).
         self._hook_host: Any = None
+        #: leased staging pool for payload-bearing paths; with the pool
+        #: disabled every staging site falls back to plain ``bytes``
+        #: snapshots (the pre-pool behaviour).
+        self.pool = BufferPool.from_config(config)
+        self._zc = self.pool.enabled
+        #: per-VCI bytes the library copied while staging payloads
+        #: (eager snapshots, datatype packs, receive staging, RMA
+        #: staging).  The final unpack into the user's receive buffer
+        #: is excluded, so a message scores 0 on a zero-copy path and
+        #: 1x its size on a pooled-copy path.
+        self.stat_copy_bytes: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     def vci_state(self, vci: int) -> VciState:
@@ -270,6 +319,7 @@ class P2PEngine:
         req: Request | None = None,
         send_entry: "SendEntry | None" = None,
         recv_key: Any = None,
+        lease: Any = None,
     ):
         """Inject one packet via the chosen transport.
 
@@ -277,17 +327,22 @@ class P2PEngine:
         hints for the reliability layer: which request to fail and which
         protocol state to clean up if this packet exhausts its
         retransmit budget.  Ignored on the lossless fast path and over
-        shmem (which is never lossy).
+        shmem (which is never lossy).  ``lease`` is the pool lease
+        backing ``payload``; each transport retains its own references.
         """
         src = (self.rank, vci)
         if via_shmem:
             assert self.shmem is not None
-            return self.shmem.post_send(src, dst, header, payload, context=context)
+            return self.shmem.post_send(
+                src, dst, header, payload, context=context, lease=lease
+            )
         if self._rel_on:
             return self._rel_send(
-                vci, dst, header, payload, context, req, send_entry, recv_key
+                vci, dst, header, payload, context, req, send_entry, recv_key, lease
             )
-        return self.endpoint_for(vci).post_send(dst, header, payload, context=context)
+        return self.endpoint_for(vci).post_send(
+            dst, header, payload, context=context, lease=lease
+        )
 
     # ------------------------------------------------------------------
     # Reliability: sender side (sequence numbers, retransmit timer).
@@ -308,9 +363,17 @@ class P2PEngine:
         req: Request | None,
         send_entry: "SendEntry | None",
         recv_key: Any,
+        lease: Any = None,
     ):
         """Post one reliable packet: stamp ``rseq``, retain for
-        retransmission, and defer the completion cookie to the ack."""
+        retransmission, and defer the completion cookie to the ack.
+
+        The retransmit copy *shares* the caller's payload (plus a lease
+        reference when pooled) instead of snapshotting it — eager and
+        pooled payloads are already stable until the ack, and zero-copy
+        payloads stay stable until the receiver's ``rdone``, which the
+        ack always precedes.
+        """
         state = self.vci_state(vci)
         rel = self._rel_state(state)
         link = rel.tx_link(dst)
@@ -326,14 +389,20 @@ class P2PEngine:
         seq = link.next_seq
         link.next_seq += 1
         wire_header = dict(header, rseq=seq)
-        data = bytes(payload)
+        data = payload if isinstance(payload, (bytes, memoryview)) else bytes(payload)
         clock = self.fabric.clock
         deadline = clock.now() + self.config.rel_rto
-        entry = UnackedEntry(seq, dst, wire_header, data, deadline, req, cookie, recv_key)
+        entry = UnackedEntry(
+            seq, dst, wire_header, data, deadline, req, cookie, recv_key, lease
+        )
+        if lease is not None:
+            lease.retain()  # the unacked buffer's reference
         link.unacked[seq] = entry
         clock.register_deadline(deadline)
         self._ensure_rel_hook(vci, state)
-        return self.endpoint_for(vci).post_send(dst, wire_header, data, context=None)
+        return self.endpoint_for(vci).post_send(
+            dst, wire_header, data, context=None, lease=lease
+        )
 
     def _ensure_rel_hook(self, vci: int, state: VciState) -> None:
         """Arm the retransmit timer for this VCI: an internal async hook
@@ -390,7 +459,13 @@ class P2PEngine:
                     pkt=entry.header.get("kind"),
                     retry=entry.retries,
                 )
-                endpoint.post_send(entry.dst, entry.header, entry.payload, context=None)
+                endpoint.post_send(
+                    entry.dst,
+                    entry.header,
+                    entry.payload,
+                    context=None,
+                    lease=entry.lease,
+                )
                 advanced = True
         if not rel.has_unacked():
             rel.hook_active = False
@@ -412,6 +487,9 @@ class P2PEngine:
         now = self.fabric.clock.now()
         for entry in entries:
             rel.stat_failures += 1
+            if entry.lease is not None:
+                entry.lease.release()  # the unacked buffer's reference
+                entry.lease = None
             self.tracer.record(
                 now,
                 "rel_fail",
@@ -434,6 +512,9 @@ class P2PEngine:
         complete the owning request with the error captured."""
         if send_entry is not None:
             state.sends.pop(send_entry.msg_id, None)
+            if send_entry.lease is not None:
+                send_entry.lease.release()
+                send_entry.lease = None
         if recv_key is not None:
             state.recvs.pop(recv_key, None)
         if req is not None:
@@ -471,6 +552,8 @@ class P2PEngine:
         elif rseq > link.expected:
             if rseq in link.buffered:
                 rel.stat_dedup_hits += 1
+                if packet.lease is not None:
+                    packet.lease.release()  # duplicate copy never consumed
                 self.tracer.record(
                     self.fabric.clock.now(),
                     "rel_dedup",
@@ -479,10 +562,14 @@ class P2PEngine:
                     pkt=packet.kind,
                 )
             else:
+                # The parked packet keeps its wire lease reference until
+                # the gap fills and it is finally consumed.
                 link.buffered[rseq] = packet
                 rel.stat_ooo_buffered += 1
         else:
             rel.stat_dedup_hits += 1
+            if packet.lease is not None:
+                packet.lease.release()  # duplicate copy never consumed
             self.tracer.record(
                 self.fabric.clock.now(),
                 "rel_dedup",
@@ -521,6 +608,9 @@ class P2PEngine:
                 break
             acked.append(link.unacked.pop(seq))
         for entry in acked:
+            if entry.lease is not None:
+                entry.lease.release()  # the unacked buffer's reference
+                entry.lease = None
             if entry.cookie is not None:
                 self._dispatch_completion(vci, state, entry.cookie)
 
@@ -549,6 +639,42 @@ class P2PEngine:
         if nbytes <= cfg.rendezvous_threshold:
             return SendMode.RENDEZVOUS
         return SendMode.PIPELINE
+
+    # ------------------------------------------------------------------
+    # Copy accounting and pooled staging.
+    # ------------------------------------------------------------------
+    def _count_copy(self, vci: int, nbytes: int) -> None:
+        if nbytes:
+            self.stat_copy_bytes[vci] = self.stat_copy_bytes.get(vci, 0) + nbytes
+
+    def copy_bytes(self, vci: int) -> int:
+        """Library staging copies on this VCI, in bytes."""
+        return self.stat_copy_bytes.get(vci, 0)
+
+    def copy_stats(self) -> dict[str, int]:
+        """Copy-byte counters: one key per VCI plus the total."""
+        stats = {f"vci{vci}": n for vci, n in sorted(self.stat_copy_bytes.items())}
+        stats["total"] = sum(self.stat_copy_bytes.values())
+        return stats
+
+    def stage_payload(self, vci: int, view) -> tuple[Any, Any]:
+        """Copy ``view`` once into an owned payload.
+
+        Returns ``(payload, lease)``: a read-only view of a pooled slab
+        (pool on, payload at least ``POOL_STAGE_MIN``) or plain
+        ``bytes`` with a None lease.  The caller must release its lease reference
+        once the payload is posted — wire and retransmit references keep
+        the slab alive.  Used by every staging site that needs payload
+        ownership detached from the user's buffer (RMA origin data,
+        sub-class eager sends).
+        """
+        nbytes = len(view)
+        self._count_copy(vci, nbytes)
+        if self._zc and nbytes >= POOL_STAGE_MIN:
+            lease = self.pool.acquire(nbytes)
+            lease.view[:] = view
+            return lease.readonly, lease
+        return bytes(view), None
 
     # ------------------------------------------------------------------
     # Send path.
@@ -596,19 +722,47 @@ class P2PEngine:
             self._start_protocol(vci, state, entry, b"")
             return req
         if datatype.is_contiguous:
-            payload = bytes(as_readonly_view(buf)[:nbytes])
-            self._start_protocol(vci, state, entry, payload)
+            view = as_readonly_view(buf)
+            if view.nbytes > nbytes:
+                view = view[:nbytes]
+            if self._zc:
+                # Hand the protocol a live view of the user's buffer;
+                # _start_protocol stages it only where the protocol
+                # needs ownership (eager-class completion semantics).
+                self._start_protocol(vci, state, entry, view)
+            else:
+                self._count_copy(vci, nbytes)
+                self._start_protocol(vci, state, entry, bytes(view))
         elif nbytes <= self.config.datatype_chunk_size:
-            payload = bytes(datatype.pack(buf, count))
-            self._start_protocol(vci, state, entry, payload)
+            # Small non-contiguous payload: pack synchronously.  The
+            # pack itself is the message's one staging copy.
+            self._count_copy(vci, nbytes)
+            if self._zc and nbytes >= MIN_CLASS_BYTES:
+                lease = self.pool.acquire(nbytes)
+                datatype.pack_into(buf, count, lease.view)
+                self._start_protocol(vci, state, entry, lease.readonly, lease)
+            else:
+                self._start_protocol(vci, state, entry, bytes(datatype.pack(buf, count)))
         else:
             # Large non-contiguous payload: pack asynchronously via the
             # datatype engine; the protocol starts when packing ends.
-            staging = bytearray(nbytes)
+            # With the pool on, the pack lands directly in a leased slab
+            # — the pack IS the copy, no bytes() re-materialization.
+            self._count_copy(vci, nbytes)
             req.add_wait_block()  # the async pack is itself a wait
+            if self._zc:
+                lease = self.pool.acquire(nbytes)
+                staging: Any = lease.view
 
-            def _packed() -> None:
-                self._start_protocol(vci, state, entry, bytes(staging))
+                def _packed() -> None:
+                    self._start_protocol(vci, state, entry, lease.readonly, lease)
+
+            else:
+                lease = None
+                staging = bytearray(nbytes)
+
+                def _packed() -> None:
+                    self._start_protocol(vci, state, entry, bytes(staging))
 
             task = PackTask(
                 datatype,
@@ -623,9 +777,29 @@ class P2PEngine:
         return req
 
     def _start_protocol(
-        self, vci: int, state: VciState, entry: SendEntry, payload: bytes
+        self,
+        vci: int,
+        state: VciState,
+        entry: SendEntry,
+        payload: bytes | memoryview,
+        lease: Any = None,
     ) -> None:
+        zc = lease is None and isinstance(payload, memoryview)
+        if zc and entry.mode in (SendMode.BUFFERED, SendMode.EAGER):
+            # Eager-class requests complete before the receiver reads
+            # the payload, so the wire needs an owned snapshot: one
+            # staging copy, pooled when big enough to be worth a slab.
+            self._count_copy(vci, entry.nbytes)
+            if self._zc and entry.nbytes >= POOL_STAGE_MIN:
+                lease = self.pool.acquire(entry.nbytes)
+                lease.view[:] = payload
+                payload = lease.readonly
+            else:
+                payload = bytes(payload)
+            zc = False
         entry.payload = payload
+        entry.lease = lease
+        entry.zc = zc
         dst = (entry.dst_rank, entry.dst_vci)
         base_header = {
             "ctx": entry.context_id,
@@ -651,9 +825,13 @@ class P2PEngine:
             buffered = False
         if buffered:
             # Lightweight send: the payload snapshot above IS the bounce
-            # buffer copy; fire and forget, zero wait blocks.
+            # buffer copy; fire and forget, zero wait blocks.  Wire and
+            # transport references keep the slab alive past this point.
             header = dict(base_header, kind="eager")
-            self._post(vci, dst, header, payload, via_shmem=entry.use_shmem)
+            self._post(vci, dst, header, payload, via_shmem=entry.use_shmem, lease=lease)
+            if lease is not None:
+                lease.release()
+                entry.lease = None
             entry.req.complete(count_bytes=entry.nbytes)
         elif entry.mode in (SendMode.BUFFERED, SendMode.EAGER):
             header = dict(base_header, kind="eager")
@@ -667,6 +845,7 @@ class P2PEngine:
                 context=("send_done", entry),
                 via_shmem=entry.use_shmem,
                 req=entry.req,
+                lease=lease,
             )
         else:  # RENDEZVOUS or PIPELINE: RTS first.
             header = dict(
@@ -674,6 +853,7 @@ class P2PEngine:
                 kind="rts",
                 nbytes=entry.nbytes,
                 pipelined=entry.mode is SendMode.PIPELINE,
+                zc=entry.zc,
             )
             entry.req.add_wait_block()  # waiting for CTS
             state.sends[entry.msg_id] = entry
@@ -696,17 +876,35 @@ class P2PEngine:
             self.fabric.clock.now(), "cts_received", msg_id=msg_id
         )
         if entry.mode is SendMode.RENDEZVOUS:
-            header = {"kind": "rdata", "msg_id": msg_id}
-            entry.req.add_wait_block()  # waiting for data completion
-            self._post(
-                vci,
-                dst,
-                header,
-                entry.payload,
-                context=("send_done", entry),
-                via_shmem=entry.use_shmem,
-                req=entry.req,
-            )
+            if entry.zc:
+                # Zero-copy: the wire carries a live view of the user's
+                # buffer, so the local transport completion proves
+                # nothing — completion waits for the receiver's rdone
+                # confirming the bytes were consumed.
+                header = {"kind": "rdata", "msg_id": msg_id, "zc": True}
+                entry.req.add_wait_block()  # waiting for the rdone
+                self._post(
+                    vci,
+                    dst,
+                    header,
+                    entry.payload,
+                    via_shmem=entry.use_shmem,
+                    req=entry.req,
+                    send_entry=entry,
+                )
+            else:
+                header = {"kind": "rdata", "msg_id": msg_id}
+                entry.req.add_wait_block()  # waiting for data completion
+                self._post(
+                    vci,
+                    dst,
+                    header,
+                    entry.payload,
+                    context=("send_done", entry),
+                    via_shmem=entry.use_shmem,
+                    req=entry.req,
+                    lease=entry.lease,
+                )
         else:  # PIPELINE
             chunk = self.config.pipeline_chunk_size
             entry.total_chunks = max(1, -(-entry.nbytes // chunk))
@@ -728,14 +926,20 @@ class P2PEngine:
                 "offset": entry.next_offset,
                 "last": end >= entry.nbytes,
             }
+            # Memoryview payloads (zero-copy or pooled) chunk into
+            # subviews; bytes payloads (pool off) slice, a copy each.
+            chunk_payload = entry.payload[entry.next_offset : end]
+            if not isinstance(entry.payload, memoryview):
+                self._count_copy(vci, len(chunk_payload))
             self._post(
                 vci,
                 dst,
                 header,
-                entry.payload[entry.next_offset : end],
+                chunk_payload,
                 context=("chunk_done", entry),
                 via_shmem=entry.use_shmem,
                 req=entry.req,
+                lease=entry.lease,
             )
             entry.next_offset = end
             entry.inflight_chunks += 1
@@ -748,9 +952,24 @@ class P2PEngine:
         entry.chunks_done += 1
         if entry.next_offset < entry.nbytes:
             self._pump_pipeline(vci, state, entry)
-        elif entry.inflight_chunks == 0:
-            state.sends.pop(entry.msg_id, None)
-            entry.req.complete(count_bytes=entry.nbytes)
+        elif entry.inflight_chunks == 0 and (not entry.zc or entry.rdone_received):
+            # Zero-copy pipelines additionally wait for the receiver's
+            # rdone: the chunks on the wire are views of the user's
+            # buffer, which must stay stable until consumed.
+            self._complete_send(state, entry)
+
+    def _complete_send(self, state: VciState, entry: SendEntry) -> None:
+        state.sends.pop(entry.msg_id, None)
+        if entry.lease is not None:
+            entry.lease.release()
+            entry.lease = None
+        entry.req.complete(count_bytes=entry.nbytes)
+        self.tracer.record(
+            self.fabric.clock.now(),
+            "send_complete",
+            mode=entry.mode.value,
+            msg_id=entry.msg_id,
+        )
 
     # ------------------------------------------------------------------
     # Receive path.
@@ -783,6 +1002,9 @@ class P2PEngine:
 
         if msg.kind == "eager":
             self._deliver_eager(entry, msg.header, msg.payload)
+            if msg.lease is not None:
+                msg.lease.release()  # payload consumed into the user buffer
+                msg.lease = None
         else:  # rts arrived before the receive was posted
             self._accept_rts(vci, state, entry, msg.src_addr, msg.header)
         return req
@@ -827,10 +1049,16 @@ class P2PEngine:
         msg_id = header["msg_id"]
         nbytes = header["nbytes"]
         entry.expected_bytes = nbytes
+        entry.zc_reply = bool(header.get("zc"))
         entry.req.status.source = header["src_rank"]
         entry.req.status.tag = header["tag"]
         if not entry.contiguous or nbytes > entry.capacity:
-            entry.staging = bytearray(min(nbytes, max(entry.capacity, 1)) or 1)
+            size = min(nbytes, max(entry.capacity, 1)) or 1
+            if self._zc and size >= MIN_CLASS_BYTES:
+                entry.lease = self.pool.acquire(size)
+                entry.staging = entry.lease.view
+            else:
+                entry.staging = bytearray(size)
         state.recvs[(src_addr, msg_id)] = entry
         entry.req.add_wait_block()  # waiting for the data
         via_shmem = self._shmem_route(src_addr[0])
@@ -880,6 +1108,10 @@ class P2PEngine:
             if entry.staging is not None:
                 whole = received // entry.datatype.size
                 entry.datatype.unpack_from(entry.staging, whole, entry.buf)
+        if entry.lease is not None:
+            entry.lease.release()  # staging slab back to the pool
+            entry.lease = None
+            entry.staging = None
         entry.req.complete(count_bytes=received, error=error)
         self.tracer.record(
             self.fabric.clock.now(),
@@ -890,7 +1122,7 @@ class P2PEngine:
         )
 
     def _handle_chunk_packet(
-        self, state: VciState, src_addr: tuple[int, int], packet: Packet
+        self, vci: int, state: VciState, src_addr: tuple[int, int], packet: Packet
     ) -> None:
         msg_id = packet.header["msg_id"]
         key = (src_addr, msg_id)
@@ -903,6 +1135,7 @@ class P2PEngine:
             end = min(offset + len(data), len(entry.staging))
             if offset < end:
                 entry.staging[offset:end] = data[: end - offset]
+                self._count_copy(vci, end - offset)
         else:
             view = as_writable_view(entry.buf)
             end = min(offset + len(data), entry.capacity)
@@ -910,7 +1143,19 @@ class P2PEngine:
                 view[offset:end] = data[: end - offset]
         entry.bytes_received += len(data)
         if entry.bytes_received >= entry.expected_bytes:
+            zc_reply = entry.zc_reply
             self._finish_large_recv(state, key, entry, None)
+            if zc_reply:
+                # Confirm consumption so the sender's rdone-gated
+                # request can complete (its chunks were live views of
+                # the user's buffer).
+                self._post(
+                    vci,
+                    src_addr,
+                    {"kind": "rdone", "msg_id": msg_id},
+                    b"",
+                    via_shmem=self._shmem_route(src_addr[0]),
+                )
 
     # ------------------------------------------------------------------
     # Probe / matched probe / cancel.
@@ -951,6 +1196,9 @@ class P2PEngine:
         state = self.vci_state(vci)
         if message.kind == "eager":
             self._deliver_eager(entry, message.header, message.payload)
+            if message.lease is not None:
+                message.lease.release()  # payload consumed into the user buffer
+                message.lease = None
         else:  # rts
             self._accept_rts(vci, state, entry, message.src_addr, message.header)
         return req
@@ -1010,11 +1258,11 @@ class P2PEngine:
                 # progress: it mutated reliability state.
                 made = True
                 for released in self._rel_ingress(vci, state, packet):
-                    self._dispatch_packet(vci, state, released)
+                    self._consume_packet(vci, state, released)
         else:
             for packet in packets:
                 made = True
-                self._dispatch_packet(vci, state, packet)
+                self._consume_packet(vci, state, packet)
         return made
 
     def progress_shmem(self, vci: int, max_k: int | None = None) -> bool:
@@ -1034,7 +1282,7 @@ class P2PEngine:
                 self._dispatch_completion(vci, state, op.context)
         for packet in s_packets:
             made = True
-            self._dispatch_packet(vci, state, packet)
+            self._consume_packet(vci, state, packet)
         return made
 
     def progress(self, vci: int) -> bool:
@@ -1045,14 +1293,7 @@ class P2PEngine:
     def _dispatch_completion(self, vci: int, state: VciState, context: Any) -> None:
         kind, entry = context
         if kind == "send_done":
-            state.sends.pop(entry.msg_id, None)
-            entry.req.complete(count_bytes=entry.nbytes)
-            self.tracer.record(
-                self.fabric.clock.now(),
-                "send_complete",
-                mode=entry.mode.value,
-                msg_id=entry.msg_id,
-            )
+            self._complete_send(state, entry)
         elif kind == "chunk_done":
             self._handle_chunk_done(vci, state, entry)
         # other cookies ('rts_sent', ...) need no action
@@ -1066,28 +1307,41 @@ class P2PEngine:
     def unregister_rma(self, win_id: int) -> None:
         self.rma_windows.pop(win_id, None)
 
-    def _dispatch_packet(self, vci: int, state: VciState, packet: Packet) -> None:
+    def _consume_packet(self, vci: int, state: VciState, packet: Packet) -> None:
+        """Dispatch one delivered packet, then drop its wire lease
+        reference — unless payload ownership transferred onward (to the
+        unexpected queue, which releases it on match)."""
+        lease = packet.lease
+        if self._dispatch_packet(vci, state, packet) or lease is None:
+            return
+        lease.release()
+
+    def _dispatch_packet(self, vci: int, state: VciState, packet: Packet) -> bool:
+        """Route one delivered packet.  Returns True when the packet's
+        payload (and lease reference) was transferred to the unexpected
+        queue; every other path consumes the payload immediately."""
         kind = packet.kind
         header = packet.header
         if kind.startswith("rma_"):
             win = self.rma_windows.get(header["win"])
             if win is not None:
                 win.handle_packet(self, vci, packet)
-            return
+            return False
         if kind == "eager":
             entry = state.posted.match(
                 header["ctx"], header["src_rank"], header["tag"]
             )
             if entry is not None:
                 self._deliver_eager(entry, header, packet.payload)
-            else:
-                state.unexpected.add(
-                    header["ctx"],
-                    header["src_rank"],
-                    header["tag"],
-                    _UnexpectedMsg("eager", packet.src, header, packet.payload),
-                )
-        elif kind == "rts":
+                return False
+            state.unexpected.add(
+                header["ctx"],
+                header["src_rank"],
+                header["tag"],
+                _UnexpectedMsg("eager", packet.src, header, packet.payload, packet.lease),
+            )
+            return True
+        if kind == "rts":
             entry = state.posted.match(
                 header["ctx"], header["src_rank"], header["tag"]
             )
@@ -1107,10 +1361,30 @@ class P2PEngine:
             entry = state.recvs.get(key)
             if entry is not None:
                 self._finish_large_recv(state, key, entry, packet.payload)
+            if header.get("zc"):
+                # Always confirm — even for a stale entry — so the
+                # sender's rdone-gated request cannot hang.
+                self._post(
+                    vci,
+                    packet.src,
+                    {"kind": "rdone", "msg_id": header["msg_id"]},
+                    b"",
+                    via_shmem=self._shmem_route(packet.src[0]),
+                )
+        elif kind == "rdone":
+            entry = state.sends.get(header["msg_id"])
+            if entry is not None:
+                entry.rdone_received = True
+                if entry.mode is SendMode.RENDEZVOUS or (
+                    entry.chunks_done >= entry.total_chunks
+                    and entry.inflight_chunks == 0
+                ):
+                    self._complete_send(state, entry)
         elif kind == "chunk":
-            self._handle_chunk_packet(state, packet.src, packet)
+            self._handle_chunk_packet(vci, state, packet.src, packet)
         else:  # pragma: no cover - future protocol kinds
             raise AssertionError(f"unknown packet kind {kind!r}")
+        return False
 
     # ------------------------------------------------------------------
     def has_pending(self, vci: int) -> bool:

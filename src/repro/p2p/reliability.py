@@ -59,6 +59,7 @@ class UnackedEntry:
         "req",
         "cookie",
         "recv_key",
+        "lease",
     )
 
     def __init__(
@@ -66,18 +67,22 @@ class UnackedEntry:
         seq: int,
         dst: tuple[int, int],
         header: dict[str, Any],
-        payload: bytes,
+        payload: bytes | memoryview,
         deadline: float,
         req: "Request | None",
         cookie: Any,
         recv_key: Any,
+        lease: Any = None,
     ) -> None:
         self.seq = seq
         self.dst = dst
         self.header = header
+        #: shared with the caller's staging buffer — the entry holds a
+        #: reference on ``lease`` instead of re-materializing ``bytes``
         self.payload = payload
         self.deadline = deadline
         self.retries = 0
+        self.lease = lease
         #: request to fail if retries are exhausted (None for packets
         #: with no owning request, e.g. RMA control traffic)
         self.req = req

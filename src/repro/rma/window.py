@@ -81,7 +81,9 @@ class Win:
     # ------------------------------------------------------------------
     # Origin-side helpers.
     # ------------------------------------------------------------------
-    def _post_to(self, target: int, header: dict[str, Any], payload=b"") -> None:
+    def _post_to(
+        self, target: int, header: dict[str, Any], payload=b"", lease: Any = None
+    ) -> None:
         p2p = self.proc.p2p
         world = self.comm._world_rank(target)
         dst_vci = self.comm.peer_vcis[target]
@@ -98,7 +100,12 @@ class Win:
                 header,
                 payload,
                 via_shmem=p2p._shmem_route(world),
+                lease=lease,
             )
+        if lease is not None:
+            # Wire/retransmit references keep the slab alive; the
+            # origin's staging reference is done once the post landed.
+            lease.release()
 
     def _new_op(self, target: int, kind: str, **extra: Any) -> tuple[int, Request]:
         req = Request(f"rma-{kind}")
@@ -123,9 +130,14 @@ class Win:
         """Write ``nbytes`` of ``origin_buf`` into the target window at
         byte ``offset``; the request completes on the target's ack."""
         self._check(target, offset, nbytes)
-        payload = bytes(as_readonly_view(origin_buf)[:nbytes])
+        p2p = self.proc.p2p
+        payload, lease = p2p.stage_payload(
+            self.comm.stream.vci, as_readonly_view(origin_buf)[:nbytes]
+        )
         op_id, req = self._new_op(target, "put")
-        self._post_to(target, {"kind": "rma_put", "offset": offset, "op_id": op_id}, payload)
+        self._post_to(
+            target, {"kind": "rma_put", "offset": offset, "op_id": op_id}, payload, lease
+        )
         return req
 
     def put(self, origin_buf, nbytes: int, target: int, offset: int = 0) -> None:
@@ -161,7 +173,10 @@ class Win:
             )
         nbytes = count * datatype.size
         self._check(target, offset, nbytes)
-        payload = bytes(as_readonly_view(origin_buf)[:nbytes])
+        p2p = self.proc.p2p
+        payload, lease = p2p.stage_payload(
+            self.comm.stream.vci, as_readonly_view(origin_buf)[:nbytes]
+        )
         op_id, req = self._new_op(target, "acc")
         self._post_to(
             target,
@@ -174,6 +189,7 @@ class Win:
                 "count": count,
             },
             payload,
+            lease,
         )
         return req
 
@@ -200,7 +216,9 @@ class Win:
             raise InvalidArgumentError("fetch_and_op supports predefined ops only")
         nbytes = datatype.size
         self._check(target, offset, nbytes)
-        payload = bytes(as_readonly_view(value_buf)[:nbytes])
+        payload, lease = self.proc.p2p.stage_payload(
+            self.comm.stream.vci, as_readonly_view(value_buf)[:nbytes]
+        )
         op_id, req = self._new_op(target, "fop", result_buf=result_buf)
         self._post_to(
             target,
@@ -212,6 +230,7 @@ class Win:
                 "dtname": datatype.name,
             },
             payload,
+            lease,
         )
         return req
 
@@ -239,6 +258,7 @@ class Win:
         payload = bytes(as_readonly_view(compare_buf)[:nbytes]) + bytes(
             as_readonly_view(origin_buf)[:nbytes]
         )
+        self.proc.p2p._count_copy(self.comm.stream.vci, len(payload))
         op_id, req = self._new_op(target, "cas", result_buf=result_buf)
         self._post_to(
             target,
@@ -307,14 +327,17 @@ class Win:
         # Replies go straight back to the sender's fabric address.
         reply_to = packet.src
 
-        def reply(hdr: dict[str, Any], payload=b"") -> None:
+        def reply(hdr: dict[str, Any], payload=b"", lease: Any = None) -> None:
             p2p._post(
                 vci,
                 reply_to,
                 dict(hdr, win=self.win_id),
                 payload,
                 via_shmem=p2p._shmem_route(reply_to[0]),
+                lease=lease,
             )
+            if lease is not None:
+                lease.release()  # wire references keep the slab alive
 
         if kind == "rma_put":
             off = header["offset"]
@@ -322,10 +345,10 @@ class Win:
             reply({"kind": "rma_ack", "op_id": header["op_id"]})
         elif kind == "rma_get":
             off, n = header["offset"], header["nbytes"]
-            reply(
-                {"kind": "rma_resp", "op_id": header["op_id"]},
-                bytes(self.local_view[off : off + n]),
-            )
+            # The exposed window may be overwritten the moment the ack
+            # lands, so the response stages through the pool.
+            payload, lease = p2p.stage_payload(vci, self.local_view[off : off + n])
+            reply({"kind": "rma_resp", "op_id": header["op_id"]}, payload, lease)
         elif kind == "rma_acc":
             off = header["offset"]
             dt = _basic_by_name(header["dtname"])

@@ -17,14 +17,24 @@ class Cell:
 
     ``ready_time`` models the memcpy cost into the shared segment: the
     receiver may only consume the cell once the clock passes it.
+
+    ``payload`` may be a zero-copy ``memoryview`` slice of ``base``
+    (the sender's whole-message buffer): when every cell of a message
+    carries the same ``base``, the receiver reassembles the message as
+    that single view instead of joining per-cell copies.  ``lease`` is
+    the buffer-pool lease backing the view — each pushed cell holds one
+    reference, released (or transferred to the reassembled packet) when
+    the cell is popped.
     """
 
     msg_id: int
     chunk_index: int
     is_last: bool
     header: dict[str, Any]
-    payload: bytes
+    payload: bytes | memoryview
     ready_time: float
+    base: Any = None
+    lease: Any = None
 
 
 class RingChannel:

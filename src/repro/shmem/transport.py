@@ -40,6 +40,7 @@ class ShmemOp:
         "completed",
         "final_deadline",
         "nbytes",
+        "lease",
     )
 
     def __init__(
@@ -47,8 +48,9 @@ class ShmemOp:
         op_id: int,
         dst: tuple[int, int],
         header: dict[str, Any],
-        payload: bytes,
+        payload: bytes | memoryview,
         context: Any,
+        lease: Any = None,
     ) -> None:
         self.op_id = op_id
         self.dst = dst
@@ -60,6 +62,10 @@ class ShmemOp:
         self.context = context
         self.completed = False
         self.final_deadline: float | None = None
+        #: buffer-pool lease backing ``payload``; the op holds one
+        #: reference until it completes (not-yet-pushed tail bytes are
+        #: still read from the slab), each pushed cell holds its own.
+        self.lease = lease
 
     @property
     def all_pushed(self) -> bool:
@@ -70,14 +76,20 @@ class ShmemOp:
 
 
 class _Reassembly:
-    """Receiver-side buffer collecting the chunks of one message."""
+    """Receiver-side buffer collecting the chunks of one message.
 
-    __slots__ = ("header", "chunks", "src")
+    ``base`` tracks the sender's whole-message buffer when every cell
+    so far carried the same one; the finished message is then that view
+    itself — no join copy.
+    """
+
+    __slots__ = ("header", "chunks", "src", "base")
 
     def __init__(self, src: tuple[int, int], header: dict[str, Any]) -> None:
         self.src = src
         self.header = header
-        self.chunks: list[bytes] = []
+        self.chunks: list[bytes | memoryview] = []
+        self.base: Any = None
 
 
 class ShmemTransport:
@@ -100,6 +112,10 @@ class ShmemTransport:
         self._sends: dict[tuple[int, int], list[ShmemOp]] = {}
         self._reassembly: dict[tuple[tuple[int, int], int], _Reassembly] = {}
         self._op_counter = itertools.count(1)
+        #: bytes this transport materialized into fresh buffers (chunk
+        #: slices of bytes payloads, multi-chunk join fallbacks) — the
+        #: copies the zero-copy cell path exists to eliminate.
+        self.stat_copy_bytes = 0
         #: in-flight (pushed, not yet popped) cell counts per destination
         #: address; incremented under the lock as chunks enter a ring and
         #: batch-decremented by the receiver's progress, so ``has_work``
@@ -151,27 +167,49 @@ class ShmemTransport:
         payload: bytes | bytearray | memoryview = b"",
         *,
         context: Any = None,
+        lease: Any = None,
     ) -> ShmemOp:
-        """Start a (possibly chunked) shmem send from ``src`` to ``dst``."""
-        op = ShmemOp(next(self._op_counter), dst, dict(header), bytes(payload), context)
+        """Start a (possibly chunked) shmem send from ``src`` to ``dst``.
+
+        ``bytes``/``memoryview`` payloads are NOT copied — immutability,
+        the accompanying ``lease``, or the protocol's receiver-confirmed
+        completion guarantees their stability.  Bare ``bytearray``
+        payloads are snapshotted (the pre-pool behaviour).
+        """
+        if not isinstance(payload, (bytes, memoryview)):
+            payload = bytes(payload)
+            self.stat_copy_bytes += len(payload)
+        if lease is not None:
+            lease.retain()
+        op = ShmemOp(next(self._op_counter), dst, dict(header), payload, context, lease)
         with self._lock:
             self._sends.setdefault(src, []).append(op)
         self._push_chunks(src, op)
         return op
 
     def _push_chunks(self, src: tuple[int, int], op: ShmemOp) -> None:
-        """Push as many chunks as ring space allows."""
+        """Push as many chunks as ring space allows.
+
+        ``memoryview`` payloads chunk into zero-copy subviews sharing
+        ``op.payload`` as their base; ``bytes`` payloads chunk by
+        slicing (a copy per multi-chunk slice, counted).
+        """
         cfg = self.config
         ch = self._channel(src, op.dst)
         cell_size = cfg.shmem_cell_size
+        is_view = isinstance(op.payload, memoryview)
         while True:
             if op.chunk_index > 0 and op.offset >= op.nbytes:
                 return  # fully pushed
             end = min(op.offset + cell_size, op.nbytes)
             chunk = op.payload[op.offset : end]
+            if not is_view and (op.offset > 0 or end < op.nbytes):
+                self.stat_copy_bytes += len(chunk)
             is_last = end >= op.nbytes
             now = self.clock.now()
             ready = now + cfg.shmem_alpha + len(chunk) * cfg.shmem_beta
+            if op.lease is not None:
+                op.lease.retain()
             cell = Cell(
                 msg_id=op.op_id,
                 chunk_index=op.chunk_index,
@@ -179,8 +217,12 @@ class ShmemTransport:
                 header=op.header if op.chunk_index == 0 else {},
                 payload=chunk,
                 ready_time=ready,
+                base=op.payload if is_view else None,
+                lease=op.lease,
             )
             if not ch.try_send_cell(cell):
+                if op.lease is not None:
+                    op.lease.release()
                 return  # backpressure: retry from shmem progress
             with self._lock:
                 self._cells_pending[op.dst] = self._cells_pending.get(op.dst, 0) + 1
@@ -237,6 +279,8 @@ class ShmemTransport:
                 ):
                     op.completed = True
                     completions.append(op)
+                    if op.lease is not None:
+                        op.lease.release()  # pushed cells hold their own refs
                 else:
                     still.append(op)
             with self._lock:
@@ -256,21 +300,39 @@ class ShmemTransport:
                 key = (ch.src, cell.msg_id)
                 if cell.chunk_index == 0:
                     reasm = _Reassembly(ch.src, cell.header)
+                    reasm.base = cell.base
                     self._reassembly[key] = reasm
                 else:
                     reasm = self._reassembly[key]
+                    if cell.base is not reasm.base:
+                        reasm.base = None  # mixed bases: join fallback
                 reasm.chunks.append(cell.payload)
-                if cell.is_last:
-                    del self._reassembly[key]
-                    packets.append(
-                        Packet(
-                            src=ch.src,
-                            dst=addr,
-                            header=reasm.header,
-                            payload=b"".join(reasm.chunks),
-                            seq=cell.msg_id,
-                        )
+                if not cell.is_last:
+                    if cell.lease is not None:
+                        cell.lease.release()
+                    continue
+                del self._reassembly[key]
+                # Reassemble without copying when possible: the cells
+                # of one message are contiguous subviews of one base
+                # (zero-copy), or a single bytes chunk.  The last
+                # cell's lease reference transfers to the packet.
+                if reasm.base is not None:
+                    payload = reasm.base
+                elif len(reasm.chunks) == 1:
+                    payload = reasm.chunks[0]
+                else:
+                    payload = b"".join(reasm.chunks)
+                    self.stat_copy_bytes += len(payload)
+                packets.append(
+                    Packet(
+                        src=ch.src,
+                        dst=addr,
+                        header=reasm.header,
+                        payload=payload,
+                        seq=cell.msg_id,
+                        lease=cell.lease,
                     )
+                )
         if popped:
             with self._lock:
                 self._cells_pending[addr] = self._cells_pending.get(addr, 0) - popped

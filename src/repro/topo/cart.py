@@ -188,6 +188,7 @@ class CartComm(Comm):
         """Exchange a distinct ``count``-element block with every
         neighbor: block i of ``sendbuf`` goes to neighbor i, block i of
         ``recvbuf`` receives from neighbor i."""
+        from repro.coll.algorithms.util import stage_block
         from repro.datatype.types import as_readonly_view
 
         neighbors = self.neighbors()
@@ -207,7 +208,7 @@ class CartComm(Comm):
         for i, peer in enumerate(neighbors):
             if peer == PROC_NULL:
                 continue
-            block = bytes(sview[i * nbytes : (i + 1) * nbytes])
+            block = stage_block(sview, i * nbytes, nbytes)
             reqs.append(super().isend(block, count, datatype, peer, tag))
         return _combine(reqs)
 

@@ -1,0 +1,129 @@
+"""Zero-copy / buffer-pool scenarios swept across the CI seed matrix.
+
+Lease retain/release runs under the pool's sync-facade lock, so every
+pool transition is a dsched yield point; the fabric message-conservation
+invariant is checked at every one of them and the shmem cell balance at
+quiescence.  On top of that, every scenario asserts the pool itself
+drained: zero outstanding leases once traffic quiesces, i.e. every wire
+packet, retransmit buffer, shmem cell and protocol entry gave its
+reference back.
+"""
+
+import repro
+from repro.config import RuntimeConfig
+from repro.dsched import explore_seeds
+from repro.runtime.world import World
+
+_CFG = dict(
+    buffered_threshold=64,
+    eager_threshold=8192,
+    rendezvous_threshold=16384,
+    pipeline_chunk_size=8192,
+    pipeline_max_inflight=2,
+)
+
+
+def _payloads():
+    # one per mode, all >= POOL_STAGE_MIN: eager (pooled snapshot),
+    # rendezvous (zero-copy + rdone), pipeline (zero-copy chunk views
+    # + rdone)
+    return [b"\x11" * 4096, b"\x22" * 12288, b"\x33" * 24576]
+
+
+def _run_modes(sched, *, use_shmem):
+    def driver():
+        cfg = RuntimeConfig(
+            **_CFG, use_shmem=use_shmem, ranks_per_node=2 if use_shmem else 1
+        )
+        world = World(2, clock=sched.clock, config=cfg)
+        p0, p1 = world.proc(0), world.proc(1)
+        payloads = _payloads()
+        outs = [bytearray(len(p)) for p in payloads]
+        rreqs = [
+            p1.comm_world.irecv(out, len(out), repro.BYTE, 0, tag)
+            for tag, out in enumerate(outs)
+        ]
+        sreqs = [
+            p0.comm_world.isend(p, len(p), repro.BYTE, 1, tag)
+            for tag, p in enumerate(payloads)
+        ]
+        reqs = rreqs + sreqs
+
+        def pump(proc):
+            def run():
+                while not all(r.is_complete() for r in reqs):
+                    if not proc.stream_progress():
+                        proc.idle_wait()
+
+            return run
+
+        t0 = sched.spawn(pump(p0), name="pump0")
+        t1 = sched.spawn(pump(p1), name="pump1")
+        t0.join()
+        t1.join()
+        for out, p in zip(outs, payloads):
+            assert bytes(out) == p
+        for proc in (p0, p1):
+            assert proc.p2p.pool.outstanding == 0, "leaked lease at quiescence"
+        world.finalize()
+
+    sched.spawn(driver, name="driver")
+
+
+def _pooled_modes_netmod(sched):
+    """All three payload modes over the NIC fabric with the pool on."""
+    _run_modes(sched, use_shmem=False)
+
+
+def _pooled_modes_shmem(sched):
+    """Same modes over shmem cells: zero-copy cell views must keep the
+    per-destination cell balance exact."""
+    _run_modes(sched, use_shmem=True)
+
+
+def _unexpected_pooled_eager(sched):
+    """An unexpected pooled eager message parks its lease on the
+    unexpected queue; the late receive must release it."""
+
+    def driver():
+        cfg = RuntimeConfig(**_CFG, use_shmem=False)
+        world = World(2, clock=sched.clock, config=cfg)
+        p0, p1 = world.proc(0), world.proc(1)
+        sreq = p0.comm_world.isend(b"\x44" * 4096, 4096, repro.BYTE, 1, 7)
+
+        def pump0():
+            while not sreq.is_complete():
+                if not p0.stream_progress():
+                    p0.idle_wait()
+
+        t0 = sched.spawn(pump0, name="pump0")
+        t0.join()
+        # message is now (or soon) unexpected at rank 1
+        out = bytearray(4096)
+        rreq = p1.comm_world.irecv(out, 4096, repro.BYTE, 0, 7)
+        while not rreq.is_complete():
+            if not p1.stream_progress():
+                p1.idle_wait()
+        assert bytes(out) == b"\x44" * 4096
+        for proc in (p0, p1):
+            assert proc.p2p.pool.outstanding == 0, "unexpected-queue lease leaked"
+        world.finalize()
+
+    sched.spawn(driver, name="driver")
+
+
+class TestZeroCopyScenarios:
+    def test_pooled_modes_netmod(self, seed_range):
+        res = explore_seeds(_pooled_modes_netmod, seed_range, timeout=120.0)
+        assert res.ok, res.report()
+        assert res.decisions > 0
+
+    def test_pooled_modes_shmem(self, seed_range):
+        res = explore_seeds(_pooled_modes_shmem, seed_range, timeout=120.0)
+        assert res.ok, res.report()
+        assert res.decisions > 0
+
+    def test_unexpected_pooled_eager(self, seed_range):
+        res = explore_seeds(_unexpected_pooled_eager, seed_range, timeout=120.0)
+        assert res.ok, res.report()
+        assert res.decisions > 0

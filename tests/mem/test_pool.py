@@ -1,0 +1,129 @@
+"""Unit tests for the leased buffer pool."""
+
+import pytest
+
+from repro.config import RuntimeConfig
+from repro.mem.pool import MIN_CLASS_BYTES, BufferPool
+
+
+class TestSizeClasses:
+    def test_rounds_up_to_power_of_two_class(self):
+        pool = BufferPool()
+        lease = pool.acquire(300)
+        assert len(lease.buf) == 512
+        assert lease.nbytes == 300
+        assert lease.view.nbytes == 300
+        lease.release()
+
+    def test_min_class_floor(self):
+        pool = BufferPool()
+        lease = pool.acquire(1)
+        assert len(lease.buf) == MIN_CLASS_BYTES
+        lease.release()
+
+    def test_oversized_is_unpooled(self):
+        pool = BufferPool(size_classes=4)  # largest class = 2 KiB
+        huge = (MIN_CLASS_BYTES << 3) + 1
+        lease = pool.acquire(huge)
+        assert len(lease.buf) == huge
+        assert lease.size_class == -1
+        lease.release()
+        # unpooled slabs are never parked on a free list
+        assert pool.free_bytes == 0
+        assert pool.stats()["misses"] == 1
+
+
+class TestRecycling:
+    def test_hit_after_release(self):
+        pool = BufferPool()
+        a = pool.acquire(100)
+        buf = a.buf
+        a.release()
+        b = pool.acquire(200)  # same 256B class
+        assert b.buf is buf
+        stats = pool.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["bytes_recycled"] == MIN_CLASS_BYTES
+        b.release()
+
+    def test_max_bytes_caps_retention(self):
+        pool = BufferPool(max_bytes=MIN_CLASS_BYTES)
+        a, b = pool.acquire(10), pool.acquire(10)
+        a.release()
+        b.release()
+        assert pool.free_bytes == MIN_CLASS_BYTES  # second slab dropped
+
+    def test_outstanding_and_high_water(self):
+        pool = BufferPool()
+        leases = [pool.acquire(10) for _ in range(3)]
+        assert pool.outstanding == 3
+        for lease in leases:
+            lease.release()
+        stats = pool.stats()
+        assert stats["outstanding"] == 0
+        assert stats["high_water"] == 3
+
+
+class TestRefcounting:
+    def test_retain_keeps_slab_alive(self):
+        pool = BufferPool()
+        lease = pool.acquire(10)
+        lease.retain()
+        lease.release()
+        assert pool.outstanding == 1  # one ref still live
+        lease.release()
+        assert pool.outstanding == 0
+
+    def test_double_release_raises(self):
+        pool = BufferPool()
+        lease = pool.acquire(10)
+        lease.release()
+        with pytest.raises(RuntimeError):
+            lease.release()
+
+    def test_retain_after_release_raises(self):
+        pool = BufferPool()
+        lease = pool.acquire(10)
+        lease.release()
+        with pytest.raises(RuntimeError):
+            lease.retain()
+
+    def test_released_slab_not_leased_twice_concurrently(self):
+        pool = BufferPool()
+        a = pool.acquire(10)
+        b = pool.acquire(10)
+        assert a.buf is not b.buf
+        a.release()
+        b.release()
+
+
+class TestViews:
+    def test_view_is_writable_readonly_is_not(self):
+        pool = BufferPool()
+        lease = pool.acquire(4)
+        lease.view[:] = b"abcd"
+        assert bytes(lease.readonly) == b"abcd"
+        with pytest.raises(TypeError):
+            lease.readonly[0] = 0
+        lease.release()
+
+
+class TestConfig:
+    def test_from_config(self):
+        cfg = RuntimeConfig(
+            buffer_pool_enabled=False,
+            buffer_pool_max_bytes=1024,
+            buffer_pool_size_classes=4,
+        )
+        pool = BufferPool.from_config(cfg)
+        assert pool.enabled is False
+        assert pool.max_bytes == 1024
+        assert pool.size_classes == 4
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            RuntimeConfig(buffer_pool_max_bytes=-1).validate()
+        with pytest.raises(Exception):
+            RuntimeConfig(buffer_pool_size_classes=0).validate()
+        with pytest.raises(Exception):
+            RuntimeConfig(buffer_pool_size_classes=64).validate()

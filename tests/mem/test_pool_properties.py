@@ -1,0 +1,65 @@
+"""Property tests: the buffer pool never double-leases and never leaks.
+
+Hypothesis drives random acquire/retain/release interleavings; after
+every step two invariants must hold:
+
+* **no double-lease** — the slabs backing live leases are pairwise
+  distinct objects (a recycled slab is only handed out again after its
+  previous lease dropped to zero references);
+* **no leak** — the pool's ``outstanding`` count equals the number of
+  live leases, and returns to zero once every reference is released.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.pool import BufferPool
+
+# (op, argument) programs: acquire a size, or retain/release live lease i.
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("acquire"), st.integers(min_value=0, max_value=5000)),
+        st.tuples(st.just("retain"), st.integers(min_value=0, max_value=50)),
+        st.tuples(st.just("release"), st.integers(min_value=0, max_value=50)),
+    ),
+    max_size=120,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(ops=_OPS, max_bytes=st.integers(min_value=0, max_value=4096))
+def test_never_double_leases_never_leaks(ops, max_bytes):
+    pool = BufferPool(max_bytes=max_bytes, size_classes=6)
+    live = []  # (lease, refs we hold)
+
+    for op, arg in ops:
+        if op == "acquire":
+            live.append([pool.acquire(arg), 1])
+        elif live:
+            entry = live[arg % len(live)]
+            if op == "retain":
+                entry[0].retain()
+                entry[1] += 1
+            else:
+                entry[0].release()
+                entry[1] -= 1
+                if entry[1] == 0:
+                    live.remove(entry)
+
+        # no double-lease: live leases never share a slab
+        bufs = [id(entry[0].buf) for entry in live]
+        assert len(bufs) == len(set(bufs)), "two live leases share one slab"
+        # no leak (and no lost slab): accounting matches our model
+        assert pool.outstanding == len(live)
+        assert pool.free_bytes <= max(max_bytes, 0)
+
+    for entry in live:  # drain whatever the program left behind
+        for _ in range(entry[1]):
+            entry[0].release()
+    assert pool.outstanding == 0
+
+    # Every parked slab is reusable after full drain.
+    lease = pool.acquire(8)
+    assert pool.outstanding == 1
+    lease.release()
+    assert pool.outstanding == 0
