@@ -8,6 +8,7 @@ matching the paper's metric (section 4).
 """
 
 from repro.bench.harness import (
+    check_second_call_cache_hit,
     measure_allreduce_latency,
     measure_idle_pass_fastpath,
     measure_lock_isolation,
@@ -15,6 +16,7 @@ from repro.bench.harness import (
     measure_message_modes,
     measure_overlap_remedies,
     measure_pending_tasks_latency,
+    measure_plan_acquisition,
     measure_poll_overhead_latency,
     measure_pool_idle_latency,
     measure_pool_scaling,
@@ -23,6 +25,8 @@ from repro.bench.harness import (
     measure_task_class_latency,
     measure_small_message_rate,
     measure_thread_contention_latency,
+    measure_user_coll_cache,
+    measure_user_native_small,
     measure_zero_copy_bandwidth,
     measure_zero_copy_idle_pass,
 )
@@ -48,6 +52,10 @@ __all__ = [
     "measure_zero_copy_bandwidth",
     "measure_small_message_rate",
     "measure_zero_copy_idle_pass",
+    "measure_plan_acquisition",
+    "measure_user_coll_cache",
+    "measure_user_native_small",
+    "check_second_call_cache_hit",
     "print_figure",
     "print_rows",
     "record_bench_json",

@@ -39,6 +39,10 @@ __all__ = [
     "measure_zero_copy_bandwidth",
     "measure_small_message_rate",
     "measure_zero_copy_idle_pass",
+    "measure_plan_acquisition",
+    "measure_user_coll_cache",
+    "measure_user_native_small",
+    "check_second_call_cache_hit",
 ]
 
 
@@ -800,6 +804,202 @@ def measure_small_message_rate(
         "msgs_per_s_pool_off": best["off"],
         "ratio": best["on"] / best["off"],
     }
+
+
+# ----------------------------------------------------------------------
+# Compiled-schedule plan cache — cold planning vs cached replay.
+# ----------------------------------------------------------------------
+
+def measure_plan_acquisition(
+    *, size: int = 8, iters: int = 2000, repeats: int = 5
+) -> dict:
+    """Per-call plan-acquisition cost: cold planner build vs cache hit.
+
+    The cold path runs the recursive-doubling planner end to end on
+    every call (what a disabled cache — or the pre-IR per-call state
+    machine construction — pays); the hit path is one locked
+    ``OrderedDict`` probe.  Best-of-``repeats`` microseconds per call
+    and the speedup — the planning overhead the cache amortizes away.
+    """
+    from repro.exts.schedule_ext import PlanCache, count_bucket, plan_allreduce
+
+    rank = size - 1
+    op = repro.SUM
+    out: dict = {"size": size}
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for _ in range(iters):
+            plan_allreduce(rank, size, op)
+        best = min(best, time.perf_counter() - t0)
+    out["cold_build_us"] = best / iters * 1e6
+
+    cache = PlanCache()
+    key = ((0, 0), "allreduce", "rd-fold", op, repro.INT, count_bucket(4))
+    builder = lambda: plan_allreduce(rank, size, op)  # noqa: E731
+    cache.get_or_build(key, builder)  # warm
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for _ in range(iters):
+            cache.get_or_build(key, builder)
+        best = min(best, time.perf_counter() - t0)
+    out["cache_hit_us"] = best / iters * 1e6
+    out["speedup"] = out["cold_build_us"] / out["cache_hit_us"]
+    return out
+
+
+def _drive_vworld(world: World, reqs) -> None:
+    """Single-threaded completion loop on a virtual-clock world."""
+    procs = [world.proc(r) for r in range(world.nranks)]
+    while not all(r.is_complete() for r in reqs):
+        made = False
+        for p in procs:
+            made |= p.stream_progress()
+        if not made:
+            world.clock.idle_advance()
+
+
+def measure_user_coll_cache(
+    *,
+    nranks: int = 8,
+    count: int = 16,
+    calls: int = 30,
+    repeats: int = 3,
+) -> dict:
+    """Repeated small-message ``user_allreduce``: cached vs cold planning.
+
+    Two virtual-clock worlds differing only in
+    ``schedule_cache_enabled``; each runs ``calls`` identical
+    collectives driven single-threaded, so wall time is pure Python
+    overhead (the wire is free on the virtual clock).  The first cached
+    call builds the plan; every later one replays it.  Returns per-call
+    microseconds for both modes, the speedup, and rank 0's cache
+    counters from the cached run.
+    """
+    from repro.usercoll import user_allreduce
+
+    def per_call_us(enabled: bool) -> tuple[float, dict]:
+        best = float("inf")
+        stats: dict = {}
+        for _ in range(repeats):
+            cfg = RuntimeConfig(use_shmem=False, schedule_cache_enabled=enabled)
+            world = World(nranks, clock=VirtualClock(), config=cfg)
+            procs = [world.proc(r) for r in range(nranks)]
+            bufs = [np.zeros(count, dtype="i4") for _ in range(nranks)]
+            t0 = time.perf_counter()
+            for _ in range(calls):
+                reqs = [
+                    user_allreduce(p.comm_world, b, count, repro.INT, repro.SUM)
+                    for p, b in zip(procs, bufs)
+                ]
+                _drive_vworld(world, reqs)
+            elapsed = time.perf_counter() - t0
+            stats = dict(procs[0].plan_cache.stats())
+            world.finalize()
+            best = min(best, elapsed / calls * 1e6)
+        return best, stats
+
+    cached_us, cached_stats = per_call_us(True)
+    cold_us, _ = per_call_us(False)
+    return {
+        "nranks": nranks,
+        "count": count,
+        "calls": calls,
+        "cached_us_per_call": cached_us,
+        "cold_us_per_call": cold_us,
+        "speedup": cold_us / cached_us,
+        "cache_stats": cached_stats,
+    }
+
+
+def measure_user_native_small(
+    sizes_bytes: list[int],
+    *,
+    nranks: int = 8,
+    iters: int = 20,
+    warmup: int = 4,
+    config: RuntimeConfig | None = None,
+) -> list[dict]:
+    """Fig. 13 at small message sizes: user/native latency ratio.
+
+    For each size <= 512 B, measures the native ``Iallreduce`` and the
+    cached user-level path on the same threaded world (the user path's
+    first call builds the plan inside the warmup).  Returns one row per
+    size with median microseconds and the user/native ratio — the gap
+    the plan cache narrows.
+    """
+    from repro.usercoll import user_allreduce
+
+    cfg = config if config is not None else RuntimeConfig(use_shmem=False)
+    rows: list[dict] = []
+    for nbytes in sizes_bytes:
+        count = max(nbytes // 4, 1)
+        native_s: list[float] = []
+        user_s: list[float] = []
+
+        def main(proc: Proc) -> None:
+            comm = proc.comm_world
+            for i in range(warmup + iters):
+                out = np.zeros(count, dtype="i4")
+                comm.barrier()
+                t0 = time.perf_counter()
+                req = comm.iallreduce(
+                    np.full(count, comm.rank, dtype="i4"), out, count, repro.INT
+                )
+                proc.wait(req)
+                dt = time.perf_counter() - t0
+                if comm.rank == 0 and i >= warmup:
+                    native_s.append(dt)
+
+                buf = np.full(count, comm.rank, dtype="i4")
+                comm.barrier()
+                t0 = time.perf_counter()
+                req = user_allreduce(comm, buf, count, repro.INT, repro.SUM)
+                proc.wait(req)
+                dt = time.perf_counter() - t0
+                if comm.rank == 0 and i >= warmup:
+                    user_s.append(dt)
+
+        run_world(nranks, main, config=cfg, timeout=600)
+        native_us = sorted(native_s)[len(native_s) // 2] * 1e6
+        user_us = sorted(user_s)[len(user_s) // 2] * 1e6
+        rows.append(
+            {
+                "nbytes": nbytes,
+                "nranks": nranks,
+                "native_us": native_us,
+                "user_us": user_us,
+                "user_native_ratio": user_us / native_us,
+            }
+        )
+    return rows
+
+
+def check_second_call_cache_hit(*, nranks: int = 4) -> dict:
+    """Smoke assertion: a second identical collective is a cache hit.
+
+    Runs two identical ``user_allreduce`` calls on a fresh virtual
+    world and returns rank 0's cache stats after asserting hits > 0 and
+    exactly one build for the repeated shape.
+    """
+    from repro.usercoll import user_allreduce
+
+    cfg = RuntimeConfig(use_shmem=False)
+    world = World(nranks, clock=VirtualClock(), config=cfg)
+    procs = [world.proc(r) for r in range(nranks)]
+    for _ in range(2):
+        bufs = [np.array([p.rank], dtype="i4") for p in procs]
+        reqs = [
+            user_allreduce(p.comm_world, b, 1, repro.INT, repro.SUM)
+            for p, b in zip(procs, bufs)
+        ]
+        _drive_vworld(world, reqs)
+    stats = dict(procs[0].plan_cache.stats())
+    world.finalize()
+    assert stats["stat_plan_hits"] > 0, stats
+    assert stats["stat_plan_builds"] == 1, stats
+    return stats
 
 
 def measure_zero_copy_idle_pass(

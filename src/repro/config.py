@@ -237,6 +237,20 @@ class RuntimeConfig:
     buffer_pool_size_classes: int = 16
 
     # ------------------------------------------------------------------
+    # Compiled-schedule plan cache (user-level collectives).
+    # ------------------------------------------------------------------
+    #: When True (the default), user-level collectives compile their
+    #: comm graph into a flat-step :class:`~repro.exts.schedule_ext.Plan`
+    #: once and replay it from the cache on subsequent calls.  When
+    #: False every call re-plans — the documented off-switch for
+    #: differential benchmarking of cold planning vs cached replay.
+    schedule_cache_enabled: bool = True
+
+    #: LRU bound on cached plans per process; the least recently used
+    #: plan is evicted past this.
+    schedule_cache_max_plans: int = 128
+
+    # ------------------------------------------------------------------
     # World / topology.
     # ------------------------------------------------------------------
     #: Number of ranks per simulated node (controls which pairs are
@@ -330,6 +344,8 @@ class RuntimeConfig:
             raise ValueError("buffer_pool_max_bytes must be >= 0")
         if not 1 <= self.buffer_pool_size_classes <= 32:
             raise ValueError("buffer_pool_size_classes must be in [1, 32]")
+        if self.schedule_cache_max_plans < 1:
+            raise ValueError("schedule_cache_max_plans must be >= 1")
         if self.allreduce_algorithm not in (
             "auto",
             "recursive_doubling",

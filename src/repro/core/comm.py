@@ -10,6 +10,7 @@ default stream.
 
 from __future__ import annotations
 
+import itertools
 from typing import TYPE_CHECKING, Any
 
 from repro.core.request import Request, Status
@@ -43,6 +44,7 @@ from repro.datatype.types import (
 )
 from repro.errors import InvalidCommunicatorError, InvalidRankError
 from repro.p2p.matching import ANY_SOURCE, ANY_TAG
+from repro.util.atomic import AtomicCounter
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.mpi import Proc
@@ -71,6 +73,12 @@ class _InPlaceType:
 
 
 IN_PLACE = _InPlaceType()
+
+#: Process-wide communicator epoch source: every Comm gets a distinct
+#: epoch, so ``(context_id, epoch)`` identifies one communicator
+#: *incarnation* — a freed comm's cached plans can never be served to a
+#: later comm that reuses its context id.
+_comm_epochs = itertools.count()
 
 
 def _byte_type():
@@ -104,6 +112,11 @@ class Comm:
         self._coll_seq = 0
         self._child_count = 0
         self.freed = False
+        #: incarnation id for plan-cache keys (see ``comm_key``)
+        self.epoch = next(_comm_epochs)
+        #: tag sequence for user-level collectives (atomic: the progress
+        #: pool may start collectives from multiple threads)
+        self._user_coll_seq = AtomicCounter(0)
         #: MPI-style error handler: ERRORS_ARE_FATAL or ERRORS_RETURN.
         self.errhandler: str = ERRORS_ARE_FATAL
 
@@ -142,6 +155,11 @@ class Comm:
     @property
     def coll_context_id(self) -> int:
         return self.context_id + 1
+
+    @property
+    def comm_key(self) -> tuple[int, int]:
+        """Cache identity of this communicator incarnation."""
+        return (self.context_id, self.epoch)
 
     def _check(self) -> None:
         if self.freed:
@@ -1023,6 +1041,7 @@ class Comm:
 
     def free(self) -> None:
         self.freed = True
+        self.proc.plan_cache.invalidate_comm(self.comm_key)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

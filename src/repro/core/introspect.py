@@ -64,6 +64,10 @@ class ProgressSnapshot:
     #: buffer-pool + copy-path counters (pool hits/misses/outstanding,
     #: per-rank staging copy bytes, shmem transport copy bytes)
     mem_pool: dict[str, Any] | None = None
+    #: compiled-schedule plan cache counters (entries, hits, misses,
+    #: builds, evictions, invalidations); None only if the proc
+    #: predates the cache
+    schedule_cache: dict[str, Any] | None = None
 
     def format_report(self) -> str:
         """Aligned multi-line report for humans."""
@@ -128,6 +132,17 @@ class ProgressSnapshot:
                 f"recycled={m['bytes_recycled']}B free={m['free_bytes']}B "
                 f"copies={m['copy_bytes_total']}B"
             )
+        if self.schedule_cache is not None:
+            c = self.schedule_cache
+            lines.append(
+                "  plan cache          : "
+                f"enabled={c['enabled']} "
+                f"entries={c['entries']}/{c['max_plans']} "
+                f"hits={c['stat_plan_hits']} misses={c['stat_plan_misses']} "
+                f"builds={c['stat_plan_builds']} "
+                f"evicted={c['stat_plan_evictions']} "
+                f"invalidated={c['stat_plan_invalidations']}"
+            )
         return "\n".join(lines)
 
 
@@ -188,4 +203,5 @@ def snapshot(proc: "Proc", pool: Any | None = None) -> ProgressSnapshot:
         reliability=proc.p2p.reliability_stats(),
         faults=proc.world.fabric.fault_stats(),
         mem_pool=mem_pool,
+        schedule_cache=proc.plan_cache.stats(),
     )

@@ -92,6 +92,15 @@ class Proc:
 
         self._pending_async = AtomicCounter(0)
         self.finalized = False
+
+        # Compiled-schedule plan cache + per-stream fused schedule
+        # chains (imported here: schedule_ext type-checks against Proc).
+        from repro.exts.schedule_ext import PlanCache
+
+        self.plan_cache = PlanCache.from_config(self.config)
+        self._schedule_chains: dict[int, Any] = {}
+        self._schedule_chain_lock = _sync.make_lock(f"proc{rank}.schedchains")
+
         self.comm_world = Comm(
             self, list(range(world.nranks)), context_id=0, stream=self.default_stream
         )

@@ -1,84 +1,22 @@
 """User-level ring allgather via the MPIX async extension.
 
 One more proof of section 4.7's extensibility claim: the ring pattern
-(p-1 forwarding rounds) as an async-hook state machine.
+(p-1 forwarding rounds) compiled once per comm shape by
+:func:`~repro.exts.schedule_ext.plan_allgather` — block offsets are
+pre-resolved in block units, scaled to the concrete ``count`` at bind
+time — and replayed from the plan cache.
 """
 
 from __future__ import annotations
 
-from repro.core.async_ext import ASYNC_DONE, ASYNC_NOPROGRESS, AsyncThing
 from repro.core.comm import Comm
 from repro.core.request import Request
 from repro.core.stream import STREAM_NULL, MpixStream, StreamNullType
-from repro.datatype.types import BYTE, Datatype, as_writable_view
-from repro.usercoll.allreduce import _user_coll_tag
+from repro.datatype.types import Datatype
+from repro.exts.schedule_ext import count_bucket, plan_allgather
+from repro.usercoll.allreduce import _launch
 
 __all__ = ["user_iallgather", "user_allgather"]
-
-
-class _AllgatherState:
-    __slots__ = (
-        "comm",
-        "recvbuf",
-        "count",
-        "datatype",
-        "tag",
-        "step",
-        "reqs",
-        "done_req",
-        "block_bytes",
-    )
-
-    def __init__(
-        self,
-        comm: Comm,
-        recvbuf,
-        count: int,
-        datatype: Datatype,
-        tag: int,
-        done_req: Request,
-    ) -> None:
-        self.comm = comm
-        self.recvbuf = recvbuf
-        self.count = count
-        self.datatype = datatype
-        self.tag = tag
-        self.step = 0
-        self.reqs: list[Request] = []
-        self.done_req = done_req
-        self.block_bytes = count * datatype.size
-        self._post_round()
-
-    def _block(self, index: int) -> memoryview:
-        view = as_writable_view(self.recvbuf)
-        return view[index * self.block_bytes : (index + 1) * self.block_bytes]
-
-    def _post_round(self) -> None:
-        rank, size = self.comm.rank, self.comm.size
-        right = (rank + 1) % size
-        left = (rank - 1 + size) % size
-        send_block = (rank - self.step + size) % size
-        recv_block = (rank - self.step - 1 + size) % size
-        self.reqs = [
-            self.comm.isend(
-                self._block(send_block), self.block_bytes, BYTE, right, self.tag
-            ),
-            self.comm.irecv(
-                self._block(recv_block), self.block_bytes, BYTE, left, self.tag
-            ),
-        ]
-
-    def poll(self, thing: AsyncThing) -> int:
-        if not all(r.is_complete() for r in self.reqs):
-            return ASYNC_NOPROGRESS
-        self.step += 1
-        if self.step < self.comm.size - 1:
-            self._post_round()
-            return ASYNC_NOPROGRESS
-        self.done_req.complete(
-            count_bytes=self.comm.size * self.block_bytes
-        )
-        return ASYNC_DONE
 
 
 def user_iallgather(
@@ -94,15 +32,23 @@ def user_iallgather(
     ``comm.rank`` must already contain the local contribution
     (IN_PLACE-style, like Listing 1.8's in-place restriction).
     """
-    done_req = Request("user-allgather")
     if comm.size == 1:
-        done_req.complete()
+        done_req = Request("user-allgather")
+        done_req.complete(count_bytes=count * datatype.size)
         return done_req
-    state = _AllgatherState(
-        comm, recvbuf, count, datatype, _user_coll_tag(comm), done_req
+    rank, size = comm.rank, comm.size
+    key = (
+        comm.comm_key,
+        "allgather",
+        "ring",
+        None,
+        datatype,
+        count_bucket(count * datatype.size),
     )
-    comm.proc.async_start(state.poll, state, stream)
-    return done_req
+    plan = comm.proc.plan_cache.get_or_build(
+        key, lambda: plan_allgather(rank, size)
+    )
+    return _launch(comm, plan, recvbuf, count, datatype, "user-allgather", stream)
 
 
 def user_allgather(

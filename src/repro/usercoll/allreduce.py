@@ -1,208 +1,78 @@
-"""User-level recursive-doubling allreduce (Listing 1.8).
+"""User-level recursive-doubling allreduce (Listing 1.8), compiled.
 
-``my_allreduce`` is the paper's listing, faithfully: restricted to an
-in-place INT/SUM reduction over a power-of-two communicator, driven by
-one MPIX async hook whose poll function checks its two requests with
-``MPIX_Request_is_complete`` and posts the next round's isend/irecv.
+``my_allreduce`` keeps the paper's listing semantics: an in-place
+reduction driven by one MPIX async hook that checks its requests with
+``MPIX_Request_is_complete`` and posts the next round.  What changed is
+*where the rounds come from*: instead of re-deriving the
+recursive-doubling state machine on every call, the algorithm is
+compiled once per (comm, op, datatype, size-bucket) into a flat-step
+:class:`~repro.exts.schedule_ext.Plan` by :func:`plan_allreduce`, cached
+in ``proc.plan_cache``, and replayed by a
+:class:`~repro.exts.schedule_ext.PlanExecutor` — the hook does one
+batched ``is_complete`` walk per round and zero Python-level planning.
 
-``user_allreduce`` / ``my_iallreduce`` generalize it: any count, basic
-datatype, reduction op, and communicator size (remainder folding), with
-an optional generalized-request handle (section 4.6) instead of a
-wait-flag loop.
+``user_allreduce`` / ``my_iallreduce`` generalize the listing: any
+count, basic datatype, reduction op, and communicator size (Rabenseifner
+remainder folding), with an optional generalized-request handle
+(section 4.6) instead of a wait-flag loop.
 """
 
 from __future__ import annotations
 
 from typing import Any
 
-from repro.core.async_ext import ASYNC_DONE, ASYNC_NOPROGRESS, AsyncThing
 from repro.core.comm import Comm
 from repro.core.greq import GeneralizedRequest
 from repro.core.request import Request
 from repro.core.stream import STREAM_NULL, MpixStream, StreamNullType
 from repro.coll.algorithms.util import largest_pof2_below
 from repro.datatype.ops import SUM, Op
-from repro.datatype.types import INT, Datatype, as_readonly_view, as_writable_view
+from repro.datatype.types import INT, Datatype
 from repro.errors import InvalidArgumentError
+from repro.exts.schedule_ext import (
+    PlanExecutor,
+    count_bucket,
+    plan_allreduce,
+)
 
 __all__ = ["my_allreduce", "my_iallreduce", "user_allreduce"]
+
+#: Distinct in-flight tags per communicator before the sequence wraps.
+#: Wide enough that a colliding pair would need ~a million concurrent
+#: user collectives on one comm; guarded against tiny tag_ub configs.
+_TAG_WINDOW = 1 << 20
 
 
 def _user_coll_tag(comm: Comm) -> int:
     """Per-comm tag sequence for user-level collectives, drawn from the
-    top of the tag space so it cannot collide with application tags."""
-    seq = getattr(comm, "_user_coll_seq", 0)
-    comm._user_coll_seq = seq + 1  # type: ignore[attr-defined]
-    return comm.proc.config.tag_ub - (seq % 4096)
+    top of the tag space so it cannot collide with application tags.
+
+    The sequence is an :class:`~repro.util.atomic.AtomicCounter`: user
+    collectives may be started concurrently from the progress pool's
+    workers, and a torn read-modify-write would hand two collectives
+    the same tag.
+    """
+    seq = comm._user_coll_seq.add(1) - 1
+    window = min(_TAG_WINDOW, comm.proc.config.tag_ub // 2)
+    return comm.proc.config.tag_ub - (seq % max(window, 1))
 
 
-class _AllreduceState:
-    """The ``struct my_allreduce`` of Listing 1.8, generalized."""
-
-    __slots__ = (
-        "comm",
-        "buf",
-        "tmpbuf",
-        "count",
-        "datatype",
-        "op",
-        "rank",
-        "size",
-        "tag",
-        "mask",
-        "reqs",
-        "done_req",
-        "pof2",
-        "rem",
-        "newrank",
-        "phase",
-    )
-
-    def __init__(
-        self,
-        comm: Comm,
-        buf,
-        count: int,
-        datatype: Datatype,
-        op: Op,
-        tag: int,
-        done_req: Request,
-    ) -> None:
-        self.comm = comm
-        self.buf = buf
-        self.count = count
-        self.datatype = datatype
-        self.op = op
-        self.rank = comm.rank
-        self.size = comm.size
-        self.tag = tag
-        self.tmpbuf = bytearray(max(count * datatype.size, 1))
-        self.mask = 1
-        self.reqs: list[Request | None] = [None, None]
-        self.done_req = done_req
-        self.pof2 = largest_pof2_below(self.size)
-        self.rem = self.size - self.pof2
-        # phases: 'fold', 'doubling', 'unfold', 'final-recv'
-        if self.rank < 2 * self.rem:
-            self.newrank = -1 if self.rank % 2 == 0 else self.rank // 2
-            self.phase = "fold"
-        else:
-            self.newrank = self.rank - self.rem
-            self.phase = "doubling"
-
-    # ------------------------------------------------------------------
-    def _reduce_tmp(self, peer: int) -> None:
-        """buf = tmp (op) buf or buf (op) tmp, rank-ordered."""
-        nbytes = self.count * self.datatype.size
-        if self.op.commutative or peer < self.rank:
-            self.op.apply(self.tmpbuf, self.buf, self.count, self.datatype)
-        else:
-            stage = bytearray(as_readonly_view(self.buf)[:nbytes])
-            self.op.apply(stage, self.tmpbuf, self.count, self.datatype)
-            as_writable_view(self.buf)[:nbytes] = self.tmpbuf[:nbytes]
-
-    def _post_pair(self, peer: int) -> None:
-        self.reqs[0] = self.comm.irecv(
-            self.tmpbuf, self.count, self.datatype, peer, self.tag
-        )
-        self.reqs[1] = self.comm.isend(
-            self.buf, self.count, self.datatype, peer, self.tag
-        )
-
-    def _reqs_done(self) -> bool:
-        """Listing 1.8's loop: free completed requests, count them."""
-        done = 0
-        for i in (0, 1):
-            req = self.reqs[i]
-            if req is None:
-                done += 1
-            elif req.is_complete():  # MPIX_Request_is_complete
-                req.free()
-                self.reqs[i] = None
-                done += 1
-        return done == 2
-
-    def _finish(self) -> None:
-        self.done_req.complete(count_bytes=self.count * self.datatype.size)
-
-    # ------------------------------------------------------------------
-    def start(self) -> None:
-        """Post the first round (called once, outside the hook)."""
-        if self.size == 1:
-            self._finish()
-            return
-        if self.phase == "fold":
-            if self.rank % 2 == 0:
-                # Fold out: send contribution, then await the final
-                # result from the odd neighbor.
-                self.reqs[1] = self.comm.isend(
-                    self.buf, self.count, self.datatype, self.rank + 1, self.tag
-                )
-                self.phase = "fold-sent"
-            else:
-                self.reqs[0] = self.comm.irecv(
-                    self.tmpbuf, self.count, self.datatype, self.rank - 1, self.tag
-                )
-        else:
-            self._post_doubling_round()
-
-    def _post_doubling_round(self) -> None:
-        peer_new = self.newrank ^ self.mask
-        peer = peer_new * 2 + 1 if peer_new < self.rem else peer_new + self.rem
-        self._post_pair(peer)
-
-    def poll(self, thing: AsyncThing) -> int:
-        """One hook invocation: the Listing 1.8 state machine."""
-        if not self._reqs_done():
-            return ASYNC_NOPROGRESS
-
-        if self.phase == "fold":
-            # Odd rank: absorbed the even neighbor's data.
-            self._reduce_tmp(self.rank - 1)
-            self.phase = "doubling"
-            if self.mask < self.pof2:
-                self._post_doubling_round()
-                return ASYNC_NOPROGRESS
-            # pof2 == 1: straight to unfold.
-            return self._enter_unfold()
-
-        if self.phase == "fold-sent":
-            # Even folded rank: contribution sent; await the result.
-            self.reqs[0] = self.comm.irecv(
-                self.buf, self.count, self.datatype, self.rank + 1, self.tag
-            )
-            self.phase = "final-recv"
-            return ASYNC_NOPROGRESS
-
-        if self.phase == "final-recv":
-            self._finish()
-            return ASYNC_DONE
-
-        if self.phase == "doubling":
-            peer_new = self.newrank ^ self.mask
-            peer = peer_new * 2 + 1 if peer_new < self.rem else peer_new + self.rem
-            self._reduce_tmp(peer)
-            self.mask <<= 1
-            if self.mask < self.pof2:
-                self._post_doubling_round()
-                return ASYNC_NOPROGRESS
-            return self._enter_unfold()
-
-        if self.phase == "unfold":
-            self._finish()
-            return ASYNC_DONE
-
-        raise AssertionError(f"bad phase {self.phase}")  # pragma: no cover
-
-    def _enter_unfold(self) -> int:
-        if self.rank < 2 * self.rem and self.rank % 2 == 1:
-            self.reqs[1] = self.comm.isend(
-                self.buf, self.count, self.datatype, self.rank - 1, self.tag
-            )
-            self.phase = "unfold"
-            return ASYNC_NOPROGRESS
-        self._finish()
-        return ASYNC_DONE
+def _launch(
+    comm: Comm,
+    plan,
+    buf,
+    count: int,
+    datatype: Datatype,
+    kind: str,
+    stream: MpixStream | StreamNullType,
+) -> Request:
+    """Bind ``plan`` to ``buf`` and drive it from the async hook."""
+    done_req = Request(kind)
+    ex = PlanExecutor(plan, comm, buf, count, datatype, _user_coll_tag(comm), done_req)
+    ex.start()
+    if not done_req.is_complete():
+        comm.proc.async_start(ex.poll, ex, stream)
+    return done_req
 
 
 # ----------------------------------------------------------------------
@@ -222,14 +92,23 @@ def user_allreduce(
     Returns a request; complete it with ``comm.proc.wait`` (or poll
     ``request_is_complete`` from your own engine).
     """
-    done_req = Request("user-allreduce")
-    state = _AllreduceState(
-        comm, buf, count, datatype, op, _user_coll_tag(comm), done_req
+    if comm.size == 1:
+        done_req = Request("user-allreduce")
+        done_req.complete(count_bytes=count * datatype.size)
+        return done_req
+    rank, size = comm.rank, comm.size
+    key = (
+        comm.comm_key,
+        "allreduce",
+        "rd-fold",
+        op,
+        datatype,
+        count_bucket(count * datatype.size),
     )
-    state.start()
-    if not done_req.is_complete():
-        comm.proc.async_start(lambda thing: state.poll(thing), state, stream)
-    return done_req
+    plan = comm.proc.plan_cache.get_or_build(
+        key, lambda: plan_allreduce(rank, size, op)
+    )
+    return _launch(comm, plan, buf, count, datatype, "user-allreduce", stream)
 
 
 def my_allreduce(

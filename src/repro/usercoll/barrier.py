@@ -1,60 +1,36 @@
-"""User-level dissemination barrier via the MPIX async extension."""
+"""User-level dissemination barrier via the MPIX async extension.
+
+The dissemination pattern is compiled once per comm shape by
+:func:`~repro.exts.schedule_ext.plan_barrier` (zero-byte exchanges at
+doubling strides), cached, and replayed by the shared executor.
+"""
 
 from __future__ import annotations
 
-from repro.core.async_ext import ASYNC_DONE, ASYNC_NOPROGRESS, AsyncThing
 from repro.core.comm import Comm
 from repro.core.request import Request
 from repro.core.stream import STREAM_NULL, MpixStream, StreamNullType
 from repro.datatype.types import BYTE
-from repro.usercoll.allreduce import _user_coll_tag
+from repro.exts.schedule_ext import plan_barrier
+from repro.usercoll.allreduce import _launch
 
 __all__ = ["user_ibarrier", "user_barrier"]
-
-
-class _BarrierState:
-    __slots__ = ("comm", "tag", "step", "reqs", "done_req", "_scratch")
-
-    def __init__(self, comm: Comm, tag: int, done_req: Request) -> None:
-        self.comm = comm
-        self.tag = tag
-        self.step = 1
-        self.reqs: list[Request] = []
-        self.done_req = done_req
-        self._scratch = bytearray(0)
-        self._post_round()
-
-    def _post_round(self) -> None:
-        rank, size = self.comm.rank, self.comm.size
-        to = (rank + self.step) % size
-        frm = (rank - self.step + size) % size
-        self.reqs = [
-            self.comm.isend(self._scratch, 0, BYTE, to, self.tag),
-            self.comm.irecv(bytearray(0), 0, BYTE, frm, self.tag),
-        ]
-
-    def poll(self, thing: AsyncThing) -> int:
-        if not all(r.is_complete() for r in self.reqs):
-            return ASYNC_NOPROGRESS
-        self.step <<= 1
-        if self.step < self.comm.size:
-            self._post_round()
-            return ASYNC_NOPROGRESS
-        self.done_req.complete()
-        return ASYNC_DONE
 
 
 def user_ibarrier(
     comm: Comm, stream: MpixStream | StreamNullType = STREAM_NULL
 ) -> Request:
     """Nonblocking user-level dissemination barrier."""
-    done_req = Request("user-barrier")
     if comm.size == 1:
+        done_req = Request("user-barrier")
         done_req.complete()
         return done_req
-    state = _BarrierState(comm, _user_coll_tag(comm), done_req)
-    comm.proc.async_start(state.poll, state, stream)
-    return done_req
+    rank, size = comm.rank, comm.size
+    key = (comm.comm_key, "barrier", "dissem", None, None, 0)
+    plan = comm.proc.plan_cache.get_or_build(
+        key, lambda: plan_barrier(rank, size)
+    )
+    return _launch(comm, plan, None, 0, BYTE, "user-barrier", stream)
 
 
 def user_barrier(

@@ -1,88 +1,23 @@
 """User-level binomial broadcast via the MPIX async extension.
 
 Demonstrates that arbitrary collective patterns — not just the paper's
-allreduce — are expressible as async-hook state machines: receive from
-the tree parent, then fan out to the subtree, all synchronized with
+allreduce — are expressible as compiled schedules: the binomial tree
+(receive from parent, fan out to the subtree) is planned once per
+(comm, root, size-bucket) by :func:`~repro.exts.schedule_ext.plan_bcast`
+and replayed from the plan cache, synchronized round-by-round with
 ``MPIX_Request_is_complete``.
 """
 
 from __future__ import annotations
 
-from repro.core.async_ext import ASYNC_DONE, ASYNC_NOPROGRESS, AsyncThing
 from repro.core.comm import Comm
 from repro.core.request import Request
 from repro.core.stream import STREAM_NULL, MpixStream, StreamNullType
 from repro.datatype.types import Datatype
-from repro.usercoll.allreduce import _user_coll_tag
+from repro.exts.schedule_ext import count_bucket, plan_bcast
+from repro.usercoll.allreduce import _launch
 
 __all__ = ["user_ibcast", "user_bcast"]
-
-
-class _BcastState:
-    __slots__ = (
-        "comm",
-        "buf",
-        "count",
-        "datatype",
-        "tag",
-        "recv_req",
-        "send_reqs",
-        "sent",
-        "done_req",
-        "children",
-    )
-
-    def __init__(
-        self,
-        comm: Comm,
-        buf,
-        count: int,
-        datatype: Datatype,
-        root: int,
-        tag: int,
-        done_req: Request,
-    ) -> None:
-        self.comm = comm
-        self.buf = buf
-        self.count = count
-        self.datatype = datatype
-        self.tag = tag
-        self.done_req = done_req
-        self.recv_req: Request | None = None
-        self.send_reqs: list[Request] = []
-        self.sent = False
-
-        rank, size = comm.rank, comm.size
-        relrank = (rank - root) % size
-        mask = 1
-        parent = None
-        while mask < size:
-            if relrank & mask:
-                parent = (rank - mask + size) % size
-                break
-            mask <<= 1
-        mask >>= 1
-        self.children = []
-        while mask > 0:
-            if relrank + mask < size:
-                self.children.append((rank + mask) % size)
-            mask >>= 1
-        if parent is not None:
-            self.recv_req = comm.irecv(buf, count, datatype, parent, tag)
-
-    def poll(self, thing: AsyncThing) -> int:
-        if self.recv_req is not None and not self.recv_req.is_complete():
-            return ASYNC_NOPROGRESS
-        if not self.sent:
-            self.sent = True
-            for child in self.children:
-                self.send_reqs.append(
-                    self.comm.isend(self.buf, self.count, self.datatype, child, self.tag)
-                )
-        if all(r.is_complete() for r in self.send_reqs):
-            self.done_req.complete(count_bytes=self.count * self.datatype.size)
-            return ASYNC_DONE
-        return ASYNC_NOPROGRESS
 
 
 def user_ibcast(
@@ -94,13 +29,24 @@ def user_ibcast(
     stream: MpixStream | StreamNullType = STREAM_NULL,
 ) -> Request:
     """Nonblocking user-level binomial broadcast; returns a request."""
-    done_req = Request("user-bcast")
-    state = _BcastState(comm, buf, count, datatype, root, _user_coll_tag(comm), done_req)
     if comm.size == 1:
-        done_req.complete()
+        done_req = Request("user-bcast")
+        done_req.complete(count_bytes=count * datatype.size)
         return done_req
-    comm.proc.async_start(state.poll, state, stream)
-    return done_req
+    rank, size = comm.rank, comm.size
+    key = (
+        comm.comm_key,
+        "bcast",
+        "binomial",
+        None,
+        datatype,
+        count_bucket(count * datatype.size),
+        root,
+    )
+    plan = comm.proc.plan_cache.get_or_build(
+        key, lambda: plan_bcast(rank, size, root)
+    )
+    return _launch(comm, plan, buf, count, datatype, "user-bcast", stream)
 
 
 def user_bcast(

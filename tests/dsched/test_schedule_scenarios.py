@@ -1,0 +1,122 @@
+"""Fused schedule-chain scenarios swept across the CI seed matrix.
+
+Two schedules committed on one stream from two logical threads share a
+single chain hook; under every interleaving the chain must preserve
+FIFO order between the schedules, never lose a commit (the submit/done
+race), and drain the pending-async accounting to zero.
+"""
+
+import numpy as np
+
+import repro
+from repro.dsched import explore_seeds
+from repro.exts.schedule_ext import Schedule
+from repro.runtime.world import World
+
+
+def _two_schedules_one_stream(sched):
+    """Two threads each commit a schedule of real MPI traffic on the
+    same (default) stream while a third pumps progress."""
+
+    def driver():
+        world = World(2, clock=sched.clock)
+        p0, p1 = world.proc(0), world.proc(1)
+        out = np.zeros(2, dtype="i4")
+        reqs = []
+
+        def commit_sender(tag):
+            s = Schedule(p0)
+            s.add_operation(
+                lambda: p0.comm_world.isend(
+                    np.array([tag + 1], "i4"), 1, repro.INT, 1, tag
+                )
+            )
+            reqs.append(s.commit())
+
+        def commit_receivers():
+            s = Schedule(p1)
+            s.add_operation(lambda: p1.comm_world.irecv(out[:1], 1, repro.INT, 0, 0))
+            s.create_round()
+            s.add_operation(lambda: p1.comm_world.irecv(out[1:], 1, repro.INT, 0, 1))
+            reqs.append(s.commit())
+
+        t1 = sched.spawn(lambda: commit_sender(0), name="send0")
+        t2 = sched.spawn(lambda: commit_sender(1), name="send1")
+        t3 = sched.spawn(commit_receivers, name="recv")
+        t1.join()
+        t2.join()
+        t3.join()
+
+        def pump():
+            while not all(r.is_complete() for r in reqs):
+                made0 = p0.stream_progress()
+                made1 = p1.stream_progress()
+                if not (made0 or made1):
+                    sched.clock.advance(1e-6)
+
+        pump()
+        assert list(out) == [1, 2]
+        assert p0.pending_async_tasks == 0
+        assert p1.pending_async_tasks == 0
+        world.finalize()
+
+    sched.spawn(driver, name="driver")
+
+
+def _commit_races_chain_retirement(sched):
+    """A second schedule is committed concurrently with the chain hook
+    retiring the first: the commit must either fuse onto the live hook
+    or start a fresh one — never be dropped."""
+
+    def driver():
+        world = World(1, clock=sched.clock)
+        proc = world.proc(0)
+        done = []
+
+        def make_sched(tag):
+            s = Schedule(proc)
+
+            def thunk():
+                from repro.core.request import Request
+
+                done.append(tag)
+                req = Request()
+                req.complete()
+                return req
+
+            s.add_operation(thunk)
+            return s.commit()
+
+        r1 = make_sched("a")
+
+        committed = []
+
+        def late_commit():
+            committed.append(make_sched("b"))
+
+        def pump():
+            while not r1.is_complete() or not committed or not committed[0].is_complete():
+                if not proc.stream_progress():
+                    proc.idle_wait()
+
+        t1 = sched.spawn(late_commit, name="committer")
+        t2 = sched.spawn(pump, name="pump")
+        t1.join()
+        t2.join()
+        assert sorted(done) == ["a", "b"]
+        assert proc.pending_async_tasks == 0
+        world.finalize()
+
+    sched.spawn(driver, name="driver")
+
+
+class TestScheduleChainScenarios:
+    def test_two_schedules_one_stream(self, seed_range):
+        res = explore_seeds(_two_schedules_one_stream, seed_range, timeout=60.0)
+        assert res.ok, res.report()
+        assert res.decisions > 0
+
+    def test_commit_races_chain_retirement(self, seed_range):
+        res = explore_seeds(_commit_races_chain_retirement, seed_range, timeout=60.0)
+        assert res.ok, res.report()
+        assert res.decisions > 0

@@ -123,3 +123,178 @@ class TestScheduleExecution:
         proc.stream_progress()
         assert req.is_complete()
         assert sched._freed
+
+
+class TestScheduleEdgeCases:
+    def test_trailing_empty_round_dropped(self, proc):
+        """create_round with nothing after it must not stall completion."""
+        sched = Schedule(proc)
+        r = Request()
+        r.complete()
+        sched.add_operation(r)
+        sched.create_round()  # trailing empty round
+        req = sched.commit()
+        proc.stream_progress()
+        assert req.is_complete()
+
+    def test_double_commit_rejected(self, proc):
+        sched = Schedule(proc)
+        sched.commit()
+        with pytest.raises(RuntimeError):
+            sched.commit()
+
+    def test_use_after_free_rejected(self, proc):
+        sched = Schedule(proc)
+        sched.free()
+        with pytest.raises(RuntimeError):
+            sched.add_operation(Request())
+        with pytest.raises(RuntimeError):
+            sched.commit()
+
+    def test_free_cancels_committed_incomplete(self, proc):
+        """Satellite fix: free on a committed-but-incomplete schedule
+        must cancel it (request completes with status.cancelled) rather
+        than leave the hook polling forever."""
+        blocker = Request()
+        follow = []
+        sched = Schedule(proc, auto_free=False)
+        sched.add_operation(blocker)
+        sched.create_round()
+        sched.add_operation(lambda: follow.append(1) or Request())
+        req = sched.commit()
+        proc.stream_progress()
+        assert not req.is_complete()
+        sched.free()
+        assert req.is_complete()
+        assert req.status.cancelled
+        # The chain drops the schedule; no later round ever starts and
+        # the pending-async count drains (the old bug spun forever).
+        blocker.complete()
+        for _ in range(5):
+            proc.stream_progress()
+        assert follow == []
+        assert proc.pending_async_tasks == 0
+
+    def test_free_idempotent_and_post_completion(self, proc):
+        sched = Schedule(proc, auto_free=False)
+        r = Request()
+        r.complete()
+        sched.add_operation(r)
+        req = sched.commit()
+        proc.stream_progress()
+        assert req.is_complete()
+        sched.free()
+        sched.free()  # idempotent
+        assert not req.status.cancelled  # completed normally, not cancelled
+
+
+class TestScheduleReplay:
+    def test_completion_point_completes_early(self, proc):
+        """Rounds after the completion point are finalization: the
+        commit request completes when the marked round does."""
+        first = Request()
+        tail = Request()
+        sched = Schedule(proc, auto_free=False)
+        sched.add_operation(first)
+        sched.mark_completion_point()
+        sched.create_round()
+        sched.add_operation(tail)
+        req = sched.commit()
+        proc.stream_progress()
+        assert not req.is_complete()
+        first.complete()
+        proc.stream_progress()
+        assert req.is_complete()  # completion point reached
+        assert not tail.is_complete()  # finalization still running
+        tail.complete()
+        proc.stream_progress()
+        assert proc.pending_async_tasks == 0
+
+    def test_restart_replays_from_reset_point(self, proc):
+        """Persistent-collective semantics: restart re-runs the rounds
+        from the reset point, re-invoking thunks."""
+        runs = []
+
+        def thunk():
+            runs.append(1)
+            r = Request()
+            r.complete()
+            return r
+
+        sched = Schedule(proc, auto_free=False)
+        prefix = Request()
+        prefix.complete()
+        sched.add_operation(prefix)
+        sched.create_round()
+        sched.mark_reset_point()
+        sched.add_operation(thunk)
+        req1 = sched.commit()
+        proc.stream_progress()
+        assert req1.is_complete() and runs == [1]
+
+        req2 = sched.restart()
+        assert req2 is not req1
+        proc.stream_progress()
+        assert req2.is_complete()
+        assert runs == [1, 1]  # only the post-reset-point round re-ran
+
+    def test_restart_while_running_rejected(self, proc):
+        sched = Schedule(proc, auto_free=False)
+        blocker = Request()
+        sched.add_operation(blocker)
+        sched.commit()
+        with pytest.raises(RuntimeError):
+            sched.restart()
+        blocker.complete()
+        proc.stream_progress()
+
+
+class TestScheduleFusion:
+    def test_back_to_back_schedules_fuse(self, proc):
+        """Two schedules committed on one stream share one async hook;
+        the second is counted as fused."""
+        r1, r2 = Request(), Request()
+        s1 = Schedule(proc)
+        s1.add_operation(r1)
+        q1 = s1.commit()
+        s2 = Schedule(proc)
+        s2.add_operation(r2)
+        q2 = s2.commit()
+        chain = proc._schedule_chains[proc.default_stream.stream_id]
+        assert chain.stat_fused == 1
+        assert chain.stat_hooks == 1
+        r1.complete()
+        r2.complete()
+        proc.stream_progress()
+        assert q1.is_complete() and q2.is_complete()
+        assert proc.pending_async_tasks == 0
+
+    def test_fused_chain_preserves_fifo_order(self, proc):
+        """A later schedule must not start before an earlier one on the
+        same stream finishes (round 1 of B waits for A)."""
+        started = []
+
+        def thunk(tag):
+            def run():
+                started.append(tag)
+                r = Request()
+                r.complete()
+                return r
+
+            return run
+
+        blocker = Request()
+        s1 = Schedule(proc)
+        s1.add_operation(blocker)
+        s1.create_round()
+        s1.add_operation(thunk("a2"))
+        q1 = s1.commit()
+        s2 = Schedule(proc)
+        s2.add_operation(thunk("b1"))
+        q2 = s2.commit()
+        proc.stream_progress()
+        assert started == []  # b1 must wait for schedule A
+        blocker.complete()
+        proc.stream_progress()
+        assert started == ["a2", "b1"]
+        assert q1.is_complete() and q2.is_complete()
