@@ -1,6 +1,6 @@
 """Fault-injection / reliability-layer overhead ablation.
 
-Three configurations of the same ping-pong + collective workload:
+Configurations of the same ping-pong workload:
 
 * ``off``      — all fault knobs at their defaults.  This is the
   acceptance guard: the reliability layer must be *zero-overhead when
@@ -11,8 +11,14 @@ Three configurations of the same ping-pong + collective workload:
   sequence numbers, acks and completion deferral alone.
 * ``chaos``    — the acceptance-criteria fault mix (5% drop, 2% dup,
   5% reorder at a fixed seed): the cost of actually repairing loss.
+* ``det_off`` / ``det_on`` — the failure-detector column: ``det_off``
+  forces ``ft_detector='off'`` (byte-identical to the default path),
+  ``det_on`` arms heartbeats on the same perfect fabric.  Piggybacked
+  liveness means steady traffic should suppress almost all explicit
+  pings, so both must stay within noise of the ``off`` baseline.
 
-Results land in ``BENCH_fault_overhead.json``.
+Results land in ``BENCH_fault_overhead.json``.  Run directly with
+``--smoke`` for a reduced CI sweep that records no JSON.
 """
 
 from __future__ import annotations
@@ -39,22 +45,27 @@ CONFIGS = {
         "fault_dup_prob": 0.02,
         "fault_reorder_prob": 0.05,
     },
+    "det_off": {"ft_detector": "off"},
+    # Generous timeout: the workload is single-threaded on a virtual
+    # clock, so a tight hb_timeout could be leapt over by idle_advance
+    # and declare a live-but-undriven peer dead mid-benchmark.
+    "det_on": {"ft_detector": "on", "hb_interval": 1e-3, "hb_timeout": 10.0},
 }
 
 
-def run_workload(**knobs) -> dict:
-    """Drive MSGS tagged messages 0 -> 1 to completion; wall time + wire
-    stats for the run."""
+def run_workload(msgs: int = MSGS, **knobs) -> dict:
+    """Drive ``msgs`` tagged messages 0 -> 1 to completion; wall time +
+    wire stats for the run."""
     config = RuntimeConfig(use_shmem=False, **knobs)
     world = World(2, clock=VirtualClock(), config=config)
     c0 = world.proc(0).comm_world
     c1 = world.proc(1).comm_world
     payload = bytes(range(256)) * (SIZE // 256)
-    bufs = [bytearray(SIZE) for _ in range(MSGS)]
+    bufs = [bytearray(SIZE) for _ in range(msgs)]
 
     start = time.perf_counter()
     reqs = []
-    for i in range(MSGS):
+    for i in range(msgs):
         reqs.append(c0.isend(payload, SIZE, BYTE, 1, tag=i))
         reqs.append(c1.irecv(bufs[i], SIZE, BYTE, 0, tag=i))
     pending = list(reqs)
@@ -75,67 +86,136 @@ def run_workload(**knobs) -> dict:
         k: sum(world.proc(r).p2p.reliability_stats()[k] for r in range(2))
         for k in ("retransmits", "acks_tx", "dedup_hits", "failures")
     }
+    pings = deaths = 0
+    for r in range(2):
+        det = world.proc(r).detector
+        if det is not None:
+            ds = det.stats()
+            pings += ds["pings_tx"]
+            deaths += ds["deaths"]
     world.finalize()
     assert all(bytes(b) == payload for b in bufs)
-    return {"seconds": elapsed, "wire_packets": posted, **rel}
+    return {
+        "seconds": elapsed,
+        "wire_packets": posted,
+        **rel,
+        "hb_pings": pings,
+        "deaths": deaths,
+    }
 
 
-def measure() -> dict:
+def measure(msgs: int = MSGS, repeats: int = REPEATS) -> dict:
     results: dict[str, dict] = {}
     for name, knobs in CONFIGS.items():
         best = None
-        for _ in range(REPEATS):
-            run = run_workload(**knobs)
+        for _ in range(repeats):
+            run = run_workload(msgs=msgs, **knobs)
             if best is None or run["seconds"] < best["seconds"]:
                 best = run
         results[name] = best
     return results
 
 
-def test_fault_overhead(benchmark):
-    results = benchmark.pedantic(measure, rounds=1, iterations=1)
-
+def print_results(results: dict, msgs: int, title: str) -> None:
     rows = [
         {
             "config": name,
-            "us_per_msg": r["seconds"] / MSGS * 1e6,
+            "us_per_msg": r["seconds"] / msgs * 1e6,
             "wire_packets": r["wire_packets"],
             "acks": r["acks_tx"],
             "retransmits": r["retransmits"],
+            "hb_pings": r["hb_pings"],
         }
         for name, r in results.items()
     ]
     print_rows(
-        "Fault/reliability overhead — 400 x 512B messages, 2 ranks",
+        title,
         rows,
         expectation="'off' ships exactly one wire packet per message and "
         "zero acks; 'rel_on' roughly doubles wire traffic; 'chaos' adds "
-        "retransmits on top",
+        "retransmits on top; the detector column stays within noise",
     )
-    path = record_bench_json("BENCH_fault_overhead.json", results)
-    print(f"recorded: {path}")
 
+
+def check_results(results: dict, msgs: int, ratio_cap: float = 3.0) -> None:
     off = results["off"]
     # Zero-overhead-by-default guard, behavioural half: with every knob
     # off the wire carries exactly one packet per message — no acks, no
     # retransmits, no reliability state ever allocated.
-    assert off["wire_packets"] == MSGS, off
+    assert off["wire_packets"] == msgs, off
     assert off["acks_tx"] == 0 and off["retransmits"] == 0, off
+    assert off["hb_pings"] == 0, off
 
     # Timing half: defaults vs explicitly-forced-off run the identical
-    # code path, so their times differ only by noise.  3x headroom keeps
-    # CI machines from flaking while still catching an accidentally
-    # always-armed reliability layer (which adds 2x wire traffic and
-    # shows up far beyond noise).
+    # code path, so their times differ only by noise.  The headroom
+    # keeps CI machines from flaking while still catching an
+    # accidentally always-armed reliability layer (which adds 2x wire
+    # traffic and shows up far beyond noise).
     ratio = off["seconds"] / results["off_explicit"]["seconds"]
-    assert 1 / 3 < ratio < 3, (ratio, results)
+    assert 1 / ratio_cap < ratio < ratio_cap, (ratio, results)
+
+    # Detector column.  det_off runs the byte-identical default path;
+    # det_on must neither inflate the wire (piggybacked liveness: the
+    # steady message stream suppresses explicit pings) nor falsely
+    # declare a live peer dead — and both stay within timing noise.
+    det_off, det_on = results["det_off"], results["det_on"]
+    assert det_off["hb_pings"] == 0 and det_off["wire_packets"] == msgs, det_off
+    assert det_on["deaths"] == 0, det_on
+    assert det_on["failures"] == 0, det_on
+    assert det_on["wire_packets"] <= msgs * 1.5, det_on
+    for name in ("det_off", "det_on"):
+        ratio = results[name]["seconds"] / off["seconds"]
+        assert 1 / ratio_cap < ratio < ratio_cap, (name, ratio, results)
 
     # Reliability-on sanity: acks flow (one cumulative ack per arrival),
     # nothing fails on a perfect fabric.
     rel_on = results["rel_on"]
-    assert rel_on["acks_tx"] >= MSGS, rel_on
+    assert rel_on["acks_tx"] >= msgs, rel_on
     assert rel_on["failures"] == 0
 
     chaos = results["chaos"]
     assert chaos["retransmits"] > 0, chaos
     assert chaos["failures"] == 0, chaos
+
+
+def test_fault_overhead(benchmark):
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print_results(
+        results, MSGS, "Fault/reliability overhead — 400 x 512B messages, 2 ranks"
+    )
+    path = record_bench_json("BENCH_fault_overhead.json", results)
+    print(f"recorded: {path}")
+    check_results(results, MSGS)
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced sweep with loose thresholds; records no JSON",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        msgs, repeats, ratio_cap = 80, 2, 10.0
+        title = "Fault/reliability overhead (smoke) — 80 x 512B messages, 2 ranks"
+    else:
+        msgs, repeats, ratio_cap = MSGS, REPEATS, 3.0
+        title = "Fault/reliability overhead — 400 x 512B messages, 2 ranks"
+    results = measure(msgs=msgs, repeats=repeats)
+    print_results(results, msgs, title)
+    if not args.smoke:
+        path = record_bench_json("BENCH_fault_overhead.json", results)
+        print(f"recorded: {path}")
+    check_results(results, msgs, ratio_cap=ratio_cap)
+    det = results["det_on"]
+    print(
+        f"{'smoke ' if args.smoke else ''}ok: detector column within noise "
+        f"(hb_pings={det['hb_pings']}, deaths={det['deaths']})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -106,7 +106,9 @@ from repro.errors import (
     NotInitializedError,
     PeerUnreachableError,
     PendingOperationsError,
+    ProcessFailedError,
     ProgressReentryError,
+    RevokedError,
     TruncationError,
 )
 from repro.netmod.faults import FaultPlan
@@ -209,6 +211,8 @@ __all__ = [
     "TruncationError",
     "DeliveryFailedError",
     "PeerUnreachableError",
+    "ProcessFailedError",
+    "RevokedError",
     "ProgressReentryError",
     "PendingOperationsError",
     "NotInitializedError",

@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, Any, Callable
 
 from repro.core.request import Request
 from repro.datatype.types import Datatype
+from repro.errors import error_code_for
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.p2p.protocol import P2PEngine
@@ -198,7 +199,11 @@ class Sched:
             return
         v.state = _ISSUED
         if v.req.is_complete():
-            self._mark_done(v)
+            if v.req.exception is not None:
+                # e.g. a fast-failed post to a known-dead peer
+                self.abort(v.req.exception)
+            else:
+                self._mark_done(v)
 
     def _mark_done(self, v: _Vertex) -> None:
         if v.state == _DONE:
@@ -211,6 +216,28 @@ class Sched:
             if not succ.deps and succ.state == _WAITING:
                 self._issue(succ)
 
+    def abort(self, exc: BaseException) -> None:
+        """Fail the whole schedule (peer death, delivery failure, or
+        comm revoke).
+
+        Still-pending receive vertices are cancelled so they can never
+        match stale traffic; in-flight sends are left to drain (the
+        link-failure sweep reclaims any addressed to a dead peer).  The
+        schedule's request completes carrying ``exc`` — the comm-level
+        wait surfaces it per the communicator's errhandler.  Idempotent.
+        """
+        if self.request.is_complete():
+            return
+        for v in self.vertices:
+            if (
+                v.kind == "recv"
+                and v.state == _ISSUED
+                and v.req is not None
+                and not v.req.is_complete()
+            ):
+                self.p2p.cancel_recv(self.vci, v.req)
+        self.request.fail(exc, error_code_for(exc))
+
     def _harvest(self) -> bool:
         """Poll issued vertices; returns True if any became done."""
         made = False
@@ -221,6 +248,11 @@ class Sched:
             progressed = False
             for v in self.vertices:
                 if v.state == _ISSUED and v.req is not None and v.req.is_complete():
+                    if v.req.exception is not None:
+                        # A vertex failed (peer died / delivery gave
+                        # up): the collective cannot complete.
+                        self.abort(v.req.exception)
+                        return True
                     self._mark_done(v)
                     made = True
                     progressed = True

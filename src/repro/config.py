@@ -216,6 +216,40 @@ class RuntimeConfig:
     #: the owning request fails with ``DeliveryFailedError``.
     rel_max_retries: int = 10
 
+    #: Decorrelated-jitter blend for the retransmit backoff, in [0, 1].
+    #: 0 (the default) keeps the pure exponential schedule; 1 draws the
+    #: whole delay from the decorrelated-jitter recurrence
+    #: ``min(cap, uniform(rel_rto, 3 * prev_delay))`` so simultaneous
+    #: retries to a slow peer spread out instead of storming in
+    #: lockstep.  Values in between interpolate.  Draws come from a
+    #: per-rank RNG seeded with ``fault_seed`` so runs replay.
+    rel_backoff_jitter: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Fail-stop fault tolerance (ULFM-style).
+    # ------------------------------------------------------------------
+    #: Failure detector mode: 'auto' arms heartbeats exactly when the
+    #: fault plan contains rank kills; 'on'/'off' force it.  Retransmit
+    #: exhaustion feeds the same suspicion state even when heartbeats
+    #: are off.
+    ft_detector: str = "auto"
+
+    #: Heartbeat interval (seconds): a rank pings peers it has not
+    #: heard from within this window.  Regular traffic counts as a
+    #: heartbeat (piggybacking), so pings flow only on idle links.
+    hb_interval: float = 5.0e-4
+
+    #: Silence threshold (seconds) past which a peer is declared dead.
+    #: Must comfortably exceed ``hb_interval`` plus a round trip.
+    hb_timeout: float = 5.0e-3
+
+    #: Bound (seconds, virtual clock) on the ``World.finalize()`` global
+    #: drain.  0 (the default) keeps the seed behaviour: wait for full
+    #: quiescence indefinitely.  When positive, a drain that exceeds the
+    #: bound raises ``PeerUnreachableError`` naming the ranks that still
+    #: hold unacked traffic.
+    finalize_timeout: float = 0.0
+
     # ------------------------------------------------------------------
     # Leased buffer pool (zero-copy payload paths).
     # ------------------------------------------------------------------
@@ -283,6 +317,18 @@ class RuntimeConfig:
             return False
         return self.faults_active()
 
+    def detector_active(self) -> bool:
+        """Whether the heartbeat failure detector runs (resolves 'auto')."""
+        if self.ft_detector == "on":
+            return True
+        if self.ft_detector == "off":
+            return False
+        plan = self.fault_plan
+        if plan is None:
+            return False
+        has_kills = getattr(plan, "has_kills", None)
+        return bool(has_kills()) if has_kills is not None else False
+
     def validate(self) -> None:
         """Raise ``ValueError`` if the configuration is inconsistent."""
         if not (0 <= self.buffered_threshold <= self.eager_threshold):
@@ -340,6 +386,16 @@ class RuntimeConfig:
             raise ValueError("rel_backoff must be >= 1")
         if self.rel_max_retries <= 0:
             raise ValueError("rel_max_retries must be positive")
+        if not 0.0 <= self.rel_backoff_jitter <= 1.0:
+            raise ValueError("rel_backoff_jitter must be in [0, 1]")
+        if self.ft_detector not in ("auto", "on", "off"):
+            raise ValueError(f"unknown ft_detector mode {self.ft_detector!r}")
+        if self.hb_interval <= 0:
+            raise ValueError("hb_interval must be positive")
+        if self.hb_timeout <= self.hb_interval:
+            raise ValueError("hb_timeout must exceed hb_interval")
+        if self.finalize_timeout < 0:
+            raise ValueError("finalize_timeout must be >= 0 (0 = unbounded)")
         if self.buffer_pool_max_bytes < 0:
             raise ValueError("buffer_pool_max_bytes must be >= 0")
         if not 1 <= self.buffer_pool_size_classes <= 32:

@@ -42,8 +42,14 @@ from repro.datatype.types import (
     as_readonly_view,
     as_writable_view,
 )
-from repro.errors import InvalidCommunicatorError, InvalidRankError
+from repro.errors import (
+    InvalidArgumentError,
+    InvalidCommunicatorError,
+    InvalidRankError,
+    RevokedError,
+)
 from repro.p2p.matching import ANY_SOURCE, ANY_TAG
+from repro.p2p.protocol import FT_RESERVED_TAG
 from repro.util.atomic import AtomicCounter
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -79,6 +85,16 @@ IN_PLACE = _InPlaceType()
 #: *incarnation* — a freed comm's cached plans can never be served to a
 #: later comm that reuses its context id.
 _comm_epochs = itertools.count()
+
+#: Agreement tags cycle through this window above ``FT_RESERVED_TAG``
+#: (two tags per ``agree`` call: contribution round + confirmation
+#: round), staying below ``tag_ub``.
+_AGREE_TAG_WINDOW = 1 << 20
+
+#: Child-index namespace for shrink-derived contexts — far above any
+#: plausible ``_child_count`` so shrink can never collide with an
+#: ordinary dup/split context derivation on the same parent.
+_SHRINK_CHILD_BASE = 1 << 20
 
 
 def _byte_type():
@@ -117,29 +133,42 @@ class Comm:
         #: tag sequence for user-level collectives (atomic: the progress
         #: pool may start collectives from multiple threads)
         self._user_coll_seq = AtomicCounter(0)
-        #: MPI-style error handler: ERRORS_ARE_FATAL or ERRORS_RETURN.
-        self.errhandler: str = ERRORS_ARE_FATAL
+        #: MPI-style error handler: ERRORS_ARE_FATAL, ERRORS_RETURN, or
+        #: a callable invoked once per failed operation.
+        self.errhandler: Any = ERRORS_ARE_FATAL
+        #: set once the communicator is revoked (locally or by a peer's
+        #: revoke-flood); every later operation raises RevokedError
+        self.revoked = False
+        self._agree_seq = 0
+        self._shrink_count = 0
+        #: register for revoke-flood routing (and apply a revoke that
+        #: raced construction)
+        proc.register_comm(self)
 
     # ------------------------------------------------------------------
     # Error handlers (MPI_Comm_set_errhandler).
     # ------------------------------------------------------------------
-    def set_errhandler(self, errhandler: str) -> None:
+    def set_errhandler(self, errhandler: Any) -> None:
         """Set this communicator's error disposition.
 
         ``ERRORS_ARE_FATAL`` (default): a failed operation raises (e.g.
         :class:`~repro.errors.DeliveryFailedError`) from the wait/test
         that observes it.  ``ERRORS_RETURN``: the operation's request
         completes with the exception captured on ``request.exception``
-        and a nonzero ``status.error``; waits return normally.
+        and a nonzero ``status.error``; waits return normally.  A
+        *callable* is invoked exactly once per failed operation with the
+        exception, then the wait returns like ``ERRORS_RETURN``.
         """
-        if errhandler not in (ERRORS_ARE_FATAL, ERRORS_RETURN):
+        if errhandler not in (ERRORS_ARE_FATAL, ERRORS_RETURN) and not callable(
+            errhandler
+        ):
             raise ValueError(
-                f"errhandler must be {ERRORS_ARE_FATAL!r} or {ERRORS_RETURN!r},"
-                f" got {errhandler!r}"
+                f"errhandler must be {ERRORS_ARE_FATAL!r}, {ERRORS_RETURN!r},"
+                f" or a callable, got {errhandler!r}"
             )
         self.errhandler = errhandler
 
-    def get_errhandler(self) -> str:
+    def get_errhandler(self) -> Any:
         return self.errhandler
 
     # ------------------------------------------------------------------
@@ -164,6 +193,10 @@ class Comm:
     def _check(self) -> None:
         if self.freed:
             raise InvalidCommunicatorError("communicator has been freed")
+        if self.revoked:
+            raise RevokedError(
+                f"communicator ctx={self.context_id} has been revoked"
+            )
 
     def _world_rank(self, comm_rank: int) -> int:
         if not 0 <= comm_rank < self.size:
@@ -464,6 +497,9 @@ class Comm:
         )
 
     def _submit(self, sched: Sched) -> Request:
+        # Stamp before start: a schedule that fast-fails (known-dead
+        # peer) must already carry the comm's error disposition.
+        sched.request.errhandler = self.errhandler
         with self.stream.lock:
             return self.proc.coll_engine.submit(sched)
 
@@ -1039,8 +1075,191 @@ class Comm:
         comm.errhandler = self.errhandler
         return comm
 
+    # ------------------------------------------------------------------
+    # Fault tolerance (ULFM-style revoke / shrink / agree).
+    # ------------------------------------------------------------------
+    def _peer_failed(self, comm_rank: int) -> bool:
+        return self.ranks[comm_rank] in self.proc.p2p.known_dead
+
+    def failed_ranks(self) -> list[int]:
+        """Comm ranks this process currently knows to have failed."""
+        return [
+            r for r in range(self.size) if r != self._rank and self._peer_failed(r)
+        ]
+
+    def revoke(self) -> None:
+        """ULFM ``MPI_Comm_revoke``: invalidate the communicator
+        everywhere.
+
+        Non-collective — any member may call it (typically after an
+        operation failed with :class:`~repro.errors.ProcessFailedError`).
+        Every pending operation on the communicator fails with
+        :class:`~repro.errors.RevokedError`, and a revoke notice floods
+        to all members; each receiver re-floods once, so the revoke
+        propagates even if the initiator dies mid-flood.  Subsequent
+        operations raise ``RevokedError`` — except :meth:`agree` and
+        :meth:`shrink`, which by design still work on a revoked
+        communicator.
+        """
+        if self.freed:
+            raise InvalidCommunicatorError("communicator has been freed")
+        self._apply_revoke(local=True)
+
+    def _apply_revoke(self, local: bool) -> None:
+        """Mark revoked, sweep pending traffic, and (re-)flood the
+        notice (runtime internal; idempotent — the ``revoked`` flag
+        dedups, bounding the flood at one send per member pair)."""
+        if self.revoked or self.freed:
+            return
+        self.revoked = True
+        proc = self.proc
+        proc.plan_cache.invalidate_comm(self.comm_key)
+        exc = RevokedError(
+            f"communicator ctx={self.context_id} has been revoked"
+        )
+        p2p = proc.p2p
+        with self.stream.lock:
+            p2p.sweep_revoked(
+                self.stream.vci, (self.context_id, self.coll_context_id), exc
+            )
+            for sched in list(proc.coll_engine.work_list(self.stream.vci)):
+                if sched.context_id == self.coll_context_id:
+                    sched.abort(exc)
+            for r, world in enumerate(self.ranks):
+                if r != self._rank:
+                    p2p.post_revoke(
+                        self.stream.vci, (world, self.peer_vcis[r]), self.context_id
+                    )
+        proc.tracer.record(
+            proc.clock.now(),
+            "comm_revoke",
+            rank=proc.rank,
+            ctx=self.context_id,
+            local=local,
+        )
+
+    def _agree_round(self, tag: int, value: int) -> int:
+        """One symmetric all-to-all AND round on a reserved tag.
+
+        Contributions go to every believed-alive member; collection
+        (probe-based, so a revoke sweep cannot cancel it) runs until
+        every member has either contributed or been declared dead.
+        """
+        import struct
+
+        proc = self.proc
+        p2p = proc.p2p
+        payload = struct.pack("<Q", value)
+        sreqs = []
+        with self.stream.lock:
+            for r, world in enumerate(self.ranks):
+                if r == self._rank or world in p2p.known_dead:
+                    continue
+                req = p2p.isend(
+                    self.stream.vci,
+                    world,
+                    self.peer_vcis[r],
+                    payload,
+                    8,
+                    BYTE,
+                    tag,
+                    self.context_id,
+                )
+                req.errhandler = ERRORS_RETURN
+                sreqs.append(req)
+        acc = value
+        got: set[int] = set()
+        while True:
+            missing = [
+                world
+                for r, world in enumerate(self.ranks)
+                if r != self._rank
+                and world not in got
+                and world not in p2p.known_dead
+            ]
+            if not missing:
+                break
+            proc.stream_progress(self.stream)
+            with self.stream.lock:
+                msg = p2p.improbe(
+                    self.stream.vci, ANY_SOURCE, tag, self.context_id
+                )
+            if msg is None:
+                proc.idle_wait()
+                continue
+            buf = bytearray(8)
+            with self.stream.lock:
+                rreq = p2p.imrecv(self.stream.vci, buf, 8, BYTE, msg)
+            rreq.errhandler = ERRORS_RETURN
+            proc.wait(rreq, self.stream)
+            src_world = msg.header["src_rank"]
+            if src_world not in got:
+                got.add(src_world)
+                acc &= struct.unpack("<Q", bytes(buf))[0]
+        # Sends to peers that died mid-round fail (errhandler 'return')
+        # instead of hanging; everything else is long acked by now.
+        proc.waitall(sreqs, self.stream)
+        return acc
+
+    def agree(self, value: int) -> int:
+        """ULFM ``MPI_Comm_agree`` (simplified): bitwise-AND consensus
+        on a 64-bit value across surviving members.
+
+        Collective over the survivors; works on a *revoked*
+        communicator (its traffic rides reserved tags the revoke sweep
+        exempts).  Two all-to-all rounds: round one exchanges
+        contributions, round two exchanges the tentative AND — so
+        survivors converge on one value even when a rank dies after a
+        partial round-one flood.  A death *during* round two leaves the
+        result best-effort (a genuine consensus needs a termination
+        protocol this reproduction does not carry); deaths before the
+        agreement are handled exactly.
+        """
+        if self.freed:
+            raise InvalidCommunicatorError("communicator has been freed")
+        value = int(value)
+        if not 0 <= value < (1 << 64):
+            raise InvalidArgumentError(f"agree value {value} outside [0, 2**64)")
+        seq = self._agree_seq
+        self._agree_seq += 1
+        base = FT_RESERVED_TAG + (2 * seq) % _AGREE_TAG_WINDOW
+        tentative = self._agree_round(base, value)
+        return self._agree_round(base + 1, tentative)
+
+    def shrink(self) -> "Comm":
+        """ULFM ``MPI_Comm_shrink``: agree on the survivor set and build
+        a new communicator from it (collective over the survivors;
+        works on a revoked communicator).
+
+        Every survivor contributes a bitmask of the members it believes
+        alive; the AND (via :meth:`agree`) is the shared survivor set.
+        The parent's cached collective plans are invalidated — its
+        group no longer matches the fabric's reality.
+        """
+        if self.freed:
+            raise InvalidCommunicatorError("communicator has been freed")
+        p2p = self.proc.p2p
+        mask = 0
+        for r, world in enumerate(self.ranks):
+            if r == self._rank or world not in p2p.known_dead:
+                mask |= 1 << world
+        agreed = self.agree(mask)
+        survivors = [
+            r for r, world in enumerate(self.ranks) if (agreed >> world) & 1
+        ]
+        ranks = [self.ranks[r] for r in survivors]
+        vcis = [self.peer_vcis[r] for r in survivors]
+        idx = _SHRINK_CHILD_BASE + self._shrink_count
+        self._shrink_count += 1
+        ctx = self.proc.world.context_for(self.context_id, idx)
+        self.proc.plan_cache.invalidate_comm(self.comm_key)
+        comm = Comm(self.proc, ranks, ctx, self.stream, vcis)
+        comm.errhandler = self.errhandler
+        return comm
+
     def free(self) -> None:
         self.freed = True
+        self.proc.unregister_comm(self)
         self.proc.plan_cache.invalidate_comm(self.comm_key)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

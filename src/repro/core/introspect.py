@@ -68,6 +68,9 @@ class ProgressSnapshot:
     #: builds, evictions, invalidations); None only if the proc
     #: predates the cache
     schedule_cache: dict[str, Any] | None = None
+    #: heartbeat failure-detector state (per-peer alive/suspect/dead,
+    #: ping/death counters); None when the detector is not armed
+    failure_detector: dict[str, Any] | None = None
 
     def format_report(self) -> str:
         """Aligned multi-line report for humans."""
@@ -131,6 +134,16 @@ class ProgressSnapshot:
                 f"outstanding={m['outstanding']} high_water={m['high_water']} "
                 f"recycled={m['bytes_recycled']}B free={m['free_bytes']}B "
                 f"copies={m['copy_bytes_total']}B"
+            )
+        if self.failure_detector is not None:
+            d = self.failure_detector
+            dead = [r for r, s in d["peers"].items() if s == "dead"]
+            suspect = [r for r, s in d["peers"].items() if s == "suspect"]
+            lines.append(
+                "  failure detector    : "
+                f"peers={len(d['peers'])} dead={dead} suspect={suspect} "
+                f"pings_tx={d['pings_tx']} pongs_rx={d['pongs_rx']} "
+                f"deaths={d['deaths']}"
             )
         if self.schedule_cache is not None:
             c = self.schedule_cache
@@ -204,4 +217,7 @@ def snapshot(proc: "Proc", pool: Any | None = None) -> ProgressSnapshot:
         faults=proc.world.fabric.fault_stats(),
         mem_pool=mem_pool,
         schedule_cache=proc.plan_cache.stats(),
+        failure_detector=(
+            proc.detector.stats() if proc.detector is not None else None
+        ),
     )

@@ -31,8 +31,10 @@ from repro.errors import (
     AlreadyFinalizedError,
     InvalidStreamError,
     PendingOperationsError,
+    ProcessFailedError,
     TruncationError,
 )
+from repro.ft.detector import FailureDetector
 from repro.p2p.protocol import P2PEngine
 from repro.util import sync as _sync
 from repro.util.atomic import AtomicCounter
@@ -101,6 +103,21 @@ class Proc:
         self._schedule_chains: dict[int, Any] = {}
         self._schedule_chain_lock = _sync.make_lock(f"proc{rank}.schedchains")
 
+        #: communicators by point-to-point context id (revoke-flood
+        #: packets route through this registry)
+        self._comms: dict[int, Any] = {}
+        #: revokes that arrived before the target comm was registered
+        self._pending_revokes: set[int] = set()
+
+        #: heartbeat failure detector; None (zero overhead) unless the
+        #: config arms it (explicitly or via a kill-bearing fault plan)
+        self.detector: FailureDetector | None = (
+            FailureDetector(self) if self.config.detector_active() else None
+        )
+        self.p2p.detector = self.detector
+        if self.detector is not None:
+            self.detector.start()
+
         self.comm_world = Comm(
             self, list(range(world.nranks)), context_id=0, stream=self.default_stream
         )
@@ -121,34 +138,76 @@ class Proc:
         completes, or a peer that never matched a message).
         """
         self._check_alive()
+        if self.world.fabric.is_dead(self.rank):
+            # This rank has fail-stopped: nothing it could drain matters
+            # anymore (the fabric blackholes its traffic).  Mark the
+            # context dead so the runner and World.finalize can proceed.
+            self.finalized = True
+            return
+        if self.detector is not None:
+            # Retire the heartbeat hook so the pending-async count can
+            # reach zero; peers this rank already declared dead stay
+            # dead (fail-stop).
+            self.detector.stop()
         spins = 0
-        while True:
-            busy = False
-            for stream in list(self._streams):
-                if self.stream_progress(stream):
+        try:
+            while True:
+                busy = False
+                for stream in list(self._streams):
+                    if self.stream_progress(stream):
+                        busy = True
+                if self._pending_async.value > 0:
                     busy = True
-            if self._pending_async.value > 0:
-                busy = True
-            for stream in list(self._streams):
-                if self.p2p.has_pending(stream.vci):
+                for stream in list(self._streams):
+                    if self.p2p.has_pending(stream.vci):
+                        busy = True
+                # Finalize is collective: with reliability on, keep
+                # making progress until the whole world's reliable
+                # traffic is quiescent, or a finalized rank would strand
+                # peers waiting on acks only this rank can send.
+                if self.p2p._rel_on and not self.world.rel_quiescent():
                     busy = True
-            # Finalize is collective: with reliability on, keep making
-            # progress until the whole world's reliable traffic is
-            # quiescent, or a finalized rank would strand peers waiting
-            # on acks only this rank can send.
-            if self.p2p._rel_on and not self.world.rel_quiescent():
-                busy = True
-            if not busy:
-                break
-            spins += 1
-            if spins > max_spins:
-                raise PendingOperationsError(
-                    f"finalize did not drain: {self._pending_async.value} async "
-                    f"tasks pending after {max_spins} passes"
-                )
-            if self._pending_async.value > 0 or busy:
-                self.idle_wait()
+                if not busy:
+                    break
+                spins += 1
+                if spins > max_spins:
+                    raise PendingOperationsError(
+                        f"finalize did not drain: {self._pending_async.value} "
+                        f"async tasks pending after {max_spins} passes"
+                    )
+                if self._pending_async.value > 0 or busy:
+                    self.idle_wait()
+        except ProcessFailedError as exc:
+            if exc.ranks == (self.rank,):
+                # Killed mid-finalize: the corpse is done either way.
+                self.finalized = True
+                return
+            raise
         self.finalized = True
+
+    # ------------------------------------------------------------------
+    # Communicator registry (revoke-flood routing).
+    # ------------------------------------------------------------------
+    def register_comm(self, comm: Comm) -> None:
+        """Track a communicator by p2p context id (runtime internal)."""
+        self._comms[comm.context_id] = comm
+        if comm.context_id in self._pending_revokes:
+            self._pending_revokes.discard(comm.context_id)
+            comm._apply_revoke(local=False)
+
+    def unregister_comm(self, comm: Comm) -> None:
+        if self._comms.get(comm.context_id) is comm:
+            del self._comms[comm.context_id]
+
+    def on_comm_revoke(self, context_id: int) -> None:
+        """A ``comm_revoke`` packet arrived for ``context_id`` (runtime
+        internal, called from packet dispatch)."""
+        comm = self._comms.get(context_id)
+        if comm is None:
+            # Revoke raced comm construction; applied at registration.
+            self._pending_revokes.add(context_id)
+            return
+        comm._apply_revoke(local=False)
 
     # ------------------------------------------------------------------
     # Streams (section 3.1).
@@ -210,8 +269,19 @@ class Proc:
         stream: MpixStream | StreamNullType = STREAM_NULL,
         state: ProgressState | None = None,
     ) -> bool:
-        """``MPIX_Stream_progress``: one progress pass for ``stream``."""
+        """``MPIX_Stream_progress``: one progress pass for ``stream``.
+
+        A fail-stopped rank raises :class:`ProcessFailedError` here —
+        every blocking wait funnels through progress, so this is the
+        single point where a killed rank's threads unwind instead of
+        spinning on a fabric that blackholes their traffic.
+        """
         self._check_alive()
+        fabric = self.world.fabric
+        if fabric._dead and self.rank in fabric._dead:
+            raise ProcessFailedError(
+                f"rank {self.rank} has fail-stopped", ranks=(self.rank,)
+            )
         return self.progress_engine.stream_progress(self.resolve_stream(stream), state)
 
     # ------------------------------------------------------------------
@@ -320,9 +390,18 @@ class Proc:
     def _finish_wait(self, request: Request) -> None:
         if not request.status.error:
             return
-        if request.errhandler == "return":
+        handler = request.errhandler
+        if handler == "return":
             # MPI_ERRORS_RETURN: the error stays on the request/status;
             # the wait itself returns normally.
+            return
+        if callable(handler):
+            # User errhandler: invoked exactly once per failed
+            # operation (re-waiting a failed request must not re-fire),
+            # then the wait returns like ERRORS_RETURN.
+            if not request.errhandler_fired:
+                request.errhandler_fired = True
+                handler(request.exception)
             return
         if request.exception is not None:
             raise request.exception

@@ -65,6 +65,7 @@ class Request:
         "user_data",
         "exception",
         "errhandler",
+        "errhandler_fired",
         "__weakref__",  # the dsched invariant monitor watches requests
     )
 
@@ -83,8 +84,11 @@ class Request:
         self.exception: BaseException | None = None
         #: error-handler disposition stamped by the owning communicator
         #: at post time ('fatal' raises from wait, 'return' completes
-        #: the request with the error recorded)
-        self.errhandler: str = "fatal"
+        #: the request with the error recorded, a callable is invoked
+        #: once with the exception then behaves like 'return')
+        self.errhandler: Any = "fatal"
+        #: guards exactly-once invocation of a callable errhandler
+        self.errhandler_fired = False
         _sync.note_request(self)
 
     # ------------------------------------------------------------------
@@ -123,7 +127,14 @@ class Request:
         count_bytes: int | None = None,
         error: int = 0,
     ) -> None:
-        """Mark complete and fire completion callbacks (runtime internal)."""
+        """Mark complete and fire completion callbacks (runtime internal).
+
+        Idempotent: a straggler completion (e.g. an ack arriving after a
+        fault sweep already failed the request) must not overwrite the
+        recorded error or re-fire callbacks.
+        """
+        if self._complete:
+            return
         if source is not None:
             self.status.source = source
         if tag is not None:
@@ -142,18 +153,20 @@ class Request:
         """Release the handle (MPI_Request_free semantics)."""
         self.freed = True
 
-    def fail(self, exc: BaseException) -> None:
+    def fail(self, exc: BaseException, error: int = ERR_DELIVERY_FAILED) -> None:
         """Complete the request as *failed* (runtime internal).
 
-        Used by the reliability layer when delivery is abandoned: the
-        exception is captured for the waiter, and the request completes
-        with ``status.error`` set so waits stop blocking.  Idempotent
-        in the sense that an already-complete request just records the
+        Used by the reliability layer when delivery is abandoned and by
+        the fault-tolerance layer when a peer dies or a communicator is
+        revoked: the exception is captured for the waiter, and the
+        request completes with ``status.error`` set (``error``, default
+        ``ERR_DELIVERY_FAILED``) so waits stop blocking.  Idempotent in
+        the sense that an already-complete request just records the
         exception (completion callbacks never fire twice).
         """
         self.exception = exc
         if not self._complete:
-            self.complete(error=ERR_DELIVERY_FAILED)
+            self.complete(error=error)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "complete" if self._complete else "pending"

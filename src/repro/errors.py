@@ -25,13 +25,26 @@ __all__ = [
     "PendingOperationsError",
     "DeliveryFailedError",
     "PeerUnreachableError",
+    "ProcessFailedError",
+    "RevokedError",
     "ERR_DELIVERY_FAILED",
+    "ERR_PROC_FAILED",
+    "ERR_REVOKED",
+    "error_code_for",
 ]
 
 #: ``status.error`` value stamped on requests that fail delivery, the
 #: way ``ERR_TRUNCATE`` marks truncation (no MPI equivalent; chosen
 #: outside the classic error-class range).
 ERR_DELIVERY_FAILED = 75
+
+#: ``status.error`` stamped on requests aborted because a peer rank was
+#: declared dead (the ULFM ``MPI_ERR_PROC_FAILED`` class).
+ERR_PROC_FAILED = 76
+
+#: ``status.error`` stamped on requests aborted because the owning
+#: communicator was revoked (the ULFM ``MPI_ERR_REVOKED`` class).
+ERR_REVOKED = 77
 
 
 class MpiError(RuntimeError):
@@ -109,3 +122,40 @@ class DeliveryFailedError(MpiError):
 class PeerUnreachableError(DeliveryFailedError):
     """The link to a peer was already declared dead by an earlier
     delivery failure; subsequent traffic fails immediately."""
+
+
+class ProcessFailedError(MpiError):
+    """A peer rank involved in the operation has fail-stopped
+    (MPI_ERR_PROC_FAILED, ULFM).
+
+    Raised/recorded when the failure detector declares a rank dead —
+    via heartbeat timeout or retransmit exhaustion — and the operation
+    cannot complete without it.  Recovery is user-level:
+    ``Comm.revoke()`` then ``Comm.shrink()``.
+
+    ``ranks`` lists the world ranks known dead when the error was built.
+    """
+
+    def __init__(self, message: str, ranks: tuple[int, ...] = ()) -> None:
+        super().__init__(message)
+        self.ranks = tuple(ranks)
+
+
+class RevokedError(MpiError):
+    """The communicator was revoked (MPI_ERR_REVOKED, ULFM).
+
+    After any member calls ``Comm.revoke()`` every pending and future
+    operation on the communicator fails with this error, guaranteeing
+    no peer blocks forever on a collective that a failure made
+    uncompletable.  Agreement/shrink traffic is exempt so recovery can
+    proceed on the revoked communicator.
+    """
+
+
+def error_code_for(exc: BaseException) -> int:
+    """``status.error`` value matching a failure exception's class."""
+    if isinstance(exc, RevokedError):
+        return ERR_REVOKED
+    if isinstance(exc, ProcessFailedError):
+        return ERR_PROC_FAILED
+    return ERR_DELIVERY_FAILED

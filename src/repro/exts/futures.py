@@ -149,9 +149,22 @@ class ProgressExecutor:
     # Building the graph.
     # ------------------------------------------------------------------
     def wrap(self, request: Request, label: str = "request") -> MPIFuture:
-        """Future view of an MPI request (resolves to its Status)."""
+        """Future view of an MPI request (resolves to its Status).
+
+        A request that failed (peer death, revoked communicator,
+        delivery failure) resolves the future with the captured
+        exception instead of a status, so dependent tasks are skipped
+        and ``result()`` raises rather than returning a corrupt status.
+        """
         future = MPIFuture(label)
-        request.on_complete(lambda req: future.set_result(req.status))
+
+        def _resolve(req: Request) -> None:
+            if req.exception is not None:
+                future.set_exception(req.exception)
+            else:
+                future.set_result(req.status)
+
+        request.on_complete(_resolve)
         return future
 
     def completed(self, value: Any = None) -> MPIFuture:

@@ -43,6 +43,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterable
 
+from repro.errors import ProcessFailedError
 from repro.exts.progress_thread import IdleBackoff
 from repro.util import sync as _sync
 
@@ -125,6 +126,8 @@ class ProgressPool:
         self._slots: list[_Slot] = []
         self.stat_steals = 0
         self.stat_returns = 0
+        #: slots dropped because their rank fail-stopped
+        self.stat_retired = 0
         #: per-worker counters, indexed by worker id
         self.worker_passes = [0] * workers
         self.worker_idle_passes = [0] * workers
@@ -231,15 +234,30 @@ class ProgressPool:
             mine = [s for s in self._slots if s.owner == wid]
         made = False
         for slot in mine:
+            if slot.proc.world.fabric.is_dead(slot.proc.rank):
+                # Rank fail-stopped: polling it would only raise.  Drop
+                # the slot so workers stop visiting the corpse.
+                self._retire(slot)
+                continue
             if not self.claim(slot, wid):
                 continue  # stolen meanwhile, or polled by its thief
             try:
                 if slot.proc.stream_progress(slot.stream):
                     made = True
                 slot.stat_passes += 1
+            except ProcessFailedError:
+                # Killed between the dead check and the poll.
+                self._retire(slot)
             finally:
                 self.release(slot)
         return made
+
+    def _retire(self, slot: _Slot) -> None:
+        """Remove a fail-stopped rank's slot from the table."""
+        with self._lock:
+            if slot in self._slots:
+                self._slots.remove(slot)
+                self.stat_retired += 1
 
     def _main(self, wid: int) -> None:
         backoff = IdleBackoff(self.mode, self.idle_threshold, self.idle_sleep)
@@ -329,6 +347,7 @@ class ProgressPool:
             "slots": len(slots),
             "stat_steals": self.stat_steals,
             "stat_returns": self.stat_returns,
+            "stat_retired": self.stat_retired,
             "stat_batch_harvests": batch_harvests,
             "worker_passes": list(self.worker_passes),
             "worker_idle_passes": list(self.worker_idle_passes),

@@ -52,6 +52,7 @@ from repro.core.stream import STREAM_NULL, MpixStream, StreamNullType
 from repro.coll.algorithms.util import largest_pof2_below
 from repro.datatype.ops import Op
 from repro.datatype.types import Datatype, as_writable_view
+from repro.errors import ProcessFailedError, RevokedError, error_code_for
 from repro.util import sync as _sync
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -549,7 +550,10 @@ class PlanExecutor:
         if not self.plan.rounds:
             self._finish()
             return
-        self._start_round(self.plan.rounds[0])
+        try:
+            self._start_round(self.plan.rounds[0])
+        except (ProcessFailedError, RevokedError) as exc:
+            self._fail(exc)
 
     def _start_round(self, rnd: PlanRound) -> None:
         comm = self.comm
@@ -571,15 +575,34 @@ class PlanExecutor:
                 reqs.append(comm.irecv(view, n, dt, s.peer, tag))
 
     def _round_done(self) -> bool:
-        """Batched completion check: one array walk, free on success."""
-        reqs = self.reqs
-        for r in reqs:
+        """Batched completion check: one array walk (no side effects)."""
+        for r in self.reqs:
             if not r.is_complete():
                 return False
-        for r in reqs:
-            r.free()
-        reqs.clear()
         return True
+
+    def _round_failure(self) -> BaseException | None:
+        """First captured failure in the completed round, if any."""
+        for r in self.reqs:
+            exc = r.exception
+            if exc is not None:
+                return exc
+        return None
+
+    def _fail(self, exc: BaseException) -> None:
+        """Abort replay: reclaim the stage lease, fail the user request.
+
+        Only called once every round request has completed (possibly
+        with an error), so no in-flight operation still references the
+        leased slab when it is released.
+        """
+        for r in self.reqs:
+            r.free()
+        self.reqs.clear()
+        if self.lease is not None:
+            self.lease.release()
+            self.lease = None
+        self.done_req.fail(exc, error_code_for(exc))
 
     def _run_locals(self, rnd: PlanRound) -> None:
         views = self.views
@@ -604,19 +627,41 @@ class PlanExecutor:
         )
 
     def poll(self, thing: AsyncThing) -> int:
-        """One hook invocation: replay as many rounds as have matured."""
+        """One hook invocation: replay as many rounds as have matured.
+
+        A round request that completed with an error (peer fail-stop,
+        communicator revoke) aborts the replay: the user request fails
+        with the same exception instead of completing over partial
+        data, and the stage lease is returned to the pool.
+        """
         advanced = False
         rounds = self.plan.rounds
         while True:
+            if self.done_req.is_complete():
+                return ASYNC_DONE  # aborted in start() before hook ran
             if not self._round_done():
                 return ASYNC_PENDING if advanced else ASYNC_NOPROGRESS
+            exc = self._round_failure()
+            if exc is not None:
+                self._fail(exc)
+                return ASYNC_DONE
+            for r in self.reqs:
+                r.free()
+            self.reqs.clear()
             self._run_locals(rounds[self.round_index])
             self.round_index += 1
             advanced = True
             if self.round_index >= len(rounds):
                 self._finish()
                 return ASYNC_DONE
-            self._start_round(rounds[self.round_index])
+            try:
+                self._start_round(rounds[self.round_index])
+            except (ProcessFailedError, RevokedError) as err:
+                # A revoke landed between rounds: posts on the revoked
+                # communicator raise synchronously.  Requests posted
+                # earlier in this round were swept (hence complete).
+                self._fail(err)
+                return ASYNC_DONE
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -847,10 +892,20 @@ class Schedule:
                 return "done"
             rnd = self._rounds[self._round_index]
             if not rnd.started:
-                self._start_round(rnd)
+                try:
+                    self._start_round(rnd)
+                except (ProcessFailedError, RevokedError) as exc:
+                    self._finish_failed(exc)
+                    return "done"
+            failed: BaseException | None = None
             for r in rnd.requests:
                 if not r.is_complete():
                     return "progress" if advanced else "idle"
+                if failed is None and r.exception is not None:
+                    failed = r.exception
+            if failed is not None:
+                self._finish_failed(failed)
+                return "done"
             for op in rnd.local_ops:
                 op()
             advanced = True
@@ -867,6 +922,19 @@ class Schedule:
                     self._freed = True
                 return "done"
             # fall through: start the next round within this same poll
+
+    def _finish_failed(self, exc: BaseException) -> None:
+        """Abort after a round operation failed (fail-stop / revoke):
+        the schedule's request fails and no later round starts."""
+        for rnd in self._rounds:
+            for r in rnd.requests:
+                if r.is_complete():
+                    r.free()
+        req = self.request
+        if req is not None and not req.is_complete():
+            req.fail(exc, error_code_for(exc))
+        if self.auto_free:
+            self._freed = True
 
     def _finish_cancel(self) -> None:
         for rnd in self._rounds:

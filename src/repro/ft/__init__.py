@@ -1,0 +1,20 @@
+"""Fail-stop fault tolerance (ULFM-style).
+
+* :mod:`repro.ft.detector` — the per-rank heartbeat/suspicion failure
+  detector, driven from ordinary progress passes as an internal MPIX
+  async hook.
+* :mod:`repro.ft.agreement` — fault-tolerant agreement (the consensus
+  primitive behind ``Comm.agree()`` and ``Comm.shrink()``).
+
+The mitigation API itself (``Comm.revoke()`` / ``shrink()`` /
+``agree()``) lives on :class:`repro.core.comm.Comm`.
+"""
+
+from repro.ft.detector import PEER_ALIVE, PEER_DEAD, PEER_SUSPECT, FailureDetector
+
+__all__ = [
+    "FailureDetector",
+    "PEER_ALIVE",
+    "PEER_SUSPECT",
+    "PEER_DEAD",
+]

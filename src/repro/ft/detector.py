@@ -1,0 +1,237 @@
+"""Heartbeat/suspicion failure detector.
+
+Each rank runs one :class:`FailureDetector`, registered as an internal
+MPIX async hook on the default stream — the same substrate as the
+retransmit timer, per the paper's thesis that progress hooks suffice
+for any background protocol.  Detection is purely local observation:
+
+* **piggybacking** — every packet harvested from the netmod endpoint
+  refreshes the sender's ``last_heard`` timestamp
+  (:meth:`note_alive`, called from ``P2PEngine.progress_netmod``), so
+  busy links pay zero extra traffic;
+* **explicit pings** — a peer silent longer than ``hb_interval`` is
+  probed with an ``hb_ping`` packet (answered by ``hb_pong`` in the
+  peer's packet dispatch), so idle links are monitored too.  Pings are
+  posted *unsequenced* (no ``rseq``), bypassing the reliability layer:
+  a lost ping needs no retransmit state, the next interval re-probes;
+* **suspicion** — silence past ``hb_interval`` marks the peer
+  SUSPECT; past ``hb_timeout`` it is declared DEAD (fail-stop: no
+  resurrection — a straggler packet from a declared-dead rank is
+  ignored);
+* **retransmit exhaustion** — ``rel_max_retries`` running out on a
+  link feeds the same state via :meth:`note_link_failure`, so the
+  detector works even with heartbeats off.
+
+A death declaration triggers the p2p dead-peer sweep
+(``P2PEngine.note_peer_dead``): pending operations addressed to the
+corpse fail with :class:`~repro.errors.ProcessFailedError` instead of
+hanging.  Recovery from there is user-level (``Comm.revoke()`` /
+``shrink()``).
+
+All deadline arithmetic registers with the shared clock, so
+virtual-clock worlds jump straight to the next heartbeat event and
+detection tests run instantaneously.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.async_ext import ASYNC_DONE, ASYNC_NOPROGRESS, ASYNC_PENDING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.mpi import Proc
+
+__all__ = ["FailureDetector", "PEER_ALIVE", "PEER_SUSPECT", "PEER_DEAD"]
+
+PEER_ALIVE = "alive"
+PEER_SUSPECT = "suspect"
+PEER_DEAD = "dead"
+
+
+class _PeerState:
+    __slots__ = ("rank", "state", "last_heard", "last_ping")
+
+    def __init__(self, rank: int, now: float) -> None:
+        self.rank = rank
+        self.state = PEER_ALIVE
+        self.last_heard = now
+        #: last explicit probe time (-inf-ish so the first probe is
+        #: never throttled)
+        self.last_ping = float("-inf")
+
+
+class FailureDetector:
+    """One rank's view of which peers are alive.
+
+    Thread-safe: ``note_alive`` arrives under arbitrary stream locks
+    (any VCI's netmod poll) while the hook poll runs under the default
+    stream's lock, so peer state is guarded by a raw non-yielding lock.
+    """
+
+    def __init__(self, proc: "Proc") -> None:
+        self.proc = proc
+        self.rank = proc.rank
+        self.config = proc.config
+        self.clock = proc.clock
+        now = self.clock.now()
+        self._peers = {
+            rank: _PeerState(rank, now)
+            for rank in range(proc.world.nranks)
+            if rank != proc.rank
+        }
+        self._lock = threading.Lock()
+        self._stopped = False
+        self._hook_started = False
+        #: callbacks fired (outside the lock) with each newly dead rank
+        self.on_death: list[Callable[[int], None]] = []
+        self.stat_pings_tx = 0
+        self.stat_pongs_rx = 0
+        self.stat_deaths = 0
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Arm the heartbeat hook (idempotent)."""
+        if self._hook_started:
+            return
+        self._hook_started = True
+        self.proc.async_start(
+            lambda thing: self.poll(),
+            extra_state="ft-failure-detector",
+            stream=self.proc.default_stream,
+        )
+        # First wake-up: one interval from now.
+        self.clock.register_deadline(self.clock.now() + self.config.hb_interval)
+
+    def stop(self) -> None:
+        """Retire the hook at its next poll (finalize calls this so the
+        pending-async count can drain)."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # Observations.
+    # ------------------------------------------------------------------
+    def note_alive(self, rank: int) -> None:
+        """Record traffic from ``rank`` (piggybacked heartbeat)."""
+        ps = self._peers.get(rank)
+        if ps is None or ps.state == PEER_DEAD:
+            # fail-stop: a straggler packet never resurrects a corpse
+            return
+        with self._lock:
+            if ps.state == PEER_DEAD:
+                return
+            ps.last_heard = self.clock.now()
+            ps.state = PEER_ALIVE
+
+    def note_link_failure(self, rank: int) -> None:
+        """Retransmit exhaustion on the link to ``rank``: the strongest
+        suspicion there is — declare the peer dead immediately."""
+        self._declare_dead(rank)
+
+    def is_dead(self, rank: int) -> bool:
+        ps = self._peers.get(rank)
+        return ps is not None and ps.state == PEER_DEAD
+
+    def dead_ranks(self) -> list[int]:
+        """Sorted world ranks this detector has declared dead."""
+        return sorted(
+            r for r, ps in self._peers.items() if ps.state == PEER_DEAD
+        )
+
+    def alive_mask(self) -> int:
+        """Bitmask over world ranks this rank believes alive (self
+        included) — the input to ``Comm.agree`` during shrink."""
+        mask = 1 << self.rank
+        for r, ps in self._peers.items():
+            if ps.state != PEER_DEAD:
+                mask |= 1 << r
+        return mask
+
+    # ------------------------------------------------------------------
+    def _declare_dead(self, rank: int) -> None:
+        ps = self._peers.get(rank)
+        if ps is None:
+            return
+        with self._lock:
+            if ps.state == PEER_DEAD:
+                return
+            ps.state = PEER_DEAD
+            self.stat_deaths += 1
+        self.proc.tracer.record(
+            self.clock.now(), "ft_death", rank=self.rank, dead=rank
+        )
+        self.proc.p2p.note_peer_dead(rank)
+        for cb in list(self.on_death):
+            cb(rank)
+
+    # ------------------------------------------------------------------
+    # The hook poll (runs inside default-stream progress passes).
+    # ------------------------------------------------------------------
+    def poll(self) -> int:
+        if self._stopped:
+            return ASYNC_DONE
+        cfg = self.config
+        clock = self.clock
+        now = clock.now()
+        newly_dead: list[int] = []
+        pings: list[int] = []
+        next_event = float("inf")
+        with self._lock:
+            # Trigger conditions and next-event arithmetic use the SAME
+            # expressions (``X + interval <= now``), so every deadline
+            # fed to register_deadline is strictly in the future — a
+            # deadline computed as exactly ``now`` (float boundary)
+            # would be pruned by the virtual clock without its action
+            # having fired, deadlocking idle_advance.
+            for ps in self._peers.values():
+                if ps.state == PEER_DEAD:
+                    continue
+                dead_at = ps.last_heard + cfg.hb_timeout
+                if dead_at <= now:
+                    newly_dead.append(ps.rank)
+                    continue
+                suspect_at = ps.last_heard + cfg.hb_interval
+                if suspect_at <= now:
+                    ps.state = PEER_SUSPECT
+                    ping_at = ps.last_ping + cfg.hb_interval
+                    if ping_at <= now:
+                        ps.last_ping = now
+                        ping_at = now + cfg.hb_interval
+                        pings.append(ps.rank)
+                    next_event = min(next_event, dead_at, ping_at)
+                else:
+                    next_event = min(next_event, suspect_at)
+        made = False
+        if pings:
+            endpoint = self.proc.p2p.endpoint_for(0)
+            for rank in pings:
+                self.stat_pings_tx += 1
+                endpoint.post_send(
+                    (rank, 0), {"kind": "hb_ping"}, b"", context=None
+                )
+            made = True
+        for rank in newly_dead:
+            self._declare_dead(rank)
+            made = True
+        if next_event < float("inf"):
+            clock.register_deadline(next_event)
+        return ASYNC_PENDING if made else ASYNC_NOPROGRESS
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, object]:
+        """Detector counters + per-peer states (introspect section)."""
+        states = {r: ps.state for r, ps in sorted(self._peers.items())}
+        return {
+            "enabled": True,
+            "peers": states,
+            "pings_tx": self.stat_pings_tx,
+            "pongs_rx": self.stat_pongs_rx,
+            "deaths": self.stat_deaths,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FailureDetector(rank={self.rank}, "
+            f"dead={self.dead_ranks()}, pings={self.stat_pings_tx})"
+        )

@@ -62,6 +62,17 @@ class Fabric:
         self._endpoints: dict[tuple[int, int], Endpoint] = {}
         self._ep_lock = threading.Lock()
         self._op_counter = itertools.count(1)
+        #: world ranks that have fail-stopped; their packets blackhole.
+        #: Reads are lock-free set-membership checks; mutation happens
+        #: under ``_dead_lock`` (fail-stop: ranks are only ever added).
+        self._dead: set[int] = set()
+        self._dead_lock = threading.Lock()
+        #: packets silently discarded because an involved rank was dead
+        #: (counted as drops for the conservation invariant)
+        self.stat_blackholed = 0
+        if self.faults is not None:
+            for rank in self.faults.immediate_kills():
+                self.kill_rank(rank)
 
     # ------------------------------------------------------------------
     def endpoint(self, rank: int, vci: int = 0) -> Endpoint:
@@ -82,16 +93,60 @@ class Fabric:
     def next_op_id(self) -> int:
         return next(self._op_counter)
 
+    # ------------------------------------------------------------------
+    def kill_rank(self, rank: int) -> None:
+        """Fail-stop ``rank``: every packet from or to it blackholes.
+
+        Idempotent; ranks never come back (fail-stop model).  The
+        rank's threads unwind via ``Proc.stream_progress`` raising
+        ``ProcessFailedError``, and live peers learn of the death
+        through the failure detector (heartbeat silence or retransmit
+        exhaustion).
+        """
+        if not 0 <= rank < self.nranks:
+            raise InvalidRankError(f"rank {rank} outside [0, {self.nranks})")
+        with self._dead_lock:
+            self._dead.add(rank)
+
+    def is_dead(self, rank: int) -> bool:
+        """True when ``rank`` has fail-stopped (lock-free read)."""
+        return rank in self._dead
+
+    def dead_ranks(self) -> frozenset[int]:
+        """Snapshot of the fail-stopped ranks."""
+        with self._dead_lock:
+            return frozenset(self._dead)
+
+    def _blackhole(self, packet: Packet) -> None:
+        # Discard a delivery involving a dead rank.  The posted packet
+        # copy must stay accounted: it counts as a drop so the dsched
+        # conservation invariant (posted - dropped + duplicated ==
+        # delivered) holds.
+        if packet.lease is not None:
+            packet.lease.release()
+        with self._dead_lock:
+            self.stat_blackholed += 1
+
     def deliver(self, packet: Packet, arrival_time: float) -> None:
         """Route ``packet`` to its destination endpoint.
 
         With fault injection active, a delivery may be dropped,
         duplicated, delayed, or held back past later traffic; the
         reliability layer above is responsible for surviving that.
+        Packets from or to a fail-stopped rank are blackholed.
         """
         rank, vci = packet.dst
+        src_rank = packet.src[0]
+        if self._dead and (src_rank in self._dead or rank in self._dead):
+            self._blackhole(packet)
+            return
         if self.faults is not None:
             times = self.faults.schedule(packet, arrival_time)
+            killed = self.faults.note_posted(src_rank)
+            if killed is not None:
+                # The triggering packet was already on the wire; it
+                # still delivers.  Everything after blackholes.
+                self.kill_rank(killed)
             if packet.lease is not None:
                 # The packet was posted holding ONE lease reference; a
                 # drop means nobody will ever consume it, a duplicate
@@ -117,10 +172,16 @@ class Fabric:
         return rank_a // rpn == rank_b // rpn
 
     def total_pending(self) -> int:
-        """Sum of unharvested work across all endpoints (diagnostics)."""
+        """Sum of unharvested work across all endpoints (diagnostics).
+
+        Dead ranks' endpoints are excluded: nothing will ever harvest
+        them, and quiescence checks must not wait on a corpse.
+        """
         with self._ep_lock:
-            eps = list(self._endpoints.values())
-        return sum(ep.pending for ep in eps)
+            eps = list(self._endpoints.items())
+        return sum(
+            ep.pending for (rank, _vci), ep in eps if rank not in self._dead
+        )
 
     def conservation_counts(self) -> dict[str, int]:
         """Fabric-wide packet accounting for the dsched invariant.
@@ -149,6 +210,9 @@ class Fabric:
         if self.faults is not None:
             counts["dropped"] = self.faults.stat_dropped
             counts["duplicated"] = self.faults.stat_duplicated
+        # Blackholed deliveries (dead src or dst) were posted but never
+        # enqueued anywhere — account them as drops.
+        counts["dropped"] += self.stat_blackholed
         return counts
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

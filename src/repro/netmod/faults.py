@@ -62,6 +62,9 @@ class FaultPlan:
 
     def __init__(self) -> None:
         self._rules: dict[tuple[int, int], dict[int, tuple[str, float]]] = {}
+        #: rank -> packets the rank posts before it fail-stops (0 =
+        #: dead before any traffic)
+        self._kills: dict[int, int] = {}
 
     def drop(self, src: int, dst: int, nth: int) -> "FaultPlan":
         """Drop the ``nth`` packet from rank ``src`` to rank ``dst``."""
@@ -85,6 +88,28 @@ class FaultPlan:
         self._rules.setdefault((src, dst), {})[nth] = (op, arg)
         return self
 
+    def kill(self, rank: int, after_packets: int = 0) -> "FaultPlan":
+        """Fail-stop ``rank`` after it posts ``after_packets`` packets.
+
+        0 (the default) kills the rank before it sends anything.  A
+        killed rank's endpoint goes silent — packets from and to it are
+        blackholed by the fabric — and its thread unwinds with
+        ``ProcessFailedError`` at the next progress call.  One rule per
+        rank; later rules replace earlier ones.
+        """
+        if after_packets < 0:
+            raise ValueError("after_packets must be >= 0")
+        self._kills[rank] = after_packets
+        return self
+
+    def has_kills(self) -> bool:
+        """True when the plan scripts at least one rank kill."""
+        return bool(self._kills)
+
+    def kills(self) -> dict[int, int]:
+        """Copy of the scripted kills (rank -> after_packets)."""
+        return dict(self._kills)
+
     def lookup(self, src: int, dst: int, nth: int) -> tuple[str, float] | None:
         """Rule for the ``nth`` packet on ``src -> dst``, if any."""
         link = self._rules.get((src, dst))
@@ -93,7 +118,9 @@ class FaultPlan:
         return link.get(nth)
 
     def __len__(self) -> int:
-        return sum(len(rules) for rules in self._rules.values())
+        return sum(len(rules) for rules in self._rules.values()) + len(
+            self._kills
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"FaultPlan({len(self)} rules)"
@@ -133,6 +160,15 @@ class FaultInjector:
         self._lock = threading.Lock()
         #: packets seen per rank-level link, for FaultPlan ordinals
         self._link_counts: dict[tuple[int, int], int] = {}
+        #: packets posted per src rank, for scheduled kill thresholds
+        self._src_counts: dict[int, int] = {}
+        #: rank -> remaining packets before the scripted kill fires
+        self._pending_kills: dict[int, int] = (
+            config.fault_plan.kills()
+            if config.fault_plan is not None
+            and hasattr(config.fault_plan, "kills")
+            else {}
+        )
         self._knob_cache: dict[tuple[int, int], _LinkKnobs] = {}
         self.tracer = Tracer(enabled=True)
         self.stat_packets = 0
@@ -141,6 +177,7 @@ class FaultInjector:
         self.stat_reordered = 0
         self.stat_delayed = 0
         self.stat_plan_hits = 0
+        self.stat_kills = 0
 
     # ------------------------------------------------------------------
     def _knobs(self, link: tuple[int, int]) -> _LinkKnobs:
@@ -169,6 +206,42 @@ class FaultInjector:
             dst=packet.dst[0],
             **fields,
         )
+
+    # ------------------------------------------------------------------
+    def immediate_kills(self) -> list[int]:
+        """Pop and return ranks scripted to die before posting anything
+        (``after_packets == 0``); the fabric applies them at startup."""
+        with self._lock:
+            ranks = [r for r, n in self._pending_kills.items() if n == 0]
+            for r in ranks:
+                del self._pending_kills[r]
+                self.stat_kills += 1
+                self.tracer.record(
+                    self._clock.now(), "fault_kill", rank=r, nth=0
+                )
+            return ranks
+
+    def note_posted(self, src_rank: int) -> int | None:
+        """Count one posted packet from ``src_rank``.
+
+        Returns ``src_rank`` exactly once, when its scripted kill
+        threshold is reached (the triggering packet itself still
+        delivers — it was already on the wire); None otherwise.
+        """
+        if not self._pending_kills:
+            return None
+        with self._lock:
+            n = self._src_counts.get(src_rank, 0) + 1
+            self._src_counts[src_rank] = n
+            due = self._pending_kills.get(src_rank)
+            if due is None or n < due:
+                return None
+            del self._pending_kills[src_rank]
+            self.stat_kills += 1
+            self.tracer.record(
+                self._clock.now(), "fault_kill", rank=src_rank, nth=n
+            )
+            return src_rank
 
     # ------------------------------------------------------------------
     def schedule(self, packet: "Packet", arrival: float) -> list[float]:
@@ -245,6 +318,7 @@ class FaultInjector:
             "reordered": self.stat_reordered,
             "delayed": self.stat_delayed,
             "plan_hits": self.stat_plan_hits,
+            "kills": self.stat_kills,
         }
 
     def format_timeline(self) -> str:

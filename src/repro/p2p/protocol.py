@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import enum
 import itertools
+import random
 from typing import Any
 
 from repro.config import RuntimeConfig
@@ -33,10 +34,13 @@ from repro.core.request import Request
 from repro.datatype.engine import DatatypeEngine, PackTask
 from repro.datatype.types import Datatype, as_readonly_view, as_writable_view
 from repro.errors import (
+    ERR_PROC_FAILED,
     DeliveryFailedError,
     InvalidCountError,
     InvalidTagError,
     PeerUnreachableError,
+    ProcessFailedError,
+    error_code_for,
 )
 from repro.mem.pool import MIN_CLASS_BYTES, BufferPool
 
@@ -50,15 +54,27 @@ from repro.mem.pool import MIN_CLASS_BYTES, BufferPool
 POOL_STAGE_MIN = 4096
 from repro.netmod.fabric import Fabric
 from repro.netmod.packet import Packet
-from repro.p2p.matching import ANY_TAG, PostedQueue, UnexpectedQueue
+from repro.p2p.matching import ANY_SOURCE, ANY_TAG, PostedQueue, UnexpectedQueue
 from repro.p2p.reliability import RelVciState, TxLink, UnackedEntry
 from repro.shmem.transport import ShmemTransport
 from repro.util.trace import Tracer
 
-__all__ = ["SendMode", "SendEntry", "RecvEntry", "VciState", "P2PEngine"]
+__all__ = [
+    "SendMode",
+    "SendEntry",
+    "RecvEntry",
+    "VciState",
+    "P2PEngine",
+    "FT_RESERVED_TAG",
+]
 
 #: status.error value for truncation, mirroring MPI_ERR_TRUNCATE.
 ERR_TRUNCATE = 15
+
+#: Tags at or above this are reserved for internal fault-tolerance
+#: protocols (``Comm.agree``): they survive a communicator revoke sweep
+#: so agreement can run on a revoked communicator, per ULFM.
+FT_RESERVED_TAG = 1 << 29
 
 
 class SendMode(enum.Enum):
@@ -206,6 +222,7 @@ class VciState:
         "sends",
         "recvs",
         "rel",
+        "dead_version",
     )
 
     def __init__(self, vci: int) -> None:
@@ -218,6 +235,9 @@ class VciState:
         self.recvs: dict[tuple[tuple[int, int], int], RecvEntry] = {}
         #: ack/retransmit state; allocated on first reliable packet
         self.rel: RelVciState | None = None
+        #: engine dead-set version this VCI last swept against; lagging
+        #: the engine's counter means a dead-peer sweep is due
+        self.dead_version = 0
 
 
 class P2PEngine:
@@ -256,6 +276,18 @@ class P2PEngine:
         #: for the retransmit-timer hook (None in transport-only tests,
         #: where timers are driven manually via rel_poll()).
         self._hook_host: Any = None
+        #: failure detector, bound by the owning Proc when active; None
+        #: keeps every hot path at one attribute-load of overhead.
+        self.detector: Any = None
+        #: world ranks declared dead (by the detector or by retransmit
+        #: exhaustion); posts addressed at them fail fast.
+        self.known_dead: set[int] = set()
+        #: bumped on every death; per-VCI sweeps chase it lazily
+        self._dead_version = 0
+        #: decorrelated-jitter RNG for the retransmit backoff — seeded
+        #: per rank so multi-rank retry schedules decorrelate while the
+        #: whole run stays replayable from ``fault_seed``.
+        self._jitter_rng = random.Random(((config.fault_seed + 1) << 16) ^ rank)
         #: leased staging pool for payload-bearing paths; with the pool
         #: disabled every staging site falls back to plain ``bytes``
         #: snapshots (the pre-pool behaviour).
@@ -449,7 +481,22 @@ class P2PEngine:
                     break
                 entry.retries += 1
                 rel.stat_retransmits += 1
-                entry.deadline = now + cfg.rel_rto * (cfg.rel_backoff**entry.retries)
+                delay = cfg.rel_rto * (cfg.rel_backoff**entry.retries)
+                if cfg.rel_backoff_jitter:
+                    # Decorrelated jitter (blended by the knob): each
+                    # retry draws uniform(rto, 3 * previous delay),
+                    # capped at the exhaustion horizon, so simultaneous
+                    # retries to a slow peer spread out instead of
+                    # storming in lockstep.
+                    cap = cfg.rel_rto * (cfg.rel_backoff**cfg.rel_max_retries)
+                    prev = entry.prev_delay or cfg.rel_rto
+                    decorr = min(
+                        cap, self._jitter_rng.uniform(cfg.rel_rto, prev * 3.0)
+                    )
+                    j = cfg.rel_backoff_jitter
+                    delay = (1.0 - j) * delay + j * decorr
+                entry.prev_delay = delay
+                entry.deadline = now + delay
                 clock.register_deadline(entry.deadline)
                 self.tracer.record(
                     now,
@@ -499,6 +546,11 @@ class P2PEngine:
             )
             send_entry = entry.cookie[1] if entry.cookie is not None else None
             self._rel_abort(state, send_entry, entry.recv_key, entry.req, exc)
+        # Retransmit exhaustion is the strongest failure evidence there
+        # is — feed it to the detector so the whole dead-peer sweep
+        # (posted recvs, rendezvous state, other links) runs too.
+        if self.detector is not None:
+            self.detector.note_link_failure(link.dst[0])
 
     def _rel_abort(
         self,
@@ -506,7 +558,7 @@ class P2PEngine:
         send_entry: "SendEntry | None",
         recv_key: Any,
         req: Request | None,
-        exc: DeliveryFailedError,
+        exc: Exception,
     ) -> None:
         """Detach failed protocol state so finalize can drain, then
         complete the owning request with the error captured."""
@@ -516,9 +568,12 @@ class P2PEngine:
                 send_entry.lease.release()
                 send_entry.lease = None
         if recv_key is not None:
-            state.recvs.pop(recv_key, None)
+            entry = state.recvs.pop(recv_key, None)
+            if entry is not None and getattr(entry, "lease", None) is not None:
+                entry.lease.release()
+                entry.lease = None
         if req is not None:
-            req.fail(exc)
+            req.fail(exc, error_code_for(exc))
 
     # ------------------------------------------------------------------
     # Reliability: receiver side (dedup window, reorder restore, acks).
@@ -614,6 +669,154 @@ class P2PEngine:
             if entry.cookie is not None:
                 self._dispatch_completion(vci, state, entry.cookie)
 
+    # ------------------------------------------------------------------
+    # Fail-stop peer deaths.
+    # ------------------------------------------------------------------
+    def _proc_failed_exc(self, rank: int) -> ProcessFailedError:
+        return ProcessFailedError(
+            f"peer rank {rank} has failed", ranks=tuple(sorted(self.known_dead))
+        )
+
+    def note_peer_dead(self, rank: int) -> None:
+        """Record a peer death (detector or retry-exhaustion driven).
+
+        The per-VCI sweeps run lazily, each under its own stream's lock:
+        a one-shot async hook is queued onto every live stream so the
+        next progress pass anywhere clears state addressed at the
+        corpse — no cross-stream locking from the caller's context.
+        """
+        if rank in self.known_dead:
+            return
+        self.known_dead.add(rank)
+        self._dead_version += 1
+        host = self._hook_host
+        if host is None or getattr(host, "finalized", False):
+            return
+        for vci in list(self._vcis):
+            host.async_start(
+                lambda thing, v=vci: self._sweep_hook(v),
+                extra_state="ft-dead-peer-sweep",
+                stream=host.stream_for_vci(vci),
+            )
+
+    def _sweep_hook(self, vci: int) -> int:
+        self._sweep_dead_vci(vci, self.vci_state(vci))
+        return ASYNC_DONE
+
+    def _sweep_dead_vci(self, vci: int, state: VciState) -> bool:
+        """Fail every pending operation involving a dead peer (owning
+        stream's lock held).  Wildcard (ANY_SOURCE) receives are left
+        alone — a live sender may still match them (ULFM semantics)."""
+        state.dead_version = self._dead_version
+        dead = self.known_dead
+        if not dead:
+            return False
+        made = False
+        # Posted receives naming a dead source.
+        for entry in list(state.posted):
+            if entry.src in dead and not entry.req.is_complete():
+                state.posted.remove(entry)
+                entry.req.fail(self._proc_failed_exc(entry.src), ERR_PROC_FAILED)
+                made = True
+        # Rendezvous/pipeline receives awaiting data from a dead source.
+        for key, entry in list(state.recvs.items()):
+            if key[0][0] in dead:
+                state.recvs.pop(key, None)
+                if entry.lease is not None:
+                    entry.lease.release()
+                    entry.lease = None
+                entry.req.fail(self._proc_failed_exc(key[0][0]), ERR_PROC_FAILED)
+                made = True
+        # Active sends addressed at a dead destination.
+        for msg_id, entry in list(state.sends.items()):
+            if entry.dst_rank in dead:
+                state.sends.pop(msg_id, None)
+                if entry.lease is not None:
+                    entry.lease.release()
+                    entry.lease = None
+                entry.req.fail(
+                    self._proc_failed_exc(entry.dst_rank), ERR_PROC_FAILED
+                )
+                made = True
+        # Unacked reliable traffic to a dead destination: stop the
+        # retransmit timer from flogging a corpse.
+        rel = state.rel
+        if rel is not None:
+            for dst, link in list(rel.tx.items()):
+                if dst[0] not in dead or (link.failed and not link.unacked):
+                    continue
+                link.failed = True
+                entries = list(link.unacked.values())
+                link.unacked.clear()
+                exc = self._proc_failed_exc(dst[0])
+                for uentry in entries:
+                    rel.stat_failures += 1
+                    if uentry.lease is not None:
+                        uentry.lease.release()
+                        uentry.lease = None
+                    send_entry = (
+                        uentry.cookie[1] if uentry.cookie is not None else None
+                    )
+                    self._rel_abort(
+                        state, send_entry, uentry.recv_key, uentry.req, exc
+                    )
+                made = True
+        return made
+
+    # ------------------------------------------------------------------
+    # Communicator revocation support.
+    # ------------------------------------------------------------------
+    def post_revoke(self, vci: int, dst: tuple[int, int], context_id: int) -> None:
+        """Send one revoke notice.  Rides the reliability layer when it
+        is armed (a lossy fabric cannot lose the revoke); peers already
+        known dead are skipped — a corpse does not need the notice."""
+        if dst[0] in self.known_dead:
+            return
+        self._post(vci, dst, {"kind": "comm_revoke", "ctx": context_id}, b"")
+
+    def sweep_revoked(self, vci: int, ctxs, exc: Exception) -> None:
+        """Fail every pending p2p operation on the given context ids
+        (owning stream's lock held) and discard their queued unexpected
+        messages.  Agreement traffic (tags at or above
+        ``FT_RESERVED_TAG``) is exempt: ``Comm.agree`` must keep working
+        on a revoked communicator, per ULFM."""
+        state = self.vci_state(vci)
+        ctx_set = set(ctxs)
+        code = error_code_for(exc)
+        for entry in list(state.posted):
+            if (
+                entry.context_id in ctx_set
+                and entry.tag < FT_RESERVED_TAG
+                and not entry.req.is_complete()
+            ):
+                state.posted.remove(entry)
+                entry.req.fail(exc, code)
+        for key, entry in list(state.recvs.items()):
+            if entry.context_id in ctx_set and entry.tag < FT_RESERVED_TAG:
+                state.recvs.pop(key, None)
+                if entry.lease is not None:
+                    entry.lease.release()
+                    entry.lease = None
+                entry.req.fail(exc, code)
+        for msg_id, entry in list(state.sends.items()):
+            if entry.context_id in ctx_set and entry.tag < FT_RESERVED_TAG:
+                state.sends.pop(msg_id, None)
+                if entry.lease is not None:
+                    entry.lease.release()
+                    entry.lease = None
+                entry.req.fail(exc, code)
+        # Queued unexpected messages on a revoked context can never be
+        # matched again; drop them (and their payload leases) now.
+        for msg in list(state.unexpected):
+            header = msg.header
+            if header["ctx"] in ctx_set and header["tag"] < FT_RESERVED_TAG:
+                popped = state.unexpected.match(
+                    header["ctx"], header["src_rank"], header["tag"]
+                )
+                if popped is not None and popped.lease is not None:
+                    popped.lease.release()
+                    popped.lease = None
+
     def reliability_stats(self) -> dict[str, int]:
         """Aggregated ack/retransmit counters across this rank's VCIs."""
         totals = {
@@ -704,6 +907,9 @@ class P2PEngine:
         datatype.ensure_committed()
         nbytes = count * datatype.size
         req = Request("send")
+        if dst_rank in self.known_dead:
+            req.fail(self._proc_failed_exc(dst_rank), ERR_PROC_FAILED)
+            return req
         mode = SendMode.RENDEZVOUS if sync and nbytes <= self.config.rendezvous_threshold else self._select_mode(nbytes)
         if sync and mode in (SendMode.BUFFERED, SendMode.EAGER):
             mode = SendMode.RENDEZVOUS
@@ -991,6 +1197,9 @@ class P2PEngine:
             raise InvalidTagError(f"tag {tag} outside [0, {self.config.tag_ub}]")
         datatype.ensure_committed()
         req = Request("recv")
+        if src != ANY_SOURCE and src in self.known_dead:
+            req.fail(self._proc_failed_exc(src), ERR_PROC_FAILED)
+            return req
         entry = RecvEntry(req, buf, count, datatype, src, tag, context_id)
         state = self.vci_state(vci)
 
@@ -1246,8 +1455,17 @@ class P2PEngine:
         """
         state = self.vci_state(vci)
         made = False
+        if state.dead_version != self._dead_version:
+            # A peer died since this VCI last looked: fail everything
+            # addressed at the corpse (we hold this stream's lock).
+            made = self._sweep_dead_vci(vci, state)
         endpoint = self.endpoint_for(vci)
         completions, packets = endpoint.poll_batch(max_k)
+        det = self.detector
+        if det is not None:
+            for packet in packets:
+                # Any harvested packet is a piggybacked heartbeat.
+                det.note_alive(packet.src[0])
         for op in completions:
             if op.context is not None:
                 made = True
@@ -1382,6 +1600,21 @@ class P2PEngine:
                     self._complete_send(state, entry)
         elif kind == "chunk":
             self._handle_chunk_packet(vci, state, packet.src, packet)
+        elif kind == "hb_ping":
+            # Heartbeat probe: answer immediately.  Liveness traffic is
+            # unsequenced — the reliability layer must never retransmit
+            # it (a dead prober would make the pong itself hang).
+            self.endpoint_for(vci).post_send(
+                packet.src, {"kind": "hb_pong"}, b"", context=None
+            )
+        elif kind == "hb_pong":
+            if self.detector is not None:
+                self.detector.stat_pongs_rx += 1
+            # note_alive already ran when the packet was harvested
+        elif kind == "comm_revoke":
+            host = self._hook_host
+            if host is not None:
+                host.on_comm_revoke(header["ctx"])
         else:  # pragma: no cover - future protocol kinds
             raise AssertionError(f"unknown packet kind {kind!r}")
         return False

@@ -60,6 +60,7 @@ class UnackedEntry:
         "cookie",
         "recv_key",
         "lease",
+        "prev_delay",
     )
 
     def __init__(
@@ -83,6 +84,9 @@ class UnackedEntry:
         self.deadline = deadline
         self.retries = 0
         self.lease = lease
+        #: previous backoff delay, feeding the decorrelated-jitter
+        #: recurrence (0.0 until the first retransmit)
+        self.prev_delay = 0.0
         #: request to fail if retries are exhausted (None for packets
         #: with no owning request, e.g. RMA control traffic)
         self.req = req

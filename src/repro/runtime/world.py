@@ -122,10 +122,30 @@ class World:
         world-wide quiescence is semantically free.
         """
         for proc in self._procs:
+            if self.fabric.is_dead(proc.rank):
+                # A fail-stopped rank's unacked traffic can never drain
+                # (the fabric blackholes it); survivors' sweeps clear
+                # their own links to the corpse.
+                continue
             for state in proc.p2p._vcis.values():
                 if state.rel is not None and state.rel.has_unacked():
                     return False
         return self.fabric.total_pending() == 0
+
+    def _unreachable_ranks(self) -> list[int]:
+        """Destination ranks that still hold up quiescence (diagnostic
+        for a finalize timeout)."""
+        stuck: set[int] = set()
+        for proc in self._procs:
+            if self.fabric.is_dead(proc.rank):
+                continue
+            for state in proc.p2p._vcis.values():
+                if state.rel is None:
+                    continue
+                for dst, link in state.rel.tx.items():
+                    if link.unacked:
+                        stuck.add(dst[0])
+        return sorted(stuck)
 
     def _drain_reliability(self, *, max_spins: int = 1_000_000) -> None:
         """Round-robin progress across ALL ranks until reliable traffic
@@ -137,10 +157,23 @@ class World:
         each per-proc finalize afterwards finds nothing in flight.
         """
         spins = 0
+        deadline = None
+        timeout = self.config.finalize_timeout
+        if timeout > 0:
+            deadline = self.clock.now() + timeout
+            self.clock.register_deadline(deadline)
         while not self.rel_quiescent():
+            if deadline is not None and self.clock.now() >= deadline:
+                from repro.errors import PeerUnreachableError
+
+                stuck = self._unreachable_ranks()
+                raise PeerUnreachableError(
+                    f"finalize did not quiesce within {timeout}s; "
+                    f"unreachable ranks: {stuck}"
+                )
             busy = False
             for proc in self._procs:
-                if proc.finalized:
+                if proc.finalized or self.fabric.is_dead(proc.rank):
                     continue
                 for stream in proc.streams:
                     if proc.stream_progress(stream):
@@ -150,14 +183,22 @@ class World:
                 break  # per-proc finalize will surface the stuck state
             if not busy:
                 for proc in self._procs:
-                    if not proc.finalized:
+                    if not proc.finalized and not self.fabric.is_dead(proc.rank):
                         proc.idle_wait()
                         break
 
     def finalize(self) -> None:
-        """Finalize every rank (single-threaded convenience)."""
+        """Finalize every rank (single-threaded convenience).
+
+        Fail-stopped ranks are finalized trivially — there is nothing a
+        corpse can drain — and survivors drain *around* them (their
+        links to the corpse are reclaimed by the dead-peer sweep).
+        """
         if any(
-            not proc.finalized and proc.p2p._rel_on for proc in self._procs
+            not proc.finalized
+            and proc.p2p._rel_on
+            and not self.fabric.is_dead(proc.rank)
+            for proc in self._procs
         ):
             self._drain_reliability()
         for proc in self._procs:

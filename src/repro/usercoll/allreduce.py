@@ -68,6 +68,9 @@ def _launch(
 ) -> Request:
     """Bind ``plan`` to ``buf`` and drive it from the async hook."""
     done_req = Request(kind)
+    # Failures during replay (peer fail-stop, revoke) follow the comm's
+    # error disposition at wait time, like the built-in collectives.
+    done_req.errhandler = comm.errhandler
     ex = PlanExecutor(plan, comm, buf, count, datatype, _user_coll_tag(comm), done_req)
     ex.start()
     if not done_req.is_complete():

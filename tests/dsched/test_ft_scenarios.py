@@ -1,0 +1,117 @@
+"""Revoke-vs-completion races under the deterministic scheduler.
+
+A revoke lands while matching traffic is in flight: depending on the
+interleaving, a posted operation may complete normally (delivery beat
+the sweep) or fail with ``RevokedError`` — both legal ULFM outcomes.
+What must hold under EVERY interleaving: each request reaches a
+terminal state exactly once (a straggler completion never erases a
+recorded error), no operation hangs, the revoke flood reaches every
+member, and the pending-async accounting drains.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.dsched import explore_seeds
+from repro.errors import RevokedError
+from repro.runtime.world import World
+
+
+def _revoke_races_delivery(sched):
+    """Rank 1 revokes COMM_WORLD while a send from rank 0 is mid-flight
+    toward its posted receive."""
+
+    def driver():
+        world = World(2, clock=sched.clock)
+        p0, p1 = world.proc(0), world.proc(1)
+        c0, c1 = p0.comm_world, p1.comm_world
+        c0.set_errhandler(repro.ERRORS_RETURN)
+        c1.set_errhandler(repro.ERRORS_RETURN)
+        out = np.zeros(1, dtype="i4")
+        reqs = []
+
+        def send():
+            try:
+                reqs.append(c0.isend(np.array([7], "i4"), 1, repro.INT, 1, 0))
+            except RevokedError:
+                pass  # revoke won the race before the post: legal
+
+        def recv():
+            try:
+                reqs.append(c1.irecv(out, 1, repro.INT, 0, 0))
+            except RevokedError:
+                pass  # revoke won the race before the post: legal
+
+        def revoke():
+            c1.revoke()
+
+        ts = [
+            sched.spawn(send, name="send"),
+            sched.spawn(recv, name="recv"),
+            sched.spawn(revoke, name="revoke"),
+        ]
+        for t in ts:
+            t.join()
+
+        spins = 0
+        while not (
+            all(r.is_complete() for r in reqs) and c0.revoked and c1.revoked
+        ):
+            made0 = p0.stream_progress()
+            made1 = p1.stream_progress()
+            if not (made0 or made1):
+                sched.clock.advance(1e-6)
+            spins += 1
+            assert spins < 500_000, "revoke-vs-delivery race hung"
+
+        for r in reqs:
+            # Terminal exactly once: either clean success or RevokedError,
+            # and a straggler ack must not have cleared a recorded error.
+            if r.exception is not None:
+                assert isinstance(r.exception, RevokedError)
+                assert r.status.error != 0
+            else:
+                assert r.status.error == 0
+        assert p0.pending_async_tasks == 0
+        assert p1.pending_async_tasks == 0
+
+    sched.spawn(driver, name="driver")
+
+
+def _concurrent_revokes_converge(sched):
+    """Both ranks revoke simultaneously: the double flood must converge
+    (each rank re-floods at most once) with nothing left in flight."""
+
+    def driver():
+        world = World(2, clock=sched.clock)
+        p0, p1 = world.proc(0), world.proc(1)
+        c0, c1 = p0.comm_world, p1.comm_world
+
+        t0 = sched.spawn(c0.revoke, name="revoke0")
+        t1 = sched.spawn(c1.revoke, name="revoke1")
+        t0.join()
+        t1.join()
+
+        spins = 0
+        while world.fabric.total_pending() > 0 or not (c0.revoked and c1.revoked):
+            if not (p0.stream_progress() or p1.stream_progress()):
+                sched.clock.advance(1e-6)
+            spins += 1
+            assert spins < 500_000, "double revoke never drained"
+        assert p0.pending_async_tasks == 0
+        assert p1.pending_async_tasks == 0
+
+    sched.spawn(driver, name="driver")
+
+
+class TestRevokeRaces:
+    def test_revoke_vs_delivery(self, seed_range):
+        res = explore_seeds(_revoke_races_delivery, seed_range, timeout=60.0)
+        assert not res.failures, res.failures[0].error
+
+    def test_concurrent_revokes(self, seed_range):
+        res = explore_seeds(_concurrent_revokes_converge, seed_range, timeout=60.0)
+        assert not res.failures, res.failures[0].error

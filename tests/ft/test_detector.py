@@ -1,0 +1,180 @@
+"""Heartbeat failure detector: suspicion, death, sweeps, introspection.
+
+All tests drive a virtual-clock world single-threaded, so heartbeat
+intervals and timeouts mature deterministically via ``idle_advance`` —
+a detection test runs in microseconds of wall time regardless of the
+configured ``hb_timeout``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.introspect import snapshot
+from repro.errors import ProcessFailedError
+from repro.ft.detector import PEER_DEAD
+from repro.netmod.faults import FaultPlan
+from tests.conftest import make_vworld
+
+#: single-rank victim in a 4-rank world, killed before its first packet
+VICTIM = 3
+
+
+def kill_world(nranks: int = 4, after_packets: int = 0, **extra):
+    return make_vworld(
+        nranks,
+        fault_plan=FaultPlan().kill(VICTIM, after_packets=after_packets),
+        use_shmem=False,
+        **extra,
+    )
+
+
+def drive_until(world, pred, max_iters=200_000, skip=()):
+    """Progress all live ranks until ``pred()`` holds."""
+    for _ in range(max_iters):
+        if pred():
+            return
+        made = any(
+            world.proc(r).stream_progress()
+            for r in range(world.nranks)
+            if r not in skip and not world.fabric.is_dead(r)
+        )
+        if not made and not world.clock.idle_advance():
+            raise AssertionError("deadlock before predicate held")
+    raise AssertionError(f"livelock after {max_iters} iterations")
+
+
+class TestDetection:
+    def test_silent_peer_declared_dead(self):
+        world = kill_world()
+        p0 = world.proc(0)
+        assert p0.detector is not None  # kills in the plan arm it (auto)
+        drive_until(world, lambda: VICTIM in p0.p2p.known_dead)
+        stats = p0.detector.stats()
+        assert stats["peers"][VICTIM] == PEER_DEAD
+        assert stats["deaths"] == 1
+        assert stats["pings_tx"] > 0  # silence was probed, not assumed
+
+    def test_recv_from_dead_peer_fails(self):
+        world = kill_world()
+        p0 = world.proc(0)
+        comm = p0.comm_world
+        comm.set_errhandler(repro.ERRORS_RETURN)
+        buf = np.zeros(1, dtype="i4")
+        req = comm.irecv(buf, 1, repro.INT, VICTIM, 7)
+        drive_until(world, req.is_complete)
+        assert isinstance(req.exception, ProcessFailedError)
+        assert req.status.error == 76  # MPI_ERR_PROC_FAILED
+        assert VICTIM in req.exception.ranks
+
+    def test_post_death_ops_fast_fail(self):
+        world = kill_world()
+        p0 = world.proc(0)
+        comm = p0.comm_world
+        comm.set_errhandler(repro.ERRORS_RETURN)
+        drive_until(world, lambda: VICTIM in p0.p2p.known_dead)
+        sreq = comm.isend(b"x", 1, repro.BYTE, VICTIM, 0)
+        rreq = comm.irecv(bytearray(1), 1, repro.BYTE, VICTIM, 0)
+        # No driving needed: both fail at post time.
+        assert isinstance(sreq.exception, ProcessFailedError)
+        assert isinstance(rreq.exception, ProcessFailedError)
+
+    def test_any_source_recv_survives_peer_death(self):
+        """ULFM: a wildcard receive is NOT failed by a peer death — a
+        live sender may still match it."""
+        world = kill_world()
+        p0 = world.proc(0)
+        p1 = world.proc(1)
+        comm = p0.comm_world
+        comm.set_errhandler(repro.ERRORS_RETURN)
+        buf = np.zeros(1, dtype="i4")
+        req = comm.irecv(buf, 1, repro.INT, repro.ANY_SOURCE, 9)
+        drive_until(world, lambda: VICTIM in p0.p2p.known_dead)
+        assert not req.is_complete()
+        sreq = p1.comm_world.isend(np.array([42], "i4"), 1, repro.INT, 0, 9)
+        drive_until(world, lambda: req.is_complete() and sreq.is_complete())
+        assert req.exception is None
+        assert int(buf[0]) == 42
+
+    def test_piggybacked_traffic_suppresses_pings(self):
+        """Busy links refresh liveness for free: constant traffic means
+        no peer ever turns SUSPECT, so no explicit pings are sent."""
+        world = make_vworld(2, ft_detector="on", use_shmem=False)
+        p0, p1 = world.proc(0), world.proc(1)
+        for i in range(50):
+            sreq = p0.comm_world.isend(np.array([i], "i4"), 1, repro.INT, 1, i)
+            buf = np.zeros(1, dtype="i4")
+            rreq = p1.comm_world.irecv(buf, 1, repro.INT, 0, i)
+            drive_until(world, lambda: sreq.is_complete() and rreq.is_complete())
+        stats = p1.detector.stats()
+        assert stats["peers"][0] == "alive"
+        assert stats["deaths"] == 0
+
+    def test_detector_off_by_default_on_perfect_fabric(self):
+        world = make_vworld(2)
+        assert world.proc(0).detector is None
+        world_on = make_vworld(2, ft_detector="on")
+        assert world_on.proc(0).detector is not None
+
+    def test_retry_exhaustion_feeds_detector(self):
+        """``rel_max_retries`` running out is the strongest suspicion:
+        the peer is declared dead without waiting for ``hb_timeout``."""
+        world = make_vworld(
+            2,
+            ft_detector="on",
+            fault_link_overrides={(0, 1): {"drop_prob": 1.0}},
+            rel_max_retries=3,
+            rel_rto=1e-5,
+            use_shmem=False,
+            hb_timeout=1e6,  # only exhaustion can declare death here
+            hb_interval=1e5,
+        )
+        p0 = world.proc(0)
+        comm = p0.comm_world
+        comm.set_errhandler(repro.ERRORS_RETURN)
+        req = comm.isend(b"doomed", 6, repro.BYTE, 1, 0)
+        drive_until(world, lambda: 1 in p0.p2p.known_dead, skip=(1,))
+        assert p0.detector.stats()["peers"][1] == PEER_DEAD
+        drive_until(world, req.is_complete, skip=(1,))
+        assert req.exception is not None
+
+
+class TestIntrospection:
+    def test_snapshot_includes_detector_section(self):
+        world = kill_world()
+        p0 = world.proc(0)
+        drive_until(world, lambda: VICTIM in p0.p2p.known_dead)
+        snap = snapshot(p0)
+        assert snap.failure_detector is not None
+        assert snap.failure_detector["peers"][VICTIM] == PEER_DEAD
+        report = snap.format_report()
+        assert "failure detector" in report
+        assert f"dead=[{VICTIM}]" in report
+
+    def test_snapshot_detector_none_when_unarmed(self):
+        world = make_vworld(2)
+        snap = snapshot(world.proc(0))
+        assert snap.failure_detector is None
+        assert "failure detector" not in snap.format_report()
+
+    def test_blackholed_packets_counted(self):
+        world = kill_world()
+        p0 = world.proc(0)
+        drive_until(world, lambda: VICTIM in p0.p2p.known_dead)
+        # Pings at the corpse were posted and blackholed, not delivered.
+        assert world.fabric.stat_blackholed > 0
+        assert world.fabric.fault_stats()["kills"] == 1
+
+
+class TestFinalizeWithDead:
+    def test_world_finalize_drains_around_corpse(self):
+        world = kill_world()
+        p0 = world.proc(0)
+        comm = p0.comm_world
+        comm.set_errhandler(repro.ERRORS_RETURN)
+        req = comm.isend(b"x", 1, repro.BYTE, VICTIM, 0)
+        drive_until(world, req.is_complete)
+        world.finalize()  # must not hang or raise
+        assert all(world.proc(r).finalized for r in range(world.nranks))

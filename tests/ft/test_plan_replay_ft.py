@@ -1,0 +1,66 @@
+"""Compiled-plan replay (usercoll) under fail-stop and revoke.
+
+The :class:`~repro.exts.schedule_ext.PlanExecutor` replays cached
+schedules with no Python-level planning — so a peer death or a revoke
+mid-replay must be detected in its batched completion walk: the user
+request fails with the captured exception (never completes over partial
+data, never hangs), and the staging lease returns to the pool.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import ProcessFailedError, RevokedError
+from repro.netmod.faults import FaultPlan
+from repro.usercoll import user_allreduce
+from tests.conftest import make_vworld
+from tests.ft.test_detector import drive_until
+
+
+class TestPlanReplayFailure:
+    def test_replay_toward_dead_peer_fails(self):
+        world = make_vworld(
+            2,
+            fault_plan=FaultPlan().kill(1, after_packets=0),
+            use_shmem=False,
+        )
+        p0 = world.proc(0)
+        comm = p0.comm_world
+        comm.set_errhandler(repro.ERRORS_RETURN)
+        buf = np.array([5], dtype="i4")
+        req = user_allreduce(comm, buf, 1, repro.INT, repro.SUM)
+        drive_until(world, req.is_complete)
+        assert isinstance(req.exception, ProcessFailedError)
+        assert req.status.error == 76
+        p0.wait(req)  # ERRORS_RETURN: no raise
+        # The staging lease went back to the pool, not leaked.
+        assert p0.p2p.pool.stats()["outstanding"] == 0
+
+    def test_replay_on_revoked_comm_fails_immediately(self):
+        world = make_vworld(2, use_shmem=False)
+        p0 = world.proc(0)
+        comm = p0.comm_world
+        comm.set_errhandler(repro.ERRORS_RETURN)
+        comm.revoke()
+        buf = np.array([5], dtype="i4")
+        req = user_allreduce(comm, buf, 1, repro.INT, repro.SUM)
+        assert req.is_complete()  # failed in start(), before any hook
+        assert isinstance(req.exception, RevokedError)
+        assert p0.p2p.pool.stats()["outstanding"] == 0
+
+    def test_failed_replay_raises_under_fatal_handler(self):
+        world = make_vworld(
+            2,
+            fault_plan=FaultPlan().kill(1, after_packets=0),
+            use_shmem=False,
+        )
+        p0 = world.proc(0)
+        comm = p0.comm_world  # default ERRORS_ARE_FATAL
+        buf = np.array([5], dtype="i4")
+        req = user_allreduce(comm, buf, 1, repro.INT, repro.SUM)
+        drive_until(world, req.is_complete)
+        with pytest.raises(ProcessFailedError):
+            p0.wait(req)

@@ -1,0 +1,192 @@
+"""ULFM mitigation API: ``Comm.revoke`` / ``Comm.agree`` / ``Comm.shrink``.
+
+Revoke propagation and sweeps are verified single-threaded on a virtual
+clock (deterministic).  The collective recovery calls (``agree``,
+``shrink``) block per rank, so those tests run thread-per-rank on the
+real clock via ``run_world`` — with detection timeouts far above any
+plausible GIL scheduling stall, since a timeout-based detector sharing
+a *virtual* clock across free-running threads could declare a merely
+descheduled peer dead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.config import RuntimeConfig
+from repro.errors import ProcessFailedError, RevokedError
+from repro.netmod.faults import FaultPlan
+from tests.conftest import make_vworld
+from tests.ft.test_detector import drive_until
+
+#: real-clock thread-per-rank knobs: detection generous enough to never
+#: false-positive a live-but-descheduled thread
+THREADED_FT = dict(hb_interval=2e-3, hb_timeout=0.3, use_shmem=False)
+
+
+class TestRevokeLocal:
+    def test_revoke_fails_posted_ops_and_blocks_new_ones(self):
+        world = make_vworld(2, use_shmem=False)
+        p0 = world.proc(0)
+        comm = p0.comm_world
+        comm.set_errhandler(repro.ERRORS_RETURN)
+        buf = np.zeros(1, dtype="i4")
+        req = comm.irecv(buf, 1, repro.INT, 1, 3)
+        comm.revoke()
+        assert comm.revoked
+        assert req.is_complete()
+        assert isinstance(req.exception, RevokedError)
+        assert req.status.error == 77  # MPI_ERR_REVOKED
+        with pytest.raises(RevokedError):
+            comm.irecv(buf, 1, repro.INT, 1, 4)
+        with pytest.raises(RevokedError):
+            comm.ibarrier()
+
+    def test_revoke_is_idempotent(self):
+        world = make_vworld(2, use_shmem=False)
+        comm = world.proc(0).comm_world
+        comm.revoke()
+        comm.revoke()  # second revoke is a no-op, not an error
+        assert comm.revoked
+
+    def test_revoke_invalidates_plan_cache(self):
+        world = make_vworld(2, use_shmem=False)
+        p0 = world.proc(0)
+        comm = p0.comm_world
+        before = p0.plan_cache.stats()["stat_plan_invalidations"]
+        comm.revoke()
+        assert p0.plan_cache.stats()["stat_plan_invalidations"] >= before
+
+    def test_aborted_collective_surfaces_revoke(self):
+        """An in-flight collective on the revoked communicator fails
+        instead of hanging."""
+        world = make_vworld(2, use_shmem=False)
+        p0 = world.proc(0)
+        comm = p0.comm_world
+        comm.set_errhandler(repro.ERRORS_RETURN)
+        buf = np.array([1], dtype="i4")
+        out = np.zeros(1, dtype="i4")
+        req = comm.iallreduce(buf, out, 1, repro.INT, repro.SUM)
+        comm.revoke()
+        drive_until(world, req.is_complete, skip=(1,))
+        assert isinstance(req.exception, RevokedError)
+
+
+class TestRevokeFlood:
+    def test_flood_reaches_every_member(self):
+        world = make_vworld(3, use_shmem=False)
+        comms = [world.proc(r).comm_world for r in range(3)]
+        comms[0].revoke()
+        drive_until(world, lambda: all(c.revoked for c in comms))
+
+    def test_flood_survives_initiator_death(self):
+        """Each receiver re-floods once, so the notice reaches everyone
+        even if the initiating rank dies right after its first posts."""
+        plan = FaultPlan().kill(0, after_packets=4)
+        world = make_vworld(3, fault_plan=plan, use_shmem=False)
+        comms = [world.proc(r).comm_world for r in range(3)]
+        for c in comms:
+            c.set_errhandler(repro.ERRORS_RETURN)
+        comms[0].revoke()  # posts notices; the kill lands mid-flood
+        drive_until(
+            world,
+            lambda: comms[1].revoked and comms[2].revoked,
+            skip=(0,),
+        )
+
+    def test_flood_does_not_cross_communicators(self):
+        world = make_vworld(2, use_shmem=False)
+        p0, p1 = world.proc(0), world.proc(1)
+        dups = []
+
+        def make_dup(proc):
+            dups.append(proc.comm_world.dup())
+
+        import threading
+
+        ts = [threading.Thread(target=make_dup, args=(p,)) for p in (p0, p1)]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join(timeout=60)
+        assert len(dups) == 2, "dup did not complete"
+        p0.comm_world.revoke()
+        drive_until(world, lambda: p1.comm_world.revoked)
+        assert not dups[0].revoked
+        assert not dups[1].revoked
+
+
+class TestAgree:
+    def test_agree_ands_contributions(self):
+        def main(proc):
+            comm = proc.comm_world
+            value = 0b111 if proc.rank != 1 else 0b101
+            return comm.agree(value)
+
+        results = repro.run_world(3, main, config=RuntimeConfig(**THREADED_FT))
+        assert results == [0b101, 0b101, 0b101]
+
+    def test_agree_works_on_revoked_comm(self):
+        """Agreement is the one operation ULFM guarantees on a revoked
+        communicator — its internal tags are exempt from the sweep."""
+
+        def main(proc):
+            comm = proc.comm_world
+            comm.set_errhandler(repro.ERRORS_RETURN)
+            comm.revoke()
+            return comm.agree(1 << proc.rank | 1)
+
+        results = repro.run_world(2, main, config=RuntimeConfig(**THREADED_FT))
+        assert results == [1, 1]
+
+    def test_agree_validates_range(self):
+        world = make_vworld(1)
+        comm = world.proc(0).comm_world
+        with pytest.raises(repro.InvalidArgumentError):
+            comm.agree(-1)
+        with pytest.raises(repro.InvalidArgumentError):
+            comm.agree(1 << 64)
+
+    def test_agree_excludes_dead_rank(self):
+        plan = FaultPlan().kill(2, after_packets=0)
+
+        def main(proc):
+            comm = proc.comm_world
+            comm.set_errhandler(repro.ERRORS_RETURN)
+            if proc.rank == 2:
+                try:
+                    while True:
+                        proc.stream_progress()
+                except ProcessFailedError:
+                    return "died"
+            # Wait for local detection, then agree among survivors.
+            while 2 not in proc.p2p.known_dead:
+                proc.stream_progress()
+                proc.idle_wait()
+            return comm.agree(0b11)
+
+        config = RuntimeConfig(fault_plan=plan, **THREADED_FT)
+        results = repro.run_world(3, main, config=config, timeout=60)
+        assert results[2] == "died"
+        assert results[0] == results[1] == 0b11
+
+
+class TestShrink:
+    def test_shrink_without_failures_is_identity_group(self):
+        def main(proc):
+            shrunk = proc.comm_world.shrink()
+            return (shrunk.rank, shrunk.size, tuple(shrunk.ranks))
+
+        results = repro.run_world(3, main, config=RuntimeConfig(**THREADED_FT))
+        assert results == [(r, 3, (0, 1, 2)) for r in range(3)]
+
+    def test_shrink_inherits_errhandler(self):
+        def main(proc):
+            comm = proc.comm_world
+            comm.set_errhandler(repro.ERRORS_RETURN)
+            return proc.comm_world.shrink().get_errhandler()
+
+        results = repro.run_world(2, main, config=RuntimeConfig(**THREADED_FT))
+        assert all(r == repro.ERRORS_RETURN for r in results)

@@ -1,0 +1,123 @@
+"""Kill-soak: rank fail-stop under thread-per-rank execution.
+
+The full ULFM recovery loop, end to end, per seed: ranks run
+collectives, one rank is killed mid-run by the fault plan, survivors
+observe the failure (heartbeat detection or delivery failure), revoke
+the world communicator, shrink to a survivor communicator, and finish
+the job on it.  The victim's own thread unwinds via
+``ProcessFailedError`` and finalizes trivially.
+
+Runs on the real clock: timeout-based detection over threads sharing a
+*virtual* clock would let one thread's idle_advance leap past
+``hb_timeout`` while a live peer is merely descheduled.  ``hb_timeout``
+is therefore set far above any plausible GIL stall.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.config import RuntimeConfig
+from repro.errors import ProcessFailedError, RevokedError
+from repro.netmod.faults import FaultPlan
+
+SOAK_SEEDS = [1, 2, 3]
+
+FT_KNOBS = dict(
+    use_shmem=False,  # every packet crosses the fabric (and its kills)
+    hb_interval=2e-3,
+    hb_timeout=0.3,
+)
+
+
+def recovery_main(nranks: int, victim: int):
+    """Per-rank body: collectives until failure, then revoke+shrink."""
+
+    def main(proc):
+        comm = proc.comm_world
+        comm.set_errhandler(repro.ERRORS_RETURN)
+        buf = np.array([comm.rank], dtype="i4")
+        out = np.zeros(1, dtype="i4")
+        if proc.rank == victim:
+            try:
+                for _ in range(1000):
+                    comm.allreduce(buf, out, 1, repro.INT)
+                return "survived"
+            except ProcessFailedError:
+                return "died"
+        saw_failure = False
+        for _ in range(2000):
+            req = comm.iallreduce(buf, out, 1, repro.INT, repro.SUM)
+            proc.wait(req)
+            if req.exception is not None:
+                saw_failure = True
+                break
+        assert saw_failure, f"rank {proc.rank}: victim death never surfaced"
+        try:
+            comm.revoke()
+        except RevokedError:
+            pass  # a peer's revoke-flood won the race
+        shrunk = comm.shrink()
+        assert shrunk.size == nranks - 1
+        assert victim not in shrunk.ranks
+        sbuf = np.array([proc.rank], dtype="i4")
+        sout = np.zeros(1, dtype="i4")
+        shrunk.allreduce(sbuf, sout, 1, repro.INT)
+        return int(sout[0])
+
+    return main
+
+
+class TestKillSoak:
+    @pytest.mark.parametrize("seed", SOAK_SEEDS)
+    def test_kill_revoke_shrink_continue(self, seed):
+        nranks, victim = 4, 3
+        config = RuntimeConfig(
+            fault_plan=FaultPlan().kill(victim, after_packets=3 * seed),
+            fault_seed=seed,
+            **FT_KNOBS,
+        )
+        results = repro.run_world(nranks, recovery_main(nranks, victim),
+                                  config=config, timeout=90)
+        expect = sum(r for r in range(nranks) if r != victim)
+        assert results[victim] == "died"
+        for r in range(nranks):
+            if r != victim:
+                assert results[r] == expect, results
+
+    @pytest.mark.parametrize("seed", SOAK_SEEDS)
+    def test_kill_on_lossy_fabric(self, seed):
+        """Fail-stop recovery composes with packet loss: the reliability
+        layer repairs drops while the detector handles the corpse."""
+        nranks, victim = 3, 1
+        config = RuntimeConfig(
+            fault_plan=FaultPlan().kill(victim, after_packets=5),
+            fault_seed=seed,
+            fault_drop_prob=0.02,
+            **FT_KNOBS,
+        )
+        results = repro.run_world(nranks, recovery_main(nranks, victim),
+                                  config=config, timeout=90)
+        expect = sum(r for r in range(nranks) if r != victim)
+        assert results[victim] == "died"
+        for r in range(nranks):
+            if r != victim:
+                assert results[r] == expect, results
+
+    def test_immediate_kill_before_first_packet(self):
+        """A rank dead from t=0 (after_packets=0) is detected purely by
+        heartbeat timeout — it never sent anything to piggyback on."""
+        nranks, victim = 4, 0  # rank 0 dies: survivors re-root around it
+        config = RuntimeConfig(
+            fault_plan=FaultPlan().kill(victim, after_packets=0),
+            **FT_KNOBS,
+        )
+        results = repro.run_world(nranks, recovery_main(nranks, victim),
+                                  config=config, timeout=90)
+        expect = sum(r for r in range(nranks) if r != victim)
+        assert results[victim] == "died"
+        for r in range(nranks):
+            if r != victim:
+                assert results[r] == expect, results

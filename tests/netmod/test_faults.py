@@ -103,6 +103,7 @@ class TestFabricConstruction:
             "reordered": 0,
             "delayed": 0,
             "plan_hits": 0,
+            "kills": 0,
         }
 
 

@@ -1,0 +1,82 @@
+"""Decorrelated retransmit jitter (``rel_backoff_jitter``).
+
+The jitter RNG is seeded from ``(fault_seed, rank)``, so a jittered
+retry schedule is exactly reproducible for a given seed — the knob adds
+spread without giving up determinism.  Tests observe the schedule
+through the ``rel_retransmit`` trace events of a black-holed link.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.config import RuntimeConfig
+from repro.core.comm import ERRORS_RETURN
+from repro.runtime.world import World
+from repro.util.clock import VirtualClock
+from tests.conftest import drive
+
+BLACKHOLE = dict(
+    fault_link_overrides={(0, 1): {"drop_prob": 1.0}},
+    rel_max_retries=6,
+    rel_rto=1e-4,
+    rel_backoff=2.0,
+    use_shmem=False,
+)
+
+
+def retransmit_times(seed: int, jitter: float) -> list[float]:
+    """Drive one doomed send to retry exhaustion; return the virtual
+    timestamps of its retransmits."""
+    config = RuntimeConfig(fault_seed=seed, rel_backoff_jitter=jitter, **BLACKHOLE)
+    world = World(2, clock=VirtualClock(), config=config, trace=True)
+    proc = world.proc(0)
+    comm = proc.comm_world
+    comm.set_errhandler(ERRORS_RETURN)
+    req = comm.isend(b"doomed", 6, repro.BYTE, 1, 0)
+    drive(world, [req])
+    assert req.exception is not None  # budget exhausted
+    events = proc.tracer.events("rel_retransmit")
+    assert len(events) == BLACKHOLE["rel_max_retries"]
+    return [e.time for e in events]
+
+
+class TestBackoffJitter:
+    def test_zero_jitter_is_pure_exponential(self):
+        times = retransmit_times(seed=1, jitter=0.0)
+        rto, backoff = BLACKHOLE["rel_rto"], BLACKHOLE["rel_backoff"]
+        # Retransmit k schedules the next attempt rto * backoff**k out,
+        # so the gap between retransmits k and k+1 is exactly that.
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        expect = [rto * backoff**k for k in range(1, len(times))]
+        assert gaps == pytest.approx(expect, rel=1e-9)
+
+    def test_same_seed_same_schedule(self):
+        a = retransmit_times(seed=7, jitter=1.0)
+        b = retransmit_times(seed=7, jitter=1.0)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = retransmit_times(seed=7, jitter=1.0)
+        b = retransmit_times(seed=8, jitter=1.0)
+        assert a != b
+
+    def test_jitter_differs_from_deterministic(self):
+        det = retransmit_times(seed=7, jitter=0.0)
+        jit = retransmit_times(seed=7, jitter=1.0)
+        assert det != jit
+
+    def test_jitter_bounded_by_exhaustion_horizon(self):
+        """Every jittered delay stays at or below the deterministic
+        exhaustion horizon ``rto * backoff**max_retries``."""
+        times = retransmit_times(seed=3, jitter=1.0)
+        cap = BLACKHOLE["rel_rto"] * BLACKHOLE["rel_backoff"] ** BLACKHOLE["rel_max_retries"]
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert all(g <= cap * (1 + 1e-9) for g in gaps), gaps
+
+    def test_knob_validated(self):
+        with pytest.raises(ValueError):
+            RuntimeConfig(rel_backoff_jitter=1.5).validate()
+        with pytest.raises(ValueError):
+            RuntimeConfig(rel_backoff_jitter=-0.1).validate()

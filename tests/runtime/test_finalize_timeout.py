@@ -1,0 +1,57 @@
+"""``finalize_timeout``: bounded finalize instead of an unbounded drain.
+
+With the reliability layer armed, ``World.finalize`` drains globally
+before per-rank finalize.  A link that can never quiesce (here: a
+one-directional black hole with an effectively unlimited retry budget)
+would spin that drain forever; ``finalize_timeout`` bounds it and
+raises :class:`PeerUnreachableError` naming the ranks still holding
+unacked traffic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.core.comm import ERRORS_RETURN
+from repro.errors import PeerUnreachableError
+from tests.conftest import make_vworld
+
+STUCK_LINK = dict(
+    fault_link_overrides={(0, 1): {"drop_prob": 1.0}},
+    rel_max_retries=1_000_000,  # never exhausts: the drain cannot end
+    rel_rto=1e-4,
+    use_shmem=False,
+)
+
+
+class TestFinalizeTimeout:
+    def test_unreachable_peer_raises_with_rank_list(self):
+        world = make_vworld(2, finalize_timeout=0.05, **STUCK_LINK)
+        comm = world.proc(0).comm_world
+        comm.set_errhandler(ERRORS_RETURN)
+        comm.isend(b"stuck", 5, repro.BYTE, 1, 0)
+        with pytest.raises(PeerUnreachableError) as ei:
+            world.finalize()
+        assert "unreachable ranks: [1]" in str(ei.value)
+
+    def test_zero_timeout_means_unbounded(self):
+        """The default (0) keeps the historical drain semantics — and a
+        drainable world still finalizes cleanly under a timeout."""
+        assert repro.DEFAULT_CONFIG.finalize_timeout == 0.0
+        world = make_vworld(2, finalize_timeout=0.5, use_shmem=False, reliability="on")
+        c0 = world.proc(0).comm_world
+        c1 = world.proc(1).comm_world
+        sreq = c0.isend(b"ok", 2, repro.BYTE, 1, 0)
+        rreq = c1.irecv(bytearray(2), 2, repro.BYTE, 0, 0)
+        from tests.conftest import drive
+
+        drive(world, [sreq, rreq])
+        world.finalize()  # quiesces well inside the budget
+        assert world.proc(0).finalized and world.proc(1).finalized
+
+    def test_negative_timeout_rejected(self):
+        from repro.config import RuntimeConfig
+
+        with pytest.raises(ValueError):
+            RuntimeConfig(finalize_timeout=-1.0).validate()
