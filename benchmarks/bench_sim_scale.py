@@ -1,0 +1,119 @@
+"""Discrete-event scale-out throughput: events simulated per second and
+the virtual-vs-wall time ratio as world size grows.
+
+One recursive-doubling allreduce per world size P ∈ {64 … 4096}, run
+entirely in virtual time on a single OS thread.  Recorded to
+``BENCH_sim_scale.json``:
+
+* ``events_per_s`` — heap events consumed / wall second, the simulator's
+  native throughput metric (events grow as P log P, so this is the
+  number that must hold up for 10k-rank runs to stay tractable).
+* ``virtual_wall_ratio`` — simulated seconds per wall second.  Virtual
+  time is O(log P) wire delays while wall time grows with P log P, so
+  the ratio *shrinks* with P; it contextualizes what a simulated
+  microsecond costs.
+* ``construct_s`` — world build time, the fixed cost before any event
+  fires (kept O(P) by the range-backed comm_world and shared vci map).
+
+Run standalone with ``--smoke`` for a seconds-long CI sanity check
+(P ≤ 256, correctness asserted, records no JSON).
+"""
+
+import time
+
+import numpy as np
+
+import repro
+from repro.bench import print_rows, record_bench_json
+from repro.sim import SimWorld
+
+FULL_SIZES = [64, 256, 1024, 4096]
+SMOKE_SIZES = [64, 256]
+
+
+def _allreduce_program(ctx):
+    out = np.zeros(1, dtype="i8")
+    contrib = np.array([ctx.rank + 1], dtype="i8")
+    yield ctx.comm.iallreduce(contrib, out, 1, repro.INT64, repro.SUM)
+    return int(out[0])
+
+
+def measure_sim_scale(P: int) -> dict:
+    t0 = time.perf_counter()
+    sim = SimWorld(P)
+    sim.spawn_all(_allreduce_program)
+    t1 = time.perf_counter()
+    results = sim.run()
+    t2 = time.perf_counter()
+    assert results == [P * (P + 1) // 2] * P, f"wrong sum at P={P}"
+    stats = sim.stats()
+    run_wall = t2 - t1
+    sim.finalize()
+    return {
+        "ranks": P,
+        "events": stats["events"],
+        "construct_s": t1 - t0,
+        "run_wall_s": run_wall,
+        "virtual_s": sim.now,
+        "events_per_s": stats["events"] / run_wall if run_wall > 0 else 0.0,
+        "virtual_wall_ratio": sim.now / run_wall if run_wall > 0 else 0.0,
+        "sweeps": stats["sweeps"],
+    }
+
+
+def _measure(sizes):
+    return [measure_sim_scale(P) for P in sizes]
+
+
+def _report(rows):
+    print_rows(
+        "Sim scale-out — one allreduce per world size, virtual time",
+        rows,
+        expectation="events/s roughly flat in P; zero fallback sweeps",
+    )
+
+
+def _check(rows):
+    for row in rows:
+        assert row["sweeps"] == 0, f"fallback sweeps at P={row['ranks']}: {row}"
+        assert row["events_per_s"] > 1000, f"throughput collapsed: {row}"
+        # 60 s is the acceptance bound for the 4096-rank run
+        assert row["run_wall_s"] < 60.0, f"run exceeded 60s wall: {row}"
+
+
+def test_sim_scale_throughput(benchmark):
+    rows = benchmark.pedantic(lambda: _measure(FULL_SIZES), rounds=1, iterations=1)
+    _report(rows)
+    path = record_bench_json("BENCH_sim_scale.json", {"allreduce": rows})
+    print(f"recorded: {path}")
+    _check(rows)
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="P <= 256 only; asserts correctness and throughput; no JSON",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        rows = _measure(SMOKE_SIZES)
+        _report(rows)
+        _check(rows)
+        print(
+            "smoke ok: "
+            + ", ".join(f"P={r['ranks']} {r['events_per_s']:.0f} ev/s" for r in rows)
+        )
+        return
+    rows = _measure(FULL_SIZES)
+    _report(rows)
+    path = record_bench_json("BENCH_sim_scale.json", {"allreduce": rows})
+    print(f"recorded: {path}")
+    _check(rows)
+
+
+if __name__ == "__main__":
+    main()

@@ -117,6 +117,7 @@ from repro.io import File, StorageDevice
 from repro.rma import Win, win_create
 from repro.topo import PROC_NULL, CartComm, cart_create, dims_create
 from repro.runtime import World, run_world
+from repro.sim import SimDeadlockError, SimEngine, SimRank, SimWorld
 from repro.util.clock import MonotonicClock, VirtualClock
 
 __version__ = "1.0.0"
@@ -169,6 +170,11 @@ __all__ = [
     "ERRORS_RETURN",
     # fault injection & reliability
     "FaultPlan",
+    # discrete-event scale-out mode
+    "SimEngine",
+    "SimWorld",
+    "SimRank",
+    "SimDeadlockError",
     # datatypes & ops
     "Datatype",
     "contiguous",

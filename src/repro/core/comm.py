@@ -101,6 +101,40 @@ def _byte_type():
     return BYTE
 
 
+class _ZeroVcis:
+    """Immutable all-zeros per-member VCI table.
+
+    Default-stream communicators (the overwhelmingly common case) map
+    every member to VCI 0; materializing ``[0] * size`` per comm means
+    a 4096-rank sim world carries 4096 such lists — hundreds of MB of
+    zeros.  This one-slot stand-in supports the read paths
+    (``[i]``, ``len``, iteration) and is shared structurally.
+    """
+
+    __slots__ = ("_n",)
+
+    def __init__(self, n: int) -> None:
+        self._n = n
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __getitem__(self, i):
+        if isinstance(i, slice):
+            return [0] * len(range(*i.indices(self._n)))
+        if i < 0:
+            i += self._n
+        if not 0 <= i < self._n:
+            raise IndexError("peer_vcis index out of range")
+        return 0
+
+    def __iter__(self):
+        return itertools.repeat(0, self._n)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_ZeroVcis({self._n})"
+
+
 class Comm:
     """A communicator for one process context.
 
@@ -118,12 +152,19 @@ class Comm:
         peer_vcis: list[int] | None = None,
     ) -> None:
         self.proc = proc
-        #: world ranks of the members, in comm rank order
-        self.ranks = list(ranks)
+        #: world ranks of the members, in comm rank order.  A ``range``
+        #: is kept as-is: O(1) ``index``/``[]`` with no per-comm member
+        #: list — COMM_WORLD at 4096 sim ranks would otherwise cost
+        #: 4096 copies of a 4096-entry list.
+        self.ranks = ranks if isinstance(ranks, range) else list(ranks)
         self.context_id = context_id
         self.stream = stream
         #: per-member VCI (stream comms exchange these at creation)
-        self.peer_vcis = list(peer_vcis) if peer_vcis is not None else [0] * len(ranks)
+        if peer_vcis is None:
+            peer_vcis = _ZeroVcis(len(self.ranks))
+        self.peer_vcis = (
+            peer_vcis if isinstance(peer_vcis, _ZeroVcis) else list(peer_vcis)
+        )
         self._rank = self.ranks.index(proc.rank)
         self._coll_seq = 0
         self._child_count = 0
@@ -1138,18 +1179,44 @@ class Comm:
             local=local,
         )
 
-    def _agree_round(self, tag: int, value: int) -> int:
-        """One symmetric all-to-all AND round on a reserved tag.
+    def _drive_steps(self, gen):
+        """Blocking driver for a cooperative ``*_steps`` generator — the
+        thread-world counterpart of the sim engine's program protocol:
+        ``yield None`` maps to one progress pass (idle-waiting when it
+        finds nothing), a yielded request (or list) maps to ``waitall``,
+        and a wait-time error is thrown back in at the yield point.
+        """
+        proc = self.proc
+        try:
+            item = next(gen)
+            while True:
+                if item is None:
+                    if not proc.stream_progress(self.stream):
+                        proc.idle_wait()
+                    item = next(gen)
+                    continue
+                reqs = [item] if isinstance(item, Request) else list(item)
+                try:
+                    proc.waitall(reqs, self.stream)
+                except BaseException as exc:
+                    item = gen.throw(exc)
+                else:
+                    item = next(gen)
+        except StopIteration as stop:
+            return stop.value
+
+    def _agree_round_steps(self, tag: int, value: int, nbytes: int):
+        """One symmetric all-to-all AND round on a reserved tag
+        (cooperative: yields ``None`` wherever the blocking form would
+        spin progress).
 
         Contributions go to every believed-alive member; collection
         (probe-based, so a revoke sweep cannot cancel it) runs until
         every member has either contributed or been declared dead.
         """
-        import struct
-
         proc = self.proc
         p2p = proc.p2p
-        payload = struct.pack("<Q", value)
+        payload = value.to_bytes(nbytes, "little")
         sreqs = []
         with self.stream.lock:
             for r, world in enumerate(self.ranks):
@@ -1160,7 +1227,7 @@ class Comm:
                     world,
                     self.peer_vcis[r],
                     payload,
-                    8,
+                    nbytes,
                     BYTE,
                     tag,
                     self.context_id,
@@ -1179,27 +1246,55 @@ class Comm:
             ]
             if not missing:
                 break
-            proc.stream_progress(self.stream)
             with self.stream.lock:
                 msg = p2p.improbe(
                     self.stream.vci, ANY_SOURCE, tag, self.context_id
                 )
             if msg is None:
-                proc.idle_wait()
+                yield None
                 continue
-            buf = bytearray(8)
+            buf = bytearray(nbytes)
             with self.stream.lock:
-                rreq = p2p.imrecv(self.stream.vci, buf, 8, BYTE, msg)
+                rreq = p2p.imrecv(self.stream.vci, buf, nbytes, BYTE, msg)
             rreq.errhandler = ERRORS_RETURN
-            proc.wait(rreq, self.stream)
+            while not rreq.is_complete():
+                yield None
+            proc._finish_wait(rreq)
             src_world = msg.header["src_rank"]
             if src_world not in got:
                 got.add(src_world)
-                acc &= struct.unpack("<Q", bytes(buf))[0]
+                acc &= int.from_bytes(bytes(buf), "little")
         # Sends to peers that died mid-round fail (errhandler 'return')
         # instead of hanging; everything else is long acked by now.
-        proc.waitall(sreqs, self.stream)
+        while not all(r.is_complete() for r in sreqs):
+            yield None
+        for r in sreqs:
+            proc._finish_wait(r)
         return acc
+
+    def _agree_value_steps(self, value: int, nbytes: int):
+        """Two AND rounds over ``nbytes``-wide values (tag allocation +
+        round sequencing shared by :meth:`agree_steps` and
+        :meth:`shrink_steps`, whose survivor masks outgrow 64 bits at
+        scale)."""
+        seq = self._agree_seq
+        self._agree_seq += 1
+        base = FT_RESERVED_TAG + (2 * seq) % _AGREE_TAG_WINDOW
+        tentative = yield from self._agree_round_steps(base, value, nbytes)
+        result = yield from self._agree_round_steps(base + 1, tentative, nbytes)
+        return result
+
+    def agree_steps(self, value: int):
+        """Cooperative form of :meth:`agree` for sim programs: yields
+        ``None`` (resume on the next event/progress pass) and returns
+        the agreed value via ``StopIteration``."""
+        if self.freed:
+            raise InvalidCommunicatorError("communicator has been freed")
+        value = int(value)
+        if not 0 <= value < (1 << 64):
+            raise InvalidArgumentError(f"agree value {value} outside [0, 2**64)")
+        result = yield from self._agree_value_steps(value, 8)
+        return result
 
     def agree(self, value: int) -> int:
         """ULFM ``MPI_Comm_agree`` (simplified): bitwise-AND consensus
@@ -1215,27 +1310,10 @@ class Comm:
         protocol this reproduction does not carry); deaths before the
         agreement are handled exactly.
         """
-        if self.freed:
-            raise InvalidCommunicatorError("communicator has been freed")
-        value = int(value)
-        if not 0 <= value < (1 << 64):
-            raise InvalidArgumentError(f"agree value {value} outside [0, 2**64)")
-        seq = self._agree_seq
-        self._agree_seq += 1
-        base = FT_RESERVED_TAG + (2 * seq) % _AGREE_TAG_WINDOW
-        tentative = self._agree_round(base, value)
-        return self._agree_round(base + 1, tentative)
+        return self._drive_steps(self.agree_steps(value))
 
-    def shrink(self) -> "Comm":
-        """ULFM ``MPI_Comm_shrink``: agree on the survivor set and build
-        a new communicator from it (collective over the survivors;
-        works on a revoked communicator).
-
-        Every survivor contributes a bitmask of the members it believes
-        alive; the AND (via :meth:`agree`) is the shared survivor set.
-        The parent's cached collective plans are invalidated — its
-        group no longer matches the fabric's reality.
-        """
+    def shrink_steps(self):
+        """Cooperative form of :meth:`shrink` for sim programs."""
         if self.freed:
             raise InvalidCommunicatorError("communicator has been freed")
         p2p = self.proc.p2p
@@ -1243,7 +1321,11 @@ class Comm:
         for r, world in enumerate(self.ranks):
             if r == self._rank or world not in p2p.known_dead:
                 mask |= 1 << world
-        agreed = self.agree(mask)
+        # The mask spans *world* ranks, so its width follows the world
+        # size, not agree()'s 64-bit public contract — a 4096-rank
+        # shrink must carry a 4096-bit survivor set.
+        nbytes = max(8, (self.proc.world.nranks + 7) // 8)
+        agreed = yield from self._agree_value_steps(mask, nbytes)
         survivors = [
             r for r, world in enumerate(self.ranks) if (agreed >> world) & 1
         ]
@@ -1256,6 +1338,18 @@ class Comm:
         comm = Comm(self.proc, ranks, ctx, self.stream, vcis)
         comm.errhandler = self.errhandler
         return comm
+
+    def shrink(self) -> "Comm":
+        """ULFM ``MPI_Comm_shrink``: agree on the survivor set and build
+        a new communicator from it (collective over the survivors;
+        works on a revoked communicator).
+
+        Every survivor contributes a bitmask of the members it believes
+        alive; the AND (two agreement rounds) is the shared survivor
+        set.  The parent's cached collective plans are invalidated —
+        its group no longer matches the fabric's reality.
+        """
+        return self._drive_steps(self.shrink_steps())
 
     def free(self) -> None:
         self.freed = True

@@ -119,7 +119,7 @@ class Proc:
             self.detector.start()
 
         self.comm_world = Comm(
-            self, list(range(world.nranks)), context_id=0, stream=self.default_stream
+            self, range(world.nranks), context_id=0, stream=self.default_stream
         )
 
     # ------------------------------------------------------------------

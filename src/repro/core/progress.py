@@ -33,7 +33,7 @@ lock — the contention measured in Fig. 9.
 
 from __future__ import annotations
 
-import time as _time
+
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
@@ -69,6 +69,10 @@ class ProgressEngine:
     def __init__(self, proc: "Proc") -> None:
         self.proc = proc
         self.config = proc.config
+        #: the installed time source: lock-wait accounting must follow
+        #: it (a virtual-clock world has no wall-clock contention, and a
+        #: perf_counter pair per pass is real overhead at 4096 ranks)
+        self._clock = proc.clock
         #: per-pass subsystem pollers, bound once
         self._pollers: dict[str, Callable[[MpixStream], bool]] = {
             "datatype": self._poll_datatype,
@@ -338,9 +342,9 @@ class ProgressEngine:
                 "progress invoked recursively from inside a progress hook; "
                 "use mpix_request_is_complete instead (paper section 3.4)"
             )
-        t_acquire = _time.perf_counter()
+        t_acquire = self._clock.now()
         with stream.lock:
-            stream.stat_lock_wait_s += _time.perf_counter() - t_acquire
+            stream.stat_lock_wait_s += self._clock.now() - t_acquire
             stream.stat_lock_acquires += 1
             stream._progress_depth += 1
             stream._owner = ident

@@ -39,6 +39,7 @@ import threading
 from typing import TYPE_CHECKING, Callable
 
 from repro.core.async_ext import ASYNC_DONE, ASYNC_NOPROGRESS, ASYNC_PENDING
+from repro.sim import timers as _timers
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.mpi import Proc
@@ -84,6 +85,12 @@ class FailureDetector:
         self._lock = threading.Lock()
         self._stopped = False
         self._hook_started = False
+        #: earliest instant the next full peer scan can change anything.
+        #: ``note_alive`` only pushes trigger times *later*, so polls
+        #: before this instant can return immediately — the O(P) scan
+        #: per progress pass would otherwise dominate at thousands of
+        #: ranks.  (A stale cache only causes one harmless extra scan.)
+        self._next_wake = float("-inf")
         #: callbacks fired (outside the lock) with each newly dead rank
         self.on_death: list[Callable[[int], None]] = []
         self.stat_pings_tx = 0
@@ -102,7 +109,13 @@ class FailureDetector:
             stream=self.proc.default_stream,
         )
         # First wake-up: one interval from now.
-        self.clock.register_deadline(self.clock.now() + self.config.hb_interval)
+        _timers.post(
+            self.clock,
+            self.clock.now() + self.config.hb_interval,
+            self.rank,
+            0,
+            "hb",
+        )
 
     def stop(self) -> None:
         """Retire the hook at its next poll (finalize calls this so the
@@ -174,6 +187,8 @@ class FailureDetector:
         cfg = self.config
         clock = self.clock
         now = clock.now()
+        if now < self._next_wake:
+            return ASYNC_NOPROGRESS
         newly_dead: list[int] = []
         pings: list[int] = []
         next_event = float("inf")
@@ -214,8 +229,9 @@ class FailureDetector:
         for rank in newly_dead:
             self._declare_dead(rank)
             made = True
+        self._next_wake = next_event
         if next_event < float("inf"):
-            clock.register_deadline(next_event)
+            _timers.post(clock, next_event, self.rank, 0, "hb")
         return ASYNC_PENDING if made else ASYNC_NOPROGRESS
 
     # ------------------------------------------------------------------

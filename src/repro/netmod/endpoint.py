@@ -20,6 +20,7 @@ import threading
 from typing import Any
 
 from repro.netmod.packet import Packet
+from repro.sim import timers as _timers
 from repro.util.clock import Clock
 
 __all__ = ["NicOp", "Endpoint"]
@@ -153,7 +154,7 @@ class Endpoint:
             self.stat_posted += 1
             self.stat_bytes += nbytes
         packet = Packet(self.address, dst, dict(header), data, seq=op_id, lease=lease)
-        self._clock.register_deadline(deadline)
+        _timers.post(self._clock, deadline, self.address[0], self.address[1], "nic_tx")
         self._fabric.deliver(packet, arrival)
         return op
 
@@ -165,7 +166,11 @@ class Endpoint:
             heapq.heappush(self._arrivals, (arrival_time, packet.seq, packet))
             self._pending_count += 1
             self.stat_delivered += 1
-        self._clock.register_deadline(arrival_time)
+        # Attributed to the *receiving* endpoint: its poll observes the
+        # arrival when virtual time reaches ``arrival_time``.
+        _timers.post(
+            self._clock, arrival_time, self.address[0], self.address[1], "nic_rx"
+        )
 
     # ------------------------------------------------------------------
     # Polling.

@@ -57,6 +57,7 @@ from repro.netmod.packet import Packet
 from repro.p2p.matching import ANY_SOURCE, ANY_TAG, PostedQueue, UnexpectedQueue
 from repro.p2p.reliability import RelVciState, TxLink, UnackedEntry
 from repro.shmem.transport import ShmemTransport
+from repro.sim import timers as _timers
 from repro.util.trace import Tracer
 
 __all__ = [
@@ -430,7 +431,8 @@ class P2PEngine:
         if lease is not None:
             lease.retain()  # the unacked buffer's reference
         link.unacked[seq] = entry
-        clock.register_deadline(deadline)
+        # Attributed to *this* rank: its retransmit hook owns the timer.
+        _timers.post(clock, deadline, self.rank, vci, "rel_rto")
         self._ensure_rel_hook(vci, state)
         return self.endpoint_for(vci).post_send(
             dst, wire_header, data, context=None, lease=lease
@@ -497,7 +499,7 @@ class P2PEngine:
                     delay = (1.0 - j) * delay + j * decorr
                 entry.prev_delay = delay
                 entry.deadline = now + delay
-                clock.register_deadline(entry.deadline)
+                _timers.post(clock, entry.deadline, self.rank, vci, "rel_rtx")
                 self.tracer.record(
                     now,
                     "rel_retransmit",

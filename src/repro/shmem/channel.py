@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
+from repro.sim import timers as _timers
 from repro.util.clock import Clock
 from repro.util.ringbuf import RingBuffer
 
@@ -71,7 +72,11 @@ class RingChannel:
         """Push a cell; False when the ring is full (backpressure)."""
         ok = self._ring.try_push(cell)
         if ok:
-            self._clock.register_deadline(cell.ready_time)
+            # Attributed to the receiver: its shmem progress pops the
+            # cell once the copy deadline matures.
+            _timers.post(
+                self._clock, cell.ready_time, self.dst[0], self.dst[1], "shm_rx"
+            )
         return ok
 
     def pop_ready(self) -> Cell | None:

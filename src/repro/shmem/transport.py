@@ -14,6 +14,7 @@ from typing import Any
 from repro.config import RuntimeConfig
 from repro.netmod.packet import Packet
 from repro.shmem.channel import Cell, RingChannel
+from repro.sim import timers as _timers
 from repro.util import sync as _sync
 from repro.util.clock import Clock
 
@@ -230,7 +231,9 @@ class ShmemTransport:
             op.chunk_index += 1
             if is_last:
                 op.final_deadline = ready
-                self.clock.register_deadline(ready)
+                # Attributed to the sender: its shmem progress completes
+                # the op when the final cell's copy matures.
+                _timers.post(self.clock, ready, src[0], src[1], "shm_tx")
                 return
 
     # ------------------------------------------------------------------

@@ -1,0 +1,42 @@
+"""Discrete-event scale-out mode: 1k–10k ranks in virtual time.
+
+Public surface:
+
+* :mod:`repro.sim.timers` — the timer-registration contract subsystems
+  use to announce attributed deadlines (imported eagerly; it is what
+  the netmod/p2p/ft wiring depends on and pulls in nothing heavy).
+* :class:`SimEngine` / :class:`SimWorld` / :class:`SimRank` /
+  :class:`SimProgram` / :class:`SimDeadlockError` — loaded lazily:
+  the engine imports the core runtime, which itself posts timers, so an
+  eager import here would be circular.
+"""
+
+from __future__ import annotations
+
+from repro.sim import timers
+
+__all__ = [
+    "timers",
+    "SimEngine",
+    "SimDeadlockError",
+    "SimProgram",
+    "SimWorld",
+    "SimRank",
+]
+
+_LAZY = {
+    "SimEngine": "repro.sim.engine",
+    "SimDeadlockError": "repro.sim.engine",
+    "SimProgram": "repro.sim.engine",
+    "SimWorld": "repro.sim.world",
+    "SimRank": "repro.sim.world",
+}
+
+
+def __getattr__(name: str):
+    mod = _LAZY.get(name)
+    if mod is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(mod), name)

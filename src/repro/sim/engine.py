@@ -1,0 +1,414 @@
+"""Discrete-event simulation engine: thousands of ranks, one thread.
+
+:class:`SimEngine` owns a shared :class:`~repro.util.clock.VirtualClock`
+and a global event heap.  Subsystems announce *attributed* deadlines
+through :func:`repro.sim.timers.post` — "(rank, vci) has something
+maturing at t" — and the engine advances virtual time from event to
+event, running a progress pass on exactly the rank whose state matured:
+netmod completions/arrivals, reliability retransmit timers, failure
+detector heartbeats, shmem cell copies.  Rank *application* code runs as
+plain Python generators (no OS thread per rank) that yield what they
+wait on:
+
+* ``yield request`` / ``yield [requests]`` — resume when complete, with
+  the communicator's errhandler semantics applied exactly as a blocking
+  ``MPI_Wait`` would (a failed request raises *into* the generator at
+  the yield point);
+* ``yield None`` — resume at this rank's next event (the cooperative
+  form of "spin progress once", used by ``Comm.agree_steps``).
+
+Determinism: the engine is single-threaded and pops events in
+``(time, registration order)``; every consumed event feeds a running
+SHA-256, so ``trace_digest()`` fingerprints the entire execution —
+byte-identical across runs with the same seeds and programs.
+
+Liveness fallback: deadlines registered *without* attribution (the
+offload device, io engine, or any raw ``register_deadline`` caller)
+still advance the clock; when the event heap runs dry with programs
+pending, the engine falls back to one deterministic round-robin sweep
+per clock jump, so unattributed timer sources are slower to simulate
+but never wrong.  A dry heap, an empty sweep, and no registered
+deadline left is a genuine simulated deadlock and raises
+:class:`SimDeadlockError` naming the stuck ranks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import itertools
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.core.request import Request
+from repro.errors import InvalidStreamError, ProcessFailedError
+from repro.util.clock import VirtualClock
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.world import World
+
+__all__ = ["SimEngine", "SimDeadlockError", "SimProgram"]
+
+#: ``waiting`` sentinel: resume at this rank's next event (yield None).
+_ANY_EVENT: tuple = ()
+
+
+class SimDeadlockError(RuntimeError):
+    """The event heap ran dry with rank programs still pending."""
+
+
+class SimProgram:
+    """One rank's cooperative program and its completion state."""
+
+    __slots__ = ("rank", "vci", "gen", "waiting", "primed", "done", "result", "error")
+
+    def __init__(self, rank: int, gen: Generator, vci: int = 0) -> None:
+        self.rank = rank
+        self.vci = vci
+        self.gen = gen
+        #: None = not waiting; () = resume on any event of this rank;
+        #: tuple of Requests = resume when all complete
+        self.waiting: tuple | None = None
+        self.primed = False
+        self.done = False
+        self.result: Any = None
+        self.error: BaseException | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done else f"waiting={self.waiting!r}"
+        return f"SimProgram(rank={self.rank}, {state})"
+
+
+class SimEngine:
+    """Global event heap + virtual clock driving one world's ranks."""
+
+    def __init__(self, clock: VirtualClock | None = None, *, trace: bool = False) -> None:
+        self.clock = clock if clock is not None else VirtualClock()
+        #: install as the timer sink (see :mod:`repro.sim.timers`)
+        self.clock.timer_sink = self
+        self.world: "World | None" = None
+        self._heap: list[tuple[float, int, int, int, str]] = []
+        self._eseq = itertools.count()
+        self._hash = hashlib.sha256()
+        #: full event log, kept only when ``trace=True`` (the digest is
+        #: always maintained — hashing is cheap, storing millions of
+        #: event tuples is not)
+        self.trace_events: list[tuple[float, int, int, str]] | None = (
+            [] if trace else None
+        )
+        self._programs: dict[int, SimProgram] = {}
+        self._order: list[SimProgram] = []
+        self._n_done = 0
+        #: scheduled callbacks (see :meth:`call_at`), keyed by event seq
+        self._calls: dict[int, Any] = {}
+        self.stat_timers = 0
+        self.stat_events = 0
+        self.stat_passes = 0
+        self.stat_sweeps = 0
+
+    # ------------------------------------------------------------------
+    # Wiring.
+    # ------------------------------------------------------------------
+    def attach(self, world: "World") -> None:
+        """Bind the world whose ranks this engine steps."""
+        if world.clock is not self.clock:
+            raise ValueError("world must share the engine's clock")
+        self.world = world
+
+    def timer(self, t: float, rank: int, vci: int, kind: str) -> None:
+        """:class:`~repro.sim.timers.TimerSink`: enqueue one event."""
+        self.stat_timers += 1
+        heapq.heappush(self._heap, (t, next(self._eseq), rank, vci, kind))
+
+    def call_at(self, t: float, fn: Any, *, kind: str = "call") -> None:
+        """Run ``fn()`` when virtual time reaches ``t`` (fault injection
+        at a chosen instant, scheduled probes, ...).  Rank ``-1`` in the
+        event trace marks these engine-level events."""
+        seq = next(self._eseq)
+        self._calls[seq] = fn
+        heapq.heappush(self._heap, (t, seq, -1, 0, kind))
+
+    # ------------------------------------------------------------------
+    # Programs.
+    # ------------------------------------------------------------------
+    def add_program(self, rank: int, gen: Generator, *, vci: int = 0) -> SimProgram:
+        """Register ``gen`` as rank ``rank``'s program (one per rank)."""
+        if rank in self._programs:
+            raise ValueError(f"rank {rank} already has a program")
+        prog = SimProgram(rank, gen, vci)
+        self._programs[rank] = prog
+        self._order.append(prog)
+        return prog
+
+    @property
+    def programs(self) -> list[SimProgram]:
+        return list(self._order)
+
+    def pending_programs(self) -> list[SimProgram]:
+        return [p for p in self._order if not p.done]
+
+    # ------------------------------------------------------------------
+    # Trace / determinism.
+    # ------------------------------------------------------------------
+    def trace_digest(self) -> str:
+        """SHA-256 over every event consumed so far (hex)."""
+        return self._hash.hexdigest()
+
+    def _record(self, t: float, rank: int, vci: int, kind: str) -> None:
+        self._hash.update(f"{t!r} {rank} {vci} {kind}\n".encode())
+        if self.trace_events is not None:
+            self.trace_events.append((t, rank, vci, kind))
+
+    # ------------------------------------------------------------------
+    # Stepping.
+    # ------------------------------------------------------------------
+    def _fail_program(self, rank: int, exc: BaseException) -> None:
+        prog = self._programs.get(rank)
+        if prog is not None and not prog.done:
+            prog.done = True
+            prog.error = exc
+            self._n_done += 1
+
+    def _step(self, rank: int, vci: int) -> bool:
+        """Progress ``(rank, vci)`` to exhaustion, then resume the
+        rank's program if its wait condition is now satisfied."""
+        world = self.world
+        if world.fabric.is_dead(rank):
+            # A corpse's events are meaningless; if its program is still
+            # running, unwind it the way a thread rank would.
+            self._fail_program(
+                rank, ProcessFailedError(f"rank {rank} has fail-stopped", ranks=(rank,))
+            )
+            return False
+        proc = world.proc(rank)
+        if proc.finalized:
+            return False
+        try:
+            stream = proc.stream_for_vci(vci)
+        except InvalidStreamError:
+            return False  # event for a freed stream
+        made = False
+        try:
+            while True:
+                self.stat_passes += 1
+                if not proc.stream_progress(stream):
+                    break
+                made = True
+        except ProcessFailedError as exc:
+            self._fail_program(rank, exc)
+            return made
+        prog = self._programs.get(rank)
+        if prog is not None:
+            self._maybe_resume(prog)
+        return made
+
+    def _maybe_resume(self, prog: SimProgram) -> None:
+        if prog.done or prog.waiting is None:
+            return
+        for req in prog.waiting:
+            if not req.is_complete():
+                return
+        self._advance(prog)
+
+    def _advance(self, prog: SimProgram) -> None:
+        """Resume ``prog`` until it blocks again or finishes."""
+        proc = self.world.proc(prog.rank)
+        while True:
+            error: BaseException | None = None
+            if prog.waiting:
+                # Completed waits get MPI_Wait's errhandler semantics:
+                # fatal errors raise *into* the generator at its yield
+                # point; 'return' / callable handlers complete quietly.
+                try:
+                    for req in prog.waiting:
+                        proc._finish_wait(req)
+                except BaseException as exc:  # noqa: BLE001 - rethrown below
+                    error = exc
+            prog.waiting = None
+            try:
+                if error is not None:
+                    item = prog.gen.throw(error)
+                else:
+                    item = next(prog.gen)
+            except StopIteration as stop:
+                prog.done = True
+                prog.result = stop.value
+                self._n_done += 1
+                return
+            except BaseException as exc:  # noqa: BLE001 - surfaced by run()
+                prog.done = True
+                prog.error = exc
+                self._n_done += 1
+                return
+            if item is None:
+                prog.waiting = _ANY_EVENT
+                return
+            reqs = (item,) if isinstance(item, Request) else tuple(item)
+            prog.waiting = reqs
+            for req in reqs:
+                if not req.is_complete():
+                    return
+            # everything already complete: loop to finish-wait + resume
+
+    # ------------------------------------------------------------------
+    # The event loop.
+    # ------------------------------------------------------------------
+    def _dispatch_batch(self) -> None:
+        """Pop and process every event at the earliest timestamp.
+
+        Events sharing one timestamp and one ``(rank, vci)`` coalesce
+        into a single progress step — a poll drains everything matured,
+        so re-stepping within the batch would only burn empty passes.
+        """
+        heap = self._heap
+        t, seq, rank, vci, kind = heapq.heappop(heap)
+        self.clock.advance_to(t)
+        stepped: set[tuple[int, int]] = set()
+        self._consume(t, seq, rank, vci, kind, stepped)
+        while heap and heap[0][0] == t:
+            _, seq, rank, vci, kind = heapq.heappop(heap)
+            self._consume(t, seq, rank, vci, kind, stepped)
+
+    def _consume(
+        self,
+        t: float,
+        seq: int,
+        rank: int,
+        vci: int,
+        kind: str,
+        stepped: set[tuple[int, int]],
+    ) -> None:
+        self.stat_events += 1
+        self._record(t, rank, vci, kind)
+        if rank < 0:
+            fn = self._calls.pop(seq, None)
+            if fn is not None:
+                fn()
+            return
+        key = (rank, vci)
+        if key in stepped:
+            return
+        stepped.add(key)
+        self._step(rank, vci)
+
+    def _sweep(self) -> bool:
+        """Deterministic round-robin pass over every live rank — the
+        liveness fallback for unattributed deadlines."""
+        self.stat_sweeps += 1
+        self._hash.update(f"sweep {self.clock.now()!r}\n".encode())
+        world = self.world
+        made = False
+        for rank in range(world.nranks):
+            if world.fabric.is_dead(rank):
+                self._fail_program(
+                    rank,
+                    ProcessFailedError(f"rank {rank} has fail-stopped", ranks=(rank,)),
+                )
+                continue
+            proc = world.proc(rank)
+            if proc.finalized:
+                continue
+            try:
+                for stream in proc.streams:
+                    while True:
+                        self.stat_passes += 1
+                        if not proc.stream_progress(stream):
+                            break
+                        made = True
+            except ProcessFailedError as exc:
+                self._fail_program(rank, exc)
+                continue
+            prog = self._programs.get(rank)
+            if prog is not None and not prog.done:
+                was_waiting = prog.waiting
+                self._maybe_resume(prog)
+                if prog.waiting is not was_waiting or prog.done:
+                    made = True
+        return made
+
+    def _deadlock_report(self) -> str:
+        pending = self.pending_programs()
+        lines = [
+            f"simulated deadlock at t={self.clock.now():.9f}: "
+            f"{len(pending)} of {len(self._order)} rank programs pending, "
+            "no events, no deadlines, nothing progressing"
+        ]
+        for prog in pending[:8]:
+            if prog.waiting is _ANY_EVENT:
+                what = "next event"
+            elif prog.waiting is None:
+                what = "not yet primed"
+            else:
+                what = ", ".join(repr(r) for r in prog.waiting[:4])
+            lines.append(f"  rank {prog.rank} waits on {what}")
+        if len(pending) > 8:
+            lines.append(f"  ... and {len(pending) - 8} more")
+        return "\n".join(lines)
+
+    def run(self, *, max_events: int | None = None) -> None:
+        """Drive events in virtual-time order until every registered
+        program finishes.  With no programs, returns immediately (use
+        :meth:`drain` to run the heap down instead)."""
+        if self.world is None:
+            raise RuntimeError("attach() a world before run()")
+        for prog in self._order:
+            if not prog.primed:
+                prog.primed = True
+                self._advance(prog)
+        start_events = self.stat_events
+        while self._n_done < len(self._order):
+            if self._heap:
+                self._dispatch_batch()
+                if (
+                    max_events is not None
+                    and self.stat_events - start_events > max_events
+                ):
+                    raise SimDeadlockError(
+                        f"exceeded max_events={max_events} with "
+                        f"{len(self.pending_programs())} programs pending"
+                    )
+                continue
+            if self._sweep():
+                continue
+            if not self.clock.idle_advance():
+                raise SimDeadlockError(self._deadlock_report())
+
+    def drain(self, *, max_events: int = 1_000_000) -> bool:
+        """Process events until the fabric and reliability layer are
+        quiescent (nothing in flight, nothing unacked); True on success.
+
+        Pending *periodic* deadlines (heartbeats) are left in the heap —
+        a detector re-arms forever and must not hold up quiescence.
+        """
+        world = self.world
+        start_events = self.stat_events
+
+        def quiet() -> bool:
+            return world.fabric.total_pending() == 0 and world.rel_quiescent()
+
+        while not quiet():
+            if self.stat_events - start_events > max_events:
+                return False
+            if self._heap:
+                self._dispatch_batch()
+                continue
+            if self._sweep():
+                continue
+            if not self.clock.idle_advance():
+                return quiet()
+        return True
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        return {
+            "timers": self.stat_timers,
+            "events": self.stat_events,
+            "passes": self.stat_passes,
+            "sweeps": self.stat_sweeps,
+            "heap": len(self._heap),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SimEngine(t={self.clock.now():.6f}, events={self.stat_events}, "
+            f"heap={len(self._heap)}, programs={len(self._order)})"
+        )

@@ -1,0 +1,67 @@
+"""The timer-registration contract between subsystems and the sim engine.
+
+Every subsystem that models offloaded or deferred work already tells the
+shared clock *when* something matures (``Clock.register_deadline``) so
+virtual-clock worlds can jump time forward.  Discrete-event simulation
+needs one more bit: *whose* progress pass will observe the maturation.
+This module is that contract — one function, :func:`post`, through which
+the netmod endpoint (NIC completions and wire arrivals), the p2p
+reliability layer (retransmit timeouts and backoff), the ft failure
+detector (heartbeat/suspicion deadlines), and the shmem transport (cell
+copy deadlines) all announce::
+
+    (rank, vci) has an event maturing at time t
+
+When no engine is installed (every wall-clock or plain virtual-clock
+world — the default), :func:`post` degrades to exactly the old
+``register_deadline`` call plus one attribute read, mirroring how the
+dsched sync facade is zero-cost when no scheduler is active.  When a
+:class:`repro.sim.SimEngine` is installed on the clock
+(``clock.timer_sink``), the announcement also lands in the engine's
+global event heap, and the engine steps exactly that rank's progress
+pass when virtual time reaches ``t`` — no thread per rank, no
+round-robin scan over thousands of idle ranks.
+
+Timer kinds (the ``kind`` tag) are free-form strings recorded in the
+engine's event trace; the wired sources use:
+
+========== =====================================================
+``nic_tx``  local NIC completion matures (sender side)
+``nic_rx``  wire arrival becomes visible to the target's poll
+``rel_rto`` first retransmit timeout of a reliable packet
+``rel_rtx`` backoff deadline of a retransmitted packet
+``hb``      heartbeat/suspicion wake-up of the failure detector
+``shm_tx``  shmem sender-side final-cell copy deadline
+``shm_rx``  shmem cell becomes poppable at the receiver
+========== =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.util.clock import Clock
+
+__all__ = ["TimerSink", "post"]
+
+
+class TimerSink(Protocol):
+    """What an installed discrete-event engine must implement."""
+
+    def timer(self, t: float, rank: int, vci: int, kind: str) -> None:
+        """An event for ``(rank, vci)`` matures at time ``t``."""
+
+
+def post(clock: "Clock", t: float, rank: int, vci: int = 0, kind: str = "") -> None:
+    """Announce an attributed deadline.
+
+    Always registers ``t`` with the clock (so plain virtual-clock worlds
+    keep jumping time exactly as before); additionally routes the
+    ``(t, rank, vci, kind)`` tuple to the installed
+    :class:`~repro.sim.SimEngine`, if any.
+    """
+    clock.register_deadline(t)
+    sink = clock.timer_sink
+    if sink is not None:
+        sink.timer(t, rank, vci, kind)

@@ -1,0 +1,227 @@
+"""Thousands of lightweight rank contexts in one process.
+
+:class:`SimWorld` bundles the pieces a scale-out simulation needs — a
+:class:`~repro.util.clock.VirtualClock`, a :class:`SimEngine` installed
+as its timer sink, and a :class:`~repro.runtime.world.World` built on
+that clock — and runs rank code as generators instead of OS threads.
+The thread-per-rank runner tops out at tens of ranks; a ``SimWorld``
+holds 4096 and steps only the rank whose state actually matured.
+
+Rank programs are generator functions taking a :class:`SimRank`::
+
+    def program(ctx):
+        out = np.zeros(1, dtype="i8")
+        yield ctx.comm.iallreduce(contrib, out, 1, repro.INT64, repro.SUM)
+        return int(out[0])
+
+    sim = SimWorld(256)
+    sim.spawn_all(program)
+    results = sim.run()        # 256 results, in rank order
+
+``yield`` is this mode's blocking wait (see
+:mod:`repro.sim.engine` for the full protocol, including ``yield None``
+and the errhandler semantics of failed requests).  Fault injection at a
+chosen *virtual* instant goes through :meth:`SimWorld.kill_at`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.config import RuntimeConfig
+from repro.core.request import Request
+from repro.runtime.world import World
+from repro.sim.engine import SimEngine, SimProgram
+from repro.util.clock import VirtualClock
+
+__all__ = ["SimWorld", "SimRank"]
+
+
+class SimRank:
+    """One rank's handles inside a :class:`SimWorld` (passed to every
+    spawned program)."""
+
+    __slots__ = ("sim", "rank", "proc", "comm")
+
+    def __init__(self, sim: "SimWorld", rank: int) -> None:
+        self.sim = sim
+        self.rank = rank
+        self.proc = sim.world.proc(rank)
+        self.comm = self.proc.comm_world
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimRank({self.rank}/{self.sim.nranks})"
+
+
+class SimWorld:
+    """A world of ``nranks`` simulated ranks driven by one event heap.
+
+    ``config=None`` defaults to ``RuntimeConfig(use_shmem=False)``: at
+    thousands of ranks everything is inter-node traffic on the modeled
+    fabric, and the default single-rank-per-node topology would never
+    route through shmem anyway.  Pass an explicit config to override.
+    """
+
+    def __init__(
+        self,
+        nranks: int,
+        *,
+        config: RuntimeConfig | None = None,
+        trace: bool = False,
+    ) -> None:
+        if config is None:
+            config = RuntimeConfig(use_shmem=False)
+        self.clock = VirtualClock()
+        self.engine = SimEngine(self.clock, trace=trace)
+        self.world = World(nranks, config=config, clock=self.clock)
+        self.engine.attach(self.world)
+        self._ctx: dict[int, SimRank] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def nranks(self) -> int:
+        return self.world.nranks
+
+    def rank(self, r: int) -> SimRank:
+        """The (cached) :class:`SimRank` context of rank ``r``."""
+        ctx = self._ctx.get(r)
+        if ctx is None:
+            ctx = self._ctx[r] = SimRank(self, r)
+        return ctx
+
+    # ------------------------------------------------------------------
+    # Programs.
+    # ------------------------------------------------------------------
+    def spawn(self, rank: int, fn: Callable, *args: Any, **kwargs: Any) -> SimProgram:
+        """Register generator function ``fn(ctx, *args, **kwargs)`` as
+        rank ``rank``'s program."""
+        ctx = self.rank(rank)
+        gen = fn(ctx, *args, **kwargs)
+        if not hasattr(gen, "send"):
+            raise TypeError(
+                f"{fn!r} is not a generator function — sim programs must "
+                "yield their waits (did you forget the yield?)"
+            )
+        return self.engine.add_program(rank, gen, vci=ctx.proc.default_stream.vci)
+
+    def spawn_all(
+        self, fn: Callable, *args: Any, ranks: Iterable[int] | None = None, **kwargs: Any
+    ) -> list[SimProgram]:
+        """Spawn ``fn`` on every (live) rank, in rank order."""
+        targets = range(self.nranks) if ranks is None else ranks
+        return [
+            self.spawn(r, fn, *args, **kwargs)
+            for r in targets
+            if not self.world.fabric.is_dead(r)
+        ]
+
+    def run(
+        self, *, return_exceptions: bool = False, max_events: int | None = None
+    ) -> list[Any]:
+        """Run the event loop until every program finishes.
+
+        Returns program results in spawn order.  A program that ended in
+        an exception re-raises it here (first failing program wins)
+        unless ``return_exceptions=True``, which puts the exception
+        object in its slot instead — the sim-mode analogue of the
+        thread runner's error collection.
+        """
+        self.engine.run(max_events=max_events)
+        out: list[Any] = []
+        for prog in self.engine.programs:
+            if prog.error is not None:
+                if not return_exceptions:
+                    raise prog.error
+                out.append(prog.error)
+            else:
+                out.append(prog.result)
+        return out
+
+    def run_collective(self, post: Callable) -> list[Any]:
+        """Convenience: run one collective on every rank.
+
+        ``post(ctx)`` must return a request, or ``(request, finish)``
+        where ``finish()`` produces the rank's result after completion.
+        """
+
+        def program(ctx: SimRank):
+            posted = post(ctx)
+            if isinstance(posted, Request):
+                req, finish = posted, None
+            else:
+                req, finish = posted
+            yield req
+            return finish() if finish is not None else None
+
+        self.spawn_all(program)
+        return self.run()
+
+    # ------------------------------------------------------------------
+    # Faults.
+    # ------------------------------------------------------------------
+    def kill_at(self, t: float, rank: int) -> None:
+        """Fail-stop ``rank`` when virtual time reaches ``t``."""
+        self.engine.call_at(t, lambda: self.world.fabric.kill_rank(rank), kind="kill")
+
+    # ------------------------------------------------------------------
+    # Quiescence and invariants.
+    # ------------------------------------------------------------------
+    def drain(self, **kwargs: Any) -> bool:
+        """Run the heap down to transport quiescence (see
+        :meth:`SimEngine.drain`)."""
+        return self.engine.drain(**kwargs)
+
+    def check_conservation(self) -> None:
+        """Assert the dsched message-conservation identities on the
+        fabric counters (raises
+        :class:`~repro.dsched.invariants.ConservationError`)."""
+        from repro.dsched.invariants import ConservationError
+
+        counts = self.world.fabric.conservation_counts()
+        scheduled = counts["posted"] - counts["dropped"] + counts["duplicated"]
+        if scheduled != counts["delivered"]:
+            raise ConservationError(
+                f"{scheduled} packet copies scheduled "
+                f"(posted={counts['posted']} dropped={counts['dropped']} "
+                f"duplicated={counts['duplicated']}) but "
+                f"{counts['delivered']} enqueued"
+            )
+        if counts["delivered"] != counts["harvested"] + counts["in_flight"]:
+            raise ConservationError(
+                f"delivered={counts['delivered']} != "
+                f"harvested={counts['harvested']} + "
+                f"in_flight={counts['in_flight']}"
+            )
+
+    # ------------------------------------------------------------------
+    def trace_digest(self) -> str:
+        """SHA-256 fingerprint of every event consumed so far."""
+        return self.engine.trace_digest()
+
+    def stats(self) -> dict[str, int]:
+        return self.engine.stats()
+
+    @property
+    def now(self) -> float:
+        return self.clock.now()
+
+    def finalize(self) -> None:
+        self.world.finalize()
+
+    def __enter__(self) -> "SimWorld":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.finalize()
+        else:
+            try:
+                self.finalize()
+            except Exception:
+                pass  # don't mask the in-flight test failure
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SimWorld(nranks={self.nranks}, t={self.clock.now():.6f}, "
+            f"events={self.engine.stat_events})"
+        )

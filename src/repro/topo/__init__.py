@@ -1,5 +1,11 @@
 """Process topologies: Cartesian grids and neighborhood collectives."""
 
-from repro.topo.cart import PROC_NULL, CartComm, cart_create, dims_create
+from repro.topo.cart import (
+    PROC_NULL,
+    CartComm,
+    cart_create,
+    cart_create_steps,
+    dims_create,
+)
 
-__all__ = ["PROC_NULL", "CartComm", "cart_create", "dims_create"]
+__all__ = ["PROC_NULL", "CartComm", "cart_create", "cart_create_steps", "dims_create"]

@@ -18,7 +18,7 @@ from repro.datatype.types import Datatype, as_writable_view
 from repro.errors import InvalidArgumentError
 from repro.p2p.matching import ANY_TAG
 
-__all__ = ["PROC_NULL", "dims_create", "CartComm"]
+__all__ = ["PROC_NULL", "dims_create", "CartComm", "cart_create", "cart_create_steps"]
 
 #: Null peer (MPI_PROC_NULL): sends vanish, receives complete empty.
 PROC_NULL = -2
@@ -236,16 +236,25 @@ def _combine(requests: list[Request]) -> Request:
     return combined
 
 
-def cart_create(
+def cart_create_steps(
     comm: Comm, dims: Sequence[int], periods: Sequence[bool] | None = None
-) -> CartComm:
-    """MPI_Cart_create (collective): attach a Cartesian grid to a new
-    communicator over the same ranks."""
+):
+    """Cooperative MPI_Cart_create for sim programs: yields the closing
+    barrier's request instead of blocking on it, returning the
+    :class:`CartComm` via ``StopIteration``."""
     if periods is None:
         periods = [False] * len(dims)
     if len(periods) != len(dims):
         raise InvalidArgumentError("dims/periods length mismatch")
     ctx = comm._alloc_child_context()
     cart = CartComm(comm, ctx, dims, periods)
-    comm.barrier()
+    yield comm.ibarrier()
     return cart
+
+
+def cart_create(
+    comm: Comm, dims: Sequence[int], periods: Sequence[bool] | None = None
+) -> CartComm:
+    """MPI_Cart_create (collective): attach a Cartesian grid to a new
+    communicator over the same ranks."""
+    return comm._drive_steps(cart_create_steps(comm, dims, periods))

@@ -31,6 +31,13 @@ __all__ = ["Clock", "MonotonicClock", "VirtualClock", "busy_wait_until"]
 class Clock(ABC):
     """Interface for time sources used by the runtime."""
 
+    #: Installed discrete-event sink (:class:`repro.sim.SimEngine`), or
+    #: None.  Subsystems announce *attributed* deadlines — "(rank, vci)
+    #: has something maturing at t" — through
+    #: :func:`repro.sim.timers.post`, which forwards to this sink when
+    #: one is installed and otherwise costs a single attribute read.
+    timer_sink: object | None = None
+
     @abstractmethod
     def now(self) -> float:
         """Current time in seconds (monotonic, arbitrary epoch)."""
@@ -78,10 +85,11 @@ class MonotonicClock(Clock):
     processes.
     """
 
-    __slots__ = ("_epoch",)
+    __slots__ = ("_epoch", "timer_sink")
 
     def __init__(self) -> None:
         self._epoch = time.perf_counter()
+        self.timer_sink = None
 
     def now(self) -> float:
         return time.perf_counter() - self._epoch
@@ -96,13 +104,14 @@ class VirtualClock(Clock):
     concurrent callers cannot skip an event.
     """
 
-    __slots__ = ("_now", "_lock", "_deadlines", "_counter")
+    __slots__ = ("_now", "_lock", "_deadlines", "_counter", "timer_sink")
 
     def __init__(self, start: float = 0.0) -> None:
         self._now = float(start)
         self._lock = threading.Lock()
         self._deadlines: list[tuple[float, int]] = []
         self._counter = itertools.count()
+        self.timer_sink = None
 
     def now(self) -> float:
         return self._now

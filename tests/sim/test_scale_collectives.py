@@ -1,0 +1,187 @@
+"""Scale correctness: collectives at P ∈ {256, 1024, 4096} in virtual
+time, asserting exact results and the O(log P) round bounds the
+algorithms claim (Schafer et al.'s user-level schedules make the same
+claims; here they are measured, not asserted on faith).
+
+Round counts are read two ways: per-rank message counts from the
+endpoint counters, and elapsed *virtual* time against the α+nβ model
+(each lockstep round costs one ``nic_wire_delay`` of propagation, so
+``vtime / wire_delay`` ≈ rounds for small messages).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import numpy as np
+import pytest
+
+import repro
+from repro.sim import SimWorld
+
+WIRE = repro.DEFAULT_CONFIG.nic_wire_delay
+
+
+def _allreduce_program(ctx):
+    out = np.zeros(1, dtype="i8")
+    contrib = np.array([ctx.rank + 1], dtype="i8")
+    yield ctx.comm.iallreduce(contrib, out, 1, repro.INT64, repro.SUM)
+    return int(out[0])
+
+
+def run_allreduce(P: int) -> SimWorld:
+    sim = SimWorld(P)
+    sim.spawn_all(_allreduce_program)
+    results = sim.run()
+    assert results == [P * (P + 1) // 2] * P
+    return sim
+
+
+class TestAllreduceScale:
+    @pytest.mark.parametrize("P", [256, 1024])
+    def test_recursive_doubling_exact_and_log_rounds(self, P):
+        sim = run_allreduce(P)
+        rounds = int(math.log2(P))
+        # recursive doubling: every rank sends exactly one message per
+        # round, and virtual time is exactly the lockstep round count
+        for r in range(P):
+            ep = sim.world.proc(r).p2p.endpoint_for(0)
+            assert ep.stat_posted == rounds
+        assert rounds * WIRE <= sim.now <= 2.0 * rounds * WIRE
+        assert sim.stats()["sweeps"] == 0
+        sim.check_conservation()
+
+    @pytest.mark.slow
+    def test_4096_ranks_deterministic_under_60s(self):
+        t0 = time.perf_counter()
+        sim1 = run_allreduce(4096)
+        elapsed = time.perf_counter() - t0
+        assert elapsed < 60.0, f"4096-rank allreduce took {elapsed:.1f}s"
+        sim2 = run_allreduce(4096)
+        # same seed → byte-identical event trace
+        assert sim1.trace_digest() == sim2.trace_digest()
+        assert sim1.now == sim2.now
+        rounds = 12
+        for r in (0, 1, 4095):
+            ep = sim1.world.proc(r).p2p.endpoint_for(0)
+            assert ep.stat_posted == rounds
+
+    def test_rabenseifner_long_messages(self):
+        # past allreduce_long_threshold the reduce-scatter/allgather
+        # composition kicks in: still exact, ~2 log P rounds
+        P = 64
+        n = 4096  # 32 KiB of float64 > 16 KiB threshold
+        sim = SimWorld(P)
+
+        def program(ctx):
+            out = np.zeros(n, dtype="f8")
+            contrib = np.full(n, float(ctx.rank + 1), dtype="f8")
+            yield ctx.comm.iallreduce(contrib, out, n, repro.DOUBLE, repro.SUM)
+            return float(out[0]), float(out[-1])
+
+        sim.spawn_all(program)
+        expected = float(P * (P + 1) // 2)
+        assert sim.run() == [(expected, expected)] * P
+        # 2 log P message rounds, with bandwidth (nβ) terms now visible
+        assert sim.now < 4 * math.log2(P) * (WIRE + 8 * n * 1e-10 + 1e-5)
+
+
+class TestBcastScale:
+    @pytest.mark.parametrize("P", [256, 1024])
+    def test_binomial_exact_and_log_depth(self, P):
+        sim = SimWorld(P)
+
+        def program(ctx):
+            buf = (
+                np.array([123456], dtype="i8")
+                if ctx.rank == 0
+                else np.zeros(1, dtype="i8")
+            )
+            yield ctx.comm.ibcast(buf, 1, repro.INT64, 0)
+            return int(buf[0])
+
+        sim.spawn_all(program)
+        assert sim.run() == [123456] * P
+        # binomial tree: P-1 point-to-point messages total, log P deep
+        total_posted = sum(
+            sim.world.proc(r).p2p.endpoint_for(0).stat_posted for r in range(P)
+        )
+        assert total_posted == P - 1
+        rounds = int(math.log2(P))
+        assert rounds * WIRE <= sim.now <= 2.0 * rounds * WIRE
+
+    @pytest.mark.slow
+    def test_4096_ranks(self):
+        P = 4096
+        sim = SimWorld(P)
+
+        def program(ctx):
+            buf = (
+                np.array([77], dtype="i8")
+                if ctx.rank == 0
+                else np.zeros(1, dtype="i8")
+            )
+            yield ctx.comm.ibcast(buf, 1, repro.INT64, 0)
+            return int(buf[0])
+
+        sim.spawn_all(program)
+        assert sim.run() == [77] * P
+
+
+class TestBarrierScale:
+    @pytest.mark.parametrize("P", [256, 1024])
+    def test_dissemination_log_rounds(self, P):
+        sim = SimWorld(P)
+
+        def program(ctx):
+            yield ctx.comm.ibarrier()
+            return sim.now
+
+        sim.spawn_all(program)
+        done_times = sim.run()
+        rounds = int(math.log2(P))
+        # dissemination: every rank sends one message per round
+        for r in range(P):
+            ep = sim.world.proc(r).p2p.endpoint_for(0)
+            assert ep.stat_posted == rounds
+        # nobody can leave before log P propagation delays
+        assert min(done_times) >= rounds * WIRE
+        assert sim.now <= 2.0 * rounds * WIRE
+
+
+class TestAllgatherScale:
+    @pytest.mark.parametrize("P", [64, 256])
+    def test_ring_exact_and_linear_rounds(self, P):
+        sim = SimWorld(P)
+
+        def program(ctx):
+            out = np.zeros(P, dtype="i8")
+            mine = np.array([ctx.rank * 10], dtype="i8")
+            yield ctx.comm.iallgather(mine, out, 1, repro.INT64)
+            return out.tolist()
+
+        sim.spawn_all(program)
+        expected = [r * 10 for r in range(P)]
+        assert sim.run() == [expected] * P
+        # ring: P-1 rounds, one send per rank per round
+        for r in range(P):
+            ep = sim.world.proc(r).p2p.endpoint_for(0)
+            assert ep.stat_posted == P - 1
+        assert (P - 1) * WIRE <= sim.now <= 2.0 * (P - 1) * WIRE
+
+    @pytest.mark.slow
+    def test_512_ranks(self):
+        # ring allgather is O(P^2) total messages — 512 is the largest
+        # size that stays within a sane slow-suite budget (~2 min)
+        P = 512
+        sim = SimWorld(P)
+
+        def program(ctx):
+            out = np.zeros(P, dtype="i4")
+            mine = np.array([ctx.rank], dtype="i4")
+            yield ctx.comm.iallgather(mine, out, 1, repro.INT)
+            return int(out[P - 1])
+
+        sim.spawn_all(program)
+        assert sim.run() == [P - 1] * P

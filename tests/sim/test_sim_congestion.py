@@ -1,0 +1,161 @@
+"""Fabric stress in virtual time: incast (everyone sends to rank 0),
+lossy links exercising the reliability retransmit timers, and a
+Cartesian neighbor exchange at grid scale."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro import topo
+from repro.sim import SimWorld
+
+BETA = repro.DEFAULT_CONFIG.nic_beta
+WIRE = repro.DEFAULT_CONFIG.nic_wire_delay
+
+
+class TestIncast:
+    def test_64_to_1_all_delivered_in_order(self):
+        # classic incast: 63 senders target rank 0 simultaneously, with
+        # several messages per sender to exercise per-pair FIFO order
+        P, per_sender = 64, 4
+        sim = SimWorld(P)
+
+        def sink(ctx):
+            out = np.zeros((P - 1, per_sender), dtype="i4")
+            reqs = []
+            for src in range(1, P):
+                for k in range(per_sender):
+                    reqs.append(
+                        ctx.comm.irecv(out[src - 1, k : k + 1], 1, repro.INT, src, k)
+                    )
+            yield reqs
+            return out.tolist()
+
+        def sender(ctx):
+            for k in range(per_sender):
+                # tag == sequence number; FIFO delivery means message k
+                # lands in slot k even though all were posted at once
+                yield ctx.comm.isend(
+                    np.array([ctx.rank * 100 + k], dtype="i4"),
+                    1,
+                    repro.INT,
+                    0,
+                    k,
+                )
+            return "sent"
+
+        sim.spawn(0, sink)
+        for r in range(1, P):
+            sim.spawn(r, sender)
+        results = sim.run()
+        expected = [[src * 100 + k for k in range(per_sender)] for src in range(1, P)]
+        assert results[0] == expected
+        counts = sim.world.fabric.conservation_counts()
+        assert counts["posted"] == (P - 1) * per_sender
+        assert counts["dropped"] == 0
+
+    def test_arrivals_never_overtake_within_a_pair(self):
+        # non-overtaking guarantee: per (src, dst) pair arrivals keep
+        # post order, even under ANY_SOURCE matching at the sink.
+        # (Cross-pair timestamp ties are legitimate — only the per-pair
+        # order is strict.)
+        sim = SimWorld(8, trace=True)
+
+        def sink(ctx):
+            out = np.zeros(7 * 16, dtype="i4")
+            reqs = [
+                ctx.comm.irecv(out[i : i + 1], 1, repro.INT, repro.ANY_SOURCE, 3)
+                for i in range(7 * 16)
+            ]
+            yield reqs
+            # pair each payload with the rank that sent it, in match
+            # (= arrival) order
+            return [(req.status.source, int(out[i])) for i, req in enumerate(reqs)]
+
+        def sender(ctx):
+            for k in range(16):
+                yield ctx.comm.isend(
+                    np.array([k], dtype="i4"), 1, repro.INT, 0, 3
+                )
+            return "sent"
+
+        sim.spawn(0, sink)
+        for r in range(1, 8):
+            sim.spawn(r, sender)
+        results = sim.run()
+        per_src = {src: [] for src in range(1, 8)}
+        for src, value in results[0]:
+            per_src[src].append(value)
+        for src, values in per_src.items():
+            assert values == list(range(16)), f"src {src} overtook: {values}"
+        rx_times = [
+            t for (t, rank, _, kind) in sim.engine.trace_events
+            if kind == "nic_rx" and rank == 0
+        ]
+        assert rx_times == sorted(rx_times)
+
+
+class TestLossyRetransmit:
+    def test_rel_timers_fire_and_books_balance(self):
+        cfg = repro.RuntimeConfig(
+            use_shmem=False,
+            fault_seed=7,
+            fault_drop_prob=0.3,
+            reliability="on",
+        )
+        sim = SimWorld(8, config=cfg, trace=True)
+
+        def program(ctx):
+            peer = ctx.rank ^ 1
+            out = np.zeros(64, dtype="i4")
+            rreq = ctx.comm.irecv(out, 64, repro.INT, peer, 5)
+            sreq = ctx.comm.isend(
+                np.full(64, ctx.rank, dtype="i4"), 64, repro.INT, peer, 5
+            )
+            yield [rreq, sreq]
+            return int(out[0])
+
+        sim.spawn_all(program)
+        assert sim.run() == [r ^ 1 for r in range(8)]
+        assert sim.drain()
+        sim.check_conservation()
+        kinds = {kind for (_, _, _, kind) in sim.engine.trace_events}
+        # a 30% drop rate must have armed RTO timers, and with seed 7 at
+        # least one retransmit backoff fires in virtual time
+        assert "rel_rto" in kinds
+        counts = sim.world.fabric.conservation_counts()
+        assert counts["dropped"] > 0
+
+
+class TestCartNeighborExchange:
+    @pytest.mark.parametrize("side", [16, pytest.param(32, marks=pytest.mark.slow)])
+    def test_periodic_2d_halo_exchange(self, side):
+        P = side * side
+        sim = SimWorld(P)
+
+        def program(ctx):
+            cart = yield from topo.cart_create_steps(
+                ctx.comm, [side, side], periods=[True, True]
+            )
+            # 4 neighbors in (down, up) per dim order; exchange ranks
+            recv = np.full(4, -1, dtype="i4")
+            send = np.array([cart.rank], dtype="i4")
+            yield cart.ineighbor_allgather(send, recv, 1, repro.INT)
+            return cart.coords(), recv.tolist()
+
+        sim.spawn_all(program)
+        results = sim.run()
+        for r, (coords, got) in enumerate(results):
+            x, y = coords
+            expect = [
+                ((x - 1) % side) * side + y,  # dim0 down
+                ((x + 1) % side) * side + y,  # dim0 up
+                x * side + (y - 1) % side,    # dim1 down
+                x * side + (y + 1) % side,    # dim1 up
+            ]
+            assert got == expect, f"rank {r} at {coords}"
+        # halo exchange is one round of nearest-neighbor traffic: the
+        # whole grid finishes in O(1) virtual time regardless of P
+        assert sim.now < 16 * WIRE

@@ -1,0 +1,150 @@
+"""Fault tolerance at simulated scale: kill a rank mid-collective at
+hundreds-to-thousands of ranks and verify the ULFM story holds — every
+survivor observes the failure exactly once (``ProcessFailedError`` from
+detection or ``RevokedError`` from the flood), then recovers with
+``agree``/``shrink`` driven cooperatively inside sim programs.
+
+The thread-per-rank ft suite (tests/ft/) proves the same semantics at
+P ≤ 8; these runs are the scale-out check the paper's fail-stop model
+needs but OS threads cannot reach.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import ProcessFailedError, RevokedError
+from repro.sim import SimWorld
+
+FT_CFG = dict(use_shmem=False, ft_detector="on")
+
+
+def _kill_before_allreduce(P: int, victim: int) -> list[str]:
+    """Fail-stop ``victim`` before a P-rank allreduce starts, so its
+    contribution never enters the reduction and every survivor must
+    observe the failure (a mid-round kill would NOT guarantee that:
+    recursive doubling carries each contribution along redundant paths,
+    so in-flight eager messages let most ranks finish with the full
+    sum).  Returns the per-survivor outcome labels."""
+    sim = SimWorld(P, config=repro.RuntimeConfig(**FT_CFG))
+    sim.world.fabric.kill_rank(victim)
+
+    def program(ctx):
+        out = np.zeros(1, dtype="i8")
+        contrib = np.array([ctx.rank + 1], dtype="i8")
+        try:
+            yield ctx.comm.iallreduce(contrib, out, 1, repro.INT64, repro.SUM)
+        except ProcessFailedError:
+            # first responder semantics: whoever sees the raw failure
+            # revokes so everyone else fails fast instead of timing out
+            if not ctx.comm.revoked:
+                ctx.comm.revoke()
+            return "failed"
+        except RevokedError:
+            return "revoked"
+        return "ok"
+
+    # spawn_all skips dead ranks, so every result is a survivor's
+    sim.spawn_all(program)
+    return sim.run()
+
+
+class TestKillAtScale:
+    @pytest.mark.parametrize(
+        "P", [128, pytest.param(256, marks=pytest.mark.slow)]
+    )
+    def test_every_survivor_errors_exactly_once(self, P):
+        labels = _kill_before_allreduce(P, victim=3)
+        # the generator returns exactly one label per survivor, so each
+        # survivor raised exactly once — and nobody slipped through
+        assert len(labels) == P - 1
+        assert set(labels) <= {"failed", "revoked"}
+        assert "ok" not in labels
+        assert labels.count("failed") >= 1
+
+    @pytest.mark.slow
+    def test_512_ranks(self):
+        # the revoke flood is O(P^2) control messages (every member
+        # re-broadcasts on first receipt), so 512 is the largest world
+        # that stays inside a sane slow-suite budget; the same detect ->
+        # revoke -> observe path is what runs at 1k+, only denser
+        labels = _kill_before_allreduce(512, victim=500)
+        assert len(labels) == 511
+        assert set(labels) <= {"failed", "revoked"}
+
+
+class TestRevokeFloodAtScale:
+    def test_flood_reaches_all_64_members(self):
+        P = 64
+        sim = SimWorld(P, config=repro.RuntimeConfig(use_shmem=False))
+
+        def initiator(ctx):
+            ctx.comm.revoke()
+            yield None
+            return "revoked-self"
+
+        def member(ctx):
+            ctx.comm.set_errhandler(repro.ERRORS_RETURN)
+            buf = np.zeros(1, dtype="i4")
+            req = ctx.comm.irecv(buf, 1, repro.INT, 0, 99)
+            while not req.is_complete():
+                yield None
+            assert isinstance(req.exception, RevokedError)
+            assert ctx.comm.revoked
+            return "saw-revoke"
+
+        sim.spawn(0, initiator)
+        for r in range(1, P):
+            sim.spawn(r, member)
+        results = sim.run()
+        assert results == ["revoked-self"] + ["saw-revoke"] * (P - 1)
+
+
+class TestAgreeShrinkAtScale:
+    def test_agree_is_bitwise_and_consensus(self):
+        P = 64
+        sim = SimWorld(P, config=repro.RuntimeConfig(use_shmem=False))
+
+        def program(ctx):
+            # rank 5 clears bit 1; consensus must drop it everywhere
+            mine = 0b0111 if ctx.rank == 5 else 0b1111
+            agreed = yield from ctx.comm.agree_steps(mine)
+            return agreed
+
+        sim.spawn_all(program)
+        assert sim.run() == [0b0111] * P
+
+    def test_shrink_after_kill_yields_identical_survivor_comm(self):
+        P = 64
+        victim = 17
+        sim = SimWorld(P, config=repro.RuntimeConfig(**FT_CFG))
+        sim.kill_at(1e-4, victim)
+
+        def corpse(ctx):
+            while True:
+                yield None
+
+        def survivor(ctx):
+            while victim not in ctx.proc.p2p.known_dead:
+                yield None
+            newcomm = yield from ctx.comm.shrink_steps()
+            return newcomm.size, tuple(newcomm.ranks), newcomm.rank
+
+        # results come back in spawn order: corpse first, then the
+        # survivors in old-rank order
+        sim.spawn(victim, corpse)
+        for r in range(P):
+            if r != victim:
+                sim.spawn(r, survivor)
+        results = sim.run(return_exceptions=True)
+        assert isinstance(results[0], ProcessFailedError)
+        expected_ranks = tuple(r for r in range(P) if r != victim)
+        survivors = results[1:]
+        # every survivor agrees on the same shrunk membership, and owns
+        # its own dense slot in it
+        assert [(s[0], s[1]) for s in survivors] == [
+            (P - 1, expected_ranks)
+        ] * (P - 1)
+        assert [s[2] for s in survivors] == list(range(P - 1))
