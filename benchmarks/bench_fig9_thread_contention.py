@@ -3,14 +3,23 @@
 Paper: threads concurrently executing progress contend on the global
 pending-task lock; observed latency rises with the thread count.
 
-Substitution note: this runs under the GIL (often on one core), so the
-wall-clock task latency absorbs interpreter time-slicing on top of lock
-contention.  The rising-latency shape still reproduces; the *mechanism*
-— blocking on the shared stream lock — is isolated separately by
-``bench_fig11_stream_scaling.py``'s lock-isolation measurement.
+Substitution note: on a GIL build this runs time-sliced (often on one
+core), so the wall-clock task latency absorbs interpreter scheduling on
+top of lock contention.  The rising-latency shape still reproduces; the
+*mechanism* — blocking on the shared stream lock — is isolated
+separately by ``bench_fig11_stream_scaling.py``'s lock-isolation
+measurement.  The recorded ``fig9_contention`` block (merged into
+``BENCH_parallel_progress.json``) carries the interpreter ``runtime``
+facts, so the gil-on and free-threaded CI legs produce directly
+comparable columns.
 """
 
-from repro.bench import measure_thread_contention_latency, print_figure
+from repro.bench import (
+    measure_thread_contention_latency,
+    print_figure,
+    record_bench_json,
+    runtime_info,
+)
 
 THREADS = [1, 2, 4, 8]
 
@@ -35,6 +44,19 @@ def test_fig9_shared_stream_latency_rises(benchmark):
         "(the paper's unfair-mutex 'lock monopoly') dilute the mean",
     )
     lat = dict(zip(latency.xs(), latency.medians_us()))
+    waits = dict(zip(lock_wait.xs(), lock_wait.medians_us()))
+    path = record_bench_json(
+        "BENCH_parallel_progress.json",
+        {
+            "fig9_contention": {
+                "latency_us": {str(int(k)): v for k, v in lat.items()},
+                "lock_wait_us": {str(int(k)): v for k, v in waits.items()},
+            },
+            "runtime": runtime_info(),
+        },
+        merge=True,
+    )
+    print(f"recorded: {path}")
     # The paper's headline shape: more shared-stream progress threads,
     # worse response latency.
     assert lat[8] > 2 * lat[1], lat
@@ -63,7 +85,12 @@ def main(argv=None):
     )
     lat = dict(zip(latency.xs(), latency.medians_us()))
     assert lat[max(threads)] > lat[1], lat
-    print(f"smoke ok: {lat}" if args.smoke else f"ok: {lat}")
+    rt = runtime_info()
+    tag = "gil" if rt["gil_enabled"] else "free-threaded"
+    print(
+        f"{'smoke ok' if args.smoke else 'ok'} "
+        f"({tag}, python {rt['python']}): {lat}"
+    )
 
 
 if __name__ == "__main__":

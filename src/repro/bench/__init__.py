@@ -29,6 +29,7 @@ from repro.bench.harness import (
     measure_user_native_small,
     measure_zero_copy_bandwidth,
     measure_zero_copy_idle_pass,
+    runtime_info,
 )
 from repro.bench.reporting import print_figure, print_rows, record_bench_json
 from repro.bench.workloads import DummyTaskBatch
@@ -56,6 +57,7 @@ __all__ = [
     "measure_user_coll_cache",
     "measure_user_native_small",
     "check_second_call_cache_hit",
+    "runtime_info",
     "print_figure",
     "print_rows",
     "record_bench_json",

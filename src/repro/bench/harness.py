@@ -19,9 +19,11 @@ from repro.exts.taskclass import TaskClassQueue
 from repro.runtime import run_world
 from repro.runtime.world import World
 from repro.util.clock import VirtualClock
+from repro.util.lockfree import is_free_threaded
 from repro.util.stats import LatencyRecorder, Series
 
 __all__ = [
+    "runtime_info",
     "measure_idle_pass_fastpath",
     "measure_pool_scaling",
     "measure_pool_idle_latency",
@@ -46,11 +48,34 @@ __all__ = [
 ]
 
 
+def runtime_info() -> dict:
+    """Interpreter build facts for the gil-on vs free-threaded bench
+    column: the same bench JSON is produced by the 3.11 (GIL) and 3.13t
+    (``PYTHON_GIL=0``) CI legs, and this dict is what tells them apart."""
+    import sys
+
+    check = getattr(sys, "_is_gil_enabled", None)
+    return {
+        "python": sys.version.split()[0],
+        "free_threaded_build": bool(sysconfig_gil_disabled()),
+        "gil_enabled": True if check is None else bool(check()),
+        "free_threaded": is_free_threaded(),
+    }
+
+
+def sysconfig_gil_disabled() -> bool:
+    import sysconfig
+
+    return bool(sysconfig.get_config_var("Py_GIL_DISABLED"))
+
+
 # ----------------------------------------------------------------------
 # Fast-path ablation — pending-work registry and bucketed matching.
 # ----------------------------------------------------------------------
 
-def _fastpath_proc(registry: bool, busy_collective: bool) -> Proc:
+def _fastpath_proc(
+    registry: bool, busy_collective: bool, *, lockfree: str = "auto"
+) -> Proc:
     """Rank 0 of a virtual world prepared for idle-pass timing.
 
     With ``busy_collective`` a collective schedule blocked on a receive
@@ -59,7 +84,9 @@ def _fastpath_proc(registry: bool, busy_collective: bool) -> Proc:
     with 3 of 4 subsystems idle that never makes progress.  Without it
     every subsystem is idle (the common steady-state pass).
     """
-    cfg = RuntimeConfig(use_shmem=False, progress_registry_skip=registry)
+    cfg = RuntimeConfig(
+        use_shmem=False, progress_registry_skip=registry, lockfree=lockfree
+    )
     world = World(2, clock=VirtualClock(), config=cfg)
     p0 = world.proc(0)
     if busy_collective:
@@ -116,6 +143,7 @@ def measure_pool_scaling(
     num_streams: int = 8,
     poll_cost: float = 200e-6,
     duration: float = 0.6,
+    lockfree: str = "auto",
 ) -> list[dict]:
     """Aggregate harvested-completions/sec vs pool worker count.
 
@@ -132,7 +160,7 @@ def measure_pool_scaling(
 
     rows: list[dict] = []
     for workers in worker_counts:
-        proc = repro.init()
+        proc = repro.init(config=RuntimeConfig(lockfree=lockfree))
         streams = [proc.stream_create() for _ in range(num_streams)]
         counts = [0] * num_streams
         live = {"on": True}
@@ -180,7 +208,7 @@ def measure_pool_scaling(
 
 
 def measure_pool_idle_latency(
-    *, passes: int = 20_000, repeats: int = 5
+    *, passes: int = 20_000, repeats: int = 5, lockfree: str = "auto"
 ) -> dict[str, float]:
     """Single-stream idle-pass latency with and without pool machinery.
 
@@ -196,7 +224,7 @@ def measure_pool_idle_latency(
 
     out: dict[str, float] = {}
     for label, with_pool in (("fastpath_us", False), ("pool_registered_us", True)):
-        p0 = _fastpath_proc(True, False)
+        p0 = _fastpath_proc(True, False, lockfree=lockfree)
         if with_pool:
             ProgressPool([(p0, p0.default_stream)], workers=4)
         run = p0.progress_engine.run_locked
@@ -319,7 +347,11 @@ def _threaded_dummy_run(
             rec = series.point(nthreads)
             lock_rec = lock_series.point(nthreads)
             for rep in range(repeats):
-                proc = repro.init()
+                # Lock-wait accounting is off on the hot path by
+                # default; this experiment REPORTS it, so turn it on.
+                proc = repro.init(
+                    config=RuntimeConfig(progress_lock_stats=True)
+                )
                 streams = (
                     [STREAM_NULL] * nthreads
                     if shared_stream

@@ -15,14 +15,28 @@ from repro.util.stats import Series, format_series_table
 __all__ = ["print_figure", "print_rows", "record_bench_json"]
 
 
-def record_bench_json(filename: str, payload: dict) -> str:
+def record_bench_json(filename: str, payload: dict, *, merge: bool = False) -> str:
     """Write a benchmark's result payload as pretty JSON.
 
     Relative filenames land in the current working directory (the repo
     root when run via pytest), matching the tracked ``BENCH_*.json``
-    reproduction records.  Returns the absolute path written.
+    reproduction records.  With ``merge=True`` the payload's top-level
+    keys are merged over any existing record instead of replacing the
+    whole file — used when several benches contribute blocks to one
+    artifact (e.g. the parallel-progress and Fig. 9 contention blocks
+    of ``BENCH_parallel_progress.json``).  Returns the absolute path
+    written.
     """
     path = os.path.abspath(filename)
+    if merge and os.path.exists(path):
+        try:
+            with open(path) as f:
+                existing = json.load(f)
+        except (OSError, json.JSONDecodeError):
+            existing = {}
+        if isinstance(existing, dict):
+            existing.update(payload)
+            payload = existing
     with open(path, "w") as f:
         json.dump(payload, f, indent=2, sort_keys=True)
         f.write("\n")

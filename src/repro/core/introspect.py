@@ -204,9 +204,11 @@ def snapshot(proc: "Proc", pool: Any | None = None) -> ProgressSnapshot:
     )
     return ProgressSnapshot(
         rank=proc.rank,
-        engine_passes=proc.progress_engine.stat_passes,
-        subsystem_polls=proc.progress_engine.stat_subsystem_polls,
-        skipped_polls=proc.progress_engine.stat_skipped_polls,
+        # Engine counters are per-thread sharded (ShardedCounter);
+        # int() aggregates the shards into the exact total.
+        engine_passes=int(proc.progress_engine.stat_passes),
+        subsystem_polls=int(proc.progress_engine.stat_subsystem_polls),
+        skipped_polls=int(proc.progress_engine.stat_skipped_polls),
         pending_async_tasks=proc.pending_async_tasks,
         datatype_active_tasks=proc.datatype_engine.active_tasks,
         collective_active_scheds=proc.coll_engine.active_count,

@@ -46,6 +46,7 @@ from repro.core.async_ext import (
 from repro.core.stream import MpixStream
 from repro.errors import MpiError, ProgressReentryError
 from repro.util import sync as _sync
+from repro.util.lockfree import ShardedCounter
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.mpi import Proc
@@ -95,9 +96,16 @@ class ProgressEngine:
         )
         #: per-VCI busy-check closures (pending-work registry)
         self._busy_checks: dict[int, Callable[[], list[str] | None]] = {}
-        self.stat_passes = 0
-        self.stat_subsystem_polls = 0
-        self.stat_skipped_polls = 0
+        #: lock-wait accounting costs two clock reads per pass; the
+        #: contention benches turn it on, the hot path leaves it off
+        self._lock_stats = self.config.progress_lock_stats
+        #: engine-wide counters are bumped by every pool worker (each
+        #: under a *different* stream lock, so ``+=`` would race — A4 in
+        #: :mod:`repro.util.lockfree`); sharded per thread, aggregated
+        #: by ``introspect.snapshot``
+        self.stat_passes = ShardedCounter()
+        self.stat_subsystem_polls = ShardedCounter()
+        self.stat_skipped_polls = ShardedCounter()
 
     # ------------------------------------------------------------------
     # Subsystem pollers.
@@ -128,7 +136,7 @@ class ProgressEngine:
         datatype = proc.datatype_engine
         coll_work = proc.coll_engine.work_list(vci)
         p2p = proc.p2p
-        endpoint = p2p.endpoint_for(vci)
+        netmod_probe = p2p.endpoint_for(vci).idle_probe()
         shmem_probe = (
             p2p.shmem.idle_probe((p2p.rank, vci))
             if p2p.shmem is not None and self.config.use_shmem
@@ -149,7 +157,7 @@ class ProgressEngine:
                     names = ["shmem"]
                 else:
                     names.append("shmem")
-            if endpoint.pending:
+            if netmod_probe():
                 if names is None:
                     names = ["netmod"]
                 else:
@@ -188,7 +196,7 @@ class ProgressEngine:
     # ------------------------------------------------------------------
     def run_locked(self, stream: MpixStream, state: ProgressState | None = None) -> bool:
         """One collated pass for ``stream``; True if anything advanced."""
-        self.stat_passes += 1
+        self.stat_passes.add(1)
         made = False
         skip = state.skip if state is not None else None
         if self._registry_on:
@@ -223,11 +231,11 @@ class ProgressEngine:
                 n_eligible = len(eligible)
             skipped = n_eligible - (0 if to_poll is None else len(to_poll))
             if skipped:
-                self.stat_skipped_polls += skipped
+                self.stat_skipped_polls.add(skipped)
                 stream.stat_skipped_polls += skipped
             if to_poll is not None:
                 for name in to_poll:
-                    self.stat_subsystem_polls += 1
+                    self.stat_subsystem_polls.add(1)
                     stream.stat_subsystem_polls += 1
                     if self._pollers[name](stream):
                         made = True
@@ -241,7 +249,7 @@ class ProgressEngine:
                     skip is not None and name in skip
                 ) or name in stream.skip_subsystems:
                     continue
-                self.stat_subsystem_polls += 1
+                self.stat_subsystem_polls.add(1)
                 stream.stat_subsystem_polls += 1
                 if self._pollers[name](stream):
                     made = True
@@ -342,9 +350,19 @@ class ProgressEngine:
                 "progress invoked recursively from inside a progress hook; "
                 "use mpix_request_is_complete instead (paper section 3.4)"
             )
-        t_acquire = self._clock.now()
+        if self._lock_stats:
+            t_acquire = self._clock.now()
+            with stream.lock:
+                stream.stat_lock_wait_s += self._clock.now() - t_acquire
+                stream.stat_lock_acquires += 1
+                stream._progress_depth += 1
+                stream._owner = ident
+                stream.stat_progress_calls += 1
+                try:
+                    return self.run_locked(stream, state)
+                finally:
+                    stream._progress_depth -= 1
         with stream.lock:
-            stream.stat_lock_wait_s += self._clock.now() - t_acquire
             stream.stat_lock_acquires += 1
             stream._progress_depth += 1
             stream._owner = ident

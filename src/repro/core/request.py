@@ -2,8 +2,11 @@
 
 The paper's ``MPIX_Request_is_complete`` (section 3.4) is specified as
 a side-effect-free atomic flag read.  :class:`Request` keeps completion
-in an attribute whose load is GIL-atomic, so :meth:`is_complete` is a
-plain read with no locking and — crucially — *no progress invocation*.
+in an attribute whose load is untorn on both GIL and free-threaded
+CPython builds (assumption A1 in :mod:`repro.util.lockfree`; the store
+in :meth:`complete` is ordered after the status-field stores per A3),
+so :meth:`is_complete` is a plain read with no locking and — crucially
+— *no progress invocation*.
 
 ``test``/``wait`` (which DO invoke progress) live on the process
 context (:mod:`repro.core.mpi`), because progress needs the engine.

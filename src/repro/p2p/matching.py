@@ -16,18 +16,30 @@ scan implementation as an executable specification: the differential
 property tests assert the bucketed queues match them operation for
 operation, and the fast-path benchmark measures them as the "before".
 
-Queues are per-VCI and protected by the owning stream's lock, so they
-need no internal locking.
+Locking: the raw queue classes have no internal locking.  They are
+owned per-VCI by a :class:`MatchShard`, whose narrow per-VCI lock
+covers exactly the check-then-act pairs MPI matching requires to be
+atomic (arrival: match-posted-else-queue-unexpected; receive:
+match-unexpected-else-post) — nothing else.  Historically the queues
+leaned on the owning stream's lock being held around every access; the
+shard makes the matching state self-consistent on its own, which is
+what lets the endpoint harvest path go lock-free and keeps matching
+correct on free-threaded builds when application threads probe or
+cancel concurrently with a progress pass.  See the per-VCI lock table
+in DESIGN.md §14.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Iterator
+from typing import Any, Callable, Iterator
+
+from repro.util import sync as _sync
 
 __all__ = [
     "ANY_SOURCE",
     "ANY_TAG",
+    "MatchShard",
     "PostedQueue",
     "UnexpectedQueue",
     "ListPostedQueue",
@@ -256,6 +268,85 @@ class UnexpectedQueue:
 
     def __iter__(self) -> Iterator[Any]:
         return (r.entry for r in self._order if r.alive)
+
+
+class MatchShard:
+    """Per-VCI matching shard: the posted/unexpected pair plus the one
+    narrow lock that makes their combined check-then-act operations
+    atomic.
+
+    The shard lock covers *only* queue state — no request completion,
+    no payload delivery, no protocol callbacks run under it — so its
+    critical sections are a handful of dict/deque operations.  Lock
+    ordering: the dispatch path acquires the shard lock while holding
+    the owning stream's lock (stream → shard); no shard method ever
+    acquires a stream lock, so the inverse edge cannot exist and the
+    pair is deadlock-free by construction (audited in DESIGN.md §14).
+    """
+
+    __slots__ = ("posted", "unexpected", "_lock")
+
+    def __init__(self, vci: int) -> None:
+        self.posted = PostedQueue()
+        self.unexpected = UnexpectedQueue()
+        self._lock = _sync.make_lock(f"p2p.match.vci{vci}")
+
+    # -- receive side --------------------------------------------------
+    def recv_match_or_post(
+        self, context_id: int, src: int, tag: int, entry: Any
+    ) -> Any | None:
+        """Atomically match a new receive against the unexpected queue,
+        or post it.  Returns the matched unexpected message, or None
+        when ``entry`` was posted (the arrival will find it)."""
+        with self._lock:
+            msg = self.unexpected.match(context_id, src, tag)
+            if msg is None:
+                self.posted.post(context_id, src, tag, entry)
+            return msg
+
+    def remove_posted(self, entry: Any) -> bool:
+        """Withdraw a posted receive (cancellation, dead-peer sweeps)."""
+        with self._lock:
+            return self.posted.remove(entry)
+
+    # -- arrival side --------------------------------------------------
+    def arrival_match_or_add(
+        self, context_id: int, msg_src: int, msg_tag: int, msg: Any
+    ) -> Any | None:
+        """Atomically match an arrival against the posted queue, or
+        queue it as unexpected.  Returns the matched posted entry, or
+        None when ``msg`` was queued."""
+        with self._lock:
+            entry = self.posted.match(context_id, msg_src, msg_tag)
+            if entry is None:
+                self.unexpected.add(context_id, msg_src, msg_tag, msg)
+            return entry
+
+    # -- probe / sweep side --------------------------------------------
+    def pop_unexpected(self, context_id: int, src: int, tag: int) -> Any | None:
+        """Pop a queued unexpected message (mprobe / revoke sweeps)."""
+        with self._lock:
+            return self.unexpected.match(context_id, src, tag)
+
+    def peek_unexpected(self, context_id: int, src: int, tag: int) -> Any | None:
+        """Inspect without consuming (MPI_Iprobe)."""
+        with self._lock:
+            return self.unexpected.peek(context_id, src, tag)
+
+    def posted_entries(self) -> list[Any]:
+        """Ordered snapshot of live posted entries (sweep iteration)."""
+        with self._lock:
+            return list(self.posted)
+
+    def unexpected_entries(self) -> list[Any]:
+        """Ordered snapshot of queued unexpected messages."""
+        with self._lock:
+            return list(self.unexpected)
+
+    def counts(self) -> tuple[int, int]:
+        """(posted, unexpected) lengths, consistently."""
+        with self._lock:
+            return len(self.posted), len(self.unexpected)
 
 
 class ListPostedQueue:

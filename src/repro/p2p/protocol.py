@@ -54,7 +54,7 @@ from repro.mem.pool import MIN_CLASS_BYTES, BufferPool
 POOL_STAGE_MIN = 4096
 from repro.netmod.fabric import Fabric
 from repro.netmod.packet import Packet
-from repro.p2p.matching import ANY_SOURCE, ANY_TAG, PostedQueue, UnexpectedQueue
+from repro.p2p.matching import ANY_SOURCE, ANY_TAG, MatchShard
 from repro.p2p.reliability import RelVciState, TxLink, UnackedEntry
 from repro.shmem.transport import ShmemTransport
 from repro.sim import timers as _timers
@@ -214,10 +214,19 @@ class _UnexpectedMsg:
 
 
 class VciState:
-    """Per-VCI messaging state: queues, active entries, endpoint."""
+    """Per-VCI messaging state: queues, active entries, endpoint.
+
+    Matching lives in a :class:`~repro.p2p.matching.MatchShard` — a
+    per-VCI structure whose narrow internal lock covers only the
+    check-then-act pairs (match-unexpected-else-post and
+    match-posted-else-add).  ``posted``/``unexpected`` stay as aliases
+    of the shard's queues so length reads and introspection keep
+    working; mutation goes through shard methods.
+    """
 
     __slots__ = (
         "vci",
+        "match",
         "posted",
         "unexpected",
         "sends",
@@ -228,8 +237,9 @@ class VciState:
 
     def __init__(self, vci: int) -> None:
         self.vci = vci
-        self.posted = PostedQueue()
-        self.unexpected = UnexpectedQueue()
+        self.match = MatchShard(vci)
+        self.posted = self.match.posted
+        self.unexpected = self.match.unexpected
         #: active sender state machines by msg_id
         self.sends: dict[int, SendEntry] = {}
         #: receives awaiting rendezvous/pipeline data by (src_addr, msg_id)
@@ -715,9 +725,9 @@ class P2PEngine:
             return False
         made = False
         # Posted receives naming a dead source.
-        for entry in list(state.posted):
+        for entry in state.match.posted_entries():
             if entry.src in dead and not entry.req.is_complete():
-                state.posted.remove(entry)
+                state.match.remove_posted(entry)
                 entry.req.fail(self._proc_failed_exc(entry.src), ERR_PROC_FAILED)
                 made = True
         # Rendezvous/pipeline receives awaiting data from a dead source.
@@ -785,13 +795,13 @@ class P2PEngine:
         state = self.vci_state(vci)
         ctx_set = set(ctxs)
         code = error_code_for(exc)
-        for entry in list(state.posted):
+        for entry in state.match.posted_entries():
             if (
                 entry.context_id in ctx_set
                 and entry.tag < FT_RESERVED_TAG
                 and not entry.req.is_complete()
             ):
-                state.posted.remove(entry)
+                state.match.remove_posted(entry)
                 entry.req.fail(exc, code)
         for key, entry in list(state.recvs.items()):
             if entry.context_id in ctx_set and entry.tag < FT_RESERVED_TAG:
@@ -809,10 +819,10 @@ class P2PEngine:
                 entry.req.fail(exc, code)
         # Queued unexpected messages on a revoked context can never be
         # matched again; drop them (and their payload leases) now.
-        for msg in list(state.unexpected):
+        for msg in state.match.unexpected_entries():
             header = msg.header
             if header["ctx"] in ctx_set and header["tag"] < FT_RESERVED_TAG:
-                popped = state.unexpected.match(
+                popped = state.match.pop_unexpected(
                     header["ctx"], header["src_rank"], header["tag"]
                 )
                 if popped is not None and popped.lease is not None:
@@ -1205,9 +1215,10 @@ class P2PEngine:
         entry = RecvEntry(req, buf, count, datatype, src, tag, context_id)
         state = self.vci_state(vci)
 
-        msg = state.unexpected.match(context_id, src, tag)
+        # One shard critical section: match-unexpected-else-post must be
+        # atomic or a concurrent arrival could miss the posted entry.
+        msg = state.match.recv_match_or_post(context_id, src, tag, entry)
         if msg is None:
-            state.posted.post(context_id, src, tag, entry)
             req.add_wait_block()  # will wait for arrival
             return req
 
@@ -1382,7 +1393,7 @@ class P2PEngine:
         matches (the core layer drives progress around this).
         """
         state = self.vci_state(vci)
-        return state.unexpected.match(context_id, src, tag)
+        return state.match.pop_unexpected(context_id, src, tag)
 
     def imrecv(
         self,
@@ -1423,7 +1434,7 @@ class P2PEngine:
         layer invokes progress around this.
         """
         state = self.vci_state(vci)
-        msg = state.unexpected.peek(context_id, src, tag)
+        msg = state.match.peek_unexpected(context_id, src, tag)
         if msg is None:
             return None
         return {
@@ -1435,9 +1446,9 @@ class P2PEngine:
     def cancel_recv(self, vci: int, req: Request) -> bool:
         """Cancel a still-posted receive; True on success."""
         state = self.vci_state(vci)
-        for entry in list(state.posted):
+        for entry in state.match.posted_entries():
             if entry.req is req:
-                state.posted.remove(entry)
+                state.match.remove_posted(entry)
                 req.status.cancelled = True
                 req.complete(count_bytes=0)
                 return True
@@ -1548,32 +1559,27 @@ class P2PEngine:
                 win.handle_packet(self, vci, packet)
             return False
         if kind == "eager":
-            entry = state.posted.match(
-                header["ctx"], header["src_rank"], header["tag"]
-            )
-            if entry is not None:
-                self._deliver_eager(entry, header, packet.payload)
-                return False
-            state.unexpected.add(
+            # One shard critical section: match-posted-else-add must be
+            # atomic or a concurrent irecv could miss this arrival.
+            entry = state.match.arrival_match_or_add(
                 header["ctx"],
                 header["src_rank"],
                 header["tag"],
                 _UnexpectedMsg("eager", packet.src, header, packet.payload, packet.lease),
             )
+            if entry is not None:
+                self._deliver_eager(entry, header, packet.payload)
+                return False
             return True
         if kind == "rts":
-            entry = state.posted.match(
-                header["ctx"], header["src_rank"], header["tag"]
+            entry = state.match.arrival_match_or_add(
+                header["ctx"],
+                header["src_rank"],
+                header["tag"],
+                _UnexpectedMsg("rts", packet.src, header, b""),
             )
             if entry is not None:
                 self._accept_rts(vci, state, entry, packet.src, header)
-            else:
-                state.unexpected.add(
-                    header["ctx"],
-                    header["src_rank"],
-                    header["tag"],
-                    _UnexpectedMsg("rts", packet.src, header, b""),
-                )
         elif kind == "cts":
             self._handle_cts(vci, state, header["msg_id"])
         elif kind == "rdata":

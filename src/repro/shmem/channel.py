@@ -7,6 +7,7 @@ from typing import Any
 
 from repro.sim import timers as _timers
 from repro.util.clock import Clock
+from repro.util.lockfree import SpscRing
 from repro.util.ringbuf import RingBuffer
 
 __all__ = ["Cell", "RingChannel"]
@@ -45,6 +46,14 @@ class RingChannel:
     :meth:`pop_ready`.  Capacity pressure is surfaced to the transport,
     which queues overflow chunks on the sender and retries them from
     shmem progress.
+
+    The use IS single-producer/single-consumer per direction — pushes
+    run under the sending address's stream lock, pops under the
+    receiving address's — so with ``lockfree=True`` the backing ring is
+    the sequence-counter :class:`~repro.util.lockfree.SpscRing` and the
+    per-cell lock round-trips disappear.  The locked
+    :class:`~repro.util.ringbuf.RingBuffer` remains the default (and
+    the differential-test reference).
     """
 
     __slots__ = ("src", "dst", "_ring", "_clock")
@@ -55,10 +64,14 @@ class RingChannel:
         dst: tuple[int, int],
         capacity: int,
         clock: Clock,
+        *,
+        lockfree: bool = False,
     ) -> None:
         self.src = src
         self.dst = dst
-        self._ring: RingBuffer[Cell] = RingBuffer(capacity)
+        self._ring: SpscRing[Cell] | RingBuffer[Cell] = (
+            SpscRing(capacity) if lockfree else RingBuffer(capacity)
+        )
         self._clock = clock
 
     @property

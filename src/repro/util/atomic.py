@@ -1,10 +1,15 @@
 """Tiny atomic primitives.
 
-CPython's GIL makes single attribute loads and stores atomic, which is
+Memory model: these rely on the explicit assumptions documented in
+:mod:`repro.util.lockfree` — not on "the GIL makes loads/stores
+atomic", which is void on free-threaded CPython.  Specifically, a
+single attribute load or store is untorn on both builds (A1), which is
 exactly the guarantee ``MPIX_Request_is_complete`` needs: the paper
-specifies it as "an atomic flag read" with no side effects.  Read-modify-
-write operations still need a lock, which :class:`AtomicCounter`
-encapsulates.
+specifies it as "an atomic flag read" with no side effects.
+Read-modify-write is NOT atomic on either build (A4), so
+:class:`AtomicCounter` takes a lock around its updates; writers that
+can be sharded per thread should prefer
+:class:`repro.util.lockfree.ShardedCounter` instead.
 """
 
 from __future__ import annotations
@@ -17,9 +22,10 @@ __all__ = ["AtomicFlag", "AtomicCounter"]
 class AtomicFlag:
     """One-way boolean flag: starts clear, may be set once (or more).
 
-    Reads are lock-free (a plain attribute load); writes publish via a
-    simple store.  This mirrors the release/acquire flag MPICH uses for
-    request completion.
+    Reads are lock-free (a plain attribute load, untorn per A1 in
+    :mod:`repro.util.lockfree`); writes publish via a simple store,
+    ordered after the writer's earlier stores (A3).  This mirrors the
+    release/acquire flag MPICH uses for request completion.
     """
 
     __slots__ = ("_value",)

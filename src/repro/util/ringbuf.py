@@ -1,9 +1,16 @@
-"""Bounded ring buffer used by the shared-memory transport.
+"""Bounded ring buffer: the locked reference implementation.
 
 Models the fixed pool of copy cells a real shm transport allocates per
 rank pair: a sender that outruns the receiver observes ``full()`` and
 must wait — which is precisely where the extra wait blocks of on-node
 pipeline transfers (Fig. 1 discussion) come from.
+
+The shmem transport's per-direction use is single-producer/single-
+consumer, and on lock-free runtimes (``RuntimeConfig.lockfree``) it
+routes onto :class:`repro.util.lockfree.SpscRing` instead.  This locked
+ring stays as the executable specification: the hypothesis differential
+property in ``tests/util/test_lockfree.py`` asserts the two agree on
+arbitrary push/pop interleavings.
 """
 
 from __future__ import annotations

@@ -16,57 +16,117 @@ from dataclasses import dataclass, field
 __all__ = ["LatencyRecorder", "Series", "format_series_table"]
 
 
+class _WelfordShard:
+    """One thread's private Welford accumulator (single writer)."""
+
+    __slots__ = ("n", "mean", "m2", "min", "max", "samples")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.mean = 0.0
+        self.m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.samples: list[float] = []
+
+
 class LatencyRecorder:
     """Streaming statistics over latency samples (seconds).
 
-    Uses Welford's algorithm for numerically stable mean/variance and
-    keeps the raw samples (bounded by ``keep``) for percentile queries.
-    Thread-safe so per-thread benchmark workers can share one recorder.
+    Each thread accumulates into its own private Welford shard, so the
+    hot :meth:`add` path takes no lock at all — per-thread benchmark
+    workers sharing one recorder never contend.  Readers aggregate the
+    shards with Chan's parallel-Welford merge, which reproduces the
+    single-stream moments *exactly* (same n/mean/M2, so identical
+    mean/variance) once the writing threads have quiesced; the memory
+    model this relies on is documented in :mod:`repro.util.lockfree`
+    (a join or any other happens-before edge publishes the shards).
+    A small lock guards only shard allocation (once per thread).
+
+    ``keep`` bounds the raw samples retained *per shard* for percentile
+    queries; single-threaded use retains exactly ``keep`` samples, the
+    pre-shard behaviour.
     """
 
-    __slots__ = ("_lock", "_n", "_mean", "_m2", "_min", "_max", "_keep", "_samples")
+    __slots__ = ("_local", "_shards", "_alloc_lock", "_keep")
 
     def __init__(self, keep: int = 1 << 20) -> None:
-        self._lock = threading.Lock()
-        self._n = 0
-        self._mean = 0.0
-        self._m2 = 0.0
-        self._min = math.inf
-        self._max = -math.inf
+        self._local = threading.local()
+        #: copy-on-write tuple of every shard ever allocated; readers
+        #: iterate a snapshot, never a mutating list
+        self._shards: tuple[_WelfordShard, ...] = ()
+        self._alloc_lock = threading.Lock()
         self._keep = keep
-        self._samples: list[float] = []
+
+    def _shard(self) -> _WelfordShard:
+        sh = getattr(self._local, "shard", None)
+        if sh is None:
+            sh = _WelfordShard()
+            with self._alloc_lock:
+                self._shards = self._shards + (sh,)
+            self._local.shard = sh
+        return sh
 
     def add(self, sample: float) -> None:
-        with self._lock:
-            self._n += 1
-            delta = sample - self._mean
-            self._mean += delta / self._n
-            self._m2 += delta * (sample - self._mean)
-            if sample < self._min:
-                self._min = sample
-            if sample > self._max:
-                self._max = sample
-            if len(self._samples) < self._keep:
-                self._samples.append(sample)
+        sh = self._shard()
+        sh.n += 1
+        delta = sample - sh.mean
+        sh.mean += delta / sh.n
+        sh.m2 += delta * (sample - sh.mean)
+        if sample < sh.min:
+            sh.min = sample
+        if sample > sh.max:
+            sh.max = sample
+        if len(sh.samples) < self._keep:
+            sh.samples.append(sample)
+
+    def _aggregate(self) -> tuple[int, float, float, float, float]:
+        """Chan's parallel Welford over a shard snapshot: exact totals."""
+        n = 0
+        mean = 0.0
+        m2 = 0.0
+        lo = math.inf
+        hi = -math.inf
+        for sh in self._shards:
+            sn = sh.n
+            if not sn:
+                continue
+            delta = sh.mean - mean
+            total = n + sn
+            m2 += sh.m2 + delta * delta * n * sn / total
+            mean += delta * sn / total
+            n = total
+            if sh.min < lo:
+                lo = sh.min
+            if sh.max > hi:
+                hi = sh.max
+        return n, mean, m2, lo, hi
+
+    def samples(self) -> list[float]:
+        """The retained raw samples across all shards (unordered)."""
+        out: list[float] = []
+        for sh in self._shards:
+            out.extend(sh.samples)
+        return out
 
     def merge(self, other: "LatencyRecorder") -> None:
-        """Fold another recorder's samples into this one."""
-        with other._lock:
-            samples = list(other._samples)
-        for s in samples:
+        """Fold another recorder's retained samples into this one."""
+        for s in other.samples():
             self.add(s)
 
     @property
     def count(self) -> int:
-        return self._n
+        return self._aggregate()[0]
 
     @property
     def mean(self) -> float:
-        return self._mean if self._n else math.nan
+        n, mean, _, _, _ = self._aggregate()
+        return mean if n else math.nan
 
     @property
     def variance(self) -> float:
-        return self._m2 / (self._n - 1) if self._n > 1 else 0.0
+        n, _, m2, _, _ = self._aggregate()
+        return m2 / (n - 1) if n > 1 else 0.0
 
     @property
     def stddev(self) -> float:
@@ -74,18 +134,19 @@ class LatencyRecorder:
 
     @property
     def min(self) -> float:
-        return self._min if self._n else math.nan
+        n, _, _, lo, _ = self._aggregate()
+        return lo if n else math.nan
 
     @property
     def max(self) -> float:
-        return self._max if self._n else math.nan
+        n, _, _, _, hi = self._aggregate()
+        return hi if n else math.nan
 
     def percentile(self, p: float) -> float:
         """Linear-interpolated percentile ``p`` in [0, 100]."""
         if not 0.0 <= p <= 100.0:
             raise ValueError("percentile must be in [0, 100]")
-        with self._lock:
-            data = sorted(self._samples)
+        data = sorted(self.samples())
         if not data:
             return math.nan
         if len(data) == 1:
@@ -103,7 +164,7 @@ class LatencyRecorder:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"LatencyRecorder(n={self._n}, mean={self.mean:.3e}, "
+            f"LatencyRecorder(n={self.count}, mean={self.mean:.3e}, "
             f"min={self.min:.3e}, max={self.max:.3e})"
         )
 

@@ -62,7 +62,7 @@ class TestLatencyRecorder:
         for i in range(100):
             rec.add(float(i))
         assert rec.count == 100
-        assert len(rec._samples) == 10
+        assert len(rec.samples()) == 10
         # Welford stats still exact despite the sample cap.
         assert rec.mean == pytest.approx(49.5)
 
