@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import os
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 from typing import Any
 
 __all__ = ["RuntimeConfig", "DEFAULT_CONFIG"]
@@ -311,6 +311,34 @@ class RuntimeConfig:
     schedule_cache_max_plans: int = 128
 
     # ------------------------------------------------------------------
+    # Multi-process fabric backend (procmod).
+    # ------------------------------------------------------------------
+    #: Inline payload capacity of one shm-segment ring cell (bytes).
+    #: Frames whose payload fits travel entirely inside the cell;
+    #: larger payloads spill into the segment's arena region.
+    procmod_cell_size: int = 4096
+
+    #: Cells per directed shm link (SPSC ring depth).
+    procmod_num_cells: int = 32
+
+    #: Big-payload arena bytes per directed shm link.  Payloads above
+    #: ``procmod_cell_size`` lease a contiguous span here (sender writes
+    #: straight from the user buffer — the zero-copy ≥eager path) and
+    #: the span is reclaimed when the receiver consumes the frame.
+    procmod_arena_bytes: int = 4 * 1024 * 1024
+
+    #: Socket transport: frames accumulate in a writev-style batch and
+    #: flush when the pending bytes exceed this (or at the next progress
+    #: pass, whichever comes first).
+    procmod_flush_bytes: int = 64 * 1024
+
+    #: Seconds the :class:`~repro.runtime.procworld.ProcWorld` reaper
+    #: waits, after a rank process dies, for the surviving ranks to
+    #: surface their own errors before it terminates them and raises
+    #: ``PeerUnreachableError`` in the parent.
+    procmod_reaper_timeout: float = 10.0
+
+    # ------------------------------------------------------------------
     # World / topology.
     # ------------------------------------------------------------------
     #: Number of ranks per simulated node (controls which pairs are
@@ -323,6 +351,52 @@ class RuntimeConfig:
     def updated(self, **changes: Any) -> "RuntimeConfig":
         """Return a copy with ``changes`` applied."""
         return replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # Serialization (the spawn boundary).
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form of every field, for crossing a process spawn
+        boundary (or a config file).
+
+        Tuples become lists so the common fields survive a JSON
+        round-trip too; :meth:`from_dict` restores them.  Object-valued
+        knobs (``fault_plan``, tuple-keyed ``fault_link_overrides``) are
+        passed through as-is — they round-trip under pickle, not JSON.
+        """
+        out: dict[str, Any] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, tuple):
+                value = list(value)
+            out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "RuntimeConfig":
+        """Rebuild a validated config from :meth:`to_dict` output.
+
+        Unknown keys raise ``ValueError`` — a config produced by a
+        different revision of this dataclass must fail loudly instead of
+        silently dropping knobs (drift across the spawn boundary).
+        Missing keys take their defaults, so configs serialized by an
+        *older* revision keep working.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown RuntimeConfig fields: {unknown}")
+        kwargs = dict(data)
+        if "progress_order" in kwargs:
+            kwargs["progress_order"] = tuple(kwargs["progress_order"])
+        if kwargs.get("fault_link_overrides") is not None:
+            kwargs["fault_link_overrides"] = {
+                tuple(link): dict(knobs)
+                for link, knobs in dict(kwargs["fault_link_overrides"]).items()
+            }
+        config = cls(**kwargs)
+        config.validate()
+        return config
 
     def faults_active(self) -> bool:
         """True when any fault-injection knob deviates from "perfect"."""
@@ -388,6 +462,14 @@ class RuntimeConfig:
             raise ValueError("datatype_chunk_size must be positive")
         if self.ranks_per_node <= 0:
             raise ValueError("ranks_per_node must be positive")
+        if self.procmod_cell_size <= 0 or self.procmod_num_cells <= 0:
+            raise ValueError("procmod cell geometry must be positive")
+        if self.procmod_arena_bytes < self.procmod_cell_size:
+            raise ValueError("procmod_arena_bytes must be >= procmod_cell_size")
+        if self.procmod_flush_bytes <= 0:
+            raise ValueError("procmod_flush_bytes must be positive")
+        if self.procmod_reaper_timeout <= 0:
+            raise ValueError("procmod_reaper_timeout must be positive")
         if self.progress_batch_size < 0:
             raise ValueError("progress_batch_size must be >= 0 (0 = unbounded)")
         if self.wait_spin_count < 0:

@@ -86,9 +86,14 @@ class Fabric:
         with self._ep_lock:
             ep = self._endpoints.get(key)
             if ep is None:
-                ep = Endpoint(key, self)
+                ep = self._make_endpoint(key)
                 self._endpoints[key] = ep
             return ep
+
+    def _make_endpoint(self, key: tuple[int, int]) -> Endpoint:
+        """Endpoint factory hook; subclasses (e.g. the multi-process
+        ``ProcFabric``) substitute their own endpoint type."""
+        return Endpoint(key, self)
 
     def next_op_id(self) -> int:
         return next(self._op_counter)

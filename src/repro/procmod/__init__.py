@@ -1,0 +1,48 @@
+"""Multi-process fabric backend: ranks as real OS processes.
+
+The thread backend (:class:`repro.runtime.World`) keeps every rank in
+one interpreter; this package provides the pieces that let each rank be
+a real OS process behind the very same ``Fabric``/``Endpoint``
+interface:
+
+* :mod:`repro.procmod.wire` — packet <-> frame serialization shared by
+  both transports (struct-packed meta, pickled protocol header, raw
+  payload bytes).
+* :mod:`repro.procmod.shmseg` — on-node transport: per-link SPSC rings
+  of fixed-size cells living in a ``multiprocessing.shared_memory``
+  segment (the :class:`repro.util.lockfree.SpscRing` sequence-counter
+  discipline, struct-packed), plus a leased big-payload arena for
+  zero-copy ≥eager-threshold sends.
+* :mod:`repro.procmod.socketmod` — TCP transport: length-prefixed
+  frames, writev-style batched flushes, a selector-driven RX pump
+  thread (progress genuinely parallel to the application).
+* :mod:`repro.procmod.fabric` — :class:`ProcFabric`, the
+  :class:`repro.netmod.fabric.Fabric` subclass that routes remote
+  deliveries over the links and pumps inbound frames into the local
+  endpoints.
+* :mod:`repro.procmod.localworld` — :class:`ProcLocalWorld`, the
+  per-process :class:`~repro.runtime.world.World` owning exactly one
+  local :class:`~repro.core.mpi.Proc`.
+
+The process *launcher* lives in :mod:`repro.runtime.procworld`
+(:class:`ProcWorld` / :func:`run_proc_world`).
+"""
+
+from repro.procmod.fabric import ProcEndpoint, ProcFabric
+from repro.procmod.localworld import ProcLocalWorld
+from repro.procmod.shmseg import ShmLink, shm_link_nbytes
+from repro.procmod.socketmod import SocketLink, SocketRxPump
+from repro.procmod.wire import decode_frame, encode_frame, frame_nbytes
+
+__all__ = [
+    "ProcEndpoint",
+    "ProcFabric",
+    "ProcLocalWorld",
+    "ShmLink",
+    "shm_link_nbytes",
+    "SocketLink",
+    "SocketRxPump",
+    "encode_frame",
+    "decode_frame",
+    "frame_nbytes",
+]

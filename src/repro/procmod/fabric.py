@@ -1,0 +1,329 @@
+"""ProcFabric: the multi-process fabric behind the Fabric interface.
+
+One :class:`ProcFabric` lives in each rank process.  Traffic between
+local endpoints (loopback — every rank talks to itself for acks and
+self-sends) takes the base :class:`~repro.netmod.fabric.Fabric` path
+unchanged, cost model included.  Traffic to a *remote* rank is encoded
+into a wire frame and pushed down the link wired for that peer:
+
+* a :class:`~repro.procmod.shmseg.ShmLink` pair for on-node peers —
+  sends go straight into the shared segment (with a small per-peer
+  backlog when the ring applies backpressure), receives are pumped
+  inline from the progress loop;
+* a :class:`~repro.procmod.socketmod.SocketLink` for off-node peers —
+  sends are batched writev-style, receives arrive via the process-wide
+  RX pump thread.
+
+Arrival timestamps: a frame is stamped with the *receiver's*
+``clock.now()`` at enqueue.  Cross-process clocks do not share an
+epoch, so the simulated-latency model only shapes loopback traffic;
+remote traffic pays the real transport's latency instead, which is the
+whole point of this backend.
+
+Integration with progress: :class:`ProcEndpoint` overrides
+``poll_batch`` to pump the links before the normal harvest, and
+``idle_probe`` to OR link readiness into the pending-work registry —
+the progress engine itself is untouched.
+
+Consumer-role discipline: the shm links' consumer side runs under a
+non-blocking ``_pump_lock`` (consumer-role migration between polling
+threads is synchronized by the lock's acquire/release pairing), and
+each shm link's producer side under a per-fabric TX lock (several
+streams of one rank may inject concurrently).  Socket links serialize
+TX internally and have a single RX consumer (the pump thread).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.config import RuntimeConfig
+from repro.errors import PeerUnreachableError
+from repro.netmod.endpoint import Endpoint
+from repro.netmod.fabric import Fabric
+from repro.netmod.packet import Packet
+from repro.procmod import wire
+from repro.procmod.shmseg import ShmLink
+from repro.procmod.socketmod import SocketLink, SocketRxPump
+from repro.util.clock import Clock
+
+__all__ = ["ProcEndpoint", "ProcFabric"]
+
+
+class ProcEndpoint(Endpoint):
+    """Endpoint that pumps the process fabric's links on every poll."""
+
+    __slots__ = ()
+
+    def poll_batch(self, max_k):
+        self._fabric.pump()
+        return super().poll_batch(max_k)
+
+    def idle_probe(self):
+        base = super().idle_probe()
+        comm_ready = self._fabric.comm_ready
+        return lambda: base() or comm_ready()
+
+
+class ProcFabric(Fabric):
+    """Fabric for one rank process of a multi-process world.
+
+    Only the endpoints of ``my_rank`` are ever polled here; remote
+    ranks exist as links.  ``deliver`` is the single seam: everything
+    the protocol layer posts — data, acks, rendezvous control,
+    revoke floods — routes through it, so the whole p2p/coll/rma stack
+    works unmodified on top.
+    """
+
+    def __init__(
+        self,
+        nranks: int,
+        my_rank: int,
+        *,
+        clock: Clock | None = None,
+        config: RuntimeConfig | None = None,
+    ) -> None:
+        super().__init__(nranks, clock=clock, config=config)
+        if not 0 <= my_rank < nranks:
+            raise ValueError(f"my_rank {my_rank} outside [0, {nranks})")
+        self.my_rank = my_rank
+        self._shm_tx: Dict[int, ShmLink] = {}
+        self._shm_rx: Dict[int, ShmLink] = {}
+        self._sock: Dict[int, SocketLink] = {}
+        # Tuple snapshots for the hot probe/pump paths (rebuilt on
+        # attach; attaches happen only during wiring).
+        self._shm_rx_list: Tuple[ShmLink, ...] = ()
+        self._sock_list: Tuple[SocketLink, ...] = ()
+        #: frames refused by a shm ring, waiting for the peer to drain
+        self._backlog: Dict[int, deque] = {}
+        self._backlog_any = False
+        self._shm_tx_lock = threading.Lock()
+        self._pump_lock = threading.Lock()
+        self._rx_pump: Optional[SocketRxPump] = None
+        #: wired by ProcLocalWorld: called once per newly-dead peer so
+        #: the p2p dead-peer sweep (and detector, when armed) runs.
+        self.on_peer_dead: Optional[Callable[[int], None]] = None
+        self._dead_note_lock = threading.Lock()
+        self._dead_notified: set[int] = set()
+        #: frames handed to links / frames enqueued from links — the
+        #: cross-process halves of the conservation accounting (frames
+        #: "on the wire" == wire_tx - wire_rx summed over both sides).
+        self.stat_wire_tx = 0
+        self.stat_wire_rx = 0
+        self._shutdown = False
+
+    # -- endpoint factory ----------------------------------------------
+
+    def _make_endpoint(self, key: tuple[int, int]) -> Endpoint:
+        return ProcEndpoint(key, self)
+
+    # -- wiring --------------------------------------------------------
+
+    def attach_shm(self, peer: int, tx_link: ShmLink, rx_link: ShmLink) -> None:
+        """Wire the shared-memory link pair for on-node ``peer``."""
+        self._shm_tx[peer] = tx_link
+        self._shm_rx[peer] = rx_link
+        self._shm_rx_list = tuple(self._shm_rx.values())
+
+    def attach_socket(self, peer: int, sock) -> SocketLink:
+        """Wire a connected TCP socket for off-node ``peer``."""
+        link = SocketLink(
+            sock, peer, flush_bytes=self.config.procmod_flush_bytes
+        )
+        self._sock[peer] = link
+        self._sock_list = tuple(self._sock.values())
+        if self._rx_pump is None:
+            self._rx_pump = SocketRxPump()
+            self._rx_pump.start()
+        self._rx_pump.add(link, self._enqueue_remote, self.note_peer_dead)
+        return link
+
+    def remote_ranks(self) -> set[int]:
+        return set(self._shm_tx) | set(self._sock)
+
+    # -- delivery ------------------------------------------------------
+
+    def deliver(self, packet: Packet, arrival_time: float) -> None:
+        dst_rank = packet.dst[0]
+        if dst_rank == self.my_rank:
+            super().deliver(packet, arrival_time)
+            return
+        src_rank = packet.src[0]
+        if self._dead and (src_rank in self._dead or dst_rank in self._dead):
+            self._blackhole(packet)
+            return
+        shm = self._shm_tx.get(dst_rank)
+        if shm is not None:
+            self._send_shm(dst_rank, shm, packet)
+            return
+        sock = self._sock.get(dst_rank)
+        if sock is not None:
+            meta, header_bytes, payload = wire.encode_frame(packet)
+            self.stat_wire_tx += 1
+            sock.send(meta, header_bytes, payload)
+            if packet.lease is not None:
+                packet.lease.release()
+            return
+        raise PeerUnreachableError(
+            f"rank {self.my_rank} has no link to rank {dst_rank}"
+        )
+
+    def _send_shm(self, peer: int, link: ShmLink, packet: Packet) -> None:
+        meta, header_bytes, payload = wire.encode_frame(packet)
+        self.stat_wire_tx += 1
+        with self._shm_tx_lock:
+            dq = self._backlog.get(peer)
+            if dq:
+                # Preserve FIFO behind already-backlogged frames.
+                dq.append((meta, header_bytes, bytes(payload)))
+                self._backlog_any = True
+            elif not link.try_send(meta, header_bytes, payload):
+                if dq is None:
+                    dq = deque()
+                    self._backlog[peer] = dq
+                dq.append((meta, header_bytes, bytes(payload)))
+                self._backlog_any = True
+        # Either the payload landed in the segment or the backlog holds
+        # its own copy: the pool slab can be reused now.
+        if packet.lease is not None:
+            packet.lease.release()
+
+    def _enqueue_remote(self, packet: Packet) -> None:
+        """A frame arrived off a link (pump thread or inline pump)."""
+        dst_rank, vci = packet.dst
+        self.stat_wire_rx += 1
+        if self._dead and packet.src[0] in self._dead:
+            self._blackhole(packet)
+            return
+        # Receiver-clock arrival stamp: mature immediately at next poll.
+        self.endpoint(dst_rank, vci).enqueue_arrival(packet, self.clock.now())
+
+    # -- progress integration ------------------------------------------
+
+    def comm_ready(self) -> bool:
+        """Cheap probe: any link work for the next progress pass?"""
+        if self._backlog_any:
+            return True
+        for link in self._shm_rx_list:
+            if link.rx_ready():
+                return True
+        for sock in self._sock_list:
+            if sock.tx_pending():
+                return True
+        return False
+
+    def pump(self) -> bool:
+        """Drain inbound shm frames, flush outbound backlogs.
+
+        Called from every ``ProcEndpoint.poll_batch``.  The fast path
+        (nothing to do) is a handful of attribute reads; the consuming
+        path runs under a try-lock so concurrent pollers never split
+        the SPSC consumer role.
+        """
+        if not self.comm_ready():
+            return False
+        if not self._pump_lock.acquire(blocking=False):
+            return False
+        did = False
+        try:
+            for link in self._shm_rx_list:
+                while True:
+                    packet = link.try_recv()
+                    if packet is None:
+                        break
+                    self._enqueue_remote(packet)
+                    did = True
+            if self._backlog_any:
+                with self._shm_tx_lock:
+                    still = False
+                    for peer, dq in self._backlog.items():
+                        link = self._shm_tx[peer]
+                        while dq:
+                            meta, header_bytes, body = dq[0]
+                            if link.try_send(meta, header_bytes, memoryview(body)):
+                                dq.popleft()
+                                did = True
+                            else:
+                                still = True
+                                break
+                    self._backlog_any = still
+            for sock in self._sock_list:
+                if sock.tx_pending():
+                    sock.flush()
+        finally:
+            self._pump_lock.release()
+        return did
+
+    # -- peer death ----------------------------------------------------
+
+    def note_peer_dead(self, rank: int) -> None:
+        """A remote rank is gone (socket EOF, or the parent said so).
+
+        Idempotent; blackholes future traffic involving the corpse and
+        triggers the p2p dead-peer sweep through ``on_peer_dead`` so
+        blocked operations fail instead of hanging.
+        """
+        if rank == self.my_rank or self._shutdown:
+            return
+        with self._dead_note_lock:
+            if rank in self._dead_notified:
+                return
+            self._dead_notified.add(rank)
+        self.kill_rank(rank)
+        cb = self.on_peer_dead
+        if cb is not None:
+            cb(rank)
+
+    # -- quiescence / teardown -----------------------------------------
+
+    def tx_quiescent(self) -> bool:
+        """No frame of ours is still waiting to leave this process."""
+        if self._backlog_any:
+            return False
+        for sock in self._sock_list:
+            if sock.tx_pending():
+                return False
+        return True
+
+    def shutdown(self, graceful: bool = True) -> None:
+        """Stop the RX pump and release every link (idempotent).
+
+        With ``graceful`` (the normal finalize path) each socket peer
+        gets a goodbye frame and a bounded final flush first, so the
+        EOF our close produces is not mistaken for a crash by peers
+        still inside their last collective.  Pass ``False`` when this
+        rank is dying with an error — peers blocked on it *should* see
+        it as dead.
+        """
+        if self._shutdown:
+            return
+        self._shutdown = True
+        if graceful:
+            deadline = time.monotonic() + 2.0
+            for sock in self._sock_list:
+                sock.send_goodbye()
+            for sock in self._sock_list:
+                while sock.tx_pending() and not sock.dead:
+                    if sock.flush() or time.monotonic() > deadline:
+                        break
+                    time.sleep(0.001)
+        if self._rx_pump is not None:
+            self._rx_pump.stop()
+            self._rx_pump = None
+        for sock in self._sock_list:
+            sock.close()
+        for link in list(self._shm_tx.values()) + list(self._shm_rx.values()):
+            link.close()
+
+    def wire_counts(self) -> dict[str, int]:
+        """Frames sent down / received off links (conservation tests)."""
+        return {"wire_tx": self.stat_wire_tx, "wire_rx": self.stat_wire_rx}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ProcFabric(rank={self.my_rank}/{self.nranks}, "
+            f"shm={sorted(self._shm_tx)}, sock={sorted(self._sock)})"
+        )

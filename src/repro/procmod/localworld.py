@@ -1,0 +1,150 @@
+"""ProcLocalWorld: one rank process's view of a multi-process world.
+
+A :class:`~repro.runtime.world.World` subclass holding exactly one
+local :class:`~repro.core.mpi.Proc` (``my_rank``) on top of a
+:class:`~repro.procmod.fabric.ProcFabric`.  Everything built on the
+world — communicators, collectives, RMA, context-id allocation — works
+unchanged because none of it ever dereferences a *remote* rank's Proc:
+cross-rank interaction is message-passing through the fabric, and
+``context_for`` is deterministic (every process derives the same ids
+from the same collective order).
+
+Differences from the thread backend:
+
+* ``_make_procs`` builds only the local rank; ``proc(remote)`` raises.
+* The in-process shmem transport is forcibly disabled — it cannot
+  cross address spaces; on-node traffic uses the segment links instead.
+* ``rel_quiescent`` is *local* quiescence: this process's unacked
+  reliable traffic, link backlogs, and endpoint queues.  Finalize is
+  collective at the application level, so local quiescence on every
+  rank implies the global one the thread backend checks directly.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.config import RuntimeConfig
+from repro.core.mpi import Proc
+from repro.errors import InvalidRankError
+from repro.procmod.fabric import ProcFabric
+from repro.runtime.world import World
+from repro.util.clock import Clock, MonotonicClock
+from repro.util.trace import Tracer
+
+__all__ = ["ProcLocalWorld", "ProcRankClock"]
+
+
+class ProcRankClock(MonotonicClock):
+    """Wall clock whose ``yield_cpu`` actually deschedules the process.
+
+    The base clock's ``time.sleep(0)`` is the right yield for co-located
+    rank *threads* — it releases the GIL, which forces a switch — but
+    across processes ``nanosleep(0)`` returns without a context switch,
+    so a rank spinning on an empty ring burns its whole scheduler
+    quantum while the peer that owns the next message waits for a core.
+    ``sched_yield`` rotates the runqueue instead, which is worth >1.5x
+    aggregate bandwidth on oversubscribed hosts.
+    """
+
+    def yield_cpu(self) -> None:
+        if hasattr(os, "sched_yield"):
+            os.sched_yield()
+        else:  # pragma: no cover - non-POSIX fallback
+            time.sleep(0)
+
+
+class ProcLocalWorld(World):
+    """Per-process world for rank ``my_rank`` of ``nranks``."""
+
+    def __init__(
+        self,
+        nranks: int,
+        my_rank: int,
+        *,
+        config: RuntimeConfig | None = None,
+        clock: Clock | None = None,
+        trace: bool = False,
+    ) -> None:
+        if not 0 <= my_rank < nranks:
+            raise ValueError(f"my_rank {my_rank} outside [0, {nranks})")
+        self.my_rank = my_rank
+        if clock is None:
+            clock = ProcRankClock()
+        if config is not None and config.use_shmem:
+            # The in-process shmem transport shares Python objects; in a
+            # multi-process world on-node pairs use segment links, so
+            # the route must resolve to the fabric.
+            config = config.updated(use_shmem=False)
+        super().__init__(nranks, config=config, clock=clock, trace=trace)
+        fabric = self.fabric
+        assert isinstance(fabric, ProcFabric)
+        fabric.on_peer_dead = self._on_peer_dead
+
+    # -- backend hooks -------------------------------------------------
+
+    def _make_fabric(self) -> ProcFabric:
+        return ProcFabric(
+            self.nranks, self.my_rank, clock=self.clock, config=self.config
+        )
+
+    def _make_procs(self, trace: bool) -> list[Proc]:
+        return [Proc(self.my_rank, self, tracer=Tracer(enabled=trace))]
+
+    # -- rank access ---------------------------------------------------
+
+    @property
+    def local_proc(self) -> Proc:
+        return self._procs[0]
+
+    def proc(self, rank: int) -> Proc:
+        if rank != self.my_rank:
+            raise InvalidRankError(
+                f"rank {rank} lives in another process (local rank is "
+                f"{self.my_rank})"
+            )
+        return self._procs[0]
+
+    # -- peer death ----------------------------------------------------
+
+    def _on_peer_dead(self, rank: int) -> None:
+        """Fabric-level death signal -> p2p dead-peer sweep.
+
+        Routed through the failure detector when one is armed (so its
+        death callbacks — revoke floods, agreement state — fire too),
+        else straight to the p2p engine.  Runs on whatever thread
+        noticed the death (RX pump, control thread); both targets only
+        queue per-stream sweep hooks, which is thread-safe.
+        """
+        proc = self._procs[0]
+        if proc.finalized:
+            return
+        if proc.detector is not None:
+            proc.detector.note_link_failure(rank)
+        else:
+            proc.p2p.note_peer_dead(rank)
+
+    # -- quiescence ----------------------------------------------------
+
+    def rel_quiescent(self) -> bool:
+        """Local quiescence (see module docstring)."""
+        proc = self._procs[0]
+        if self.fabric.is_dead(proc.rank):
+            return True
+        for state in proc.p2p._vcis.values():
+            if state.rel is not None and state.rel.has_unacked():
+                return False
+        if not self.fabric.tx_quiescent():
+            return False
+        return self.fabric.total_pending() == 0
+
+    def finalize(self) -> None:
+        """Finalize the local rank and release the fabric links."""
+        try:
+            super().finalize()
+        finally:
+            self.fabric.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ProcLocalWorld(rank={self.my_rank}/{self.nranks})"

@@ -1,0 +1,333 @@
+"""On-node transport: SPSC frame rings in shared-memory segments.
+
+One :class:`ShmLink` is a *unidirectional* channel living in a
+``multiprocessing.shared_memory`` segment: the sending process is the
+only producer, the receiving process the only consumer.  A pair of
+ranks gets two links (one per direction), so every counter in the
+segment has exactly one writer — the same single-writer principle as
+:mod:`repro.util.lockfree`, here stretched across address spaces.
+
+Segment layout::
+
+    +---------------------------------------------+
+    | header (64 B)                               |
+    |   [0:8]   arena_head  u64  consumer-owned   |
+    |   [8:16]  arena_tail  u64  producer mirror  |
+    |   [16:24] cells_head  u64  consumer-owned   |
+    |   rest reserved                             |
+    +---------------------------------------------+
+    | cells: num_cells x cell_size                |
+    |   each cell:                                |
+    |     [0:8]   seq        u64 (publication)    |
+    |     [8:12]  frame_len  u32                  |
+    |     [12:16] flags      u32 (1 = in arena)   |
+    |     [16:32] reserved                        |
+    |     [32:]   inline frame bytes              |
+    +---------------------------------------------+
+    | arena: arena_bytes (FIFO byte ring)         |
+    +---------------------------------------------+
+
+The cell ring carries the :class:`repro.util.lockfree.SpscRing`
+sequence-counter discipline across address spaces, struct-packed and
+adjusted for zero-initialized memory (a fresh ``SharedMemory`` segment
+is all zeros, and the in-process ring's ``seq[i] = i`` pre-fill would
+need a racy two-sided init):
+
+* producer: the ring has room iff ``tail - cells_head < N`` (the
+  consumer-owned release counter, read from the header); fill slot
+  ``tail % N``, then publish ``seq = tail + 1`` — an *absolute*
+  publication index — as the last store.
+* consumer: slot ``head % N`` is ready iff ``seq == head + 1``;
+  consume the frame, then release by storing ``cells_head = head + 1``
+  in the header.
+
+``tail`` and ``head`` are process-local; the per-cell ``seq`` is the
+ready signal (publication), ``cells_head`` the free signal (release),
+and each shared location still has exactly one writer.
+
+Frames small enough for a cell travel inline.  Larger frames go to the
+**arena**, a FIFO byte ring: allocations happen in cell-publish order
+and are released in cell-consume order, so the consumer's running byte
+offset always equals the producer's offset for the same frame and no
+offset needs to be transmitted.  Writes and reads wrap (two slices)
+rather than pad, so any frame up to ``arena_bytes`` fits once the ring
+drains.  The producer computes free space from the consumer-owned
+``arena_head`` counter in the segment header.
+
+Cross-process memory model (DESIGN.md §15 mirrors these against the
+A1–A4 in-process assumptions of ``util/lockfree.py``):
+
+* P1 — aligned 8-byte loads/stores through the mmap are not torn
+  (cells are 64-byte aligned; ``seq`` sits at cell offset 0).
+* P2 — every shared location has exactly one writer process.
+* P3 — stores become visible to the peer in program order (TSO; on
+  weaker ISAs CPython's interpreter loop has historically provided
+  the same ordering, but it is an assumption, not a guarantee).
+* P4 — no cross-process read-modify-write is ever needed: counters
+  are single-writer, the ``seq`` handshake is the only coupling.
+"""
+
+from __future__ import annotations
+
+import struct
+from multiprocessing import shared_memory
+from typing import Optional, Tuple
+
+from repro.netmod.packet import Packet
+from repro.procmod import wire
+
+HDR_SIZE = 64
+CELL_HDR_SIZE = 32
+
+_SEQ = struct.Struct("=Q")  # cell offset 0 (aligned): publication counter
+_CELL_META = struct.Struct("=II")  # cell offset 8: frame_len, flags
+_ARENA_HEAD = struct.Struct("=Q")  # segment offset 0: consumer-owned
+_ARENA_TAIL = struct.Struct("=Q")  # segment offset 8: producer mirror
+_CELLS_HEAD = struct.Struct("=Q")  # segment offset 16: consumer-owned
+_CELLS_HEAD_OFF = 16
+
+_FLAG_ARENA = 1
+
+
+def _round_cell(cell_size: int) -> int:
+    """Cells must be 64-byte multiples so every ``seq`` is aligned."""
+    cell_size = max(int(cell_size), 128)
+    return (cell_size + 63) & ~63
+
+
+def shm_link_nbytes(cell_size: int, num_cells: int, arena_bytes: int) -> int:
+    """Total segment size for one link with the given geometry."""
+    return HDR_SIZE + _round_cell(cell_size) * int(num_cells) + int(arena_bytes)
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment.
+
+    The resource tracker double-registers attaches on 3.11, but the
+    rank processes share the parent's tracker (fork) and the parent
+    unlinks every segment it created, so the per-name registration set
+    collapses correctly; no unregister workaround is needed here.
+    """
+    return shared_memory.SharedMemory(name=name, create=False)
+
+
+class ShmLink:
+    """One direction of a shared-memory rank pair.
+
+    Exactly one process calls the ``try_send`` side and exactly one the
+    ``rx_ready``/``try_recv`` side; the constructor does not care which
+    role the caller takes.
+    """
+
+    __slots__ = (
+        "name",
+        "_shm",
+        "_buf",
+        "_owner",
+        "_cell_size",
+        "_num_cells",
+        "_inline_cap",
+        "_cells_off",
+        "_arena_off",
+        "_arena_bytes",
+        "_tail",
+        "_arena_tail",
+        "_head",
+        "_arena_head",
+        "stat_tx_frames",
+        "stat_rx_frames",
+        "stat_tx_full",
+        "_closed",
+    )
+
+    def __init__(
+        self,
+        name: Optional[str] = None,
+        *,
+        create: bool = False,
+        cell_size: int = 4096,
+        num_cells: int = 32,
+        arena_bytes: int = 4 * 1024 * 1024,
+    ) -> None:
+        cell_size = _round_cell(cell_size)
+        if num_cells <= 0:
+            raise ValueError("num_cells must be positive")
+        if arena_bytes < cell_size:
+            raise ValueError("arena_bytes must be >= cell_size")
+        nbytes = shm_link_nbytes(cell_size, num_cells, arena_bytes)
+        if create:
+            # ``create=True`` zero-fills, which is exactly the initial
+            # counter state the ring discipline needs.
+            self._shm = shared_memory.SharedMemory(
+                name=name, create=True, size=nbytes
+            )
+        else:
+            if name is None:
+                raise ValueError("attaching requires a segment name")
+            self._shm = _attach(name)
+            if self._shm.size < nbytes:
+                raise ValueError(
+                    f"segment {name!r} is {self._shm.size} B, geometry "
+                    f"needs {nbytes} B — config drift across processes?"
+                )
+        self.name = self._shm.name
+        self._buf = self._shm.buf
+        self._owner = create
+        self._cell_size = cell_size
+        self._num_cells = num_cells
+        self._inline_cap = cell_size - CELL_HDR_SIZE
+        self._cells_off = HDR_SIZE
+        self._arena_off = HDR_SIZE + cell_size * num_cells
+        self._arena_bytes = arena_bytes
+        # Process-local ring cursors (see module docstring).
+        self._tail = 0
+        self._arena_tail = 0
+        self._head = 0
+        self._arena_head = 0
+        self.stat_tx_frames = 0
+        self.stat_rx_frames = 0
+        self.stat_tx_full = 0
+        self._closed = False
+
+    # -- producer side -------------------------------------------------
+
+    def try_send(self, meta: bytes, header_bytes: bytes, payload: memoryview) -> bool:
+        """Publish one frame; ``False`` means backpressure (retry later)."""
+        buf = self._buf
+        tail = self._tail
+        (cells_head,) = _CELLS_HEAD.unpack_from(buf, _CELLS_HEAD_OFF)
+        if tail - cells_head >= self._num_cells:
+            self.stat_tx_full += 1
+            return False  # ring full: consumer has not released a slot
+        base = self._cells_off + (tail % self._num_cells) * self._cell_size
+        frame_len = len(meta) + len(header_bytes) + payload.nbytes
+        if frame_len <= self._inline_cap:
+            off = base + CELL_HDR_SIZE
+            buf[off : off + len(meta)] = meta
+            off += len(meta)
+            buf[off : off + len(header_bytes)] = header_bytes
+            off += len(header_bytes)
+            if payload.nbytes:
+                buf[off : off + payload.nbytes] = payload
+            flags = 0
+        else:
+            if frame_len > self._arena_bytes:
+                raise ValueError(
+                    f"frame of {frame_len} B exceeds the {self._arena_bytes} B "
+                    f"arena; raise config.procmod_arena_bytes"
+                )
+            (head,) = _ARENA_HEAD.unpack_from(buf, 0)
+            if self._arena_bytes - (self._arena_tail - head) < frame_len:
+                self.stat_tx_full += 1
+                return False  # arena full
+            pos = self._arena_tail
+            pos = self._arena_put(pos, meta)
+            pos = self._arena_put(pos, header_bytes)
+            if payload.nbytes:
+                pos = self._arena_put(pos, payload)
+            self._arena_tail = pos
+            _ARENA_TAIL.pack_into(buf, 8, pos)
+            flags = _FLAG_ARENA
+        _CELL_META.pack_into(buf, base + 8, frame_len, flags)
+        # Publication: the seq store is last, so the consumer observing
+        # ``seq == tail + 1`` also observes the cell/arena contents (P3).
+        _SEQ.pack_into(buf, base, tail + 1)
+        self._tail = tail + 1
+        self.stat_tx_frames += 1
+        return True
+
+    def _arena_put(self, pos: int, data) -> int:
+        """Copy ``data`` into the arena byte ring at logical ``pos``."""
+        buf = self._buf
+        size = self._arena_bytes
+        n = data.nbytes if isinstance(data, memoryview) else len(data)
+        off = pos % size
+        first = min(n, size - off)
+        start = self._arena_off + off
+        buf[start : start + first] = data[:first]
+        if first < n:  # wrap: remainder lands at the arena start
+            start = self._arena_off
+            buf[start : start + (n - first)] = data[first:]
+        return pos + n
+
+    def tx_backlog_hint(self) -> bool:
+        """True if the *next* send would block (ring slot still held)."""
+        (cells_head,) = _CELLS_HEAD.unpack_from(self._buf, _CELLS_HEAD_OFF)
+        return self._tail - cells_head >= self._num_cells
+
+    # -- consumer side -------------------------------------------------
+
+    def rx_ready(self) -> bool:
+        """True if at least one frame is published and unconsumed."""
+        buf = self._buf
+        base = self._cells_off + (self._head % self._num_cells) * self._cell_size
+        (seq,) = _SEQ.unpack_from(buf, base)
+        return seq == self._head + 1
+
+    def try_recv(self) -> Optional[Packet]:
+        """Consume one frame; ``None`` if the ring is empty."""
+        buf = self._buf
+        head = self._head
+        base = self._cells_off + (head % self._num_cells) * self._cell_size
+        (seq,) = _SEQ.unpack_from(buf, base)
+        if seq != head + 1:
+            return None
+        frame_len, flags = _CELL_META.unpack_from(buf, base + 8)
+        if flags & _FLAG_ARENA:
+            packet = self._recv_arena(frame_len)
+        else:
+            packet, _ = wire.decode_frame(buf, base + CELL_HDR_SIZE)
+        # Release: the frame is fully copied out, so the producer may
+        # reuse the slot the moment it observes the new cells_head.
+        self._head = head + 1
+        _CELLS_HEAD.pack_into(buf, _CELLS_HEAD_OFF, self._head)
+        self.stat_rx_frames += 1
+        return packet
+
+    def _recv_arena(self, frame_len: int) -> Packet:
+        buf = self._buf
+        size = self._arena_bytes
+        off = self._arena_head % size
+        first = min(frame_len, size - off)
+        start = self._arena_off + off
+        if first == frame_len:
+            packet, _ = wire.decode_frame(buf, start)
+        else:  # wrapped frame: reassemble the two slices
+            joined = bytearray(frame_len)
+            joined[:first] = buf[start : start + first]
+            joined[first:] = buf[self._arena_off : self._arena_off + frame_len - first]
+            packet, _ = wire.decode_frame(joined, 0)
+        self._arena_head += frame_len
+        # decode_frame copied the bytes out, so the region can be handed
+        # back to the producer immediately.
+        _ARENA_HEAD.pack_into(buf, 0, self._arena_head)
+        return packet
+
+    # -- lifecycle -----------------------------------------------------
+
+    def counters(self) -> Tuple[int, int, int]:
+        """(frames sent, frames received, sends refused) — debug aid."""
+        return self.stat_tx_frames, self.stat_rx_frames, self.stat_tx_full
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._buf = None  # drop the exported memoryview before close()
+        try:
+            self._shm.close()
+        except (OSError, BufferError):  # pragma: no cover
+            pass
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner only, after all peers detached)."""
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"ShmLink({self.name!r}, cells={self._num_cells}x{self._cell_size}, "
+            f"arena={self._arena_bytes})"
+        )

@@ -1,0 +1,358 @@
+"""TCP socket transport for the multi-process fabric backend.
+
+One :class:`SocketLink` wraps a connected TCP socket between two rank
+processes.  Frames use the :mod:`repro.procmod.wire` format with a u32
+length prefix.  The TX side batches: ``send`` only queues buffers, and
+a writev-style ``sendmsg`` flush pushes everything queued in one
+syscall — either eagerly once ``flush_bytes`` is buffered, or on the
+next progress pass (:meth:`flush` is called from the endpoint's poll).
+
+The RX side is a single :class:`SocketRxPump` daemon thread per
+process, multiplexing every link through ``selectors`` — progress on
+inbound traffic is genuinely parallel to the application thread, in the
+spirit of the async-progress designs this repo reproduces.  The pump
+decodes frames incrementally and hands each completed packet to the
+fabric's enqueue callback; a clean EOF or connection reset is reported
+through the peer-death callback, which feeds the PR 7 detector path so
+blocked ranks fail with ``PeerUnreachableError`` instead of hanging.
+
+Connection setup (`make_listener` / `exchange_sockets`) is
+deterministic: every pair ``(a, b)`` with ``a < b`` is connected by
+``b`` dialing ``a``'s listener, and the dialer identifies itself with a
+4-byte rank id so the acceptor can map sockets back to ranks.
+"""
+
+from __future__ import annotations
+
+import selectors
+import socket
+import struct
+import threading
+import time
+from collections import deque
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.netmod.packet import Packet
+from repro.procmod import wire
+
+_HELLO = struct.Struct("!I")
+
+# recv_into scratch size; large enough that a rendezvous chunk arrives
+# in a handful of reads.
+_RECV_CHUNK = 1 << 18
+
+# Cap on buffers handed to one sendmsg call (IOV_MAX is >=1024 on
+# Linux; stay far below it).
+_SENDMSG_BATCH = 64
+
+
+class SocketLink:
+    """One connected TCP socket to a peer rank, with batched TX."""
+
+    __slots__ = (
+        "peer_rank",
+        "sock",
+        "_txq",
+        "_tx_bytes",
+        "_flush_bytes",
+        "_tx_lock",
+        "dead",
+        "stat_tx_frames",
+        "stat_flushes",
+    )
+
+    def __init__(self, sock: socket.socket, peer_rank: int, *, flush_bytes: int = 64 * 1024) -> None:
+        sock.setblocking(False)
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:  # pragma: no cover - e.g. AF_UNIX in tests
+            pass
+        self.peer_rank = peer_rank
+        self.sock = sock
+        # Flat deque of buffers pending transmission.  Guarded by a
+        # lock because reliability retransmits can be queued from the
+        # detector/timer context while the app thread is flushing.
+        self._txq: deque = deque()
+        self._tx_bytes = 0
+        self._flush_bytes = max(int(flush_bytes), 1)
+        self._tx_lock = threading.Lock()
+        self.dead = False
+        self.stat_tx_frames = 0
+        self.stat_flushes = 0
+
+    # -- TX ------------------------------------------------------------
+
+    def send(self, meta: bytes, header_bytes: bytes, payload: memoryview) -> None:
+        """Queue one frame; flushes eagerly past the batching threshold.
+
+        The payload is copied out of the caller's buffer here so the
+        packet lease can be released immediately (the socket may hold
+        the bytes long after the pool slab is reused).
+        """
+        if self.dead:
+            return
+        frame_len = wire.frame_nbytes(meta, header_bytes, payload)
+        head = wire.length_prefix(frame_len) + meta + header_bytes
+        with self._tx_lock:
+            self._txq.append(head)
+            self._tx_bytes += len(head)
+            if payload.nbytes:
+                body = bytes(payload)
+                self._txq.append(body)
+                self._tx_bytes += len(body)
+            self.stat_tx_frames += 1
+            should_flush = self._tx_bytes >= self._flush_bytes
+        if should_flush:
+            self.flush()
+
+    def flush(self) -> bool:
+        """Push queued buffers; returns True once the queue is empty."""
+        if self.dead:
+            with self._tx_lock:
+                self._txq.clear()
+                self._tx_bytes = 0
+            return True
+        with self._tx_lock:
+            while self._txq:
+                batch: List = []
+                take = 0
+                for buf in self._txq:
+                    batch.append(buf)
+                    take += 1
+                    if take >= _SENDMSG_BATCH:
+                        break
+                try:
+                    sent = self.sock.sendmsg(batch)
+                except (BlockingIOError, InterruptedError):
+                    return False
+                except OSError:
+                    # Peer vanished mid-write; RX pump (or the reaper)
+                    # delivers the authoritative peer-death signal.
+                    self.dead = True
+                    self._txq.clear()
+                    self._tx_bytes = 0
+                    return True
+                self.stat_flushes += 1
+                self._tx_bytes -= sent
+                # Drop fully-sent buffers, trim a partially-sent one.
+                while sent > 0 and self._txq:
+                    first = self._txq[0]
+                    n = len(first)
+                    if sent >= n:
+                        self._txq.popleft()
+                        sent -= n
+                    else:
+                        self._txq[0] = memoryview(first)[sent:]
+                        sent = 0
+            return True
+
+    def tx_pending(self) -> bool:
+        return bool(self._txq)
+
+    # -- lifecycle -----------------------------------------------------
+
+    def send_goodbye(self) -> None:
+        """Queue the graceful-close marker (see :mod:`repro.procmod.wire`).
+
+        The peer's RX pump treats the EOF that follows as a deliberate
+        finalize instead of a crash, so it does not fire the
+        peer-death callback against a rank that simply finished first.
+        """
+        if self.dead:
+            return
+        frame = wire.goodbye_frame()
+        with self._tx_lock:
+            self._txq.append(frame)
+            self._tx_bytes += len(frame)
+        self.flush()
+
+    def close(self) -> None:
+        self.dead = True
+        try:
+            self.sock.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"SocketLink(peer={self.peer_rank}, fd={self.sock.fileno()})"
+
+
+class SocketRxPump:
+    """Per-process RX thread multiplexing every socket link.
+
+    ``on_packet(packet)`` runs on the pump thread — the fabric's
+    arrival enqueue is thread-safe (locked inbox, or SPSC ring where
+    this thread is the sole producer for its source).  ``on_peer_dead``
+    fires at most once per link, on EOF or reset — unless the peer
+    announced a graceful close with a goodbye frame first.
+    """
+
+    def __init__(self) -> None:
+        self._sel = selectors.DefaultSelector()
+        self._lock = threading.Lock()
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        # Self-pipe so stop() interrupts a blocking select immediately.
+        self._wake_r, self._wake_w = socket.socketpair()
+        self._wake_r.setblocking(False)
+        self._sel.register(self._wake_r, selectors.EVENT_READ, data=None)
+        self._scratch = bytearray(_RECV_CHUNK)
+
+    def add(
+        self,
+        link: SocketLink,
+        on_packet: Callable[[Packet], None],
+        on_peer_dead: Callable[[int], None],
+    ) -> None:
+        decoder = wire.StreamDecoder()
+        with self._lock:
+            self._sel.register(
+                link.sock,
+                selectors.EVENT_READ,
+                data=(link, decoder, on_packet, on_peer_dead),
+            )
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._run, name="procmod-rx", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 2.0) -> None:
+        self._stop.set()
+        try:
+            self._wake_w.send(b"x")
+        except OSError:  # pragma: no cover
+            pass
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+        try:
+            self._sel.close()
+        except Exception:  # pragma: no cover
+            pass
+        for s in (self._wake_r, self._wake_w):
+            try:
+                s.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    # -- pump loop -----------------------------------------------------
+
+    def _run(self) -> None:
+        scratch = self._scratch
+        view = memoryview(scratch)
+        while not self._stop.is_set():
+            with self._lock:
+                try:
+                    events = self._sel.select(timeout=0.1)
+                except OSError:  # pragma: no cover - selector closed
+                    return
+            for key, _ in events:
+                if key.data is None:  # wake pipe
+                    try:
+                        self._wake_r.recv(64)
+                    except OSError:
+                        pass
+                    continue
+                link, decoder, on_packet, on_peer_dead = key.data
+                self._service(key, link, decoder, on_packet, on_peer_dead, view)
+
+    def _service(self, key, link, decoder, on_packet, on_peer_dead, view) -> None:
+        eof = False
+        while True:
+            try:
+                n = link.sock.recv_into(view)
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError:
+                eof = True
+                break
+            if n == 0:
+                eof = True
+                break
+            decoder.feed(view[:n])
+            if n < len(view):
+                break
+        for packet in decoder.frames():
+            on_packet(packet)
+        if eof:
+            link.dead = True
+            with self._lock:
+                try:
+                    self._sel.unregister(link.sock)
+                except (KeyError, ValueError):  # pragma: no cover
+                    pass
+            if not decoder.saw_goodbye:
+                on_peer_dead(link.peer_rank)
+
+
+# ---------------------------------------------------------------------------
+# Rendezvous helpers
+# ---------------------------------------------------------------------------
+
+
+def make_listener() -> Tuple[socket.socket, int]:
+    """Bind an ephemeral loopback listener; returns (socket, port)."""
+    lsock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    lsock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    lsock.bind(("127.0.0.1", 0))
+    lsock.listen(64)
+    return lsock, lsock.getsockname()[1]
+
+
+def exchange_sockets(
+    my_rank: int,
+    peer_ranks: Iterable[int],
+    listener: socket.socket,
+    ports: Dict[int, int],
+    timeout: float = 30.0,
+) -> Dict[int, socket.socket]:
+    """Build the full mesh of pair sockets for ``my_rank``.
+
+    For each pair the higher rank dials the lower rank's listener and
+    announces itself with a 4-byte rank id.  ``ports`` maps rank ->
+    listener port (distributed by the parent during rendezvous).
+    """
+    peers = sorted(set(peer_ranks) - {my_rank})
+    out: Dict[int, socket.socket] = {}
+    deadline = time.monotonic() + timeout
+    # Outbound: dial every lower-ranked peer.
+    for peer in peers:
+        if peer >= my_rank:
+            continue
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.settimeout(max(deadline - time.monotonic(), 0.1))
+        sock.connect(("127.0.0.1", ports[peer]))
+        sock.sendall(_HELLO.pack(my_rank))
+        sock.settimeout(None)
+        out[peer] = sock
+    # Inbound: accept every higher-ranked peer.
+    expected = {p for p in peers if p > my_rank}
+    listener.settimeout(0.5)
+    while expected:
+        if time.monotonic() > deadline:
+            raise TimeoutError(
+                f"rank {my_rank}: rendezvous timed out waiting for {sorted(expected)}"
+            )
+        try:
+            sock, _ = listener.accept()
+        except socket.timeout:
+            continue
+        sock.settimeout(max(deadline - time.monotonic(), 0.1))
+        hello = b""
+        while len(hello) < _HELLO.size:
+            chunk = sock.recv(_HELLO.size - len(hello))
+            if not chunk:
+                raise ConnectionError(f"rank {my_rank}: peer hung up mid-hello")
+            hello += chunk
+        (peer,) = _HELLO.unpack(hello)
+        sock.settimeout(None)
+        if peer not in expected:
+            sock.close()
+            continue
+        expected.discard(peer)
+        out[peer] = sock
+    return out

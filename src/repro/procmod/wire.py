@@ -1,0 +1,205 @@
+"""Packet <-> frame serialization for the multi-process transports.
+
+Both transports (shm segment, TCP socket) move the same frame:
+
+    +---------------------------+  META (struct-packed, fixed size)
+    | src_rank   u32            |
+    | src_vci    u16            |
+    | dst_rank   u32            |
+    | dst_vci    u16            |
+    | seq        u64            |
+    | hlen       u32            |  pickled-header length
+    | plen       u32            |  raw-payload length
+    +---------------------------+
+    | header     hlen bytes     |  pickle of the protocol header dict
+    | payload    plen bytes     |  raw payload bytes (may be empty)
+    +---------------------------+
+
+The protocol header is a small plain dict built by ``p2p/protocol.py``
+(kind, tag, comm id, rendezvous token, ...) — pickle is fine for it and
+keeps the transport agnostic of protocol evolution.  The payload is
+*never* pickled: it travels as raw bytes so the shm transport can copy
+a user memoryview straight into the segment and the socket transport
+can hand it to ``sendmsg`` without an intermediate copy.
+
+On sockets, the frame is preceded by a u32 length prefix covering
+META + header + payload (the :class:`StreamDecoder` below turns the TCP
+byte stream back into frames incrementally).  On the shm segment the
+cell/arena geometry already delimits frames, so no prefix is needed.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.netmod.packet import Packet
+
+# src_rank u32, src_vci u16, dst_rank u32, dst_vci u16, seq u64,
+# hlen u32, plen u32.  ``!`` (network order, no padding) keeps the
+# layout identical across processes regardless of host struct padding.
+_META = struct.Struct("!IHIHQII")
+
+META_SIZE = _META.size
+
+# u32 length prefix used by the socket transport.
+_LEN = struct.Struct("!I")
+
+LEN_SIZE = _LEN.size
+
+# Hard cap on a single frame accepted off a socket.  Anything larger is
+# a corrupt stream (the protocol pipelines large payloads into chunks
+# well below this), and bailing out early beats a multi-GiB allocation.
+MAX_FRAME = 1 << 30
+
+# Sentinel src_rank marking a *goodbye* frame: the peer is closing its
+# end on purpose (finalize), so the EOF that follows is not a crash.
+# Real ranks are far below this (u32 max).
+GOODBYE_RANK = 0xFFFFFFFF
+
+_GOODBYE_META = _META.pack(GOODBYE_RANK, 0, GOODBYE_RANK, 0, 0, 0, 0)
+
+
+def goodbye_frame() -> bytes:
+    """Length-prefixed goodbye frame for the socket transport."""
+    return _LEN.pack(META_SIZE) + _GOODBYE_META
+
+
+def encode_frame(packet: Packet) -> Tuple[bytes, bytes, memoryview]:
+    """Serialize ``packet`` into ``(meta, header_bytes, payload_view)``.
+
+    The three pieces are returned separately so callers can scatter
+    them without joining: the socket transport hands them to a batched
+    ``sendmsg`` and the shm transport writes them into the segment in
+    place.  ``payload_view`` is a memoryview over the packet's payload
+    (zero-copy on the send side); callers must finish with it before
+    releasing the packet's lease.
+    """
+    src_rank, src_vci = packet.src
+    dst_rank, dst_vci = packet.dst
+    header_bytes = pickle.dumps(packet.header, protocol=pickle.HIGHEST_PROTOCOL)
+    payload = packet.payload
+    if payload is None:
+        view = memoryview(b"")
+    else:
+        view = memoryview(payload)
+        if view.ndim != 1 or view.itemsize != 1:
+            view = view.cast("B")
+    meta = _META.pack(
+        src_rank,
+        src_vci,
+        dst_rank,
+        dst_vci,
+        packet.seq,
+        len(header_bytes),
+        view.nbytes,
+    )
+    return meta, header_bytes, view
+
+
+def frame_nbytes(meta: bytes, header_bytes: bytes, payload: memoryview) -> int:
+    """Total frame size for the pieces returned by :func:`encode_frame`."""
+    return len(meta) + len(header_bytes) + payload.nbytes
+
+
+def decode_meta(buf: bytes, offset: int = 0) -> Tuple[int, int, int, int, int, int, int]:
+    """Unpack the fixed META block; returns the seven fields."""
+    return _META.unpack_from(buf, offset)
+
+
+def decode_frame(buf: bytes, offset: int = 0) -> Tuple[Packet, int]:
+    """Rebuild a :class:`Packet` from a frame starting at ``offset``.
+
+    Returns ``(packet, end_offset)``.  The payload is materialized as
+    ``bytes`` owned by the receiving process (shm cells are recycled
+    and socket buffers reused, so the frame buffer cannot be aliased).
+    A zero-length payload decodes to ``b""`` — not ``None`` — because
+    the protocol treats empty eager/rendezvous data as a real (empty)
+    buffer; ``None`` is reserved for its own "data already placed"
+    pipeline bookkeeping and never crosses the wire.
+    """
+    src_rank, src_vci, dst_rank, dst_vci, seq, hlen, plen = _META.unpack_from(
+        buf, offset
+    )
+    hstart = offset + META_SIZE
+    pstart = hstart + hlen
+    end = pstart + plen
+    header = pickle.loads(bytes(buf[hstart:pstart]))
+    payload = bytes(buf[pstart:end])
+    packet = Packet(
+        src=(src_rank, src_vci),
+        dst=(dst_rank, dst_vci),
+        header=header,
+        payload=payload,
+        seq=seq,
+    )
+    return packet, end
+
+
+def length_prefix(nbytes: int) -> bytes:
+    """u32 length prefix for a socket frame."""
+    return _LEN.pack(nbytes)
+
+
+class StreamDecoder:
+    """Incremental frame parser for the socket byte stream.
+
+    Feed arbitrary chunks with :meth:`feed`; iterate complete frames
+    with :meth:`frames`.  Partial frames are buffered until the rest
+    arrives.  The decoder never blocks and never throws on a short
+    read — only on a corrupt length prefix.
+
+    A :func:`goodbye_frame` is consumed here (not yielded): it sets
+    :attr:`saw_goodbye`, which the RX pump checks at EOF to tell a
+    deliberate close from a crashed peer.
+    """
+
+    __slots__ = ("_buf", "_need", "saw_goodbye")
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+        self._need: Optional[int] = None  # body length once prefix parsed
+        self.saw_goodbye = False
+
+    def feed(self, chunk: bytes) -> None:
+        self._buf += chunk
+
+    def pending_bytes(self) -> int:
+        return len(self._buf)
+
+    def frames(self) -> Iterator[Packet]:
+        buf = self._buf
+        pos = 0
+        out: List[Packet] = []
+        while True:
+            if self._need is None:
+                if len(buf) - pos < LEN_SIZE:
+                    break
+                (need,) = _LEN.unpack_from(buf, pos)
+                if need < META_SIZE or need > MAX_FRAME:
+                    raise ValueError(f"corrupt frame length {need}")
+                pos += LEN_SIZE
+                self._need = need
+            if len(buf) - pos < self._need:
+                break
+            (src_rank,) = _LEN.unpack_from(buf, pos)  # META leads with src u32
+            if src_rank == GOODBYE_RANK:
+                self.saw_goodbye = True
+                pos += self._need
+                self._need = None
+                continue
+            packet, end = decode_frame(buf, pos)
+            assert end - pos == self._need, "frame length mismatch"
+            pos = end
+            self._need = None
+            out.append(packet)
+        if pos:
+            del buf[:pos]
+        return iter(out)
+
+
+def encode_control(obj: Any) -> bytes:
+    """Length-prefixed pickle for out-of-band control messages."""
+    body = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    return _LEN.pack(len(body)) + body

@@ -2,5 +2,6 @@
 
 from repro.runtime.world import World
 from repro.runtime.runner import run_world
+from repro.runtime.procworld import PROC_BACKENDS, ProcWorld, run_proc_world
 
-__all__ = ["World", "run_world"]
+__all__ = ["World", "run_world", "ProcWorld", "run_proc_world", "PROC_BACKENDS"]

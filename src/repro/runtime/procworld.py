@@ -1,0 +1,570 @@
+"""ProcWorld: spawn one OS process per rank and run SPMD code on them.
+
+The multi-process counterpart of :func:`repro.runtime.runner.run_world`:
+
+* the parent builds the topology (which pairs ride shared-memory
+  segments, which ride TCP), pre-creates the shm segments, and spawns
+  one child per rank;
+* each child constructs a :class:`~repro.procmod.localworld.ProcLocalWorld`
+  from the serialized :class:`~repro.config.RuntimeConfig`
+  (``to_dict``/``from_dict`` — drift across the spawn boundary fails
+  loudly), attaches its links, rendezvouses, and runs ``fn(proc)``;
+* results, errors, and an introspection snapshot (wire counters,
+  conservation counts) travel back over a control pipe; stdout/stderr
+  are inherited, so rank prints appear interleaved on the parent's
+  terminal as usual.
+
+Failure handling (the no-hang guarantee): the parent waits on the
+control pipes *and* the process sentinels.  A child that exits without
+a terminal message is declared dead; the parent broadcasts
+``("peer_dead", rank)`` to every survivor — each child's control
+thread feeds that into ``ProcFabric.note_peer_dead``, whose p2p sweep
+fails blocked operations with ``ProcessFailedError`` — then gives
+survivors ``config.procmod_reaper_timeout`` seconds to unwind before
+terminating them, and finally raises
+:class:`~repro.errors.PeerUnreachableError` naming the dead ranks.
+Socket-backend ranks usually notice even earlier: the dead peer's TCP
+EOF hits their RX pump before the parent's broadcast.
+
+Backends:
+
+* ``"shm"``    — every pair on shared-memory segment links.
+* ``"socket"`` — every pair on TCP; the PR 2 reliability layer is
+  promoted to a production transport setting (``reliability="on"``
+  with a wall-clock RTO) when the config leaves it on ``"auto"``.
+* ``"hybrid"`` — pairs on the same simulated node
+  (``ranks_per_node``) use shm, the rest sockets.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import threading
+import time
+import traceback
+from multiprocessing import connection as mp_connection
+from multiprocessing import shared_memory
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.config import DEFAULT_CONFIG, RuntimeConfig
+from repro.errors import PeerUnreachableError
+
+__all__ = ["ProcWorld", "run_proc_world", "PROC_BACKENDS"]
+
+PROC_BACKENDS = ("shm", "socket", "hybrid")
+
+#: Transport-tuned protocol thresholds applied when the caller passes
+#: no config: a shared-memory segment is lossless and order-preserving,
+#: so single-frame eager transfers pay off far beyond the simulated
+#: fabric's 8 KiB default — the same reasoning real MPIs encode as
+#: per-BTL eager limits.  An explicit config is used verbatim.
+_SHM_TUNED = {"eager_threshold": 256 * 1024, "rendezvous_threshold": 1 << 20}
+
+#: Wall-clock retransmit timeout for the socket backend.  The default
+#: ``rel_rto`` (100 us) is calibrated to the simulated fabric; against
+#: a real kernel socket path it would declare loss on every scheduling
+#: hiccup and retransmit-storm.
+_SOCKET_RTO = 0.05
+
+_RENDEZVOUS_TIMEOUT = 30.0
+
+#: Empty-spin budget before a waiting rank process yields its core.
+#: The thread backend's default (32 passes) is calibrated for ranks
+#: sharing one interpreter, where the GIL forces switches anyway; rank
+#: *processes* time-share cores with no such forcing, so a long empty
+#: spin starves the peer that owns the next message.  Applied whenever
+#: the caller left ``wait_spin_count`` at its dataclass default.
+_PROC_WAIT_SPIN = 4
+
+
+def _resolve_config(config: Optional[RuntimeConfig], backend: str) -> RuntimeConfig:
+    if config is None:
+        config = DEFAULT_CONFIG
+        if backend in ("shm", "hybrid"):
+            config = config.updated(**_SHM_TUNED)
+    if backend in ("socket", "hybrid") and config.reliability == "auto":
+        config = config.updated(reliability="on", rel_rto=_SOCKET_RTO)
+    if config.wait_spin_count == DEFAULT_CONFIG.wait_spin_count:
+        config = config.updated(wait_spin_count=_PROC_WAIT_SPIN)
+    return config
+
+
+def _pickle_safe_exc(exc: BaseException) -> BaseException:
+    """Best-effort: ship the real exception, else a faithful stand-in.
+
+    The child's traceback object cannot cross the pipe, so its rendered
+    form rides along as an exception note — the parent's re-raise then
+    shows where in the child the failure actually happened.
+    """
+    tb = traceback.format_exc()
+    try:
+        exc.add_note(f"(child traceback)\n{tb}")
+    except Exception:  # pragma: no cover - exotic exception types
+        pass
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return RuntimeError(f"rank raised {type(exc).__name__}: {exc}\n{tb}")
+
+
+# ---------------------------------------------------------------------------
+# Child side.
+# ---------------------------------------------------------------------------
+
+
+def _child_control_rx(conn, fabric, stop: threading.Event) -> None:
+    """Drain parent control messages while ``fn`` runs."""
+    while not stop.is_set():
+        try:
+            if not conn.poll(0.1):
+                continue
+            msg = conn.recv()
+        except (EOFError, OSError):
+            return
+        if msg[0] == "peer_dead":
+            fabric.note_peer_dead(msg[1])
+        elif msg[0] == "exit":
+            return
+
+
+def _child_main(spec: Dict[str, Any], conn) -> None:
+    from repro.procmod import socketmod
+    from repro.procmod.localworld import ProcLocalWorld
+    from repro.procmod.shmseg import ShmLink
+
+    rank = spec["rank"]
+    world = None
+    try:
+        config = RuntimeConfig.from_dict(spec["config"])
+        world = ProcLocalWorld(
+            spec["nranks"], rank, config=config, trace=spec["trace"]
+        )
+        fabric = world.fabric
+        geometry = {
+            "cell_size": config.procmod_cell_size,
+            "num_cells": config.procmod_num_cells,
+            "arena_bytes": config.procmod_arena_bytes,
+        }
+        for peer, (tx_name, rx_name) in spec["shm"].items():
+            fabric.attach_shm(
+                peer,
+                ShmLink(tx_name, **geometry),
+                ShmLink(rx_name, **geometry),
+            )
+        sock_peers = spec["sock_peers"]
+        if sock_peers:
+            listener, port = socketmod.make_listener()
+            conn.send(("port", rank, port))
+            msg = conn.recv()
+            assert msg[0] == "ports", msg
+            socks = socketmod.exchange_sockets(
+                rank, sock_peers, listener, msg[1], timeout=_RENDEZVOUS_TIMEOUT
+            )
+            listener.close()
+            for peer, sock in sorted(socks.items()):
+                fabric.attach_socket(peer, sock)
+        conn.send(("ready", rank))
+        msg = conn.recv()
+        assert msg[0] == "go", msg
+
+        stop = threading.Event()
+        ctl = threading.Thread(
+            target=_child_control_rx,
+            args=(conn, fabric, stop),
+            name=f"procworld-ctl-{rank}",
+            daemon=True,
+        )
+        ctl.start()
+
+        proc = world.local_proc
+        status, value = "result", None
+        try:
+            value = spec["fn"](proc)
+            if spec["finalize"] and not proc.finalized:
+                proc.finalize()
+        except BaseException as exc:  # noqa: BLE001 - shipped to parent
+            status, value = "error", _pickle_safe_exc(exc)
+        stop.set()
+        snapshot = {
+            "rank": rank,
+            "pid": os.getpid(),
+            "wire": fabric.wire_counts(),
+            "conservation": fabric.conservation_counts(),
+            "dead_seen": sorted(fabric.dead_ranks()),
+        }
+        conn.send((status, rank, value, snapshot))
+        # A rank that errored must NOT say goodbye: peers blocked on it
+        # are entitled to see it as dead and fail fast.
+        fabric.shutdown(graceful=(status == "result"))
+    except BaseException as exc:  # noqa: BLE001 - setup/teardown failure
+        try:
+            conn.send(("error", rank, _pickle_safe_exc(exc), {"rank": rank}))
+        except Exception:
+            pass
+        if world is not None:
+            try:
+                world.fabric.shutdown(graceful=False)
+            except Exception:
+                pass
+
+
+# ---------------------------------------------------------------------------
+# Parent side.
+# ---------------------------------------------------------------------------
+
+
+class _ChildDied(Exception):
+    def __init__(self, rank: int) -> None:
+        super().__init__(f"rank {rank} died")
+        self.rank = rank
+
+
+class ProcWorld:
+    """Launcher/monitor for one process-per-rank run.
+
+    Usually used through :func:`run_proc_world` (or
+    ``run_world(..., backend="shm")``).  After :meth:`run`,
+    ``snapshots`` holds each rank's introspection dict.
+    """
+
+    def __init__(
+        self,
+        nranks: int,
+        fn: Callable,
+        *,
+        config: Optional[RuntimeConfig] = None,
+        backend: str = "shm",
+        trace: bool = False,
+        timeout: Optional[float] = 120.0,
+        finalize: bool = True,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if nranks <= 0:
+            raise ValueError("nranks must be positive")
+        if backend not in PROC_BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {PROC_BACKENDS}"
+            )
+        self.nranks = nranks
+        self.fn = fn
+        self.backend = backend
+        self.config = _resolve_config(config, backend)
+        self.trace = trace
+        self.timeout = timeout
+        self.finalize = finalize
+        if start_method is None:
+            start_method = (
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn"
+            )
+        self.start_method = start_method
+        self.results: List[Any] = [None] * nranks
+        self.snapshots: List[Optional[dict]] = [None] * nranks
+        self.dead_ranks: List[int] = []
+        self._procs: Dict[int, Any] = {}
+        self._conns: Dict[int, Any] = {}
+        self._segments: List[shared_memory.SharedMemory] = []
+
+    # -- topology ------------------------------------------------------
+
+    def _pair_uses_shm(self, a: int, b: int) -> bool:
+        if self.backend == "shm":
+            return True
+        if self.backend == "socket":
+            return False
+        rpn = self.config.ranks_per_node
+        return a // rpn == b // rpn
+
+    def _build_segments(self) -> Dict[int, Dict[int, tuple]]:
+        """Create all shm segments; returns rank -> peer -> (tx, rx)."""
+        from repro.procmod.shmseg import shm_link_nbytes
+
+        cfg = self.config
+        nbytes = shm_link_nbytes(
+            cfg.procmod_cell_size, cfg.procmod_num_cells, cfg.procmod_arena_bytes
+        )
+        uid = f"{os.getpid():x}-{os.urandom(3).hex()}"
+        links: Dict[int, Dict[int, tuple]] = {r: {} for r in range(self.nranks)}
+        for a in range(self.nranks):
+            for b in range(a + 1, self.nranks):
+                if not self._pair_uses_shm(a, b):
+                    continue
+                ab = f"repro-{uid}-{a}t{b}"
+                ba = f"repro-{uid}-{b}t{a}"
+                for name in (ab, ba):
+                    seg = shared_memory.SharedMemory(
+                        name=name, create=True, size=nbytes
+                    )
+                    seg.close()  # parent never maps it; children attach
+                    self._segments.append(seg)
+                links[a][b] = (ab, ba)  # a sends on ab, receives on ba
+                links[b][a] = (ba, ab)
+        return links
+
+    # -- monitored pipe I/O --------------------------------------------
+
+    def _await(self, rank: int, kind: str, deadline: float):
+        """Receive the next ``kind`` message from ``rank`` or detect death."""
+        conn = self._conns[rank]
+        proc = self._procs[rank]
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"rank {rank}: no {kind!r} message within the timeout"
+                )
+            ready = mp_connection.wait(
+                [conn, proc.sentinel], timeout=min(remaining, 0.5)
+            )
+            if conn in ready:
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    raise _ChildDied(rank) from None
+                if msg[0] == "error":
+                    # Setup failed in the child; surface its exception.
+                    raise msg[2]
+                if msg[0] != kind:
+                    raise RuntimeError(
+                        f"rank {rank}: expected {kind!r}, got {msg[0]!r}"
+                    )
+                return msg
+            if proc.sentinel in ready and not proc.is_alive():
+                if conn.poll(0):
+                    continue  # message raced the exit; drain it first
+                raise _ChildDied(rank)
+
+    # -- run -----------------------------------------------------------
+
+    def run(self) -> List[Any]:
+        deadline = time.monotonic() + (
+            self.timeout if self.timeout is not None else 86400.0
+        )
+        ctx = multiprocessing.get_context(self.start_method)
+        shm_links = self._build_segments()
+        config_dict = self.config.to_dict()
+        try:
+            for rank in range(self.nranks):
+                parent_conn, child_conn = ctx.Pipe(duplex=True)
+                sock_peers = [
+                    p
+                    for p in range(self.nranks)
+                    if p != rank and p not in shm_links[rank]
+                ]
+                spec = {
+                    "nranks": self.nranks,
+                    "rank": rank,
+                    "config": config_dict,
+                    "trace": self.trace,
+                    "finalize": self.finalize,
+                    "shm": shm_links[rank],
+                    "sock_peers": sock_peers,
+                    "fn": self.fn,
+                }
+                proc = ctx.Process(
+                    target=_child_main,
+                    args=(spec, child_conn),
+                    name=f"procworld-rank-{rank}",
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                self._procs[rank] = proc
+                self._conns[rank] = parent_conn
+            self._rendezvous(deadline)
+            return self._main_loop(deadline)
+        except _ChildDied as died:
+            self._fail_world([died.rank])
+            raise AssertionError("unreachable")  # pragma: no cover
+        finally:
+            self._cleanup()
+
+    def _rendezvous(self, deadline: float) -> None:
+        sock_ranks = [r for r in range(self.nranks) if self._sock_peers_of(r)]
+        if sock_ranks:
+            ports: Dict[int, int] = {}
+            for rank in sock_ranks:
+                msg = self._await(rank, "port", deadline)
+                ports[msg[1]] = msg[2]
+            for rank in sock_ranks:
+                self._conns[rank].send(("ports", ports))
+        for rank in range(self.nranks):
+            self._await(rank, "ready", deadline)
+        for rank in range(self.nranks):
+            self._conns[rank].send(("go",))
+
+    def _sock_peers_of(self, rank: int) -> List[int]:
+        return [
+            p
+            for p in range(self.nranks)
+            if p != rank and not self._pair_uses_shm(*sorted((rank, p)))
+        ]
+
+    def _main_loop(self, deadline: float) -> List[Any]:
+        pending = set(range(self.nranks))
+        errors: List[tuple] = []
+        dead: List[int] = []
+        while pending:
+            if time.monotonic() > deadline:
+                if dead:
+                    # The reaper window after a death expired with
+                    # survivors still stuck: reap and report the death.
+                    self._terminate(pending)
+                    self._fail_world(dead, errors)
+                self._terminate(pending)
+                raise TimeoutError(
+                    f"ranks still running after {self.timeout}s: {sorted(pending)}"
+                )
+            objs = []
+            by_obj = {}
+            for r in pending:
+                conn = self._conns[r]
+                sen = self._procs[r].sentinel
+                objs.extend((conn, sen))
+                by_obj[conn] = ("conn", r)
+                by_obj[sen] = ("sentinel", r)
+            for obj in mp_connection.wait(objs, timeout=0.5):
+                what, rank = by_obj[obj]
+                if rank not in pending:
+                    continue
+                died = False
+                if what == "conn" or self._conns[rank].poll(0):
+                    try:
+                        msg = self._conns[rank].recv()
+                    except (EOFError, OSError):
+                        # Pipe EOF without a terminal message: decide
+                        # death HERE — ``poll()`` keeps reporting an
+                        # EOF'd pipe as readable, so the sentinel branch
+                        # below would never be reached again.
+                        self._procs[rank].join(0.2)
+                        died = not self._procs[rank].is_alive()
+                        if not died:
+                            continue  # child closed its end but runs on
+                    else:
+                        status, _, value, snapshot = msg
+                        self.snapshots[rank] = snapshot
+                        pending.discard(rank)
+                        if status == "error":
+                            errors.append((rank, value))
+                            # An errored rank never communicates again;
+                            # tell the survivors so collectives blocked
+                            # on it fail fast instead of riding out the
+                            # timeout (shm peers see no EOF, only this
+                            # broadcast).
+                            for peer in sorted(pending):
+                                try:
+                                    self._conns[peer].send(("peer_dead", rank))
+                                except (OSError, BrokenPipeError):
+                                    pass
+                        else:
+                            self.results[rank] = value
+                        continue
+                elif not self._procs[rank].is_alive():
+                    died = True
+                if died:
+                    pending.discard(rank)
+                    dead.append(rank)
+                    self.dead_ranks.append(rank)
+                    # Unblock the survivors, then give them a bounded
+                    # window to unwind (the reaper knob).
+                    for peer in sorted(pending):
+                        try:
+                            self._conns[peer].send(("peer_dead", rank))
+                        except (OSError, BrokenPipeError):
+                            pass
+                    deadline = min(
+                        deadline,
+                        time.monotonic() + self.config.procmod_reaper_timeout,
+                    )
+        if dead:
+            self._fail_world(dead, errors)
+        if errors:
+            # First error chronologically: later ones are usually the
+            # cascade (ProcessFailedError at peers of the real failure).
+            _, exc = errors[0]
+            raise exc
+        return list(self.results)
+
+    def _fail_world(self, dead: List[int], errors: Optional[List[tuple]] = None):
+        self.dead_ranks = sorted(set(self.dead_ranks) | set(dead))
+        survivors = [
+            r
+            for r in range(self.nranks)
+            if r not in dead and self._procs.get(r) is not None
+        ]
+        for peer in survivors:
+            try:
+                self._conns[peer].send(("peer_dead", dead[0]))
+            except (OSError, BrokenPipeError):
+                pass
+        self._terminate(survivors, grace=self.config.procmod_reaper_timeout)
+        codes = {r: self._procs[r].exitcode for r in dead if r in self._procs}
+        raise PeerUnreachableError(
+            f"rank process(es) {sorted(set(dead))} terminated abnormally "
+            f"(exit codes {codes}); surviving ranks were reaped"
+        )
+
+    def _terminate(self, ranks, grace: float = 0.0) -> None:
+        ranks = list(ranks)
+        end = time.monotonic() + grace
+        for r in ranks:
+            self._procs[r].join(max(end - time.monotonic(), 0.0) or 0.01)
+        for r in ranks:
+            proc = self._procs[r]
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(2.0)
+            if proc.is_alive():  # pragma: no cover - last resort
+                proc.kill()
+                proc.join(1.0)
+
+    def _cleanup(self) -> None:
+        for conn in self._conns.values():
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for proc in self._procs.values():
+            if proc.is_alive():
+                proc.terminate()
+            proc.join(2.0)
+        for seg in self._segments:
+            try:
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+        self._segments.clear()
+
+
+def run_proc_world(
+    nranks: int,
+    fn: Callable,
+    *,
+    config: Optional[RuntimeConfig] = None,
+    backend: str = "shm",
+    trace: bool = False,
+    timeout: Optional[float] = 120.0,
+    finalize: bool = True,
+    start_method: Optional[str] = None,
+) -> List[Any]:
+    """Run ``fn(proc)`` on ``nranks`` real OS processes.
+
+    Returns per-rank results in rank order, mirroring
+    :func:`repro.runtime.runner.run_world`.  With the default ``fork``
+    start method ``fn`` may be any callable (closures included); under
+    ``spawn`` it must be picklable (module-level).
+    """
+    return ProcWorld(
+        nranks,
+        fn,
+        config=config,
+        backend=backend,
+        trace=trace,
+        timeout=timeout,
+        finalize=finalize,
+        start_method=start_method,
+    ).run()

@@ -1,10 +1,18 @@
-"""SPMD runner: one thread per rank.
+"""SPMD runner: one thread per rank (default), or one process per rank.
 
 ``run_world(nranks, fn)`` spawns a thread per rank, each calling
 ``fn(proc)`` with its own process context, and returns the per-rank
 results in rank order.  An exception in any rank is re-raised in the
 caller after all threads stop (a crashed rank would otherwise deadlock
 its peers, so surviving ranks are given a deadline).
+
+``run_world(..., backend="shm"|"socket"|"hybrid")`` dispatches to the
+multi-process runner (:mod:`repro.runtime.procworld`): each rank is a
+real OS process talking over shared-memory segments and/or TCP.  A
+rank process that dies mid-run surfaces as
+:class:`~repro.errors.PeerUnreachableError` at the caller — never a
+hang — via the parent's sentinel watch and reaper timeout
+(``config.procmod_reaper_timeout``).
 """
 
 from __future__ import annotations
@@ -31,6 +39,7 @@ def run_world(
     trace: bool = False,
     timeout: float | None = 120.0,
     finalize: bool = True,
+    backend: str = "threads",
 ) -> list[Any]:
     """Run ``fn(proc)`` on every rank of a (new or given) world.
 
@@ -39,7 +48,30 @@ def run_world(
     are still running after ``timeout`` wall seconds (deadlock guard —
     threads are daemonic, so a timed-out run does not hang the
     interpreter).
+
+    ``backend`` selects the execution substrate: ``"threads"`` (the
+    default — everything below runs unchanged) or one of the
+    multi-process backends (``"shm"``, ``"socket"``, ``"hybrid"``),
+    which spawn real rank processes via
+    :func:`repro.runtime.procworld.run_proc_world`.
     """
+    if backend != "threads":
+        if world is not None or clock is not None:
+            raise ValueError(
+                "multi-process backends build one world per rank process; "
+                "world=/clock= cannot be injected"
+            )
+        from repro.runtime.procworld import run_proc_world
+
+        return run_proc_world(
+            nranks,
+            fn,
+            config=config,
+            backend=backend,
+            trace=trace,
+            timeout=timeout,
+            finalize=finalize,
+        )
     if world is None:
         world = World(nranks, config=config, clock=clock, trace=trace)
     elif world.nranks != nranks:

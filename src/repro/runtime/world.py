@@ -1,11 +1,18 @@
 """The world: shared substrate for a set of ranks.
 
 The paper's cluster experiment ran one MPI process per node over an
-Omni-Path fabric; our substitute runs one :class:`~repro.core.mpi.Proc`
-per rank inside a single Python process, all attached to one simulated
+Omni-Path fabric.  This class is the *thread* backend (and the
+default): one :class:`~repro.core.mpi.Proc` per rank inside a single
+Python process, all attached to one simulated
 :class:`~repro.netmod.fabric.Fabric` (plus the shmem transport for
 on-node pairs).  Rank code runs on real threads — see
 :mod:`repro.runtime.runner` — so lock behaviour is genuine.
+
+Ranks can also be real OS processes: :mod:`repro.runtime.procworld`
+runs one :class:`~repro.procmod.localworld.ProcLocalWorld` (a subclass
+of this class) per rank process, connected by shared-memory segments
+or TCP sockets instead of the simulated fabric.  The ``_make_fabric``
+and ``_make_procs`` hooks below are the seams that subclass overrides.
 """
 
 from __future__ import annotations
@@ -56,18 +63,28 @@ class World:
         else:
             self.config = DEFAULT_CONFIG
         self.clock = clock if clock is not None else MonotonicClock()
-        self.fabric = Fabric(nranks, clock=self.clock, config=self.config)
+        self.fabric = self._make_fabric()
         self.shmem = (
             ShmemTransport(self.clock, self.config) if self.config.use_shmem else None
         )
         self._context_registry: dict[tuple[int, int], int] = {}
         self._next_context = 2  # 0/1 are COMM_WORLD's pt2pt/coll pair
         self._context_lock = _sync.make_lock("world.context")
-        self._procs: list[Proc] = [
-            Proc(rank, self, tracer=Tracer(enabled=trace)) for rank in range(nranks)
-        ]
+        self._procs: list[Proc] = self._make_procs(trace)
         # Register with the dsched invariant monitor (no-op otherwise).
         _sync.note_world(self)
+
+    # ------------------------------------------------------------------
+    # Backend hooks (overridden by ProcLocalWorld for process-per-rank).
+    # ------------------------------------------------------------------
+    def _make_fabric(self) -> Fabric:
+        return Fabric(self.nranks, clock=self.clock, config=self.config)
+
+    def _make_procs(self, trace: bool) -> list[Proc]:
+        return [
+            Proc(rank, self, tracer=Tracer(enabled=trace))
+            for rank in range(self.nranks)
+        ]
 
     # ------------------------------------------------------------------
     def proc(self, rank: int) -> Proc:

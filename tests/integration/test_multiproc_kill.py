@@ -1,0 +1,107 @@
+"""Kill-soak for the multi-process backend: SIGKILL a real rank process.
+
+The no-hang contract under test: when a rank process dies abruptly
+mid-collective, (a) the parent's sentinel watch notices, broadcasts the
+death, reaps the survivors within ``procmod_reaper_timeout``, and
+raises ``PeerUnreachableError`` naming the corpse; (b) a surviving rank
+blocked on the corpse is failed with the ``ProcessFailedError`` family
+by the dead-peer sweep, not left spinning.  Unlike the thread-backend
+kill-soak (which kills via the simulated fault plan), the kill here is
+a real ``SIGKILL`` — nothing in the victim gets to clean up.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.config import RuntimeConfig
+from repro.errors import MpiError, PeerUnreachableError, ProcessFailedError
+from repro.runtime.procworld import run_proc_world
+
+FAST_REAPER = RuntimeConfig(procmod_reaper_timeout=5.0)
+
+
+def _victim_suicides(proc):
+    comm = proc.comm_world
+    comm.barrier()  # everyone is up and wired
+    if proc.rank == 1:
+        os.kill(os.getpid(), signal.SIGKILL)
+    # Survivor blocks on the corpse: this must FAIL, not hang.
+    try:
+        comm.barrier()
+    except MpiError as exc:
+        return type(exc).__name__
+    return "no error"
+
+
+class TestKillMidRun:
+    @pytest.mark.parametrize("backend", ["shm", "socket"])
+    def test_sigkill_surfaces_not_hangs(self, backend):
+        start = time.monotonic()
+        with pytest.raises(PeerUnreachableError, match=r"\[1\]"):
+            run_proc_world(
+                2, _victim_suicides, config=FAST_REAPER, backend=backend, timeout=60
+            )
+        # Well under the 60 s world timeout: the sentinel+reaper path
+        # fired, not the deadline.
+        assert time.monotonic() - start < 30
+
+    def test_survivor_sees_process_failure(self):
+        """3 ranks, rank 1 killed: the survivors' blocked collective is
+        swept with the ProcessFailedError family before the reaper
+        terminates them (their error classes ride back in the parent's
+        exception-or-results bookkeeping is moot — the parent raises
+        PeerUnreachableError; what we check is prompt unwinding)."""
+        start = time.monotonic()
+        with pytest.raises(PeerUnreachableError):
+            run_proc_world(
+                3, _victim_suicides, config=FAST_REAPER, backend="shm", timeout=60
+            )
+        assert time.monotonic() - start < 30
+
+
+def _everyone_fine(proc):
+    proc.comm_world.barrier()
+    return "fine"
+
+
+class TestNoFalsePositives:
+    def test_clean_run_reports_no_deaths(self):
+        assert run_proc_world(2, _everyone_fine, backend="shm", timeout=60) == [
+            "fine",
+            "fine",
+        ]
+
+
+def _survivor_reports(proc):
+    comm = proc.comm_world
+    comm.barrier()
+    if proc.rank == 1:
+        os.kill(os.getpid(), signal.SIGKILL)
+    try:
+        comm.barrier()
+    except ProcessFailedError as exc:
+        return ("swept", sorted(exc.ranks))
+    except MpiError as exc:  # pragma: no cover - acceptable family member
+        return ("failed", type(exc).__name__)
+    return "no error"  # pragma: no cover
+
+
+class TestSweepSemantics:
+    def test_blocked_op_failed_with_dead_rank_named(self):
+        """The sweep inside the surviving child names the dead rank.
+        The child's return value never reaches the caller (the parent
+        raises), so assert on the *timing*: the survivor's op must fail
+        fast enough for the child to exit inside the reaper window —
+        i.e. the parent's PeerUnreachableError mentions a reaped, not
+        terminated, survivor only implicitly via the quick turnaround."""
+        start = time.monotonic()
+        with pytest.raises(PeerUnreachableError, match="terminated abnormally"):
+            run_proc_world(
+                2, _survivor_reports, config=FAST_REAPER, backend="shm", timeout=60
+            )
+        assert time.monotonic() - start < 30

@@ -1,0 +1,183 @@
+"""ProcWorld: real rank processes over shm segments and TCP sockets.
+
+Each test spawns actual OS processes, so the suite keeps worlds small
+(2-4 ranks) and batches several protocol paths into one run.
+"""
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG, RuntimeConfig
+from repro.datatype.types import BYTE, DOUBLE
+from repro.runtime.procworld import (
+    PROC_BACKENDS,
+    ProcWorld,
+    _resolve_config,
+    run_proc_world,
+)
+from repro.runtime.runner import run_world
+
+
+# Small protocol thresholds so one modest run exercises eager,
+# rendezvous, and pipeline transfers without moving megabytes.
+SMALL_THRESHOLDS = RuntimeConfig(
+    eager_threshold=1024,
+    rendezvous_threshold=8192,
+)
+
+
+def _echo_sizes(proc):
+    comm = proc.comm_world
+    sizes = [100, 4096, 50_000]  # eager / rendezvous / pipeline
+    out = []
+    for i, n in enumerate(sizes):
+        if proc.rank == 0:
+            buf = bytearray(n)
+            buf[0:2] = b"ab"
+            comm.send(buf, n, BYTE, 1, i)
+            rb = bytearray(n)
+            comm.recv(rb, n, BYTE, 1, 100 + i)
+            out.append(bytes(rb[0:2]))
+        else:
+            rb = bytearray(n)
+            comm.recv(rb, n, BYTE, 0, i)
+            assert rb[0:2] == b"ab"
+            rb[0:2] = b"cd"
+            comm.send(rb, n, BYTE, 0, 100 + i)
+            out.append(b"cd")
+    return out
+
+
+def _collectives(proc):
+    import array
+
+    comm = proc.comm_world
+    cnt = 256
+    sbuf = array.array("d", [float(proc.rank + 1)] * cnt)
+    rbuf = array.array("d", [0.0] * cnt)
+    comm.allreduce(sbuf, rbuf, cnt, DOUBLE)
+    comm.barrier()
+    obj = comm.recv_obj(source=0) if proc.rank else None
+    if proc.rank == 0:
+        for dst in range(1, comm.size):
+            comm.send_obj({"from": 0}, dest=dst)
+    else:
+        assert obj == {"from": 0}
+    return rbuf[0]
+
+
+class TestP2pAllProtocols:
+    @pytest.mark.parametrize("backend", ["shm", "socket"])
+    def test_eager_rendezvous_pipeline(self, backend):
+        res = run_proc_world(
+            2, _echo_sizes, config=SMALL_THRESHOLDS, backend=backend, timeout=90
+        )
+        assert res[0] == [b"cd"] * 3
+        assert res[1] == [b"cd"] * 3
+
+
+class TestCollectives:
+    @pytest.mark.parametrize("backend", ["shm", "socket", "hybrid"])
+    def test_allreduce_barrier_objects(self, backend):
+        res = run_proc_world(3, _collectives, backend=backend, timeout=90)
+        assert res == [6.0, 6.0, 6.0]
+
+
+def _raise_on_rank_one(proc):
+    if proc.rank == 1:
+        raise ValueError("deliberate rank failure")
+    proc.comm_world.barrier()
+    return "survivor"
+
+
+class TestErrors:
+    def test_child_error_propagates_without_hang(self):
+        """Rank 1 raises before the barrier; rank 0 must be unblocked
+        by the parent's peer-dead broadcast, and the parent re-raises
+        the original error, not the cascade."""
+        with pytest.raises(ValueError, match="deliberate rank failure"):
+            run_proc_world(2, _raise_on_rank_one, backend="shm", timeout=60)
+
+    def test_bad_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            ProcWorld(2, _collectives, backend="carrier-pigeon")
+
+    def test_bad_nranks_rejected(self):
+        with pytest.raises(ValueError):
+            ProcWorld(0, _collectives)
+
+
+class TestRunnerDispatch:
+    def test_run_world_backend_param(self):
+        res = run_world(2, _echo_sizes, config=SMALL_THRESHOLDS, backend="shm", timeout=90)
+        assert res[0] == [b"cd"] * 3
+
+    def test_injection_rejected_for_process_backends(self):
+        from repro.runtime.world import World
+
+        with pytest.raises(ValueError, match="world"):
+            run_world(2, _collectives, backend="shm", world=World(2))
+
+    def test_backends_tuple(self):
+        assert PROC_BACKENDS == ("shm", "socket", "hybrid")
+
+
+class TestConfigResolution:
+    def test_shm_default_gets_tuned_thresholds(self):
+        cfg = _resolve_config(None, "shm")
+        assert cfg.eager_threshold == 256 * 1024
+        assert cfg.rendezvous_threshold == 1 << 20
+
+    def test_socket_default_promotes_reliability(self):
+        cfg = _resolve_config(None, "socket")
+        assert cfg.reliability == "on"
+        assert cfg.rel_rto == pytest.approx(0.05)
+
+    def test_explicit_config_kept_verbatim_except_auto_reliability(self):
+        cfg = _resolve_config(SMALL_THRESHOLDS, "shm")
+        assert cfg.eager_threshold == 1024  # not overwritten by tuning
+        cfg = _resolve_config(SMALL_THRESHOLDS.updated(reliability="off"), "socket")
+        assert cfg.reliability == "off"  # explicit choice respected
+
+    def test_thread_default_config_untouched(self):
+        assert DEFAULT_CONFIG.eager_threshold != 256 * 1024
+
+    def test_default_wait_spin_tuned_down_for_processes(self):
+        # A process spinning on an empty ring burns its scheduler
+        # quantum; the default spin count is cut unless the user set it.
+        for backend in PROC_BACKENDS:
+            assert _resolve_config(None, backend).wait_spin_count == 4
+        explicit = RuntimeConfig(wait_spin_count=64)
+        assert _resolve_config(explicit, "shm").wait_spin_count == 64
+
+
+def _ping(proc):
+    comm = proc.comm_world
+    if proc.rank == 0:
+        comm.send_obj("hi", dest=1)
+        return comm.recv_obj(source=1)
+    comm.send_obj(comm.recv_obj(source=0) + "!", dest=0)
+    return None
+
+
+class TestSnapshots:
+    def test_wire_and_conservation_snapshots(self):
+        world = ProcWorld(2, _ping, backend="shm", timeout=60)
+        res = world.run()
+        assert res[0] == "hi!"
+        for snap in world.snapshots:
+            assert snap is not None
+            assert snap["wire"]["wire_tx"] > 0
+            c = snap["conservation"]
+            assert c["delivered"] == c["harvested"] + c["in_flight"]
+            assert snap["dead_seen"] == []
+
+
+class TestHybridTopology:
+    def test_pair_classification(self):
+        cfg = RuntimeConfig(ranks_per_node=2)
+        world = ProcWorld(4, _ping, config=cfg, backend="hybrid")
+        assert world._pair_uses_shm(0, 1)
+        assert world._pair_uses_shm(2, 3)
+        assert not world._pair_uses_shm(1, 2)
+        assert not world._pair_uses_shm(0, 3)
+        assert world._sock_peers_of(0) == [2, 3]

@@ -1,0 +1,162 @@
+"""ShmLink: SPSC frame ring in a shared-memory segment (single process).
+
+Both ends are attached in one process here — the ring discipline only
+assumes one producer and one consumer, not that they live in different
+address spaces, so every invariant can be checked deterministically.
+The cross-process behaviour is covered by tests/procmod/test_procworld.py.
+"""
+
+import pytest
+
+from repro.netmod.packet import Packet
+from repro.procmod import wire
+from repro.procmod.shmseg import ShmLink, shm_link_nbytes
+
+
+GEOM = dict(cell_size=256, num_cells=4, arena_bytes=8192)
+
+
+@pytest.fixture
+def pair():
+    tx = ShmLink(create=True, **GEOM)
+    rx = ShmLink(tx.name, **GEOM)
+    yield tx, rx
+    rx.close()
+    tx.close()
+    tx.unlink()
+
+
+def push(tx, payload=b"p", seq=0, header=None):
+    packet = Packet(
+        src=(0, 0),
+        dst=(1, 0),
+        header=header if header is not None else {"kind": "eager"},
+        payload=payload,
+        seq=seq,
+    )
+    meta, hdr, view = wire.encode_frame(packet)
+    return tx.try_send(meta, hdr, view)
+
+
+class TestInline:
+    def test_roundtrip(self, pair):
+        tx, rx = pair
+        assert push(tx, b"hello", seq=3)
+        assert rx.rx_ready()
+        p = rx.try_recv()
+        assert p.payload == b"hello" and p.seq == 3
+        assert not rx.rx_ready()
+        assert rx.try_recv() is None
+
+    def test_fifo(self, pair):
+        tx, rx = pair
+        for i in range(3):
+            assert push(tx, b"m%d" % i, seq=i)
+        got = [rx.try_recv().seq for _ in range(3)]
+        assert got == [0, 1, 2]
+
+    def test_empty_ring(self, pair):
+        _, rx = pair
+        assert not rx.rx_ready()
+        assert rx.try_recv() is None
+
+
+class TestBackpressure:
+    def test_ring_full_then_drain(self, pair):
+        tx, rx = pair
+        for i in range(GEOM["num_cells"]):
+            assert push(tx, seq=i)
+        assert not push(tx, seq=99)  # all cells held
+        assert tx.stat_tx_full == 1
+        assert tx.tx_backlog_hint()
+        assert rx.try_recv().seq == 0
+        assert push(tx, seq=4)  # slot released
+        assert [rx.try_recv().seq for _ in range(4)] == [1, 2, 3, 4]
+
+    def test_many_wraps_preserve_fifo(self, pair):
+        """Hundreds of messages through a 4-cell ring: the absolute
+        publication counters must keep working far past one lap."""
+        tx, rx = pair
+        sent = recvd = 0
+        while sent < 300:
+            if push(tx, b"x" * (sent % 40), seq=sent):
+                sent += 1
+            p = rx.try_recv()
+            if p is not None:
+                assert p.seq == recvd
+                assert p.payload == b"x" * (recvd % 40)
+                recvd += 1
+        while recvd < 300:
+            p = rx.try_recv()
+            assert p is not None
+            assert p.seq == recvd
+            recvd += 1
+        assert tx.counters()[0] == 300 and rx.counters()[1] == 300
+
+
+class TestArena:
+    def test_large_frame_takes_arena(self, pair):
+        tx, rx = pair
+        big = bytes(range(256)) * 8  # 2 KiB > 256 B cell
+        assert push(tx, big, seq=1)
+        p = rx.try_recv()
+        assert p.payload == big
+
+    def test_wrapping_frame_reassembles(self, pair):
+        tx, rx = pair
+        # March payloads through the arena until one wraps the 8 KiB
+        # boundary; every payload must come back intact.
+        payload = bytes(255, ) * 3000
+        for i in range(8):
+            data = bytes([i]) * 3000
+            assert push(tx, data, seq=i)
+            p = rx.try_recv()
+            assert p.payload == data, f"iteration {i}"
+        assert payload  # silence lint on the helper value
+
+    def test_arena_backpressure(self, pair):
+        tx, rx = pair
+        data = b"z" * 3000
+        pushed = 0
+        while push(tx, data, seq=pushed):
+            pushed += 1
+        assert 0 < pushed < GEOM["num_cells"]  # arena filled before cells
+        assert tx.stat_tx_full >= 1
+        assert rx.try_recv().payload == data
+        assert push(tx, data, seq=pushed)  # space reclaimed
+
+    def test_oversized_frame_raises(self, pair):
+        tx, _ = pair
+        with pytest.raises(ValueError, match="arena"):
+            push(tx, b"q" * (GEOM["arena_bytes"] + 1))
+
+
+class TestGeometry:
+    def test_nbytes_accounts_for_rounding(self):
+        assert shm_link_nbytes(100, 2, 1024) == 64 + 128 * 2 + 1024
+        assert shm_link_nbytes(4096, 32, 1 << 20) == 64 + 4096 * 32 + (1 << 20)
+
+    def test_attach_requires_name(self):
+        with pytest.raises(ValueError, match="name"):
+            ShmLink()
+
+    def test_config_drift_detected(self):
+        tx = ShmLink(create=True, **GEOM)
+        try:
+            with pytest.raises(ValueError, match="drift"):
+                ShmLink(tx.name, cell_size=4096, num_cells=64, arena_bytes=1 << 20)
+        finally:
+            tx.close()
+            tx.unlink()
+
+    def test_bad_geometry(self):
+        with pytest.raises(ValueError):
+            ShmLink(create=True, cell_size=256, num_cells=0, arena_bytes=8192)
+        with pytest.raises(ValueError):
+            ShmLink(create=True, cell_size=4096, num_cells=4, arena_bytes=64)
+
+    def test_close_is_idempotent(self):
+        tx = ShmLink(create=True, **GEOM)
+        tx.close()
+        tx.close()
+        tx.unlink()

@@ -1,0 +1,131 @@
+"""Wire format: frame round-trips, stream decoding, goodbye frames."""
+
+import pickle
+
+import pytest
+
+from repro.netmod.packet import Packet
+from repro.procmod import wire
+
+
+def mk_packet(payload=b"hello", header=None, src=(0, 0), dst=(1, 0), seq=7):
+    return Packet(
+        src=src,
+        dst=dst,
+        header=header if header is not None else {"kind": "eager", "tag": 3},
+        payload=payload,
+        seq=seq,
+    )
+
+
+def roundtrip(packet):
+    meta, header_bytes, payload = wire.encode_frame(packet)
+    frame = meta + header_bytes + bytes(payload)
+    decoded, end = wire.decode_frame(frame)
+    assert end == len(frame)
+    return decoded
+
+
+class TestFrameRoundtrip:
+    def test_basic(self):
+        p = mk_packet()
+        d = roundtrip(p)
+        assert d.src == p.src and d.dst == p.dst
+        assert d.seq == p.seq
+        assert d.header == p.header
+        assert d.payload == b"hello"
+
+    def test_empty_payload_decodes_to_empty_bytes(self):
+        """plen == 0 must decode to b"", never None: the protocol's
+        eager path takes len(payload) unconditionally, and None is
+        reserved for its internal pipeline bookkeeping."""
+        for payload in (b"", None):
+            d = roundtrip(mk_packet(payload=payload))
+            assert d.payload == b""
+
+    def test_payload_is_owned_bytes(self):
+        buf = bytearray(b"mutable")
+        d = roundtrip(mk_packet(payload=memoryview(buf)))
+        buf[:] = b"XXXXXXX"
+        assert d.payload == b"mutable"
+
+    def test_non_byte_view_is_cast(self):
+        import array
+
+        a = array.array("d", [1.0, 2.0])
+        d = roundtrip(mk_packet(payload=memoryview(a)))
+        assert d.payload == a.tobytes()
+
+    def test_header_survives_arbitrary_dict(self):
+        header = {"kind": "rts", "msg_id": 12, "nested": {"x": [1, 2]}, "b": b"\x00"}
+        assert roundtrip(mk_packet(header=header)).header == header
+
+    def test_frame_nbytes_matches(self):
+        p = mk_packet(payload=b"x" * 100)
+        meta, hdr, payload = wire.encode_frame(p)
+        assert wire.frame_nbytes(meta, hdr, payload) == len(meta) + len(hdr) + 100
+
+    def test_decode_at_offset(self):
+        p = mk_packet()
+        meta, hdr, payload = wire.encode_frame(p)
+        frame = b"JUNK" + meta + hdr + bytes(payload)
+        d, end = wire.decode_frame(frame, 4)
+        assert d.payload == b"hello" and end == len(frame)
+
+
+class TestStreamDecoder:
+    def frame_bytes(self, packet):
+        meta, hdr, payload = wire.encode_frame(packet)
+        n = wire.frame_nbytes(meta, hdr, payload)
+        return wire.length_prefix(n) + meta + hdr + bytes(payload)
+
+    def test_whole_frames(self):
+        dec = wire.StreamDecoder()
+        dec.feed(self.frame_bytes(mk_packet(seq=1)) + self.frame_bytes(mk_packet(seq=2)))
+        assert [p.seq for p in dec.frames()] == [1, 2]
+        assert dec.pending_bytes() == 0
+
+    def test_byte_at_a_time(self):
+        data = self.frame_bytes(mk_packet(payload=b"drip"))
+        dec = wire.StreamDecoder()
+        got = []
+        for i in range(len(data)):
+            dec.feed(data[i : i + 1])
+            got.extend(dec.frames())
+        assert len(got) == 1 and got[0].payload == b"drip"
+
+    def test_split_across_prefix_boundary(self):
+        data = self.frame_bytes(mk_packet())
+        dec = wire.StreamDecoder()
+        dec.feed(data[:2])
+        assert list(dec.frames()) == []
+        dec.feed(data[2:])
+        assert len(list(dec.frames())) == 1
+
+    def test_corrupt_length_raises(self):
+        dec = wire.StreamDecoder()
+        dec.feed(wire.length_prefix(wire.MAX_FRAME + 1) + b"\x00" * 8)
+        with pytest.raises(ValueError, match="corrupt"):
+            list(dec.frames())
+
+    def test_goodbye_sets_flag_and_is_not_yielded(self):
+        dec = wire.StreamDecoder()
+        dec.feed(self.frame_bytes(mk_packet(seq=5)) + wire.goodbye_frame())
+        packets = list(dec.frames())
+        assert [p.seq for p in packets] == [5]
+        assert dec.saw_goodbye
+
+    def test_goodbye_mid_stream_keeps_decoding(self):
+        dec = wire.StreamDecoder()
+        dec.feed(
+            wire.goodbye_frame() + self.frame_bytes(mk_packet(seq=9))
+        )
+        assert [p.seq for p in dec.frames()] == [9]
+        assert dec.saw_goodbye
+
+
+class TestControl:
+    def test_encode_control_roundtrip(self):
+        blob = wire.encode_control({"hello": 1})
+        (n,) = __import__("struct").unpack_from("!I", blob)
+        assert pickle.loads(blob[4 : 4 + n]) == {"hello": 1}
